@@ -1,0 +1,57 @@
+"""Ablation A: the OBS transformation's contribution to slice size.
+
+Section 2 shows OBS turning Example 5's slice from "everything upstream
+of g" into two statements.  This bench measures, for every benchmark
+whose observations pin variables to constants, the slice size with and
+without OBS, and times both pipeline variants.
+"""
+
+import pytest
+
+from repro.models import TABLE1, example5
+from repro.transforms import sli
+
+from .conftest import record_block
+
+_rows = []
+
+
+@pytest.mark.parametrize(
+    "spec", TABLE1, ids=[s.name for s in TABLE1]
+)
+def test_ablation_obs_sizes(benchmark, spec):
+    program = spec.bench()
+    benchmark.group = "ablation-obs"
+
+    def run():
+        return sli(program), sli(program, use_obs=False)
+
+    with_obs, without_obs = benchmark.pedantic(run, rounds=1, iterations=1)
+    _rows.append(
+        f"{spec.name:28s} with-OBS={with_obs.sliced_size:6d} "
+        f"without={without_obs.sliced_size:6d}"
+    )
+    benchmark.extra_info["with_obs"] = with_obs.sliced_size
+    benchmark.extra_info["without_obs"] = without_obs.sliced_size
+    # OBS can only shrink slices (the inserted assignment blocks
+    # dependences; it never adds any).
+    assert with_obs.sliced_size <= without_obs.sliced_size + 2
+
+
+def test_ablation_obs_example5_headline(benchmark):
+    """The Section-2 headline: OBS shrinks Example 5's slice by ~4x."""
+    program = example5()
+    benchmark.group = "ablation-obs"
+
+    def run():
+        return sli(program), sli(program, use_obs=False)
+
+    with_obs, without_obs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert with_obs.sliced_size * 3 <= without_obs.sliced_size
+    record_block(
+        "Ablation A: OBS transformation (slice sizes)",
+        "\n".join(_rows + [
+            f"{'Ex5 (paper headline)':28s} with-OBS={with_obs.sliced_size:6d} "
+            f"without={without_obs.sliced_size:6d}"
+        ]),
+    )

@@ -1,0 +1,60 @@
+"""Ablation C: slicing overhead vs inference savings.
+
+SLI is a pre-pass; the paper's implicit claim is that its cost is
+negligible against the inference it saves.  This bench measures both
+sides on the largest benchmarks: SLI wall-clock vs the inference time
+difference (original minus sliced) for a modest MH budget.
+"""
+
+import time
+
+import pytest
+
+from repro.inference import MetropolisHastings
+from repro.models import benchmark as lookup
+from repro.transforms import sli
+
+from .conftest import record_block
+
+_rows = []
+
+
+@pytest.mark.parametrize(
+    "name", ["BayesianLinearRegression", "HIV", "Chess", "Halo"]
+)
+def test_ablation_slicing_amortizes(benchmark, name):
+    program = lookup(name).bench()
+    benchmark.group = "ablation-overhead"
+
+    def run():
+        t0 = time.perf_counter()
+        result = sli(program)
+        slice_seconds = time.perf_counter() - t0
+        engine = MetropolisHastings(300, burn_in=50, seed=31)
+        t0 = time.perf_counter()
+        engine.infer(program)
+        original_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        engine.infer(result.sliced)
+        sliced_seconds = time.perf_counter() - t0
+        return slice_seconds, original_seconds, sliced_seconds
+
+    slice_s, orig_s, cut_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    saved = orig_s - cut_s
+    _rows.append(
+        f"{name:28s} slice={slice_s*1000:7.1f}ms "
+        f"inference saved={saved*1000:8.1f}ms "
+        f"amortized={'yes' if saved > slice_s else 'no'}"
+    )
+    benchmark.extra_info["slice_ms"] = round(slice_s * 1000, 2)
+    benchmark.extra_info["saved_ms"] = round(saved * 1000, 2)
+    # Even at this tiny sampling budget, slicing pays for itself on
+    # the large benchmarks.
+    assert saved > slice_s
+
+
+def test_ablation_overhead_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.group = "ablation-overhead"
+    if _rows:
+        record_block("Ablation C: slicing cost vs inference savings", "\n".join(_rows))

@@ -1,0 +1,60 @@
+"""Ablation D: scalability of the SLI analysis itself.
+
+The paper positions SLI as a cheap pre-pass; this bench measures how
+its cost grows with program size (TrueSkill tournaments of increasing
+game count) and verifies the near-linear behaviour of the
+reachability-based influencer computation (``inf_fast``) against the
+per-observed-cone fixpoint (``inf``) the figure defines.
+"""
+
+import pytest
+
+from repro.analysis import analyze, inf, inf_fast
+from repro.core.freevars import free_vars
+from repro.models import chess_model
+from repro.transforms import preprocess, sli
+
+from .conftest import record_block
+
+_SIZES = [100, 400, 1600]
+_rows = []
+
+
+@pytest.mark.parametrize("n_games", _SIZES)
+def test_scalability_sli(benchmark, n_games):
+    program = chess_model(
+        n_players=40, n_games=n_games, n_divisions=4, seed=0
+    )
+    benchmark.group = "ablation-scalability"
+    result = benchmark.pedantic(sli, args=(program,), rounds=1, iterations=1)
+    _rows.append(
+        f"games={n_games:5d}  stmts={result.transformed_size:6d}  "
+        f"sliced={result.sliced_size:6d}"
+    )
+    assert result.sliced_size < result.transformed_size
+
+
+def test_scalability_inf_vs_inf_fast(benchmark):
+    """On the biggest instance, the reachability formulation beats the
+    per-cone fixpoint while computing the identical set."""
+    import time
+
+    program = chess_model(n_players=40, n_games=800, n_divisions=4, seed=0)
+    pre = preprocess(program)
+    info = analyze(pre)
+    targets = free_vars(pre.ret)
+    benchmark.group = "ablation-scalability"
+
+    def run_fast():
+        return inf_fast(info.observed, info.graph, targets)
+
+    fast_result = benchmark.pedantic(run_fast, rounds=1, iterations=1)
+    t0 = time.perf_counter()
+    slow_result = inf(info.observed, info.graph, targets)
+    slow_seconds = time.perf_counter() - t0
+    assert fast_result == slow_result
+    benchmark.extra_info["fixpoint_seconds"] = round(slow_seconds, 4)
+    record_block(
+        "Ablation D: SLI scalability (40 players, 4 divisions)",
+        "\n".join(_rows + [f"inf (fixpoint) on 800 games: {slow_seconds:.3f}s"]),
+    )

@@ -1,0 +1,49 @@
+"""Ablation E: speedup vs. sliceable fraction.
+
+Figure 18 reports one point per benchmark; this sweep varies the
+*fraction of the program that is sliceable* (the share of unobserved
+regression points) and traces how the R2 speedup scales — locating the
+crossover where slicing stops paying (when everything is observed,
+SLI keeps everything and the pre-pass overhead is all that remains).
+"""
+
+import pytest
+
+from repro.harness.sweep import format_sweep, sweep_speedup
+from repro.inference import MetropolisHastings
+from repro.models import linreg_model
+
+from .conftest import record_block
+
+_N_POINTS = 120
+_FRACTIONS = [1.0, 0.5, 0.2, 0.1]  # observed fraction of the dataset
+
+
+def test_ablation_sweep_observed_fraction(benchmark):
+    benchmark.group = "ablation-sweep"
+
+    def run():
+        return sweep_speedup(
+            "linreg",
+            lambda: MetropolisHastings(300, burn_in=50, seed=29),
+            lambda fraction: linreg_model(
+                n_points=_N_POINTS,
+                n_observed=max(1, int(fraction * _N_POINTS)),
+                seed=0,
+            ),
+            _FRACTIONS,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_block(
+        "Ablation E: R2 speedup vs observed fraction (linreg, 120 points)",
+        format_sweep(points, parameter_name="observed frac"),
+    )
+    by_fraction = {pt.parameter: pt for pt in points}
+    # Fully observed: nothing sliceable, speedup ~ 1 (within noise).
+    full = by_fraction[1.0].work_speedup
+    assert full is not None and full < 1.6
+    # Mostly latent: big wins, growing as the observed share shrinks.
+    sparse = by_fraction[0.1].work_speedup
+    assert sparse is not None and sparse > 3.0
+    assert sparse > by_fraction[0.5].work_speedup

@@ -1,0 +1,54 @@
+"""Extension experiment: SLI speeds up engines beyond the paper's
+three — the compiled-network Gibbs sampler and the SMC particle
+filter (both implemented in this repository).
+
+The paper's claim is that slicing is engine-agnostic; this bench
+extends Figure 18's evidence to two more algorithm families.
+"""
+
+import pytest
+
+from repro.harness import measure_speedup
+from repro.inference import GibbsSampler, SMCSampler
+from repro.models import benchmark as lookup
+
+from .conftest import record_speedup
+
+#: Gibbs needs compilable (discrete, loop-free) programs.
+_GIBBS_BENCHMARKS = ["Ex3", "Ex5", "NoisyOR", "BurglarAlarm"]
+#: SMC runs on everything; pick a spread of model classes.
+_SMC_BENCHMARKS = ["Ex5", "NoisyOR", "BurglarAlarm", "HIV", "Chess"]
+
+
+@pytest.mark.parametrize("name", _GIBBS_BENCHMARKS)
+def test_ext_gibbs_speedup(benchmark, name):
+    program = lookup(name).bench()
+    benchmark.group = "ext-gibbs"
+
+    def run():
+        return measure_speedup(
+            name, "gibbs", GibbsSampler(800, burn_in=100, seed=41), program
+        )
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_speedup(row)
+    assert row.original.ok and row.sliced.ok
+    assert row.work_speedup is not None
+
+
+@pytest.mark.parametrize("name", _SMC_BENCHMARKS)
+def test_ext_smc_speedup(benchmark, name):
+    program = lookup(name).bench()
+    benchmark.group = "ext-smc"
+
+    def run():
+        return measure_speedup(
+            name, "smc", SMCSampler(600, seed=43), program
+        )
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_speedup(row)
+    assert row.original.ok and row.sliced.ok
+    # Per-particle cost scales with program size.
+    assert row.work_speedup is not None
+    assert row.work_speedup > 0.8

@@ -1,0 +1,41 @@
+"""Figure 18, Infer.NET column: speedups with the message-passing
+engine (variable elimination on discrete models, Gaussian EP on
+linear-Gaussian/TrueSkill models).
+
+Inference cost here is compilation plus message passing, both of which
+scale with the factor-graph size — which is exactly what SLI shrinks.
+"""
+
+import pytest
+
+from repro.factorgraph import InferNetEngine
+from repro.harness import measure_speedup
+from repro.models import TABLE1
+
+from .conftest import record_speedup
+
+_SPECS = [s for s in TABLE1 if "infernet" in s.engines]
+
+
+@pytest.mark.parametrize("spec", _SPECS, ids=[s.name for s in _SPECS])
+def test_fig18_infernet(benchmark, spec):
+    program = spec.bench()
+    benchmark.group = "fig18-infernet"
+
+    def run():
+        return measure_speedup(
+            spec.name, "infernet", InferNetEngine(), program
+        )
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_speedup(row)
+    assert row.original.ok and row.sliced.ok
+    benchmark.extra_info["speedup"] = (
+        f"{row.speedup:.2f}x" if row.speedup else "n/a"
+    )
+    # Message-passing work shrinks with the graph except on the two
+    # micro-benchmarks, where the sliced-but-SVF'd graph can match the
+    # original's node count.
+    assert row.work_speedup is not None
+    if spec.name not in ("Ex3", "Ex5", "BurglarAlarm"):
+        assert row.work_speedup > 1.0

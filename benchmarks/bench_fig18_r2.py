@@ -1,0 +1,51 @@
+"""Figure 18, R2 column: inference speedup due to SLI with the
+single-site MH engine, across all eight Table-1 benchmarks.
+
+Each benchmark runs the engine on the original program and on
+``SLI(P)``; pytest-benchmark's group comparison shows the per-variant
+times, and the session summary prints the speedup table (the textual
+Figure 18).
+"""
+
+import pytest
+
+from repro.harness import measure_speedup
+from repro.inference import MetropolisHastings
+from repro.models import TABLE1
+
+from .conftest import record_speedup
+
+_SPECS = [s for s in TABLE1 if "r2" in s.engines]
+
+#: Modest per-benchmark sampling budgets keep the suite minutes-long;
+#: the speedups are driven by per-proposal cost, which is budget-
+#: independent.
+_N_SAMPLES = 400
+_BURN_IN = 100
+
+
+def _engine():
+    return MetropolisHastings(_N_SAMPLES, burn_in=_BURN_IN, seed=17)
+
+
+@pytest.mark.parametrize("spec", _SPECS, ids=[s.name for s in _SPECS])
+def test_fig18_r2(benchmark, spec):
+    program = spec.bench()
+    benchmark.group = "fig18-r2"
+
+    def run():
+        return measure_speedup(spec.name, "r2", _engine(), program)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_speedup(row)
+    benchmark.extra_info["speedup"] = (
+        f"{row.speedup:.2f}x" if row.speedup else "n/a"
+    )
+    benchmark.extra_info["work_speedup"] = (
+        f"{row.work_speedup:.2f}x" if row.work_speedup else "n/a"
+    )
+    assert row.original.ok and row.sliced.ok
+    # The paper's headline: slicing never slows inference down
+    # meaningfully, and most benchmarks gain substantially.
+    assert row.work_speedup is not None
+    assert row.work_speedup > 0.65

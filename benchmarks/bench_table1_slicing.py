@@ -1,0 +1,44 @@
+"""Table 1: the benchmark inventory and the SLI transformation itself.
+
+For every Table-1 benchmark at **paper scale** this bench:
+
+* times the full SLI pipeline (OBS + SVF + SSA + analysis + slicing) —
+  the paper applies SLI as a pre-pass, so its cost matters;
+* records the program sizes before/after (the slice statistics the
+  paper summarizes in prose: "sliced programs are not only smaller...").
+"""
+
+import pytest
+
+from repro.models import TABLE1
+from repro.transforms import sli
+
+from .conftest import record_block
+
+_SIZE_ROWS = []
+
+
+@pytest.mark.parametrize("spec", TABLE1, ids=[s.name for s in TABLE1])
+def test_table1_slice(benchmark, spec):
+    program = spec.paper()
+    benchmark.group = "table1-slicing"
+    result = benchmark(sli, program)
+    benchmark.extra_info["benchmark"] = spec.name
+    benchmark.extra_info["original_stmts"] = result.original_size
+    benchmark.extra_info["preprocessed_stmts"] = result.transformed_size
+    benchmark.extra_info["sliced_stmts"] = result.sliced_size
+    benchmark.extra_info["reduction"] = f"{result.reduction:.1%}"
+    _SIZE_ROWS.append(
+        f"{spec.name:28s} orig={result.original_size:6d} "
+        f"pre={result.transformed_size:6d} sliced={result.sliced_size:6d} "
+        f"removed={result.reduction:6.1%}"
+    )
+    assert result.sliced_size <= result.transformed_size
+
+
+def test_table1_report(benchmark):
+    """Emit the Table-1 slice-size summary into the session report."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.group = "table1-slicing"
+    if _SIZE_ROWS:
+        record_block("Table 1: slice sizes at paper scale", "\n".join(_SIZE_ROWS))

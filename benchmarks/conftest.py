@@ -1,0 +1,46 @@
+"""Shared benchmark infrastructure.
+
+Figure-18 benches accumulate :class:`SpeedupRow`s here; at the end of
+the session the speedup table (the textual form of the paper's bar
+chart) is printed, alongside pytest-benchmark's own timing table.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List
+
+# Make the in-repo tests helpers importable when benchmarks run alone.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.harness import format_speedup_table
+from repro.harness.runner import SpeedupRow
+
+#: SpeedupRows collected across all fig18 benches this session.
+FIG18_ROWS: List[SpeedupRow] = []
+
+#: Extra free-form report blocks (Figure 19 tables, ablations).
+REPORT_BLOCKS: List[str] = []
+
+
+def record_speedup(row: SpeedupRow) -> None:
+    FIG18_ROWS.append(row)
+
+
+def record_block(title: str, body: str) -> None:
+    REPORT_BLOCKS.append(f"== {title} ==\n{body}")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if FIG18_ROWS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(
+            "== Figure 18: inference speedup due to SLI =="
+        )
+        for line in format_speedup_table(FIG18_ROWS).splitlines():
+            terminalreporter.write_line(line)
+    for block in REPORT_BLOCKS:
+        terminalreporter.write_line("")
+        for line in block.splitlines():
+            terminalreporter.write_line(line)

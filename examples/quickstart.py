@@ -1,0 +1,68 @@
+"""Quickstart: write a PROB program, slice it, and run inference.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    MetropolisHastings,
+    exact_inference,
+    parse,
+    pretty,
+    sli,
+)
+
+# A tiny medical-test model.  Only `disease` matters for the query;
+# everything about the unrelated `allergy` sub-model is sliceable.
+SOURCE = """
+bool disease, test1, test2, allergy, sneezing;
+
+disease ~ Bernoulli(0.01);
+
+if (disease) { test1 ~ Bernoulli(0.97); }
+else         { test1 ~ Bernoulli(0.05); }
+if (disease) { test2 ~ Bernoulli(0.90); }
+else         { test2 ~ Bernoulli(0.10); }
+
+allergy ~ Bernoulli(0.2);
+if (allergy) { sneezing ~ Bernoulli(0.8); }
+else         { sneezing ~ Bernoulli(0.1); }
+
+observe(test1 && test2);
+return disease;
+"""
+
+
+def main() -> None:
+    program = parse(SOURCE)
+
+    # 1. Slice: keep only what influences the return value.
+    result = sli(program)
+    print("=== sliced program (the allergy sub-model is gone) ===")
+    print(pretty(result.sliced))
+    print(
+        f"statements: {result.transformed_size} -> {result.sliced_size} "
+        f"({result.reduction:.0%} removed)\n"
+    )
+
+    # 2. Exact inference (this model is small and discrete).
+    exact = exact_inference(program).distribution
+    exact_sliced = exact_inference(result.sliced).distribution
+    print(f"exact P(disease | both tests positive) = {exact.prob(True):.4f}")
+    print(f"same on the slice?                       {exact.allclose(exact_sliced)}\n")
+
+    # 3. MCMC, as you would on a model too big to enumerate.  The rare
+    # disease + hard evidence makes the chain sticky, so give it a
+    # healthy share of global (resimulation) moves.
+    engine = MetropolisHastings(
+        n_samples=60_000, burn_in=5_000, seed=0, global_move_prob=0.2
+    )
+    posterior = engine.infer(result.sliced)
+    print(
+        f"MH estimate on the slice: P(disease) = "
+        f"{posterior.distribution().prob(True):.4f} "
+        f"(acceptance rate {posterior.acceptance_rate:.2f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

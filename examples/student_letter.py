@@ -1,0 +1,61 @@
+"""The paper's running example: why probabilistic slicing needs
+*observe dependence* (Section 2, Examples 3-5).
+
+The model is Koller & Friedman's student: course difficulty (d),
+intelligence (i), grade (g), SAT score (s), reference letter (l).
+
+Run with:  python examples/student_letter.py
+"""
+
+from repro import exact_inference, naive_slice, pretty, sli
+from repro.models import example3, example4, example5
+
+
+def show(title: str, text: str) -> None:
+    print(f"--- {title} ---")
+    print(text)
+
+
+def main() -> None:
+    # Example 3: no observation.  Classic control+data slicing works:
+    # returning s needs only i.
+    ex3 = example3()
+    r3 = sli(ex3, simplify=True)
+    show("Example 3: return s, no observation — tiny slice", pretty(r3.sliced))
+
+    # Example 4: observe(l).  The observation *activates* the trail
+    # s <- i -> g <- d (a v-structure), so d, i, g, and the observation
+    # itself are all relevant.  Classic slicing misses this and gets
+    # the posterior wrong.
+    ex4 = example4()
+    exact = exact_inference(ex4).distribution
+    correct = exact_inference(sli(ex4).sliced).distribution
+    wrong = exact_inference(naive_slice(ex4).sliced).distribution
+    print("--- Example 4: observe(l = true), return s ---")
+    print(f"true posterior   P(s) = {exact.prob(True):.4f}")
+    print(f"SLI slice        P(s) = {correct.prob(True):.4f}   <- identical")
+    print(f"classic slice    P(s) = {wrong.prob(True):.4f}   <- WRONG (dropped the observation)")
+    print()
+
+    # Example 5: observe(g = false), return l.  Here the OBS
+    # transformation *shrinks* the slice: once g is pinned to false,
+    # nothing upstream of g matters.
+    ex5 = example5()
+    with_obs = sli(ex5, simplify=True)
+    without_obs = sli(ex5, use_obs=False)
+    show(
+        "Example 5: observe(g = false), return l — the OBS-optimized slice",
+        pretty(with_obs.sliced),
+    )
+    print(
+        f"slice size with OBS: {with_obs.sliced_size}, "
+        f"without OBS: {without_obs.sliced_size}"
+    )
+    agree = exact_inference(ex5).distribution.allclose(
+        exact_inference(with_obs.sliced).distribution
+    )
+    print(f"posterior preserved: {agree}")
+
+
+if __name__ == "__main__":
+    main()

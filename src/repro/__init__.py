@@ -1,0 +1,71 @@
+"""repro — a reproduction of *Slicing Probabilistic Programs*
+(Hur, Nori, Rajamani, Samuel; PLDI 2014).
+
+The package provides:
+
+* :mod:`repro.core` — the PROB language (AST, parser, printer, builder);
+* :mod:`repro.transforms` — the SLI slicing pipeline (OBS, SVF, SSA,
+  influencer-based slicing) and baseline slicers;
+* :mod:`repro.analysis` — observed variables, dependence graph,
+  direct influencers (DINF) and influencers (INF, with observe
+  dependence);
+* :mod:`repro.semantics` — exact denotational semantics and a trace
+  executor;
+* :mod:`repro.inference` — rejection, likelihood weighting, MH
+  ("R2-like"), trace MH ("Church-like"), exact enumeration;
+* :mod:`repro.factorgraph` — discrete BP + Gaussian EP
+  ("Infer.NET-like");
+* :mod:`repro.bayesnet` — BN compilation, variable elimination,
+  active trails;
+* :mod:`repro.models` — all Table-1 benchmarks;
+* :mod:`repro.harness` / :mod:`repro.metrics` — the evaluation harness.
+
+Quickstart::
+
+    from repro import parse, sli, exact_inference
+    program = parse(open("model.prob").read())
+    sliced = sli(program).sliced
+    print(exact_inference(sliced).distribution)
+"""
+
+from .core import (
+    Program,
+    ProgramBuilder,
+    parse,
+    pretty,
+)
+from .inference import (
+    ChurchTraceMH,
+    EnumerationEngine,
+    LikelihoodWeighting,
+    MetropolisHastings,
+    RejectionSampler,
+    SMCSampler,
+)
+from .factorgraph import InferNetEngine
+from .semantics import FiniteDist, exact_inference, run_program
+from .transforms import SliceResult, naive_slice, nt_slice, sli
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Program",
+    "ProgramBuilder",
+    "parse",
+    "pretty",
+    "ChurchTraceMH",
+    "EnumerationEngine",
+    "LikelihoodWeighting",
+    "MetropolisHastings",
+    "RejectionSampler",
+    "SMCSampler",
+    "InferNetEngine",
+    "FiniteDist",
+    "exact_inference",
+    "run_program",
+    "SliceResult",
+    "naive_slice",
+    "nt_slice",
+    "sli",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Dependence analysis: observed variables, dependence graph,
+direct influencers (DINF), and influencers (INF)."""
+
+from .explain import InfluenceStep, explain_influence, format_explanation
+from .dot import dependency_dot, graph_dot, slice_result_dot
+from .depgraph import (
+    SOFT_OBS_PREFIX,
+    DependencyInfo,
+    analyze,
+    dep_graph,
+    observed_vars,
+)
+from .graph import DiGraph
+from .influencers import dinf, inf, inf_fast, influencer_closure
+
+__all__ = [
+    "SOFT_OBS_PREFIX",
+    "DependencyInfo",
+    "analyze",
+    "dep_graph",
+    "observed_vars",
+    "DiGraph",
+    "InfluenceStep",
+    "explain_influence",
+    "format_explanation",
+    "dependency_dot",
+    "graph_dot",
+    "slice_result_dot",
+    "dinf",
+    "inf",
+    "inf_fast",
+    "influencer_closure",
+]

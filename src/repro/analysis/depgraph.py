@@ -1,0 +1,175 @@
+"""Observed variables and the dependence graph (Figure 9).
+
+The analysis expects single-variable form (conditions of ``observe`` /
+``if`` / ``while`` are plain variables) — :func:`repro.transforms.svf`
+establishes this; :func:`analyze` raises otherwise.
+
+Extensions beyond the paper's core language (documented in DESIGN.md):
+
+* **Soft observations.**  ``observe(Dist(θ̄), E)`` and ``factor(E)``
+  introduce a synthetic observed *token* (``$obs0``, ``$obs1``, ... in
+  traversal order).  The token receives dependence edges from the
+  control context and from every variable read by the statement, and
+  joins the observed set ``O`` — after which the paper's INF rules
+  apply unchanged.  The slicer assigns tokens in the same traversal
+  order, so "token ∈ influencers" decides whether the statement stays.
+* **Declarations** behave like assignments of a constant (control
+  edges only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Set, Tuple
+
+from ..core.ast import (
+    Assign,
+    Block,
+    Decl,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Program,
+    Sample,
+    Skip,
+    Stmt,
+    Var,
+    While,
+)
+from ..core.freevars import free_vars
+from ..core.validate import ValidationError
+from .graph import DiGraph
+
+__all__ = ["DependencyInfo", "analyze", "observed_vars", "dep_graph", "SOFT_OBS_PREFIX"]
+
+#: Prefix of the synthetic observed tokens for soft observations.
+SOFT_OBS_PREFIX = "$obs"
+
+
+@dataclass
+class DependencyInfo:
+    """Result of the Figure-9 analysis.
+
+    ``observed`` is ``OVAR(S)`` (plus soft-observation tokens);
+    ``graph`` is ``DEP(S)(∅)`` with control and data edges merged, and
+    ``data_edges`` / ``control_edges`` keep them separate for the
+    worked-example tests (Figures 15/16 list them separately).
+    """
+
+    observed: FrozenSet[str]
+    graph: DiGraph
+    data_edges: FrozenSet[Tuple[str, str]] = field(default_factory=frozenset)
+    control_edges: FrozenSet[Tuple[str, str]] = field(default_factory=frozenset)
+
+
+class _Analyzer:
+    def __init__(self) -> None:
+        self.observed: Set[str] = set()
+        self.data: Set[Tuple[str, str]] = set()
+        self.control: Set[Tuple[str, str]] = set()
+        self._soft_counter = 0
+
+    def _cond_var(self, stmt: Stmt, what: str) -> str:
+        cond = stmt.cond  # type: ignore[union-attr]
+        if not isinstance(cond, Var):
+            raise ValidationError(
+                f"dependence analysis requires single-variable form; "
+                f"{what} condition is {cond} (run the SVF transformation first)"
+            )
+        return cond.name
+
+    def visit(self, stmt: Stmt, control: FrozenSet[str]) -> None:
+        if isinstance(stmt, Skip):
+            return
+        if isinstance(stmt, Decl):
+            for y in control:
+                self.control.add((y, stmt.name))
+            return
+        if isinstance(stmt, Assign):
+            for y in free_vars(stmt.expr):
+                self.data.add((y, stmt.name))
+            for y in control:
+                self.control.add((y, stmt.name))
+            return
+        if isinstance(stmt, Sample):
+            for y in free_vars(stmt.dist):
+                self.data.add((y, stmt.name))
+            for y in control:
+                self.control.add((y, stmt.name))
+            return
+        if isinstance(stmt, Observe):
+            x = self._cond_var(stmt, "observe")
+            self.observed.add(x)
+            for y in control:
+                self.control.add((y, x))
+            return
+        if isinstance(stmt, (ObserveSample, Factor)):
+            token = f"{SOFT_OBS_PREFIX}{self._soft_counter}"
+            self._soft_counter += 1
+            self.observed.add(token)
+            reads = (
+                free_vars(stmt.dist) | free_vars(stmt.value)
+                if isinstance(stmt, ObserveSample)
+                else free_vars(stmt.log_weight)
+            )
+            for y in reads:
+                self.data.add((y, token))
+            for y in control:
+                self.control.add((y, token))
+            return
+        if isinstance(stmt, Block):
+            for s in stmt.stmts:
+                self.visit(s, control)
+            return
+        if isinstance(stmt, If):
+            x = self._cond_var(stmt, "if")
+            inner = control | {x}
+            self.visit(stmt.then_branch, inner)
+            self.visit(stmt.else_branch, inner)
+            return
+        if isinstance(stmt, While):
+            x = self._cond_var(stmt, "while")
+            # The loop condition is observed: the loop exits only along
+            # runs where it eventually becomes false (Figure 9).
+            self.observed.add(x)
+            for y in control:
+                self.control.add((y, x))
+            self.visit(stmt.body, control | {x})
+            return
+        raise TypeError(f"not a statement: {stmt!r}")
+
+
+def analyze(program_or_stmt) -> DependencyInfo:
+    """Compute ``OVAR`` and ``DEP`` for a program or statement."""
+    stmt = (
+        program_or_stmt.body
+        if isinstance(program_or_stmt, Program)
+        else program_or_stmt
+    )
+    a = _Analyzer()
+    a.visit(stmt, frozenset())
+    graph = DiGraph()
+    for src, dst in a.data | a.control:
+        graph.add_edge(src, dst)
+    # Register return variables (and all program variables) as vertices
+    # so reachability queries on assignment-free variables still work.
+    for name in free_vars(program_or_stmt):
+        graph.add_vertex(name)
+    return DependencyInfo(
+        observed=frozenset(a.observed),
+        graph=graph,
+        data_edges=frozenset(a.data),
+        control_edges=frozenset(a.control),
+    )
+
+
+def observed_vars(program_or_stmt) -> FrozenSet[str]:
+    """``OVAR(S)`` — observe arguments, while conditions, and soft
+    observation tokens."""
+    return analyze(program_or_stmt).observed
+
+
+def dep_graph(program_or_stmt) -> DiGraph:
+    """``DEP(S)(∅)`` — the combined control + data dependence graph."""
+    return analyze(program_or_stmt).graph

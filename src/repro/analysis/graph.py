@@ -1,0 +1,91 @@
+"""A minimal directed-graph utility used by the dependence analysis.
+
+Edges ``(y, x)`` read "y influences x" (the paper's ``DEP`` relation).
+Backward reachability from the return variables computes ``DINF``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Set, Tuple
+
+__all__ = ["DiGraph"]
+
+
+class DiGraph:
+    """A mutable directed graph over string vertices."""
+
+    def __init__(self, edges: Iterable[Tuple[str, str]] = ()) -> None:
+        self._succ: Dict[str, Set[str]] = {}
+        self._pred: Dict[str, Set[str]] = {}
+        for src, dst in edges:
+            self.add_edge(src, dst)
+
+    def add_vertex(self, v: str) -> None:
+        """Ensure ``v`` exists (isolated vertices are allowed)."""
+        self._succ.setdefault(v, set())
+        self._pred.setdefault(v, set())
+
+    def add_edge(self, src: str, dst: str) -> None:
+        """Add the edge ``src -> dst`` (idempotent)."""
+        self.add_vertex(src)
+        self.add_vertex(dst)
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    def vertices(self) -> FrozenSet[str]:
+        return frozenset(self._succ)
+
+    def edges(self) -> FrozenSet[Tuple[str, str]]:
+        return frozenset(
+            (src, dst) for src, dsts in self._succ.items() for dst in dsts
+        )
+
+    def successors(self, v: str) -> FrozenSet[str]:
+        return frozenset(self._succ.get(v, ()))
+
+    def predecessors(self, v: str) -> FrozenSet[str]:
+        return frozenset(self._pred.get(v, ()))
+
+    def backward_reachable(self, targets: Iterable[str]) -> FrozenSet[str]:
+        """All vertices with a (possibly empty) path *to* some target.
+
+        This is exactly the paper's ``DINF(G)(R)``: the targets
+        themselves plus everything reachable by walking edges backward.
+        Unknown targets are included as isolated vertices (a variable
+        with no dependences still influences itself).
+        """
+        seen: Set[str] = set()
+        stack = list(targets)
+        seen.update(stack)
+        while stack:
+            v = stack.pop()
+            for p in self._pred.get(v, ()):
+                if p not in seen:
+                    seen.add(p)
+                    stack.append(p)
+        return frozenset(seen)
+
+    def forward_reachable(self, sources: Iterable[str]) -> FrozenSet[str]:
+        """All vertices reachable *from* some source."""
+        seen: Set[str] = set()
+        stack = list(sources)
+        seen.update(stack)
+        while stack:
+            v = stack.pop()
+            for s in self._succ.get(v, ()):
+                if s not in seen:
+                    seen.add(s)
+                    stack.append(s)
+        return frozenset(seen)
+
+    def __contains__(self, v: str) -> bool:
+        return v in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:
+        return f"DiGraph({sorted(self.edges())})"

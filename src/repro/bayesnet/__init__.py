@@ -1,0 +1,22 @@
+"""Discrete Bayesian networks: compilation from PROB, exact inference
+by variable elimination, and active-trail (d-separation) queries."""
+
+from .compile import CompileError, CompiledNet, compile_program
+from .dsep import active_trail_exists, d_separated, reachable
+from .network import BayesNet, BayesNetError, Node
+from .varelim import Factor, marginal, variable_elimination
+
+__all__ = [
+    "CompileError",
+    "CompiledNet",
+    "compile_program",
+    "active_trail_exists",
+    "d_separated",
+    "reachable",
+    "BayesNet",
+    "BayesNetError",
+    "Node",
+    "Factor",
+    "marginal",
+    "variable_elimination",
+]

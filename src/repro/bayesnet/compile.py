@@ -1,0 +1,373 @@
+"""Compile loop-free discrete PROB programs to Bayesian networks.
+
+Scope (documented in DESIGN.md): programs without loops or soft
+conditioning whose sampled distributions have finite support.  The
+compiler is meant to run on pipeline-preprocessed programs (SVF/SSA),
+but accepts any program where
+
+* every variable's multiple definitions sit in *provably disjoint*
+  branches (they share an ``if`` condition with opposite polarity);
+* ``observe`` conditions are single variables (evidence ``q = true``).
+
+Each defined variable becomes a node whose parents are the free
+variables of its guards and right-hand side; CPT rows are built by
+enumerating joint parent assignments and evaluating guards/expressions.
+
+The compiled network is the bridge to the "Infer.NET-like" discrete
+engine (belief propagation / variable elimination) and to the
+active-trail cross-checks of the slicer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.ast import (
+    Assign,
+    Block,
+    Decl,
+    Expr,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Program,
+    Sample,
+    Skip,
+    Stmt,
+    Var,
+    While,
+)
+from ..core.freevars import free_vars
+from ..dists import DistributionError, make_distribution
+from ..semantics.values import EvalError, Value, default_value, eval_expr
+from .network import BayesNet
+
+__all__ = ["CompileError", "CompiledNet", "compile_program"]
+
+#: Guard: (condition expression, required truth value).
+Guard = Tuple[Expr, bool]
+
+_MAX_PARENT_COMBOS = 1 << 20
+
+
+class CompileError(ValueError):
+    """The program is outside the compilable fragment."""
+
+
+@dataclass
+class _Definition:
+    kind: str  # "sample" | "assign" | "decl"
+    guards: Tuple[Guard, ...]
+    stmt: Stmt
+
+
+@dataclass
+class CompiledNet:
+    """A compiled program: the network, the evidence implied by its
+    observe statements, and the query node for the return expression."""
+
+    net: BayesNet
+    evidence: Dict[str, Value]
+    query: str
+
+
+class _Collector:
+    def __init__(self) -> None:
+        self.defs: Dict[str, List[_Definition]] = {}
+        self.def_order: List[str] = []
+        self.evidence: Dict[str, Value] = {}
+        self.decl_types: Dict[str, str] = {}
+        #: Variables read since their latest definition.  A
+        #: redefinition of such a variable cannot be folded into one
+        #: CPD (the intermediate value was consumed), so it is
+        #: rejected; otherwise later definitions *override* earlier
+        #: ones on the paths where their guards fire (the standard
+        #: ``p = 0.2; if (a) p = 0.9;`` CPD idiom).
+        self.read_since_def: set = set()
+
+    def _mark_reads(self, names) -> None:
+        self.read_since_def.update(names)
+
+    def visit(self, stmt: Stmt, guards: Tuple[Guard, ...]) -> None:
+        if isinstance(stmt, Skip):
+            return
+        if isinstance(stmt, While):
+            raise CompileError("loops cannot be compiled to a Bayesian network")
+        if isinstance(stmt, (ObserveSample, Factor)):
+            raise CompileError(
+                "soft conditioning cannot be compiled to a discrete network"
+            )
+        if isinstance(stmt, Decl):
+            self.decl_types[stmt.name] = stmt.type
+            self._add(stmt.name, _Definition("decl", guards, stmt))
+            return
+        if isinstance(stmt, (Assign, Sample)):
+            if isinstance(stmt, Assign):
+                self._mark_reads(free_vars(stmt.expr))
+            else:
+                self._mark_reads(free_vars(stmt.dist))
+            kind = "assign" if isinstance(stmt, Assign) else "sample"
+            self._add(stmt.name, _Definition(kind, guards, stmt))
+            return
+        if isinstance(stmt, Observe):
+            if guards:
+                raise CompileError(
+                    "observe under a condition cannot be expressed as evidence"
+                )
+            pair = _evidence_pattern(stmt.cond)
+            if pair is None:
+                raise CompileError(
+                    f"observe condition {stmt.cond} is not an evidence "
+                    "pattern (variable, negated variable, or var == const)"
+                )
+            name, value = pair
+            self._mark_reads({name})
+            if name in self.evidence and self.evidence[name] != value:
+                raise CompileError(
+                    f"contradictory evidence on {name!r}"
+                )
+            self.evidence[name] = value
+            return
+        if isinstance(stmt, Block):
+            for s in stmt.stmts:
+                self.visit(s, guards)
+            return
+        if isinstance(stmt, If):
+            self._mark_reads(free_vars(stmt.cond))
+            self.visit(stmt.then_branch, guards + ((stmt.cond, True),))
+            self.visit(stmt.else_branch, guards + ((stmt.cond, False),))
+            return
+        raise TypeError(f"not a statement: {stmt!r}")
+
+    def _add(self, name: str, definition: _Definition) -> None:
+        if name not in self.defs:
+            self.defs[name] = []
+            self.def_order.append(name)
+        elif definition.kind != "decl":
+            overlapping = any(
+                other.kind != "decl"
+                and not _disjoint(other.guards, definition.guards)
+                for other in self.defs[name]
+            )
+            if overlapping and name in self.read_since_def:
+                raise CompileError(
+                    f"variable {name!r} is redefined after being read; "
+                    "run the SSA transformation first"
+                )
+        self.read_since_def.discard(name)
+        self.defs[name].append(definition)
+
+
+def _evidence_pattern(cond: Expr) -> Optional[Tuple[str, Value]]:
+    """Recognize evidence-shaped observe conditions: ``x``, ``!x``,
+    ``x == c``, and ``c == x`` (``c`` a constant)."""
+    from ..core.ast import Binary, Const, Unary
+
+    if isinstance(cond, Var):
+        return cond.name, True
+    if isinstance(cond, Unary) and cond.op == "!" and isinstance(cond.operand, Var):
+        return cond.operand.name, False
+    if isinstance(cond, Binary) and cond.op == "==":
+        if isinstance(cond.left, Var) and isinstance(cond.right, Const):
+            return cond.left.name, cond.right.value
+        if isinstance(cond.right, Var) and isinstance(cond.left, Const):
+            return cond.right.name, cond.left.value
+    return None
+
+
+def _disjoint(a: Tuple[Guard, ...], b: Tuple[Guard, ...]) -> bool:
+    """Conservative disjointness: the two guard lists share a condition
+    with opposite polarity."""
+    for expr_a, pol_a in a:
+        for expr_b, pol_b in b:
+            if expr_a == expr_b and pol_a != pol_b:
+                return True
+    return False
+
+
+def _definition_reads(d: _Definition) -> frozenset:
+    reads = frozenset()
+    for expr, _ in d.guards:
+        reads |= free_vars(expr)
+    if isinstance(d.stmt, Assign):
+        reads |= free_vars(d.stmt.expr)
+    elif isinstance(d.stmt, Sample):
+        reads |= free_vars(d.stmt.dist)
+    return reads
+
+
+def compile_program(program: Program) -> CompiledNet:
+    """Compile ``program`` to a :class:`CompiledNet`.
+
+    Raises :class:`CompileError` outside the supported fragment.
+    """
+    collector = _Collector()
+    collector.visit(program.body, ())
+    net = BayesNet()
+    supports: Dict[str, Tuple[Value, ...]] = {}
+
+    # Topologically order variables by their read-dependences.  First-
+    # occurrence order is not enough: an SSA merge `s = s1` makes `s`
+    # (first defined earlier) depend on `s1` (defined later in the
+    # other branch).
+    reads_of: Dict[str, frozenset] = {
+        name: frozenset().union(
+            *(_definition_reads(d) for d in collector.defs[name])
+        )
+        for name in collector.def_order
+    }
+    ordered: List[str] = []
+    placed: set = set()
+    pending = list(collector.def_order)
+    while pending:
+        progressed = False
+        still = []
+        for name in pending:
+            if reads_of[name] <= placed | (reads_of[name] - set(reads_of)):
+                # All read variables that have definitions are placed;
+                # undefined reads are reported below.
+                ordered.append(name)
+                placed.add(name)
+                progressed = True
+            else:
+                still.append(name)
+        if not progressed:
+            raise CompileError(
+                f"cyclic definitions among {sorted(still)}; cannot compile"
+            )
+        pending = still
+    collector.def_order = ordered
+
+    for name in collector.def_order:
+        defs = collector.defs[name]
+        parents_set = frozenset().union(*(_definition_reads(d) for d in defs))
+        for p in parents_set:
+            if p not in supports:
+                raise CompileError(
+                    f"variable {name!r} reads {p!r} before any definition"
+                )
+        parents = tuple(v for v in collector.def_order if v in parents_set)
+        parent_supports = [supports[p] for p in parents]
+        n_combos = 1
+        for s in parent_supports:
+            n_combos *= len(s)
+        if n_combos > _MAX_PARENT_COMBOS:
+            raise CompileError(
+                f"node {name!r} has {n_combos} parent combinations"
+            )
+        default: Optional[Value] = None
+        if name in collector.decl_types:
+            default = default_value(collector.decl_types[name])
+
+        # First pass: gather the support.  Combos on which no definition
+        # fires (and no declaration provides a default) correspond to
+        # impossible paths in a def-before-use-validated program; their
+        # rows are arbitrary and get a placeholder filled in afterwards.
+        rows: Dict[Tuple[Value, ...], Optional[Dict[Value, float]]] = {}
+        support: List[Value] = []
+        for combo in itertools.product(*parent_supports):
+            state = dict(zip(parents, combo))
+            row = _row_for(name, defs, state, default)
+            rows[combo] = row
+            if row is not None:
+                for v in row:
+                    if v not in support:
+                        support.append(v)
+        if not support:
+            # Every parent combination is an impossible path (e.g. the
+            # variable's defining branch is dead after slicing pinned
+            # its guard).  The node is never read on a feasible path;
+            # give it a placeholder point support.
+            support = [False]
+        filler = {support[0]: 1.0}
+        filled = {
+            combo: (row if row is not None else filler)
+            for combo, row in rows.items()
+        }
+        supports[name] = tuple(support)
+        net.add_node(name, parents, tuple(support), filled)
+
+    # Evidence nodes must exist.
+    for ev in collector.evidence:
+        if ev not in net:
+            raise CompileError(f"observed variable {ev!r} is never defined")
+
+    # Query node: a fresh deterministic node for the return expression
+    # (or the variable itself when the expression is a bare variable).
+    if isinstance(program.ret, Var):
+        if program.ret.name not in net:
+            raise CompileError(
+                f"return variable {program.ret.name!r} is never defined"
+            )
+        query = program.ret.name
+    else:
+        query = "$ret"
+        ret_parents_set = free_vars(program.ret)
+        for p in ret_parents_set:
+            if p not in supports:
+                raise CompileError(f"return expression reads undefined {p!r}")
+        parents = tuple(v for v in collector.def_order if v in ret_parents_set)
+        rows = {}
+        support = []
+        for combo in itertools.product(*(supports[p] for p in parents)):
+            state = dict(zip(parents, combo))
+            value = eval_expr(program.ret, state)
+            rows[combo] = {value: 1.0}
+            if value not in support:
+                support.append(value)
+        net.add_node(query, parents, tuple(support), rows)
+
+    return CompiledNet(net, collector.evidence, query)
+
+
+def _row_for(
+    name: str,
+    defs: List[_Definition],
+    state: Dict[str, Value],
+    default: Optional[Value],
+) -> Optional[Dict[Value, float]]:
+    """The CPT row for one joint parent assignment: the unique matching
+    definition's distribution, the declared default, or ``None`` when
+    no definition fires (an impossible path in a validated program)."""
+    # Last matching definition wins (sequential override semantics);
+    # declarations only provide the fallback default.
+    matching: Optional[_Definition] = None
+    for d in defs:
+        try:
+            fires = all(
+                (eval_expr(expr, state) is True) == pol for expr, pol in d.guards
+            )
+        except EvalError as exc:
+            raise CompileError(f"cannot evaluate guard for {name!r}: {exc}") from exc
+        if fires and (matching is None or d.kind != "decl"):
+            matching = d
+    if matching is None or matching.kind == "decl":
+        if default is None and matching is None:
+            return None
+        value = default if default is not None else default_value("bool")
+        return {value: 1.0}
+    stmt = matching.stmt
+    if isinstance(stmt, Assign):
+        return {eval_expr(stmt.expr, state): 1.0}
+    assert isinstance(stmt, Sample)
+    args = tuple(eval_expr(a, state) for a in stmt.dist.args)
+    dist = make_distribution(stmt.dist.name, args)
+    if not dist.discrete:
+        raise CompileError(
+            f"continuous distribution {stmt.dist.name} in discrete compile"
+        )
+    row: Dict[Value, float] = {}
+    try:
+        for value, p in dist.enumerate_support(tol=0.0):
+            row[value] = row.get(value, 0.0) + p
+    except DistributionError as exc:
+        raise CompileError(str(exc)) from exc
+    total = sum(row.values())
+    if abs(total - 1.0) > 1e-9:
+        raise CompileError(
+            f"distribution {stmt.dist.name} has non-enumerable support"
+        )
+    return row

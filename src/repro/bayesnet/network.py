@@ -1,0 +1,113 @@
+"""Discrete Bayesian networks.
+
+A :class:`BayesNet` holds nodes in topological order; each node has a
+finite support, a (possibly empty) parent list, and a CPT mapping each
+joint parent assignment to a distribution over the node's support.
+
+The paper grounds observe dependence in the *active trails* of
+Bayesian networks (Section 2); this substrate lets us compile discrete
+PROB programs to BNs, compute exact marginals by variable elimination,
+and cross-check the slicer against d-separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+__all__ = ["BayesNet", "CPT", "Node", "BayesNetError"]
+
+Value = Union[bool, int, float]
+ParentAssignment = Tuple[Value, ...]
+#: CPT: joint parent assignment -> {value: probability}
+CPT = Dict[ParentAssignment, Dict[Value, float]]
+
+
+class BayesNetError(ValueError):
+    """Malformed network (bad CPT, cycle, unknown parent)."""
+
+
+@dataclass
+class Node:
+    """One network node."""
+
+    name: str
+    parents: Tuple[str, ...]
+    support: Tuple[Value, ...]
+    cpt: CPT
+
+    def dist_given(self, parent_values: ParentAssignment) -> Dict[Value, float]:
+        try:
+            return self.cpt[parent_values]
+        except KeyError:
+            raise BayesNetError(
+                f"node {self.name!r} has no CPT row for parents {parent_values!r}"
+            ) from None
+
+
+@dataclass
+class BayesNet:
+    """A discrete Bayesian network; nodes must be added parents-first."""
+
+    nodes: Dict[str, Node] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+
+    def add_node(
+        self,
+        name: str,
+        parents: Sequence[str],
+        support: Sequence[Value],
+        cpt: Mapping[ParentAssignment, Mapping[Value, float]],
+    ) -> Node:
+        """Add a node, validating acyclicity (parents must already
+        exist) and CPT normalization."""
+        if name in self.nodes:
+            raise BayesNetError(f"duplicate node {name!r}")
+        for p in parents:
+            if p not in self.nodes:
+                raise BayesNetError(
+                    f"node {name!r} references unknown/later parent {p!r}"
+                )
+        normalized: CPT = {}
+        for row_key, dist in cpt.items():
+            total = sum(dist.values())
+            if not abs(total - 1.0) < 1e-9:
+                raise BayesNetError(
+                    f"CPT row {row_key!r} of {name!r} sums to {total}, not 1"
+                )
+            for v in dist:
+                if v not in support:
+                    raise BayesNetError(
+                        f"CPT of {name!r} mentions value {v!r} outside support"
+                    )
+            normalized[tuple(row_key)] = dict(dist)
+        node = Node(name, tuple(parents), tuple(support), normalized)
+        self.nodes[name] = node
+        self.order.append(name)
+        return node
+
+    def parents(self, name: str) -> Tuple[str, ...]:
+        return self.nodes[name].parents
+
+    def children(self, name: str) -> Tuple[str, ...]:
+        return tuple(
+            n for n in self.order if name in self.nodes[n].parents
+        )
+
+    def ancestors(self, names: Sequence[str]) -> frozenset:
+        """All (strict and reflexive) ancestors of the given nodes."""
+        seen = set(names)
+        stack = list(names)
+        while stack:
+            n = stack.pop()
+            for p in self.nodes[n].parents:
+                if p not in seen:
+                    seen.add(p)
+                    stack.append(p)
+        return frozenset(seen)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.nodes

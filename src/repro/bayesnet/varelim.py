@@ -1,0 +1,182 @@
+"""Exact inference on discrete Bayesian networks by variable
+elimination with a min-fill elimination order."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from ..semantics.distribution import FiniteDist
+from .network import BayesNet, BayesNetError
+
+__all__ = ["Factor", "variable_elimination", "marginal"]
+
+Value = Union[bool, int, float]
+
+
+class Factor:
+    """A table factor over a tuple of variables."""
+
+    def __init__(
+        self,
+        variables: Tuple[str, ...],
+        table: Dict[Tuple[Value, ...], float],
+    ) -> None:
+        self.variables = variables
+        self.table = table
+
+    @classmethod
+    def from_node(cls, net: BayesNet, name: str) -> "Factor":
+        node = net.nodes[name]
+        variables = node.parents + (name,)
+        table: Dict[Tuple[Value, ...], float] = {}
+        parent_supports = [net.nodes[p].support for p in node.parents]
+        for parent_values in itertools.product(*parent_supports):
+            dist = node.dist_given(parent_values)
+            for value, p in dist.items():
+                table[parent_values + (value,)] = p
+        return cls(variables, table)
+
+    def restrict(self, evidence: Mapping[str, Value]) -> "Factor":
+        """Condition on evidence by dropping inconsistent rows and the
+        evidence variables."""
+        hit = [i for i, v in enumerate(self.variables) if v in evidence]
+        if not hit:
+            return self
+        keep = [i for i in range(len(self.variables)) if i not in hit]
+        new_vars = tuple(self.variables[i] for i in keep)
+        table: Dict[Tuple[Value, ...], float] = {}
+        for key, p in self.table.items():
+            if all(key[i] == evidence[self.variables[i]] for i in hit):
+                new_key = tuple(key[i] for i in keep)
+                table[new_key] = table.get(new_key, 0.0) + p
+        return Factor(new_vars, table)
+
+    def multiply(self, other: "Factor") -> "Factor":
+        new_vars = self.variables + tuple(
+            v for v in other.variables if v not in self.variables
+        )
+        other_idx = [new_vars.index(v) for v in other.variables]
+        self_n = len(self.variables)
+        # Index rows of `other` by their overlap with `self` to avoid a
+        # quadratic blowup.
+        shared_positions = [
+            (i, self.variables.index(v))
+            for i, v in enumerate(other.variables)
+            if v in self.variables
+        ]
+        extra_positions = [
+            i for i, v in enumerate(other.variables) if v not in self.variables
+        ]
+        buckets: Dict[Tuple[Value, ...], List[Tuple[Tuple[Value, ...], float]]] = {}
+        for okey, op in other.table.items():
+            shared = tuple(okey[i] for i, _ in shared_positions)
+            buckets.setdefault(shared, []).append(
+                (tuple(okey[i] for i in extra_positions), op)
+            )
+        table: Dict[Tuple[Value, ...], float] = {}
+        for skey, sp in self.table.items():
+            shared = tuple(skey[j] for _, j in shared_positions)
+            for extra, op in buckets.get(shared, ()):
+                table[skey + extra] = sp * op
+        assert len(new_vars) == self_n + len(extra_positions)
+        return Factor(new_vars, table)
+
+    def sum_out(self, variable: str) -> "Factor":
+        idx = self.variables.index(variable)
+        new_vars = self.variables[:idx] + self.variables[idx + 1 :]
+        table: Dict[Tuple[Value, ...], float] = {}
+        for key, p in self.table.items():
+            new_key = key[:idx] + key[idx + 1 :]
+            table[new_key] = table.get(new_key, 0.0) + p
+        return Factor(new_vars, table)
+
+    def normalize(self) -> "Factor":
+        total = sum(self.table.values())
+        if total <= 0.0:
+            raise BayesNetError("zero-mass factor (inconsistent evidence?)")
+        return Factor(
+            self.variables, {k: v / total for k, v in self.table.items()}
+        )
+
+
+def _min_fill_order(
+    factors: List[Factor], eliminate: Iterable[str]
+) -> List[str]:
+    """Greedy min-fill: repeatedly eliminate the variable whose
+    elimination creates the smallest clique."""
+    remaining = set(eliminate)
+    adjacency: Dict[str, set] = {}
+    for f in factors:
+        for v in f.variables:
+            adjacency.setdefault(v, set()).update(
+                u for u in f.variables if u != v
+            )
+    order: List[str] = []
+    while remaining:
+        best = min(
+            remaining,
+            key=lambda v: (len(adjacency.get(v, ()) & remaining), v),
+        )
+        order.append(best)
+        neighbors = adjacency.get(best, set()) & remaining
+        for u in neighbors:
+            adjacency.setdefault(u, set()).update(n for n in neighbors if n != u)
+            adjacency[u].discard(best)
+        remaining.discard(best)
+    return order
+
+
+def variable_elimination(
+    net: BayesNet,
+    query: str,
+    evidence: Optional[Mapping[str, Value]] = None,
+) -> FiniteDist:
+    """Posterior marginal ``P(query | evidence)``."""
+    evidence = dict(evidence or {})
+    if query in evidence:
+        return FiniteDist.point(evidence[query])
+    factors = [
+        Factor.from_node(net, name).restrict(evidence) for name in net.order
+    ]
+    factors = [f for f in factors if f.variables or _is_nontrivial(f)]
+    to_eliminate = [
+        v
+        for v in net.order
+        if v != query and v not in evidence
+    ]
+    for variable in _min_fill_order(factors, to_eliminate):
+        involved = [f for f in factors if variable in f.variables]
+        if not involved:
+            continue
+        product = involved[0]
+        for f in involved[1:]:
+            product = product.multiply(f)
+        factors = [f for f in factors if variable not in f.variables]
+        factors.append(product.sum_out(variable))
+    result = Factor((query,), {})
+    result.table = {(v,): 1.0 for v in net.nodes[query].support}
+    for f in factors:
+        result = result.multiply(f)
+        # Scalar factors (no variables) multiply every row.
+        if not f.variables and () in f.table:
+            pass
+    result = result.normalize()
+    # Collapse to a distribution keyed by value.
+    weights: Dict[Value, float] = {}
+    qidx = result.variables.index(query)
+    for key, p in result.table.items():
+        weights[key[qidx]] = weights.get(key[qidx], 0.0) + p
+    return FiniteDist(weights)
+
+
+def _is_nontrivial(factor: Factor) -> bool:
+    # A variable-free factor still matters: it scales the evidence
+    # probability.  For marginals it cancels in normalization, but we
+    # keep it for numerical transparency.
+    return bool(factor.table)
+
+
+def marginal(net: BayesNet, query: str) -> FiniteDist:
+    """Prior marginal of ``query``."""
+    return variable_elimination(net, query, {})

@@ -1,0 +1,497 @@
+"""Abstract syntax of the PROB language (Figure 7 of the paper).
+
+PROB is a C-like imperative language with two probabilistic constructs:
+
+* probabilistic assignment  ``x ~ Dist(theta...)``
+* conditioning              ``observe(phi)``
+
+We additionally support the two soft-conditioning forms used by the
+paper's continuous benchmarks (Bayesian linear regression, HIV,
+TrueSkill), which R2 supports through density-scored observation:
+
+* ``observe(Dist(theta...), E)`` — a draw from ``Dist`` was observed to
+  equal the value of ``E`` (:class:`ObserveSample`);
+* ``factor(E)`` — multiply the current run's weight by ``exp(E)``
+  (:class:`Factor`).
+
+All nodes are immutable and structurally comparable/hashable, which the
+transformation tests rely on (e.g. ``SLI(S1) == SLI(S2) == Skip``).
+
+Sequencing is represented by :class:`Block` holding a tuple of
+statements rather than the paper's binary ``S1; S2`` — semantically
+identical, but it keeps transformation recursion depth proportional to
+*nesting* depth instead of program length, so the multi-thousand
+statement benchmarks (Chess: 2926 games) do not overflow the Python
+stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple, Union
+
+__all__ = [
+    "Expr",
+    "lift",
+    "Var",
+    "Const",
+    "Unary",
+    "Binary",
+    "DistCall",
+    "Stmt",
+    "Skip",
+    "Decl",
+    "Assign",
+    "Sample",
+    "Observe",
+    "ObserveSample",
+    "Factor",
+    "Block",
+    "If",
+    "While",
+    "Program",
+    "SKIP",
+    "UNARY_OPS",
+    "BINARY_OPS",
+    "BOOL_BINARY_OPS",
+    "COMPARISON_OPS",
+    "ARITH_BINARY_OPS",
+    "seq",
+    "block_items",
+    "statement_count",
+    "node_count",
+    "is_skip",
+]
+
+#: Unary operators: logical not and arithmetic negation.
+UNARY_OPS = ("!", "-")
+
+#: Boolean connectives (short-circuiting in the surface language).
+BOOL_BINARY_OPS = ("&&", "||")
+
+#: Comparison operators.  ``==`` doubles as the paper's ``=`` inside
+#: ``observe`` predicates.
+COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+#: Arithmetic operators.
+ARITH_BINARY_OPS = ("+", "-", "*", "/", "%")
+
+BINARY_OPS = BOOL_BINARY_OPS + COMPARISON_OPS + ARITH_BINARY_OPS
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+def lift(value: "Union[Expr, bool, int, float]") -> "Expr":
+    """Lift a Python literal to a :class:`Const`; expressions pass through."""
+    if isinstance(value, (Var, Const, Unary, Binary)):
+        return value
+    if isinstance(value, (bool, int, float)):
+        return Const(value)
+    raise TypeError(f"cannot lift {value!r} to a PROB expression")
+
+
+class _ExprOps:
+    """Operator sugar shared by all expression nodes.
+
+    ``==`` is reserved for structural equality (the transformations rely
+    on it), so comparisons are spelled as methods: ``x.eq(2)``,
+    ``x.lt(y)``, and so on.  Boolean connectives use ``&``, ``|``, ``~``.
+    """
+
+    def __add__(self, other):  # type: ignore[no-untyped-def]
+        return Binary("+", self, lift(other))
+
+    def __radd__(self, other):  # type: ignore[no-untyped-def]
+        return Binary("+", lift(other), self)
+
+    def __sub__(self, other):  # type: ignore[no-untyped-def]
+        return Binary("-", self, lift(other))
+
+    def __rsub__(self, other):  # type: ignore[no-untyped-def]
+        return Binary("-", lift(other), self)
+
+    def __mul__(self, other):  # type: ignore[no-untyped-def]
+        return Binary("*", self, lift(other))
+
+    def __rmul__(self, other):  # type: ignore[no-untyped-def]
+        return Binary("*", lift(other), self)
+
+    def __truediv__(self, other):  # type: ignore[no-untyped-def]
+        return Binary("/", self, lift(other))
+
+    def __rtruediv__(self, other):  # type: ignore[no-untyped-def]
+        return Binary("/", lift(other), self)
+
+    def __mod__(self, other):  # type: ignore[no-untyped-def]
+        return Binary("%", self, lift(other))
+
+    def __and__(self, other):  # type: ignore[no-untyped-def]
+        return Binary("&&", self, lift(other))
+
+    def __rand__(self, other):  # type: ignore[no-untyped-def]
+        return Binary("&&", lift(other), self)
+
+    def __or__(self, other):  # type: ignore[no-untyped-def]
+        return Binary("||", self, lift(other))
+
+    def __ror__(self, other):  # type: ignore[no-untyped-def]
+        return Binary("||", lift(other), self)
+
+    def __invert__(self):  # type: ignore[no-untyped-def]
+        return Unary("!", self)
+
+    def __neg__(self):  # type: ignore[no-untyped-def]
+        return Unary("-", self)
+
+    def eq(self, other):  # type: ignore[no-untyped-def]
+        """``self == other`` as a PROB expression."""
+        return Binary("==", self, lift(other))
+
+    def ne(self, other):  # type: ignore[no-untyped-def]
+        """``self != other`` as a PROB expression."""
+        return Binary("!=", self, lift(other))
+
+    def lt(self, other):  # type: ignore[no-untyped-def]
+        """``self < other`` as a PROB expression."""
+        return Binary("<", self, lift(other))
+
+    def le(self, other):  # type: ignore[no-untyped-def]
+        """``self <= other`` as a PROB expression."""
+        return Binary("<=", self, lift(other))
+
+    def gt(self, other):  # type: ignore[no-untyped-def]
+        """``self > other`` as a PROB expression."""
+        return Binary(">", self, lift(other))
+
+    def ge(self, other):  # type: ignore[no-untyped-def]
+        """``self >= other`` as a PROB expression."""
+        return Binary(">=", self, lift(other))
+
+
+@dataclass(frozen=True)
+class Var(_ExprOps):
+    """A variable reference."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(_ExprOps):
+    """A literal constant (bool, int, or float)."""
+
+    value: Union[bool, int, float]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Unary(_ExprOps):
+    """A unary operation ``op E``."""
+
+    op: str
+    operand: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary operator: {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+
+@dataclass(frozen=True)
+class Binary(_ExprOps):
+    """A binary operation ``E1 op E2``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary operator: {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+Expr = Union[Var, Const, Unary, Binary]
+
+
+@dataclass(frozen=True)
+class DistCall:
+    """A distribution call ``Dist(theta...)`` on the right-hand side of a
+    probabilistic assignment or inside a soft observation.
+
+    ``name`` must be registered in :mod:`repro.dists`; the registry is
+    consulted at execution time, so the AST stays independent of the
+    distribution implementations.
+    """
+
+    name: str
+    args: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Skip:
+    """The no-op statement."""
+
+    def __str__(self) -> str:
+        return "skip"
+
+
+#: Canonical shared skip instance (all ``Skip()`` compare equal anyway).
+SKIP = Skip()
+
+
+@dataclass(frozen=True)
+class Decl:
+    """A variable declaration ``type x;``.
+
+    Semantically it assigns the type's default value (``false`` / ``0`` /
+    ``0.0``), which makes later reads well defined; the validator
+    otherwise rejects reads of never-assigned variables.
+    """
+
+    name: str
+    type: str = "bool"
+
+    def __str__(self) -> str:
+        return f"{self.type} {self.name}"
+
+
+@dataclass(frozen=True)
+class Assign:
+    """Deterministic assignment ``x = E``."""
+
+    name: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.name} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class Sample:
+    """Probabilistic assignment ``x ~ Dist(theta...)``."""
+
+    name: str
+    dist: DistCall
+
+    def __str__(self) -> str:
+        return f"{self.name} ~ {self.dist}"
+
+
+@dataclass(frozen=True)
+class Observe:
+    """Hard conditioning ``observe(phi)``: runs violating ``phi`` are
+    blocked (weight zero)."""
+
+    cond: Expr
+
+    def __str__(self) -> str:
+        return f"observe({self.cond})"
+
+
+@dataclass(frozen=True)
+class ObserveSample:
+    """Soft conditioning ``observe(Dist(theta...), E)``.
+
+    A draw from ``Dist(theta...)`` was observed to equal the value of
+    ``E``; the run's weight is multiplied by the density/mass of that
+    value.  This is the density-scored observation R2 uses for
+    conditioning on continuous data.
+    """
+
+    dist: DistCall
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"observe({self.dist}, {self.value})"
+
+
+@dataclass(frozen=True)
+class Factor:
+    """Soft conditioning ``factor(E)``: multiplies the run's weight by
+    ``exp(E)``."""
+
+    log_weight: Expr
+
+    def __str__(self) -> str:
+        return f"factor({self.log_weight})"
+
+
+@dataclass(frozen=True)
+class Block:
+    """Sequential composition of zero or more statements.
+
+    An empty block is equivalent to ``skip``.  Nested blocks are allowed
+    but :func:`seq` flattens them on construction.
+    """
+
+    stmts: Tuple["Stmt", ...] = ()
+
+    def __str__(self) -> str:
+        return "; ".join(map(str, self.stmts)) if self.stmts else "skip"
+
+
+@dataclass(frozen=True)
+class If:
+    """Conditional ``if E then S1 else S2``."""
+
+    cond: Expr
+    then_branch: "Stmt" = field(default_factory=lambda: SKIP)
+    else_branch: "Stmt" = field(default_factory=lambda: SKIP)
+
+    def __str__(self) -> str:
+        return f"if ({self.cond}) {{{self.then_branch}}} else {{{self.else_branch}}}"
+
+
+@dataclass(frozen=True)
+class While:
+    """Loop ``while E do S``."""
+
+    cond: Expr
+    body: "Stmt" = field(default_factory=lambda: SKIP)
+
+    def __str__(self) -> str:
+        return f"while ({self.cond}) {{{self.body}}}"
+
+
+Stmt = Union[
+    Skip, Decl, Assign, Sample, Observe, ObserveSample, Factor, Block, If, While
+]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A PROB program ``S return E``."""
+
+    body: Stmt
+    ret: Expr
+
+    def __str__(self) -> str:
+        return f"{self.body}; return {self.ret}"
+
+
+# ---------------------------------------------------------------------------
+# Construction and traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def seq(*stmts: Stmt) -> Stmt:
+    """Sequence statements, flattening nested blocks and dropping skips.
+
+    Returns ``SKIP`` for an empty sequence and the statement itself for a
+    singleton, so ``seq`` is the identity-friendly smart constructor used
+    throughout the transformations.
+    """
+    flat = []
+    for s in stmts:
+        for item in block_items(s):
+            if not isinstance(item, Skip):
+                flat.append(item)
+    if not flat:
+        return SKIP
+    if len(flat) == 1:
+        return flat[0]
+    return Block(tuple(flat))
+
+
+def block_items(stmt: Stmt) -> Iterator[Stmt]:
+    """Iterate the statements of ``stmt`` in sequence order, flattening
+    nested :class:`Block` nodes (but not entering ``if``/``while``)."""
+    if isinstance(stmt, Block):
+        for s in stmt.stmts:
+            yield from block_items(s)
+    else:
+        yield stmt
+
+
+def is_skip(stmt: Stmt) -> bool:
+    """True when ``stmt`` is semantically a no-op: ``skip`` or a block of
+    (recursively) skips."""
+    return all(isinstance(s, Skip) for s in block_items(stmt))
+
+
+def statement_count(stmt: Stmt) -> int:
+    """Count primitive statements (assignments, samples, observes,
+    factors, declarations) in ``stmt``.
+
+    This is the program-size measure used for the Table-1 slice-size
+    statistics; structural nodes (blocks, if, while) contribute the size
+    of their children, and ``skip`` counts zero.
+    """
+    if isinstance(stmt, Skip):
+        return 0
+    if isinstance(stmt, Block):
+        return sum(statement_count(s) for s in stmt.stmts)
+    if isinstance(stmt, If):
+        return statement_count(stmt.then_branch) + statement_count(stmt.else_branch)
+    if isinstance(stmt, While):
+        return 1 + statement_count(stmt.body)
+    return 1
+
+
+def _expr_node_count(expr: Expr) -> int:
+    if isinstance(expr, (Var, Const)):
+        return 1
+    if isinstance(expr, Unary):
+        return 1 + _expr_node_count(expr.operand)
+    if isinstance(expr, Binary):
+        return 1 + _expr_node_count(expr.left) + _expr_node_count(expr.right)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def node_count(obj: Union[Program, Stmt, Expr, DistCall]) -> int:
+    """Total AST node count (statements + expressions), a finer-grained
+    size measure than :func:`statement_count`."""
+    if isinstance(obj, Program):
+        return node_count(obj.body) + node_count(obj.ret)
+    if isinstance(obj, DistCall):
+        return 1 + sum(node_count(a) for a in obj.args)
+    if isinstance(obj, (Var, Const, Unary, Binary)):
+        return _expr_node_count(obj)
+    if isinstance(obj, Skip):
+        return 1
+    if isinstance(obj, Decl):
+        return 1
+    if isinstance(obj, Assign):
+        return 1 + node_count(obj.expr)
+    if isinstance(obj, Sample):
+        return 1 + node_count(obj.dist)
+    if isinstance(obj, Observe):
+        return 1 + node_count(obj.cond)
+    if isinstance(obj, ObserveSample):
+        return 1 + node_count(obj.dist) + node_count(obj.value)
+    if isinstance(obj, Factor):
+        return 1 + node_count(obj.log_weight)
+    if isinstance(obj, Block):
+        return 1 + sum(node_count(s) for s in obj.stmts)
+    if isinstance(obj, If):
+        return (
+            1
+            + node_count(obj.cond)
+            + node_count(obj.then_branch)
+            + node_count(obj.else_branch)
+        )
+    if isinstance(obj, While):
+        return 1 + node_count(obj.cond) + node_count(obj.body)
+    raise TypeError(f"not an AST node: {obj!r}")

@@ -1,0 +1,160 @@
+"""A fluent builder DSL for constructing PROB programs from Python.
+
+The benchmark model generators (:mod:`repro.models`) construct programs
+with thousands of statements; writing them in concrete syntax and
+parsing would be wasteful, so they use this builder instead::
+
+    b = ProgramBuilder()
+    c1 = b.sample("c1", "Bernoulli", 0.5)
+    b.assign("count", 0)
+    with b.if_(c1):
+        b.assign("count", v("count") + 1)
+    b.observe(c1 | v("c2"))
+    program = b.build(v("count"))
+
+``if_``/``else_``/``while_`` are context managers; statements issued
+inside the ``with`` block land in the corresponding branch/body.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Union
+
+from .ast import (
+    Assign,
+    Const,
+    Decl,
+    DistCall,
+    Expr,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Program,
+    Sample,
+    SKIP,
+    Stmt,
+    Var,
+    lift,
+    seq,
+)
+
+__all__ = ["ProgramBuilder", "v", "c", "dist"]
+
+Liftable = Union[Expr, bool, int, float]
+
+
+def v(name: str) -> Var:
+    """Shorthand for :class:`Var`."""
+    return Var(name)
+
+
+def c(value: Union[bool, int, float]) -> Const:
+    """Shorthand for :class:`Const`."""
+    return Const(value)
+
+
+def dist(name: str, *args: Liftable) -> DistCall:
+    """Construct a :class:`DistCall`, lifting Python literals."""
+    return DistCall(name, tuple(lift(a) for a in args))
+
+
+class ProgramBuilder:
+    """Imperatively accumulates statements and produces a :class:`Program`.
+
+    The builder also hands out fresh variable names via :meth:`fresh`,
+    which model generators use for per-item variables.
+    """
+
+    def __init__(self) -> None:
+        self._stack: List[List[Stmt]] = [[]]
+        self._last_if: Optional[If] = None
+        self._fresh_counter = 0
+
+    # -- statement emission -------------------------------------------------
+
+    def emit(self, stmt: Stmt) -> None:
+        """Append an already-constructed statement."""
+        self._stack[-1].append(stmt)
+        if not isinstance(stmt, If):
+            self._last_if = None
+
+    def decl(self, name: str, type: str = "bool") -> Var:
+        """Emit ``type name;`` and return the variable."""
+        self.emit(Decl(name, type))
+        return Var(name)
+
+    def assign(self, name: str, expr: Liftable) -> Var:
+        """Emit ``name = expr`` and return the variable."""
+        self.emit(Assign(name, lift(expr)))
+        return Var(name)
+
+    def sample(self, name: str, dist_name: str, *args: Liftable) -> Var:
+        """Emit ``name ~ dist_name(args...)`` and return the variable."""
+        self.emit(Sample(name, dist(dist_name, *args)))
+        return Var(name)
+
+    def observe(self, cond: Liftable) -> None:
+        """Emit ``observe(cond)``."""
+        self.emit(Observe(lift(cond)))
+
+    def observe_sample(
+        self, dist_name: str, args: "tuple[Liftable, ...]", value: Liftable
+    ) -> None:
+        """Emit the soft observation ``observe(dist_name(args...), value)``."""
+        self.emit(ObserveSample(dist(dist_name, *args), lift(value)))
+
+    def factor(self, log_weight: Liftable) -> None:
+        """Emit ``factor(log_weight)``."""
+        self.emit(Factor(lift(log_weight)))
+
+    # -- control flow -------------------------------------------------------
+
+    @contextmanager
+    def if_(self, cond: Liftable) -> Iterator[None]:
+        """Open an ``if`` whose then-branch is the ``with`` body."""
+        self._stack.append([])
+        yield
+        body = seq(*self._stack.pop())
+        node = If(lift(cond), body, SKIP)
+        self._stack[-1].append(node)
+        self._last_if = node
+
+    @contextmanager
+    def else_(self) -> Iterator[None]:
+        """Attach an else-branch to the immediately preceding ``if``."""
+        if self._last_if is None:
+            raise RuntimeError("else_() must immediately follow an if_() block")
+        pending = self._last_if
+        self._stack.append([])
+        yield
+        body = seq(*self._stack.pop())
+        old = self._stack[-1].pop()
+        assert old is pending, "intervening statement between if_ and else_"
+        node = If(old.cond, old.then_branch, body)
+        self._stack[-1].append(node)
+        self._last_if = None
+
+    @contextmanager
+    def while_(self, cond: Liftable) -> Iterator[None]:
+        """Open a ``while`` loop whose body is the ``with`` body."""
+        from .ast import While
+
+        self._stack.append([])
+        yield
+        body = seq(*self._stack.pop())
+        self.emit(While(lift(cond), body))
+
+    # -- misc ---------------------------------------------------------------
+
+    def fresh(self, base: str = "t") -> str:
+        """Return a fresh variable name with the given base."""
+        self._fresh_counter += 1
+        return f"{base}{self._fresh_counter}"
+
+    def build(self, ret: Liftable) -> Program:
+        """Finish the program with ``return ret``."""
+        if len(self._stack) != 1:
+            raise RuntimeError("unclosed control-flow block in builder")
+        return Program(seq(*self._stack[0]), lift(ret))

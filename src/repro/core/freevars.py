@@ -1,0 +1,134 @@
+"""Free-variable computation for PROB expressions, statements, and
+programs.
+
+``FV`` in the paper.  For statements, *free* means "mentioned at all"
+(read or written): this is the set the SSA transformation seeds its
+used-name set ``X`` with (Figure 14), and the set the dependence
+analysis draws its vertex universe from.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Union
+
+from .ast import (
+    Assign,
+    Binary,
+    Block,
+    Const,
+    Decl,
+    DistCall,
+    Expr,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Program,
+    Sample,
+    Skip,
+    Stmt,
+    Unary,
+    Var,
+    While,
+)
+
+__all__ = ["free_vars", "read_vars", "assigned_vars"]
+
+
+def free_vars(obj: Union[Program, Stmt, Expr, DistCall]) -> FrozenSet[str]:
+    """All variable names occurring in ``obj`` (reads and writes)."""
+    if isinstance(obj, Var):
+        return frozenset({obj.name})
+    if isinstance(obj, Const):
+        return frozenset()
+    if isinstance(obj, Unary):
+        return free_vars(obj.operand)
+    if isinstance(obj, Binary):
+        return free_vars(obj.left) | free_vars(obj.right)
+    if isinstance(obj, DistCall):
+        out: FrozenSet[str] = frozenset()
+        for arg in obj.args:
+            out |= free_vars(arg)
+        return out
+    if isinstance(obj, Skip):
+        return frozenset()
+    if isinstance(obj, Decl):
+        return frozenset({obj.name})
+    if isinstance(obj, Assign):
+        return frozenset({obj.name}) | free_vars(obj.expr)
+    if isinstance(obj, Sample):
+        return frozenset({obj.name}) | free_vars(obj.dist)
+    if isinstance(obj, Observe):
+        return free_vars(obj.cond)
+    if isinstance(obj, ObserveSample):
+        return free_vars(obj.dist) | free_vars(obj.value)
+    if isinstance(obj, Factor):
+        return free_vars(obj.log_weight)
+    if isinstance(obj, Block):
+        out = frozenset()
+        for s in obj.stmts:
+            out |= free_vars(s)
+        return out
+    if isinstance(obj, If):
+        return (
+            free_vars(obj.cond)
+            | free_vars(obj.then_branch)
+            | free_vars(obj.else_branch)
+        )
+    if isinstance(obj, While):
+        return free_vars(obj.cond) | free_vars(obj.body)
+    if isinstance(obj, Program):
+        return free_vars(obj.body) | free_vars(obj.ret)
+    raise TypeError(f"not an AST node: {obj!r}")
+
+
+def read_vars(stmt: Stmt) -> FrozenSet[str]:
+    """Variables *read* somewhere in ``stmt`` (conditions, right-hand
+    sides, distribution parameters, observed predicates)."""
+    if isinstance(stmt, (Skip, Decl)):
+        return frozenset()
+    if isinstance(stmt, Assign):
+        return free_vars(stmt.expr)
+    if isinstance(stmt, Sample):
+        return free_vars(stmt.dist)
+    if isinstance(stmt, Observe):
+        return free_vars(stmt.cond)
+    if isinstance(stmt, ObserveSample):
+        return free_vars(stmt.dist) | free_vars(stmt.value)
+    if isinstance(stmt, Factor):
+        return free_vars(stmt.log_weight)
+    if isinstance(stmt, Block):
+        out: FrozenSet[str] = frozenset()
+        for s in stmt.stmts:
+            out |= read_vars(s)
+        return out
+    if isinstance(stmt, If):
+        return (
+            free_vars(stmt.cond)
+            | read_vars(stmt.then_branch)
+            | read_vars(stmt.else_branch)
+        )
+    if isinstance(stmt, While):
+        return free_vars(stmt.cond) | read_vars(stmt.body)
+    raise TypeError(f"not a statement: {stmt!r}")
+
+
+def assigned_vars(stmt: Stmt) -> FrozenSet[str]:
+    """Variables *written* somewhere in ``stmt`` (assignments, samples,
+    and declarations, which assign the type's default value)."""
+    if isinstance(stmt, (Skip, Observe, ObserveSample, Factor)):
+        return frozenset()
+    if isinstance(stmt, Decl):
+        return frozenset({stmt.name})
+    if isinstance(stmt, (Assign, Sample)):
+        return frozenset({stmt.name})
+    if isinstance(stmt, Block):
+        out: FrozenSet[str] = frozenset()
+        for s in stmt.stmts:
+            out |= assigned_vars(s)
+        return out
+    if isinstance(stmt, If):
+        return assigned_vars(stmt.then_branch) | assigned_vars(stmt.else_branch)
+    if isinstance(stmt, While):
+        return assigned_vars(stmt.body)
+    raise TypeError(f"not a statement: {stmt!r}")

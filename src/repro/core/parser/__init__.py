@@ -1,0 +1,14 @@
+"""Lexer and parser for the PROB concrete syntax."""
+
+from .errors import ProbSyntaxError
+from .lexer import Token, tokenize
+from .parser import parse, parse_expr, parse_statement
+
+__all__ = [
+    "ProbSyntaxError",
+    "Token",
+    "tokenize",
+    "parse",
+    "parse_expr",
+    "parse_statement",
+]

@@ -1,0 +1,15 @@
+"""Errors raised by the PROB lexer and parser."""
+
+from __future__ import annotations
+
+__all__ = ["ProbSyntaxError"]
+
+
+class ProbSyntaxError(SyntaxError):
+    """A lexical or syntactic error in PROB source, with position info."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.message = message
+        self.line = line
+        self.column = column

@@ -1,0 +1,147 @@
+"""Pretty-printer for PROB programs.
+
+Emits the concrete syntax accepted by :mod:`repro.core.parser`, so
+``parse(pretty(p)) == p`` holds for every program (a property test in
+``tests/core/test_roundtrip.py`` checks exactly this).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from .ast import (
+    Assign,
+    Binary,
+    Block,
+    Const,
+    Decl,
+    DistCall,
+    Expr,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Program,
+    Sample,
+    Skip,
+    Stmt,
+    Unary,
+    Var,
+    While,
+    block_items,
+)
+
+__all__ = ["pretty", "pretty_expr"]
+
+# Operator precedence, loosest binding first.  Unary operators bind
+# tighter than any binary operator.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 3,
+    "<=": 3,
+    ">": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+    "%": 5,
+}
+_UNARY_PRECEDENCE = 6
+
+
+def _format_const(value: Union[bool, int, float]) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def pretty_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression, inserting parentheses only where needed."""
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Const):
+        return _format_const(expr.value)
+    if isinstance(expr, Unary):
+        inner = pretty_expr(expr.operand, _UNARY_PRECEDENCE)
+        text = f"{expr.op}{inner}"
+        return f"({text})" if parent_prec > _UNARY_PRECEDENCE else text
+    if isinstance(expr, Binary):
+        prec = _PRECEDENCE[expr.op]
+        # Left-associative: the right child needs parens at equal precedence.
+        left = pretty_expr(expr.left, prec)
+        right = pretty_expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if parent_prec > prec else text
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _pretty_dist(d: DistCall) -> str:
+    return f"{d.name}({', '.join(pretty_expr(a) for a in d.args)})"
+
+
+def _emit(stmt: Stmt, indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    if isinstance(stmt, Skip):
+        lines.append(f"{pad}skip;")
+    elif isinstance(stmt, Decl):
+        lines.append(f"{pad}{stmt.type} {stmt.name};")
+    elif isinstance(stmt, Assign):
+        lines.append(f"{pad}{stmt.name} = {pretty_expr(stmt.expr)};")
+    elif isinstance(stmt, Sample):
+        lines.append(f"{pad}{stmt.name} ~ {_pretty_dist(stmt.dist)};")
+    elif isinstance(stmt, Observe):
+        lines.append(f"{pad}observe({pretty_expr(stmt.cond)});")
+    elif isinstance(stmt, ObserveSample):
+        lines.append(
+            f"{pad}observe({_pretty_dist(stmt.dist)}, {pretty_expr(stmt.value)});"
+        )
+    elif isinstance(stmt, Factor):
+        lines.append(f"{pad}factor({pretty_expr(stmt.log_weight)});")
+    elif isinstance(stmt, Block):
+        for s in block_items(stmt):
+            _emit(s, indent, lines)
+    elif isinstance(stmt, If):
+        lines.append(f"{pad}if ({pretty_expr(stmt.cond)}) {{")
+        _emit_body(stmt.then_branch, indent + 1, lines)
+        if isinstance(stmt.else_branch, Skip):
+            lines.append(f"{pad}}}")
+        else:
+            lines.append(f"{pad}}} else {{")
+            _emit_body(stmt.else_branch, indent + 1, lines)
+            lines.append(f"{pad}}}")
+    elif isinstance(stmt, While):
+        lines.append(f"{pad}while ({pretty_expr(stmt.cond)}) {{")
+        _emit_body(stmt.body, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    else:
+        raise TypeError(f"not a statement: {stmt!r}")
+
+
+def _emit_body(stmt: Stmt, indent: int, lines: List[str]) -> None:
+    """Emit a brace-enclosed body; an empty body prints an explicit skip
+    so the parser round-trips it."""
+    items = [s for s in block_items(stmt) if not isinstance(s, Skip)]
+    if not items:
+        lines.append(f"{'  ' * indent}skip;")
+    else:
+        for s in items:
+            _emit(s, indent, lines)
+
+
+def pretty(obj: Union[Program, Stmt, Expr]) -> str:
+    """Render a program, statement, or expression as concrete syntax."""
+    if isinstance(obj, (Var, Const, Unary, Binary)):
+        return pretty_expr(obj)
+    lines: List[str] = []
+    if isinstance(obj, Program):
+        _emit(obj.body, 0, lines)
+        lines.append(f"return {pretty_expr(obj.ret)};")
+    else:
+        _emit(obj, 0, lines)
+    return "\n".join(lines) + "\n"

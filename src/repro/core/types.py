@@ -1,0 +1,207 @@
+"""A simple type system for PROB.
+
+Types are ``bool``, ``int``, and ``float`` with the usual numeric
+widening (``int <= float``).  The checker infers variable types from
+declarations and assignments and verifies that:
+
+* conditions of ``observe``/``if``/``while`` are boolean;
+* arithmetic is applied to numbers, ``&&``/``||``/``!`` to booleans;
+* distribution parameters are numeric and sampled variables get the
+  distribution's value type (``Bernoulli`` is boolean);
+* ``factor`` arguments are numeric.
+
+The checker is permissive about ``==``/``!=`` (any matching types) and
+treats re-assignment at a wider numeric type as widening the variable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from .ast import (
+    Assign,
+    Binary,
+    Block,
+    Const,
+    Decl,
+    DistCall,
+    Expr,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Program,
+    Sample,
+    Skip,
+    Stmt,
+    Unary,
+    Var,
+    While,
+)
+
+__all__ = ["TypeError_", "TypeEnv", "infer_expr_type", "check_program"]
+
+BOOL = "bool"
+INT = "int"
+FLOAT = "float"
+
+#: Value type of each distribution's samples; parameters are numeric.
+_DIST_VALUE_TYPE = {
+    "Bernoulli": BOOL,
+    "Binomial": INT,
+    "Poisson": INT,
+    "Geometric": INT,
+    "DiscreteUniform": INT,
+    "Categorical": INT,
+    "Gaussian": FLOAT,
+    "Gamma": FLOAT,
+    "Beta": FLOAT,
+    "Uniform": FLOAT,
+    "Exponential": FLOAT,
+    "Laplace": FLOAT,
+    "LogNormal": FLOAT,
+    "StudentT": FLOAT,
+    "NegativeBinomial": INT,
+}
+
+
+class TypeError_(TypeError):
+    """A PROB type error (named with a trailing underscore to avoid
+    shadowing the builtin)."""
+
+
+TypeEnv = Dict[str, str]
+
+
+def _is_numeric(t: str) -> bool:
+    return t in (INT, FLOAT)
+
+
+def _join_numeric(a: str, b: str) -> str:
+    if not (_is_numeric(a) and _is_numeric(b)):
+        raise TypeError_(f"expected numeric operands, got {a} and {b}")
+    return FLOAT if FLOAT in (a, b) else INT
+
+
+def infer_expr_type(expr: Expr, env: TypeEnv) -> str:
+    """Infer the type of ``expr`` under ``env``, raising
+    :class:`TypeError_` on ill-typed expressions or unknown variables."""
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise TypeError_(f"unknown variable {expr.name!r}") from None
+    if isinstance(expr, Const):
+        if isinstance(expr.value, bool):
+            return BOOL
+        return INT if isinstance(expr.value, int) else FLOAT
+    if isinstance(expr, Unary):
+        t = infer_expr_type(expr.operand, env)
+        if expr.op == "!":
+            if t != BOOL:
+                raise TypeError_(f"'!' applied to {t} in {expr}")
+            return BOOL
+        if not _is_numeric(t):
+            raise TypeError_(f"unary '-' applied to {t} in {expr}")
+        return t
+    if isinstance(expr, Binary):
+        lt = infer_expr_type(expr.left, env)
+        rt = infer_expr_type(expr.right, env)
+        if expr.op in ("&&", "||"):
+            if lt != BOOL or rt != BOOL:
+                raise TypeError_(f"{expr.op!r} applied to {lt}, {rt} in {expr}")
+            return BOOL
+        if expr.op in ("==", "!="):
+            if lt != rt and not (_is_numeric(lt) and _is_numeric(rt)):
+                raise TypeError_(f"comparison of {lt} and {rt} in {expr}")
+            return BOOL
+        if expr.op in ("<", "<=", ">", ">="):
+            _join_numeric(lt, rt)
+            return BOOL
+        if expr.op == "/":
+            _join_numeric(lt, rt)
+            return FLOAT
+        return _join_numeric(lt, rt)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _check_dist(dist: DistCall, env: TypeEnv) -> str:
+    for arg in dist.args:
+        t = infer_expr_type(arg, env)
+        if not _is_numeric(t) and t != BOOL:
+            raise TypeError_(f"non-scalar distribution parameter in {dist}")
+    try:
+        return _DIST_VALUE_TYPE[dist.name]
+    except KeyError:
+        raise TypeError_(f"unknown distribution {dist.name!r}") from None
+
+
+def _bind(env: TypeEnv, name: str, t: str) -> None:
+    old = env.get(name)
+    if old is None or old == t:
+        env[name] = t
+    elif _is_numeric(old) and _is_numeric(t):
+        env[name] = FLOAT
+    else:
+        raise TypeError_(f"variable {name!r} re-assigned at type {t}, was {old}")
+
+
+def _check_stmt(stmt: Stmt, env: TypeEnv) -> None:
+    if isinstance(stmt, Skip):
+        return
+    if isinstance(stmt, Decl):
+        _bind(env, stmt.name, stmt.type)
+        return
+    if isinstance(stmt, Assign):
+        _bind(env, stmt.name, infer_expr_type(stmt.expr, env))
+        return
+    if isinstance(stmt, Sample):
+        _bind(env, stmt.name, _check_dist(stmt.dist, env))
+        return
+    if isinstance(stmt, Observe):
+        if infer_expr_type(stmt.cond, env) != BOOL:
+            raise TypeError_(f"observe condition is not boolean: {stmt}")
+        return
+    if isinstance(stmt, ObserveSample):
+        _check_dist(stmt.dist, env)
+        infer_expr_type(stmt.value, env)
+        return
+    if isinstance(stmt, Factor):
+        if not _is_numeric(infer_expr_type(stmt.log_weight, env)):
+            raise TypeError_(f"factor argument is not numeric: {stmt}")
+        return
+    if isinstance(stmt, Block):
+        for s in stmt.stmts:
+            _check_stmt(s, env)
+        return
+    if isinstance(stmt, If):
+        if infer_expr_type(stmt.cond, env) != BOOL:
+            raise TypeError_(f"if condition is not boolean: {stmt.cond}")
+        _check_stmt(stmt.then_branch, env)
+        _check_stmt(stmt.else_branch, env)
+        return
+    if isinstance(stmt, While):
+        if infer_expr_type(stmt.cond, env) != BOOL:
+            raise TypeError_(f"while condition is not boolean: {stmt.cond}")
+        _check_stmt(stmt.body, env)
+        return
+    raise TypeError(f"not a statement: {stmt!r}")
+
+
+def check_program(program: Program) -> TypeEnv:
+    """Type-check ``program``; returns the final variable-type
+    environment on success."""
+    env: TypeEnv = {}
+    _check_stmt(program.body, env)
+    infer_expr_type(program.ret, env)
+    return env
+
+
+def type_errors(program: Program) -> List[str]:
+    """Collect the first type error as a list (empty when well typed) —
+    convenience wrapper for tests and the CLI."""
+    try:
+        check_program(program)
+    except TypeError_ as exc:
+        return [str(exc)]
+    return []

@@ -1,0 +1,161 @@
+"""Well-formedness checks for PROB programs.
+
+Two families of checks:
+
+* :func:`check_def_before_use` — rejects reads of never-assigned
+  variables.  This is the assumption that makes the paper-faithful SSA
+  renaming (first definition keeps the source name) sound; see
+  DESIGN.md §5.
+* :func:`is_svf` / :func:`check_svf` — the single-variable-form
+  precondition of the dependence analysis (Figure 9 assumes
+  ``observe(x)``, ``if x then``, ``while x do`` with ``x`` a variable).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple, Union
+
+from .ast import (
+    Assign,
+    Block,
+    Decl,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Program,
+    Sample,
+    Skip,
+    Stmt,
+    Var,
+    While,
+)
+from .freevars import free_vars
+
+__all__ = [
+    "ValidationError",
+    "check_def_before_use",
+    "undefined_uses",
+    "is_svf",
+    "check_svf",
+]
+
+
+class ValidationError(ValueError):
+    """A PROB program failed a well-formedness check."""
+
+
+def _undefined_in(
+    stmt: Stmt, defined: FrozenSet[str], errors: List[str]
+) -> FrozenSet[str]:
+    """Walk ``stmt`` accumulating read-before-definition errors; returns
+    the set of variables definitely assigned after ``stmt``."""
+    if isinstance(stmt, Skip):
+        return defined
+    if isinstance(stmt, Decl):
+        return defined | {stmt.name}
+    if isinstance(stmt, Assign):
+        for name in sorted(free_vars(stmt.expr) - defined):
+            errors.append(f"variable {name!r} read before assignment in {stmt}")
+        return defined | {stmt.name}
+    if isinstance(stmt, Sample):
+        for name in sorted(free_vars(stmt.dist) - defined):
+            errors.append(f"variable {name!r} read before assignment in {stmt}")
+        return defined | {stmt.name}
+    if isinstance(stmt, (Observe, ObserveSample, Factor)):
+        for name in sorted(free_vars(stmt) - defined):
+            errors.append(f"variable {name!r} read before assignment in {stmt}")
+        return defined
+    if isinstance(stmt, Block):
+        for s in stmt.stmts:
+            defined = _undefined_in(s, defined, errors)
+        return defined
+    if isinstance(stmt, If):
+        for name in sorted(free_vars(stmt.cond) - defined):
+            errors.append(f"variable {name!r} read before assignment in condition")
+        after_then = _undefined_in(stmt.then_branch, defined, errors)
+        after_else = _undefined_in(stmt.else_branch, defined, errors)
+        return after_then & after_else
+    if isinstance(stmt, While):
+        for name in sorted(free_vars(stmt.cond) - defined):
+            errors.append(f"variable {name!r} read before assignment in condition")
+        _undefined_in(stmt.body, defined, errors)
+        # The body may execute zero times, so nothing it assigns is
+        # definitely assigned afterwards.
+        return defined
+    raise TypeError(f"not a statement: {stmt!r}")
+
+
+def undefined_uses(program: Program) -> List[str]:
+    """All read-before-assignment violations in ``program`` (empty list
+    when the program is well formed)."""
+    errors: List[str] = []
+    defined = _undefined_in(program.body, frozenset(), errors)
+    for name in sorted(free_vars(program.ret) - defined):
+        errors.append(f"variable {name!r} read in return expression but never assigned")
+    return errors
+
+
+def check_def_before_use(program: Program) -> None:
+    """Raise :class:`ValidationError` if any variable is read before it
+    is (definitely) assigned or declared."""
+    errors = undefined_uses(program)
+    if errors:
+        raise ValidationError("; ".join(errors))
+
+
+def _svf_violations(stmt: Stmt, out: List[str]) -> None:
+    if isinstance(stmt, Observe) and not isinstance(stmt.cond, Var):
+        out.append(f"observe condition is not a variable: {stmt}")
+    elif isinstance(stmt, Block):
+        for s in stmt.stmts:
+            _svf_violations(s, out)
+    elif isinstance(stmt, If):
+        if not isinstance(stmt.cond, Var):
+            out.append(f"if condition is not a variable: {stmt.cond}")
+        _svf_violations(stmt.then_branch, out)
+        _svf_violations(stmt.else_branch, out)
+    elif isinstance(stmt, While):
+        if not isinstance(stmt.cond, Var):
+            out.append(f"while condition is not a variable: {stmt.cond}")
+        _svf_violations(stmt.body, out)
+
+
+def is_svf(obj: Union[Program, Stmt]) -> bool:
+    """True when every ``observe``/``if``/``while`` condition is a single
+    variable (the SVF precondition of the dependence analysis)."""
+    out: List[str] = []
+    _svf_violations(obj.body if isinstance(obj, Program) else obj, out)
+    return not out
+
+
+def check_svf(obj: Union[Program, Stmt]) -> None:
+    """Raise :class:`ValidationError` unless ``obj`` is in single
+    variable form."""
+    out: List[str] = []
+    _svf_violations(obj.body if isinstance(obj, Program) else obj, out)
+    if out:
+        raise ValidationError("; ".join(out))
+
+
+def assignment_sites(stmt: Stmt) -> List[Tuple[str, Stmt]]:
+    """All (name, statement) pairs where a variable is written —
+    used by tests to check (relaxed) single-assignment properties."""
+    sites: List[Tuple[str, Stmt]] = []
+
+    def walk(s: Stmt) -> None:
+        if isinstance(s, (Assign, Sample)):
+            sites.append((s.name, s))
+        elif isinstance(s, Decl):
+            sites.append((s.name, s))
+        elif isinstance(s, Block):
+            for item in s.stmts:
+                walk(item)
+        elif isinstance(s, If):
+            walk(s.then_branch)
+            walk(s.else_branch)
+        elif isinstance(s, While):
+            walk(s.body)
+
+    walk(stmt)
+    return sites

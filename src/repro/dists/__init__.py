@@ -1,0 +1,50 @@
+"""Probability distributions available to PROB programs.
+
+Importing this package registers all built-in distributions; new ones
+can be added with the :func:`repro.dists.base.register` decorator.
+"""
+
+from .base import (
+    Distribution,
+    DistributionError,
+    NEG_INF,
+    Value,
+    make_distribution,
+    register,
+    registered_distributions,
+)
+from .continuous import Beta, Exponential, Gamma, Gaussian, Uniform
+from .extra import Laplace, LogNormal, NegativeBinomial, StudentT
+from .discrete import (
+    Bernoulli,
+    Binomial,
+    Categorical,
+    DiscreteUniform,
+    Geometric,
+    Poisson,
+)
+
+__all__ = [
+    "Distribution",
+    "DistributionError",
+    "NEG_INF",
+    "Value",
+    "make_distribution",
+    "register",
+    "registered_distributions",
+    "Bernoulli",
+    "Categorical",
+    "DiscreteUniform",
+    "Binomial",
+    "Poisson",
+    "Geometric",
+    "Gaussian",
+    "Uniform",
+    "Gamma",
+    "Beta",
+    "Exponential",
+    "Laplace",
+    "LogNormal",
+    "StudentT",
+    "NegativeBinomial",
+]

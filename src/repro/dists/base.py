@@ -1,0 +1,130 @@
+"""Distribution interface and registry.
+
+Each distribution used in a PROB program (``x ~ Dist(theta...)``)
+resolves, at execution time, to an instance of :class:`Distribution`
+built by :func:`make_distribution` from the evaluated parameter values.
+
+Discrete distributions additionally support exact enumeration of their
+support (:meth:`Distribution.enumerate_support`), which powers the
+exact denotational-semantics engine; infinite discrete supports
+(Poisson, Geometric) are enumerated up to a residual tail mass.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, Iterator, List, Tuple, Union
+
+__all__ = [
+    "Value",
+    "Distribution",
+    "DistributionError",
+    "register",
+    "make_distribution",
+    "registered_distributions",
+    "NEG_INF",
+]
+
+Value = Union[bool, int, float]
+
+NEG_INF = float("-inf")
+
+
+class DistributionError(ValueError):
+    """Invalid distribution parameters or unsupported operation."""
+
+
+class Distribution:
+    """Abstract base for all PROB distributions.
+
+    Subclasses must implement :meth:`sample` and :meth:`log_prob`;
+    discrete subclasses should set ``discrete = True`` and implement
+    :meth:`enumerate_support`.
+    """
+
+    #: Registry name, set by the :func:`register` decorator.
+    name: str = ""
+    #: Whether the distribution has countable support.
+    discrete: bool = False
+
+    def sample(self, rng: random.Random) -> Value:
+        """Draw a value using ``rng``."""
+        raise NotImplementedError
+
+    def log_prob(self, value: Value) -> float:
+        """Log density (continuous) or log mass (discrete) of ``value``;
+        ``-inf`` outside the support."""
+        raise NotImplementedError
+
+    def prob(self, value: Value) -> float:
+        """Density/mass of ``value`` (``exp(log_prob)``)."""
+        lp = self.log_prob(value)
+        return 0.0 if lp == NEG_INF else math.exp(lp)
+
+    def mean(self) -> float:
+        """Expected value."""
+        raise NotImplementedError
+
+    def variance(self) -> float:
+        """Variance."""
+        raise NotImplementedError
+
+    def enumerate_support(self, tol: float = 0.0) -> Iterator[Tuple[Value, float]]:
+        """Yield ``(value, probability)`` pairs covering at least mass
+        ``1 - tol``.  Only available for discrete distributions."""
+        raise DistributionError(
+            f"{self.name or type(self).__name__} has no enumerable support"
+        )
+
+    def support_values(self, tol: float = 0.0) -> List[Value]:
+        """The values of :meth:`enumerate_support`, as a list."""
+        return [value for value, _ in self.enumerate_support(tol)]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: Dict[str, Callable[..., Distribution]] = {}
+
+
+def register(name: str) -> Callable[[type], type]:
+    """Class decorator registering a distribution under ``name`` (the
+    identifier used in PROB source, e.g. ``Bernoulli``)."""
+
+    def decorate(cls: type) -> type:
+        if name in _REGISTRY:
+            raise ValueError(f"distribution {name!r} already registered")
+        cls.name = name  # type: ignore[attr-defined]
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def make_distribution(name: str, args: Tuple[Value, ...]) -> Distribution:
+    """Instantiate the distribution registered as ``name`` with the
+    given (already evaluated) parameter values."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise DistributionError(f"unknown distribution {name!r}") from None
+    try:
+        return factory(*args)
+    except TypeError as exc:
+        raise DistributionError(f"bad arguments for {name}: {exc}") from None
+
+
+def registered_distributions() -> List[str]:
+    """Names of all registered distributions, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _as_float(value: Value, what: str) -> float:
+    """Coerce a parameter to float, rejecting booleans-as-numbers only
+    when nonsensical (we allow them: ``true`` is 1)."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise DistributionError(f"{what} must be numeric, got {value!r}")

@@ -1,0 +1,201 @@
+"""Continuous distributions: Gaussian, Uniform, Gamma, Beta,
+Exponential.
+
+``Gaussian`` is parameterized by mean and **variance**, matching the
+paper's usage ``Gaussian(mu, sigma^2)`` (Section 3).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from .base import (
+    Distribution,
+    DistributionError,
+    NEG_INF,
+    Value,
+    _as_float,
+    register,
+)
+
+__all__ = ["Gaussian", "Uniform", "Gamma", "Beta", "Exponential"]
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+@register("Gaussian")
+class Gaussian(Distribution):
+    """``Gaussian(mean, variance)``."""
+
+    discrete = False
+
+    def __init__(self, mean: Value, variance: Value) -> None:
+        self.mu = _as_float(mean, "Gaussian mean")
+        self.var = _as_float(variance, "Gaussian variance")
+        if self.var <= 0.0:
+            raise DistributionError(f"Gaussian variance must be > 0, got {self.var}")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.gauss(self.mu, math.sqrt(self.var))
+
+    def log_prob(self, value: Value) -> float:
+        x = _as_float(value, "Gaussian value")
+        return -0.5 * (_LOG_2PI + math.log(self.var) + (x - self.mu) ** 2 / self.var)
+
+    def mean(self) -> float:
+        return self.mu
+
+    def variance(self) -> float:
+        return self.var
+
+    def __repr__(self) -> str:
+        return f"Gaussian({self.mu}, {self.var})"
+
+
+@register("Uniform")
+class Uniform(Distribution):
+    """``Uniform(lo, hi)`` — continuous uniform on ``[lo, hi)``."""
+
+    discrete = False
+
+    def __init__(self, lo: Value, hi: Value) -> None:
+        self.lo = _as_float(lo, "Uniform lo")
+        self.hi = _as_float(hi, "Uniform hi")
+        if self.hi <= self.lo:
+            raise DistributionError(
+                f"Uniform needs lo < hi, got [{self.lo}, {self.hi})"
+            )
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.lo, self.hi)
+
+    def log_prob(self, value: Value) -> float:
+        x = _as_float(value, "Uniform value")
+        if self.lo <= x < self.hi:
+            return -math.log(self.hi - self.lo)
+        return NEG_INF
+
+    def mean(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    def variance(self) -> float:
+        return (self.hi - self.lo) ** 2 / 12.0
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.lo}, {self.hi})"
+
+
+@register("Gamma")
+class Gamma(Distribution):
+    """``Gamma(shape, rate)`` — the rate (inverse-scale)
+    parameterization, density ``rate^shape x^(shape-1) e^(-rate x) /
+    Gamma(shape)``."""
+
+    discrete = False
+
+    def __init__(self, shape: Value, rate: Value) -> None:
+        self.shape = _as_float(shape, "Gamma shape")
+        self.rate = _as_float(rate, "Gamma rate")
+        if self.shape <= 0.0 or self.rate <= 0.0:
+            raise DistributionError(
+                f"Gamma parameters must be > 0, got ({self.shape}, {self.rate})"
+            )
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.gammavariate(self.shape, 1.0 / self.rate)
+
+    def log_prob(self, value: Value) -> float:
+        x = _as_float(value, "Gamma value")
+        if x <= 0.0:
+            return NEG_INF
+        return (
+            self.shape * math.log(self.rate)
+            + (self.shape - 1.0) * math.log(x)
+            - self.rate * x
+            - math.lgamma(self.shape)
+        )
+
+    def mean(self) -> float:
+        return self.shape / self.rate
+
+    def variance(self) -> float:
+        return self.shape / self.rate ** 2
+
+    def __repr__(self) -> str:
+        return f"Gamma({self.shape}, {self.rate})"
+
+
+@register("Beta")
+class Beta(Distribution):
+    """``Beta(alpha, beta)`` on ``(0, 1)``."""
+
+    discrete = False
+
+    def __init__(self, alpha: Value, beta: Value) -> None:
+        self.alpha = _as_float(alpha, "Beta alpha")
+        self.beta = _as_float(beta, "Beta beta")
+        if self.alpha <= 0.0 or self.beta <= 0.0:
+            raise DistributionError(
+                f"Beta parameters must be > 0, got ({self.alpha}, {self.beta})"
+            )
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.betavariate(self.alpha, self.beta)
+
+    def log_prob(self, value: Value) -> float:
+        x = _as_float(value, "Beta value")
+        if not 0.0 < x < 1.0:
+            return NEG_INF
+        log_norm = (
+            math.lgamma(self.alpha)
+            + math.lgamma(self.beta)
+            - math.lgamma(self.alpha + self.beta)
+        )
+        return (
+            (self.alpha - 1.0) * math.log(x)
+            + (self.beta - 1.0) * math.log1p(-x)
+            - log_norm
+        )
+
+    def mean(self) -> float:
+        return self.alpha / (self.alpha + self.beta)
+
+    def variance(self) -> float:
+        s = self.alpha + self.beta
+        return self.alpha * self.beta / (s ** 2 * (s + 1.0))
+
+    def __repr__(self) -> str:
+        return f"Beta({self.alpha}, {self.beta})"
+
+
+@register("Exponential")
+class Exponential(Distribution):
+    """``Exponential(rate)`` on ``[0, inf)``."""
+
+    discrete = False
+
+    def __init__(self, rate: Value) -> None:
+        self.rate = _as_float(rate, "Exponential rate")
+        if self.rate <= 0.0:
+            raise DistributionError(
+                f"Exponential rate must be > 0, got {self.rate}"
+            )
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(self.rate)
+
+    def log_prob(self, value: Value) -> float:
+        x = _as_float(value, "Exponential value")
+        if x < 0.0:
+            return NEG_INF
+        return math.log(self.rate) - self.rate * x
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def variance(self) -> float:
+        return 1.0 / self.rate ** 2
+
+    def __repr__(self) -> str:
+        return f"Exponential({self.rate})"

@@ -1,0 +1,314 @@
+"""Discrete distributions: Bernoulli, Categorical, DiscreteUniform,
+Binomial, Poisson, Geometric."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator, Tuple
+
+from .base import (
+    Distribution,
+    DistributionError,
+    NEG_INF,
+    Value,
+    _as_float,
+    register,
+)
+
+__all__ = [
+    "Bernoulli",
+    "Categorical",
+    "DiscreteUniform",
+    "Binomial",
+    "Poisson",
+    "Geometric",
+]
+
+
+@register("Bernoulli")
+class Bernoulli(Distribution):
+    """``Bernoulli(p)`` — boolean draw that is ``true`` with probability
+    ``p``."""
+
+    discrete = True
+
+    def __init__(self, p: Value) -> None:
+        self.p = _as_float(p, "Bernoulli p")
+        if not 0.0 <= self.p <= 1.0:
+            raise DistributionError(f"Bernoulli p must be in [0, 1], got {self.p}")
+
+    def sample(self, rng: random.Random) -> bool:
+        return rng.random() < self.p
+
+    def log_prob(self, value: Value) -> float:
+        if not isinstance(value, bool):
+            # 0/1 are accepted for interoperability with numeric code.
+            if value in (0, 1):
+                value = bool(value)
+            else:
+                return NEG_INF
+        p = self.p if value else 1.0 - self.p
+        return math.log(p) if p > 0.0 else NEG_INF
+
+    def mean(self) -> float:
+        return self.p
+
+    def variance(self) -> float:
+        return self.p * (1.0 - self.p)
+
+    def enumerate_support(self, tol: float = 0.0) -> Iterator[Tuple[Value, float]]:
+        if self.p < 1.0:
+            yield False, 1.0 - self.p
+        if self.p > 0.0:
+            yield True, self.p
+
+    def __repr__(self) -> str:
+        return f"Bernoulli({self.p})"
+
+
+@register("Categorical")
+class Categorical(Distribution):
+    """``Categorical(p0, p1, ..., pk)`` — integer draw in ``0..k`` with
+    the given (normalized) probabilities."""
+
+    discrete = True
+
+    def __init__(self, *probs: Value) -> None:
+        if not probs:
+            raise DistributionError("Categorical needs at least one probability")
+        ps = [_as_float(p, "Categorical probability") for p in probs]
+        if any(p < 0.0 for p in ps):
+            raise DistributionError("Categorical probabilities must be >= 0")
+        total = sum(ps)
+        if total <= 0.0:
+            raise DistributionError("Categorical probabilities sum to zero")
+        self.probs = [p / total for p in ps]
+
+    def sample(self, rng: random.Random) -> int:
+        u = rng.random()
+        acc = 0.0
+        for i, p in enumerate(self.probs):
+            acc += p
+            if u < acc:
+                return i
+        return len(self.probs) - 1
+
+    def log_prob(self, value: Value) -> float:
+        if isinstance(value, bool) or not isinstance(value, int):
+            return NEG_INF
+        if 0 <= value < len(self.probs) and self.probs[value] > 0.0:
+            return math.log(self.probs[value])
+        return NEG_INF
+
+    def mean(self) -> float:
+        return sum(i * p for i, p in enumerate(self.probs))
+
+    def variance(self) -> float:
+        m = self.mean()
+        return sum(p * (i - m) ** 2 for i, p in enumerate(self.probs))
+
+    def enumerate_support(self, tol: float = 0.0) -> Iterator[Tuple[Value, float]]:
+        for i, p in enumerate(self.probs):
+            if p > 0.0:
+                yield i, p
+
+    def __repr__(self) -> str:
+        return f"Categorical({', '.join(map(str, self.probs))})"
+
+
+@register("DiscreteUniform")
+class DiscreteUniform(Distribution):
+    """``DiscreteUniform(lo, hi)`` — uniform integer in ``[lo, hi]``
+    inclusive."""
+
+    discrete = True
+
+    def __init__(self, lo: Value, hi: Value) -> None:
+        self.lo = int(_as_float(lo, "DiscreteUniform lo"))
+        self.hi = int(_as_float(hi, "DiscreteUniform hi"))
+        if self.hi < self.lo:
+            raise DistributionError(
+                f"DiscreteUniform needs lo <= hi, got [{self.lo}, {self.hi}]"
+            )
+
+    @property
+    def _n(self) -> int:
+        return self.hi - self.lo + 1
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.lo, self.hi)
+
+    def log_prob(self, value: Value) -> float:
+        if isinstance(value, bool) or not isinstance(value, int):
+            return NEG_INF
+        if self.lo <= value <= self.hi:
+            return -math.log(self._n)
+        return NEG_INF
+
+    def mean(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    def variance(self) -> float:
+        return (self._n ** 2 - 1) / 12.0
+
+    def enumerate_support(self, tol: float = 0.0) -> Iterator[Tuple[Value, float]]:
+        p = 1.0 / self._n
+        for value in range(self.lo, self.hi + 1):
+            yield value, p
+
+    def __repr__(self) -> str:
+        return f"DiscreteUniform({self.lo}, {self.hi})"
+
+
+@register("Binomial")
+class Binomial(Distribution):
+    """``Binomial(n, p)`` — number of successes in ``n`` Bernoulli(p)
+    trials."""
+
+    discrete = True
+
+    def __init__(self, n: Value, p: Value) -> None:
+        self.n = int(_as_float(n, "Binomial n"))
+        self.p = _as_float(p, "Binomial p")
+        if self.n < 0:
+            raise DistributionError(f"Binomial n must be >= 0, got {self.n}")
+        if not 0.0 <= self.p <= 1.0:
+            raise DistributionError(f"Binomial p must be in [0, 1], got {self.p}")
+
+    def sample(self, rng: random.Random) -> int:
+        return sum(1 for _ in range(self.n) if rng.random() < self.p)
+
+    def log_prob(self, value: Value) -> float:
+        if isinstance(value, bool) or not isinstance(value, int):
+            return NEG_INF
+        if not 0 <= value <= self.n:
+            return NEG_INF
+        if self.p == 0.0:
+            return 0.0 if value == 0 else NEG_INF
+        if self.p == 1.0:
+            return 0.0 if value == self.n else NEG_INF
+        return (
+            math.lgamma(self.n + 1)
+            - math.lgamma(value + 1)
+            - math.lgamma(self.n - value + 1)
+            + value * math.log(self.p)
+            + (self.n - value) * math.log1p(-self.p)
+        )
+
+    def mean(self) -> float:
+        return self.n * self.p
+
+    def variance(self) -> float:
+        return self.n * self.p * (1.0 - self.p)
+
+    def enumerate_support(self, tol: float = 0.0) -> Iterator[Tuple[Value, float]]:
+        for k in range(self.n + 1):
+            p = self.prob(k)
+            if p > 0.0:
+                yield k, p
+
+    def __repr__(self) -> str:
+        return f"Binomial({self.n}, {self.p})"
+
+
+@register("Poisson")
+class Poisson(Distribution):
+    """``Poisson(rate)`` — counts with the given mean rate."""
+
+    discrete = True
+
+    def __init__(self, rate: Value) -> None:
+        self.rate = _as_float(rate, "Poisson rate")
+        if self.rate < 0.0:
+            raise DistributionError(f"Poisson rate must be >= 0, got {self.rate}")
+
+    def sample(self, rng: random.Random) -> int:
+        # Knuth's method; adequate for the modest rates in our models.
+        threshold = math.exp(-self.rate)
+        k = 0
+        acc = rng.random()
+        while acc > threshold:
+            k += 1
+            acc *= rng.random()
+        return k
+
+    def log_prob(self, value: Value) -> float:
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            return NEG_INF
+        if self.rate == 0.0:
+            return 0.0 if value == 0 else NEG_INF
+        return value * math.log(self.rate) - self.rate - math.lgamma(value + 1)
+
+    def mean(self) -> float:
+        return self.rate
+
+    def variance(self) -> float:
+        return self.rate
+
+    def enumerate_support(self, tol: float = 1e-12) -> Iterator[Tuple[Value, float]]:
+        if tol <= 0.0:
+            raise DistributionError(
+                "Poisson has infinite support; enumerate with tol > 0"
+            )
+        k = 0
+        remaining = 1.0
+        while remaining > tol:
+            p = self.prob(k)
+            if p > 0.0:
+                yield k, p
+            remaining -= p
+            k += 1
+
+    def __repr__(self) -> str:
+        return f"Poisson({self.rate})"
+
+
+@register("Geometric")
+class Geometric(Distribution):
+    """``Geometric(p)`` — number of failures before the first success of
+    a Bernoulli(p) sequence (support ``0, 1, 2, ...``)."""
+
+    discrete = True
+
+    def __init__(self, p: Value) -> None:
+        self.p = _as_float(p, "Geometric p")
+        if not 0.0 < self.p <= 1.0:
+            raise DistributionError(f"Geometric p must be in (0, 1], got {self.p}")
+
+    def sample(self, rng: random.Random) -> int:
+        k = 0
+        while rng.random() >= self.p:
+            k += 1
+        return k
+
+    def log_prob(self, value: Value) -> float:
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            return NEG_INF
+        if self.p == 1.0:
+            return 0.0 if value == 0 else NEG_INF
+        return value * math.log1p(-self.p) + math.log(self.p)
+
+    def mean(self) -> float:
+        return (1.0 - self.p) / self.p
+
+    def variance(self) -> float:
+        return (1.0 - self.p) / self.p ** 2
+
+    def enumerate_support(self, tol: float = 1e-12) -> Iterator[Tuple[Value, float]]:
+        if tol <= 0.0 and self.p < 1.0:
+            raise DistributionError(
+                "Geometric has infinite support; enumerate with tol > 0"
+            )
+        k = 0
+        remaining = 1.0
+        while remaining > tol:
+            p = self.prob(k)
+            yield k, p
+            remaining -= p
+            k += 1
+            if self.p == 1.0:
+                break
+
+    def __repr__(self) -> str:
+        return f"Geometric({self.p})"

@@ -1,0 +1,207 @@
+"""Additional distributions beyond the paper's core set: Laplace,
+LogNormal, StudentT, and NegativeBinomial — common in PPL workloads
+(robust regression, skill models with heavy tails)."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator, Tuple
+
+from .base import (
+    Distribution,
+    DistributionError,
+    NEG_INF,
+    Value,
+    _as_float,
+    register,
+)
+
+__all__ = ["Laplace", "LogNormal", "StudentT", "NegativeBinomial"]
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+@register("Laplace")
+class Laplace(Distribution):
+    """``Laplace(loc, scale)`` — the double exponential."""
+
+    discrete = False
+
+    def __init__(self, loc: Value, scale: Value) -> None:
+        self.loc = _as_float(loc, "Laplace loc")
+        self.scale = _as_float(scale, "Laplace scale")
+        if self.scale <= 0.0:
+            raise DistributionError(f"Laplace scale must be > 0, got {self.scale}")
+
+    def sample(self, rng: random.Random) -> float:
+        u = rng.random() - 0.5
+        return self.loc - self.scale * math.copysign(
+            math.log1p(-2.0 * abs(u)), u
+        )
+
+    def log_prob(self, value: Value) -> float:
+        x = _as_float(value, "Laplace value")
+        return -abs(x - self.loc) / self.scale - math.log(2.0 * self.scale)
+
+    def mean(self) -> float:
+        return self.loc
+
+    def variance(self) -> float:
+        return 2.0 * self.scale ** 2
+
+    def __repr__(self) -> str:
+        return f"Laplace({self.loc}, {self.scale})"
+
+
+@register("LogNormal")
+class LogNormal(Distribution):
+    """``LogNormal(mu, sigma2)`` — ``exp(N(mu, sigma2))``."""
+
+    discrete = False
+
+    def __init__(self, mu: Value, sigma2: Value) -> None:
+        self.mu = _as_float(mu, "LogNormal mu")
+        self.sigma2 = _as_float(sigma2, "LogNormal sigma2")
+        if self.sigma2 <= 0.0:
+            raise DistributionError(
+                f"LogNormal variance must be > 0, got {self.sigma2}"
+            )
+
+    def sample(self, rng: random.Random) -> float:
+        return math.exp(rng.gauss(self.mu, math.sqrt(self.sigma2)))
+
+    def log_prob(self, value: Value) -> float:
+        x = _as_float(value, "LogNormal value")
+        if x <= 0.0:
+            return NEG_INF
+        log_x = math.log(x)
+        return (
+            -0.5 * (_LOG_2PI + math.log(self.sigma2))
+            - (log_x - self.mu) ** 2 / (2.0 * self.sigma2)
+            - log_x
+        )
+
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma2 / 2.0)
+
+    def variance(self) -> float:
+        return (math.exp(self.sigma2) - 1.0) * math.exp(
+            2.0 * self.mu + self.sigma2
+        )
+
+    def __repr__(self) -> str:
+        return f"LogNormal({self.mu}, {self.sigma2})"
+
+
+@register("StudentT")
+class StudentT(Distribution):
+    """``StudentT(df)`` — standard Student's t with ``df`` degrees of
+    freedom."""
+
+    discrete = False
+
+    def __init__(self, df: Value) -> None:
+        self.df = _as_float(df, "StudentT df")
+        if self.df <= 0.0:
+            raise DistributionError(f"StudentT df must be > 0, got {self.df}")
+
+    def sample(self, rng: random.Random) -> float:
+        # Ratio of a normal and a chi-squared draw.
+        z = rng.gauss(0.0, 1.0)
+        chi2 = 2.0 * rng.gammavariate(self.df / 2.0, 1.0)
+        return z / math.sqrt(chi2 / self.df)
+
+    def log_prob(self, value: Value) -> float:
+        x = _as_float(value, "StudentT value")
+        v = self.df
+        return (
+            math.lgamma((v + 1.0) / 2.0)
+            - math.lgamma(v / 2.0)
+            - 0.5 * math.log(v * math.pi)
+            - (v + 1.0) / 2.0 * math.log1p(x * x / v)
+        )
+
+    def mean(self) -> float:
+        if self.df <= 1.0:
+            raise DistributionError("StudentT mean undefined for df <= 1")
+        return 0.0
+
+    def variance(self) -> float:
+        if self.df <= 2.0:
+            raise DistributionError("StudentT variance undefined for df <= 2")
+        return self.df / (self.df - 2.0)
+
+    def __repr__(self) -> str:
+        return f"StudentT({self.df})"
+
+
+@register("NegativeBinomial")
+class NegativeBinomial(Distribution):
+    """``NegativeBinomial(r, p)`` — failures before the ``r``-th
+    success of a Bernoulli(p) sequence."""
+
+    discrete = True
+
+    def __init__(self, r: Value, p: Value) -> None:
+        self.r = _as_float(r, "NegativeBinomial r")
+        self.p = _as_float(p, "NegativeBinomial p")
+        if self.r <= 0.0:
+            raise DistributionError(
+                f"NegativeBinomial r must be > 0, got {self.r}"
+            )
+        if not 0.0 < self.p <= 1.0:
+            raise DistributionError(
+                f"NegativeBinomial p must be in (0, 1], got {self.p}"
+            )
+
+    def sample(self, rng: random.Random) -> int:
+        # Gamma-Poisson mixture (works for real r).
+        if self.p == 1.0:
+            return 0
+        rate = rng.gammavariate(self.r, (1.0 - self.p) / self.p)
+        # Knuth Poisson draw.
+        threshold = math.exp(-rate)
+        k = 0
+        acc = rng.random()
+        while acc > threshold:
+            k += 1
+            acc *= rng.random()
+        return k
+
+    def log_prob(self, value: Value) -> float:
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            return NEG_INF
+        if self.p == 1.0:
+            return 0.0 if value == 0 else NEG_INF
+        return (
+            math.lgamma(value + self.r)
+            - math.lgamma(self.r)
+            - math.lgamma(value + 1)
+            + self.r * math.log(self.p)
+            + value * math.log1p(-self.p)
+        )
+
+    def mean(self) -> float:
+        return self.r * (1.0 - self.p) / self.p
+
+    def variance(self) -> float:
+        return self.r * (1.0 - self.p) / self.p ** 2
+
+    def enumerate_support(self, tol: float = 1e-12) -> Iterator[Tuple[Value, float]]:
+        if tol <= 0.0 and self.p < 1.0:
+            raise DistributionError(
+                "NegativeBinomial has infinite support; enumerate with tol > 0"
+            )
+        k = 0
+        remaining = 1.0
+        while remaining > tol:
+            prob = self.prob(k)
+            yield k, prob
+            remaining -= prob
+            k += 1
+            if self.p == 1.0:
+                break
+
+    def __repr__(self) -> str:
+        return f"NegativeBinomial({self.r}, {self.p})"

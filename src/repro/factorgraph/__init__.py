@@ -1,0 +1,39 @@
+"""Factor graphs and message passing: discrete belief propagation and
+Gaussian expectation propagation — the "Infer.NET-like" engine."""
+
+from .compile_gaussian import (
+    CompiledGaussian,
+    GaussianCompileError,
+    compile_gaussian,
+)
+from .discrete_bp import BeliefPropagation, BPResult
+from .engine import InferNetEngine
+from .ep import (
+    EPError,
+    EPGraph,
+    GaussianVariable,
+    GreaterThanFactor,
+    LinearFactor,
+    ObservedFactor,
+    PriorFactor,
+)
+from .gaussian import Gaussian1D, v_exceeds, w_exceeds
+
+__all__ = [
+    "CompiledGaussian",
+    "GaussianCompileError",
+    "compile_gaussian",
+    "BeliefPropagation",
+    "BPResult",
+    "InferNetEngine",
+    "EPError",
+    "EPGraph",
+    "GaussianVariable",
+    "GreaterThanFactor",
+    "LinearFactor",
+    "ObservedFactor",
+    "PriorFactor",
+    "Gaussian1D",
+    "v_exceeds",
+    "w_exceeds",
+]

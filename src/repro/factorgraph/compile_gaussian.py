@@ -1,0 +1,305 @@
+"""Compile straight-line Gaussian-linear PROB programs to EP factor
+graphs — the continuous half of the "Infer.NET-like" engine.
+
+Supported fragment (exactly what the paper's continuous benchmarks —
+Bayesian linear regression, the HIV multilevel model, TrueSkill — need):
+
+* ``x ~ Gaussian(mu_expr, var_expr)`` with ``mu_expr`` linear in
+  program variables and ``var_expr`` constant;
+* ``x ~ Gamma(a, b)`` when ``x`` is used only inside variance
+  positions: the EP engine plugs in the Gamma's prior mean (a
+  point-mass/variational approximation, documented in DESIGN.md §3 —
+  regression-weight posterior *means* are unaffected);
+* ``x = <linear expression>``;
+* ``q = e1 <cmp> e2`` immediately consumed by ``observe(q)`` (or a
+  direct ``observe(e1 <cmp> e2)``) — compiled to a difference variable
+  plus a truncated-Gaussian factor (TrueSkill's win factor);
+* ``observe(Gaussian(mu_expr, var_expr), value)`` with constant value —
+  an observed noisy measurement.
+
+Anything else raises :class:`GaussianCompileError`; the engine then
+reports the program unsupported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.ast import (
+    Assign,
+    Binary,
+    Block,
+    Const,
+    Decl,
+    DistCall,
+    Expr,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Program,
+    Sample,
+    Skip,
+    Stmt,
+    Unary,
+    Var,
+    While,
+)
+from ..dists import make_distribution
+from .ep import EPGraph
+
+__all__ = ["GaussianCompileError", "CompiledGaussian", "compile_gaussian"]
+
+#: Linear form: constant + {variable: coefficient}.
+Linear = Tuple[float, Dict[str, float]]
+
+
+class GaussianCompileError(ValueError):
+    """The program is outside the Gaussian-linear fragment."""
+
+
+@dataclass
+class CompiledGaussian:
+    """The EP graph plus the linear form of the return expression."""
+
+    graph: EPGraph
+    ret_linear: Linear
+
+    def posterior_moments(self) -> Tuple[float, float]:
+        """Posterior (mean, variance) of the return expression, treating
+        variable beliefs as independent (exact for a single variable)."""
+        c0, coeffs = self.ret_linear
+        mean = c0
+        var = 0.0
+        for name, c in coeffs.items():
+            m, v = self.graph.posterior(name)
+            mean += c * m
+            var += c * c * v
+        return mean, var
+
+
+class _Compiler:
+    def __init__(self) -> None:
+        self.graph = EPGraph()
+        #: Gamma-sampled variables, replaced by their prior mean.
+        self.gamma_means: Dict[str, float] = {}
+        #: Plain constants assigned in the program.
+        self.consts: Dict[str, float] = {}
+        #: Pending comparison assignments awaiting an observe.
+        self.comparisons: Dict[str, Tuple[str, Linear]] = {}
+        #: Variables materialized in the EP graph.
+        self.latent: set = set()
+        self._aux = 0
+
+    # -- linear algebra over expressions ---------------------------------------
+
+    def linearize(self, expr: Expr) -> Linear:
+        if isinstance(expr, Const):
+            if isinstance(expr.value, bool):
+                raise GaussianCompileError(f"boolean constant {expr} in linear context")
+            return float(expr.value), {}
+        if isinstance(expr, Var):
+            name = expr.name
+            if name in self.consts:
+                return self.consts[name], {}
+            if name in self.gamma_means:
+                return self.gamma_means[name], {}
+            if name in self.latent:
+                return 0.0, {name: 1.0}
+            raise GaussianCompileError(f"variable {name!r} used before definition")
+        if isinstance(expr, Unary):
+            if expr.op != "-":
+                raise GaussianCompileError(f"non-linear operator {expr.op!r}")
+            c0, coeffs = self.linearize(expr.operand)
+            return -c0, {k: -v for k, v in coeffs.items()}
+        if isinstance(expr, Binary):
+            if expr.op == "+":
+                return _add(self.linearize(expr.left), self.linearize(expr.right))
+            if expr.op == "-":
+                left = self.linearize(expr.left)
+                rc0, rcoeffs = self.linearize(expr.right)
+                return _add(left, (-rc0, {k: -v for k, v in rcoeffs.items()}))
+            if expr.op == "*":
+                left = self.linearize(expr.left)
+                right = self.linearize(expr.right)
+                if not left[1]:
+                    return _scale(right, left[0])
+                if not right[1]:
+                    return _scale(left, right[0])
+                raise GaussianCompileError(f"non-linear product {expr}")
+            if expr.op == "/":
+                left = self.linearize(expr.left)
+                right = self.linearize(expr.right)
+                if right[1] or right[0] == 0.0:
+                    raise GaussianCompileError(f"non-constant divisor in {expr}")
+                return _scale(left, 1.0 / right[0])
+            raise GaussianCompileError(f"operator {expr.op!r} is not linear")
+        raise GaussianCompileError(f"unsupported expression {expr!r}")
+
+    def constant(self, expr: Expr, what: str) -> float:
+        c0, coeffs = self.linearize(expr)
+        if coeffs:
+            raise GaussianCompileError(f"{what} must be constant, got {expr}")
+        return c0
+
+    # -- statements -------------------------------------------------------------
+
+    def visit(self, stmt: Stmt) -> None:
+        if isinstance(stmt, (Skip, Decl)):
+            return
+        if isinstance(stmt, (If, While)):
+            raise GaussianCompileError(
+                "control flow is outside the Gaussian-linear fragment"
+            )
+        if isinstance(stmt, Factor):
+            raise GaussianCompileError("factor statements are not supported")
+        if isinstance(stmt, Block):
+            for s in stmt.stmts:
+                self.visit(s)
+            return
+        if isinstance(stmt, Sample):
+            self._visit_sample(stmt)
+            return
+        if isinstance(stmt, Assign):
+            self._visit_assign(stmt)
+            return
+        if isinstance(stmt, Observe):
+            self._visit_observe(stmt.cond)
+            return
+        if isinstance(stmt, ObserveSample):
+            self._visit_observe_sample(stmt)
+            return
+        raise TypeError(f"not a statement: {stmt!r}")
+
+    def _visit_sample(self, stmt: Sample) -> None:
+        dist = stmt.dist
+        if dist.name == "Gaussian":
+            if len(dist.args) != 2:
+                raise GaussianCompileError(f"bad Gaussian arity in {stmt}")
+            mu = self.linearize(dist.args[0])
+            var = self.constant(dist.args[1], "Gaussian variance")
+            self.latent.add(stmt.name)
+            if not mu[1]:
+                self.graph.add_prior(stmt.name, mu[0], var)
+            else:
+                self.graph.add_linear(
+                    stmt.name,
+                    [(c, n) for n, c in mu[1].items()],
+                    c0=mu[0],
+                    noise_var=var,
+                )
+            return
+        if dist.name == "Gamma":
+            args = tuple(
+                self.constant(a, "Gamma parameter") for a in dist.args
+            )
+            self.gamma_means[stmt.name] = make_distribution("Gamma", args).mean()
+            return
+        raise GaussianCompileError(
+            f"distribution {dist.name} is outside the Gaussian-linear fragment"
+        )
+
+    def _visit_assign(self, stmt: Assign) -> None:
+        expr = stmt.expr
+        if isinstance(expr, Binary) and expr.op in ("<", "<=", ">", ">=", "==", "!="):
+            diff = _sub(self.linearize(expr.left), self.linearize(expr.right))
+            self.comparisons[stmt.name] = (expr.op, diff)
+            return
+        linear = self.linearize(expr)
+        if not linear[1]:
+            self.consts[stmt.name] = linear[0]
+            return
+        if len(linear[1]) == 1 and linear[0] == 0.0:
+            (name, coeff), = linear[1].items()
+            if coeff == 1.0:
+                # A pure alias: reuse the existing EP variable.
+                self.latent.add(stmt.name)
+                self.graph.add_linear(stmt.name, [(1.0, name)])
+                return
+        self.latent.add(stmt.name)
+        self.graph.add_linear(
+            stmt.name, [(c, n) for n, c in linear[1].items()], c0=linear[0]
+        )
+
+    def _fresh(self, base: str) -> str:
+        self._aux += 1
+        return f"${base}{self._aux}"
+
+    def _observe_comparison(self, op: str, diff: Linear) -> None:
+        c0, coeffs = diff
+        if not coeffs:
+            raise GaussianCompileError("comparison of two constants in observe")
+        d = self._fresh("d")
+        self.latent.add(d)
+        self.graph.add_linear(d, [(c, n) for n, c in coeffs.items()], c0=c0)
+        if op in (">", ">="):
+            self.graph.add_greater_than(d, 0.0)
+        elif op in ("<", "<="):
+            # d < 0  ==  -d > 0; flip by observing the negated combo.
+            neg = self._fresh("d")
+            self.latent.add(neg)
+            self.graph.add_linear(neg, [(-1.0, d)])
+            self.graph.add_greater_than(neg, 0.0)
+        elif op == "==":
+            self.graph.add_observed(d, 0.0)
+        else:
+            raise GaussianCompileError("observe(!=) has no density interpretation")
+
+    def _visit_observe(self, cond: Expr) -> None:
+        if isinstance(cond, Var):
+            if cond.name not in self.comparisons:
+                raise GaussianCompileError(
+                    f"observed variable {cond.name!r} is not a comparison"
+                )
+            op, diff = self.comparisons[cond.name]
+            self._observe_comparison(op, diff)
+            return
+        if isinstance(cond, Binary) and cond.op in ("<", "<=", ">", ">=", "=="):
+            diff = _sub(self.linearize(cond.left), self.linearize(cond.right))
+            self._observe_comparison(cond.op, diff)
+            return
+        raise GaussianCompileError(f"unsupported observe condition {cond}")
+
+    def _visit_observe_sample(self, stmt: ObserveSample) -> None:
+        dist = stmt.dist
+        if dist.name != "Gaussian":
+            raise GaussianCompileError(
+                f"soft observation of {dist.name} is not Gaussian-linear"
+            )
+        mu = self.linearize(dist.args[0])
+        var = self.constant(dist.args[1], "Gaussian variance")
+        value = self.constant(stmt.value, "observed value")
+        if not mu[1]:
+            # Observing a constant-mean Gaussian constrains nothing.
+            return
+        y = self._fresh("y")
+        self.latent.add(y)
+        self.graph.add_linear(
+            y, [(c, n) for n, c in mu[1].items()], c0=mu[0], noise_var=var
+        )
+        self.graph.add_observed(y, value)
+
+
+def _add(a: Linear, b: Linear) -> Linear:
+    coeffs = dict(a[1])
+    for k, v in b[1].items():
+        coeffs[k] = coeffs.get(k, 0.0) + v
+    return a[0] + b[0], {k: v for k, v in coeffs.items() if v != 0.0}
+
+
+def _sub(a: Linear, b: Linear) -> Linear:
+    return _add(a, (-b[0], {k: -v for k, v in b[1].items()}))
+
+
+def _scale(a: Linear, s: float) -> Linear:
+    return a[0] * s, {k: v * s for k, v in a[1].items() if v * s != 0.0}
+
+
+def compile_gaussian(program: Program) -> CompiledGaussian:
+    """Compile ``program`` to an EP graph; raises
+    :class:`GaussianCompileError` outside the fragment."""
+    compiler = _Compiler()
+    compiler.visit(program.body)
+    ret = compiler.linearize(program.ret)
+    return CompiledGaussian(compiler.graph, ret)

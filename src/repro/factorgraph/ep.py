@@ -1,0 +1,280 @@
+"""Gaussian Expectation Propagation on factor graphs.
+
+The factor vocabulary is the one Infer.NET compiles linear-Gaussian
+models and TrueSkill to:
+
+* :class:`PriorFactor`       — ``x ~ N(mu, var)``
+* :class:`LinearFactor`      — ``y = c0 + sum(c_i * x_i) + N(0, var)``
+* :class:`ObservedFactor`    — ``x = value`` (numeric point mass)
+* :class:`GreaterThanFactor` — condition ``d > threshold`` by
+  truncated-Gaussian moment matching.
+
+The scheduler (:class:`EPGraph.run`) sweeps factors in insertion order
+until the largest natural-parameter change drops below ``tol``.  On
+tree-structured linear-Gaussian graphs this converges to the exact
+posterior means; on loopy graphs it is the usual Gaussian EP/BP
+approximation (means exact in the linear-Gaussian case whenever it
+converges).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .gaussian import Gaussian1D, v_exceeds, w_exceeds
+
+__all__ = [
+    "EPGraph",
+    "GaussianVariable",
+    "PriorFactor",
+    "LinearFactor",
+    "ObservedFactor",
+    "GreaterThanFactor",
+    "EPError",
+]
+
+_MIN_VAR = 1e-12
+
+
+class EPError(RuntimeError):
+    """EP failed (no proper belief, divergence)."""
+
+
+class GaussianVariable:
+    """A latent scalar with a Gaussian belief: the product of the
+    messages from its neighbouring factors."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._messages: Dict[int, Gaussian1D] = {}
+
+    def message_from(self, factor_id: int) -> Gaussian1D:
+        return self._messages.get(factor_id, Gaussian1D.uniform())
+
+    def set_message(self, factor_id: int, message: Gaussian1D) -> float:
+        old = self.message_from(factor_id)
+        self._messages[factor_id] = message
+        return message.delta(old)
+
+    def belief(self) -> Gaussian1D:
+        out = Gaussian1D.uniform()
+        for m in self._messages.values():
+            out = out * m
+        return out
+
+    def cavity(self, factor_id: int) -> Gaussian1D:
+        return self.belief() / self.message_from(factor_id)
+
+    def __repr__(self) -> str:
+        return f"GaussianVariable({self.name}, {self.belief()!r})"
+
+
+class _Factor:
+    def __init__(self, factor_id: int) -> None:
+        self.factor_id = factor_id
+
+    def update(self) -> float:
+        """Send messages to all neighbours; return max parameter delta."""
+        raise NotImplementedError
+
+
+class PriorFactor(_Factor):
+    """``x ~ N(mu, var)`` — a constant message."""
+
+    def __init__(self, factor_id: int, x: GaussianVariable, mu: float, var: float):
+        super().__init__(factor_id)
+        self.x = x
+        self.message = Gaussian1D.from_mean_var(mu, max(var, _MIN_VAR))
+
+    def update(self) -> float:
+        return self.x.set_message(self.factor_id, self.message)
+
+
+class ObservedFactor(_Factor):
+    """``x = value`` exactly (numeric point mass)."""
+
+    def __init__(self, factor_id: int, x: GaussianVariable, value: float):
+        super().__init__(factor_id)
+        self.x = x
+        self.message = Gaussian1D.point(value)
+
+    def update(self) -> float:
+        return self.x.set_message(self.factor_id, self.message)
+
+
+class LinearFactor(_Factor):
+    """``y = c0 + sum(c_i x_i) + N(0, noise_var)``.
+
+    Message to ``y``: means and variances add.  Message to ``x_j``:
+    solve for ``x_j`` and substitute the cavity moments of the others.
+    Improper (non-positive-precision) cavities send a uniform message
+    (the standard EP damping-by-skipping rule), so scheduling order
+    cannot crash the sweep.
+    """
+
+    def __init__(
+        self,
+        factor_id: int,
+        y: GaussianVariable,
+        xs: Sequence[GaussianVariable],
+        coeffs: Sequence[float],
+        c0: float = 0.0,
+        noise_var: float = 0.0,
+    ) -> None:
+        super().__init__(factor_id)
+        if len(xs) != len(coeffs):
+            raise ValueError("coefficient/variable arity mismatch")
+        if any(c == 0.0 for c in coeffs):
+            raise ValueError("zero coefficient in LinearFactor")
+        self.y = y
+        self.xs = list(xs)
+        self.coeffs = list(coeffs)
+        self.c0 = c0
+        self.noise_var = noise_var
+
+    def _moments(self, variable: GaussianVariable) -> Optional[Tuple[float, float]]:
+        cavity = variable.cavity(self.factor_id)
+        if not cavity.proper:
+            return None
+        return cavity.mean, cavity.variance
+
+    def update(self) -> float:
+        delta = 0.0
+        # Message to y.
+        moments = [self._moments(x) for x in self.xs]
+        if all(m is not None for m in moments):
+            mean = self.c0 + sum(
+                c * m[0] for c, m in zip(self.coeffs, moments)  # type: ignore[index]
+            )
+            var = self.noise_var + sum(
+                c * c * m[1] for c, m in zip(self.coeffs, moments)  # type: ignore[index]
+            )
+            msg = Gaussian1D.from_mean_var(mean, max(var, _MIN_VAR))
+            delta = max(delta, self.y.set_message(self.factor_id, msg))
+        # Messages to each x_j.
+        y_moments = self._moments(self.y)
+        for j, xj in enumerate(self.xs):
+            if y_moments is None:
+                continue
+            rest_mean = self.c0
+            rest_var = self.noise_var
+            ok = True
+            for i, (c, x) in enumerate(zip(self.coeffs, self.xs)):
+                if i == j:
+                    continue
+                m = self._moments(x)
+                if m is None:
+                    ok = False
+                    break
+                rest_mean += c * m[0]
+                rest_var += c * c * m[1]
+            if not ok:
+                continue
+            cj = self.coeffs[j]
+            mean = (y_moments[0] - rest_mean) / cj
+            var = (y_moments[1] + rest_var) / (cj * cj)
+            msg = Gaussian1D.from_mean_var(mean, max(var, _MIN_VAR))
+            delta = max(delta, xj.set_message(self.factor_id, msg))
+        return delta
+
+
+class GreaterThanFactor(_Factor):
+    """Condition ``d > threshold`` by truncated-Gaussian moment
+    matching (the TrueSkill win factor)."""
+
+    def __init__(
+        self, factor_id: int, d: GaussianVariable, threshold: float = 0.0
+    ) -> None:
+        super().__init__(factor_id)
+        self.d = d
+        self.threshold = threshold
+
+    def update(self) -> float:
+        cavity = self.d.cavity(self.factor_id)
+        if not cavity.proper:
+            return 0.0
+        mean, var = cavity.mean, cavity.variance
+        sd = math.sqrt(var)
+        t = (mean - self.threshold) / sd
+        new_mean = mean + sd * v_exceeds(t)
+        new_var = var * max(1.0 - w_exceeds(t), _MIN_VAR)
+        new_belief = Gaussian1D.from_mean_var(new_mean, new_var)
+        return self.d.set_message(self.factor_id, new_belief / cavity)
+
+
+class EPGraph:
+    """A factor graph with an EP sweep scheduler."""
+
+    def __init__(self) -> None:
+        self._variables: Dict[str, GaussianVariable] = {}
+        self._factors: List[_Factor] = []
+
+    # -- construction ----------------------------------------------------------
+
+    def variable(self, name: str) -> GaussianVariable:
+        if name not in self._variables:
+            self._variables[name] = GaussianVariable(name)
+        return self._variables[name]
+
+    def _next_id(self) -> int:
+        return len(self._factors)
+
+    def add_prior(self, name: str, mu: float, var: float) -> None:
+        self._factors.append(
+            PriorFactor(self._next_id(), self.variable(name), mu, var)
+        )
+
+    def add_observed(self, name: str, value: float) -> None:
+        self._factors.append(
+            ObservedFactor(self._next_id(), self.variable(name), value)
+        )
+
+    def add_linear(
+        self,
+        y: str,
+        terms: Sequence[Tuple[float, str]],
+        c0: float = 0.0,
+        noise_var: float = 0.0,
+    ) -> None:
+        xs = [self.variable(n) for _, n in terms]
+        coeffs = [c for c, _ in terms]
+        self._factors.append(
+            LinearFactor(
+                self._next_id(), self.variable(y), xs, coeffs, c0, noise_var
+            )
+        )
+
+    def add_greater_than(self, d: str, threshold: float = 0.0) -> None:
+        self._factors.append(
+            GreaterThanFactor(self._next_id(), self.variable(d), threshold)
+        )
+
+    # -- inference ---------------------------------------------------------------
+
+    @property
+    def n_factors(self) -> int:
+        return len(self._factors)
+
+    @property
+    def n_variables(self) -> int:
+        return len(self._variables)
+
+    def run(self, max_sweeps: int = 200, tol: float = 1e-8) -> int:
+        """Sweep all factors until convergence; returns sweeps used."""
+        for sweep in range(1, max_sweeps + 1):
+            delta = 0.0
+            for factor in self._factors:
+                delta = max(delta, factor.update())
+            if delta < tol:
+                return sweep
+        return max_sweeps
+
+    def posterior(self, name: str) -> Tuple[float, float]:
+        """Posterior (mean, variance) of a variable."""
+        if name not in self._variables:
+            raise EPError(f"unknown variable {name!r}")
+        belief = self._variables[name].belief()
+        if not belief.proper:
+            raise EPError(f"variable {name!r} has an improper belief")
+        return belief.mean, belief.variance

@@ -1,0 +1,106 @@
+"""One-dimensional Gaussians in natural parameters, plus truncated
+Gaussian moments — the numeric core of the EP engine (and of TrueSkill
+in particular)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Gaussian1D", "v_exceeds", "w_exceeds", "POINT_PRECISION"]
+
+#: Precision used to represent (numerically) observed point masses.
+POINT_PRECISION = 1e12
+
+_SQRT_2PI = math.sqrt(2.0 * math.pi)
+_SQRT_2 = math.sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class Gaussian1D:
+    """``N(mean, var)`` stored as precision ``pi = 1/var`` and
+    precision-adjusted mean ``tau = mean/var``.
+
+    ``pi == 0`` is the improper uniform message (the multiplicative
+    identity); division of messages may produce negative precision
+    intermediates, which EP tolerates transiently.
+    """
+
+    pi: float = 0.0
+    tau: float = 0.0
+
+    @classmethod
+    def from_mean_var(cls, mean: float, var: float) -> "Gaussian1D":
+        if var <= 0.0:
+            raise ValueError(f"variance must be positive, got {var}")
+        pi = 1.0 / var
+        return cls(pi, pi * mean)
+
+    @classmethod
+    def point(cls, value: float) -> "Gaussian1D":
+        """A numeric point mass at ``value``."""
+        return cls(POINT_PRECISION, POINT_PRECISION * value)
+
+    @classmethod
+    def uniform(cls) -> "Gaussian1D":
+        return cls(0.0, 0.0)
+
+    @property
+    def mean(self) -> float:
+        if self.pi == 0.0:
+            return 0.0
+        return self.tau / self.pi
+
+    @property
+    def variance(self) -> float:
+        if self.pi == 0.0:
+            return math.inf
+        return 1.0 / self.pi
+
+    @property
+    def proper(self) -> bool:
+        return self.pi > 0.0
+
+    def __mul__(self, other: "Gaussian1D") -> "Gaussian1D":
+        return Gaussian1D(self.pi + other.pi, self.tau + other.tau)
+
+    def __truediv__(self, other: "Gaussian1D") -> "Gaussian1D":
+        return Gaussian1D(self.pi - other.pi, self.tau - other.tau)
+
+    def delta(self, other: "Gaussian1D") -> float:
+        """Convergence metric: max change in natural parameters."""
+        return max(abs(self.pi - other.pi), abs(self.tau - other.tau))
+
+    def __repr__(self) -> str:
+        if self.pi == 0.0:
+            return "Gaussian1D(uniform)"
+        return f"Gaussian1D(mean={self.mean:.6g}, var={self.variance:.6g})"
+
+
+def _norm_pdf(t: float) -> float:
+    return math.exp(-0.5 * t * t) / _SQRT_2PI
+
+
+def _norm_cdf(t: float) -> float:
+    return 0.5 * math.erfc(-t / _SQRT_2)
+
+
+def v_exceeds(t: float) -> float:
+    """``v(t) = pdf(t) / cdf(t)``: additive correction to the mean of a
+    Gaussian truncated to ``> -t`` (Herbrich et al., TrueSkill).
+
+    Numerically stable for very negative ``t`` via the Mills-ratio
+    asymptotic ``v(t) ~ -t``.
+    """
+    cdf = _norm_cdf(t)
+    if cdf < 1e-300:
+        return -t
+    return _norm_pdf(t) / cdf
+
+
+def w_exceeds(t: float) -> float:
+    """``w(t) = v(t) * (v(t) + t)``: multiplicative shrink of the
+    variance of the truncated Gaussian; always in ``(0, 1)``."""
+    v = v_exceeds(t)
+    w = v * (v + t)
+    return min(max(w, 0.0), 1.0)

@@ -1,0 +1,84 @@
+"""Plain-text report rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..metrics.convergence import ConvergenceCurve
+from .runner import RunStatus, SpeedupRow
+
+__all__ = ["format_speedup_table", "format_convergence_table", "format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Render an aligned plain-text table."""
+    all_rows: List[Sequence[str]] = [list(headers)] + [list(r) for r in rows]
+    widths = [
+        max(len(str(row[i])) for row in all_rows)
+        for i in range(len(headers))
+    ]
+    lines = []
+    for idx, row in enumerate(all_rows):
+        line = "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _status_cell(row: SpeedupRow) -> str:
+    if row.original.status is RunStatus.UNSUPPORTED:
+        return "n/a (unsupported)"
+    if row.original.status is RunStatus.TIMEOUT and row.sliced.ok:
+        speedup = row.speedup
+        return f">{speedup:.1f}x (orig timeout)" if speedup else "orig timeout"
+    speedup = row.speedup
+    if speedup is None:
+        return f"{row.original.status.value}/{row.sliced.status.value}"
+    return f"{speedup:.2f}x"
+
+
+def format_speedup_table(rows: Iterable[SpeedupRow]) -> str:
+    """Render Figure-18 rows: benchmark x engine -> speedup."""
+    body = []
+    for row in rows:
+        work = row.work_speedup
+        body.append(
+            [
+                row.benchmark,
+                row.engine,
+                _status_cell(row),
+                f"{work:.2f}x" if work is not None else "-",
+                f"{row.slice_result.transformed_size}",
+                f"{row.slice_result.sliced_size}",
+                f"{row.slicing_seconds * 1000:.1f}ms",
+            ]
+        )
+    return format_table(
+        [
+            "benchmark",
+            "engine",
+            "time speedup",
+            "work speedup",
+            "stmts(orig)",
+            "stmts(sliced)",
+            "slice time",
+        ],
+        body,
+    )
+
+
+def format_convergence_table(curves: Sequence[ConvergenceCurve]) -> str:
+    """Render Figure-19 curves side by side (KL per checkpoint)."""
+    checkpoints = sorted({n for c in curves for n, _ in c.points})
+    headers = ["samples"] + [c.label for c in curves]
+    body = []
+    for n in checkpoints:
+        row = [str(n)]
+        for c in curves:
+            try:
+                row.append(f"{c.kl_at(n):.5f}")
+            except KeyError:
+                row.append("-")
+        body.append(row)
+    return format_table(headers, body)

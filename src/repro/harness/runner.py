@@ -1,0 +1,137 @@
+"""The Figure-18 measurement harness: run an engine on a program and
+its slice, and report the speedup.
+
+Timeouts and unsupported features are first-class outcomes (the paper
+reports "Church does not terminate" and "Church does not support
+Gamma" as missing/qualified bars), so :class:`EngineRun` captures a
+status instead of raising.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..core.ast import Program
+from ..inference.base import (
+    Engine,
+    InferenceError,
+    InferenceResult,
+    InferenceTimeout,
+    UnsupportedProgramError,
+)
+from ..transforms.pipeline import SliceResult, sli
+
+__all__ = ["RunStatus", "EngineRun", "SpeedupRow", "run_engine", "measure_speedup"]
+
+
+class RunStatus(Enum):
+    OK = "ok"
+    TIMEOUT = "timeout"
+    UNSUPPORTED = "unsupported"
+    FAILED = "failed"
+
+
+@dataclass
+class EngineRun:
+    """One engine invocation on one program."""
+
+    status: RunStatus
+    elapsed_seconds: float
+    result: Optional[InferenceResult] = None
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RunStatus.OK
+
+
+@dataclass
+class SpeedupRow:
+    """One Figure-18 bar: a benchmark under one engine."""
+
+    benchmark: str
+    engine: str
+    original: EngineRun
+    sliced: EngineRun
+    slice_result: SliceResult
+    slicing_seconds: float
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Wall-clock speedup, or None when either side is not OK.
+
+        A timeout on the original with a successful sliced run (the
+        paper's Church-on-HIV/Halo situation) reports the *lower
+        bound* budget/sliced-time.
+        """
+        if self.sliced.ok and self.original.ok:
+            if self.sliced.elapsed_seconds <= 0.0:
+                return None
+            return self.original.elapsed_seconds / self.sliced.elapsed_seconds
+        if (
+            self.sliced.ok
+            and self.original.status is RunStatus.TIMEOUT
+            and self.sliced.elapsed_seconds > 0.0
+        ):
+            return self.original.elapsed_seconds / self.sliced.elapsed_seconds
+        return None
+
+    @property
+    def work_speedup(self) -> Optional[float]:
+        """Speedup in deterministic work (statements executed /
+        messages passed) — robust to machine noise."""
+        if not (self.sliced.ok and self.original.ok):
+            return None
+        assert self.original.result is not None and self.sliced.result is not None
+        orig = self.original.result.statements_executed
+        new = self.sliced.result.statements_executed
+        if new <= 0:
+            return None
+        return orig / new
+
+
+def run_engine(engine: Engine, program: Program) -> EngineRun:
+    """Run ``engine`` on ``program``, capturing outcome and time."""
+    start = time.perf_counter()
+    try:
+        result = engine.infer(program)
+    except InferenceTimeout as exc:
+        return EngineRun(
+            RunStatus.TIMEOUT, time.perf_counter() - start, message=str(exc)
+        )
+    except UnsupportedProgramError as exc:
+        return EngineRun(
+            RunStatus.UNSUPPORTED, time.perf_counter() - start, message=str(exc)
+        )
+    except InferenceError as exc:
+        return EngineRun(
+            RunStatus.FAILED, time.perf_counter() - start, message=str(exc)
+        )
+    return EngineRun(RunStatus.OK, time.perf_counter() - start, result=result)
+
+
+def measure_speedup(
+    benchmark_name: str,
+    engine_name: str,
+    engine: Engine,
+    program: Program,
+    simplify: bool = False,
+) -> SpeedupRow:
+    """Slice ``program``, run the engine on both versions, and package
+    the Figure-18 row."""
+    start = time.perf_counter()
+    slice_result = sli(program, simplify=simplify)
+    slicing_seconds = time.perf_counter() - start
+    original = run_engine(engine, program)
+    sliced = run_engine(engine, slice_result.sliced)
+    return SpeedupRow(
+        benchmark=benchmark_name,
+        engine=engine_name,
+        original=original,
+        sliced=sliced,
+        slice_result=slice_result,
+        slicing_seconds=slicing_seconds,
+    )

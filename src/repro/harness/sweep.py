@@ -1,0 +1,63 @@
+"""Parameter sweeps: run a benchmark family across a parameter grid
+and tabulate a metric — the machinery behind the speedup-vs-sliceable-
+fraction ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..core.ast import Program
+from ..inference.base import Engine
+from .runner import SpeedupRow, measure_speedup
+
+__all__ = ["SweepPoint", "sweep_speedup", "format_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a speedup sweep."""
+
+    parameter: float
+    row: SpeedupRow
+
+    @property
+    def speedup(self) -> Optional[float]:
+        return self.row.speedup
+
+    @property
+    def work_speedup(self) -> Optional[float]:
+        return self.row.work_speedup
+
+
+def sweep_speedup(
+    name: str,
+    engine_factory: Callable[[], Engine],
+    program_for: Callable[[float], Program],
+    parameters: Sequence[float],
+) -> List[SweepPoint]:
+    """Measure the slicing speedup at every parameter value.
+
+    ``program_for(p)`` builds the benchmark instance for parameter
+    ``p``; a fresh engine is created per point so seeds stay aligned.
+    """
+    points: List[SweepPoint] = []
+    for p in parameters:
+        row = measure_speedup(
+            f"{name}[{p}]", "sweep", engine_factory(), program_for(p)
+        )
+        points.append(SweepPoint(p, row))
+    return points
+
+
+def format_sweep(
+    points: Sequence[SweepPoint], parameter_name: str = "parameter"
+) -> str:
+    """Render a sweep as an aligned table."""
+    lines = [f"{parameter_name:>12}  {'time speedup':>12}  {'work speedup':>12}"]
+    for pt in points:
+        time_s = f"{pt.speedup:.2f}x" if pt.speedup else "-"
+        work_s = f"{pt.work_speedup:.2f}x" if pt.work_speedup else "-"
+        lines.append(f"{pt.parameter:>12.3g}  {time_s:>12}  {work_s:>12}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Inference engines: rejection, likelihood weighting, single-site MH
+("R2"), Church-like trace MH, and exact enumeration."""
+
+from .base import (
+    Engine,
+    InferenceError,
+    InferenceResult,
+    InferenceTimeout,
+    InitializationError,
+    UnsupportedProgramError,
+    effective_sample_size,
+)
+from .diagnostics import ChainSummary, autocorrelation, split_r_hat, summarize_chains
+from .enumeration import EnumerationEngine
+from .gibbs import GibbsSampler
+from .features import (
+    distributions_used,
+    has_hard_observe,
+    has_loop,
+    has_soft_conditioning,
+)
+from .importance import LikelihoodWeighting
+from .mh import MetropolisHastings
+from .rejection import RejectionSampler
+from .smc import SMCSampler
+from .tracemh import ChurchTraceMH
+
+__all__ = [
+    "Engine",
+    "InferenceError",
+    "InferenceResult",
+    "InferenceTimeout",
+    "InitializationError",
+    "UnsupportedProgramError",
+    "effective_sample_size",
+    "ChainSummary",
+    "autocorrelation",
+    "split_r_hat",
+    "summarize_chains",
+    "EnumerationEngine",
+    "GibbsSampler",
+    "LikelihoodWeighting",
+    "MetropolisHastings",
+    "RejectionSampler",
+    "SMCSampler",
+    "ChurchTraceMH",
+    "distributions_used",
+    "has_hard_observe",
+    "has_loop",
+    "has_soft_conditioning",
+]

@@ -1,0 +1,146 @@
+"""Common infrastructure for the inference engines."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.ast import Program
+from ..semantics.distribution import FiniteDist
+from ..semantics.values import Value
+
+__all__ = [
+    "InferenceError",
+    "UnsupportedProgramError",
+    "InferenceTimeout",
+    "InitializationError",
+    "InferenceResult",
+    "Engine",
+]
+
+
+class InferenceError(RuntimeError):
+    """Generic inference failure."""
+
+
+class UnsupportedProgramError(InferenceError):
+    """The engine cannot handle a feature of this program (e.g. the
+    Church-like engine and the Gamma distribution, or rejection
+    sampling with soft conditioning)."""
+
+
+class InferenceTimeout(InferenceError):
+    """The engine exceeded its wall-clock budget — this is how the
+    paper's 'Church does not terminate on the original program' rows
+    manifest in our harness."""
+
+
+class InitializationError(InferenceError):
+    """No trace satisfying the hard observations was found."""
+
+
+@dataclass
+class InferenceResult:
+    """Output of an inference engine.
+
+    For samplers, ``samples`` holds the (post-burn-in) return values
+    and ``weights`` optional importance weights.  The exact engine
+    sets ``exact`` directly.  ``statements_executed`` is a
+    deterministic work measure used by the benchmark harness alongside
+    wall time.
+    """
+
+    samples: List[Value] = field(default_factory=list)
+    weights: Optional[List[float]] = None
+    exact: Optional[FiniteDist] = None
+    #: Continuous engines (Gaussian EP) report posterior (mean, variance).
+    moments: Optional[tuple] = None
+    elapsed_seconds: float = 0.0
+    statements_executed: int = 0
+    n_proposals: int = 0
+    n_accepted: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        if self.n_proposals == 0:
+            return 0.0
+        return self.n_accepted / self.n_proposals
+
+    def distribution(self) -> FiniteDist:
+        """The (estimated or exact) output distribution."""
+        if self.exact is not None:
+            return self.exact
+        if self.moments is not None:
+            raise InferenceError(
+                "continuous moment-based result has no finite distribution"
+            )
+        if self.weights is not None:
+            return FiniteDist.from_weighted_samples(zip(self.samples, self.weights))
+        return FiniteDist.from_samples(self.samples)
+
+    def mean(self) -> float:
+        """Posterior mean of the return value (booleans as 0/1)."""
+        if self.moments is not None:
+            return self.moments[0]
+        if self.exact is not None:
+            return self.exact.expectation()
+        if not self.samples:
+            raise InferenceError("no samples")
+        if self.weights is not None:
+            total = sum(self.weights)
+            if total <= 0.0:
+                raise InferenceError("all importance weights are zero")
+            return (
+                sum(float(s) * w for s, w in zip(self.samples, self.weights)) / total
+            )
+        return sum(float(s) for s in self.samples) / len(self.samples)
+
+    def variance(self) -> float:
+        """Posterior variance of the return value."""
+        if self.moments is not None:
+            return self.moments[1]
+        if self.exact is not None:
+            return self.exact.variance()
+        m = self.mean()
+        if self.weights is not None:
+            total = sum(self.weights)
+            return (
+                sum(w * (float(s) - m) ** 2 for s, w in zip(self.samples, self.weights))
+                / total
+            )
+        return sum((float(s) - m) ** 2 for s in self.samples) / len(self.samples)
+
+
+class Engine:
+    """Abstract inference engine: ``infer(program) -> InferenceResult``."""
+
+    name: str = "engine"
+
+    def infer(self, program: Program) -> InferenceResult:
+        raise NotImplementedError
+
+
+def effective_sample_size(samples: Sequence[float], max_lag: int = 200) -> float:
+    """ESS via the initial-positive-sequence autocorrelation estimator.
+
+    Used by diagnostics and by the convergence benchmark to compare
+    chains on original vs sliced programs.
+    """
+    n = len(samples)
+    if n < 3:
+        return float(n)
+    mean = sum(samples) / n
+    centered = [s - mean for s in samples]
+    var = sum(c * c for c in centered) / n
+    if var == 0.0:
+        return float(n)
+    rho_sum = 0.0
+    for lag in range(1, min(max_lag, n - 1)):
+        acov = sum(centered[i] * centered[i + lag] for i in range(n - lag)) / n
+        rho = acov / var
+        if rho <= 0.0:
+            break
+        rho_sum += rho
+    ess = n / (1.0 + 2.0 * rho_sum)
+    return max(1.0, min(float(n), ess))

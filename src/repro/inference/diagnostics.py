@@ -1,0 +1,101 @@
+"""MCMC convergence diagnostics: split-R̂, autocorrelation, and a
+summary helper.
+
+These supplement the Figure-19 KL curves: R̂ near 1 across chains on
+the *sliced* program with fewer samples is the practitioner-facing
+form of "sliced programs converge faster".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .base import effective_sample_size
+
+__all__ = ["split_r_hat", "autocorrelation", "ChainSummary", "summarize_chains"]
+
+
+def split_r_hat(chains: Sequence[Sequence[float]]) -> float:
+    """Gelman–Rubin split-R̂ over two or more chains.
+
+    Each chain is split in half (catching within-chain drift), then
+    the classic between/within variance ratio is computed.  Values
+    near 1 indicate convergence; > 1.05 is the usual alarm threshold.
+    """
+    if len(chains) < 1:
+        raise ValueError("need at least one chain")
+    halves: List[List[float]] = []
+    for chain in chains:
+        n = len(chain)
+        if n < 4:
+            raise ValueError("chains must have at least 4 samples")
+        mid = n // 2
+        halves.append(list(chain[:mid]))
+        halves.append(list(chain[mid : 2 * mid]))
+    m = len(halves)
+    n = min(len(h) for h in halves)
+    halves = [h[:n] for h in halves]
+    means = [sum(h) / n for h in halves]
+    grand = sum(means) / m
+    b = n / (m - 1) * sum((mu - grand) ** 2 for mu in means)
+    w = (
+        sum(sum((x - mu) ** 2 for x in h) / (n - 1) for h, mu in zip(halves, means))
+        / m
+    )
+    if w == 0.0:
+        return 1.0
+    var_plus = (n - 1) / n * w + b / n
+    return math.sqrt(var_plus / w)
+
+
+def autocorrelation(samples: Sequence[float], max_lag: int = 50) -> List[float]:
+    """Normalized autocorrelation at lags ``0..max_lag``."""
+    n = len(samples)
+    if n < 2:
+        raise ValueError("need at least two samples")
+    mean = sum(samples) / n
+    centered = [s - mean for s in samples]
+    var = sum(c * c for c in centered) / n
+    if var == 0.0:
+        return [1.0] + [0.0] * min(max_lag, n - 1)
+    out = []
+    for lag in range(min(max_lag, n - 1) + 1):
+        acov = sum(centered[i] * centered[i + lag] for i in range(n - lag)) / n
+        out.append(acov / var)
+    return out
+
+
+@dataclass(frozen=True)
+class ChainSummary:
+    """Cross-chain summary statistics."""
+
+    mean: float
+    sd: float
+    ess: float
+    r_hat: float
+    n_chains: int
+    n_samples: int
+
+    def converged(self, threshold: float = 1.05) -> bool:
+        return self.r_hat < threshold
+
+
+def summarize_chains(chains: Sequence[Sequence[float]]) -> ChainSummary:
+    """Pooled mean/sd, per-chain-summed ESS, and split-R̂."""
+    pooled = [x for chain in chains for x in chain]
+    if not pooled:
+        raise ValueError("no samples")
+    n = len(pooled)
+    mean = sum(pooled) / n
+    var = sum((x - mean) ** 2 for x in pooled) / max(1, n - 1)
+    ess = sum(effective_sample_size(list(chain)) for chain in chains)
+    return ChainSummary(
+        mean=mean,
+        sd=math.sqrt(var),
+        ess=ess,
+        r_hat=split_r_hat(chains),
+        n_chains=len(chains),
+        n_samples=n,
+    )

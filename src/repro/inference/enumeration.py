@@ -1,0 +1,32 @@
+"""Exact enumeration as an inference engine (finite discrete programs
+only) — wraps :mod:`repro.semantics.exact` in the common engine API."""
+
+from __future__ import annotations
+
+import time
+
+from ..core.ast import Program
+from ..semantics.exact import ExactEngineError, ExactOptions, exact_inference
+from .base import Engine, InferenceResult, UnsupportedProgramError
+
+__all__ = ["EnumerationEngine"]
+
+
+class EnumerationEngine(Engine):
+    """Compute the output distribution exactly."""
+
+    name = "enumeration"
+
+    def __init__(self, options: ExactOptions = ExactOptions()) -> None:
+        self.options = options
+
+    def infer(self, program: Program) -> InferenceResult:
+        start = time.perf_counter()
+        try:
+            res = exact_inference(program, self.options)
+        except ExactEngineError as exc:
+            raise UnsupportedProgramError(str(exc)) from exc
+        return InferenceResult(
+            exact=res.distribution,
+            elapsed_seconds=time.perf_counter() - start,
+        )

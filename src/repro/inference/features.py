@@ -1,0 +1,65 @@
+"""Static feature queries on programs, used by engines to decide what
+they support."""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ..core.ast import (
+    Block,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Program,
+    Sample,
+    Stmt,
+    While,
+)
+
+__all__ = [
+    "distributions_used",
+    "has_soft_conditioning",
+    "has_hard_observe",
+    "has_loop",
+]
+
+
+def _walk(stmt: Stmt):
+    yield stmt
+    if isinstance(stmt, Block):
+        for s in stmt.stmts:
+            yield from _walk(s)
+    elif isinstance(stmt, If):
+        yield from _walk(stmt.then_branch)
+        yield from _walk(stmt.else_branch)
+    elif isinstance(stmt, While):
+        yield from _walk(stmt.body)
+
+
+def distributions_used(program: Program) -> FrozenSet[str]:
+    """Names of all distributions sampled or soft-observed."""
+    names = set()
+    for s in _walk(program.body):
+        if isinstance(s, Sample):
+            names.add(s.dist.name)
+        elif isinstance(s, ObserveSample):
+            names.add(s.dist.name)
+    return frozenset(names)
+
+
+def has_soft_conditioning(program: Program) -> bool:
+    """True when the program uses ``observe(Dist, v)`` or ``factor``."""
+    return any(
+        isinstance(s, (ObserveSample, Factor)) for s in _walk(program.body)
+    )
+
+
+def has_hard_observe(program: Program) -> bool:
+    """True when the program uses ``observe(phi)``."""
+    return any(isinstance(s, Observe) for s in _walk(program.body))
+
+
+def has_loop(program: Program) -> bool:
+    """True when the program contains a while loop."""
+    return any(isinstance(s, While) for s in _walk(program.body))

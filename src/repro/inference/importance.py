@@ -1,0 +1,59 @@
+"""Likelihood weighting (importance sampling from the prior).
+
+Each forward run contributes its return value weighted by
+``exp(log_likelihood)``: hard observes contribute 0/1, soft observes
+their density.  Non-terminating runs contribute zero weight, matching
+the normalized-over-terminating-runs semantics.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+from ..core.ast import Program
+from ..semantics.executor import ExecutorOptions, NonTerminatingRun, run_program
+from .base import Engine, InferenceError, InferenceResult
+
+__all__ = ["LikelihoodWeighting"]
+
+
+class LikelihoodWeighting(Engine):
+    """Draw ``n_samples`` prior runs with likelihood weights."""
+
+    name = "likelihood-weighting"
+
+    def __init__(
+        self,
+        n_samples: int = 10_000,
+        seed: int = 0,
+        executor_options: ExecutorOptions = ExecutorOptions(),
+    ) -> None:
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        self.n_samples = n_samples
+        self.seed = seed
+        self.executor_options = executor_options
+
+    def infer(self, program: Program) -> InferenceResult:
+        rng = random.Random(self.seed)
+        result = InferenceResult(weights=[])
+        start = time.perf_counter()
+        assert result.weights is not None
+        for _ in range(self.n_samples):
+            try:
+                run = run_program(program, rng, options=self.executor_options)
+            except NonTerminatingRun:
+                continue
+            result.statements_executed += run.statements_executed
+            if run.blocked:
+                continue
+            result.samples.append(run.value)
+            result.weights.append(math.exp(min(run.log_likelihood, 700.0)))
+        result.n_proposals = self.n_samples
+        result.n_accepted = len(result.samples)
+        result.elapsed_seconds = time.perf_counter() - start
+        if not result.samples or sum(result.weights) <= 0.0:
+            raise InferenceError("all likelihood weights are zero")
+        return result

@@ -1,0 +1,326 @@
+"""Single-site lightweight Metropolis–Hastings over traces — the
+"R2-like" engine.
+
+R2 performs MCMC sampling over an imperative probabilistic language
+[Nori et al.]; the single-site trace MH of Wingate et al. (2011) is
+the same algorithmic family and reacts to slicing the same way: each
+proposal re-executes the program (cost ∝ program size) and mixing
+degrades with every nuisance sample site the slicer failed to remove.
+
+Proposal: pick a site uniformly, resample it from its prior (under the
+current upstream parameters), re-execute reusing the rest of the
+trace.  Acceptance (fresh/stale prior terms included)::
+
+    log a = logjoint' - logjoint + log|m| - log|m'| + R - F
+
+where ``F`` is the forward proposal mass (fresh draws of the chosen
+site plus sites only present in the new trace) and ``R`` the reverse
+one.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from typing import Optional
+
+from ..core.ast import Program
+from ..semantics.executor import (
+    ExecutorOptions,
+    NonTerminatingRun,
+    RunResult,
+    run_program,
+)
+from .base import (
+    Engine,
+    InferenceResult,
+    InferenceTimeout,
+    InitializationError,
+)
+
+__all__ = ["MetropolisHastings"]
+
+NEG_INF = float("-inf")
+
+
+class MetropolisHastings(Engine):
+    """Single-site trace MH.
+
+    ``n_samples`` return-value samples are recorded after ``burn_in``
+    accepted-or-rejected steps, thinned by ``thin``.  ``time_budget``
+    (seconds) raises :class:`InferenceTimeout` when exceeded, which the
+    harness reports as a non-terminating configuration.
+    """
+
+    name = "r2-mh"
+
+    def __init__(
+        self,
+        n_samples: int = 5_000,
+        burn_in: int = 500,
+        thin: int = 1,
+        seed: int = 0,
+        max_init_attempts: int = 1_000,
+        anneal_rounds: int = 30,
+        anneal_steps_per_site: int = 25,
+        global_move_prob: float = 0.05,
+        time_budget: Optional[float] = None,
+        executor_options: ExecutorOptions = ExecutorOptions(),
+    ) -> None:
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if thin <= 0:
+            raise ValueError("thin must be positive")
+        if not 0.0 <= global_move_prob <= 1.0:
+            raise ValueError("global_move_prob must be in [0, 1]")
+        self.n_samples = n_samples
+        self.burn_in = burn_in
+        self.thin = thin
+        self.seed = seed
+        self.max_init_attempts = max_init_attempts
+        self.anneal_rounds = anneal_rounds
+        self.anneal_steps_per_site = anneal_steps_per_site
+        self.global_move_prob = global_move_prob
+        self.time_budget = time_budget
+        self.executor_options = executor_options
+        self._deadline: Optional[float] = None
+
+    # -- hooks the Church-like engine overrides -------------------------------
+
+    def _execute(self, program, rng, base_trace, result: InferenceResult) -> RunResult:
+        run = run_program(
+            program, rng, base_trace=base_trace, options=self.executor_options
+        )
+        result.statements_executed += run.statements_executed
+        return run
+
+    def _propose(
+        self,
+        program: Program,
+        rng: random.Random,
+        current: RunResult,
+        result: InferenceResult,
+    ) -> Optional[RunResult]:
+        """One proposal; returns the new state if accepted, else None.
+
+        With probability ``global_move_prob`` the proposal regenerates
+        the whole trace from the prior (an independence move; prior
+        terms cancel, leaving the likelihood ratio).  Global moves keep
+        the chain ergodic on programs where a hard constraint couples
+        sites that single-site updates can only change together — e.g.
+        the paper's loopy Example 6, where the return flag and the loop
+        parity must flip jointly.
+        """
+        if rng.random() < self.global_move_prob:
+            return self._propose_global(program, rng, current, result)
+        sites = list(current.trace)
+        if not sites:
+            return None
+        addr = sites[rng.randrange(len(sites))]
+        base = dict(current.trace)
+        del base[addr]
+        try:
+            proposal = self._execute(program, rng, base, result)
+        except NonTerminatingRun:
+            return None
+        if proposal.blocked or proposal.log_joint == NEG_INF:
+            return None
+        forward = 0.0
+        reverse = current.trace[addr].log_prior
+        if addr in proposal.trace:
+            forward += proposal.trace[addr].log_prior
+        for a, entry in proposal.trace.items():
+            if a not in current.trace and a != addr:
+                forward += entry.log_prior
+        for a, entry in current.trace.items():
+            if a not in proposal.trace and a != addr:
+                reverse += entry.log_prior
+        log_alpha = (
+            proposal.log_joint
+            - current.log_joint
+            + math.log(len(sites))
+            - math.log(len(proposal.trace) if proposal.trace else 1)
+            + reverse
+            - forward
+        )
+        if log_alpha >= 0.0 or math.log(rng.random()) < log_alpha:
+            return proposal
+        return None
+
+    def _propose_global(
+        self,
+        program: Program,
+        rng: random.Random,
+        current: RunResult,
+        result: InferenceResult,
+    ) -> Optional[RunResult]:
+        """Independence proposal: resimulate everything from the prior."""
+        try:
+            proposal = self._execute(program, rng, None, result)
+        except NonTerminatingRun:
+            return None
+        if proposal.blocked:
+            return None
+        log_alpha = proposal.log_likelihood - current.log_likelihood
+        if log_alpha >= 0.0 or math.log(rng.random()) < log_alpha:
+            return proposal
+        return None
+
+    # -- main loop -------------------------------------------------------------
+
+    def _initialize(
+        self, program: Program, rng: random.Random, result: InferenceResult
+    ) -> RunResult:
+        for attempt in range(self.max_init_attempts):
+            if attempt % 64 == 0:
+                self._check_deadline("initialization")
+            try:
+                run = self._execute(program, rng, None, result)
+            except NonTerminatingRun:
+                continue
+            if not run.blocked and run.log_joint > NEG_INF:
+                return run
+        return self._annealed_initialize(program, rng, result)
+
+    def _annealed_initialize(
+        self, program: Program, rng: random.Random, result: InferenceResult
+    ) -> RunResult:
+        """Find a constraint-satisfying trace by annealing.
+
+        Hard observes are relaxed to a per-violation penalty
+        (``ExecutorOptions.observe_penalty``); single-site MH on the
+        relaxed target with a doubling penalty schedule walks the chain
+        into the feasible region.  This plays the role of R2's
+        analysis-guided initialization for constraint-heavy models
+        (TrueSkill: thousands of ``observe(perfA > perfB)``).
+        """
+        saved_options = self.executor_options
+        try:
+            penalty = 1.0
+            current: Optional[RunResult] = None
+            best_violations = float("inf")
+            stall = 0
+            for _ in range(self.anneal_rounds):
+                self.executor_options = ExecutorOptions(
+                    max_loop_iterations=saved_options.max_loop_iterations,
+                    observe_penalty=penalty,
+                )
+                if current is None:
+                    current = self._execute(program, rng, None, result)
+                else:
+                    # Re-score the trace under the new penalty.
+                    current = self._execute(program, rng, current.trace, result)
+                if current.blocked:
+                    current = None
+                    continue
+                steps = max(
+                    1, self.anneal_steps_per_site * max(1, len(current.trace))
+                )
+                for step in range(steps):
+                    if current.violations == 0:
+                        break
+                    if step % 64 == 0:
+                        self._check_deadline("annealed initialization")
+                    if rng.random() < 0.5:
+                        accepted = self._propose(program, rng, current, result)
+                    else:
+                        accepted = self._propose_walk(program, rng, current, result)
+                    if accepted is not None:
+                        current = accepted
+                if current.violations == 0:
+                    # Re-execute strictly to confirm and re-score.
+                    self.executor_options = saved_options
+                    strict = self._execute(program, rng, current.trace, result)
+                    if not strict.blocked and strict.log_joint > NEG_INF:
+                        return strict
+                # Cyclic schedule: a monotone penalty freezes the chain
+                # in local minima; when no progress is made for a few
+                # rounds, re-melt (drop the penalty back to 1) and
+                # sometimes restart from a fresh prior draw.
+                if current.violations < best_violations:
+                    best_violations = current.violations
+                    stall = 0
+                    penalty *= 2.0
+                else:
+                    stall += 1
+                    if stall >= 3:
+                        penalty = 1.0
+                        stall = 0
+                        best_violations = current.violations
+                        if rng.random() < 0.5:
+                            current = None
+                    else:
+                        penalty *= 2.0
+            raise InitializationError(
+                "annealed initialization failed to satisfy all observations"
+            )
+        finally:
+            self.executor_options = saved_options
+
+    def _propose_walk(
+        self,
+        program: Program,
+        rng: random.Random,
+        current: RunResult,
+        result: InferenceResult,
+    ) -> Optional[RunResult]:
+        """A random-walk perturbation of one continuous site.
+
+        Only used during annealed initialization, where the kernel just
+        needs to explore the penalized landscape — detailed balance is
+        not required of an initializer.
+        """
+        sites = [
+            a for a, e in current.trace.items() if isinstance(e.value, float)
+        ]
+        if not sites:
+            return self._propose(program, rng, current, result)
+        addr = sites[rng.randrange(len(sites))]
+        entry = current.trace[addr]
+        scale = 0.25 * (abs(entry.value) + 1.0)
+        from ..semantics.trace import TraceEntry
+
+        base = dict(current.trace)
+        base[addr] = TraceEntry(
+            entry.value + rng.gauss(0.0, scale), 0.0, entry.dist_name
+        )
+        try:
+            proposal = self._execute(program, rng, base, result)
+        except NonTerminatingRun:
+            return None
+        if proposal.blocked or proposal.log_joint == NEG_INF:
+            return None
+        log_alpha = proposal.log_joint - current.log_joint
+        if log_alpha >= 0.0 or math.log(rng.random()) < log_alpha:
+            return proposal
+        return None
+
+    def _check_deadline(self, context: str) -> None:
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise InferenceTimeout(
+                f"{self.name} exceeded its {self.time_budget:.1f}s budget "
+                f"during {context}"
+            )
+
+    def infer(self, program: Program) -> InferenceResult:
+        rng = random.Random(self.seed)
+        result = InferenceResult()
+        start = time.perf_counter()
+        self._deadline = (
+            None if self.time_budget is None else start + self.time_budget
+        )
+        current = self._initialize(program, rng, result)
+        total_steps = self.burn_in + self.n_samples * self.thin
+        for step in range(total_steps):
+            if step % 64 == 0:
+                self._check_deadline(f"step {step} of {total_steps}")
+            result.n_proposals += 1
+            accepted = self._propose(program, rng, current, result)
+            if accepted is not None:
+                current = accepted
+                result.n_accepted += 1
+            if step >= self.burn_in and (step - self.burn_in) % self.thin == 0:
+                result.samples.append(current.value)
+        result.elapsed_seconds = time.perf_counter() - start
+        return result

@@ -1,0 +1,75 @@
+"""Rejection sampling: run the program forward, keep runs that satisfy
+every hard observation.
+
+This implements the operational reading of the paper's semantics
+directly (blocked runs "are not permitted to happen") and serves as a
+slow-but-obviously-correct reference sampler.  Programs with soft
+conditioning are rejected — their weights are unbounded densities, so
+plain accept/reject does not apply; use likelihood weighting or MH.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from ..core.ast import Program
+from ..semantics.executor import ExecutorOptions, NonTerminatingRun, run_program
+from .base import Engine, InferenceError, InferenceResult, UnsupportedProgramError
+from .features import has_soft_conditioning
+
+__all__ = ["RejectionSampler"]
+
+
+class RejectionSampler(Engine):
+    """Collect ``n_samples`` accepted forward runs.
+
+    ``max_attempts`` caps the total number of forward runs to protect
+    against near-zero acceptance probability.
+    """
+
+    name = "rejection"
+
+    def __init__(
+        self,
+        n_samples: int = 10_000,
+        seed: int = 0,
+        max_attempts: int = 10_000_000,
+        executor_options: ExecutorOptions = ExecutorOptions(),
+    ) -> None:
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        self.n_samples = n_samples
+        self.seed = seed
+        self.max_attempts = max_attempts
+        self.executor_options = executor_options
+
+    def infer(self, program: Program) -> InferenceResult:
+        if has_soft_conditioning(program):
+            raise UnsupportedProgramError(
+                "rejection sampling requires hard observations only"
+            )
+        rng = random.Random(self.seed)
+        result = InferenceResult()
+        start = time.perf_counter()
+        attempts = 0
+        while len(result.samples) < self.n_samples:
+            if attempts >= self.max_attempts:
+                raise InferenceError(
+                    f"rejection sampler exhausted {self.max_attempts} attempts "
+                    f"with only {len(result.samples)} accepted samples"
+                )
+            attempts += 1
+            try:
+                run = run_program(
+                    program, rng, options=self.executor_options
+                )
+            except NonTerminatingRun:
+                continue
+            result.statements_executed += run.statements_executed
+            if not run.blocked:
+                result.samples.append(run.value)
+        result.n_proposals = attempts
+        result.n_accepted = len(result.samples)
+        result.elapsed_seconds = time.perf_counter() - start
+        return result

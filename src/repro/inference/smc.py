@@ -1,0 +1,292 @@
+"""Sequential Monte Carlo (a particle filter over program runs).
+
+Particles run the program in lockstep, pausing at every conditioning
+point (hard ``observe``, soft ``observe(Dist, v)``, ``factor``).  At
+each pause the particle weights absorb the conditioning and, when the
+effective sample size collapses, the population is resampled
+systematically.  This is the standard PPL SMC construction (Wood et
+al., 2014) and handles constraint-heavy programs (TrueSkill chains)
+that plain rejection cannot initialize.
+
+Cloning a live Python generator is impossible, so resampled particles
+are *replayed*: each particle records its random choices (a trace),
+and a clone re-executes the program reusing that trace — deterministic
+up to the pause point — before continuing fresh.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from typing import Dict, Iterator, List, Optional
+
+from ..core.ast import (
+    Assign,
+    Block,
+    Decl,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Program,
+    Sample,
+    Skip,
+    Stmt,
+    While,
+)
+from ..dists import make_distribution
+from ..semantics.trace import Address, Trace, TraceEntry
+from ..semantics.values import State, Value, default_value, eval_dist_args, eval_expr
+from .base import Engine, InferenceError, InferenceResult
+
+__all__ = ["SMCSampler"]
+
+NEG_INF = float("-inf")
+
+
+class _NonTerminating(Exception):
+    pass
+
+
+class _Run:
+    """One particle's execution context."""
+
+    def __init__(
+        self,
+        program: Program,
+        rng: random.Random,
+        base_trace: Optional[Trace],
+        max_loop_iterations: int,
+    ) -> None:
+        self.state: State = {}
+        self.trace: Trace = {}
+        self.statements = 0
+        self.value: Optional[Value] = None
+        self._program = program
+        self._rng = rng
+        self._base = base_trace or {}
+        self._max_loop = max_loop_iterations
+        self._gen = self._run()
+
+    def advance(self) -> Optional[float]:
+        """Run to the next conditioning point; returns its log-weight
+        increment, or None when the program finished."""
+        try:
+            return next(self._gen)
+        except StopIteration:
+            return None
+
+    # -- interpreter -----------------------------------------------------------
+
+    def _run(self) -> Iterator[float]:
+        yield from self._exec(self._program.body, ())
+        self.value = eval_expr(self._program.ret, self.state)
+
+    def _exec(self, stmt: Stmt, address: Address) -> Iterator[float]:
+        if isinstance(stmt, Skip):
+            return
+        if isinstance(stmt, Block):
+            for i, s in enumerate(stmt.stmts):
+                yield from self._exec(s, address + (i,))
+            return
+        self.statements += 1
+        if isinstance(stmt, Decl):
+            self.state[stmt.name] = default_value(stmt.type)
+            return
+        if isinstance(stmt, Assign):
+            self.state[stmt.name] = eval_expr(stmt.expr, self.state)
+            return
+        if isinstance(stmt, Sample):
+            dist = make_distribution(
+                stmt.dist.name, eval_dist_args(stmt.dist, self.state)
+            )
+            entry = self._base.get(address)
+            if entry is not None and entry.dist_name == stmt.dist.name:
+                lp = dist.log_prob(entry.value)
+                if lp != NEG_INF:
+                    self.trace[address] = TraceEntry(
+                        entry.value, lp, stmt.dist.name
+                    )
+                    self.state[stmt.name] = entry.value
+                    return
+            value = dist.sample(self._rng)
+            self.trace[address] = TraceEntry(
+                value, dist.log_prob(value), stmt.dist.name
+            )
+            self.state[stmt.name] = value
+            return
+        if isinstance(stmt, Observe):
+            ok = eval_expr(stmt.cond, self.state) is True
+            yield 0.0 if ok else NEG_INF
+            return
+        if isinstance(stmt, ObserveSample):
+            dist = make_distribution(
+                stmt.dist.name, eval_dist_args(stmt.dist, self.state)
+            )
+            yield dist.log_prob(eval_expr(stmt.value, self.state))
+            return
+        if isinstance(stmt, Factor):
+            yield float(eval_expr(stmt.log_weight, self.state))
+            return
+        if isinstance(stmt, If):
+            if eval_expr(stmt.cond, self.state) is True:
+                yield from self._exec(stmt.then_branch, address + ("T",))
+            else:
+                yield from self._exec(stmt.else_branch, address + ("E",))
+            return
+        if isinstance(stmt, While):
+            iteration = 0
+            while eval_expr(stmt.cond, self.state) is True:
+                if iteration >= self._max_loop:
+                    raise _NonTerminating()
+                yield from self._exec(stmt.body, address + ("W", iteration))
+                iteration += 1
+                self.statements += 1
+            return
+        raise TypeError(f"not a statement: {stmt!r}")
+
+
+class _Particle:
+    __slots__ = ("run", "log_weight", "barriers", "alive")
+
+    def __init__(self, run: _Run) -> None:
+        self.run = run
+        self.log_weight = 0.0
+        self.barriers = 0
+        self.alive = True
+
+
+class SMCSampler(Engine):
+    """Sequential Monte Carlo over PROB programs.
+
+    ``n_particles`` particles advance between conditioning points;
+    systematic resampling triggers when the effective sample size
+    drops below ``ess_threshold * n_particles``.  The result carries
+    the final weighted population as weighted samples.
+    """
+
+    name = "smc"
+
+    def __init__(
+        self,
+        n_particles: int = 1_000,
+        seed: int = 0,
+        ess_threshold: float = 0.5,
+        max_loop_iterations: int = 1_000_000,
+    ) -> None:
+        if n_particles <= 0:
+            raise ValueError("n_particles must be positive")
+        if not 0.0 <= ess_threshold <= 1.0:
+            raise ValueError("ess_threshold must be in [0, 1]")
+        self.n_particles = n_particles
+        self.seed = seed
+        self.ess_threshold = ess_threshold
+        self.max_loop_iterations = max_loop_iterations
+
+    def infer(self, program: Program) -> InferenceResult:
+        rng = random.Random(self.seed)
+        result = InferenceResult(weights=[])
+        start = time.perf_counter()
+        particles = [
+            _Particle(_Run(program, rng, None, self.max_loop_iterations))
+            for _ in range(self.n_particles)
+        ]
+        finished: List[_Particle] = []
+
+        while particles:
+            # Advance every live particle to its next barrier (or end).
+            still_running: List[_Particle] = []
+            for p in particles:
+                try:
+                    delta = p.run.advance()
+                except _NonTerminating:
+                    p.alive = False
+                    continue
+                result.statements_executed += p.run.statements
+                p.run.statements = 0
+                if delta is None:
+                    finished.append(p)
+                    continue
+                p.barriers += 1
+                p.log_weight += delta
+                if p.log_weight == NEG_INF:
+                    p.alive = False
+                    continue
+                still_running.append(p)
+            particles = still_running
+            if not particles:
+                break
+            particles = self._maybe_resample(program, rng, particles)
+
+        if not finished:
+            raise InferenceError("every SMC particle died (zero-mass program?)")
+        max_lw = max(p.log_weight for p in finished)
+        assert result.weights is not None
+        for p in finished:
+            result.samples.append(p.run.value)
+            result.weights.append(math.exp(p.log_weight - max_lw))
+        result.n_proposals = self.n_particles
+        result.n_accepted = len(finished)
+        result.elapsed_seconds = time.perf_counter() - start
+        if sum(result.weights) <= 0.0:
+            raise InferenceError("all SMC particle weights are zero")
+        return result
+
+    # -- resampling ---------------------------------------------------------------
+
+    def _maybe_resample(
+        self,
+        program: Program,
+        rng: random.Random,
+        particles: List[_Particle],
+    ) -> List[_Particle]:
+        target = self.n_particles
+        max_lw = max(p.log_weight for p in particles)
+        weights = [math.exp(p.log_weight - max_lw) for p in particles]
+        total = sum(weights)
+        ess = total * total / sum(w * w for w in weights)
+        # Resample when weights degenerate *or* hard observes killed
+        # part of the population (replenish back to full size).
+        if ess >= self.ess_threshold * target and len(particles) == target:
+            return particles
+        # Systematic resampling back to the full population size.
+        positions = [(rng.random() + i) / target for i in range(target)]
+        cumulative = 0.0
+        chosen: List[int] = []
+        idx = 0
+        for i, w in enumerate(weights):
+            cumulative += w / total
+            while idx < target and positions[idx] <= cumulative:
+                chosen.append(i)
+                idx += 1
+        while len(chosen) < target:
+            chosen.append(len(particles) - 1)
+        out: List[_Particle] = []
+        used_original = set()
+        for i in chosen:
+            source = particles[i]
+            if i not in used_original:
+                used_original.add(i)
+                source.log_weight = 0.0
+                out.append(source)
+            else:
+                out.append(self._clone(program, rng, source))
+        return out
+
+    def _clone(
+        self, program: Program, rng: random.Random, source: _Particle
+    ) -> _Particle:
+        """Replay the source's trace up to its barrier count, then let
+        the clone diverge with fresh randomness."""
+        run = _Run(program, rng, dict(source.run.trace), self.max_loop_iterations)
+        clone = _Particle(run)
+        for _ in range(source.barriers):
+            delta = run.advance()
+            if delta is None:
+                raise AssertionError("replay finished before source barrier")
+        # Replay work is real work; it stays in run.statements and is
+        # picked up by the next advance's accounting.
+        clone.barriers = source.barriers
+        clone.log_weight = 0.0
+        return clone

@@ -1,0 +1,17 @@
+"""Metrics: KL/TV divergences and convergence curves."""
+
+from .convergence import (
+    ConvergenceCurve,
+    convergence_curve,
+    geometric_checkpoints,
+)
+from .divergence import kl_divergence, running_kl, tv_distance
+
+__all__ = [
+    "ConvergenceCurve",
+    "convergence_curve",
+    "geometric_checkpoints",
+    "kl_divergence",
+    "running_kl",
+    "tv_distance",
+]

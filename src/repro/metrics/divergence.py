@@ -1,0 +1,43 @@
+"""Distribution distances used by the evaluation (Figure 19 plots
+KL divergence between the running estimate and the exact answer)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..semantics.distribution import FiniteDist
+
+__all__ = ["kl_divergence", "tv_distance", "running_kl"]
+
+
+def kl_divergence(
+    p: FiniteDist, q: FiniteDist, smoothing: float = 1e-6
+) -> float:
+    """``KL(p || q)`` with light smoothing of ``q`` (empirical
+    estimates assign zero mass to unvisited values)."""
+    return p.kl_from(q, smoothing=smoothing)
+
+
+def tv_distance(p: FiniteDist, q: FiniteDist) -> float:
+    """Total-variation distance."""
+    return p.tv_distance(q)
+
+
+def running_kl(
+    samples: Sequence,
+    exact: FiniteDist,
+    checkpoints: Iterable[int],
+    smoothing: float = 1e-6,
+) -> "list[tuple[int, float]]":
+    """KL(exact || empirical-estimate-after-n-samples) at each
+    checkpoint — the Figure-19 convergence curve.
+
+    Checkpoints beyond the available sample count are skipped.
+    """
+    out = []
+    for n in checkpoints:
+        if n <= 0 or n > len(samples):
+            continue
+        est = FiniteDist.from_samples(samples[:n])
+        out.append((n, exact.kl_from(est, smoothing=smoothing)))
+    return out

@@ -1,0 +1,60 @@
+"""Benchmark models: the paper's running examples and every Table-1
+benchmark, plus synthetic dataset generators."""
+
+from .burglar import burglar_alarm_model
+from .datasets import (
+    HIVData,
+    RegressionData,
+    TeamTournament,
+    Tournament,
+    hiv_data,
+    regression_data,
+    team_tournament_data,
+    tournament_data,
+)
+from .hiv import hiv_model
+from .linreg import linreg_model
+from .noisy_or import noisy_or_model
+from .paper_examples import (
+    STUDENT_CORE,
+    comparison_program,
+    example1,
+    example2,
+    example3,
+    example4,
+    example5,
+    example6,
+    example6_return_b,
+)
+from .registry import TABLE1, BenchmarkSpec, benchmark, benchmark_names
+from .trueskill import chess_model, halo_model
+
+__all__ = [
+    "burglar_alarm_model",
+    "HIVData",
+    "RegressionData",
+    "TeamTournament",
+    "Tournament",
+    "hiv_data",
+    "regression_data",
+    "team_tournament_data",
+    "tournament_data",
+    "hiv_model",
+    "linreg_model",
+    "noisy_or_model",
+    "STUDENT_CORE",
+    "comparison_program",
+    "example1",
+    "example2",
+    "example3",
+    "example4",
+    "example5",
+    "example6",
+    "example6_return_b",
+    "TABLE1",
+    "BenchmarkSpec",
+    "benchmark",
+    "benchmark_names",
+    "chess_model",
+    "halo_model",
+]

@@ -1,0 +1,79 @@
+"""The Burglar Alarm benchmark (Table 1, after Pearl).
+
+The classic burglary/earthquake/alarm story, extended with the
+"wakes up" event the Table-1 criterion returns, plus an irrelevant
+neighbourhood side-story (dog, ice-cream truck, traffic) that the
+slicer should remove.
+
+Observations: the alarm rang and the radio reported an earthquake.
+Query: does the resident wake up?
+"""
+
+from __future__ import annotations
+
+from ..core.ast import Program
+from ..core.parser import parse
+
+__all__ = ["burglar_alarm_model"]
+
+_SOURCE = """
+bool burglary, earthquake, alarm, radioReport;
+bool johnCalls, maryCalls, phoneRings, wakesUp;
+bool dogBarks, icecreamTruck, trafficJam, neighborAwake;
+bool mailDelivered, gossipSpreads, lightsOn, tvOn, partyNextDoor,
+     streetNoisy, catOutside, windowOpen;
+
+burglary ~ Bernoulli(0.01);
+earthquake ~ Bernoulli(0.02);
+
+// Alarm: noisy-or of burglary and earthquake.
+if (burglary && earthquake)      { alarm ~ Bernoulli(0.95); }
+else { if (burglary)             { alarm ~ Bernoulli(0.94); }
+else { if (earthquake)           { alarm ~ Bernoulli(0.29); }
+else                             { alarm ~ Bernoulli(0.001); } } }
+
+// The radio reports (only) real earthquakes, usually.
+if (earthquake) { radioReport ~ Bernoulli(0.992); }
+else            { radioReport ~ Bernoulli(0.0001); }
+
+// Neighbours call when the alarm rings.
+if (alarm) { johnCalls ~ Bernoulli(0.9); }
+else       { johnCalls ~ Bernoulli(0.05); }
+if (alarm) { maryCalls ~ Bernoulli(0.7); }
+else       { maryCalls ~ Bernoulli(0.01); }
+
+// An unrelated neighbourhood side-story: none of this influences
+// wakesUp given the observations, so SLI removes it all.
+dogBarks ~ Bernoulli(0.3);
+icecreamTruck ~ Bernoulli(0.1);
+if (dogBarks && icecreamTruck) { trafficJam ~ Bernoulli(0.5); }
+else                           { trafficJam ~ Bernoulli(0.05); }
+if (trafficJam) { neighborAwake ~ Bernoulli(0.9); }
+else            { neighborAwake ~ Bernoulli(0.2); }
+mailDelivered ~ Bernoulli(0.95);
+if (neighborAwake && mailDelivered) { gossipSpreads ~ Bernoulli(0.6); }
+else                                { gossipSpreads ~ Bernoulli(0.05); }
+partyNextDoor ~ Bernoulli(0.08);
+if (partyNextDoor) { lightsOn ~ Bernoulli(0.95); }
+else               { lightsOn ~ Bernoulli(0.3); }
+if (partyNextDoor || trafficJam) { streetNoisy ~ Bernoulli(0.85); }
+else                             { streetNoisy ~ Bernoulli(0.1); }
+if (lightsOn) { tvOn ~ Bernoulli(0.6); }
+else          { tvOn ~ Bernoulli(0.1); }
+catOutside ~ Bernoulli(0.4);
+if (catOutside && streetNoisy) { windowOpen ~ Bernoulli(0.7); }
+else                           { windowOpen ~ Bernoulli(0.2); }
+
+phoneRings = johnCalls || maryCalls;
+if (phoneRings) { wakesUp ~ Bernoulli(0.8); }
+else            { wakesUp ~ Bernoulli(0.05); }
+
+observe(alarm == true);
+observe(radioReport == true);
+return wakesUp;
+"""
+
+
+def burglar_alarm_model() -> Program:
+    """Build the burglar-alarm benchmark program."""
+    return parse(_SOURCE)

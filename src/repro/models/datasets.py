@@ -1,0 +1,170 @@
+"""Synthetic dataset generators for the continuous benchmarks.
+
+The paper used real data (HIV immunity measurements, a chess
+tournament, a Halo tournament); those datasets are not available, and
+the slicing phenomenon depends only on the *structure* of which
+observations connect to which returns (DESIGN.md §3), so we generate
+synthetic data with matching shapes and sizes and fixed seeds for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = [
+    "RegressionData",
+    "regression_data",
+    "HIVData",
+    "hiv_data",
+    "Tournament",
+    "tournament_data",
+    "TeamTournament",
+    "team_tournament_data",
+]
+
+
+@dataclass(frozen=True)
+class RegressionData:
+    """Linear regression points ``y = w0 + w1 x + noise``."""
+
+    xs: Tuple[float, ...]
+    ys: Tuple[float, ...]
+    true_w0: float
+    true_w1: float
+
+
+def regression_data(
+    n_points: int = 1000, seed: int = 0, w0: float = 1.5, w1: float = 2.0
+) -> RegressionData:
+    """Points from the ground-truth line with unit Gaussian noise."""
+    rng = random.Random(seed)
+    xs = [round(rng.uniform(-3.0, 3.0), 4) for _ in range(n_points)]
+    ys = [round(w0 + w1 * x + rng.gauss(0.0, 1.0), 4) for x in xs]
+    return RegressionData(tuple(xs), tuple(ys), w0, w1)
+
+
+@dataclass(frozen=True)
+class HIVData:
+    """Multilevel measurements: person index, time, value."""
+
+    n_persons: int
+    measurements: Tuple[Tuple[int, float, float], ...]
+    true_intercepts: Tuple[float, ...]
+    true_slopes: Tuple[float, ...]
+
+
+def hiv_data(
+    n_persons: int = 84, n_measurements: int = 369, seed: int = 0
+) -> HIVData:
+    """Per-person lines ``y = a_p + b_p t`` with noise; measurement
+    count and person count match the paper's description (369
+    measurements over 84 persons)."""
+    rng = random.Random(seed)
+    intercepts = [round(rng.gauss(4.0, 1.0), 4) for _ in range(n_persons)]
+    slopes = [round(rng.gauss(-0.5, 0.25), 4) for _ in range(n_persons)]
+    measurements: List[Tuple[int, float, float]] = []
+    for k in range(n_measurements):
+        p = k % n_persons  # round-robin: every person gets >= 4 points
+        t = round(rng.uniform(0.0, 2.0), 4)
+        y = round(intercepts[p] + slopes[p] * t + rng.gauss(0.0, 0.5), 4)
+        measurements.append((p, t, y))
+    return HIVData(n_persons, tuple(measurements), tuple(intercepts), tuple(slopes))
+
+
+@dataclass(frozen=True)
+class Tournament:
+    """Game results ``(winner, loser)`` over players in divisions."""
+
+    n_players: int
+    n_divisions: int
+    games: Tuple[Tuple[int, int], ...]
+    true_skills: Tuple[float, ...]
+
+    def division_of(self, player: int) -> int:
+        return player % self.n_divisions
+
+
+def tournament_data(
+    n_players: int = 77,
+    n_games: int = 2926,
+    n_divisions: int = 7,
+    seed: int = 0,
+    skill_sd: float = 8.0,
+    perf_sd: float = 4.0,
+) -> Tournament:
+    """A division-structured tournament: games pair players within the
+    same division (player ``p`` plays in division ``p % n_divisions``);
+    outcomes are sampled from latent ground-truth skills."""
+    rng = random.Random(seed)
+    skills = [round(rng.gauss(25.0, skill_sd), 4) for _ in range(n_players)]
+    by_division: List[List[int]] = [[] for _ in range(n_divisions)]
+    for p in range(n_players):
+        by_division[p % n_divisions].append(p)
+    games: List[Tuple[int, int]] = []
+    for _ in range(n_games):
+        division = rng.randrange(n_divisions)
+        a, b = rng.sample(by_division[division], 2)
+        perf_a = skills[a] + rng.gauss(0.0, perf_sd)
+        perf_b = skills[b] + rng.gauss(0.0, perf_sd)
+        games.append((a, b) if perf_a > perf_b else (b, a))
+    return Tournament(n_players, n_divisions, tuple(games), tuple(skills))
+
+
+@dataclass(frozen=True)
+class TeamTournament:
+    """Team games ``(winning team, losing team)`` with player rosters."""
+
+    rosters: Tuple[Tuple[int, ...], ...]
+    n_groups: int
+    games: Tuple[Tuple[int, int], ...]
+    true_skills: Tuple[float, ...]
+
+    @property
+    def n_players(self) -> int:
+        return sum(len(r) for r in self.rosters)
+
+    def group_of(self, team: int) -> int:
+        return team % self.n_groups
+
+
+def team_tournament_data(
+    n_teams: int = 31,
+    max_players_per_team: int = 4,
+    n_games: int = 200,
+    n_groups: int = 6,
+    seed: int = 0,
+    skill_sd: float = 8.0,
+    perf_sd: float = 4.0,
+) -> TeamTournament:
+    """A group-structured team tournament (Halo): teams of up to
+    ``max_players_per_team`` players; a team's performance is the sum
+    of its members' noisy performances."""
+    rng = random.Random(seed)
+    rosters: List[Tuple[int, ...]] = []
+    next_player = 0
+    for _ in range(n_teams):
+        size = rng.randint(2, max_players_per_team)
+        rosters.append(tuple(range(next_player, next_player + size)))
+        next_player += size
+    skills = [round(rng.gauss(25.0, skill_sd), 4) for _ in range(next_player)]
+    by_group: List[List[int]] = [[] for _ in range(n_groups)]
+    for t in range(n_teams):
+        by_group[t % n_groups].append(t)
+    games: List[Tuple[int, int]] = []
+    attempts = 0
+    while len(games) < n_games and attempts < 50 * n_games:
+        attempts += 1
+        group = rng.randrange(n_groups)
+        if len(by_group[group]) < 2:
+            continue
+        a, b = rng.sample(by_group[group], 2)
+        perf_a = sum(skills[p] + rng.gauss(0.0, perf_sd) for p in rosters[a])
+        perf_b = sum(skills[p] + rng.gauss(0.0, perf_sd) for p in rosters[b])
+        games.append((a, b) if perf_a > perf_b else (b, a))
+    return TeamTournament(
+        tuple(rosters), n_groups, tuple(games), tuple(skills)
+    )

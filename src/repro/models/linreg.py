@@ -1,0 +1,48 @@
+"""The Bayesian Linear Regression benchmark (Table 1).
+
+``y = w0 + w1 x + noise`` with Gaussian priors on the weights and a
+Gamma prior on the noise precision (matching Infer.NET's classic
+formulation [23] — the Gamma is also what makes the emulated Church
+engine refuse this benchmark, reproducing the missing Figure-18 bar).
+
+The Table-1 slicing criterion: the program mentions all ``n_points``
+data points but *observes only a subset* (100 of 1000 in the paper);
+the unobserved points are generated as latent samples, which the
+slicer removes entirely.
+"""
+
+from __future__ import annotations
+
+from ..core.ast import Program
+from ..core.builder import ProgramBuilder, v
+from .datasets import RegressionData, regression_data
+
+__all__ = ["linreg_model"]
+
+
+def linreg_model(
+    n_points: int = 1000,
+    n_observed: int = 100,
+    seed: int = 0,
+    data: "RegressionData | None" = None,
+) -> Program:
+    """Build the regression program: ``n_observed`` observed points,
+    ``n_points - n_observed`` latent (sliceable) ones.  Returns the
+    slope ``w1``."""
+    if not 0 <= n_observed <= n_points:
+        raise ValueError("need 0 <= n_observed <= n_points")
+    if data is None:
+        data = regression_data(n_points, seed)
+    b = ProgramBuilder()
+    w0 = b.sample("w0", "Gaussian", 0.0, 10.0)
+    w1 = b.sample("w1", "Gaussian", 0.0, 10.0)
+    prec = b.sample("prec", "Gamma", 2.0, 2.0)
+    noise = b.assign("noiseVar", 1.0 / prec)
+    for i in range(n_points):
+        mean = w0 + w1 * data.xs[i]
+        if i < n_observed:
+            b.observe_sample("Gaussian", (mean, noise), data.ys[i])
+        else:
+            # A predicted-but-unmeasured point: latent, sliceable.
+            b.sample(f"y{i}", "Gaussian", mean, noise)
+    return b.build(v("w1"))

@@ -1,0 +1,79 @@
+"""The Noisy-OR benchmark (Table 1, after Kiselyov & Shan).
+
+A layered DAG where every non-root node is a noisy-or of its parents:
+the node fires if any parent fires *and* that edge is active (each
+edge has its own activation probability), or through a leak.
+
+The generated program contains two independent sub-DAGs ("regions").
+Leaves of both regions are observed; the query returns a node from
+region 0 — so the entire region-1 half is sliceable, which is the
+Table-1 slicing criterion "R: subset of nodes in the DAG, O:
+unchanged".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..core.ast import Program
+from ..core.builder import ProgramBuilder, v
+
+__all__ = ["noisy_or_model"]
+
+
+def _region(
+    b: ProgramBuilder,
+    prefix: str,
+    n_layers: int,
+    width: int,
+    rng: random.Random,
+    leak: float,
+) -> Tuple[List[str], List[str]]:
+    """Emit one noisy-or sub-DAG; returns (all node names, leaf names)."""
+    layers: List[List[str]] = []
+    for layer in range(n_layers):
+        names: List[str] = []
+        for j in range(width):
+            name = f"{prefix}n{layer}_{j}"
+            names.append(name)
+            if layer == 0:
+                b.sample(name, "Bernoulli", round(rng.uniform(0.1, 0.5), 3))
+                continue
+            # Parents: two random nodes from the previous layer.
+            parents = rng.sample(layers[layer - 1], min(2, width))
+            terms = []
+            for k, parent in enumerate(parents):
+                act = f"{name}_a{k}"
+                b.sample(act, "Bernoulli", round(rng.uniform(0.5, 0.9), 3))
+                terms.append(v(parent) & v(act))
+            leak_name = f"{name}_leak"
+            b.sample(leak_name, "Bernoulli", leak)
+            expr = v(leak_name)
+            for t in terms:
+                expr = expr | t
+            b.assign(name, expr)
+        layers.append(names)
+    all_nodes = [n for layer in layers for n in layer]
+    return all_nodes, layers[-1]
+
+
+def noisy_or_model(
+    n_layers: int = 4,
+    width: int = 4,
+    seed: int = 0,
+    leak: float = 0.05,
+    observe_leaves: int = 2,
+) -> Program:
+    """Build the two-region noisy-or benchmark program.
+
+    ``observe_leaves`` leaves per region are observed ``true``; the
+    program returns a root node of region 0.
+    """
+    rng = random.Random(seed)
+    b = ProgramBuilder()
+    nodes_a, leaves_a = _region(b, "A", n_layers, width, rng, leak)
+    nodes_b, leaves_b = _region(b, "B", n_layers, width, rng, leak)
+    for leaf in leaves_a[:observe_leaves] + leaves_b[:observe_leaves]:
+        b.observe(v(leaf))
+    return b.build(v(nodes_a[0]))

@@ -1,0 +1,136 @@
+"""The paper's running examples (Figures 1, 2, 4, 5 and Section 2).
+
+Programs are written in concrete syntax and parsed, so they read like
+the paper's listings.  ``example3``/``example5`` are the Table-1 rows
+"Ex3" and "Ex5".
+"""
+
+from __future__ import annotations
+
+from ..core.ast import Program
+from ..core.parser import parse
+
+__all__ = [
+    "example1",
+    "example2",
+    "example3",
+    "example4",
+    "example5",
+    "example6",
+    "example6_return_b",
+    "comparison_program",
+    "STUDENT_CORE",
+]
+
+_EXAMPLE1 = """
+bool c1, c2;
+int count;
+count = 0;
+c1 ~ Bernoulli(0.5);
+if (c1) { count = count + 1; }
+c2 ~ Bernoulli(0.5);
+if (c2) { count = count + 1; }
+return count;
+"""
+
+_EXAMPLE2 = """
+bool c1, c2;
+int count;
+count = 0;
+c1 ~ Bernoulli(0.5);
+if (c1) { count = count + 1; }
+c2 ~ Bernoulli(0.5);
+if (c2) { count = count + 1; }
+observe(c1 || c2);
+return count;
+"""
+
+#: The student/reference-letter fragment shared by Examples 3-5
+#: (adapted from Koller & Friedman): d = difficulty, i = intelligence,
+#: g = grade, s = SAT, l = letter.
+STUDENT_CORE = """
+bool d, i, s, l, g;
+d ~ Bernoulli(0.6);
+i ~ Bernoulli(0.7);
+if (!i && !d)      { g ~ Bernoulli(0.3); }
+else { if (!i && d)  { g ~ Bernoulli(0.05); }
+else { if (i && !d)  { g ~ Bernoulli(0.9); }
+else                 { g ~ Bernoulli(0.5); } } }
+if (!i) { s ~ Bernoulli(0.2); }
+else    { s ~ Bernoulli(0.95); }
+"""
+
+_LETTER = """
+if (!g) { l ~ Bernoulli(0.1); }
+else    { l ~ Bernoulli(0.4); }
+"""
+
+
+def example1() -> Program:
+    """Figure 1 (left): two coin flips, return the count."""
+    return parse(_EXAMPLE1)
+
+
+def example2() -> Program:
+    """Figure 1 (right): Example 1 conditioned on ``c1 || c2``."""
+    return parse(_EXAMPLE2)
+
+
+def example3() -> Program:
+    """Figure 2(a): the student model, return SAT score ``s`` —
+    ordinary slicing suffices here."""
+    return parse(STUDENT_CORE + _LETTER + "return s;")
+
+
+def example4() -> Program:
+    """Figure 2(b): same model with ``observe(l = true)`` — ordinary
+    slicing is *incorrect* here (observe dependence activates the
+    ``s <- i <-> g <- l`` trail)."""
+    return parse(STUDENT_CORE + _LETTER + "observe(l == true);\nreturn s;")
+
+
+def example5() -> Program:
+    """Figure 4(a): ``observe(g = false)`` then return ``l`` — the OBS
+    transformation makes the slice *smaller* than ordinary slicing."""
+    return parse(STUDENT_CORE + "observe(g == false);" + _LETTER + "return l;")
+
+
+_EXAMPLE6 = """
+bool x, b, c;
+x ~ Bernoulli(0.5);
+b = x;
+c ~ Bernoulli(0.5);
+while (c) {
+  b = !b;
+  c ~ Bernoulli(0.5);
+}
+observe(b == false);
+return x;
+"""
+
+
+def example6() -> Program:
+    """Figure 5: the loopy example; the slice for ``return x`` must
+    keep the whole program."""
+    return parse(_EXAMPLE6)
+
+
+def example6_return_b() -> Program:
+    """Figure 16(f)'s variant: returning ``b`` instead, the whole loop
+    slices away (OBS pins ``b`` to false)."""
+    return parse(_EXAMPLE6.replace("return x;", "return b;"))
+
+
+def comparison_program() -> Program:
+    """Section 2's comparison with non-termination-preserving slicing:
+    ``while (!x) skip`` is ``observe(x)``; SLI may drop it, an
+    NT-preserving slicer may not."""
+    return parse(
+        """
+bool x, y;
+x ~ Bernoulli(0.5);
+while (!x) { skip; }
+y ~ Bernoulli(0.6);
+return y;
+"""
+    )

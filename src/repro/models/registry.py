@@ -1,0 +1,159 @@
+"""The Table-1 benchmark registry.
+
+Each entry provides the benchmark at two scales:
+
+* ``paper()`` — the paper's stated sizes (1000 regression points, 84
+  HIV persons / 369 measurements, 77 chess players / 2926 games, 31
+  Halo teams).  Used for the Table-1 slice-size statistics, where only
+  the (fast) analysis runs.
+* ``bench()`` — a scaled-down instance used for the *timed* Figure-18
+  runs, so the benchmark suite finishes in minutes while preserving
+  every structural property (who is observed, who is returned, which
+  fraction is sliceable).
+
+``engines`` lists which Figure-18 columns run this benchmark; the
+"church" column omits Bayesian Linear Regression (Gamma unsupported),
+matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..core.ast import Program
+from .burglar import burglar_alarm_model
+from .hiv import hiv_model
+from .linreg import linreg_model
+from .noisy_or import noisy_or_model
+from .paper_examples import example3, example5
+from .trueskill import chess_model, halo_model
+
+__all__ = ["BenchmarkSpec", "TABLE1", "benchmark", "benchmark_names"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One Table-1 row."""
+
+    name: str
+    description: str
+    paper: Callable[[], Program]
+    bench: Callable[[], Program]
+    #: Figure-18 engine columns that include this benchmark.
+    engines: Tuple[str, ...]
+    #: Small enough for the exact-enumeration oracle?
+    exact_ok: bool
+
+
+def _noisy_or_paper() -> Program:
+    return noisy_or_model(n_layers=5, width=5, seed=1)
+
+
+def _noisy_or_bench() -> Program:
+    return noisy_or_model(n_layers=3, width=3, seed=1)
+
+
+def _linreg_bench() -> Program:
+    return linreg_model(n_points=120, n_observed=12, seed=0)
+
+
+def _hiv_bench() -> Program:
+    return hiv_model(n_persons=12, n_measurements=60, n_returned=2, seed=0)
+
+
+def _chess_bench() -> Program:
+    return chess_model(
+        n_players=12, n_games=36, n_divisions=3, n_returned=2, seed=0
+    )
+
+
+def _halo_bench() -> Program:
+    return halo_model(
+        n_teams=8, max_players_per_team=3, n_games=16, n_groups=4, seed=0
+    )
+
+
+TABLE1: List[BenchmarkSpec] = [
+    BenchmarkSpec(
+        name="Ex3",
+        description="Example 3 in Figure 2 (student model, return s)",
+        paper=example3,
+        bench=example3,
+        engines=("r2", "church", "infernet"),
+        exact_ok=True,
+    ),
+    BenchmarkSpec(
+        name="Ex5",
+        description="Example 5 in Figure 4(a) (observe g, return l)",
+        paper=example5,
+        bench=example5,
+        engines=("r2", "church", "infernet"),
+        exact_ok=True,
+    ),
+    BenchmarkSpec(
+        name="NoisyOR",
+        description="Layered noisy-or DAG, return a subset node",
+        paper=_noisy_or_paper,
+        bench=_noisy_or_bench,
+        engines=("r2", "church", "infernet"),
+        exact_ok=False,
+    ),
+    BenchmarkSpec(
+        name="BurglarAlarm",
+        description="Pearl's burglary model; observed alarm and radio",
+        paper=burglar_alarm_model,
+        bench=burglar_alarm_model,
+        engines=("r2", "church", "infernet"),
+        exact_ok=True,
+    ),
+    BenchmarkSpec(
+        name="BayesianLinearRegression",
+        description="Bayesian linear regression, 1000 points, 100 observed",
+        paper=lambda: linreg_model(n_points=1000, n_observed=100, seed=0),
+        bench=_linreg_bench,
+        engines=("r2", "infernet"),  # Church: no Gamma (Figure 18)
+        exact_ok=False,
+    ),
+    BenchmarkSpec(
+        name="HIV",
+        description="Multilevel linear model, 84 persons / 369 measurements",
+        paper=lambda: hiv_model(n_persons=84, n_measurements=369, n_returned=10),
+        bench=_hiv_bench,
+        engines=("r2", "church", "infernet"),
+        exact_ok=False,
+    ),
+    BenchmarkSpec(
+        name="Chess",
+        description="TrueSkill, 77 players / 2926 games, return 3 skills",
+        paper=lambda: chess_model(n_players=77, n_games=2926),
+        bench=_chess_bench,
+        engines=("r2", "church", "infernet"),
+        exact_ok=False,
+    ),
+    BenchmarkSpec(
+        name="Halo",
+        description="Team TrueSkill, 31 teams of <= 4, return 4 skills",
+        paper=lambda: halo_model(n_teams=31, n_games=200),
+        bench=_halo_bench,
+        engines=("r2", "church", "infernet"),
+        exact_ok=False,
+    ),
+]
+
+_BY_NAME: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in TABLE1}
+
+
+def benchmark(name: str) -> BenchmarkSpec:
+    """Look up a Table-1 benchmark by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(_BY_NAME)}"
+        ) from None
+
+
+def benchmark_names() -> List[str]:
+    """All Table-1 benchmark names, in table order."""
+    return [spec.name for spec in TABLE1]

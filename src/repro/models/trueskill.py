@@ -1,0 +1,105 @@
+"""The TrueSkill benchmarks (Table 1): Chess (individual players) and
+Halo (teams), after Herbrich et al. [14].
+
+Each player has a latent skill; each game draws noisy performances and
+observes that the winner's (team) performance exceeded the loser's.
+Tournaments are division/group structured (DESIGN.md §3): the returned
+players' division is a proper subset of the tournament, so slicing
+removes the other divisions' players *and* games.
+
+Paper scale: Chess = 77 players / 2926 games, Halo = 31 teams with at
+most 4 players each.
+"""
+
+from __future__ import annotations
+
+from ..core.ast import Expr, Program
+from ..core.builder import ProgramBuilder, v
+from .datasets import (
+    TeamTournament,
+    Tournament,
+    team_tournament_data,
+    tournament_data,
+)
+
+__all__ = ["chess_model", "halo_model"]
+
+_SKILL_MEAN = 25.0
+_SKILL_VAR = 64.0
+_PERF_VAR = 16.0
+
+
+def chess_model(
+    n_players: int = 77,
+    n_games: int = 2926,
+    n_divisions: int = 7,
+    n_returned: int = 3,
+    seed: int = 0,
+    data: "Tournament | None" = None,
+) -> Program:
+    """Build the chess skill-rating program.
+
+    Returns the summed skill of ``n_returned`` players from division 0
+    (players ``0, n_divisions, 2*n_divisions, ...``), matching the
+    Table-1 criterion "skills of 3 particular players".
+    """
+    if data is None:
+        data = tournament_data(n_players, n_games, n_divisions, seed)
+    b = ProgramBuilder()
+    for p in range(data.n_players):
+        b.sample(f"skill{p}", "Gaussian", _SKILL_MEAN, _SKILL_VAR)
+    for g, (winner, loser) in enumerate(data.games):
+        pw = b.sample(f"perf{g}w", "Gaussian", v(f"skill{winner}"), _PERF_VAR)
+        pl = b.sample(f"perf{g}l", "Gaussian", v(f"skill{loser}"), _PERF_VAR)
+        b.observe(pw.gt(pl))
+    returned = [p for p in range(data.n_players) if data.division_of(p) == 0]
+    returned = returned[:n_returned]
+    if not returned:
+        raise ValueError("no players in division 0")
+    ret: Expr = v(f"skill{returned[0]}")
+    for p in returned[1:]:
+        ret = ret + v(f"skill{p}")
+    return b.build(ret)
+
+
+def halo_model(
+    n_teams: int = 31,
+    max_players_per_team: int = 4,
+    n_games: int = 200,
+    n_groups: int = 6,
+    n_returned: int = 4,
+    seed: int = 0,
+    data: "TeamTournament | None" = None,
+) -> Program:
+    """Build the Halo team skill-rating program.
+
+    A team's performance is the sum of its members' noisy individual
+    performances.  Returns the summed skill of ``n_returned`` players
+    from the first group-0 team ("skills of 4 particular players").
+    """
+    if data is None:
+        data = team_tournament_data(
+            n_teams, max_players_per_team, n_games, n_groups, seed
+        )
+    b = ProgramBuilder()
+    for p in range(data.n_players):
+        b.sample(f"skill{p}", "Gaussian", _SKILL_MEAN, _SKILL_VAR)
+    for g, (winner, loser) in enumerate(data.games):
+        team_perfs = {}
+        for side, team in (("w", winner), ("l", loser)):
+            member_perfs = []
+            for p in data.rosters[team]:
+                name = f"perf{g}{side}{p}"
+                b.sample(name, "Gaussian", v(f"skill{p}"), _PERF_VAR)
+                member_perfs.append(v(name))
+            total: Expr = member_perfs[0]
+            for mp in member_perfs[1:]:
+                total = total + mp
+            team_perfs[side] = b.assign(f"teamPerf{g}{side}", total)
+        b.observe(team_perfs["w"].gt(team_perfs["l"]))
+    group0_teams = [t for t in range(len(data.rosters)) if data.group_of(t) == 0]
+    returned = list(data.rosters[group0_teams[0]])[:n_returned]
+    ret: Expr = v(f"skill{returned[0]}")
+    for p in returned[1:]:
+        ret = ret + v(f"skill{p}")
+    return b.build(ret)

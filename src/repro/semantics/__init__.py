@@ -1,0 +1,34 @@
+"""Semantics of PROB: exact enumeration (the oracle) and the forward
+executor with traces (the substrate of the sampling engines)."""
+
+from .distribution import FiniteDist
+from .exact import ExactEngineError, ExactOptions, ExactResult, exact_inference
+from .executor import (
+    ExecutorOptions,
+    NonTerminatingRun,
+    RunResult,
+    run_program,
+)
+from .trace import Address, Trace, TraceEntry, total_log_prior
+from .values import EvalError, State, Value, default_value, eval_expr
+
+__all__ = [
+    "FiniteDist",
+    "ExactEngineError",
+    "ExactOptions",
+    "ExactResult",
+    "exact_inference",
+    "ExecutorOptions",
+    "NonTerminatingRun",
+    "RunResult",
+    "run_program",
+    "Address",
+    "Trace",
+    "TraceEntry",
+    "total_log_prior",
+    "EvalError",
+    "State",
+    "Value",
+    "default_value",
+    "eval_expr",
+]

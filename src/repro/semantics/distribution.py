@@ -1,0 +1,158 @@
+"""Finite distributions over program output values.
+
+:class:`FiniteDist` is the common currency between the exact engine,
+the samplers (via histograms), and the metrics (KL divergence, total
+variation).  It stores probabilities keyed by value; values may be
+bools, ints, or (binned) floats.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, Mapping, Tuple, Union
+
+__all__ = ["FiniteDist"]
+
+Value = Union[bool, int, float]
+
+
+class FiniteDist:
+    """An immutable finite probability distribution.
+
+    Construction normalizes the given nonnegative weights; a zero total
+    raises ``ValueError`` (the paper's semantics is undefined when the
+    unnormalized measure is zero, Theorem 1's side condition).
+    """
+
+    __slots__ = ("_probs",)
+
+    def __init__(self, weights: Mapping[Value, float]) -> None:
+        total = float(sum(weights.values()))
+        if not total > 0.0:
+            raise ValueError("cannot normalize a zero or negative measure")
+        probs: Dict[Value, float] = {}
+        for value, w in weights.items():
+            if w < 0.0:
+                raise ValueError(f"negative weight {w} for value {value!r}")
+            if w > 0.0:
+                probs[value] = probs.get(value, 0.0) + w / total
+        self._probs = probs
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[Value]) -> "FiniteDist":
+        """Empirical distribution of an iterable of values."""
+        counts: Dict[Value, float] = {}
+        for s in samples:
+            counts[s] = counts.get(s, 0.0) + 1.0
+        return cls(counts)
+
+    @classmethod
+    def from_weighted_samples(
+        cls, pairs: Iterable[Tuple[Value, float]]
+    ) -> "FiniteDist":
+        """Distribution from (value, weight) pairs (importance sampling)."""
+        counts: Dict[Value, float] = {}
+        for value, w in pairs:
+            counts[value] = counts.get(value, 0.0) + w
+        return cls(counts)
+
+    @classmethod
+    def point(cls, value: Value) -> "FiniteDist":
+        """The degenerate distribution at ``value``."""
+        return cls({value: 1.0})
+
+    # -- queries ----------------------------------------------------------------
+
+    def prob(self, value: Value) -> float:
+        """Probability of ``value`` (0 outside the support)."""
+        return self._probs.get(value, 0.0)
+
+    def support(self) -> Tuple[Value, ...]:
+        """Support values in a canonical (sorted) order."""
+        return tuple(sorted(self._probs, key=_sort_key))
+
+    def items(self) -> Iterator[Tuple[Value, float]]:
+        """(value, probability) pairs in canonical order."""
+        for value in self.support():
+            yield value, self._probs[value]
+
+    def expectation(self) -> float:
+        """Mean, treating booleans as 0/1."""
+        return sum(float(v) * p for v, p in self._probs.items())
+
+    def variance(self) -> float:
+        """Variance, treating booleans as 0/1."""
+        m = self.expectation()
+        return sum(p * (float(v) - m) ** 2 for v, p in self._probs.items())
+
+    def mode(self) -> Value:
+        """A most-probable value (ties broken by canonical order)."""
+        best = max(self._probs.values())
+        for value in self.support():
+            if self._probs[value] == best:
+                return value
+        raise AssertionError("unreachable: nonempty distribution has a mode")
+
+    # -- distances ----------------------------------------------------------------
+
+    def kl_from(self, other: "FiniteDist", smoothing: float = 0.0) -> float:
+        """``KL(self || other)``.
+
+        With ``smoothing > 0``, ``other`` is mixed with the uniform
+        distribution over the union support — the standard trick for
+        comparing an empirical estimate against an exact answer in
+        convergence plots (Figure 19) without infinities.
+        """
+        support = set(self._probs) | set(other._probs)
+        n = len(support)
+        total = 0.0
+        for value in support:
+            p = self.prob(value)
+            if p == 0.0:
+                continue
+            q = other.prob(value)
+            if smoothing > 0.0:
+                q = (1.0 - smoothing) * q + smoothing / n
+            if q == 0.0:
+                return math.inf
+            total += p * math.log(p / q)
+        return max(total, 0.0)
+
+    def tv_distance(self, other: "FiniteDist") -> float:
+        """Total-variation distance."""
+        support = set(self._probs) | set(other._probs)
+        return 0.5 * sum(abs(self.prob(v) - other.prob(v)) for v in support)
+
+    def allclose(self, other: "FiniteDist", atol: float = 1e-9) -> bool:
+        """True when the two distributions agree within ``atol``
+        pointwise — the semantics-preservation check used all over the
+        transformation tests."""
+        support = set(self._probs) | set(other._probs)
+        return all(abs(self.prob(v) - other.prob(v)) <= atol for v in support)
+
+    # -- dunder -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._probs)
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self.support())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FiniteDist):
+            return NotImplemented
+        return self._probs == other._probs
+
+    def __hash__(self) -> int:  # pragma: no cover - dict field, rarely hashed
+        return hash(tuple(self.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v!r}: {p:.6g}" for v, p in self.items())
+        return f"FiniteDist({{{inner}}})"
+
+
+def _sort_key(value: Value) -> Tuple[int, float]:
+    # Sort bools before numbers of equal float value to keep ordering total.
+    return (0 if isinstance(value, bool) else 1, float(value))

@@ -1,0 +1,44 @@
+"""Execution traces: the random choices of one program run.
+
+A *trace* maps sample-site addresses to the values drawn there.
+Addresses are structural paths through the AST (block index, branch
+tag, loop iteration), so the "same" probabilistic assignment in the
+same loop iteration gets the same address across runs — the naming
+scheme of lightweight Metropolis-Hastings (Wingate et al., 2011),
+which both the R2-like and Church-like engines build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+__all__ = ["Address", "TraceEntry", "Trace", "total_log_prior"]
+
+Address = Tuple[Union[int, str], ...]
+
+Value = Union[bool, int, float]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded random choice.
+
+    ``log_prior`` is the log density/mass of ``value`` under the
+    distribution *as parameterized in the run that produced this
+    trace* (parameters may depend on earlier choices).
+    ``dist_name`` lets replays detect that a site's distribution
+    changed kind entirely, in which case reuse is meaningless.
+    """
+
+    value: Value
+    log_prior: float
+    dist_name: str
+
+
+Trace = Dict[Address, TraceEntry]
+
+
+def total_log_prior(trace: Trace) -> float:
+    """Sum of log priors over all sites of a trace."""
+    return sum(entry.log_prior for entry in trace.values())

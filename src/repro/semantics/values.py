@@ -1,0 +1,120 @@
+"""Expression evaluation and program states.
+
+A state is a plain ``dict`` mapping variable names to values (bool /
+int / float).  Uninitialized variables have the default value of their
+declared type (the paper lifts partial valuations to total ones with
+defaults); reads of completely unknown variables raise
+:class:`EvalError` — the validator flags such programs up front.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+from ..core.ast import Binary, Const, DistCall, Expr, Unary, Var
+
+__all__ = ["Value", "State", "EvalError", "eval_expr", "eval_dist_args", "default_value"]
+
+Value = Union[bool, int, float]
+State = Dict[str, Value]
+
+#: Default values per declared type (paper: "assuming default values
+#: for uninitialized variables").
+_DEFAULTS: Dict[str, Value] = {"bool": False, "int": 0, "float": 0.0}
+
+
+class EvalError(RuntimeError):
+    """Runtime evaluation failure (unknown variable, division by zero,
+    type confusion)."""
+
+
+def default_value(type_name: str) -> Value:
+    """The default value assigned by a declaration of ``type_name``."""
+    try:
+        return _DEFAULTS[type_name]
+    except KeyError:
+        raise EvalError(f"unknown type {type_name!r}") from None
+
+
+def eval_expr(expr: Expr, state: State) -> Value:
+    """Evaluate ``expr`` in ``state``.
+
+    Boolean connectives short-circuit; ``/`` is true division; ``%``
+    follows Python semantics.  Comparison and arithmetic on mixed
+    int/float follow Python's numeric tower.
+    """
+    if isinstance(expr, Var):
+        try:
+            return state[expr.name]
+        except KeyError:
+            raise EvalError(f"variable {expr.name!r} is not defined") from None
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Unary):
+        if expr.op == "!":
+            return not _as_bool(eval_expr(expr.operand, state))
+        # expr.op == "-"
+        return -_as_number(eval_expr(expr.operand, state))
+    if isinstance(expr, Binary):
+        op = expr.op
+        if op == "&&":
+            return (
+                _as_bool(eval_expr(expr.left, state))
+                and _as_bool(eval_expr(expr.right, state))
+            )
+        if op == "||":
+            return (
+                _as_bool(eval_expr(expr.left, state))
+                or _as_bool(eval_expr(expr.right, state))
+            )
+        left = eval_expr(expr.left, state)
+        right = eval_expr(expr.right, state)
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        lnum, rnum = _as_number(left), _as_number(right)
+        if op == "<":
+            return lnum < rnum
+        if op == "<=":
+            return lnum <= rnum
+        if op == ">":
+            return lnum > rnum
+        if op == ">=":
+            return lnum >= rnum
+        if op == "+":
+            return lnum + rnum
+        if op == "-":
+            return lnum - rnum
+        if op == "*":
+            return lnum * rnum
+        if op == "/":
+            if rnum == 0:
+                raise EvalError(f"division by zero in {expr}")
+            return lnum / rnum
+        if op == "%":
+            if rnum == 0:
+                raise EvalError(f"modulo by zero in {expr}")
+            return lnum % rnum
+        raise EvalError(f"unknown operator {op!r}")
+    raise EvalError(f"not an expression: {expr!r}")
+
+
+def eval_dist_args(dist: DistCall, state: State) -> Tuple[Value, ...]:
+    """Evaluate a distribution call's parameter expressions."""
+    return tuple(eval_expr(arg, state) for arg in dist.args)
+
+
+def _as_bool(value: Value) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise EvalError(f"expected a boolean, got {value!r}")
+
+
+def _as_number(value: Value) -> Union[int, float]:
+    if isinstance(value, bool):
+        # Booleans participate in arithmetic as 0/1, matching C.
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    raise EvalError(f"expected a number, got {value!r}")

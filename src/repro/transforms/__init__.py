@@ -1,0 +1,42 @@
+"""Program transformations: OBS, SVF, SSA, SLI/AUX, constant
+propagation, and the baseline slicers."""
+
+from .constprop import const_prop, copy_prop, fold_expr
+from .dataslice import DataSliceResult, data_slice, kept_observation_indices
+from .obs import obs_transform, observe_set, while_set
+from .pipeline import (
+    SliceResult,
+    aux_of,
+    naive_slice,
+    nt_slice,
+    preprocess,
+    sli,
+)
+from .slice import aux_program_with, aux_stmt, slice_program_with, slice_stmt
+from .ssa import rename_expr, ssa_transform
+from .svf import svf_transform
+
+__all__ = [
+    "const_prop",
+    "copy_prop",
+    "DataSliceResult",
+    "data_slice",
+    "kept_observation_indices",
+    "fold_expr",
+    "obs_transform",
+    "observe_set",
+    "while_set",
+    "SliceResult",
+    "aux_of",
+    "naive_slice",
+    "nt_slice",
+    "preprocess",
+    "sli",
+    "aux_program_with",
+    "aux_stmt",
+    "slice_program_with",
+    "slice_stmt",
+    "rename_expr",
+    "ssa_transform",
+    "svf_transform",
+]

@@ -1,0 +1,290 @@
+"""Constant propagation and simplification.
+
+Section 2 applies constant propagation after slicing to shrink the
+Example-5 slice ``g = false; if (!g) l = Bernoulli(0.1) ...`` down to
+``l = Bernoulli(0.1)``.  This module implements that post-pass:
+
+* constants are propagated forward and expressions folded (with
+  short-circuit folding: ``false && E`` folds even when ``E`` is
+  unknown);
+* ``if`` with a constant condition is replaced by the taken branch;
+* ``observe(true)`` and ``factor(0)`` become ``skip``
+  (``observe(false)`` is *kept* — it blocks all runs, and removing it
+  would change the semantics from "everything conditioned away" to
+  "nothing conditioned");
+* ``while`` whose condition is initially constant-false is dropped.
+
+The pass is semantics-preserving and is property-tested against the
+exact engine on random programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.ast import (
+    Assign,
+    Binary,
+    Block,
+    Const,
+    Decl,
+    DistCall,
+    Expr,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Program,
+    Sample,
+    SKIP,
+    Skip,
+    Stmt,
+    Unary,
+    While,
+    Var,
+    seq,
+)
+from ..core.freevars import assigned_vars
+from ..semantics.values import EvalError, Value, default_value, eval_expr
+
+__all__ = ["const_prop", "copy_prop", "fold_expr"]
+
+Env = Dict[str, Value]
+
+
+def fold_expr(expr: Expr, env: Env) -> Expr:
+    """Substitute known constants and fold."""
+    if isinstance(expr, Var):
+        if expr.name in env:
+            return Const(env[expr.name])
+        return expr
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Unary):
+        operand = fold_expr(expr.operand, env)
+        folded = Unary(expr.op, operand)
+        return _try_eval(folded)
+    if isinstance(expr, Binary):
+        left = fold_expr(expr.left, env)
+        right = fold_expr(expr.right, env)
+        # Short-circuit folding with one unknown side.
+        if expr.op == "&&":
+            if left == Const(False) or right == Const(False):
+                return Const(False)
+            if left == Const(True):
+                return right
+            if right == Const(True):
+                return left
+        if expr.op == "||":
+            if left == Const(True) or right == Const(True):
+                return Const(True)
+            if left == Const(False):
+                return right
+            if right == Const(False):
+                return left
+        return _try_eval(Binary(expr.op, left, right))
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _try_eval(expr: Expr) -> Expr:
+    """Evaluate an expression with constant leaves; leave it intact on
+    failure (division by zero stays a runtime matter)."""
+
+    def all_const(e: Expr) -> bool:
+        if isinstance(e, Const):
+            return True
+        if isinstance(e, Unary):
+            return all_const(e.operand)
+        if isinstance(e, Binary):
+            return all_const(e.left) and all_const(e.right)
+        return False
+
+    if not all_const(expr):
+        return expr
+    try:
+        return Const(eval_expr(expr, {}))
+    except EvalError:
+        return expr
+
+
+def _fold_dist(dist: DistCall, env: Env) -> DistCall:
+    return DistCall(dist.name, tuple(fold_expr(a, env) for a in dist.args))
+
+
+def _prop(stmt: Stmt, env: Env) -> Stmt:
+    """Transform ``stmt``, updating ``env`` in place."""
+    if isinstance(stmt, Skip):
+        return SKIP
+    if isinstance(stmt, Decl):
+        env[stmt.name] = default_value(stmt.type)
+        return stmt
+    if isinstance(stmt, Assign):
+        expr = fold_expr(stmt.expr, env)
+        if isinstance(expr, Const):
+            env[stmt.name] = expr.value
+        else:
+            env.pop(stmt.name, None)
+        return Assign(stmt.name, expr)
+    if isinstance(stmt, Sample):
+        env.pop(stmt.name, None)
+        return Sample(stmt.name, _fold_dist(stmt.dist, env))
+    if isinstance(stmt, Observe):
+        cond = fold_expr(stmt.cond, env)
+        if cond == Const(True):
+            return SKIP
+        return Observe(cond)
+    if isinstance(stmt, ObserveSample):
+        return ObserveSample(_fold_dist(stmt.dist, env), fold_expr(stmt.value, env))
+    if isinstance(stmt, Factor):
+        weight = fold_expr(stmt.log_weight, env)
+        if weight in (Const(0), Const(0.0)):
+            return SKIP
+        return Factor(weight)
+    if isinstance(stmt, Block):
+        return seq(*(_prop(s, env) for s in stmt.stmts))
+    if isinstance(stmt, If):
+        cond = fold_expr(stmt.cond, env)
+        if cond == Const(True):
+            return _prop(stmt.then_branch, env)
+        if cond == Const(False):
+            return _prop(stmt.else_branch, env)
+        env_then = dict(env)
+        then_branch = _prop(stmt.then_branch, env_then)
+        env_else = dict(env)
+        else_branch = _prop(stmt.else_branch, env_else)
+        env.clear()
+        env.update(
+            {
+                k: v
+                for k, v in env_then.items()
+                if k in env_else and env_else[k] == v
+            }
+        )
+        return If(cond, then_branch, else_branch)
+    if isinstance(stmt, While):
+        entry_cond = fold_expr(stmt.cond, env)
+        if entry_cond == Const(False):
+            return SKIP
+        # Facts about variables the body writes do not survive
+        # iterations; drop them before folding the residual loop.
+        killed = assigned_vars(stmt.body)
+        for name in killed:
+            env.pop(name, None)
+        body_env = dict(env)
+        body = _prop(stmt.body, body_env)
+        for name in killed:
+            env.pop(name, None)
+        return While(fold_expr(stmt.cond, env), body)
+    raise TypeError(f"not a statement: {stmt!r}")
+
+
+def const_prop(program: Program) -> Program:
+    """Apply constant propagation and folding to a whole program."""
+    env: Env = {}
+    body = _prop(program.body, env)
+    return Program(body, fold_expr(program.ret, env))
+
+
+# ---------------------------------------------------------------------------
+# Copy propagation
+# ---------------------------------------------------------------------------
+
+CopyEnv = Dict[str, str]
+
+
+def _resolve(name: str, env: CopyEnv) -> str:
+    seen = set()
+    while name in env and name not in seen:
+        seen.add(name)
+        name = env[name]
+    return name
+
+
+def _subst_expr(expr: Expr, env: CopyEnv) -> Expr:
+    if isinstance(expr, Var):
+        return Var(_resolve(expr.name, env))
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Unary):
+        return Unary(expr.op, _subst_expr(expr.operand, env))
+    if isinstance(expr, Binary):
+        return Binary(
+            expr.op, _subst_expr(expr.left, env), _subst_expr(expr.right, env)
+        )
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _subst_dist(dist: DistCall, env: CopyEnv) -> DistCall:
+    return DistCall(dist.name, tuple(_subst_expr(a, env) for a in dist.args))
+
+
+def _kill(env: CopyEnv, name: str) -> None:
+    """Invalidate copies involving ``name`` (it was reassigned)."""
+    env.pop(name, None)
+    for k in [k for k, v in env.items() if v == name]:
+        del env[k]
+
+
+def _copy(stmt: Stmt, env: CopyEnv) -> Stmt:
+    if isinstance(stmt, Skip):
+        return SKIP
+    if isinstance(stmt, Decl):
+        _kill(env, stmt.name)
+        return stmt
+    if isinstance(stmt, Assign):
+        expr = _subst_expr(stmt.expr, env)
+        _kill(env, stmt.name)
+        if isinstance(expr, Var) and expr.name != stmt.name:
+            env[stmt.name] = expr.name
+        return Assign(stmt.name, expr)
+    if isinstance(stmt, Sample):
+        dist = _subst_dist(stmt.dist, env)
+        _kill(env, stmt.name)
+        return Sample(stmt.name, dist)
+    if isinstance(stmt, Observe):
+        return Observe(_subst_expr(stmt.cond, env))
+    if isinstance(stmt, ObserveSample):
+        return ObserveSample(
+            _subst_dist(stmt.dist, env), _subst_expr(stmt.value, env)
+        )
+    if isinstance(stmt, Factor):
+        return Factor(_subst_expr(stmt.log_weight, env))
+    if isinstance(stmt, Block):
+        return seq(*(_copy(s, env) for s in stmt.stmts))
+    if isinstance(stmt, If):
+        cond = _subst_expr(stmt.cond, env)
+        env_then = dict(env)
+        then_branch = _copy(stmt.then_branch, env_then)
+        env_else = dict(env)
+        else_branch = _copy(stmt.else_branch, env_else)
+        env.clear()
+        env.update(
+            {k: v for k, v in env_then.items() if env_else.get(k) == v}
+        )
+        return If(cond, then_branch, else_branch)
+    if isinstance(stmt, While):
+        killed = assigned_vars(stmt.body)
+        for name in killed:
+            _kill(env, name)
+        cond = _subst_expr(stmt.cond, env)
+        body_env = dict(env)
+        body = _copy(stmt.body, body_env)
+        for name in killed:
+            _kill(env, name)
+        return While(cond, body)
+    raise TypeError(f"not a statement: {stmt!r}")
+
+
+def copy_prop(program: Program) -> Program:
+    """Copy propagation: replace reads of pure aliases (``x = y``) by
+    the original variable, so the SSA merge chains slicing leaves
+    behind (``s = s1``) become dead and a re-slice removes them.
+
+    Correctness subtlety handled: a copy fact ``x -> y`` dies when
+    either side is reassigned; branch joins keep only facts valid on
+    both paths, and loop bodies invalidate everything they assign
+    before the condition is rewritten.
+    """
+    env: CopyEnv = {}
+    body = _copy(program.body, env)
+    return Program(body, _subst_expr(program.ret, env))

@@ -1,0 +1,107 @@
+"""Probabilistic data slicing — the paper's Section-8 future work.
+
+A probabilistic program typically encodes observations of real-world
+data: ``P = C(D)`` for a code template ``C`` and a dataset ``D``.  The
+paper asks for a slicer that produces ``SLI(P) = C'(D')`` with
+``D' ⊆ D`` — so practitioners who re-run a fixed query against many
+datasets can pre-filter the *data*, not just the code.
+
+This module implements that operator for templates in which each data
+row contributes exactly one soft observation (``observe(Dist, v)`` or
+``factor``), in row order — the natural shape of the paper's own
+data-driven benchmarks (every regression point, HIV measurement, and
+TrueSkill game is one observation):
+
+1. build ``P = template(D)`` and run SLI;
+2. a data row is *relevant* iff its observation's synthetic token
+   survived in the influencer set;
+3. rebuild ``P' = template(D')`` from the surviving rows.
+
+``P'`` re-slices to (essentially) ``SLI(P)``: the dropped observations
+are exactly those whose dependence cones never touch the query, so
+removing their rows removes the same statements the slicer did.  The
+tests check the stronger, observable property: the posterior of
+``template(D')`` matches the posterior of ``P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Sequence, TypeVar
+
+from ..analysis.depgraph import SOFT_OBS_PREFIX
+from ..core.ast import Program
+from .pipeline import SliceResult, sli
+
+__all__ = ["DataSliceResult", "kept_observation_indices", "data_slice"]
+
+T = TypeVar("T")
+
+
+def kept_observation_indices(result: SliceResult) -> FrozenSet[int]:
+    """Indices (in traversal order) of the soft observations the slice
+    retained.
+
+    The dependence analysis numbers soft observations ``$obs0``,
+    ``$obs1``, ... in traversal order; an observation survives iff its
+    token is in the influencer set.
+    """
+    kept = set()
+    for token in result.observed:
+        if token.startswith(SOFT_OBS_PREFIX):
+            if token in result.influencers:
+                kept.add(int(token[len(SOFT_OBS_PREFIX):]))
+    return frozenset(kept)
+
+
+@dataclass(frozen=True)
+class DataSliceResult:
+    """Outcome of :func:`data_slice`.
+
+    ``reduced_program`` is ``C(D')`` — the template re-instantiated on
+    the surviving rows; ``slice_result`` is the ordinary SLI result on
+    the full program (whose ``sliced`` program is also available).
+    """
+
+    kept_indices: FrozenSet[int]
+    kept_data: tuple
+    reduced_program: Program
+    slice_result: SliceResult
+    n_total: int = 0
+
+    @property
+    def n_dropped(self) -> int:
+        return self.n_total - len(self.kept_indices)
+
+
+def data_slice(
+    template: Callable[[Sequence[T]], Program],
+    data: Sequence[T],
+) -> DataSliceResult:
+    """Slice a templated program's *dataset*.
+
+    ``template`` must produce exactly one soft observation per data
+    row, in row order (raises ``ValueError`` otherwise).  Returns the
+    surviving rows and the re-instantiated program.
+    """
+    program = template(data)
+    result = sli(program)
+    n_soft = sum(
+        1 for token in result.observed if token.startswith(SOFT_OBS_PREFIX)
+    )
+    if n_soft != len(data):
+        raise ValueError(
+            f"template produced {n_soft} soft observations for "
+            f"{len(data)} data rows; data slicing requires exactly one "
+            "observation per row, in order"
+        )
+    kept = kept_observation_indices(result)
+    kept_data: List[T] = [row for i, row in enumerate(data) if i in kept]
+    reduced = template(kept_data)
+    return DataSliceResult(
+        kept_indices=kept,
+        kept_data=tuple(kept_data),
+        reduced_program=reduced,
+        slice_result=result,
+        n_total=len(data),
+    )

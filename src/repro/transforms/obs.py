@@ -1,0 +1,156 @@
+"""The OBS transformation (Figure 12).
+
+OBS blocks spurious dependences through observed variables by
+inserting a deterministic assignment after conditioning points whose
+outcome pins a variable to a constant:
+
+* after ``observe(x == E')`` (or ``E' == x``) with ``E'`` closed
+  (variable-free), insert ``x = E'``;
+* after ``while (x != E')`` (or ``E' != x``) with ``E'`` closed,
+  insert ``x = E'`` — the loop exits only when the condition is false,
+  i.e. when ``x == E'``.
+
+A bare boolean observation ``observe(x)`` is treated as
+``observe(x == true)`` and ``while (!x)`` as ``while (x != true)``;
+these directly generalize the figure's patterns (``observe(x)``
+pins ``x`` to ``true`` exactly as ``observe(x = true)`` does) and make
+OBS effective on the paper's own surface syntax.
+
+OBS is semantics-preserving: the inserted assignment writes a value
+the variable is already guaranteed to have at that point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.ast import (
+    Assign,
+    Binary,
+    Block,
+    Expr,
+    If,
+    Observe,
+    Program,
+    SKIP,
+    Skip,
+    Stmt,
+    Unary,
+    Var,
+    While,
+    Const,
+    seq,
+)
+from ..core.freevars import free_vars
+
+__all__ = ["obs_transform", "observe_set", "while_set"]
+
+
+def _pinned_pair(expr: Expr, op: str) -> Optional[Tuple[str, Expr]]:
+    """If ``expr`` is ``x <op> E'`` or ``E' <op> x`` with ``E'`` closed,
+    return ``(x, E')``."""
+    if isinstance(expr, Binary) and expr.op == op:
+        if isinstance(expr.left, Var) and not free_vars(expr.right):
+            return expr.left.name, expr.right
+        if isinstance(expr.right, Var) and not free_vars(expr.left):
+            return expr.right.name, expr.left
+    return None
+
+
+def observe_set(cond: Expr, extended: bool = True) -> Stmt:
+    """``OBSERVESET(E)``: the assignment a satisfied ``observe(E)``
+    guarantees, or ``skip``.
+
+    With ``extended=False`` only the figure's literal ``x == E'``
+    pattern fires (used by the worked-example golden tests); the
+    boolean sugar (``observe(x)``, ``observe(!x)``) is handled when
+    ``extended=True`` (the pipeline default).
+    """
+    pinned = _pinned_pair(cond, "==")
+    if pinned is not None:
+        return Assign(pinned[0], pinned[1])
+    if extended:
+        # observe(x)  ==  observe(x == true)
+        if isinstance(cond, Var):
+            return Assign(cond.name, Const(True))
+        # observe(!x)  ==  observe(x == false)
+        if (
+            isinstance(cond, Unary)
+            and cond.op == "!"
+            and isinstance(cond.operand, Var)
+        ):
+            return Assign(cond.operand.name, Const(False))
+    return SKIP
+
+
+def while_set(cond: Expr, extended: bool = True) -> Stmt:
+    """``WHILESET(E)``: the assignment guaranteed after ``while (E)``
+    exits, or ``skip``.
+
+    With ``extended=True``, the boolean sugar forms fire too:
+    ``while (!x)`` is ``while (x != true)`` and ``while (x)`` is
+    ``while (x != false)``.
+    """
+    pinned = _pinned_pair(cond, "!=")
+    if pinned is not None:
+        return Assign(pinned[0], pinned[1])
+    if extended:
+        # while (!x)  exits with  x == true
+        if (
+            isinstance(cond, Unary)
+            and cond.op == "!"
+            and isinstance(cond.operand, Var)
+        ):
+            return Assign(cond.operand.name, Const(True))
+        # while (x)  exits with  x == false
+        if isinstance(cond, Var):
+            return Assign(cond.name, Const(False))
+    return SKIP
+
+
+def _obs_stmt(stmt: Stmt, extended: bool) -> Stmt:
+    if isinstance(stmt, Observe):
+        return seq(stmt, observe_set(stmt.cond, extended))
+    if isinstance(stmt, While):
+        return seq(
+            While(stmt.cond, _obs_stmt(stmt.body, extended)),
+            while_set(stmt.cond, extended),
+        )
+    if isinstance(stmt, Block):
+        # Idempotence lookahead: when the pin assignment is already in
+        # place (this program went through OBS before, e.g. when
+        # re-slicing a slice), do not insert a duplicate.
+        out = []
+        items = list(stmt.stmts)
+        for i, s in enumerate(items):
+            pin: Stmt = SKIP
+            if isinstance(s, Observe):
+                pin = observe_set(s.cond, extended)
+            elif isinstance(s, While):
+                pin = while_set(s.cond, extended)
+            already = (
+                not isinstance(pin, Skip)
+                and i + 1 < len(items)
+                and items[i + 1] == pin
+            )
+            if isinstance(s, Observe):
+                out.append(s if already else seq(s, pin))
+            elif isinstance(s, While):
+                inner = While(s.cond, _obs_stmt(s.body, extended))
+                out.append(inner if already else seq(inner, pin))
+            else:
+                out.append(_obs_stmt(s, extended))
+        return seq(*out)
+    if isinstance(stmt, If):
+        return If(
+            stmt.cond,
+            _obs_stmt(stmt.then_branch, extended),
+            _obs_stmt(stmt.else_branch, extended),
+        )
+    return stmt
+
+
+def obs_transform(program: Program, extended: bool = True) -> Program:
+    """Apply OBS to a whole program (the return expression is
+    untouched)."""
+    return Program(_obs_stmt(program.body, extended), program.ret)

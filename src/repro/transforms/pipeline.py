@@ -1,0 +1,173 @@
+"""The full SLI pipeline (Section 4) and the baseline slicers.
+
+``sli`` composes the paper's four transformations::
+
+    SLI(P) = slice( SSA( SVF( OBS(P) ) ), INF(O, G)(R) )
+
+and optionally a constant-propagation + re-slice post-pass (the
+Section 2 "further optimized" step that turns the Example-5 slice into
+``l = Bernoulli(0.1); return l``).
+
+Baselines for the evaluation:
+
+* :func:`naive_slice` — classic control+data slicing (``DINF`` only).
+  *Incorrect* for probabilistic programs (Example 4): it drops
+  observe statements whose variable is not an ordinary dependence of
+  the return variable.
+* :func:`nt_slice` — non-termination-preserving slicing in the style
+  of Hatcliff et al.: keeps the cones of *all* observed variables and
+  loop conditions in addition to the return's cone, so conditioning
+  and potential divergence are preserved exactly.  Correct but larger
+  (Section 6 argues this forfeits most of the benefit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from ..analysis.depgraph import DependencyInfo, analyze
+from ..analysis.graph import DiGraph
+from ..analysis.influencers import dinf, inf_fast
+from ..core.ast import Program, statement_count
+from ..core.freevars import free_vars
+from .constprop import const_prop, copy_prop
+from .obs import obs_transform
+from .slice import aux_program_with, slice_program_with
+from .ssa import ssa_transform
+from .svf import svf_transform
+
+__all__ = ["SliceResult", "preprocess", "sli", "naive_slice", "nt_slice", "aux_of"]
+
+
+@dataclass(frozen=True)
+class SliceResult:
+    """Everything the pipeline produced.
+
+    ``transformed`` is the pre-pass output (OBS; SVF; SSA) that the
+    influencer analysis ran on; ``sliced`` is the final program.  Note
+    ``sliced`` speaks in SSA names — its return expression is the
+    renamed one.
+    """
+
+    original: Program
+    transformed: Program
+    sliced: Program
+    influencers: FrozenSet[str]
+    observed: FrozenSet[str]
+    graph: DiGraph
+
+    @property
+    def original_size(self) -> int:
+        return statement_count(self.original.body)
+
+    @property
+    def transformed_size(self) -> int:
+        return statement_count(self.transformed.body)
+
+    @property
+    def sliced_size(self) -> int:
+        return statement_count(self.sliced.body)
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of (pre-pass) statements sliced away."""
+        if self.transformed_size == 0:
+            return 0.0
+        return 1.0 - self.sliced_size / self.transformed_size
+
+
+def preprocess(
+    program: Program,
+    use_obs: bool = True,
+    obs_extended: bool = True,
+    svf_hoist_variables: bool = False,
+) -> Program:
+    """The pre-pass: OBS, then SVF, then SSA (Section 4.2).
+
+    ``svf_hoist_variables=True`` applies Figure 13 literally (fresh
+    helper even for bare-variable conditions).
+    """
+    if use_obs:
+        program = obs_transform(program, extended=obs_extended)
+    program = svf_transform(program, hoist_variables=svf_hoist_variables)
+    return ssa_transform(program)
+
+
+def _finish(
+    original: Program,
+    transformed: Program,
+    info: DependencyInfo,
+    keep: FrozenSet[str],
+    simplify: bool,
+) -> SliceResult:
+    sliced = slice_program_with(transformed, keep)
+    if simplify:
+        # Constant and copy propagation can turn observes into skips,
+        # conditions into constants, and merge aliases into dead code,
+        # enabling a second, smaller slice.
+        sliced = copy_prop(const_prop(sliced))
+        info2 = analyze(sliced)
+        keep2 = inf_fast(info2.observed, info2.graph, free_vars(sliced.ret))
+        sliced = slice_program_with(sliced, frozenset(keep2))
+    return SliceResult(
+        original=original,
+        transformed=transformed,
+        sliced=sliced,
+        influencers=keep,
+        observed=info.observed,
+        graph=info.graph,
+    )
+
+
+def sli(
+    program: Program,
+    use_obs: bool = True,
+    obs_extended: bool = True,
+    simplify: bool = False,
+    svf_hoist_variables: bool = False,
+) -> SliceResult:
+    """The paper's SLI transformation.
+
+    ``use_obs=False`` disables the OBS pre-pass (Ablation A);
+    ``simplify=True`` adds the constant/copy-propagation post-pass;
+    ``svf_hoist_variables=True`` applies Figure 13 literally.
+    """
+    transformed = preprocess(
+        program,
+        use_obs=use_obs,
+        obs_extended=obs_extended,
+        svf_hoist_variables=svf_hoist_variables,
+    )
+    info = analyze(transformed)
+    keep = inf_fast(info.observed, info.graph, free_vars(transformed.ret))
+    return _finish(program, transformed, info, frozenset(keep), simplify)
+
+
+def naive_slice(program: Program, use_obs: bool = True) -> SliceResult:
+    """Classic slicing: control + data dependences only (``DINF``).
+
+    Incorrect on programs where observing a variable opens an active
+    trail to the return variables (Example 4); provided as the paper's
+    "usual definition of slicing" comparison point.
+    """
+    transformed = preprocess(program, use_obs=use_obs)
+    info = analyze(transformed)
+    keep = dinf(info.graph, free_vars(transformed.ret))
+    return _finish(program, transformed, info, frozenset(keep), simplify=False)
+
+
+def nt_slice(program: Program) -> SliceResult:
+    """Non-termination-preserving slicing: the return cone plus the
+    cones of every observed variable and loop condition."""
+    transformed = preprocess(program, use_obs=False)
+    info = analyze(transformed)
+    targets = set(free_vars(transformed.ret)) | set(info.observed)
+    keep = dinf(info.graph, targets)
+    return _finish(program, transformed, info, frozenset(keep), simplify=False)
+
+
+def aux_of(result: SliceResult) -> Program:
+    """The AUX complement (Figure 17) of a pipeline result, as a
+    program returning a constant.  ``Z(P) = Z(SLI(P)) * Z(AUX(P))``."""
+    return aux_program_with(result.transformed, result.influencers, result.graph)

@@ -1,0 +1,253 @@
+"""The SSA transformation (Figure 14).
+
+A phi-free SSA variant: instead of phi nodes, branch-local renamings
+are reconciled by ``MERGE`` assignments appended to the else branch
+(for ``if``) or the loop body (for ``while``).  This deliberately
+*relaxes* single assignment — merge targets are written on more than
+one path — which the paper shows is harmless for slicing correctness
+(the proof needs only single variable form) while keeping the
+semantics compositional.
+
+Renaming policy (matches the paper's worked examples, Figures 15/16):
+the *first* definition of a source variable keeps its name; later
+definitions get numeric suffixes (``g``, ``g1``, ``g2``, ...).  This
+is sound because the validator rejects reads of never-assigned
+variables, and a declaration (which only installs a default value) is
+not treated as a definition — reads of a declared-but-unassigned
+variable keep the original name on every path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..core.ast import (
+    Assign,
+    Binary,
+    Block,
+    Const,
+    Decl,
+    DistCall,
+    Expr,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Program,
+    Sample,
+    Skip,
+    Stmt,
+    Unary,
+    Var,
+    While,
+    seq,
+)
+from ..core.freevars import free_vars
+
+__all__ = ["ssa_transform", "rename_expr"]
+
+Renaming = Dict[str, str]
+
+
+def rename_expr(expr: Expr, rho: Renaming) -> Expr:
+    """Apply a variable renaming to an expression (``ρ(E)``)."""
+    if isinstance(expr, Var):
+        return Var(rho.get(expr.name, expr.name))
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Unary):
+        return Unary(expr.op, rename_expr(expr.operand, rho))
+    if isinstance(expr, Binary):
+        return Binary(
+            expr.op, rename_expr(expr.left, rho), rename_expr(expr.right, rho)
+        )
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _rename_dist(dist: DistCall, rho: Renaming) -> DistCall:
+    return DistCall(dist.name, tuple(rename_expr(a, rho) for a in dist.args))
+
+
+class _SSAFresh:
+    """Fresh-name source.  First definition of a base name keeps the
+    name; later definitions get ``base1``, ``base2``, ... (``base_1``
+    when the base already ends in a digit, to avoid ``q1`` -> ``q11``
+    confusion)."""
+
+    def __init__(self, taken: Set[str]) -> None:
+        self._taken = set(taken)
+        self._defined: Set[str] = set()
+
+    def define(self, base: str) -> str:
+        if base not in self._defined:
+            self._defined.add(base)
+            self._taken.add(base)
+            return base
+        sep = "_" if base and base[-1].isdigit() else ""
+        k = 1
+        while True:
+            candidate = f"{base}{sep}{k}"
+            if candidate not in self._taken and candidate not in self._defined:
+                self._defined.add(candidate)
+                self._taken.add(candidate)
+                return candidate
+            k += 1
+
+
+class _SSA:
+    def __init__(self, taken: Set[str]) -> None:
+        self._fresh = _SSAFresh(taken)
+        #: Version names holding a value on the *current path* —
+        #: declared names and assignment targets.  Merge assignments
+        #: whose source version is unavailable on their path are dead
+        #: (def-before-use validation guarantees nothing reads the
+        #: merged variable afterwards) and are skipped; emitting them
+        #: would read an undefined variable.
+        self._available: Set[str] = set()
+
+    def stmt(self, stmt: Stmt, rho: Renaming) -> Stmt:
+        """Transform ``stmt``, updating ``rho`` in place."""
+        if isinstance(stmt, Skip):
+            return stmt
+        if isinstance(stmt, Decl):
+            # Declarations install a default value but are not SSA
+            # definitions; the declared name stays the canonical "value
+            # before any assignment" version.
+            self._available.add(stmt.name)
+            return stmt
+        if isinstance(stmt, Assign):
+            expr = rename_expr(stmt.expr, rho)
+            new = self._fresh.define(stmt.name)
+            rho[stmt.name] = new
+            self._available.add(new)
+            return Assign(new, expr)
+        if isinstance(stmt, Sample):
+            dist = _rename_dist(stmt.dist, rho)
+            new = self._fresh.define(stmt.name)
+            rho[stmt.name] = new
+            self._available.add(new)
+            return Sample(new, dist)
+        if isinstance(stmt, Observe):
+            return Observe(rename_expr(stmt.cond, rho))
+        if isinstance(stmt, ObserveSample):
+            return ObserveSample(
+                _rename_dist(stmt.dist, rho), rename_expr(stmt.value, rho)
+            )
+        if isinstance(stmt, Factor):
+            return Factor(rename_expr(stmt.log_weight, rho))
+        if isinstance(stmt, Block):
+            return seq(*(self.stmt(s, rho) for s in stmt.stmts))
+        if isinstance(stmt, If):
+            cond = rename_expr(stmt.cond, rho)
+            before = set(self._available)
+            rho_then = dict(rho)
+            then_branch = self.stmt(stmt.then_branch, rho_then)
+            avail_then = self._available
+            self._available = set(before)
+            rho_else = dict(rho)
+            else_branch = self.stmt(stmt.else_branch, rho_else)
+            merge = self._merge(rho_then, rho_else, rho, self._available)
+            # Merge targets are definitely assigned only when both
+            # sides provided a value; conservatively, a version is
+            # available afterwards when available on both paths (plus
+            # emitted merge targets, available on the else path too).
+            merge_targets = {m.name for m in merge}
+            self._available = (avail_then & self._available) | (
+                avail_then & merge_targets
+            ) | before
+            rho.clear()
+            rho.update(rho_then)
+            return If(cond, then_branch, seq(else_branch, *merge))
+        if isinstance(stmt, While):
+            cond = rename_expr(stmt.cond, rho)
+            before = set(self._available)
+            rho_body = dict(rho)
+            body = self.stmt(stmt.body, rho_body)
+            merge = self._merge(rho, rho_body, rho, self._available)
+            # The body may run zero times: only pre-loop versions are
+            # definitely available afterwards.
+            self._available = before
+            # The environment after the loop is the pre-loop one: merge
+            # assignments write the body's versions back into it.
+            return While(cond, seq(body, *merge))
+        raise TypeError(f"not a statement: {stmt!r}")
+
+    @staticmethod
+    def _merge(
+        rho_a: Renaming,
+        rho_b: Renaming,
+        order: Renaming,
+        available: Set[str],
+    ) -> List[Stmt]:
+        """``MERGE(ρ_a, ρ_b)``: assignments ``ρ_a(x) = ρ_b(x)`` for every
+        ``x`` where the two renamings disagree and the source version is
+        available on the merge's path, in ``order``'s key order."""
+        out: List[Stmt] = []
+        for x in order:
+            a, b = rho_a.get(x, x), rho_b.get(x, x)
+            if a != b and b in available:
+                out.append(Assign(a, Var(b)))
+        return out
+
+
+def _vars_in_order(program: Program) -> List[str]:
+    """Program variables in first-occurrence order (for deterministic
+    merge ordering)."""
+    seen: List[str] = []
+    seen_set: Set[str] = set()
+
+    def visit_expr(expr: Expr) -> None:
+        if isinstance(expr, Var):
+            if expr.name not in seen_set:
+                seen_set.add(expr.name)
+                seen.append(expr.name)
+        elif isinstance(expr, Unary):
+            visit_expr(expr.operand)
+        elif isinstance(expr, Binary):
+            visit_expr(expr.left)
+            visit_expr(expr.right)
+
+    def visit_dist(dist: DistCall) -> None:
+        for a in dist.args:
+            visit_expr(a)
+
+    def visit(stmt: Stmt) -> None:
+        if isinstance(stmt, Decl):
+            visit_expr(Var(stmt.name))
+        elif isinstance(stmt, Assign):
+            visit_expr(stmt.expr)
+            visit_expr(Var(stmt.name))
+        elif isinstance(stmt, Sample):
+            visit_dist(stmt.dist)
+            visit_expr(Var(stmt.name))
+        elif isinstance(stmt, Observe):
+            visit_expr(stmt.cond)
+        elif isinstance(stmt, ObserveSample):
+            visit_dist(stmt.dist)
+            visit_expr(stmt.value)
+        elif isinstance(stmt, Factor):
+            visit_expr(stmt.log_weight)
+        elif isinstance(stmt, Block):
+            for s in stmt.stmts:
+                visit(s)
+        elif isinstance(stmt, If):
+            visit_expr(stmt.cond)
+            visit(stmt.then_branch)
+            visit(stmt.else_branch)
+        elif isinstance(stmt, While):
+            visit_expr(stmt.cond)
+            visit(stmt.body)
+
+    visit(program.body)
+    visit_expr(program.ret)
+    return seen
+
+
+def ssa_transform(program: Program) -> Program:
+    """Apply the phi-free SSA transformation to a whole program; the
+    return expression is renamed by the final environment."""
+    ordered = _vars_in_order(program)
+    rho: Renaming = {x: x for x in ordered}
+    ssa = _SSA(set(free_vars(program)))
+    body = ssa.stmt(program.body, rho)
+    return Program(body, rename_expr(program.ret, rho))

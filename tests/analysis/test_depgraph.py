@@ -1,0 +1,141 @@
+"""OVAR and DEP tests (Figure 9)."""
+
+import pytest
+
+from repro.core.parser import parse, parse_statement
+from repro.core.validate import ValidationError
+from repro.analysis.depgraph import SOFT_OBS_PREFIX, analyze, dep_graph, observed_vars
+from repro.transforms import preprocess
+
+
+class TestOVAR:
+    def test_observe_argument_collected(self):
+        p = parse("q ~ Bernoulli(0.5); observe(q); return q;")
+        assert observed_vars(p) == {"q"}
+
+    def test_while_condition_collected(self):
+        p = parse(
+            "q ~ Bernoulli(0.5); while (q) { q ~ Bernoulli(0.5); } return q;"
+        )
+        assert observed_vars(p) == {"q"}
+
+    def test_nested_statements(self):
+        p = parse(
+            """
+a ~ Bernoulli(0.5);
+q1 ~ Bernoulli(0.5);
+if (a) { observe(q1); }
+return a;
+"""
+        )
+        assert observed_vars(p) == {"q1"}
+
+    def test_soft_observe_gets_token(self):
+        p = parse("mu ~ Gaussian(0.0, 1.0); observe(Gaussian(mu, 1.0), 2.0); return mu;")
+        obs = observed_vars(p)
+        assert len(obs) == 1
+        assert next(iter(obs)).startswith(SOFT_OBS_PREFIX)
+
+    def test_factor_gets_token(self):
+        p = parse("x = 1.0; factor(x); return x;")
+        assert any(o.startswith(SOFT_OBS_PREFIX) for o in observed_vars(p))
+
+
+class TestDEP:
+    def test_data_dependence(self):
+        p = parse("a = 1; b = a + 1; return b;")
+        g = dep_graph(p)
+        assert ("a", "b") in g.edges()
+
+    def test_sample_parameter_dependence(self):
+        p = parse("p = 0.5; x ~ Bernoulli(p); return x;")
+        assert ("p", "x") in dep_graph(p).edges()
+
+    def test_control_dependence(self):
+        p = parse(
+            "q ~ Bernoulli(0.5); if (q) { x = 1; } else { x = 2; } return x;"
+        )
+        assert ("q", "x") in dep_graph(p).edges()
+
+    def test_observe_control_dependence(self):
+        # Under a condition, the observed variable picks up a control edge.
+        p = parse(
+            """
+q ~ Bernoulli(0.5);
+z ~ Bernoulli(0.5);
+if (q) { observe(z); }
+return q;
+"""
+        )
+        assert ("q", "z") in dep_graph(p).edges()
+
+    def test_while_edges(self):
+        p = parse(
+            """
+q ~ Bernoulli(0.5);
+x = 0;
+while (q) { x = x + 1; q ~ Bernoulli(0.5); }
+return x;
+"""
+        )
+        g = dep_graph(p)
+        assert ("q", "x") in g.edges()  # control into body
+        assert ("x", "x") in g.edges()  # x = x + 1
+
+    def test_non_svf_condition_rejected(self):
+        p = parse("a ~ Bernoulli(0.5); if (!a) { x = 1; } else { x = 2; } return x;")
+        with pytest.raises(ValidationError):
+            dep_graph(p)
+
+    def test_separate_edge_kinds(self):
+        p = parse(
+            "q ~ Bernoulli(0.5); if (q) { x = 1; } else { x = 2; } return x;"
+        )
+        info = analyze(p)
+        assert ("q", "x") in info.control_edges
+        assert ("q", "x") not in info.data_edges
+
+    def test_soft_observe_edges(self):
+        p = parse(
+            "mu ~ Gaussian(0.0, 1.0); y = 2.0; observe(Gaussian(mu, 1.0), y); return mu;"
+        )
+        info = analyze(p)
+        token = next(iter(info.observed))
+        assert ("mu", token) in info.data_edges
+        assert ("y", token) in info.data_edges
+
+    def test_decl_control_edge(self):
+        p = parse(
+            "q ~ Bernoulli(0.5); if (q) { bool fresh; } else { skip; } return q;"
+        )
+        assert ("q", "fresh") in dep_graph(p).edges()
+
+    def test_return_variables_registered_as_vertices(self):
+        p = parse("bool a; return a;")
+        assert "a" in dep_graph(p)
+
+    def test_worked_example2_dependency_graph(self, ex6):
+        # Figure 16's edge list for the preprocessed loopy example.
+        pre = preprocess(ex6, obs_extended=False, svf_hoist_variables=True)
+        info = analyze(pre)
+        # Data edges from the figure (modulo our q1_1 naming for the
+        # paper's q3).
+        expected_data = {
+            ("x", "b"),
+            ("c", "q1"),
+            ("b", "b1"),
+            ("c1", "q1_1"),
+            ("b1", "b"),
+            ("q1_1", "q1"),
+            ("b", "q2"),
+        }
+        assert expected_data <= info.data_edges
+        expected_control = {
+            ("q1", "b1"),
+            ("q1", "c1"),
+            ("q1", "q1_1"),
+            ("q1", "b"),
+            ("q1", "c"),
+        }
+        assert expected_control <= info.control_edges
+        assert info.observed == {"q2", "q1"}

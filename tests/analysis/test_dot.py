@@ -1,0 +1,47 @@
+"""DOT export tests."""
+
+from repro.analysis import analyze, dependency_dot, graph_dot, slice_result_dot
+from repro.analysis.graph import DiGraph
+from repro.transforms import preprocess, sli
+
+
+class TestGraphDot:
+    def test_structure(self):
+        g = DiGraph([("a", "b")])
+        dot = graph_dot(g, highlight=["a"])
+        assert dot.startswith('digraph "dependences" {')
+        assert '"a" -> "b";' in dot
+        assert "fillcolor" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_quoting(self):
+        g = DiGraph([('we"ird', "b")])
+        dot = graph_dot(g)
+        assert '\\"' in dot
+
+
+class TestDependencyDot:
+    def test_edge_styles(self, ex4):
+        info = analyze(preprocess(ex4))
+        dot = dependency_dot(info)
+        assert "style=dashed" in dot  # control edges
+        assert "doublecircle" in dot  # observed variables
+
+    def test_every_vertex_present(self, ex4):
+        info = analyze(preprocess(ex4))
+        dot = dependency_dot(info)
+        for v in info.graph.vertices():
+            assert f'"{v}"' in dot
+
+
+class TestSliceDot:
+    def test_influencers_highlighted(self, ex5):
+        result = sli(ex5)
+        dot = slice_result_dot(result)
+        assert "fillcolor" in dot
+        # Non-influencers are greyed.
+        assert "#bbbbbb" in dot
+
+    def test_valid_shape(self, ex4):
+        dot = slice_result_dot(sli(ex4))
+        assert dot.count("{") == dot.count("}")

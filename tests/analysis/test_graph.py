@@ -1,0 +1,59 @@
+"""DiGraph utility tests."""
+
+from repro.analysis.graph import DiGraph
+
+
+class TestDiGraph:
+    def test_add_edge_idempotent(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "b")
+        assert g.edges() == {("a", "b")}
+
+    def test_vertices_include_isolated(self):
+        g = DiGraph()
+        g.add_vertex("lonely")
+        assert "lonely" in g
+        assert g.vertices() == {"lonely"}
+
+    def test_successors_predecessors(self):
+        g = DiGraph([("a", "b"), ("c", "b")])
+        assert g.successors("a") == {"b"}
+        assert g.predecessors("b") == {"a", "c"}
+        assert g.predecessors("a") == frozenset()
+
+    def test_backward_reachable_includes_targets(self):
+        g = DiGraph([("a", "b"), ("b", "c")])
+        assert g.backward_reachable({"c"}) == {"a", "b", "c"}
+        assert g.backward_reachable({"a"}) == {"a"}
+
+    def test_backward_reachable_unknown_target(self):
+        g = DiGraph([("a", "b")])
+        assert g.backward_reachable({"zzz"}) == {"zzz"}
+
+    def test_forward_reachable(self):
+        g = DiGraph([("a", "b"), ("b", "c"), ("d", "a")])
+        assert g.forward_reachable({"a"}) == {"a", "b", "c"}
+
+    def test_cycles_handled(self):
+        g = DiGraph([("a", "b"), ("b", "a")])
+        assert g.backward_reachable({"a"}) == {"a", "b"}
+
+    def test_len_iter(self):
+        g = DiGraph([("a", "b")])
+        assert len(g) == 2
+        assert set(g) == {"a", "b"}
+
+    def test_networkx_crosscheck(self):
+        import networkx as nx
+        import random
+
+        rng = random.Random(0)
+        edges = [
+            (f"v{rng.randrange(20)}", f"v{rng.randrange(20)}") for _ in range(60)
+        ]
+        ours = DiGraph(edges)
+        theirs = nx.DiGraph(edges)
+        target = edges[0][1]
+        expected = set(nx.ancestors(theirs, target)) | {target}
+        assert ours.backward_reachable({target}) == expected

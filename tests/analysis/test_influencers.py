@@ -1,0 +1,151 @@
+"""DINF / INF tests (Figure 10), including the paper's worked-example
+influencer sets."""
+
+from repro.analysis.depgraph import analyze
+from repro.analysis.graph import DiGraph
+from repro.analysis.influencers import dinf, inf, influencer_closure
+from repro.core.freevars import free_vars
+from repro.models import example6
+from repro.transforms import preprocess
+
+
+class TestDINF:
+    def test_includes_targets(self):
+        g = DiGraph([("a", "b")])
+        assert dinf(g, {"b"}) == {"a", "b"}
+
+    def test_transitive(self):
+        g = DiGraph([("a", "b"), ("b", "c"), ("x", "y")])
+        assert dinf(g, {"c"}) == {"a", "b", "c"}
+
+
+class TestINF:
+    def test_superset_of_dinf(self):
+        g = DiGraph([("x", "z"), ("y", "z"), ("y", "r")])
+        assert dinf(g, {"r"}) <= inf({"z"}, g, {"r"})
+
+    def test_v_structure_activation(self):
+        # Figure 6: x -> z <- y with z observed and y an influencer of
+        # r opens the path from x to r.
+        g = DiGraph([("x", "z"), ("y", "z"), ("y", "r")])
+        result = inf({"z"}, g, {"r"})
+        assert "x" in result
+        assert "z" in result
+
+    def test_unobserved_v_structure_blocked(self):
+        g = DiGraph([("x", "z"), ("y", "z"), ("y", "r")])
+        result = inf(set(), g, {"r"})
+        assert "x" not in result
+        assert "z" not in result
+
+    def test_disconnected_observe_not_pulled_in(self):
+        # z's cone is disjoint from r's: observing z adds nothing.
+        g = DiGraph([("x", "z"), ("y", "r")])
+        result = inf({"z"}, g, {"r"})
+        assert result == {"y", "r"}
+
+    def test_chained_activation(self):
+        # Observing z1 brings in y1; y1's membership activates z2.
+        g = DiGraph(
+            [
+                ("y0", "r"),
+                ("y0", "z1"),
+                ("y1", "z1"),
+                ("y1", "z2"),
+                ("y2", "z2"),
+            ]
+        )
+        result = inf({"z1", "z2"}, g, {"r"})
+        assert "y2" in result
+
+    def test_closure_flag(self):
+        g = DiGraph([("x", "z"), ("y", "z"), ("y", "r")])
+        with_obs = influencer_closure({"z"}, g, {"r"}, use_observe_dependence=True)
+        without = influencer_closure({"z"}, g, {"r"}, use_observe_dependence=False)
+        assert "x" in with_obs
+        assert "x" not in without
+
+
+class TestWorkedExample2Sets:
+    """Figure 16's influencer tables (our `q1_1` is the paper's `q3`)."""
+
+    def test_return_x_influencers(self):
+        pre = preprocess(
+            example6(), obs_extended=False, svf_hoist_variables=True
+        )
+        info = analyze(pre)
+        targets = free_vars(pre.ret)
+        assert targets == {"x"}
+        assert dinf(info.graph, targets) == {"x"}
+        result = inf(info.observed, info.graph, targets)
+        assert result == {"x", "q2", "b", "b1", "q1", "q1_1", "c", "c1"}
+
+    def test_return_b_influencers(self):
+        from repro.models import example6_return_b
+
+        pre = preprocess(
+            example6_return_b(), obs_extended=False, svf_hoist_variables=True
+        )
+        info = analyze(pre)
+        targets = free_vars(pre.ret)
+        # OBS turned the final b into b2 = false.
+        assert targets == {"b2"}
+        assert dinf(info.graph, targets) == {"b2"}
+        assert inf(info.observed, info.graph, targets) == {"b2"}
+
+
+class TestFastEquivalence:
+    """inf_fast (reachability formulation) == inf (fixpoint of the
+    Figure-10 rules) — on random graphs and on every benchmark."""
+
+    def test_random_graphs(self):
+        import random
+
+        from repro.analysis.influencers import inf_fast
+
+        rng = random.Random(42)
+        for _ in range(500):
+            n = rng.randint(2, 12)
+            g = DiGraph(
+                (f"v{rng.randrange(n)}", f"v{rng.randrange(n)}")
+                for _ in range(rng.randint(0, 20))
+            )
+            for i in range(n):
+                g.add_vertex(f"v{i}")
+            observed = {f"v{rng.randrange(n)}" for _ in range(rng.randint(0, 3))}
+            targets = {f"v{rng.randrange(n)}" for _ in range(rng.randint(1, 2))}
+            assert inf(observed, g, targets) == inf_fast(observed, g, targets)
+
+    def test_benchmark_programs(self):
+        from repro.analysis.influencers import inf_fast
+        from repro.models import TABLE1
+
+        for spec in TABLE1:
+            pre = preprocess(spec.bench())
+            info = analyze(pre)
+            targets = free_vars(pre.ret)
+            assert inf(info.observed, info.graph, targets) == inf_fast(
+                info.observed, info.graph, targets
+            ), spec.name
+
+    def test_hypothesis_programs(self):
+        from hypothesis import HealthCheck, given, settings
+
+        from repro.analysis.influencers import inf_fast
+        from tests.strategies import programs
+
+        @given(programs())
+        @settings(
+            max_examples=50,
+            deadline=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        )
+        def check(program):
+            pre = preprocess(program)
+            info = analyze(pre)
+            targets = free_vars(pre.ret)
+            assert inf(info.observed, info.graph, targets) == inf_fast(
+                info.observed, info.graph, targets
+            )
+
+        check()

@@ -1,0 +1,148 @@
+"""Program -> Bayesian network compiler tests."""
+
+import math
+
+import pytest
+
+from repro.bayesnet import CompileError, compile_program, variable_elimination
+from repro.core.parser import parse
+from repro.semantics import exact_inference
+
+
+class TestBasicCompilation:
+    def test_single_node(self):
+        c = compile_program(parse("a ~ Bernoulli(0.3); return a;"))
+        assert c.query == "a"
+        assert c.net.nodes["a"].support == (False, True)
+
+    def test_guard_override_idiom(self):
+        c = compile_program(
+            parse(
+                """
+a ~ Bernoulli(0.3);
+p = 0.2;
+if (a) { p = 0.9; }
+b ~ Bernoulli(p);
+return b;
+"""
+            )
+        )
+        assert "a" in c.net.nodes["p"].parents
+        prob = variable_elimination(c.net, "b", {}).prob(True)
+        assert math.isclose(prob, 0.3 * 0.9 + 0.7 * 0.2)
+
+    def test_deterministic_node(self):
+        c = compile_program(
+            parse("a ~ Bernoulli(0.5); b ~ Bernoulli(0.5); x = a && b; return x;")
+        )
+        assert math.isclose(
+            variable_elimination(c.net, "x", {}).prob(True), 0.25
+        )
+
+    def test_synthetic_return_node(self):
+        c = compile_program(
+            parse("a ~ Bernoulli(0.5); b ~ Bernoulli(0.5); return a || b;")
+        )
+        assert c.query == "$ret"
+        post = variable_elimination(c.net, "$ret", {})
+        assert math.isclose(post.prob(True), 0.75)
+
+    def test_integer_supports(self):
+        c = compile_program(
+            parse("n ~ DiscreteUniform(0, 2); m = n + 1; return m;")
+        )
+        assert c.net.nodes["m"].support == (1, 2, 3)
+
+    def test_evidence_patterns(self):
+        for cond in ("a", "!a", "a == true", "true == a"):
+            c = compile_program(
+                parse(f"a ~ Bernoulli(0.5); observe({cond}); return a;")
+            )
+            assert "a" in c.evidence
+
+    def test_matches_exact_with_evidence(self):
+        src = """
+a ~ Bernoulli(0.3);
+p = 0.2;
+if (a) { p = 0.9; }
+b ~ Bernoulli(p);
+observe(b);
+return a;
+"""
+        p = parse(src)
+        c = compile_program(p)
+        post = variable_elimination(c.net, c.query, c.evidence)
+        assert post.allclose(exact_inference(p).distribution, atol=1e-9)
+
+
+class TestRejections:
+    def test_loops_rejected(self, ex6):
+        with pytest.raises(CompileError):
+            compile_program(ex6)
+
+    def test_soft_conditioning_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program(parse("factor(1.0); return 1;"))
+
+    def test_continuous_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program(parse("x ~ Gaussian(0.0, 1.0); return x;"))
+
+    def test_read_then_redefine_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program(
+                parse("p = 0.2; q ~ Bernoulli(p); p = 0.9; r ~ Bernoulli(p); return r;")
+            )
+
+    def test_conditional_observe_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program(
+                parse(
+                    """
+a ~ Bernoulli(0.5);
+b ~ Bernoulli(0.5);
+if (a) { observe(b); }
+return a;
+"""
+                )
+            )
+
+    def test_complex_observe_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program(
+                parse("a ~ Bernoulli(0.5); b ~ Bernoulli(0.5); observe(a || b); return a;")
+            )
+
+    def test_undefined_read_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program(parse("b = a && a; return b;"))
+
+    def test_unknown_return_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program(parse("a ~ Bernoulli(0.5); return zzz;"))
+
+    def test_contradictory_evidence_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program(
+                parse("a ~ Bernoulli(0.5); observe(a); observe(!a); return a;")
+            )
+
+
+class TestPreprocessedPrograms:
+    def test_ssa_merges_compile(self, ex4):
+        from repro.transforms import preprocess
+
+        pre = preprocess(ex4)
+        c = compile_program(pre)
+        post = variable_elimination(c.net, c.query, c.evidence)
+        assert post.allclose(exact_inference(ex4).distribution, atol=1e-9)
+
+    def test_noisy_or_compiles(self):
+        from repro.models import noisy_or_model
+
+        # Small instance: the exact-enumeration oracle is exponential in
+        # the live variable count, so keep it to ~2^12 states.
+        p = noisy_or_model(n_layers=2, width=2, seed=0)
+        c = compile_program(p)
+        post = variable_elimination(c.net, c.query, c.evidence)
+        assert post.allclose(exact_inference(p).distribution, atol=1e-9)

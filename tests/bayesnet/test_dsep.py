@@ -1,0 +1,140 @@
+"""Active trails / d-separation tests, including the paper's Section-2
+connection: observe dependence corresponds to activated v-structures."""
+
+from repro.bayesnet import compile_program, d_separated, reachable
+from repro.bayesnet.network import BayesNet
+from repro.core.parser import parse
+
+
+def _v_structure():
+    """x -> z <- y."""
+    net = BayesNet()
+    net.add_node("x", [], [False, True], {(): {False: 0.5, True: 0.5}})
+    net.add_node("y", [], [False, True], {(): {False: 0.5, True: 0.5}})
+    net.add_node(
+        "z",
+        ["x", "y"],
+        [False, True],
+        {
+            (False, False): {False: 1.0},
+            (False, True): {True: 1.0},
+            (True, False): {True: 1.0},
+            (True, True): {True: 1.0},
+        },
+    )
+    return net
+
+
+def _chain():
+    """a -> b -> c."""
+    net = BayesNet()
+    net.add_node("a", [], [False, True], {(): {False: 0.5, True: 0.5}})
+    net.add_node(
+        "b", ["a"], [False, True],
+        {(False,): {False: 0.8, True: 0.2}, (True,): {False: 0.2, True: 0.8}},
+    )
+    net.add_node(
+        "c", ["b"], [False, True],
+        {(False,): {False: 0.8, True: 0.2}, (True,): {False: 0.2, True: 0.8}},
+    )
+    return net
+
+
+class TestVStructure:
+    def test_blocked_without_evidence(self):
+        net = _v_structure()
+        assert d_separated(net, "x", "y", [])
+
+    def test_activated_by_observing_collider(self):
+        net = _v_structure()
+        assert not d_separated(net, "x", "y", ["z"])
+
+    def test_activated_by_observing_descendant(self):
+        net = _v_structure()
+        net.add_node(
+            "w", ["z"], [False, True],
+            {(False,): {False: 1.0}, (True,): {True: 1.0}},
+        )
+        assert not d_separated(net, "x", "y", ["w"])
+
+
+class TestChain:
+    def test_connected_without_evidence(self):
+        net = _chain()
+        assert not d_separated(net, "a", "c", [])
+
+    def test_blocked_by_middle_evidence(self):
+        net = _chain()
+        assert d_separated(net, "a", "c", ["b"])
+
+    def test_reachable_excludes_evidence(self):
+        net = _chain()
+        r = reachable(net, "a", ["b"])
+        assert "b" not in r
+        assert "c" not in r
+
+    def test_self_trivially_connected(self):
+        net = _chain()
+        assert not d_separated(net, "a", "a", ["b"])
+
+
+class TestSlicingConnection:
+    """Observe dependence == active trails (Section 2): every variable
+    the slicer keeps (modulo ancestors needed to sample it) is either
+    d-connected to the query given the evidence or an ancestor of a
+    kept variable."""
+
+    def test_example4_full_connection(self, ex4):
+        compiled = compile_program(ex4)
+        touched = reachable(compiled.net, "s", compiled.evidence)
+        # Observing l activates the g <- i, g <- d trails to s.
+        assert {"d", "i", "g"} <= touched
+
+    def test_example3_without_observation(self, ex3):
+        compiled = compile_program(ex3)
+        touched = reachable(compiled.net, "s", compiled.evidence)
+        assert "d" not in touched
+        assert "l" in touched  # downstream is reachable, though irrelevant
+
+    def test_sliced_variables_cover_d_connected_ancestors(self, ex4, ex5, burglar):
+        from repro.core.freevars import free_vars
+        from repro.transforms import sli
+
+        def ancestors_cut_at_evidence(net, names, evidence):
+            # Evidence nodes are pinned constants: sampling the
+            # connected set does not require their ancestors.  That is
+            # exactly what OBS exploits on Example 5.
+            seen = set(names)
+            stack = [n for n in names if n not in evidence]
+            while stack:
+                n = stack.pop()
+                for parent in net.nodes[n].parents:
+                    if parent not in seen:
+                        seen.add(parent)
+                        if parent not in evidence:
+                            stack.append(parent)
+            return seen
+
+        for p in (ex4, ex5, burglar):
+            compiled = compile_program(p)
+            query = compiled.query
+            connected = reachable(compiled.net, query, compiled.evidence)
+            relevant = ancestors_cut_at_evidence(
+                compiled.net,
+                [n for n in connected if n in compiled.net],
+                compiled.evidence,
+            )
+            result = sli(p)
+            kept_source_vars = {
+                v for v in free_vars(result.sliced) if v in compiled.net.nodes
+            }
+            # Everything probabilistically relevant must be kept.
+            probabilistic = {
+                n
+                for n in relevant
+                if any(
+                    len(dist) > 1
+                    for dist in compiled.net.nodes[n].cpt.values()
+                )
+            }
+            assert probabilistic <= kept_source_vars | set(compiled.evidence)

@@ -1,0 +1,69 @@
+"""BayesNet data structure tests."""
+
+import pytest
+
+from repro.bayesnet.network import BayesNet, BayesNetError
+
+
+def _two_node_net():
+    net = BayesNet()
+    net.add_node("a", [], [False, True], {(): {False: 0.7, True: 0.3}})
+    net.add_node(
+        "b",
+        ["a"],
+        [False, True],
+        {
+            (False,): {False: 0.9, True: 0.1},
+            (True,): {False: 0.2, True: 0.8},
+        },
+    )
+    return net
+
+
+class TestConstruction:
+    def test_basic(self):
+        net = _two_node_net()
+        assert len(net) == 2
+        assert net.parents("b") == ("a",)
+        assert net.children("a") == ("b",)
+
+    def test_duplicate_node_rejected(self):
+        net = _two_node_net()
+        with pytest.raises(BayesNetError):
+            net.add_node("a", [], [True], {(): {True: 1.0}})
+
+    def test_forward_reference_rejected(self):
+        net = BayesNet()
+        with pytest.raises(BayesNetError):
+            net.add_node("child", ["ghost"], [True], {(): {True: 1.0}})
+
+    def test_unnormalized_cpt_rejected(self):
+        net = BayesNet()
+        with pytest.raises(BayesNetError):
+            net.add_node("a", [], [False, True], {(): {False: 0.5, True: 0.6}})
+
+    def test_value_outside_support_rejected(self):
+        net = BayesNet()
+        with pytest.raises(BayesNetError):
+            net.add_node("a", [], [False], {(): {True: 1.0}})
+
+    def test_missing_cpt_row(self):
+        net = _two_node_net()
+        with pytest.raises(BayesNetError):
+            net.nodes["b"].dist_given((3,))
+
+
+class TestAncestors:
+    def test_ancestors_reflexive_transitive(self):
+        net = _two_node_net()
+        net.add_node(
+            "c",
+            ["b"],
+            [False, True],
+            {
+                (False,): {False: 1.0},
+                (True,): {True: 1.0},
+            },
+        )
+        assert net.ancestors(["c"]) == {"a", "b", "c"}
+        assert net.ancestors(["a"]) == {"a"}

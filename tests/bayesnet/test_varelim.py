@@ -1,0 +1,101 @@
+"""Variable elimination tests against the exact program semantics."""
+
+import math
+
+import pytest
+
+from repro.bayesnet import (
+    BayesNetError,
+    compile_program,
+    marginal,
+    variable_elimination,
+)
+from repro.bayesnet.varelim import Factor
+from repro.core.parser import parse
+from repro.semantics import exact_inference
+
+from tests.strategies import programs
+from hypothesis import HealthCheck, assume, given, settings
+
+
+class TestFactorOps:
+    def test_restrict(self):
+        f = Factor(("a", "b"), {(True, True): 0.4, (True, False): 0.6, (False, True): 1.0})
+        r = f.restrict({"a": True})
+        assert r.variables == ("b",)
+        assert r.table == {(True,): 0.4, (False,): 0.6}
+
+    def test_multiply_shared_variable(self):
+        f = Factor(("a",), {(True,): 0.3, (False,): 0.7})
+        g = Factor(("a", "b"), {(True, True): 1.0, (False, True): 0.5})
+        prod = f.multiply(g)
+        assert prod.table[(True, True)] == pytest.approx(0.3)
+        assert prod.table[(False, True)] == pytest.approx(0.35)
+
+    def test_multiply_disjoint_is_product(self):
+        f = Factor(("a",), {(1,): 2.0})
+        g = Factor(("b",), {(5,): 3.0})
+        prod = f.multiply(g)
+        assert prod.table == {(1, 5): 6.0}
+
+    def test_sum_out(self):
+        f = Factor(("a", "b"), {(True, 1): 0.25, (False, 1): 0.75})
+        s = f.sum_out("a")
+        assert s.variables == ("b",)
+        assert s.table == {(1,): 1.0}
+
+    def test_normalize_zero_mass(self):
+        f = Factor(("a",), {})
+        with pytest.raises(BayesNetError):
+            f.normalize()
+
+
+class TestVEOnPrograms:
+    def test_matches_exact_on_examples(self, ex3, ex4, ex5, burglar):
+        for p in (ex3, ex4, ex5, burglar):
+            compiled = compile_program(p)
+            post = variable_elimination(
+                compiled.net, compiled.query, compiled.evidence
+            )
+            assert post.allclose(exact_inference(p).distribution, atol=1e-9)
+
+    def test_prior_marginal(self):
+        compiled = compile_program(
+            parse("a ~ Bernoulli(0.3); b ~ Bernoulli(0.6); return a;")
+        )
+        assert math.isclose(marginal(compiled.net, "a").prob(True), 0.3)
+
+    def test_query_equals_evidence(self):
+        compiled = compile_program(
+            parse("a ~ Bernoulli(0.3); observe(a); return a;")
+        )
+        post = variable_elimination(compiled.net, "a", compiled.evidence)
+        assert post.prob(True) == 1.0
+
+    @given(programs(allow_loops=False))
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+    )
+    def test_random_programs_match_exact(self, program):
+        """BN compilation + VE agrees with the exact engine on every
+        compilable loop-free program."""
+        from repro.bayesnet import CompileError
+        from repro.transforms import preprocess
+
+        try:
+            base = exact_inference(program)
+        except ValueError:
+            assume(False)
+        try:
+            compiled = compile_program(preprocess(program))
+        except CompileError:
+            assume(False)
+        try:
+            post = variable_elimination(
+                compiled.net, compiled.query, compiled.evidence
+            )
+        except BayesNetError:
+            assume(False)  # inconsistent evidence == zero normalizer
+        assert post.allclose(base.distribution, atol=1e-9)

@@ -1,0 +1,71 @@
+"""Shared fixtures: the paper's example programs and distribution
+comparison helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import (
+    burglar_alarm_model,
+    comparison_program,
+    example1,
+    example2,
+    example3,
+    example4,
+    example5,
+    example6,
+    example6_return_b,
+)
+from repro.semantics import exact_inference
+
+
+@pytest.fixture
+def ex1():
+    return example1()
+
+
+@pytest.fixture
+def ex2():
+    return example2()
+
+
+@pytest.fixture
+def ex3():
+    return example3()
+
+
+@pytest.fixture
+def ex4():
+    return example4()
+
+
+@pytest.fixture
+def ex5():
+    return example5()
+
+
+@pytest.fixture
+def ex6():
+    return example6()
+
+
+@pytest.fixture
+def ex6_b():
+    return example6_return_b()
+
+
+@pytest.fixture
+def comparison():
+    return comparison_program()
+
+
+@pytest.fixture
+def burglar():
+    return burglar_alarm_model()
+
+
+def assert_same_distribution(p, q, atol=1e-9):
+    """Assert two programs have identical exact output distributions."""
+    dp = exact_inference(p).distribution
+    dq = exact_inference(q).distribution
+    assert dp.allclose(dq, atol=atol), f"{dp} != {dq}"

@@ -1,0 +1,157 @@
+"""Unit tests for the AST node classes and helpers."""
+
+import pytest
+
+from repro.core.ast import (
+    Assign,
+    Binary,
+    Block,
+    Const,
+    Decl,
+    DistCall,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Program,
+    Sample,
+    SKIP,
+    Skip,
+    Unary,
+    Var,
+    While,
+    block_items,
+    is_skip,
+    lift,
+    node_count,
+    seq,
+    statement_count,
+)
+
+
+class TestExpressions:
+    def test_var_equality_is_structural(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_const_distinguishes_bool_and_int_by_value(self):
+        # Python's bool is an int; structural equality follows it.
+        assert Const(1) == Const(True)
+        assert Const(0) == Const(False)
+
+    def test_nodes_are_hashable(self):
+        s = {Var("x"), Const(1), Unary("!", Var("x"))}
+        assert len(s) == 3
+
+    def test_unknown_unary_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Unary("~", Var("x"))
+
+    def test_unknown_binary_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Binary("**", Var("x"), Var("y"))
+
+    def test_operator_sugar_builds_binary_nodes(self):
+        x, y = Var("x"), Var("y")
+        assert x + 1 == Binary("+", x, Const(1))
+        assert 1 + x == Binary("+", Const(1), x)
+        assert x - y == Binary("-", x, y)
+        assert x * 2 == Binary("*", x, Const(2))
+        assert x / 2 == Binary("/", x, Const(2))
+        assert x % 2 == Binary("%", x, Const(2))
+
+    def test_boolean_sugar(self):
+        x, y = Var("x"), Var("y")
+        assert (x & y) == Binary("&&", x, y)
+        assert (x | y) == Binary("||", x, y)
+        assert ~x == Unary("!", x)
+        assert -x == Unary("-", x)
+
+    def test_comparison_methods(self):
+        x = Var("x")
+        assert x.eq(2) == Binary("==", x, Const(2))
+        assert x.ne(2) == Binary("!=", x, Const(2))
+        assert x.lt(2) == Binary("<", x, Const(2))
+        assert x.le(2) == Binary("<=", x, Const(2))
+        assert x.gt(2) == Binary(">", x, Const(2))
+        assert x.ge(2) == Binary(">=", x, Const(2))
+
+    def test_lift_rejects_strings(self):
+        with pytest.raises(TypeError):
+            lift("hello")
+
+    def test_lift_passes_expressions_through(self):
+        e = Var("x") + 1
+        assert lift(e) is e
+
+
+class TestSeq:
+    def test_empty_seq_is_skip(self):
+        assert seq() == SKIP
+
+    def test_singleton_seq_unwraps(self):
+        s = Assign("x", Const(1))
+        assert seq(s) is s
+
+    def test_seq_flattens_nested_blocks(self):
+        a, b, c = (Assign(n, Const(1)) for n in "abc")
+        nested = seq(Block((a, Block((b,)))), c)
+        assert nested == Block((a, b, c))
+
+    def test_seq_drops_skips(self):
+        a = Assign("a", Const(1))
+        assert seq(SKIP, a, SKIP) is a
+
+    def test_block_items_flattens(self):
+        a, b = Assign("a", Const(1)), Assign("b", Const(2))
+        block = Block((Block((a,)), b))
+        assert list(block_items(block)) == [a, b]
+
+    def test_is_skip(self):
+        assert is_skip(SKIP)
+        assert is_skip(Block((SKIP, Block(()))))
+        assert not is_skip(Assign("x", Const(1)))
+
+
+class TestSizes:
+    def test_statement_count_counts_primitives(self):
+        prog = seq(
+            Decl("x", "int"),
+            Assign("x", Const(1)),
+            Sample("y", DistCall("Bernoulli", (Const(0.5),))),
+            Observe(Var("y")),
+        )
+        assert statement_count(prog) == 4
+
+    def test_statement_count_skip_is_zero(self):
+        assert statement_count(SKIP) == 0
+
+    def test_statement_count_if_sums_branches(self):
+        prog = If(Var("c"), Assign("x", Const(1)), Assign("x", Const(2)))
+        assert statement_count(prog) == 2
+
+    def test_statement_count_while_counts_header(self):
+        prog = While(Var("c"), Assign("x", Const(1)))
+        assert statement_count(prog) == 2
+
+    def test_node_count_program(self):
+        prog = Program(Assign("x", Const(1)), Var("x"))
+        # Assign + Const + Var
+        assert node_count(prog) == 3
+
+    def test_node_count_soft_statements(self):
+        stmt = ObserveSample(DistCall("Gaussian", (Const(0.0), Const(1.0))), Const(1.0))
+        assert node_count(stmt) > 3
+        assert node_count(Factor(Const(0.0))) == 2
+
+
+class TestStr:
+    def test_statement_str_round_readable(self):
+        assert str(SKIP) == "skip"
+        assert "Bernoulli" in str(Sample("x", DistCall("Bernoulli", (Const(0.5),))))
+        assert "observe" in str(Observe(Var("x")))
+        assert "factor" in str(Factor(Const(0.0)))
+
+    def test_const_str_booleans(self):
+        assert str(Const(True)) == "true"
+        assert str(Const(False)) == "false"

@@ -1,0 +1,122 @@
+"""ProgramBuilder DSL tests."""
+
+import pytest
+
+from repro.core.ast import (
+    Assign,
+    Const,
+    Decl,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Sample,
+    SKIP,
+    While,
+)
+from repro.core.builder import ProgramBuilder, c, dist, v
+from repro.semantics import exact_inference
+
+
+class TestBasics:
+    def test_v_and_c(self):
+        assert v("x").name == "x"
+        assert c(1).value == 1
+
+    def test_dist_lifts_args(self):
+        d = dist("Gaussian", 0.0, v("s"))
+        assert d.args[0] == Const(0.0)
+
+    def test_linear_statements(self):
+        b = ProgramBuilder()
+        b.decl("x", "int")
+        b.assign("x", 1)
+        b.sample("y", "Bernoulli", 0.5)
+        b.observe(v("y"))
+        b.factor(-1.0)
+        b.observe_sample("Gaussian", (0.0, 1.0), 0.5)
+        p = b.build(v("x"))
+        kinds = [type(s) for s in p.body.stmts]
+        assert kinds == [Decl, Assign, Sample, Observe, Factor, ObserveSample]
+
+    def test_build_lifts_return(self):
+        b = ProgramBuilder()
+        b.assign("x", 1)
+        assert b.build(0).ret == Const(0)
+
+
+class TestControlFlow:
+    def test_if_builds_then_branch(self):
+        b = ProgramBuilder()
+        b.sample("cond", "Bernoulli", 0.5)
+        with b.if_(v("cond")):
+            b.assign("x", 1)
+        p = b.build(v("cond"))
+        node = p.body.stmts[1]
+        assert isinstance(node, If)
+        assert node.then_branch == Assign("x", Const(1))
+        assert node.else_branch == SKIP
+
+    def test_if_else(self):
+        b = ProgramBuilder()
+        b.sample("cond", "Bernoulli", 0.5)
+        with b.if_(v("cond")):
+            b.assign("x", 1)
+        with b.else_():
+            b.assign("x", 2)
+        node = b.build(v("cond")).body.stmts[1]
+        assert node.else_branch == Assign("x", Const(2))
+
+    def test_else_without_if_raises(self):
+        b = ProgramBuilder()
+        with pytest.raises(RuntimeError):
+            with b.else_():
+                pass
+
+    def test_else_after_non_if_raises(self):
+        b = ProgramBuilder()
+        b.sample("cond", "Bernoulli", 0.5)
+        with b.if_(v("cond")):
+            b.assign("x", 1)
+        b.assign("y", 2)
+        with pytest.raises(RuntimeError):
+            with b.else_():
+                pass
+
+    def test_while(self):
+        b = ProgramBuilder()
+        b.sample("c", "Bernoulli", 0.5)
+        with b.while_(v("c")):
+            b.sample("c", "Bernoulli", 0.5)
+        node = b.build(v("c")).body.stmts[1]
+        assert isinstance(node, While)
+
+    def test_unclosed_block_detected(self):
+        b = ProgramBuilder()
+        b._stack.append([])  # simulate a leaked context
+        with pytest.raises(RuntimeError):
+            b.build(c(1))
+
+    def test_nested_if(self):
+        b = ProgramBuilder()
+        b.sample("a", "Bernoulli", 0.5)
+        b.sample("bb", "Bernoulli", 0.5)
+        with b.if_(v("a")):
+            with b.if_(v("bb")):
+                b.assign("x", 1)
+            with b.else_():
+                b.assign("x", 2)
+        with b.else_():
+            b.assign("x", 3)
+        p = b.build(v("x"))
+        d = exact_inference(p).distribution
+        assert abs(d.prob(1) - 0.25) < 1e-9
+        assert abs(d.prob(2) - 0.25) < 1e-9
+        assert abs(d.prob(3) - 0.5) < 1e-9
+
+
+class TestFresh:
+    def test_fresh_names_unique(self):
+        b = ProgramBuilder()
+        names = {b.fresh("t") for _ in range(10)}
+        assert len(names) == 10

@@ -1,0 +1,80 @@
+"""Free-variable computation tests."""
+
+from repro.core.ast import (
+    Assign,
+    Binary,
+    Const,
+    Decl,
+    DistCall,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Program,
+    Sample,
+    SKIP,
+    Var,
+    While,
+    seq,
+)
+from repro.core.freevars import assigned_vars, free_vars, read_vars
+from repro.core.parser import parse
+
+
+class TestFreeVars:
+    def test_expression(self):
+        e = Binary("+", Var("x"), Binary("*", Var("y"), Const(2)))
+        assert free_vars(e) == {"x", "y"}
+
+    def test_assignment_includes_target(self):
+        assert free_vars(Assign("x", Var("y"))) == {"x", "y"}
+
+    def test_sample_includes_params(self):
+        s = Sample("x", DistCall("Gaussian", (Var("mu"), Const(1.0))))
+        assert free_vars(s) == {"x", "mu"}
+
+    def test_observe_sample(self):
+        s = ObserveSample(DistCall("Gaussian", (Var("mu"), Const(1.0))), Var("y"))
+        assert free_vars(s) == {"mu", "y"}
+
+    def test_program_includes_return(self):
+        p = Program(SKIP, Var("r"))
+        assert free_vars(p) == {"r"}
+
+    def test_control_flow(self):
+        p = parse("c ~ Bernoulli(0.5); if (c) { x = 1; } else { y = 2; } return x;")
+        assert free_vars(p) == {"c", "x", "y"}
+
+
+class TestReadAndAssigned:
+    def test_read_vars_excludes_targets(self):
+        s = Assign("x", Var("y"))
+        assert read_vars(s) == {"y"}
+        assert assigned_vars(s) == {"x"}
+
+    def test_decl_assigns(self):
+        assert assigned_vars(Decl("x", "bool")) == {"x"}
+        assert read_vars(Decl("x", "bool")) == frozenset()
+
+    def test_observe_reads_only(self):
+        s = Observe(Var("x"))
+        assert read_vars(s) == {"x"}
+        assert assigned_vars(s) == frozenset()
+
+    def test_factor_reads(self):
+        assert read_vars(Factor(Var("w"))) == {"w"}
+
+    def test_while_condition_read(self):
+        w = While(Var("c"), Assign("x", Const(1)))
+        assert read_vars(w) == {"c"}
+        assert assigned_vars(w) == {"x"}
+
+    def test_if_reads_condition_and_branches(self):
+        node = If(Var("c"), Assign("x", Var("a")), Assign("y", Var("b")))
+        assert read_vars(node) == {"c", "a", "b"}
+        assert assigned_vars(node) == {"x", "y"}
+
+    def test_block_unions(self):
+        b = seq(Assign("x", Var("a")), Assign("y", Var("x")))
+        assert read_vars(b) == {"a", "x"}
+        assert assigned_vars(b) == {"x", "y"}

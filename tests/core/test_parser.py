@@ -1,0 +1,189 @@
+"""Parser and lexer tests."""
+
+import pytest
+
+from repro.core.ast import (
+    Assign,
+    Binary,
+    Block,
+    Const,
+    Decl,
+    DistCall,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Sample,
+    SKIP,
+    Unary,
+    Var,
+    While,
+)
+from repro.core.parser import (
+    ProbSyntaxError,
+    parse,
+    parse_expr,
+    parse_statement,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_tokenizes_operators_longest_first(self):
+        kinds = [(t.kind, t.text) for t in tokenize("a <= b == c && !d")]
+        texts = [text for kind, text in kinds if kind == "OP"]
+        assert texts == ["<=", "==", "&&", "!"]
+
+    def test_numbers(self):
+        toks = tokenize("1 2.5 1e-3 2.5E+7")
+        assert [t.kind for t in toks[:-1]] == ["INT", "FLOAT", "FLOAT", "FLOAT"]
+
+    def test_line_comment(self):
+        toks = tokenize("x // toggle b\ny")
+        assert [t.text for t in toks[:-1]] == ["x", "y"]
+
+    def test_block_comment(self):
+        toks = tokenize("x /* a\nb */ y")
+        assert [t.text for t in toks[:-1]] == ["x", "y"]
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(ProbSyntaxError):
+            tokenize("/* never closed")
+
+    def test_unknown_character_raises_with_position(self):
+        with pytest.raises(ProbSyntaxError) as exc:
+            tokenize("x\n  @")
+        assert exc.value.line == 2
+
+    def test_keywords_recognized(self):
+        toks = tokenize("if while observe return skip")
+        assert all(t.kind == "KEYWORD" for t in toks[:-1])
+
+
+class TestExpressionParsing:
+    def test_precedence_or_binds_loosest(self):
+        e = parse_expr("a || b && c")
+        assert e == Binary("||", Var("a"), Binary("&&", Var("b"), Var("c")))
+
+    def test_precedence_arith_over_comparison(self):
+        e = parse_expr("a + 1 < b * 2")
+        assert e.op == "<"
+        assert e.left.op == "+"
+        assert e.right.op == "*"
+
+    def test_left_associativity(self):
+        e = parse_expr("a - b - c")
+        assert e == Binary("-", Binary("-", Var("a"), Var("b")), Var("c"))
+
+    def test_parentheses_override(self):
+        e = parse_expr("a && (b || c)")
+        assert e.op == "&&"
+        assert e.right.op == "||"
+
+    def test_unary_chain(self):
+        assert parse_expr("!!x") == Unary("!", Unary("!", Var("x")))
+        assert parse_expr("-x") == Unary("-", Var("x"))
+
+    def test_negative_literals_fold(self):
+        # Negated numeric literals fold so builder constants round-trip.
+        assert parse_expr("-1") == Const(-1)
+        assert parse_expr("-0.5") == Const(-0.5)
+        assert parse_expr("--1") == Const(1)
+
+    def test_paper_style_single_equals(self):
+        # observe(l = true) from the paper parses as equality.
+        assert parse_expr("l = true") == Binary("==", Var("l"), Const(True))
+
+    def test_booleans(self):
+        assert parse_expr("true") == Const(True)
+        assert parse_expr("false") == Const(False)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ProbSyntaxError):
+            parse_expr("a + ")
+
+
+class TestStatementParsing:
+    def test_declaration_multi(self):
+        s = parse_statement("bool c1, c2;")
+        assert s == Block((Decl("c1", "bool"), Decl("c2", "bool")))
+
+    def test_double_is_float(self):
+        assert parse_statement("double x;") == Decl("x", "float")
+
+    def test_assignment(self):
+        assert parse_statement("x = 1 + 2;") == Assign(
+            "x", Binary("+", Const(1), Const(2))
+        )
+
+    def test_sample(self):
+        s = parse_statement("x ~ Bernoulli(0.5);")
+        assert s == Sample("x", DistCall("Bernoulli", (Const(0.5),)))
+
+    def test_sample_multi_arg(self):
+        s = parse_statement("x ~ Gaussian(0.0, 1.0);")
+        assert s.dist.args == (Const(0.0), Const(1.0))
+
+    def test_observe_hard(self):
+        assert parse_statement("observe(x || y);") == Observe(
+            Binary("||", Var("x"), Var("y"))
+        )
+
+    def test_observe_soft(self):
+        s = parse_statement("observe(Gaussian(mu, 1.0), 2.5);")
+        assert s == ObserveSample(
+            DistCall("Gaussian", (Var("mu"), Const(1.0))), Const(2.5)
+        )
+
+    def test_factor(self):
+        assert parse_statement("factor(-1.5);") == Factor(Const(-1.5))
+
+    def test_if_else(self):
+        s = parse_statement("if (c) { x = 1; } else { x = 2; }")
+        assert s == If(Var("c"), Assign("x", Const(1)), Assign("x", Const(2)))
+
+    def test_if_without_else(self):
+        s = parse_statement("if (c) { x = 1; }")
+        assert s.else_branch == SKIP
+
+    def test_if_then_keyword_accepted(self):
+        s = parse_statement("if (c) then { x = 1; } else { x = 2; }")
+        assert isinstance(s, If)
+
+    def test_while_do_keyword_accepted(self):
+        s = parse_statement("while (c) do { skip; }")
+        assert isinstance(s, While)
+
+    def test_unbraced_single_statement_body(self):
+        s = parse_statement("if (c) x = 1; else x = 2;")
+        assert s == If(Var("c"), Assign("x", Const(1)), Assign("x", Const(2)))
+
+    def test_skip(self):
+        assert parse_statement("skip;") == SKIP
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ProbSyntaxError):
+            parse_statement("x = 1")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ProbSyntaxError):
+            parse_statement("if (c) { x = 1;")
+
+
+class TestProgramParsing:
+    def test_program_requires_return(self):
+        with pytest.raises(ProbSyntaxError):
+            parse("x = 1;")
+
+    def test_program_roundtrip_structure(self):
+        p = parse("x ~ Bernoulli(0.5); return x;")
+        assert p.ret == Var("x")
+        assert isinstance(p.body, Sample)
+
+    def test_return_expression(self):
+        p = parse("x = 1; return x + 1;")
+        assert p.ret == Binary("+", Var("x"), Const(1))
+
+    def test_nothing_after_return(self):
+        with pytest.raises(ProbSyntaxError):
+            parse("return 1; x = 2;")

@@ -1,0 +1,65 @@
+"""Pretty-printer tests, including the parse∘pretty round-trip
+property."""
+
+from hypothesis import given, settings
+
+from repro.core.ast import Binary, Const, Program, Unary, Var
+from repro.core.parser import parse, parse_expr
+from repro.core.printer import pretty, pretty_expr
+
+from tests.strategies import programs
+
+
+class TestExprPrinting:
+    def test_minimal_parens(self):
+        e = Binary("&&", Var("a"), Binary("||", Var("b"), Var("c")))
+        assert pretty_expr(e) == "a && (b || c)"
+
+    def test_no_redundant_parens(self):
+        e = Binary("||", Binary("&&", Var("a"), Var("b")), Var("c"))
+        assert pretty_expr(e) == "a && b || c"
+
+    def test_left_associative_right_child_parenthesized(self):
+        e = Binary("-", Var("a"), Binary("-", Var("b"), Var("c")))
+        assert pretty_expr(e) == "a - (b - c)"
+
+    def test_unary(self):
+        assert pretty_expr(Unary("!", Var("x"))) == "!x"
+        assert pretty_expr(Unary("!", Binary("&&", Var("a"), Var("b")))) == "!(a && b)"
+
+    def test_bool_constants(self):
+        assert pretty_expr(Const(True)) == "true"
+        assert pretty_expr(Const(False)) == "false"
+
+    def test_float_repr_roundtrips(self):
+        assert parse_expr(pretty_expr(Const(0.1))) == Const(0.1)
+
+
+class TestProgramPrinting:
+    def test_if_else_layout(self, ex4):
+        text = pretty(ex4)
+        assert "if (!i && !d) {" in text
+        assert "} else {" in text
+        assert text.endswith("return s;\n")
+
+    def test_while_layout(self, ex6):
+        text = pretty(ex6)
+        assert "while (c) {" in text
+
+    def test_empty_body_prints_skip(self):
+        from repro.core.ast import If, SKIP
+
+        p = Program(If(Var("c"), SKIP, SKIP), Var("c"))
+        text = pretty(p)
+        assert "skip;" in text
+
+
+class TestRoundTrip:
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_parse_pretty_roundtrip(self, program):
+        assert parse(pretty(program)) == program
+
+    def test_paper_examples_roundtrip(self, ex2, ex4, ex5, ex6, burglar):
+        for p in (ex2, ex4, ex5, ex6, burglar):
+            assert parse(pretty(p)) == p

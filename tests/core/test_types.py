@@ -1,0 +1,83 @@
+"""Type checker tests."""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.core.types import TypeError_, check_program, infer_expr_type, type_errors
+from repro.core.parser import parse_expr
+
+
+class TestExprInference:
+    def test_literals(self):
+        assert infer_expr_type(parse_expr("true"), {}) == "bool"
+        assert infer_expr_type(parse_expr("1"), {}) == "int"
+        assert infer_expr_type(parse_expr("1.5"), {}) == "float"
+
+    def test_arith_widening(self):
+        assert infer_expr_type(parse_expr("1 + 2"), {}) == "int"
+        assert infer_expr_type(parse_expr("1 + 2.0"), {}) == "float"
+
+    def test_division_is_float(self):
+        assert infer_expr_type(parse_expr("4 / 2"), {}) == "float"
+
+    def test_comparison_is_bool(self):
+        assert infer_expr_type(parse_expr("1 < 2"), {}) == "bool"
+
+    def test_bool_ops_require_bool(self):
+        with pytest.raises(TypeError_):
+            infer_expr_type(parse_expr("1 && true"), {})
+
+    def test_not_requires_bool(self):
+        with pytest.raises(TypeError_):
+            infer_expr_type(parse_expr("!1"), {})
+
+    def test_negate_requires_number(self):
+        with pytest.raises(TypeError_):
+            infer_expr_type(parse_expr("-true"), {})
+
+    def test_unknown_variable(self):
+        with pytest.raises(TypeError_):
+            infer_expr_type(parse_expr("x"), {})
+
+    def test_mixed_equality_rejected(self):
+        with pytest.raises(TypeError_):
+            infer_expr_type(parse_expr("true == 1.5"), {})
+
+
+class TestProgramChecking:
+    def test_paper_examples_typecheck(self, ex2, ex4, ex5, ex6, burglar):
+        for p in (ex2, ex4, ex5, ex6, burglar):
+            check_program(p)
+
+    def test_env_returned(self):
+        env = check_program(parse("x ~ Bernoulli(0.5); n = 1; return n;"))
+        assert env == {"x": "bool", "n": "int"}
+
+    def test_observe_requires_bool(self):
+        assert type_errors(parse("n = 1; observe(n); return n;"))
+
+    def test_if_requires_bool(self):
+        assert type_errors(parse("n = 1; if (n) { n = 2; } return n;"))
+
+    def test_factor_requires_numeric(self):
+        assert type_errors(parse("b ~ Bernoulli(0.5); factor(b); return b;"))
+
+    def test_retype_bool_to_int_rejected(self):
+        assert type_errors(parse("x ~ Bernoulli(0.5); x = 1; return x;"))
+
+    def test_numeric_widening_on_reassign(self):
+        env = check_program(parse("x = 1; x = 2.5; return x;"))
+        assert env["x"] == "float"
+
+    def test_unknown_distribution(self):
+        assert type_errors(parse("x ~ Cauchy(0.0); return x;"))
+
+    def test_sample_type_from_distribution(self):
+        env = check_program(parse("x ~ Gaussian(0.0, 1.0); return x;"))
+        assert env["x"] == "float"
+        env = check_program(parse("k ~ Poisson(2.0); return k;"))
+        assert env["k"] == "int"
+
+    def test_declared_type_respected(self):
+        env = check_program(parse("float y; return y;"))
+        assert env["y"] == "float"

@@ -1,0 +1,87 @@
+"""Validation tests: def-before-use and single-variable-form checks."""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.core.validate import (
+    ValidationError,
+    assignment_sites,
+    check_def_before_use,
+    check_svf,
+    is_svf,
+    undefined_uses,
+)
+from repro.transforms import svf_transform
+
+
+class TestDefBeforeUse:
+    def test_well_formed_passes(self, ex2):
+        check_def_before_use(ex2)
+
+    def test_read_before_assignment_flagged(self):
+        p = parse("y = x; x = 1; return y;")
+        errors = undefined_uses(p)
+        assert any("'x'" in e for e in errors)
+        with pytest.raises(ValidationError):
+            check_def_before_use(p)
+
+    def test_declaration_counts_as_definition(self):
+        p = parse("bool x; y = x; return y;")
+        assert undefined_uses(p) == []
+
+    def test_branch_only_assignment_not_definite(self):
+        p = parse("c ~ Bernoulli(0.5); if (c) { x = 1; } return x;")
+        errors = undefined_uses(p)
+        assert any("return expression" in e for e in errors)
+
+    def test_both_branches_assign_is_definite(self):
+        p = parse(
+            "c ~ Bernoulli(0.5); if (c) { x = 1; } else { x = 2; } return x;"
+        )
+        assert undefined_uses(p) == []
+
+    def test_loop_body_assignment_not_definite(self):
+        p = parse(
+            "c ~ Bernoulli(0.5); while (c) { x = 1; c ~ Bernoulli(0.5); } return x;"
+        )
+        errors = undefined_uses(p)
+        assert errors
+
+    def test_condition_read_checked(self):
+        p = parse("if (c) { x = 1; } else { x = 2; } return x;")
+        assert any("condition" in e for e in undefined_uses(p))
+
+    def test_observe_read_checked(self):
+        p = parse("observe(z); return 1;")
+        assert undefined_uses(p)
+
+
+class TestSVFForm:
+    def test_paper_example_not_svf(self, ex4):
+        assert not is_svf(ex4)
+
+    def test_svf_transform_establishes_form(self, ex4):
+        assert is_svf(svf_transform(ex4))
+
+    def test_check_svf_raises_with_context(self, ex4):
+        with pytest.raises(ValidationError):
+            check_svf(ex4)
+
+    def test_variable_conditions_pass(self):
+        p = parse(
+            "q ~ Bernoulli(0.5); observe(q); if (q) { x = 1; } else { x = 2; } return x;"
+        )
+        assert is_svf(p)
+
+    def test_while_condition_checked(self):
+        p = parse("b ~ Bernoulli(0.5); while (!b) { b ~ Bernoulli(0.5); } return b;")
+        assert not is_svf(p)
+
+
+class TestAssignmentSites:
+    def test_counts_all_write_sites(self, ex2):
+        sites = assignment_sites(ex2.body)
+        names = [n for n, _ in sites]
+        # decl + init + 2 in-branch increments
+        assert names.count("count") == 4
+        assert names.count("c1") == 2  # decl + sample

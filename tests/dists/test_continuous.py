@@ -1,0 +1,134 @@
+"""Continuous distribution tests, cross-checked against scipy."""
+
+import math
+import random
+
+import pytest
+
+try:
+    from scipy import stats as sps
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    HAVE_SCIPY = False
+
+from repro.dists import (
+    Beta,
+    DistributionError,
+    Exponential,
+    Gamma,
+    Gaussian,
+    Uniform,
+)
+
+needs_scipy = pytest.mark.skipif(not HAVE_SCIPY, reason="scipy unavailable")
+
+
+class TestGaussian:
+    def test_variance_parameterization(self):
+        # The paper writes Gaussian(mu, sigma^2).
+        d = Gaussian(0.0, 4.0)
+        assert math.isclose(d.variance(), 4.0)
+
+    @needs_scipy
+    def test_log_pdf_matches_scipy(self):
+        d = Gaussian(1.5, 2.5)
+        for x in (-3.0, 0.0, 1.5, 4.2):
+            assert math.isclose(
+                d.log_prob(x), sps.norm(1.5, math.sqrt(2.5)).logpdf(x)
+            )
+
+    def test_invalid_variance(self):
+        with pytest.raises(DistributionError):
+            Gaussian(0.0, 0.0)
+
+    def test_sampling_moments(self):
+        rng = random.Random(0)
+        d = Gaussian(3.0, 4.0)
+        xs = [d.sample(rng) for _ in range(5000)]
+        mean = sum(xs) / len(xs)
+        var = sum((x - mean) ** 2 for x in xs) / len(xs)
+        assert abs(mean - 3.0) < 0.1
+        assert abs(var - 4.0) < 0.3
+
+    def test_no_enumeration(self):
+        with pytest.raises(DistributionError):
+            list(Gaussian(0.0, 1.0).enumerate_support())
+
+
+class TestUniform:
+    def test_density(self):
+        d = Uniform(0.0, 2.0)
+        assert math.isclose(d.prob(1.0), 0.5)
+        assert d.prob(3.0) == 0.0
+        assert d.prob(-0.1) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(DistributionError):
+            Uniform(1.0, 1.0)
+
+    def test_mean_variance(self):
+        d = Uniform(0.0, 6.0)
+        assert math.isclose(d.mean(), 3.0)
+        assert math.isclose(d.variance(), 3.0)
+
+
+class TestGamma:
+    @needs_scipy
+    def test_rate_parameterization_matches_scipy(self):
+        d = Gamma(2.0, 3.0)  # shape, rate
+        for x in (0.1, 1.0, 2.5):
+            assert math.isclose(
+                d.log_prob(x), sps.gamma(2.0, scale=1 / 3.0).logpdf(x)
+            )
+
+    def test_support_positive(self):
+        d = Gamma(2.0, 1.0)
+        assert d.prob(0.0) == 0.0
+        assert d.prob(-1.0) == 0.0
+
+    def test_mean(self):
+        assert math.isclose(Gamma(4.0, 2.0).mean(), 2.0)
+        assert math.isclose(Gamma(4.0, 2.0).variance(), 1.0)
+
+    def test_sampling_mean(self):
+        rng = random.Random(1)
+        d = Gamma(3.0, 2.0)
+        xs = [d.sample(rng) for _ in range(4000)]
+        assert abs(sum(xs) / len(xs) - 1.5) < 0.1
+
+    def test_invalid(self):
+        with pytest.raises(DistributionError):
+            Gamma(0.0, 1.0)
+
+
+class TestBeta:
+    @needs_scipy
+    def test_log_pdf_matches_scipy(self):
+        d = Beta(2.0, 5.0)
+        for x in (0.1, 0.5, 0.9):
+            assert math.isclose(d.log_prob(x), sps.beta(2.0, 5.0).logpdf(x))
+
+    def test_support(self):
+        d = Beta(2.0, 2.0)
+        assert d.prob(0.0) == 0.0
+        assert d.prob(1.0) == 0.0
+
+    def test_mean(self):
+        assert math.isclose(Beta(2.0, 6.0).mean(), 0.25)
+
+
+class TestExponential:
+    @needs_scipy
+    def test_log_pdf_matches_scipy(self):
+        d = Exponential(2.0)
+        for x in (0.0, 0.5, 3.0):
+            assert math.isclose(d.log_prob(x), sps.expon(scale=0.5).logpdf(x))
+
+    def test_negative_outside_support(self):
+        assert Exponential(1.0).prob(-0.1) == 0.0
+
+    def test_mean_variance(self):
+        d = Exponential(4.0)
+        assert math.isclose(d.mean(), 0.25)
+        assert math.isclose(d.variance(), 0.0625)

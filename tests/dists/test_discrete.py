@@ -1,0 +1,185 @@
+"""Discrete distribution tests: parameter validation, log-prob
+correctness, support enumeration, and sampling statistics."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dists import (
+    Bernoulli,
+    Binomial,
+    Categorical,
+    DiscreteUniform,
+    DistributionError,
+    Geometric,
+    Poisson,
+)
+
+
+class TestBernoulli:
+    def test_log_prob(self):
+        d = Bernoulli(0.3)
+        assert math.isclose(d.prob(True), 0.3)
+        assert math.isclose(d.prob(False), 0.7)
+
+    def test_extreme_params(self):
+        assert Bernoulli(0.0).log_prob(True) == float("-inf")
+        assert Bernoulli(1.0).log_prob(False) == float("-inf")
+
+    def test_accepts_01_ints(self):
+        d = Bernoulli(0.3)
+        assert math.isclose(d.prob(1), 0.3)
+        assert math.isclose(d.prob(0), 0.7)
+
+    def test_out_of_range_value(self):
+        assert Bernoulli(0.3).prob(2) == 0.0
+
+    def test_invalid_param(self):
+        with pytest.raises(DistributionError):
+            Bernoulli(1.5)
+
+    def test_support_sums_to_one(self):
+        total = sum(p for _, p in Bernoulli(0.3).enumerate_support())
+        assert math.isclose(total, 1.0)
+
+    def test_degenerate_support(self):
+        assert Bernoulli(1.0).support_values() == [True]
+        assert Bernoulli(0.0).support_values() == [False]
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=20, deadline=None)
+    def test_sampling_frequency_matches_p(self, p):
+        rng = random.Random(0)
+        d = Bernoulli(p)
+        n = 4000
+        freq = sum(d.sample(rng) for _ in range(n)) / n
+        assert abs(freq - p) < 0.05
+
+    def test_moments(self):
+        d = Bernoulli(0.3)
+        assert math.isclose(d.mean(), 0.3)
+        assert math.isclose(d.variance(), 0.21)
+
+
+class TestCategorical:
+    def test_normalizes(self):
+        d = Categorical(2.0, 2.0)
+        assert math.isclose(d.prob(0), 0.5)
+
+    def test_log_prob_outside(self):
+        d = Categorical(0.5, 0.5)
+        assert d.prob(2) == 0.0
+        assert d.prob(True) == 0.0  # booleans are not categories
+
+    def test_zero_probability_dropped_from_support(self):
+        d = Categorical(0.5, 0.0, 0.5)
+        assert d.support_values() == [0, 2]
+
+    def test_needs_probs(self):
+        with pytest.raises(DistributionError):
+            Categorical()
+        with pytest.raises(DistributionError):
+            Categorical(0.0, 0.0)
+        with pytest.raises(DistributionError):
+            Categorical(-0.1, 1.1)
+
+    def test_mean_variance(self):
+        d = Categorical(0.5, 0.0, 0.5)
+        assert math.isclose(d.mean(), 1.0)
+        assert math.isclose(d.variance(), 1.0)
+
+    def test_sampling_covers_support(self):
+        rng = random.Random(1)
+        d = Categorical(0.2, 0.3, 0.5)
+        seen = {d.sample(rng) for _ in range(500)}
+        assert seen == {0, 1, 2}
+
+
+class TestDiscreteUniform:
+    def test_bounds_inclusive(self):
+        d = DiscreteUniform(2, 4)
+        assert d.support_values() == [2, 3, 4]
+        assert math.isclose(d.prob(2), 1 / 3)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(DistributionError):
+            DiscreteUniform(3, 2)
+
+    def test_point(self):
+        d = DiscreteUniform(5, 5)
+        assert d.prob(5) == 1.0
+
+    def test_mean(self):
+        assert DiscreteUniform(0, 10).mean() == 5.0
+
+
+class TestBinomial:
+    def test_pmf_matches_formula(self):
+        d = Binomial(5, 0.3)
+        expected = math.comb(5, 2) * 0.3**2 * 0.7**3
+        assert math.isclose(d.prob(2), expected)
+
+    def test_support_sums_to_one(self):
+        total = sum(p for _, p in Binomial(8, 0.4).enumerate_support())
+        assert math.isclose(total, 1.0)
+
+    def test_degenerate(self):
+        assert Binomial(3, 0.0).prob(0) == 1.0
+        assert Binomial(3, 1.0).prob(3) == 1.0
+
+    def test_outside_support(self):
+        d = Binomial(3, 0.5)
+        assert d.prob(-1) == 0.0
+        assert d.prob(4) == 0.0
+
+    def test_mean_variance(self):
+        d = Binomial(10, 0.4)
+        assert math.isclose(d.mean(), 4.0)
+        assert math.isclose(d.variance(), 2.4)
+
+
+class TestPoisson:
+    def test_pmf(self):
+        d = Poisson(2.0)
+        assert math.isclose(d.prob(0), math.exp(-2.0))
+        assert math.isclose(d.prob(3), math.exp(-2.0) * 8 / 6)
+
+    def test_enumeration_covers_mass(self):
+        total = sum(p for _, p in Poisson(3.0).enumerate_support(tol=1e-10))
+        assert total > 1 - 1e-9
+
+    def test_enumeration_requires_tolerance(self):
+        with pytest.raises(DistributionError):
+            list(Poisson(1.0).enumerate_support(tol=0.0))
+
+    def test_sampling_mean(self):
+        rng = random.Random(2)
+        d = Poisson(4.0)
+        n = 3000
+        mean = sum(d.sample(rng) for _ in range(n)) / n
+        assert abs(mean - 4.0) < 0.2
+
+    def test_rate_zero(self):
+        assert Poisson(0.0).prob(0) == 1.0
+
+
+class TestGeometric:
+    def test_pmf(self):
+        d = Geometric(0.25)
+        assert math.isclose(d.prob(0), 0.25)
+        assert math.isclose(d.prob(2), 0.75**2 * 0.25)
+
+    def test_p_one_is_point_mass(self):
+        d = Geometric(1.0)
+        assert d.prob(0) == 1.0
+        assert list(d.enumerate_support(tol=0.0)) == [(0, 1.0)]
+
+    def test_invalid_p(self):
+        with pytest.raises(DistributionError):
+            Geometric(0.0)
+
+    def test_mean(self):
+        assert math.isclose(Geometric(0.5).mean(), 1.0)

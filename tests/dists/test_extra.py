@@ -1,0 +1,140 @@
+"""Tests for the extra distributions (Laplace, LogNormal, StudentT,
+NegativeBinomial), cross-checked against scipy where available."""
+
+import math
+import random
+
+import pytest
+
+try:
+    from scipy import stats as sps
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    HAVE_SCIPY = False
+
+from repro.dists import (
+    DistributionError,
+    Laplace,
+    LogNormal,
+    NegativeBinomial,
+    StudentT,
+)
+
+needs_scipy = pytest.mark.skipif(not HAVE_SCIPY, reason="scipy unavailable")
+
+
+class TestLaplace:
+    @needs_scipy
+    def test_log_pdf_matches_scipy(self):
+        d = Laplace(1.0, 2.0)
+        for x in (-2.0, 1.0, 5.5):
+            assert math.isclose(
+                d.log_prob(x), sps.laplace(1.0, 2.0).logpdf(x)
+            )
+
+    def test_sampling_moments(self):
+        rng = random.Random(0)
+        d = Laplace(3.0, 1.5)
+        xs = [d.sample(rng) for _ in range(8000)]
+        assert abs(sum(xs) / len(xs) - 3.0) < 0.1
+
+    def test_invalid_scale(self):
+        with pytest.raises(DistributionError):
+            Laplace(0.0, 0.0)
+
+    def test_variance(self):
+        assert math.isclose(Laplace(0.0, 2.0).variance(), 8.0)
+
+
+class TestLogNormal:
+    @needs_scipy
+    def test_log_pdf_matches_scipy(self):
+        d = LogNormal(0.5, 0.64)
+        ref = sps.lognorm(math.sqrt(0.64), scale=math.exp(0.5))
+        for x in (0.2, 1.0, 3.7):
+            assert math.isclose(d.log_prob(x), ref.logpdf(x))
+
+    def test_support_positive(self):
+        d = LogNormal(0.0, 1.0)
+        assert d.prob(0.0) == 0.0
+        assert d.prob(-1.0) == 0.0
+
+    def test_mean(self):
+        d = LogNormal(0.0, 1.0)
+        assert math.isclose(d.mean(), math.exp(0.5))
+
+    def test_sampling_positive(self):
+        rng = random.Random(1)
+        d = LogNormal(0.0, 1.0)
+        assert all(d.sample(rng) > 0 for _ in range(100))
+
+
+class TestStudentT:
+    @needs_scipy
+    def test_log_pdf_matches_scipy(self):
+        d = StudentT(5.0)
+        for x in (-3.0, 0.0, 2.2):
+            assert math.isclose(d.log_prob(x), sps.t(5.0).logpdf(x))
+
+    def test_heavier_tails_than_gaussian(self):
+        from repro.dists import Gaussian
+
+        t = StudentT(3.0)
+        g = Gaussian(0.0, 1.0)
+        assert t.log_prob(6.0) > g.log_prob(6.0)
+
+    def test_moment_validity(self):
+        assert StudentT(3.0).mean() == 0.0
+        assert math.isclose(StudentT(4.0).variance(), 2.0)
+        with pytest.raises(DistributionError):
+            StudentT(1.0).mean()
+        with pytest.raises(DistributionError):
+            StudentT(2.0).variance()
+
+    def test_sampling_runs(self):
+        rng = random.Random(2)
+        d = StudentT(5.0)
+        xs = [d.sample(rng) for _ in range(5000)]
+        assert abs(sum(xs) / len(xs)) < 0.1
+
+
+class TestNegativeBinomial:
+    @needs_scipy
+    def test_log_pmf_matches_scipy(self):
+        d = NegativeBinomial(3.0, 0.4)
+        for k in (0, 2, 7):
+            assert math.isclose(
+                d.log_prob(k), sps.nbinom(3, 0.4).logpmf(k), rel_tol=1e-9
+            )
+
+    def test_support_enumeration(self):
+        total = sum(
+            p for _, p in NegativeBinomial(2.0, 0.5).enumerate_support(1e-10)
+        )
+        assert total > 1 - 1e-9
+
+    def test_degenerate_p_one(self):
+        d = NegativeBinomial(2.0, 1.0)
+        assert d.prob(0) == 1.0
+        assert list(d.enumerate_support(0.0)) == [(0, 1.0)]
+
+    def test_sampling_mean(self):
+        rng = random.Random(3)
+        d = NegativeBinomial(4.0, 0.5)
+        xs = [d.sample(rng) for _ in range(5000)]
+        assert abs(sum(xs) / len(xs) - 4.0) < 0.25
+
+    def test_invalid_params(self):
+        with pytest.raises(DistributionError):
+            NegativeBinomial(0.0, 0.5)
+        with pytest.raises(DistributionError):
+            NegativeBinomial(1.0, 0.0)
+
+    def test_usable_in_programs(self):
+        from repro.core import parse
+        from repro.semantics import exact_inference
+
+        p = parse("k ~ NegativeBinomial(2.0, 0.6); observe(k < 2); return k;")
+        d = exact_inference(p).distribution
+        assert set(d.support()) == {0, 1}

@@ -1,0 +1,58 @@
+"""Distribution registry tests."""
+
+import pytest
+
+from repro.dists import (
+    DistributionError,
+    make_distribution,
+    register,
+    registered_distributions,
+)
+from repro.dists.base import Distribution
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        names = registered_distributions()
+        for expected in (
+            "Bernoulli",
+            "Categorical",
+            "DiscreteUniform",
+            "Binomial",
+            "Poisson",
+            "Geometric",
+            "Gaussian",
+            "Uniform",
+            "Gamma",
+            "Beta",
+            "Exponential",
+        ):
+            assert expected in names
+
+    def test_make_distribution(self):
+        d = make_distribution("Bernoulli", (0.5,))
+        assert d.name == "Bernoulli"
+
+    def test_unknown_name(self):
+        with pytest.raises(DistributionError):
+            make_distribution("Cauchy", (0.0,))
+
+    def test_wrong_arity(self):
+        with pytest.raises(DistributionError):
+            make_distribution("Gaussian", (0.0,))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register("Bernoulli")
+            class Duplicate(Distribution):  # pragma: no cover
+                pass
+
+    def test_default_interface_raises(self):
+        d = Distribution()
+        with pytest.raises(NotImplementedError):
+            d.sample(None)
+        with pytest.raises(NotImplementedError):
+            d.log_prob(0)
+        with pytest.raises(DistributionError):
+            list(d.enumerate_support())

@@ -1,0 +1,170 @@
+"""Gaussian-linear compiler tests."""
+
+import math
+
+import pytest
+
+from repro.core.parser import parse
+from repro.factorgraph.compile_gaussian import (
+    GaussianCompileError,
+    compile_gaussian,
+)
+
+
+def _posterior(src, max_sweeps=200):
+    compiled = compile_gaussian(parse(src))
+    compiled.graph.run(max_sweeps=max_sweeps)
+    return compiled.posterior_moments()
+
+
+class TestLinearization:
+    def test_rejects_nonlinear_product(self):
+        with pytest.raises(GaussianCompileError):
+            compile_gaussian(
+                parse("x ~ Gaussian(0.0, 1.0); y = x * x; return y;")
+            )
+
+    def test_rejects_control_flow(self):
+        with pytest.raises(GaussianCompileError):
+            compile_gaussian(
+                parse(
+                    "c ~ Bernoulli(0.5); if (c) { x = 1.0; } else { x = 2.0; } return x;"
+                )
+            )
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(GaussianCompileError):
+            compile_gaussian(parse("x ~ Beta(2.0, 2.0); return x;"))
+
+    def test_rejects_nonconstant_variance(self):
+        with pytest.raises(GaussianCompileError):
+            compile_gaussian(
+                parse(
+                    "v ~ Gaussian(1.0, 1.0); x ~ Gaussian(0.0, v); return x;"
+                )
+            )
+
+    def test_constant_folding_through_division(self):
+        mean, _ = _posterior(
+            """
+scale = 2.0;
+x ~ Gaussian(4.0 / scale, 1.0);
+return x;
+"""
+        )
+        assert math.isclose(mean, 2.0, rel_tol=1e-6)
+
+    def test_division_by_variable_constant(self):
+        mean, _ = _posterior(
+            "prec ~ Gamma(2.0, 2.0); x ~ Gaussian(0.0, 1.0 / prec); return x + 1.0;"
+        )
+        assert math.isclose(mean, 1.0, rel_tol=1e-6)
+
+
+class TestGammaPlugIn:
+    def test_gamma_replaced_by_mean(self):
+        # Gamma(4, 2) has mean 2 -> variance argument becomes 0.5.
+        compiled = compile_gaussian(
+            parse(
+                """
+prec ~ Gamma(4.0, 2.0);
+mu ~ Gaussian(0.0, 100.0);
+observe(Gaussian(mu, 1.0 / prec), 1.0);
+return mu;
+"""
+            )
+        )
+        compiled.graph.run()
+        mean, var = compiled.posterior_moments()
+        post_var = 1 / (1 / 100 + 2.0)
+        assert math.isclose(var, post_var, rel_tol=1e-4)
+
+
+class TestObservations:
+    def test_soft_observation(self):
+        mean, var = _posterior(
+            """
+mu ~ Gaussian(0.0, 100.0);
+observe(Gaussian(mu, 1.0), 2.5);
+observe(Gaussian(mu, 1.0), 3.5);
+return mu;
+"""
+        )
+        assert math.isclose(mean, 2.98507, rel_tol=1e-4)
+
+    def test_comparison_via_helper_variable(self):
+        mean, _ = _posterior(
+            """
+a ~ Gaussian(0.0, 25.0);
+b ~ Gaussian(0.0, 25.0);
+q = a > b;
+observe(q);
+return a - b;
+"""
+        )
+        assert mean > 0.0
+
+    def test_direct_comparison_observe(self):
+        mean, _ = _posterior(
+            """
+a ~ Gaussian(0.0, 25.0);
+b ~ Gaussian(0.0, 25.0);
+observe(a < b);
+return a - b;
+"""
+        )
+        assert mean < 0.0
+
+    def test_equality_observe(self):
+        mean, _ = _posterior(
+            """
+a ~ Gaussian(1.0, 4.0);
+b ~ Gaussian(3.0, 4.0);
+observe(a == b);
+return a;
+"""
+        )
+        assert math.isclose(mean, 2.0, rel_tol=1e-3)
+
+    def test_unknown_observed_variable_rejected(self):
+        with pytest.raises(GaussianCompileError):
+            compile_gaussian(
+                parse("a ~ Gaussian(0.0, 1.0); q = a + 1.0; observe(q); return a;")
+            )
+
+    def test_observing_constants_rejected(self):
+        with pytest.raises(GaussianCompileError):
+            compile_gaussian(parse("observe(1.0 > 2.0); return 1;"))
+
+    def test_observe_constant_mean_gaussian_is_noop(self):
+        compiled = compile_gaussian(
+            parse(
+                "x ~ Gaussian(0.0, 1.0); observe(Gaussian(5.0, 1.0), 5.0); return x;"
+            )
+        )
+        compiled.graph.run()
+        mean, _ = compiled.posterior_moments()
+        assert math.isclose(mean, 0.0, abs_tol=1e-9)
+
+
+class TestReturnForms:
+    def test_linear_return_moments(self):
+        compiled = compile_gaussian(
+            parse(
+                """
+a ~ Gaussian(1.0, 1.0);
+b ~ Gaussian(2.0, 4.0);
+return a + b;
+"""
+            )
+        )
+        compiled.graph.run()
+        mean, var = compiled.posterior_moments()
+        assert math.isclose(mean, 3.0, rel_tol=1e-6)
+        assert math.isclose(var, 5.0, rel_tol=1e-6)
+
+    def test_constant_return(self):
+        compiled = compile_gaussian(parse("x ~ Gaussian(0.0, 1.0); return 7.0;"))
+        compiled.graph.run()
+        mean, var = compiled.posterior_moments()
+        assert mean == 7.0 and var == 0.0

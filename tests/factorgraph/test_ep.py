@@ -1,0 +1,133 @@
+"""Gaussian EP tests: conjugate cases with closed-form posteriors and
+the canonical TrueSkill updates."""
+
+import math
+
+import pytest
+
+from repro.factorgraph.ep import EPError, EPGraph
+
+
+class TestConjugateExactness:
+    def test_single_observation(self):
+        g = EPGraph()
+        g.add_prior("mu", 0.0, 10.0)
+        g.add_linear("y", [(1.0, "mu")], noise_var=2.0)
+        g.add_observed("y", 6.0)
+        g.run()
+        mean, var = g.posterior("mu")
+        post_var = 1 / (1 / 10 + 1 / 2)
+        assert math.isclose(mean, post_var * 6.0 / 2.0, rel_tol=1e-6)
+        assert math.isclose(var, post_var, rel_tol=1e-6)
+
+    def test_many_observations_chain(self):
+        g = EPGraph()
+        g.add_prior("mu", 0.0, 100.0)
+        data = [1.0, 2.0, 3.0, 4.0]
+        for i, y in enumerate(data):
+            g.add_linear(f"y{i}", [(1.0, "mu")], noise_var=1.0)
+            g.add_observed(f"y{i}", y)
+        g.run()
+        mean, var = g.posterior("mu")
+        post_var = 1 / (1 / 100 + 4)
+        assert math.isclose(mean, post_var * sum(data), rel_tol=1e-6)
+
+    def test_linear_combination_posterior(self):
+        # y = 2a + b observed; exact multivariate posterior mean known.
+        import numpy as np
+
+        g = EPGraph()
+        g.add_prior("a", 0.0, 1.0)
+        g.add_prior("b", 0.0, 1.0)
+        g.add_linear("y", [(2.0, "a"), (1.0, "b")], noise_var=1.0)
+        g.add_observed("y", 5.0)
+        g.run()
+        prior_cov = np.eye(2)
+        h = np.array([2.0, 1.0])
+        s = h @ prior_cov @ h + 1.0
+        gain = prior_cov @ h / s
+        expected = gain * 5.0
+        mean_a, _ = g.posterior("a")
+        mean_b, _ = g.posterior("b")
+        assert math.isclose(mean_a, expected[0], rel_tol=1e-5)
+        assert math.isclose(mean_b, expected[1], rel_tol=1e-5)
+
+    def test_constant_offset(self):
+        g = EPGraph()
+        g.add_prior("a", 0.0, 1.0)
+        g.add_linear("y", [(1.0, "a")], c0=10.0, noise_var=1.0)
+        g.add_observed("y", 10.5)
+        g.run()
+        mean, _ = g.posterior("a")
+        assert math.isclose(mean, 0.25, rel_tol=1e-6)
+
+
+class TestTrueSkill:
+    def test_one_game_update_matches_reference(self):
+        # Herbrich et al.'s canonical numbers: mu0=25, sigma0=25/3,
+        # beta=25/6; after one win: mu_w ~ 29.205, mu_l ~ 20.795.
+        g = EPGraph()
+        for p in ("w", "l"):
+            g.add_prior(f"s{p}", 25.0, (25 / 3) ** 2)
+            g.add_linear(f"p{p}", [(1.0, f"s{p}")], noise_var=(25 / 6) ** 2)
+        g.add_linear("d", [(1.0, "pw"), (-1.0, "pl")])
+        g.add_greater_than("d", 0.0)
+        g.run()
+        mw, vw = g.posterior("sw")
+        ml, vl = g.posterior("sl")
+        assert math.isclose(mw, 29.20520, rel_tol=1e-4)
+        assert math.isclose(ml, 20.79480, rel_tol=1e-4)
+        assert math.isclose(vw, vl, rel_tol=1e-6)
+        assert vw < (25 / 3) ** 2  # the game is informative
+
+    def test_transitivity_through_chain(self):
+        # a beats b, b beats c => a's skill > c's skill.
+        g = EPGraph()
+        for p in ("a", "b", "c"):
+            g.add_prior(f"s{p}", 25.0, 69.44)
+        k = 0
+        for winner, loser in (("a", "b"), ("b", "c")):
+            g.add_linear(f"pw{k}", [(1.0, f"s{winner}")], noise_var=17.36)
+            g.add_linear(f"pl{k}", [(1.0, f"s{loser}")], noise_var=17.36)
+            g.add_linear(f"d{k}", [(1.0, f"pw{k}"), (-1.0, f"pl{k}")])
+            g.add_greater_than(f"d{k}", 0.0)
+            k += 1
+        g.run()
+        assert g.posterior("sa")[0] > g.posterior("sb")[0] > g.posterior("sc")[0]
+
+
+class TestMechanics:
+    def test_convergence_reported(self):
+        g = EPGraph()
+        g.add_prior("x", 0.0, 1.0)
+        sweeps = g.run(max_sweeps=50)
+        assert sweeps <= 3
+
+    def test_unknown_variable(self):
+        g = EPGraph()
+        with pytest.raises(EPError):
+            g.posterior("missing")
+
+    def test_improper_belief_detected(self):
+        g = EPGraph()
+        g.variable("floating")
+        with pytest.raises(EPError):
+            g.posterior("floating")
+
+    def test_counts(self):
+        g = EPGraph()
+        g.add_prior("x", 0.0, 1.0)
+        g.add_linear("y", [(1.0, "x")], noise_var=1.0)
+        assert g.n_variables == 2
+        assert g.n_factors == 2
+
+    def test_zero_coefficient_rejected(self):
+        g = EPGraph()
+        with pytest.raises(ValueError):
+            g.add_linear("y", [(0.0, "x")])
+
+    def test_arity_mismatch_rejected(self):
+        from repro.factorgraph.ep import GaussianVariable, LinearFactor
+
+        with pytest.raises(ValueError):
+            LinearFactor(0, GaussianVariable("y"), [GaussianVariable("x")], [1.0, 2.0])

@@ -1,0 +1,87 @@
+"""Gaussian natural-parameter algebra and truncation moment tests."""
+
+import math
+
+import pytest
+
+try:
+    from scipy import stats as sps
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    HAVE_SCIPY = False
+
+from repro.factorgraph.gaussian import Gaussian1D, v_exceeds, w_exceeds
+
+needs_scipy = pytest.mark.skipif(not HAVE_SCIPY, reason="scipy unavailable")
+
+
+class TestGaussian1D:
+    def test_from_mean_var_roundtrip(self):
+        g = Gaussian1D.from_mean_var(2.0, 4.0)
+        assert math.isclose(g.mean, 2.0)
+        assert math.isclose(g.variance, 4.0)
+
+    def test_multiplication_is_precision_addition(self):
+        a = Gaussian1D.from_mean_var(0.0, 1.0)
+        b = Gaussian1D.from_mean_var(2.0, 1.0)
+        prod = a * b
+        assert math.isclose(prod.mean, 1.0)
+        assert math.isclose(prod.variance, 0.5)
+
+    def test_division_inverts_multiplication(self):
+        a = Gaussian1D.from_mean_var(1.0, 2.0)
+        b = Gaussian1D.from_mean_var(-1.0, 3.0)
+        assert ((a * b) / b).delta(a) < 1e-12
+
+    def test_uniform_is_identity(self):
+        a = Gaussian1D.from_mean_var(1.5, 2.5)
+        assert (a * Gaussian1D.uniform()).delta(a) == 0.0
+        assert not Gaussian1D.uniform().proper
+
+    def test_point_mass(self):
+        p = Gaussian1D.point(3.0)
+        assert math.isclose(p.mean, 3.0)
+        assert p.variance < 1e-10
+
+    def test_invalid_variance(self):
+        with pytest.raises(ValueError):
+            Gaussian1D.from_mean_var(0.0, 0.0)
+
+    def test_delta_metric(self):
+        a = Gaussian1D(1.0, 2.0)
+        b = Gaussian1D(1.5, 2.0)
+        assert a.delta(b) == 0.5
+
+
+class TestTruncationMoments:
+    @needs_scipy
+    def test_v_matches_scipy(self):
+        for t in (-3.0, -0.5, 0.0, 1.0, 4.0):
+            expected = sps.norm.pdf(t) / sps.norm.cdf(t)
+            assert math.isclose(v_exceeds(t), expected, rel_tol=1e-9)
+
+    def test_v_asymptotic_for_very_negative_t(self):
+        # v(t) ~ -t as t -> -inf.
+        assert math.isclose(v_exceeds(-40.0), 40.0, rel_tol=0.01)
+
+    def test_w_bounds(self):
+        for t in (-30.0, -1.0, 0.0, 2.0, 30.0):
+            assert 0.0 <= w_exceeds(t) <= 1.0
+
+    def test_w_monotone_behaviour(self):
+        # Deep truncation shrinks variance more (w closer to 1).
+        assert w_exceeds(-5.0) > w_exceeds(0.0) > w_exceeds(5.0)
+
+    @needs_scipy
+    def test_moments_match_truncated_normal(self):
+        # Truncating N(mu, var) to > 0 via v/w matches scipy.truncnorm.
+        mu, var = -1.0, 4.0
+        sd = math.sqrt(var)
+        t = mu / sd
+        mean = mu + sd * v_exceeds(t)
+        variance = var * (1.0 - w_exceeds(t))
+        a = (0.0 - mu) / sd
+        ref = sps.truncnorm(a, math.inf, loc=mu, scale=sd)
+        assert math.isclose(mean, ref.mean(), rel_tol=1e-9)
+        assert math.isclose(variance, ref.var(), rel_tol=1e-9)

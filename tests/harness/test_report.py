@@ -1,0 +1,66 @@
+"""Report rendering tests."""
+
+from repro.harness import format_convergence_table, format_speedup_table, format_table
+from repro.harness.runner import EngineRun, RunStatus, SpeedupRow
+from repro.inference.base import InferenceResult
+from repro.metrics import ConvergenceCurve
+from repro.transforms import sli
+
+
+def _row(benchmark, original_status, sliced_status, ex2):
+    slice_result = sli(ex2)
+
+    def run(status, seconds, stmts):
+        result = InferenceResult(statements_executed=stmts) if status is RunStatus.OK else None
+        return EngineRun(status, seconds, result=result, message="msg")
+
+    return SpeedupRow(
+        benchmark=benchmark,
+        engine="r2",
+        original=run(original_status, 2.0, 200),
+        sliced=run(sliced_status, 1.0, 100),
+        slice_result=slice_result,
+        slicing_seconds=0.001,
+    )
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+
+class TestSpeedupTable:
+    def test_ok_row(self, ex2):
+        row = _row("B", RunStatus.OK, RunStatus.OK, ex2)
+        text = format_speedup_table([row])
+        assert "2.00x" in text
+        assert "B" in text
+
+    def test_unsupported_row(self, ex2):
+        row = _row("B", RunStatus.UNSUPPORTED, RunStatus.OK, ex2)
+        assert "n/a" in format_speedup_table([row])
+
+    def test_timeout_row_lower_bound(self, ex2):
+        row = _row("B", RunStatus.TIMEOUT, RunStatus.OK, ex2)
+        text = format_speedup_table([row])
+        assert "orig timeout" in text
+        assert ">" in text
+
+    def test_double_failure_row(self, ex2):
+        row = _row("B", RunStatus.FAILED, RunStatus.FAILED, ex2)
+        assert "failed/failed" in format_speedup_table([row])
+
+
+class TestConvergenceTable:
+    def test_side_by_side(self):
+        a = ConvergenceCurve("original", ((10, 0.5), (100, 0.2)))
+        b = ConvergenceCurve("sliced", ((10, 0.3), (1000, 0.01)))
+        text = format_convergence_table([a, b])
+        assert "original" in text and "sliced" in text
+        assert "0.50000" in text
+        # Missing checkpoint renders a dash.
+        assert "-" in text.splitlines()[-1] or "-" in text

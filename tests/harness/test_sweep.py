@@ -1,0 +1,34 @@
+"""Parameter sweep helper tests."""
+
+from repro.harness.sweep import format_sweep, sweep_speedup
+from repro.inference import MetropolisHastings
+from repro.models import linreg_model
+
+
+class TestSweep:
+    def test_sweep_measures_each_point(self):
+        points = sweep_speedup(
+            "linreg",
+            lambda: MetropolisHastings(100, burn_in=10, seed=3),
+            lambda frac: linreg_model(
+                n_points=30, n_observed=max(1, int(frac * 30)), seed=0
+            ),
+            [1.0, 0.2],
+        )
+        assert [pt.parameter for pt in points] == [1.0, 0.2]
+        assert all(pt.row.original.ok and pt.row.sliced.ok for pt in points)
+        # The sparse instance gains more.
+        assert points[1].work_speedup > points[0].work_speedup
+
+    def test_format_sweep(self):
+        points = sweep_speedup(
+            "linreg",
+            lambda: MetropolisHastings(50, burn_in=5, seed=4),
+            lambda frac: linreg_model(
+                n_points=20, n_observed=max(1, int(frac * 20)), seed=0
+            ),
+            [0.5],
+        )
+        text = format_sweep(points, parameter_name="frac")
+        assert "frac" in text
+        assert "x" in text.splitlines()[1]

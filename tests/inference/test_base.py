@@ -1,0 +1,82 @@
+"""InferenceResult and diagnostics tests."""
+
+import math
+import random
+
+import pytest
+
+from repro.inference.base import (
+    Engine,
+    InferenceError,
+    InferenceResult,
+    effective_sample_size,
+)
+from repro.semantics.distribution import FiniteDist
+
+
+class TestInferenceResult:
+    def test_distribution_from_samples(self):
+        r = InferenceResult(samples=[True, True, False, True])
+        assert r.distribution().prob(True) == 0.75
+
+    def test_distribution_from_weights(self):
+        r = InferenceResult(samples=[1, 2], weights=[1.0, 3.0])
+        assert r.distribution().prob(2) == 0.75
+
+    def test_exact_passthrough(self):
+        d = FiniteDist({1: 1.0})
+        assert InferenceResult(exact=d).distribution() is d
+
+    def test_moments_mean_variance(self):
+        r = InferenceResult(moments=(2.0, 0.5))
+        assert r.mean() == 2.0
+        assert r.variance() == 0.5
+        with pytest.raises(InferenceError):
+            r.distribution()
+
+    def test_weighted_mean(self):
+        r = InferenceResult(samples=[0.0, 10.0], weights=[3.0, 1.0])
+        assert math.isclose(r.mean(), 2.5)
+
+    def test_unweighted_variance(self):
+        r = InferenceResult(samples=[0.0, 2.0])
+        assert r.variance() == 1.0
+
+    def test_mean_requires_samples(self):
+        with pytest.raises(InferenceError):
+            InferenceResult().mean()
+
+    def test_zero_weights_rejected(self):
+        r = InferenceResult(samples=[1], weights=[0.0])
+        with pytest.raises(InferenceError):
+            r.mean()
+
+    def test_acceptance_rate(self):
+        r = InferenceResult(n_proposals=10, n_accepted=4)
+        assert r.acceptance_rate == 0.4
+        assert InferenceResult().acceptance_rate == 0.0
+
+    def test_engine_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Engine().infer(None)
+
+
+class TestESS:
+    def test_iid_ess_near_n(self):
+        rng = random.Random(0)
+        xs = [rng.random() for _ in range(2000)]
+        ess = effective_sample_size(xs)
+        assert ess > 1000
+
+    def test_correlated_ess_much_smaller(self):
+        rng = random.Random(0)
+        xs = [0.0]
+        for _ in range(1999):
+            xs.append(0.98 * xs[-1] + 0.02 * rng.gauss(0, 1))
+        assert effective_sample_size(xs) < 300
+
+    def test_constant_series(self):
+        assert effective_sample_size([1.0] * 100) == 100.0
+
+    def test_tiny_series(self):
+        assert effective_sample_size([1.0, 2.0]) == 2.0

@@ -1,0 +1,110 @@
+"""MCMC diagnostics tests."""
+
+import math
+import random
+
+import pytest
+
+from repro.inference.diagnostics import (
+    autocorrelation,
+    split_r_hat,
+    summarize_chains,
+)
+
+
+def _iid_chain(seed, n=2000, mu=0.0):
+    rng = random.Random(seed)
+    return [rng.gauss(mu, 1.0) for _ in range(n)]
+
+
+def _sticky_chain(seed, n=2000, rho=0.99, mu=0.0):
+    rng = random.Random(seed)
+    xs = [mu]
+    for _ in range(n - 1):
+        xs.append(mu + rho * (xs[-1] - mu) + math.sqrt(1 - rho**2) * rng.gauss(0, 1))
+    return xs
+
+
+class TestRHat:
+    def test_iid_chains_near_one(self):
+        chains = [_iid_chain(s) for s in range(4)]
+        assert abs(split_r_hat(chains) - 1.0) < 0.02
+
+    def test_diverged_chains_flagged(self):
+        chains = [_iid_chain(0, mu=0.0), _iid_chain(1, mu=5.0)]
+        assert split_r_hat(chains) > 1.5
+
+    def test_within_chain_drift_caught_by_split(self):
+        # One chain whose mean shifts halfway: split-R-hat sees it even
+        # with a single chain.
+        drifting = [0.0 + 0.001 * random.Random(0).gauss(0, 1) for _ in range(1000)]
+        drifting += [5.0 + 0.001 * random.Random(1).gauss(0, 1) for _ in range(1000)]
+        assert split_r_hat([drifting]) > 1.5
+
+    def test_constant_chains(self):
+        assert split_r_hat([[1.0] * 100, [1.0] * 100]) == 1.0
+
+    def test_too_short_chain_rejected(self):
+        with pytest.raises(ValueError):
+            split_r_hat([[1.0, 2.0]])
+
+    def test_no_chains_rejected(self):
+        with pytest.raises(ValueError):
+            split_r_hat([])
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        acf = autocorrelation(_iid_chain(2), max_lag=5)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_iid_decays_immediately(self):
+        acf = autocorrelation(_iid_chain(3), max_lag=5)
+        assert abs(acf[1]) < 0.1
+
+    def test_sticky_chain_decays_slowly(self):
+        acf = autocorrelation(_sticky_chain(4), max_lag=5)
+        assert acf[1] > 0.9
+
+    def test_constant_series(self):
+        acf = autocorrelation([2.0] * 50, max_lag=3)
+        assert acf == [1.0, 0.0, 0.0, 0.0]
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0])
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        chains = [_iid_chain(s, n=1000) for s in range(3)]
+        summary = summarize_chains(chains)
+        assert abs(summary.mean) < 0.15
+        assert abs(summary.sd - 1.0) < 0.1
+        assert summary.n_chains == 3
+        assert summary.n_samples == 3000
+        assert summary.converged()
+
+    def test_sticky_chains_low_ess(self):
+        good = summarize_chains([_iid_chain(0)])
+        bad = summarize_chains([_sticky_chain(0)])
+        assert bad.ess < good.ess / 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_chains([])
+
+    def test_on_real_mh_chains(self, burglar):
+        from repro.inference import MetropolisHastings
+
+        chains = [
+            [
+                float(s)
+                for s in MetropolisHastings(3000, burn_in=300, seed=seed)
+                .infer(burglar)
+                .samples
+            ]
+            for seed in (1, 2, 3)
+        ]
+        summary = summarize_chains(chains)
+        assert summary.converged(threshold=1.1)

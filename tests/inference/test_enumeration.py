@@ -1,0 +1,22 @@
+"""Enumeration engine wrapper tests."""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.inference import EnumerationEngine, UnsupportedProgramError
+from repro.semantics import exact_inference
+
+
+class TestEnumerationEngine:
+    def test_exact_result(self, ex2):
+        r = EnumerationEngine().infer(ex2)
+        assert r.exact == exact_inference(ex2).distribution
+
+    def test_continuous_unsupported(self):
+        p = parse("x ~ Gaussian(0.0, 1.0); return x;")
+        with pytest.raises(UnsupportedProgramError):
+            EnumerationEngine().infer(p)
+
+    def test_mean_matches(self, ex1):
+        r = EnumerationEngine().infer(ex1)
+        assert r.mean() == 1.0  # E[count of two fair coins]

@@ -1,0 +1,46 @@
+"""Static program feature query tests."""
+
+from repro.core.parser import parse
+from repro.inference.features import (
+    distributions_used,
+    has_hard_observe,
+    has_loop,
+    has_soft_conditioning,
+)
+
+
+class TestFeatures:
+    def test_distributions_used(self):
+        p = parse(
+            """
+x ~ Bernoulli(0.5);
+y ~ Gaussian(0.0, 1.0);
+observe(Gamma(2.0, 1.0), y);
+return x;
+"""
+        )
+        assert distributions_used(p) == {"Bernoulli", "Gaussian", "Gamma"}
+
+    def test_soft_conditioning_detection(self):
+        soft = parse("factor(1.0); return 1;")
+        hard = parse("x ~ Bernoulli(0.5); observe(x); return x;")
+        assert has_soft_conditioning(soft)
+        assert not has_soft_conditioning(hard)
+
+    def test_hard_observe_detection(self):
+        assert has_hard_observe(parse("x ~ Bernoulli(0.5); observe(x); return x;"))
+        assert not has_hard_observe(parse("x ~ Bernoulli(0.5); return x;"))
+
+    def test_loop_detection(self, ex6, ex2):
+        assert has_loop(ex6)
+        assert not has_loop(ex2)
+
+    def test_nested_structures_scanned(self):
+        p = parse(
+            """
+c ~ Bernoulli(0.5);
+if (c) { while (c) { c ~ Bernoulli(0.5); } } else { skip; }
+return c;
+"""
+        )
+        assert has_loop(p)

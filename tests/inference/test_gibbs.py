@@ -1,0 +1,108 @@
+"""Gibbs sampler (compiled-network) tests."""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.inference import GibbsSampler, UnsupportedProgramError
+from repro.semantics import exact_inference
+
+
+class TestGibbsCorrectness:
+    def test_matches_exact_example4(self, ex4):
+        r = GibbsSampler(10000, burn_in=500, seed=1).infer(ex4)
+        exact = exact_inference(ex4).distribution
+        assert r.distribution().tv_distance(exact) < 0.03
+
+    def test_matches_exact_burglar(self, burglar):
+        r = GibbsSampler(10000, burn_in=500, seed=2).infer(burglar)
+        exact = exact_inference(burglar).distribution
+        assert r.distribution().tv_distance(exact) < 0.03
+
+    def test_integer_supports(self):
+        p = parse(
+            """
+n ~ DiscreteUniform(0, 3);
+q = n > 1;
+observe(q);
+return n;
+"""
+        )
+        r = GibbsSampler(8000, burn_in=500, seed=3).infer(p)
+        exact = exact_inference(p).distribution
+        assert r.distribution().tv_distance(exact) < 0.03
+
+    def test_sliced_program_agrees(self, ex4):
+        from repro.transforms import sli
+
+        exact = exact_inference(ex4).distribution
+        r = GibbsSampler(10000, burn_in=500, seed=4).infer(sli(ex4).sliced)
+        assert r.distribution().tv_distance(exact) < 0.03
+
+
+class TestGibbsMechanics:
+    def test_unsupported_program(self, ex6):
+        with pytest.raises(UnsupportedProgramError):
+            GibbsSampler(100).infer(ex6)  # loops cannot compile
+
+    def test_continuous_unsupported(self):
+        p = parse("x ~ Gaussian(0.0, 1.0); return x;")
+        with pytest.raises(UnsupportedProgramError):
+            GibbsSampler(100).infer(p)
+
+    def test_sample_count_and_thinning(self, ex4):
+        r = GibbsSampler(200, burn_in=10, thin=3, seed=5).infer(ex4)
+        assert len(r.samples) == 200
+
+    def test_deterministic_given_seed(self, ex4):
+        a = GibbsSampler(300, burn_in=20, seed=6).infer(ex4)
+        b = GibbsSampler(300, burn_in=20, seed=6).infer(ex4)
+        assert a.samples == b.samples
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GibbsSampler(0)
+        with pytest.raises(ValueError):
+            GibbsSampler(10, thin=0)
+
+    def test_work_scales_with_network_size(self, burglar):
+        from repro.transforms import sli
+
+        full = GibbsSampler(500, burn_in=0, seed=7).infer(burglar)
+        cut = GibbsSampler(500, burn_in=0, seed=7).infer(sli(burglar).sliced)
+        assert cut.statements_executed < full.statements_executed
+
+
+class TestDecoupling:
+    """The mixed-node decoupling transformation preserves the joint."""
+
+    def test_decoupled_net_same_posterior(self, ex4):
+        from repro.bayesnet import compile_program, variable_elimination
+        from repro.inference.gibbs import _decouple_mixed, _is_mixed
+        from repro.transforms import sli
+
+        compiled = compile_program(sli(ex4).sliced)
+        assert any(_is_mixed(compiled.net, n) for n in compiled.net.order)
+        decoupled = _decouple_mixed(compiled.net)
+        original = variable_elimination(
+            compiled.net, compiled.query, compiled.evidence
+        )
+        transformed = variable_elimination(
+            decoupled, compiled.query, compiled.evidence
+        )
+        assert original.allclose(transformed, atol=1e-9)
+
+    def test_no_mixed_nodes_after_decoupling(self, ex4):
+        from repro.bayesnet import compile_program
+        from repro.inference.gibbs import _decouple_mixed, _is_mixed
+        from repro.transforms import sli
+
+        net = _decouple_mixed(compile_program(sli(ex4).sliced).net)
+        assert not any(_is_mixed(net, n) for n in net.order)
+
+    def test_pure_networks_unchanged(self, burglar):
+        from repro.bayesnet import compile_program
+        from repro.inference.gibbs import _decouple_mixed
+
+        compiled = compile_program(burglar)
+        decoupled = _decouple_mixed(compiled.net)
+        assert decoupled.order == compiled.net.order

@@ -1,0 +1,68 @@
+"""Likelihood weighting tests."""
+
+import math
+
+import pytest
+
+from repro.core.parser import parse
+from repro.inference import LikelihoodWeighting
+from repro.inference.base import InferenceError
+from repro.semantics import exact_inference
+
+
+class TestLikelihoodWeighting:
+    def test_matches_exact_hard_observe(self, ex2):
+        r = LikelihoodWeighting(n_samples=8000, seed=1).infer(ex2)
+        exact = exact_inference(ex2).distribution
+        assert r.distribution().tv_distance(exact) < 0.03
+
+    def test_soft_conditioning_posterior_mean(self):
+        # Conjugate Gaussian: prior N(0,100), two obs at 2.5 and 3.5
+        # with unit variance -> posterior mean ~ 2.985.
+        p = parse(
+            """
+mu ~ Gaussian(0.0, 100.0);
+observe(Gaussian(mu, 1.0), 2.5);
+observe(Gaussian(mu, 1.0), 3.5);
+return mu;
+"""
+        )
+        r = LikelihoodWeighting(n_samples=60000, seed=2).infer(p)
+        assert abs(r.mean() - 2.985) < 0.35
+
+    def test_discrete_soft_weights(self):
+        p = parse(
+            """
+x ~ Bernoulli(0.5);
+pr = 0.1;
+if (x) { pr = 0.9; }
+observe(Bernoulli(pr), true);
+return x;
+"""
+        )
+        r = LikelihoodWeighting(n_samples=20000, seed=3).infer(p)
+        exact = exact_inference(p).distribution
+        assert abs(r.distribution().prob(True) - exact.prob(True)) < 0.02
+
+    def test_all_zero_weights_raise(self):
+        p = parse("x ~ Bernoulli(0.5); observe(x && !x); return x;")
+        with pytest.raises(InferenceError):
+            LikelihoodWeighting(n_samples=100, seed=0).infer(p)
+
+    def test_factor_weighting(self):
+        p = parse(
+            """
+x ~ Bernoulli(0.5);
+w = 0.0;
+if (x) { w = 1.0; }
+factor(w);
+return x;
+"""
+        )
+        r = LikelihoodWeighting(n_samples=20000, seed=4).infer(p)
+        expected = math.e / (1 + math.e)
+        assert abs(r.distribution().prob(True) - expected) < 0.02
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LikelihoodWeighting(n_samples=-1)

@@ -1,0 +1,53 @@
+"""Rejection sampler tests."""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.inference import RejectionSampler, UnsupportedProgramError
+from repro.inference.base import InferenceError
+from repro.semantics import exact_inference
+
+
+class TestRejection:
+    def test_matches_exact_on_example2(self, ex2):
+        r = RejectionSampler(n_samples=8000, seed=1).infer(ex2)
+        exact = exact_inference(ex2).distribution
+        assert r.distribution().tv_distance(exact) < 0.03
+
+    def test_acceptance_accounting(self, ex2):
+        r = RejectionSampler(n_samples=1000, seed=0).infer(ex2)
+        assert r.n_accepted == 1000
+        assert r.n_proposals >= 1000
+
+    def test_rejects_soft_conditioning(self):
+        p = parse("x ~ Gaussian(0.0, 1.0); observe(Gaussian(x, 1.0), 0.5); return x;")
+        with pytest.raises(UnsupportedProgramError):
+            RejectionSampler(10).infer(p)
+
+    def test_attempt_cap(self):
+        p = parse(
+            "x ~ Bernoulli(0.5); y ~ Bernoulli(0.5); observe(x && !x); return y;"
+        )
+        with pytest.raises(InferenceError):
+            RejectionSampler(n_samples=10, max_attempts=100).infer(p)
+
+    def test_nonterminating_runs_skipped(self, comparison):
+        r = RejectionSampler(
+            n_samples=500, seed=3
+        )
+        # comparison contains while(!x) skip; blocked forever for x=false.
+        from repro.semantics import ExecutorOptions
+
+        r.executor_options = ExecutorOptions(max_loop_iterations=100)
+        result = r.infer(comparison)
+        exact = exact_inference(comparison).distribution
+        assert result.distribution().tv_distance(exact) < 0.06
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RejectionSampler(n_samples=0)
+
+    def test_deterministic_given_seed(self, ex2):
+        a = RejectionSampler(n_samples=200, seed=7).infer(ex2)
+        b = RejectionSampler(n_samples=200, seed=7).infer(ex2)
+        assert a.samples == b.samples

@@ -1,0 +1,56 @@
+"""Church-like trace MH tests."""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.inference import ChurchTraceMH, UnsupportedProgramError
+from repro.semantics import exact_inference
+
+
+class TestChurchEngine:
+    def test_matches_exact(self, ex2):
+        r = ChurchTraceMH(n_samples=15000, burn_in=1000, seed=1).infer(ex2)
+        exact = exact_inference(ex2).distribution
+        assert r.distribution().tv_distance(exact) < 0.02
+
+    def test_global_moves_only_is_independence_sampler(self, ex2):
+        r = ChurchTraceMH(
+            n_samples=10000, burn_in=500, seed=2, global_move_prob=1.0
+        ).infer(ex2)
+        exact = exact_inference(ex2).distribution
+        assert r.distribution().tv_distance(exact) < 0.03
+
+    def test_gamma_unsupported(self):
+        # Figure 18: Church does not support the Gamma distribution.
+        p = parse("x ~ Gamma(2.0, 1.0); return x;")
+        with pytest.raises(UnsupportedProgramError):
+            ChurchTraceMH(10).infer(p)
+
+    def test_gamma_in_soft_observe_unsupported(self):
+        p = parse("x = 1.0; observe(Gamma(2.0, 1.0), x); return x;")
+        with pytest.raises(UnsupportedProgramError):
+            ChurchTraceMH(10).infer(p)
+
+    def test_overhead_multiplies_work(self, ex2):
+        lean = ChurchTraceMH(
+            n_samples=500, burn_in=0, seed=3, overhead=1, global_move_prob=0.0
+        ).infer(ex2)
+        heavy = ChurchTraceMH(
+            n_samples=500, burn_in=0, seed=3, overhead=3, global_move_prob=0.0
+        ).infer(ex2)
+        assert heavy.statements_executed > 2 * lean.statements_executed
+        # The chains themselves are identical: replay adds work only.
+        assert heavy.samples == lean.samples
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ChurchTraceMH(global_move_prob=1.5)
+        with pytest.raises(ValueError):
+            ChurchTraceMH(overhead=0)
+
+    def test_slower_than_r2_per_sample(self, ex4):
+        from repro.inference import MetropolisHastings
+
+        r2 = MetropolisHastings(n_samples=400, burn_in=0, seed=4).infer(ex4)
+        church = ChurchTraceMH(n_samples=400, burn_in=0, seed=4).infer(ex4)
+        assert church.statements_executed > r2.statements_executed

@@ -1,0 +1,112 @@
+"""End-to-end integration tests: the full public workflow — parse,
+slice, infer with several engines — agrees across the board."""
+
+import math
+
+import pytest
+
+from repro import (
+    ChurchTraceMH,
+    EnumerationEngine,
+    InferNetEngine,
+    LikelihoodWeighting,
+    MetropolisHastings,
+    RejectionSampler,
+    SMCSampler,
+    exact_inference,
+    parse,
+    pretty,
+    sli,
+)
+from repro.inference import GibbsSampler
+from repro.models import benchmark
+
+
+class TestAllEnginesAgree:
+    """Every engine lands on the same posterior for the burglar model,
+    on both the original and the sliced program."""
+
+    @pytest.fixture(scope="class")
+    def setting(self):
+        program = benchmark("BurglarAlarm").bench()
+        sliced = sli(program).sliced
+        exact = exact_inference(program).distribution
+        return program, sliced, exact
+
+    @pytest.mark.parametrize(
+        "make_engine",
+        [
+            lambda: RejectionSampler(6000, seed=11),
+            # The observation has ~0.6% prior mass, so likelihood
+            # weighting needs a large budget for a stable estimate.
+            lambda: LikelihoodWeighting(120000, seed=12),
+            lambda: MetropolisHastings(12000, burn_in=1000, seed=13),
+            lambda: ChurchTraceMH(12000, burn_in=1000, seed=14),
+            lambda: InferNetEngine(),
+            lambda: EnumerationEngine(),
+            lambda: GibbsSampler(12000, burn_in=500, seed=15),
+            lambda: SMCSampler(20000, seed=16),
+        ],
+        ids=["rejection", "lw", "r2", "church", "infernet", "enum", "gibbs", "smc"],
+    )
+    def test_engine_on_original_and_slice(self, setting, make_engine):
+        program, sliced, exact = setting
+        engine = make_engine()
+        # SMC degenerates on this model (every observation follows all
+        # the sampling — textbook weight collapse), so its effective
+        # sample count is ~ population * P(evidence); allow it more slack.
+        tolerance = 0.15 if isinstance(engine, SMCSampler) else 0.05
+        for target in (program, sliced):
+            result = make_engine().infer(target)
+            assert result.distribution().tv_distance(exact) < tolerance
+
+
+class TestSourceToSourceWorkflow:
+    def test_parse_slice_print_reparse_infer(self):
+        source = """
+        bool rain, sprinkler, wet, slippery;
+        rain ~ Bernoulli(0.2);
+        sprinkler ~ Bernoulli(0.5);
+        wet = rain || sprinkler;
+        if (wet) { slippery ~ Bernoulli(0.7); }
+        else     { slippery ~ Bernoulli(0.05); }
+        observe(slippery == true);
+        return rain;
+        """
+        program = parse(source)
+        result = sli(program)
+        round_tripped = parse(pretty(result.sliced))
+        exact = exact_inference(program).distribution
+        assert exact_inference(round_tripped).distribution.allclose(exact)
+        # Observing "slippery" must raise the rain posterior above prior.
+        assert exact.prob(True) > 0.2
+
+    def test_slicing_as_prepass_speeds_up_sampling_work(self):
+        spec = benchmark("HIV")
+        program = spec.bench()
+        sliced = sli(program).sliced
+        full = MetropolisHastings(300, burn_in=50, seed=2).infer(program)
+        cut = MetropolisHastings(300, burn_in=50, seed=2).infer(sliced)
+        assert cut.statements_executed < full.statements_executed
+        # Both estimate the same quantity.
+        assert math.isfinite(full.mean()) and math.isfinite(cut.mean())
+
+
+class TestContinuousAgreement:
+    def test_mh_and_ep_agree_on_linreg(self):
+        from repro.models import linreg_model
+
+        p = linreg_model(n_points=30, n_observed=30, seed=0)
+        ep = InferNetEngine().infer(p)
+        mh = MetropolisHastings(6000, burn_in=3000, seed=5).infer(p)
+        assert abs(ep.mean() - mh.mean()) < 0.4
+
+    def test_mh_and_ep_agree_on_trueskill(self):
+        from repro.models import chess_model
+
+        p = chess_model(n_players=6, n_games=15, n_divisions=2,
+                        n_returned=2, seed=1)
+        ep = InferNetEngine().infer(p)
+        mh = MetropolisHastings(4000, burn_in=3000, seed=6).infer(p)
+        # Means of the returned (summed) skills should roughly agree.
+        assert abs(ep.mean() - mh.mean()) < 6.0

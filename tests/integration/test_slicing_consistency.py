@@ -1,0 +1,83 @@
+"""Cross-cutting slicing consistency checks on the benchmark suite."""
+
+import pytest
+
+from repro.core.freevars import free_vars
+from repro.core.parser import parse
+from repro.core.printer import pretty
+from repro.core.validate import check_def_before_use, is_svf
+from repro.models import TABLE1
+from repro.semantics import exact_inference
+from repro.transforms import naive_slice, nt_slice, sli
+
+
+@pytest.fixture(params=TABLE1, ids=[s.name for s in TABLE1])
+def bench_program(request):
+    return request.param.bench()
+
+
+class TestSliceWellFormedness:
+    def test_slices_parse_and_validate(self, bench_program):
+        result = sli(bench_program)
+        round_tripped = parse(pretty(result.sliced))
+        assert round_tripped == result.sliced
+        check_def_before_use(result.sliced)
+
+    def test_slices_stay_in_svf(self, bench_program):
+        assert is_svf(sli(bench_program).sliced)
+
+    def test_slice_mentions_only_influencers(self, bench_program):
+        result = sli(bench_program)
+        assert free_vars(result.sliced) <= set(result.influencers)
+
+    def test_slice_ordering_dinf_sli_nt(self, bench_program):
+        # DINF ⊆ INF ⊆ (return ∪ observed cones): the three slicers
+        # are totally ordered by size.
+        naive = naive_slice(bench_program, use_obs=False)
+        full = sli(bench_program, use_obs=False)
+        nt = nt_slice(bench_program)
+        assert naive.sliced_size <= full.sliced_size <= nt.sliced_size
+
+    def test_reslicing_stable(self, bench_program):
+        # Re-slicing must not re-add probabilistic content, and any
+        # size growth is bounded by the relaxed-SSA merge renaming
+        # (one fresh alias per branch merge per pass — constant, not
+        # accelerating).
+        from repro.core.ast import Block, If, Sample, While
+
+        def n_samples(stmt):
+            if isinstance(stmt, Sample):
+                return 1
+            if isinstance(stmt, Block):
+                return sum(n_samples(s) for s in stmt.stmts)
+            if isinstance(stmt, If):
+                return n_samples(stmt.then_branch) + n_samples(stmt.else_branch)
+            if isinstance(stmt, While):
+                return n_samples(stmt.body)
+            return 0
+
+        once = sli(bench_program)
+        twice = sli(once.sliced)
+        thrice = sli(twice.sliced)
+        assert n_samples(twice.sliced.body) == n_samples(once.sliced.body)
+        assert n_samples(thrice.sliced.body) == n_samples(once.sliced.body)
+        growth_1 = twice.sliced_size - once.sliced_size
+        growth_2 = thrice.sliced_size - twice.sliced_size
+        assert growth_2 <= max(growth_1, 0)
+
+
+class TestSliceSemantics:
+    @pytest.mark.parametrize(
+        "spec", [s for s in TABLE1 if s.exact_ok], ids=lambda s: s.name
+    )
+    def test_exact_preservation_on_small_benchmarks(self, spec):
+        program = spec.bench()
+        base = exact_inference(program)
+        for variant in (
+            sli(program),
+            sli(program, use_obs=False),
+            sli(program, simplify=True),
+            nt_slice(program),
+        ):
+            res = exact_inference(variant.sliced)
+            assert base.distribution.allclose(res.distribution, atol=1e-9)

@@ -1,0 +1,61 @@
+"""Convergence curve tests (the Figure-19 machinery)."""
+
+import pytest
+
+from repro.inference import MetropolisHastings
+from repro.metrics import ConvergenceCurve, convergence_curve, geometric_checkpoints
+from repro.semantics import exact_inference
+
+
+class TestCheckpoints:
+    def test_geometric_spacing(self):
+        cps = geometric_checkpoints(10000, 10)
+        assert cps[0] == 10
+        assert cps[-1] == 10000
+        assert cps == sorted(set(cps))
+
+    def test_small_n(self):
+        assert geometric_checkpoints(5) == [5]
+        assert geometric_checkpoints(0) == []
+
+
+class TestCurve:
+    def test_curve_on_example2(self, ex2):
+        exact = exact_inference(ex2).distribution
+        engine = MetropolisHastings(n_samples=4000, burn_in=200, seed=0)
+        curve = convergence_curve(engine, ex2, exact, "original")
+        assert curve.label == "original"
+        assert curve.points
+        # KL after all samples is small.
+        assert curve.final_kl() < 0.01
+
+    def test_kl_at_lookup(self):
+        c = ConvergenceCurve("x", ((10, 0.5), (100, 0.1)))
+        assert c.kl_at(10) == 0.5
+        with pytest.raises(KeyError):
+            c.kl_at(11)
+
+    def test_final_kl_empty_curve(self):
+        with pytest.raises(ValueError):
+            ConvergenceCurve("x", ()).final_kl()
+
+    def test_original_and_sliced_both_converge(self, burglar):
+        # The Figure-19 setup in miniature; the faster-convergence
+        # *comparison* is noisy per-seed and lives in the benchmark
+        # (bench_fig19_convergence.py), which averages over chains.
+        from repro.transforms import sli
+
+        exact = exact_inference(burglar).distribution
+        sliced = sli(burglar).sliced
+        n = 6000
+        cps = [n]
+        orig_curve = convergence_curve(
+            MetropolisHastings(n, burn_in=500, seed=3), burglar, exact,
+            "original", cps,
+        )
+        sliced_curve = convergence_curve(
+            MetropolisHastings(n, burn_in=500, seed=3), sliced, exact,
+            "sliced", cps,
+        )
+        assert orig_curve.final_kl() < 0.02
+        assert sliced_curve.final_kl() < 0.02

@@ -1,0 +1,54 @@
+"""Divergence metric tests."""
+
+import math
+
+from repro.metrics import kl_divergence, running_kl, tv_distance
+from repro.semantics.distribution import FiniteDist
+
+
+class TestKL:
+    def test_zero_for_identical(self):
+        d = FiniteDist({1: 0.4, 2: 0.6})
+        assert kl_divergence(d, d, smoothing=0.0) == 0.0
+
+    def test_smoothing_avoids_infinity(self):
+        p = FiniteDist({1: 0.5, 2: 0.5})
+        q = FiniteDist({1: 1.0})
+        assert math.isfinite(kl_divergence(p, q))
+
+    def test_asymmetry(self):
+        p = FiniteDist({1: 0.9, 2: 0.1})
+        q = FiniteDist({1: 0.5, 2: 0.5})
+        assert kl_divergence(p, q, 0.0) != kl_divergence(q, p, 0.0)
+
+
+class TestTV:
+    def test_bounds(self):
+        p = FiniteDist({1: 1.0})
+        q = FiniteDist({2: 1.0})
+        assert tv_distance(p, q) == 1.0
+        assert tv_distance(p, p) == 0.0
+
+
+class TestRunningKL:
+    def test_monotone_checkpoints(self):
+        exact = FiniteDist({True: 0.5, False: 0.5})
+        samples = [True, False] * 500
+        curve = running_kl(samples, exact, [10, 100, 1000])
+        assert [n for n, _ in curve] == [10, 100, 1000]
+        # Perfectly alternating samples converge fast.
+        assert curve[-1][1] < 1e-6
+
+    def test_out_of_range_checkpoints_skipped(self):
+        exact = FiniteDist({True: 1.0})
+        curve = running_kl([True] * 10, exact, [5, 50])
+        assert [n for n, _ in curve] == [5]
+
+    def test_convergence_trend(self):
+        import random
+
+        rng = random.Random(0)
+        exact = FiniteDist({True: 0.3, False: 0.7})
+        samples = [rng.random() < 0.3 for _ in range(20000)]
+        curve = running_kl(samples, exact, [20, 20000])
+        assert curve[-1][1] < curve[0][1]

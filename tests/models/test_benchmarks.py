@@ -1,0 +1,181 @@
+"""Table-1 benchmark model tests: structure, sizes, and sliceability."""
+
+import math
+
+import pytest
+
+from repro.core.types import check_program
+from repro.core.validate import check_def_before_use
+from repro.inference import MetropolisHastings
+from repro.models import (
+    TABLE1,
+    benchmark,
+    benchmark_names,
+    burglar_alarm_model,
+    chess_model,
+    halo_model,
+    hiv_data,
+    hiv_model,
+    linreg_model,
+    noisy_or_model,
+    regression_data,
+    team_tournament_data,
+    tournament_data,
+)
+from repro.semantics import exact_inference
+from repro.transforms import sli
+
+from tests.conftest import assert_same_distribution
+
+
+class TestRegistry:
+    def test_eight_table1_rows(self):
+        assert len(TABLE1) == 8
+        assert benchmark_names()[0] == "Ex3"
+
+    def test_lookup(self):
+        assert benchmark("Chess").name == "Chess"
+        with pytest.raises(KeyError):
+            benchmark("Go")
+
+    def test_church_skips_blr(self):
+        spec = benchmark("BayesianLinearRegression")
+        assert "church" not in spec.engines
+
+    def test_bench_programs_wellformed_and_typed(self):
+        for spec in TABLE1:
+            p = spec.bench()
+            check_def_before_use(p)
+            check_program(p)
+
+    def test_every_bench_program_slices_nontrivially(self):
+        for spec in TABLE1:
+            r = sli(spec.bench())
+            assert r.sliced_size < r.transformed_size, spec.name
+
+    def test_paper_scale_sizes(self):
+        # Paper-stated scales produce programs of the expected order.
+        chess = benchmark("Chess").paper()
+        from repro.core.ast import statement_count
+
+        # 77 skills + 2 perfs + 1 observe per game (2926 games).
+        assert statement_count(chess.body) == 77 + 3 * 2926
+
+
+class TestDatasets:
+    def test_regression_data_reproducible(self):
+        a = regression_data(50, seed=3)
+        b = regression_data(50, seed=3)
+        assert a == b
+
+    def test_hiv_data_shape(self):
+        data = hiv_data(10, 45, seed=0)
+        assert len(data.measurements) == 45
+        persons = {p for p, _, _ in data.measurements}
+        assert persons == set(range(10))  # round-robin covers everyone
+
+    def test_tournament_division_structure(self):
+        t = tournament_data(n_players=12, n_games=60, n_divisions=3, seed=1)
+        for winner, loser in t.games:
+            assert t.division_of(winner) == t.division_of(loser)
+
+    def test_team_tournament_rosters(self):
+        t = team_tournament_data(n_teams=6, max_players_per_team=4, n_games=12,
+                                 n_groups=2, seed=1)
+        assert len(t.rosters) == 6
+        assert all(2 <= len(r) <= 4 for r in t.rosters)
+        for winner, loser in t.games:
+            assert t.group_of(winner) == t.group_of(loser)
+
+
+class TestBurglar:
+    def test_side_story_sliced_away(self):
+        p = burglar_alarm_model()
+        kept = str(sli(p).sliced.body)
+        for irrelevant in ("dogBarks", "icecreamTruck", "trafficJam"):
+            assert irrelevant not in kept
+
+    def test_slice_preserves_posterior(self):
+        p = burglar_alarm_model()
+        assert_same_distribution(p, sli(p).sliced)
+
+    def test_observing_alarm_raises_wakeup_probability(self):
+        p = burglar_alarm_model()
+        posterior = exact_inference(p).distribution
+        assert posterior.prob(True) > 0.5
+
+
+class TestNoisyOr:
+    def test_region_b_sliced_when_returning_region_a(self):
+        p = noisy_or_model(n_layers=3, width=3, seed=0)
+        kept = str(sli(p).sliced.body)
+        assert "Bn" not in kept  # region-B nodes all pruned
+
+    def test_slice_preserves_posterior_small(self):
+        p = noisy_or_model(n_layers=2, width=2, seed=2)
+        assert_same_distribution(p, sli(p).sliced)
+
+
+class TestLinReg:
+    def test_unobserved_points_sliced(self):
+        p = linreg_model(n_points=30, n_observed=5, seed=0)
+        r = sli(p)
+        # 25 latent points removed: y5..y29.
+        assert "y29" not in str(r.sliced.body)
+        assert r.transformed_size - r.sliced_size >= 25
+
+    def test_mh_recovers_slope(self):
+        p = linreg_model(n_points=30, n_observed=30, seed=0)
+        r = MetropolisHastings(4000, burn_in=2000, seed=1).infer(p)
+        assert abs(r.mean() - 2.0) < 0.5
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            linreg_model(n_points=10, n_observed=11)
+
+
+class TestHIV:
+    def test_other_persons_sliced(self):
+        p = hiv_model(n_persons=8, n_measurements=32, n_returned=2, seed=0)
+        r = sli(p)
+        body = str(r.sliced.body)
+        assert "a7" not in body  # person 7 not returned -> pruned
+        assert "a0" in body and "a1" in body
+
+    def test_slice_keeps_returned_persons_measurements(self):
+        data = hiv_data(4, 12, seed=0)
+        p = hiv_model(4, 12, n_returned=1, seed=0, data=data)
+        r = sli(p)
+        n_kept_obs = str(r.sliced.body).count("observe")
+        n_person0 = sum(1 for pp, _, _ in data.measurements if pp == 0)
+        assert n_kept_obs == n_person0
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            hiv_model(n_persons=4, n_returned=5)
+
+
+class TestTrueSkill:
+    def test_chess_other_divisions_sliced(self):
+        p = chess_model(n_players=12, n_games=36, n_divisions=3, n_returned=2, seed=0)
+        r = sli(p)
+        body = str(r.sliced.body)
+        # Division-0 players are 0, 3, 6, 9; division-1 player 1 pruned.
+        assert "skill0" in body
+        assert "skill1 " not in body + " "
+
+    def test_chess_reduction_scales_with_divisions(self):
+        few = sli(chess_model(12, 40, n_divisions=2, seed=0))
+        many = sli(chess_model(12, 40, n_divisions=4, seed=0))
+        assert many.reduction > few.reduction
+
+    def test_halo_builds_and_slices(self):
+        p = halo_model(n_teams=6, max_players_per_team=3, n_games=10,
+                       n_groups=3, seed=0)
+        r = sli(p)
+        assert 0 < r.sliced_size < r.transformed_size
+
+    def test_halo_team_performance_is_sum(self):
+        p = halo_model(n_teams=4, max_players_per_team=2, n_games=4,
+                       n_groups=2, seed=0)
+        assert "teamPerf" in str(p.body)

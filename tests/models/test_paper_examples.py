@@ -1,0 +1,93 @@
+"""Semantic checks on the paper's running examples (Sections 1-2)."""
+
+import math
+
+import pytest
+
+from repro.semantics import exact_inference
+from repro.transforms import naive_slice, nt_slice, sli
+
+from tests.conftest import assert_same_distribution
+
+
+class TestExample1And2:
+    def test_example1_distribution(self, ex1):
+        d = exact_inference(ex1).distribution
+        assert math.isclose(d.prob(0), 0.25)
+        assert math.isclose(d.prob(1), 0.50)
+        assert math.isclose(d.prob(2), 0.25)
+
+    def test_example2_paper_numbers(self, ex2):
+        # "Pr(c1=false,c2=false) = 0, others 1/3 each" => count: 1 w.p.
+        # 2/3, 2 w.p. 1/3.
+        d = exact_inference(ex2).distribution
+        assert math.isclose(d.prob(0), 0.0)
+        assert math.isclose(d.prob(1), 2 / 3)
+        assert math.isclose(d.prob(2), 1 / 3)
+
+
+class TestExample3:
+    def test_usual_slicing_suffices(self, ex3):
+        # The naive (control+data) slice is already correct here.
+        r = naive_slice(ex3)
+        assert_same_distribution(ex3, r.sliced)
+
+    def test_prior_s_marginal(self, ex3):
+        d = exact_inference(ex3).distribution
+        assert math.isclose(d.prob(True), 0.7 * 0.95 + 0.3 * 0.2)
+
+
+class TestExample4:
+    def test_posterior_shifts_under_observation(self, ex3, ex4):
+        prior = exact_inference(ex3).distribution
+        posterior = exact_inference(ex4).distribution
+        assert posterior.prob(True) != pytest.approx(prior.prob(True))
+
+    def test_naive_slice_wrong_sli_right(self, ex4):
+        exact = exact_inference(ex4).distribution
+        wrong = exact_inference(naive_slice(ex4).sliced).distribution
+        right = exact_inference(sli(ex4).sliced).distribution
+        assert not exact.allclose(wrong, atol=1e-6)
+        assert exact.allclose(right, atol=1e-9)
+
+    def test_naive_slice_much_smaller(self, ex4):
+        # The whole point: the correct slice is (nearly) the whole
+        # program; the naive one is tiny and wrong.
+        assert naive_slice(ex4).sliced_size < sli(ex4).sliced_size / 2
+
+
+class TestExample5:
+    def test_obs_enables_small_slice(self, ex5):
+        small = sli(ex5)
+        large = sli(ex5, use_obs=False)
+        assert small.sliced_size < large.sliced_size
+        assert_same_distribution(ex5, small.sliced)
+        assert_same_distribution(ex5, large.sliced)
+
+    def test_final_slice_is_bernoulli_01(self, ex5):
+        r = sli(ex5, simplify=True)
+        d = exact_inference(r.sliced).distribution
+        assert math.isclose(d.prob(True), 0.1)
+
+
+class TestExample6:
+    def test_return_x_posterior(self, ex6):
+        d = exact_inference(ex6).distribution
+        assert math.isclose(d.prob(False), 2 / 3, rel_tol=1e-9)
+
+    def test_slice_keeps_loop_for_x(self, ex6):
+        assert "while" in str(sli(ex6).sliced.body)
+
+    def test_slice_drops_loop_for_b(self, ex6_b):
+        r = sli(ex6_b)
+        assert "while" not in str(r.sliced.body)
+        assert_same_distribution(ex6_b, r.sliced)
+
+
+class TestComparisonProgram:
+    def test_sli_beats_nt_slicing(self, comparison):
+        assert sli(comparison).sliced_size < nt_slice(comparison).sliced_size
+
+    def test_both_correct(self, comparison):
+        assert_same_distribution(comparison, sli(comparison).sliced)
+        assert_same_distribution(comparison, nt_slice(comparison).sliced)

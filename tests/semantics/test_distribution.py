@@ -1,0 +1,97 @@
+"""FiniteDist tests."""
+
+import math
+
+import pytest
+
+from repro.semantics.distribution import FiniteDist
+
+
+class TestConstruction:
+    def test_normalizes(self):
+        d = FiniteDist({1: 2.0, 2: 2.0})
+        assert d.prob(1) == 0.5
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteDist({1: 0.0})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteDist({1: -1.0, 2: 2.0})
+
+    def test_zero_weights_dropped(self):
+        d = FiniteDist({1: 1.0, 2: 0.0})
+        assert d.support() == (1,)
+
+    def test_from_samples(self):
+        d = FiniteDist.from_samples([1, 1, 2, 2])
+        assert d.prob(1) == 0.5
+
+    def test_from_weighted_samples_merges(self):
+        d = FiniteDist.from_weighted_samples([(1, 1.0), (1, 1.0), (2, 2.0)])
+        assert d.prob(1) == 0.5
+
+    def test_point(self):
+        assert FiniteDist.point(True).prob(True) == 1.0
+
+
+class TestQueries:
+    def test_expectation_variance(self):
+        d = FiniteDist({0: 0.5, 2: 0.5})
+        assert d.expectation() == 1.0
+        assert d.variance() == 1.0
+
+    def test_bool_expectation(self):
+        d = FiniteDist({True: 0.25, False: 0.75})
+        assert d.expectation() == 0.25
+
+    def test_mode(self):
+        d = FiniteDist({1: 0.2, 2: 0.5, 3: 0.3})
+        assert d.mode() == 2
+
+    def test_support_sorted(self):
+        d = FiniteDist({3: 0.3, 1: 0.3, 2: 0.4})
+        assert d.support() == (1, 2, 3)
+
+    def test_len_iter(self):
+        d = FiniteDist({1: 0.5, 2: 0.5})
+        assert len(d) == 2
+        assert list(d) == [1, 2]
+
+    def test_equality(self):
+        assert FiniteDist({1: 1.0}) == FiniteDist({1: 2.0})
+        assert FiniteDist({1: 1.0}) != FiniteDist({2: 1.0})
+
+
+class TestDistances:
+    def test_kl_zero_for_identical(self):
+        d = FiniteDist({1: 0.3, 2: 0.7})
+        assert d.kl_from(d) == 0.0
+
+    def test_kl_infinite_without_smoothing(self):
+        p = FiniteDist({1: 1.0})
+        q = FiniteDist({2: 1.0})
+        assert math.isinf(p.kl_from(q))
+
+    def test_kl_finite_with_smoothing(self):
+        p = FiniteDist({1: 1.0})
+        q = FiniteDist({2: 1.0})
+        assert math.isfinite(p.kl_from(q, smoothing=1e-3))
+
+    def test_kl_formula(self):
+        p = FiniteDist({1: 0.5, 2: 0.5})
+        q = FiniteDist({1: 0.25, 2: 0.75})
+        expected = 0.5 * math.log(2.0) + 0.5 * math.log(0.5 / 0.75)
+        assert math.isclose(p.kl_from(q), expected)
+
+    def test_tv(self):
+        p = FiniteDist({1: 0.5, 2: 0.5})
+        q = FiniteDist({1: 0.25, 2: 0.75})
+        assert math.isclose(p.tv_distance(q), 0.25)
+
+    def test_allclose(self):
+        p = FiniteDist({1: 0.5, 2: 0.5})
+        q = FiniteDist({1: 0.5 + 1e-12, 2: 0.5 - 1e-12})
+        assert p.allclose(q)
+        assert not p.allclose(FiniteDist({1: 0.6, 2: 0.4}))

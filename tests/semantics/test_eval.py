@@ -1,0 +1,68 @@
+"""Expression evaluation tests."""
+
+import pytest
+
+from repro.core.parser import parse_expr
+from repro.semantics.values import EvalError, default_value, eval_expr
+
+
+class TestEval:
+    def test_arith(self):
+        assert eval_expr(parse_expr("1 + 2 * 3"), {}) == 7
+        assert eval_expr(parse_expr("7 % 3"), {}) == 1
+        assert eval_expr(parse_expr("7 / 2"), {}) == 3.5
+
+    def test_variables(self):
+        assert eval_expr(parse_expr("x + y"), {"x": 1, "y": 2}) == 3
+
+    def test_unknown_variable(self):
+        with pytest.raises(EvalError):
+            eval_expr(parse_expr("missing"), {})
+
+    def test_boolean_short_circuit_and(self):
+        # The right side would fail on a type error if evaluated.
+        assert eval_expr(parse_expr("false && missing"), {}) is False
+
+    def test_boolean_short_circuit_or(self):
+        assert eval_expr(parse_expr("true || missing"), {}) is True
+
+    def test_comparisons(self):
+        env = {"x": 2}
+        assert eval_expr(parse_expr("x < 3"), env) is True
+        assert eval_expr(parse_expr("x >= 3"), env) is False
+        assert eval_expr(parse_expr("x == 2"), env) is True
+        assert eval_expr(parse_expr("x != 2"), env) is False
+
+    def test_negation(self):
+        assert eval_expr(parse_expr("-x"), {"x": 4}) == -4
+        assert eval_expr(parse_expr("!x"), {"x": False}) is True
+
+    def test_not_requires_bool(self):
+        with pytest.raises(EvalError):
+            eval_expr(parse_expr("!x"), {"x": 1})
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError):
+            eval_expr(parse_expr("1 / x"), {"x": 0})
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(EvalError):
+            eval_expr(parse_expr("1 % x"), {"x": 0})
+
+    def test_bools_as_numbers_in_arith(self):
+        assert eval_expr(parse_expr("x + 1"), {"x": True}) == 2
+
+    def test_and_requires_bools(self):
+        with pytest.raises(EvalError):
+            eval_expr(parse_expr("x && true"), {"x": 1})
+
+
+class TestDefaults:
+    def test_defaults(self):
+        assert default_value("bool") is False
+        assert default_value("int") == 0
+        assert default_value("float") == 0.0
+
+    def test_unknown_type(self):
+        with pytest.raises(EvalError):
+            default_value("string")

@@ -1,0 +1,172 @@
+"""Exact denotational semantics tests (Figure 8)."""
+
+import math
+
+import pytest
+
+from repro.core.parser import parse
+from repro.semantics.exact import (
+    ExactEngineError,
+    ExactOptions,
+    exact_inference,
+)
+
+
+class TestBasics:
+    def test_example1_uniform_pairs(self, ex1):
+        d = exact_inference(ex1).distribution
+        assert math.isclose(d.prob(0), 0.25)
+        assert math.isclose(d.prob(1), 0.5)
+        assert math.isclose(d.prob(2), 0.25)
+
+    def test_example2_conditioning(self, ex2):
+        # Paper: Pr(count=1) = 2/3, Pr(count=2) = 1/3 after observe.
+        res = exact_inference(ex2)
+        assert math.isclose(res.distribution.prob(1), 2 / 3)
+        assert math.isclose(res.distribution.prob(2), 1 / 3)
+        assert math.isclose(res.normalizer, 0.75)
+
+    def test_deterministic_program(self):
+        d = exact_inference(parse("x = 1; y = x + 1; return y;")).distribution
+        assert d.prob(2) == 1.0
+
+    def test_declaration_defaults(self):
+        d = exact_inference(parse("bool b; int n; return n;")).distribution
+        assert d.prob(0) == 1.0
+
+    def test_if_partitioning(self):
+        p = parse(
+            "c ~ Bernoulli(0.25); if (c) { x = 1; } else { x = 2; } return x;"
+        )
+        d = exact_inference(p).distribution
+        assert math.isclose(d.prob(1), 0.25)
+
+    def test_state_merging_keeps_space_small(self):
+        # 20 coins summed: without merging this would be 2^20 states.
+        lines = ["int total;", "total = 0;"]
+        for i in range(20):
+            lines.append(f"c{i} ~ Bernoulli(0.5);")
+            lines.append(f"if (c{i}) {{ total = total + 1; c{i} = false; }}")
+            lines.append(f"c{i} = false;")
+        lines.append("return total;")
+        d = exact_inference(parse("\n".join(lines))).distribution
+        assert math.isclose(d.prob(10), math.comb(20, 10) / 2**20)
+
+    def test_blocking_everything_raises(self):
+        p = parse("x ~ Bernoulli(0.5); observe(x && !x); return x;")
+        with pytest.raises(ValueError):
+            exact_inference(p)
+
+
+class TestSoftConditioning:
+    def test_observe_sample_weights(self):
+        # x ~ Bernoulli(0.5); observe a Bernoulli(0.9 if x else 0.1) came
+        # up true: posterior odds 9:1.
+        p = parse(
+            """
+x ~ Bernoulli(0.5);
+p = 0.1;
+if (x) { p = 0.9; }
+observe(Bernoulli(p), true);
+return x;
+"""
+        )
+        d = exact_inference(p).distribution
+        assert math.isclose(d.prob(True), 0.9)
+
+    def test_factor_reweights(self):
+        p = parse(
+            """
+x ~ Bernoulli(0.5);
+w = 0.0;
+if (x) { w = 1.0; }
+factor(w);
+return x;
+"""
+        )
+        d = exact_inference(p).distribution
+        expected = math.e / (1 + math.e)
+        assert math.isclose(d.prob(True), expected)
+
+
+class TestLoops:
+    def test_geometric_loop(self):
+        # Count failures before first success: Geometric(0.5).
+        p = parse(
+            """
+int n;
+n = 0;
+c ~ Bernoulli(0.5);
+while (c) {
+  n = n + 1;
+  c ~ Bernoulli(0.5);
+}
+return n;
+"""
+        )
+        d = exact_inference(p).distribution
+        assert math.isclose(d.prob(0), 0.5)
+        assert math.isclose(d.prob(3), 0.0625)
+
+    def test_example6_matches_hand_computation(self, ex6):
+        # P(x=false | b=false) = 2/3 (toggling parity argument).
+        res = exact_inference(ex6)
+        assert math.isclose(res.distribution.prob(False), 2 / 3, rel_tol=1e-9)
+        assert math.isclose(res.normalizer, 0.5, rel_tol=1e-9)
+
+    def test_observe_as_while_loop(self, comparison):
+        # while (!x) skip  ==  observe(x): mass of non-terminating runs
+        # is dropped, the output is Bernoulli(0.6) regardless.
+        res = exact_inference(comparison)
+        assert math.isclose(res.distribution.prob(True), 0.6)
+        assert math.isclose(res.normalizer, 0.5, rel_tol=1e-9)
+
+    def test_infinite_deterministic_loop_has_zero_mass(self):
+        # The fixpoint detector classifies the run as non-terminating;
+        # with no terminating mass at all, normalization fails.
+        p = parse("b = true; while (b) { skip; } return b;")
+        with pytest.raises(ValueError):
+            exact_inference(p, ExactOptions(max_loop_iterations=50))
+
+    def test_partial_nontermination_dropped(self):
+        # Half the runs diverge; the other half return x = true.
+        p = parse("x ~ Bernoulli(0.5); while (!x) { skip; } return x;")
+        res = exact_inference(p)
+        assert res.distribution.prob(True) == 1.0
+        assert math.isclose(res.normalizer, 0.5)
+
+    def test_loop_mass_tolerance_drops_tail(self):
+        p = parse(
+            """
+c ~ Bernoulli(0.5);
+while (c) { c ~ Bernoulli(0.5); }
+return c;
+"""
+        )
+        res = exact_inference(p, ExactOptions(loop_mass_tol=1e-6))
+        assert res.distribution.prob(False) == 1.0
+
+
+class TestLimits:
+    def test_continuous_rejected(self):
+        p = parse("x ~ Gaussian(0.0, 1.0); return x;")
+        with pytest.raises(ExactEngineError):
+            exact_inference(p)
+
+    def test_max_states_guard(self):
+        lines = []
+        for i in range(8):
+            lines.append(f"n{i} ~ DiscreteUniform(0, 9);")
+        lines.append(
+            "return "
+            + " + ".join(f"n{i} * {10**i}" for i in range(8))
+            + ";"
+        )
+        with pytest.raises(ExactEngineError):
+            exact_inference(parse("\n".join(lines)), ExactOptions(max_states=1000))
+
+    def test_poisson_enumerated_with_tolerance(self):
+        p = parse("k ~ Poisson(1.0); observe(k < 3); return k;")
+        d = exact_inference(p).distribution
+        weights = [math.exp(-1) / math.factorial(k) for k in range(3)]
+        assert math.isclose(d.prob(0), weights[0] / sum(weights), rel_tol=1e-6)

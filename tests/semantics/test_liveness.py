@@ -1,0 +1,88 @@
+"""Liveness analysis tests, plus the pruned-vs-unpruned exact engine
+equivalence property."""
+
+from hypothesis import HealthCheck, assume, given, settings
+
+from repro.core.parser import parse, parse_statement
+from repro.semantics.exact import ExactOptions, exact_inference
+from repro.semantics.liveness import live_in
+
+from tests.strategies import programs
+
+
+def _live(src: str, out: set) -> set:
+    return set(live_in(parse_statement(src), frozenset(out)))
+
+
+class TestLiveIn:
+    def test_assignment_kills_target_gens_reads(self):
+        assert _live("x = y + z;", {"x"}) == {"y", "z"}
+
+    def test_dead_assignment_rhs_still_counted(self):
+        # The engine still evaluates dead right-hand sides.
+        assert _live("x = y;", set()) == {"y"}
+
+    def test_sequential_chaining(self):
+        assert _live("x = y; z = x;", {"z"}) == {"y"}
+
+    def test_redefinition_blocks_earlier_liveness(self):
+        assert _live("x = 1; x = y;", {"x"}) == {"y"}
+
+    def test_observe_generates(self):
+        assert _live("observe(a || b);", set()) == {"a", "b"}
+
+    def test_if_joins_branches(self):
+        assert _live(
+            "if (c) { x = a; } else { x = b; }", {"x"}
+        ) == {"a", "b", "c"}
+
+    def test_declaration_kills(self):
+        assert _live("bool x;", {"x", "y"}) == {"y"}
+
+    def test_sample_parameters_live(self):
+        assert _live("x ~ Bernoulli(p);", {"x"}) == {"p"}
+
+    def test_while_fixpoint(self):
+        # b is both read and written across iterations: stays live.
+        live = _live(
+            "while (c) { b = !b; c ~ Bernoulli(0.5); }", {"b"}
+        )
+        assert live == {"b", "c"}
+
+    def test_loop_carried_dependence(self):
+        live = _live(
+            "while (c) { x = y; y = x; c ~ Bernoulli(0.5); }", {"x"}
+        )
+        assert "y" in live
+
+    def test_soft_conditioning_generates(self):
+        assert _live("observe(Gaussian(mu, 1.0), y);", set()) == {"mu", "y"}
+        assert _live("factor(w);", set()) == {"w"}
+
+
+class TestPruningEquivalence:
+    @given(programs())
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+    )
+    def test_pruned_matches_unpruned(self, program):
+        try:
+            pruned = exact_inference(program, ExactOptions(prune_dead=True))
+            full = exact_inference(program, ExactOptions(prune_dead=False))
+        except ValueError:
+            assume(False)
+        assert pruned.distribution.allclose(full.distribution, atol=1e-12)
+        assert abs(pruned.normalizer - full.normalizer) < 1e-12
+
+    def test_pruning_shrinks_state_space(self):
+        # 24 coins, each summed then forgotten: pruned version flies.
+        lines = ["int total;", "total = 0;"]
+        for i in range(24):
+            lines.append(f"c{i} ~ Bernoulli(0.5);")
+            lines.append(f"if (c{i}) {{ total = total + 1; }}")
+        lines.append("return total;")
+        program = parse("\n".join(lines))
+        result = exact_inference(program)  # would need 2^24 states unpruned
+        assert abs(result.distribution.expectation() - 12.0) < 1e-9

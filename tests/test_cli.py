@@ -1,0 +1,116 @@
+"""CLI tests for ``prob-slice``."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    path = tmp_path / "model.prob"
+    path.write_text(
+        """
+d ~ Bernoulli(0.6);
+i ~ Bernoulli(0.7);
+if (!i && !d) { g ~ Bernoulli(0.3); }
+else { g ~ Bernoulli(0.5); }
+observe(g == false);
+if (!g) { l ~ Bernoulli(0.1); }
+else    { l ~ Bernoulli(0.4); }
+return l;
+"""
+    )
+    return str(path)
+
+
+class TestCLI:
+    def test_basic_slice(self, model_file, capsys):
+        assert main([model_file]) == 0
+        out = capsys.readouterr().out
+        assert "return l;" in out
+
+    def test_stats(self, model_file, capsys):
+        assert main([model_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "influencers:" in out
+        assert "statements:" in out
+
+    def test_show_pre(self, model_file, capsys):
+        assert main([model_file, "--show-pre"]) == 0
+        out = capsys.readouterr().out
+        assert "after OBS; SVF; SSA" in out
+
+    def test_simplify(self, model_file, capsys):
+        assert main([model_file, "--simplify"]) == 0
+        out = capsys.readouterr().out
+        assert "observe" not in out
+
+    def test_exact(self, model_file, capsys):
+        assert main([model_file, "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "agree: True" in out
+
+    def test_no_obs_flag(self, model_file, capsys):
+        assert main([model_file, "--no-obs", "--stats"]) == 0
+        with_obs = capsys.readouterr().out
+        assert "removed" in with_obs
+
+    def test_stdin(self, model_file, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("x ~ Bernoulli(0.5); return x;")
+        )
+        assert main(["-"]) == 0
+        assert "Bernoulli(0.5)" in capsys.readouterr().out
+
+    def test_syntax_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.prob"
+        bad.write_text("x = ;")
+        assert main([str(bad)]) == 1
+        assert "syntax error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/path.prob"]) == 2
+
+    def test_exact_unavailable_for_continuous(self, tmp_path, capsys):
+        path = tmp_path / "c.prob"
+        path.write_text("x ~ Gaussian(0.0, 1.0); return x;")
+        assert main([str(path), "--exact"]) == 0
+        assert "unavailable" in capsys.readouterr().err
+
+
+class TestShippedModels:
+    """The .prob files under examples/models slice cleanly."""
+
+    @pytest.fixture
+    def models_dir(self):
+        import pathlib
+
+        path = pathlib.Path(__file__).parent.parent / "examples" / "models"
+        if not path.exists():
+            pytest.skip("examples/models not present")
+        return path
+
+    def test_all_models_slice_and_agree(self, models_dir, capsys):
+        files = sorted(models_dir.glob("*.prob"))
+        assert len(files) >= 3
+        for f in files:
+            assert main([str(f), "--exact"]) == 0
+            out = capsys.readouterr().out
+            assert "agree: True" in out
+
+    def test_student_model_keeps_observation(self, models_dir, capsys):
+        assert main([str(models_dir / "student.prob")]) == 0
+        out = capsys.readouterr().out
+        assert "observe(q6);" in out  # the SVF variable for l == true
+
+    def test_explain_flag(self, models_dir, capsys):
+        assert main([str(models_dir / "student.prob"), "--explain", "d"]) == 0
+        out = capsys.readouterr().out
+        assert "activated by observing" in out
+
+    def test_dot_flag(self, models_dir, capsys):
+        assert main([str(models_dir / "student.prob"), "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")

@@ -1,0 +1,197 @@
+"""Constant propagation tests."""
+
+from repro.core.ast import Const, Observe, Skip, While
+from repro.core.parser import parse, parse_expr
+from repro.transforms.constprop import const_prop, fold_expr
+
+from tests.conftest import assert_same_distribution
+
+
+class TestFoldExpr:
+    def test_constant_arithmetic(self):
+        assert fold_expr(parse_expr("1 + 2 * 3"), {}) == Const(7)
+
+    def test_env_substitution(self):
+        assert fold_expr(parse_expr("x + 1"), {"x": 2}) == Const(3)
+
+    def test_partial_fold(self):
+        e = fold_expr(parse_expr("x + (1 + 2)"), {})
+        assert e == parse_expr("x + 3")
+
+    def test_short_circuit_and_false(self):
+        assert fold_expr(parse_expr("false && unknown"), {}) == Const(False)
+
+    def test_short_circuit_or_true(self):
+        assert fold_expr(parse_expr("unknown || true"), {}) == Const(True)
+
+    def test_identity_elimination(self):
+        assert fold_expr(parse_expr("true && x"), {}) == parse_expr("x")
+        assert fold_expr(parse_expr("x || false"), {}) == parse_expr("x")
+
+    def test_division_by_zero_left_unfolded(self):
+        e = fold_expr(parse_expr("1 / 0"), {})
+        assert e == parse_expr("1 / 0")
+
+    def test_not_folding(self):
+        assert fold_expr(parse_expr("!true"), {}) == Const(False)
+
+
+class TestConstProp:
+    def test_constant_condition_inlines_branch(self):
+        p = parse("g = false; if (!g) { l = 1; } else { l = 2; } return l;")
+        out = const_prop(p)
+        assert "if" not in str(out.body)
+        assert out.ret == Const(1)
+
+    def test_observe_true_removed(self):
+        p = parse("x = true; observe(x); y ~ Bernoulli(0.5); return y;")
+        out = const_prop(p)
+        assert "observe" not in str(out.body)
+
+    def test_observe_false_kept(self):
+        p = parse("x = false; observe(x); y ~ Bernoulli(0.5); return y;")
+        out = const_prop(p)
+        assert Observe(Const(False)) in list(out.body.stmts)
+
+    def test_factor_zero_removed(self):
+        p = parse("factor(0.0); x ~ Bernoulli(0.5); return x;")
+        out = const_prop(p)
+        assert "factor" not in str(out.body)
+
+    def test_while_false_removed(self):
+        p = parse("c = false; while (c) { c = true; } return c;")
+        out = const_prop(p)
+        assert "while" not in str(out.body)
+
+    def test_loop_killed_facts_not_propagated(self):
+        p = parse(
+            """
+x = 1;
+c ~ Bernoulli(0.5);
+while (c) { x = 2; c ~ Bernoulli(0.5); }
+return x;
+"""
+        )
+        out = const_prop(p)
+        # x is not constant after the loop.
+        assert out.ret == parse_expr("x")
+
+    def test_sample_invalidates(self):
+        p = parse("x = 1; x ~ DiscreteUniform(0, 1); y = x + 1; return y;")
+        out = const_prop(p)
+        assert "x + 1" in str(out.body)
+
+    def test_branch_join_keeps_agreeing_constants(self):
+        p = parse(
+            """
+c ~ Bernoulli(0.5);
+if (c) { x = 1; y = 1; } else { x = 1; y = 2; }
+return x + y;
+"""
+        )
+        out = const_prop(p)
+        # x agrees on both branches (1); y does not.
+        assert "1 + y" in str(out.ret)
+
+    def test_semantics_preserved(self, ex2, ex4, ex5, ex6, burglar):
+        for p in (ex2, ex4, ex5, ex6, burglar):
+            assert_same_distribution(p, const_prop(p))
+
+
+class TestCopyProp:
+    def test_simple_alias_substituted(self):
+        from repro.transforms import copy_prop
+
+        p = parse("a ~ Bernoulli(0.5); b = a; c = b || b; return c;")
+        out = copy_prop(p)
+        assert "a || a" in str(out.body)
+
+    def test_alias_chain_resolved(self):
+        from repro.transforms import copy_prop
+
+        p = parse("a = 1; b = a; c = b; d = c + 1; return d;")
+        out = copy_prop(p)
+        assert "a + 1" in str(out.body)
+
+    def test_copy_killed_by_source_reassignment(self):
+        from repro.transforms import copy_prop
+
+        p = parse("a = 1; b = a; a = 2; c = b; return c;")
+        out = copy_prop(p)
+        # b may not be replaced by a after a changed.
+        assert "c = b" in str(out.body)
+
+    def test_copy_killed_by_target_reassignment(self):
+        from repro.transforms import copy_prop
+
+        p = parse("a = 1; b = a; b = 5; c = b; return c;")
+        out = copy_prop(p)
+        assert "c = b" in str(out.body)
+
+    def test_branch_join_conservative(self):
+        from repro.transforms import copy_prop
+
+        p = parse(
+            """
+a = 1;
+x ~ Bernoulli(0.5);
+if (x) { b = a; } else { b = 2; }
+c = b;
+return c;
+"""
+        )
+        out = copy_prop(p)
+        assert "c = b" in str(out.body)
+
+    def test_return_expression_substituted(self):
+        from repro.transforms import copy_prop
+
+        p = parse("a = 1; b = a; return b;")
+        assert copy_prop(p).ret == parse_expr("a")
+
+    def test_loop_body_invalidation(self):
+        from repro.transforms import copy_prop
+
+        p = parse(
+            """
+a = 1;
+b = a;
+c ~ Bernoulli(0.5);
+while (c) { a = a + 1; c ~ Bernoulli(0.5); }
+d = b;
+return d;
+"""
+        )
+        out = copy_prop(p)
+        assert "d = b" in str(out.body)
+
+    def test_semantics_preserved(self, ex2, ex4, ex5, ex6, burglar):
+        from repro.transforms import copy_prop
+
+        for p in (ex2, ex4, ex5, ex6, burglar):
+            assert_same_distribution(p, copy_prop(p))
+
+    def test_property_random_programs(self):
+        from hypothesis import HealthCheck, assume, given, settings
+
+        from repro.semantics.exact import exact_inference
+        from repro.transforms import copy_prop
+        from tests.strategies import programs
+
+        @given(programs())
+        @settings(
+            max_examples=60,
+            deadline=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        )
+        def check(program):
+            try:
+                base = exact_inference(program)
+            except ValueError:
+                assume(False)
+            out = copy_prop(program)
+            assert base.distribution.allclose(
+                exact_inference(out).distribution, atol=1e-9
+            )
+
+        check()

@@ -1,0 +1,102 @@
+"""Probabilistic data slicing tests (the Section-8 future-work
+operator: SLI(C(D)) = C'(D') with D' a subset of D)."""
+
+import math
+
+import pytest
+
+from repro.core.builder import ProgramBuilder, v
+from repro.factorgraph import InferNetEngine
+from repro.models import hiv_data, regression_data
+from repro.transforms import data_slice, kept_observation_indices, sli
+
+
+def _hiv_template(n_persons, n_returned):
+    def template(measurements):
+        b = ProgramBuilder()
+        for p in range(n_persons):
+            b.sample(f"a{p}", "Gaussian", 4.0, 1.0)
+            b.sample(f"b{p}", "Gaussian", -0.5, 0.0625)
+        for p, t, y in measurements:
+            b.observe_sample(
+                "Gaussian", (v(f"a{p}") + v(f"b{p}") * t, 0.25), y
+            )
+        ret = v("a0")
+        for p in range(1, n_returned):
+            ret = ret + v(f"a{p}")
+        return b.build(ret)
+
+    return template
+
+
+class TestKeptObservations:
+    def test_irrelevant_observation_dropped(self):
+        b = ProgramBuilder()
+        b.sample("x", "Gaussian", 0.0, 1.0)
+        b.sample("z", "Gaussian", 0.0, 1.0)
+        b.observe_sample("Gaussian", (v("x"), 1.0), 0.5)  # $obs0: relevant
+        b.observe_sample("Gaussian", (v("z"), 1.0), 0.7)  # $obs1: not
+        program = b.build(v("x"))
+        kept = kept_observation_indices(sli(program))
+        assert kept == {0}
+
+    def test_all_relevant_kept(self):
+        b = ProgramBuilder()
+        b.sample("x", "Gaussian", 0.0, 1.0)
+        b.observe_sample("Gaussian", (v("x"), 1.0), 0.5)
+        b.observe_sample("Gaussian", (v("x"), 1.0), 0.6)
+        kept = kept_observation_indices(sli(b.build(v("x"))))
+        assert kept == {0, 1}
+
+
+class TestDataSlice:
+    def test_hiv_keeps_only_returned_persons(self):
+        data = hiv_data(n_persons=8, n_measurements=32, seed=0)
+        result = data_slice(_hiv_template(8, 2), data.measurements)
+        persons_kept = {data.measurements[i][0] for i in result.kept_indices}
+        assert persons_kept == {0, 1}
+        assert result.n_dropped == 32 - len(result.kept_indices)
+
+    def test_reduced_program_posterior_identical(self):
+        data = hiv_data(n_persons=6, n_measurements=24, seed=1)
+        template = _hiv_template(6, 2)
+        result = data_slice(template, data.measurements)
+        engine = InferNetEngine()
+        full = engine.infer(template(data.measurements))
+        reduced = engine.infer(result.reduced_program)
+        assert math.isclose(full.mean(), reduced.mean(), rel_tol=1e-9)
+        assert math.isclose(full.variance(), reduced.variance(), rel_tol=1e-9)
+
+    def test_regression_all_points_relevant(self):
+        # Every observed point constrains the returned slope: nothing
+        # to drop on the data side.
+        data = regression_data(20, seed=2)
+
+        def template(points):
+            b = ProgramBuilder()
+            b.sample("w1", "Gaussian", 0.0, 10.0)
+            for x, y in points:
+                b.observe_sample("Gaussian", (v("w1") * x, 1.0), y)
+            return b.build(v("w1"))
+
+        points = list(zip(data.xs, data.ys))
+        result = data_slice(template, points)
+        assert len(result.kept_indices) == 20
+
+    def test_row_count_mismatch_rejected(self):
+        def bad_template(rows):
+            b = ProgramBuilder()
+            b.sample("x", "Gaussian", 0.0, 1.0)
+            b.observe_sample("Gaussian", (v("x"), 1.0), 0.5)  # fixed obs
+            return b.build(v("x"))
+
+        with pytest.raises(ValueError):
+            data_slice(bad_template, [1, 2, 3])
+
+    def test_kept_data_preserves_order(self):
+        data = hiv_data(n_persons=4, n_measurements=12, seed=3)
+        result = data_slice(_hiv_template(4, 1), data.measurements)
+        indices = sorted(result.kept_indices)
+        assert result.kept_data == tuple(
+            data.measurements[i] for i in indices
+        )

@@ -1,0 +1,98 @@
+"""OBS transformation tests (Figure 12)."""
+
+from repro.core.ast import Assign, Const, Observe, Var, While, seq
+from repro.core.parser import parse, parse_expr, parse_statement
+from repro.semantics import exact_inference
+from repro.transforms.obs import obs_transform, observe_set, while_set
+
+from tests.conftest import assert_same_distribution
+
+
+class TestObserveSet:
+    def test_var_eq_const(self):
+        assert observe_set(parse_expr("g == false")) == Assign("g", Const(False))
+
+    def test_const_eq_var(self):
+        assert observe_set(parse_expr("false == g")) == Assign("g", Const(False))
+
+    def test_closed_rhs_expression(self):
+        assert observe_set(parse_expr("n == 1 + 2")) == Assign(
+            "n", parse_expr("1 + 2")
+        )
+
+    def test_variable_rhs_not_pinned(self):
+        assert str(observe_set(parse_expr("g == h"))) == "skip"
+
+    def test_bare_variable_extended(self):
+        assert observe_set(parse_expr("b")) == Assign("b", Const(True))
+        assert str(observe_set(parse_expr("b"), extended=False)) == "skip"
+
+    def test_negated_variable_extended(self):
+        assert observe_set(parse_expr("!b")) == Assign("b", Const(False))
+
+    def test_complex_condition_skipped(self):
+        assert str(observe_set(parse_expr("a || b"))) == "skip"
+
+
+class TestWhileSet:
+    def test_var_ne_const(self):
+        assert while_set(parse_expr("x != 3")) == Assign("x", Const(3))
+
+    def test_const_ne_var(self):
+        assert while_set(parse_expr("3 != x")) == Assign("x", Const(3))
+
+    def test_negated_variable(self):
+        assert while_set(parse_expr("!x")) == Assign("x", Const(True))
+
+    def test_bare_variable(self):
+        assert while_set(parse_expr("x")) == Assign("x", Const(False))
+
+    def test_extended_off_only_literal_pattern(self):
+        assert str(while_set(parse_expr("x"), extended=False)) == "skip"
+        assert while_set(parse_expr("x != 3"), extended=False) == Assign(
+            "x", Const(3)
+        )
+
+
+class TestObsTransform:
+    def test_inserts_after_observe(self):
+        p = parse("g ~ Bernoulli(0.5); observe(g == false); return g;")
+        out = obs_transform(p)
+        stmts = list(out.body.stmts)
+        assert stmts[1] == Observe(parse_expr("g == false"))
+        assert stmts[2] == Assign("g", Const(False))
+
+    def test_inserts_after_while(self):
+        p = parse(
+            "x ~ Bernoulli(0.5); while (!x) { skip; } return x;"
+        )
+        out = obs_transform(p)
+        stmts = list(out.body.stmts)
+        assert isinstance(stmts[1], While)
+        assert stmts[2] == Assign("x", Const(True))
+
+    def test_recurses_into_branches(self):
+        p = parse(
+            """
+c ~ Bernoulli(0.5);
+g ~ Bernoulli(0.5);
+if (c) { observe(g == true); } else { skip; }
+return g;
+"""
+        )
+        out = obs_transform(p)
+        branch = out.body.stmts[2].then_branch
+        assert Assign("g", Const(True)) in list(branch.stmts)
+
+    def test_preserves_semantics_on_examples(self, ex2, ex4, ex5, ex6):
+        for p in (ex2, ex4, ex5, ex6):
+            assert_same_distribution(p, obs_transform(p))
+
+    def test_preserves_semantics_loopy(self, comparison):
+        assert_same_distribution(comparison, obs_transform(comparison))
+
+    def test_figure16_output(self, ex6):
+        # Fig 16(b): only `b = false` is inserted (extended=False).
+        out = obs_transform(ex6, extended=False)
+        text = [str(s) for s in out.body.stmts]
+        assert text.count("b = false") == 1

@@ -1,0 +1,151 @@
+"""SLI / AUX statement-level slicing tests (Figures 11 and 17)."""
+
+import math
+
+import pytest
+
+from repro.core.ast import Observe, SKIP, Skip, Var, statement_count
+from repro.core.parser import parse
+from repro.core.validate import ValidationError
+from repro.semantics import exact_inference
+from repro.transforms import naive_slice, nt_slice, sli
+from repro.transforms.pipeline import aux_of
+from repro.transforms.slice import slice_stmt
+
+from tests.conftest import assert_same_distribution
+
+
+class TestSliceStmt:
+    def test_keeps_only_influencers(self):
+        body = parse("a = 1; b = 2; return a;").body
+        out = slice_stmt(body, {"a"})
+        kept = [s for s in out.stmts] if hasattr(out, "stmts") else [out]
+        assert str(out) == "a = 1"
+
+    def test_observe_kept_iff_var_in_set(self):
+        stmt = Observe(Var("q"))
+        assert slice_stmt(stmt, {"q"}) == stmt
+        assert slice_stmt(stmt, set()) == SKIP
+
+    def test_if_with_empty_branches_collapses(self):
+        body = parse(
+            "q ~ Bernoulli(0.5); if (q) { a = 1; } else { a = 2; } return a;"
+        ).body
+        out = slice_stmt(body, {"q"})
+        assert "if" not in str(out)
+
+    def test_while_dropped_when_cond_out(self):
+        body = parse(
+            "q ~ Bernoulli(0.5); while (q) { q ~ Bernoulli(0.5); } return q;"
+        ).body
+        out = slice_stmt(body, set())
+        assert isinstance(out, Skip)
+
+    def test_non_svf_rejected(self):
+        body = parse("a ~ Bernoulli(0.5); observe(!a); return a;").body
+        with pytest.raises(ValidationError):
+            slice_stmt(body, {"a"})
+
+    def test_soft_observe_tokens_in_order(self):
+        body = parse(
+            """
+x ~ Gaussian(0.0, 1.0);
+observe(Gaussian(x, 1.0), 1.0);
+observe(Gaussian(0.0, 1.0), 2.0);
+return x;
+"""
+        ).body
+        # Keep only the first soft observation's token.
+        out = slice_stmt(body, {"x", "$obs0"})
+        text = str(out)
+        assert "observe(Gaussian(x, 1.0), 1.0)" in text
+        assert "observe(Gaussian(0.0, 1.0), 2.0)" not in text
+
+
+class TestSLIEndToEnd:
+    def test_example4_requires_whole_program(self, ex4):
+        r = sli(ex4)
+        # Only the letter block (l) can go; observe dependence keeps
+        # d, i, g and the observation itself.
+        assert r.sliced_size >= r.transformed_size - 5
+        assert_same_distribution(ex4, r.sliced)
+
+    def test_example4_naive_slice_is_wrong(self, ex4):
+        r = naive_slice(ex4)
+        orig = exact_inference(ex4).distribution
+        sl = exact_inference(r.sliced).distribution
+        assert not orig.allclose(sl, atol=1e-6)
+        # The naive slice is the unconditioned marginal of s.
+        assert math.isclose(sl.prob(True), 0.7 * 0.95 + 0.3 * 0.2)
+
+    def test_example5_minimal_slice(self, ex5):
+        r = sli(ex5, simplify=True)
+        assert r.sliced_size == 2  # l ~ Bernoulli(0.1); (+ return)
+        assert_same_distribution(ex5, r.sliced)
+
+    def test_example5_without_obs_larger_but_correct(self, ex5):
+        with_obs = sli(ex5)
+        without = sli(ex5, use_obs=False)
+        assert with_obs.sliced_size < without.sliced_size
+        assert_same_distribution(ex5, without.sliced)
+
+    def test_example3_usual_slice(self, ex3):
+        r = sli(ex3, simplify=True)
+        # Only i and s survive (plus SVF helper): d, g, l gone.
+        text = str(r.sliced.body)
+        assert "0.6" not in text  # d's prior
+        assert "0.4" not in text  # l's prior
+        assert_same_distribution(ex3, r.sliced)
+
+    def test_example6_return_x_keeps_loop(self, ex6):
+        r = sli(ex6)
+        assert "while" in str(r.sliced.body)
+        assert_same_distribution(ex6, r.sliced)
+
+    def test_example6_return_b_drops_everything(self, ex6_b):
+        r = sli(ex6_b)
+        assert "while" not in str(r.sliced.body)
+        assert_same_distribution(ex6_b, r.sliced)
+
+    def test_comparison_program_drops_loop(self, comparison):
+        r = sli(comparison)
+        # Only the declaration of y and its sample survive.
+        assert r.sliced_size == 2
+        assert "while" not in str(r.sliced.body)
+        assert "Bernoulli(0.5)" not in str(r.sliced.body)
+        assert_same_distribution(comparison, r.sliced)
+
+    def test_nt_slice_keeps_loop(self, comparison):
+        r = nt_slice(comparison)
+        assert "while" in str(r.sliced.body)
+        assert_same_distribution(comparison, r.sliced)
+
+    def test_burglar_slices_side_story(self, burglar):
+        r = sli(burglar)
+        text = str(r.sliced.body)
+        assert "icecream" not in text and "dogBarks" not in text
+        assert_same_distribution(burglar, r.sliced)
+
+    def test_influencers_backward_closed(self, ex4):
+        r = sli(ex4)
+        for var in r.influencers:
+            assert r.graph.backward_reachable({var}) <= r.influencers
+
+
+class TestAUX:
+    def test_aux_complements_slice(self, ex4, ex5, burglar):
+        for p in (ex4, ex5, burglar):
+            r = sli(p)
+            aux = aux_of(r)
+            z_full = exact_inference(r.transformed).normalizer
+            z_slice = exact_inference(r.sliced).normalizer
+            z_aux = exact_inference(aux).normalizer
+            assert math.isclose(z_full, z_slice * z_aux, rel_tol=1e-9)
+
+    def test_aux_and_slice_partition_statements(self, ex5):
+        r = sli(ex5)
+        aux = aux_of(r)
+        total = statement_count(r.transformed.body)
+        assert (
+            statement_count(r.sliced.body) + statement_count(aux.body) == total
+        )

@@ -1,0 +1,91 @@
+"""SVF transformation tests (Figure 13)."""
+
+from repro.core.ast import Assign, If, Observe, Var, While
+from repro.core.parser import parse
+from repro.core.validate import is_svf
+from repro.transforms.svf import svf_transform
+
+from tests.conftest import assert_same_distribution
+
+
+class TestSVF:
+    def test_observe_hoisted(self):
+        p = parse("a ~ Bernoulli(0.5); b ~ Bernoulli(0.5); observe(a || b); return a;")
+        out = svf_transform(p)
+        stmts = list(out.body.stmts)
+        assert stmts[2] == Assign("q1", Var("a") | Var("b"))
+        assert stmts[3] == Observe(Var("q1"))
+
+    def test_if_condition_hoisted(self):
+        p = parse("a ~ Bernoulli(0.5); if (!a) { x = 1; } else { x = 2; } return x;")
+        out = svf_transform(p)
+        stmts = list(out.body.stmts)
+        assert stmts[1] == Assign("q1", ~Var("a"))
+        assert isinstance(stmts[2], If)
+        assert stmts[2].cond == Var("q1")
+
+    def test_while_reassigns_condition_at_body_end(self):
+        p = parse(
+            "c ~ Bernoulli(0.5); while (c) { c ~ Bernoulli(0.5); } return c;"
+        )
+        out = svf_transform(p, hoist_variables=True)
+        stmts = list(out.body.stmts)
+        assert stmts[1] == Assign("q1", Var("c"))
+        loop = stmts[2]
+        assert isinstance(loop, While)
+        assert loop.cond == Var("q1")
+        body = list(loop.body.stmts)
+        assert body[-1] == Assign("q1", Var("c"))
+
+    def test_fresh_names_in_traversal_order(self, ex4):
+        out = svf_transform(ex4)
+        text = str(out.body)
+        # Nested else-branches get later numbers (q1 outer, q2, q3 inner).
+        assert text.index("q1 =") < text.index("q2 =") < text.index("q3 =")
+
+    def test_existing_q_names_avoided(self):
+        p = parse("q1 ~ Bernoulli(0.5); observe(q1 || q1); return q1;")
+        out = svf_transform(p)
+        names = {s.name for s in out.body.stmts if isinstance(s, Assign)}
+        assert "q2" in names and "q1" not in names
+
+    def test_result_is_svf(self, ex2, ex4, ex5, ex6, burglar):
+        for p in (ex2, ex4, ex5, ex6, burglar):
+            assert is_svf(svf_transform(p))
+
+    def test_paper_literal_mode_hoists_variables(self):
+        # Figure 13 applied literally introduces a fresh variable even
+        # for bare variable conditions (Figure 16(c): q1 = c).
+        p = parse("c ~ Bernoulli(0.5); while (c) { c ~ Bernoulli(0.5); } return c;")
+        out = svf_transform(p, hoist_variables=True)
+        assert isinstance(list(out.body.stmts)[2], While)
+        assert list(out.body.stmts)[2].cond == Var("q1")
+
+    def test_default_mode_keeps_variable_conditions(self):
+        # The optimized default leaves already-SVF conditions alone, so
+        # re-slicing does not grow programs.
+        p = parse("c ~ Bernoulli(0.5); while (c) { c ~ Bernoulli(0.5); } return c;")
+        out = svf_transform(p)
+        assert is_svf(out)
+        loop = list(out.body.stmts)[1]
+        assert loop.cond == Var("c")
+
+    def test_preserves_semantics(self, ex2, ex4, ex5, ex6, comparison):
+        for p in (ex2, ex4, ex5, ex6, comparison):
+            assert_same_distribution(p, svf_transform(p))
+
+    def test_nested_loops(self):
+        p = parse(
+            """
+a ~ Bernoulli(0.3);
+while (a) {
+  b ~ Bernoulli(0.3);
+  while (b) { b ~ Bernoulli(0.3); }
+  a ~ Bernoulli(0.3);
+}
+return a;
+"""
+        )
+        out = svf_transform(p)
+        assert is_svf(out)
+        assert_same_distribution(p, out)

@@ -1,0 +1,218 @@
+"""Golden tests reproducing the paper's worked examples (Figures 15
+and 16): the full OBS -> SVF -> SSA pipeline output, the analysis sets,
+and both slices of each example.
+
+Naming note: our SSA freshener matches the figures everywhere except
+one variable — the paper renames the loop-carried ``q1`` to ``q3``
+(arbitrary fresh choice); we produce ``q1_1``.  The figures' ``O``
+caption for Example 2 prints ``{q2}``; Figure 9's rules also put the
+while-condition ``q1`` in ``OVAR``, and we follow the rules.
+"""
+
+from repro.core.freevars import free_vars
+from repro.core.parser import parse
+from repro.core.printer import pretty
+from repro.analysis.depgraph import analyze
+from repro.analysis.influencers import dinf, inf
+from repro.models import (
+    example4,
+    example5,
+    example6,
+    example6_return_b,
+)
+from repro.transforms import preprocess, sli
+
+from tests.conftest import assert_same_distribution
+
+
+def _normalize(text: str) -> str:
+    return "\n".join(line.strip() for line in text.strip().splitlines())
+
+
+# Figure 15(d): the pre-pass output of the student model.  Our builder
+# declares no variables in the original (decls are dropped by parsing
+# the declaration-free source used here to match the figure, which
+# also omits declarations).
+_FIG15_SOURCE = """
+d ~ Bernoulli(0.6);
+i ~ Bernoulli(0.7);
+if (!i && !d) { g ~ Bernoulli(0.3); }
+else { if (!i && d) { g ~ Bernoulli(0.05); }
+else { if (i && !d) { g ~ Bernoulli(0.9); }
+else { g ~ Bernoulli(0.5); } } }
+observe(g == false);
+if (!i) { s ~ Bernoulli(0.2); }
+else    { s ~ Bernoulli(0.95); }
+if (!g) { l ~ Bernoulli(0.1); }
+else    { l ~ Bernoulli(0.4); }
+"""
+
+_FIG15_EXPECTED_PRE = """
+d ~ Bernoulli(0.6);
+i ~ Bernoulli(0.7);
+q1 = !i && !d;
+if (q1) {
+g ~ Bernoulli(0.3);
+} else {
+q2 = !i && d;
+if (q2) {
+g1 ~ Bernoulli(0.05);
+} else {
+q3 = i && !d;
+if (q3) {
+g2 ~ Bernoulli(0.9);
+} else {
+g3 ~ Bernoulli(0.5);
+g2 = g3;
+}
+g1 = g2;
+}
+g = g1;
+}
+q4 = g == false;
+observe(q4);
+g4 = false;
+q5 = !i;
+if (q5) {
+s ~ Bernoulli(0.2);
+} else {
+s1 ~ Bernoulli(0.95);
+s = s1;
+}
+q6 = !g4;
+if (q6) {
+l ~ Bernoulli(0.1);
+} else {
+l1 ~ Bernoulli(0.4);
+l = l1;
+}
+"""
+
+
+class TestWorkedExample1:
+    """Figure 15: the student model with observe(g = false)."""
+
+    def _pre(self, ret: str):
+        return preprocess(parse(_FIG15_SOURCE + f"return {ret};"))
+
+    def test_pre_pass_matches_figure(self):
+        pre = self._pre("s")
+        got = _normalize(pretty(pre))
+        expected = _normalize(_FIG15_EXPECTED_PRE + "return s;")
+        assert got == expected
+
+    def test_observed_set(self):
+        info = analyze(self._pre("s"))
+        assert info.observed == {"q4"}
+
+    def test_dinf_of_observed(self):
+        pre = self._pre("s")
+        info = analyze(pre)
+        assert dinf(info.graph, {"q4"}) == {
+            "g", "g1", "g2", "g3", "q1", "q2", "q3", "q4", "i", "d",
+        }
+
+    def test_return_s_sets(self):
+        pre = self._pre("s")
+        info = analyze(pre)
+        assert dinf(info.graph, {"s"}) == {"s", "s1", "q5", "i"}
+        assert inf(info.observed, info.graph, {"s"}) == {
+            "s", "s1", "g", "g1", "g2", "g3",
+            "q1", "q2", "q3", "q4", "q5", "i", "d",
+        }
+
+    def test_return_l_sets(self):
+        pre = self._pre("l")
+        info = analyze(pre)
+        assert dinf(info.graph, {"l"}) == {"l", "l1", "q6", "g4"}
+        assert inf(info.observed, info.graph, {"l"}) == {"l", "l1", "q6", "g4"}
+
+    def test_slice_return_s_keeps_observation_drops_letter(self):
+        r = sli(parse(_FIG15_SOURCE + "return s;"))
+        text = pretty(r.sliced)
+        assert "observe(q4);" in text
+        assert "g4" not in text  # the OBS-inserted assignment is cut
+        assert "l" not in free_vars(r.sliced)
+        assert_same_distribution(r.original, r.sliced)
+
+    def test_slice_return_l_is_figure_15f(self):
+        r = sli(parse(_FIG15_SOURCE + "return l;"))
+        expected = _normalize(
+            """
+g4 = false;
+q6 = !g4;
+if (q6) {
+l ~ Bernoulli(0.1);
+} else {
+l1 ~ Bernoulli(0.4);
+l = l1;
+}
+return l;
+"""
+        )
+        assert _normalize(pretty(r.sliced)) == expected
+        assert_same_distribution(r.original, r.sliced)
+
+
+class TestWorkedExample2:
+    """Figure 16: the loopy toggle example."""
+
+    _EXPECTED_PRE = """
+x ~ Bernoulli(0.5);
+b = x;
+c ~ Bernoulli(0.5);
+q1 = c;
+while (q1) {
+b1 = !b;
+c1 ~ Bernoulli(0.5);
+q1_1 = c1;
+b = b1;
+c = c1;
+q1 = q1_1;
+}
+q2 = b == false;
+observe(q2);
+b2 = false;
+"""
+
+    def _source(self, ret: str) -> str:
+        return (
+            """
+x ~ Bernoulli(0.5);
+b = x;
+c ~ Bernoulli(0.5);
+while (c) { b = !b; c ~ Bernoulli(0.5); }
+observe(b == false);
+"""
+            + f"return {ret};"
+        )
+
+    def test_pre_pass_matches_figure(self):
+        pre = preprocess(
+            parse(self._source("x")), obs_extended=False, svf_hoist_variables=True
+        )
+        got = _normalize(pretty(pre))
+        assert got == _normalize(self._EXPECTED_PRE + "return x;")
+
+    def test_return_b_renamed_to_b2(self):
+        pre = preprocess(
+            parse(self._source("b")), obs_extended=False, svf_hoist_variables=True
+        )
+        assert pretty(pre).strip().endswith("return b2;")
+
+    def test_slice_return_x_keeps_whole_loop(self):
+        r = sli(
+            parse(self._source("x")), obs_extended=False, svf_hoist_variables=True
+        )
+        text = pretty(r.sliced)
+        assert "while (q1)" in text
+        assert "observe(q2);" in text
+        assert "b2" not in text
+        assert_same_distribution(r.original, r.sliced)
+
+    def test_slice_return_b_is_figure_16f(self):
+        r = sli(
+            parse(self._source("b")), obs_extended=False, svf_hoist_variables=True
+        )
+        assert _normalize(pretty(r.sliced)) == _normalize("b2 = false;\nreturn b2;")
+        assert_same_distribution(r.original, r.sliced)
