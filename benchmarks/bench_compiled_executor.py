@@ -1,0 +1,94 @@
+"""Interpreted vs compiled forward execution on the Table 1 models.
+
+The compiled executor (``repro.semantics.compiled``) translates each
+program's basic blocks to Python closures once; this bench measures
+what that buys per forward run at paper scale, after asserting the two
+executors produce identical results under a fixed seed.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.models import TABLE1
+from repro.semantics.compiled import compile_program
+from repro.semantics.executor import ExecutorOptions, run_program
+
+from .conftest import record_block
+
+_OPTS = ExecutorOptions(max_loop_iterations=10_000)
+_RUNS_PER_BATCH = 20
+_ROWS = []
+_SPEEDUPS = {}
+
+
+def _batch(fn, seed=1234):
+    rng = random.Random(seed)
+    for _ in range(_RUNS_PER_BATCH):
+        fn(rng)
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("spec", TABLE1, ids=[s.name for s in TABLE1])
+def test_compiled_executor_speedup(benchmark, spec):
+    program = spec.paper()
+    compiled = compile_program(program)
+
+    # Correctness gate: identical RunResult under a fixed seed.
+    a = run_program(program, random.Random(7), options=_OPTS)
+    b = compiled.run(random.Random(7), options=_OPTS)
+    assert (a.value, a.log_likelihood, a.trace, a.statements_executed) == (
+        b.value,
+        b.log_likelihood,
+        b.trace,
+        b.statements_executed,
+    )
+
+    benchmark.group = "compiled-executor"
+    benchmark.pedantic(
+        lambda: _batch(lambda rng: compiled.run(rng, options=_OPTS)),
+        rounds=5,
+        iterations=1,
+    )
+    t_interp = _best_of(
+        lambda: _batch(lambda rng: run_program(program, rng, options=_OPTS))
+    )
+    t_compiled = _best_of(
+        lambda: _batch(lambda rng: compiled.run(rng, options=_OPTS))
+    )
+    speedup = t_interp / t_compiled
+    _SPEEDUPS[spec.name] = speedup
+    benchmark.extra_info["benchmark"] = spec.name
+    benchmark.extra_info["interp_ms_per_run"] = f"{t_interp * 1e3 / _RUNS_PER_BATCH:.3f}"
+    benchmark.extra_info["compiled_ms_per_run"] = (
+        f"{t_compiled * 1e3 / _RUNS_PER_BATCH:.3f}"
+    )
+    benchmark.extra_info["speedup"] = f"{speedup:.2f}x"
+    _ROWS.append(
+        f"{spec.name:28s} interp={t_interp * 1e3 / _RUNS_PER_BATCH:8.3f}ms "
+        f"compiled={t_compiled * 1e3 / _RUNS_PER_BATCH:8.3f}ms "
+        f"speedup={speedup:5.2f}x"
+    )
+
+
+def test_compiled_executor_report(benchmark):
+    """Emit the summary block and check the headline claim: at least
+    one Table 1 model runs >= 1.5x faster compiled."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.group = "compiled-executor"
+    if _ROWS:
+        record_block(
+            "Compiled executor: forward-run time, interpreted vs compiled",
+            "\n".join(_ROWS),
+        )
+    if _SPEEDUPS:
+        assert max(_SPEEDUPS.values()) >= 1.5, _SPEEDUPS

@@ -1,4 +1,23 @@
-"""Observed variables and the dependence graph (Figure 9).
+"""Observed variables and the dependence graph (Figure 9), read off
+the shared CFG intermediate representation.
+
+The program is lowered once (:func:`repro.ir.lower.lower`, memoized by
+identity, so the slicer and liveness reuse the same IR) and the
+Figure-9 relations become graph queries:
+
+* **data edges** — per node, from each variable read (right-hand
+  sides, distribution parameters, soft-observation arguments) to the
+  node's target;
+* **control edges** — from the CFG's postdominator-based
+  control-dependence closure: a node depends on the condition variable
+  of every branch it is transitively control-dependent on, which for
+  structured programs is exactly the stack of enclosing ``if`` /
+  ``while`` conditions the paper's AST rules thread through.  A loop
+  header's reflexive control dependence (its back edge) is filtered
+  out, matching the paper.
+* **observed set** — ``observe`` arguments, ``while`` conditions (the
+  loop exits only along runs where the condition eventually goes
+  false), and soft-observation tokens.
 
 The analysis expects single-variable form (conditions of ``observe`` /
 ``if`` / ``while`` are plain variables) — :func:`repro.transforms.svf`
@@ -8,11 +27,11 @@ Extensions beyond the paper's core language (documented in DESIGN.md):
 
 * **Soft observations.**  ``observe(Dist(θ̄), E)`` and ``factor(E)``
   introduce a synthetic observed *token* (``$obs0``, ``$obs1``, ... in
-  traversal order).  The token receives dependence edges from the
+  lowering order).  The token receives dependence edges from the
   control context and from every variable read by the statement, and
   joins the observed set ``O`` — after which the paper's INF rules
-  apply unchanged.  The slicer assigns tokens in the same traversal
-  order, so "token ∈ influencers" decides whether the statement stays.
+  apply unchanged.  The slicer reads tokens off the same lowering, so
+  "token ∈ influencers" decides whether the statement stays.
 * **Declarations** behave like assignments of a constant (control
   edges only).
 """
@@ -20,31 +39,23 @@ Extensions beyond the paper's core language (documented in DESIGN.md):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Set, Tuple
+from typing import FrozenSet, Set, Tuple
 
 from ..core.ast import (
     Assign,
-    Block,
     Decl,
     Factor,
-    If,
     Observe,
     ObserveSample,
-    Program,
     Sample,
-    Skip,
-    Stmt,
     Var,
-    While,
 )
 from ..core.freevars import free_vars
 from ..core.validate import ValidationError
+from ..ir.lower import SOFT_OBS_PREFIX, Lowered, lower
 from .graph import DiGraph
 
 __all__ = ["DependencyInfo", "analyze", "observed_vars", "dep_graph", "SOFT_OBS_PREFIX"]
-
-#: Prefix of the synthetic observed tokens for soft observations.
-SOFT_OBS_PREFIX = "$obs"
 
 
 @dataclass
@@ -63,105 +74,109 @@ class DependencyInfo:
     control_edges: FrozenSet[Tuple[str, str]] = field(default_factory=frozenset)
 
 
-class _Analyzer:
-    def __init__(self) -> None:
-        self.observed: Set[str] = set()
-        self.data: Set[Tuple[str, str]] = set()
-        self.control: Set[Tuple[str, str]] = set()
-        self._soft_counter = 0
+def _cond_var(node, what: str) -> str:
+    cond = node.cond
+    if not isinstance(cond, Var):
+        raise ValidationError(
+            f"dependence analysis requires single-variable form; "
+            f"{what} condition is {cond} (run the SVF transformation first)"
+        )
+    return cond.name
 
-    def _cond_var(self, stmt: Stmt, what: str) -> str:
-        cond = stmt.cond  # type: ignore[union-attr]
-        if not isinstance(cond, Var):
-            raise ValidationError(
-                f"dependence analysis requires single-variable form; "
-                f"{what} condition is {cond} (run the SVF transformation first)"
-            )
-        return cond.name
 
-    def visit(self, stmt: Stmt, control: FrozenSet[str]) -> None:
-        if isinstance(stmt, Skip):
-            return
+def analyze_lowered(lowered: Lowered) -> DependencyInfo:
+    """Figure 9 over an already-lowered program."""
+    cfg = lowered.cfg
+    observed: Set[str] = set()
+    data: Set[Tuple[str, str]] = set()
+    control: Set[Tuple[str, str]] = set()
+
+    def control_vars(node_id: int) -> Set[str]:
+        names = set()
+        for branch_id in cfg.node_control_closure(node_id):
+            branch = cfg.node(branch_id)
+            what = "while" if branch.kind == "loop" else "if"
+            names.add(_cond_var(branch, what))
+        return names
+
+    # Iterating in creation order keeps error reporting (first offending
+    # condition) identical to the historical AST traversal.
+    for node in cfg.iter_nodes():
+        if node.kind == "branch":
+            _cond_var(node, "if")  # SVF check only; no edges of its own
+            continue
+        if node.kind == "loop":
+            x = _cond_var(node, "while")
+            # The loop condition is observed: the loop exits only along
+            # runs where it eventually becomes false (Figure 9).
+            observed.add(x)
+            for y in control_vars(node.id):
+                control.add((y, x))
+            continue
+        stmt = node.stmt
         if isinstance(stmt, Decl):
-            for y in control:
-                self.control.add((y, stmt.name))
-            return
-        if isinstance(stmt, Assign):
-            for y in free_vars(stmt.expr):
-                self.data.add((y, stmt.name))
-            for y in control:
-                self.control.add((y, stmt.name))
-            return
-        if isinstance(stmt, Sample):
-            for y in free_vars(stmt.dist):
-                self.data.add((y, stmt.name))
-            for y in control:
-                self.control.add((y, stmt.name))
-            return
-        if isinstance(stmt, Observe):
-            x = self._cond_var(stmt, "observe")
-            self.observed.add(x)
-            for y in control:
-                self.control.add((y, x))
-            return
-        if isinstance(stmt, (ObserveSample, Factor)):
-            token = f"{SOFT_OBS_PREFIX}{self._soft_counter}"
-            self._soft_counter += 1
-            self.observed.add(token)
+            target = stmt.name
+            reads: FrozenSet[str] = frozenset()
+        elif isinstance(stmt, Assign):
+            target = stmt.name
+            reads = free_vars(stmt.expr)
+        elif isinstance(stmt, Sample):
+            target = stmt.name
+            reads = free_vars(stmt.dist)
+        elif isinstance(stmt, Observe):
+            x = _observe_var(stmt)
+            observed.add(x)
+            for y in control_vars(node.id):
+                control.add((y, x))
+            continue
+        elif isinstance(stmt, (ObserveSample, Factor)):
+            token = lowered.tokens[node.id]
+            observed.add(token)
             reads = (
                 free_vars(stmt.dist) | free_vars(stmt.value)
                 if isinstance(stmt, ObserveSample)
                 else free_vars(stmt.log_weight)
             )
             for y in reads:
-                self.data.add((y, token))
-            for y in control:
-                self.control.add((y, token))
-            return
-        if isinstance(stmt, Block):
-            for s in stmt.stmts:
-                self.visit(s, control)
-            return
-        if isinstance(stmt, If):
-            x = self._cond_var(stmt, "if")
-            inner = control | {x}
-            self.visit(stmt.then_branch, inner)
-            self.visit(stmt.else_branch, inner)
-            return
-        if isinstance(stmt, While):
-            x = self._cond_var(stmt, "while")
-            # The loop condition is observed: the loop exits only along
-            # runs where it eventually becomes false (Figure 9).
-            self.observed.add(x)
-            for y in control:
-                self.control.add((y, x))
-            self.visit(stmt.body, control | {x})
-            return
-        raise TypeError(f"not a statement: {stmt!r}")
+                data.add((y, token))
+            for y in control_vars(node.id):
+                control.add((y, token))
+            continue
+        else:
+            raise TypeError(f"not a statement: {stmt!r}")
+        for y in reads:
+            data.add((y, target))
+        for y in control_vars(node.id):
+            control.add((y, target))
+
+    graph = DiGraph()
+    for src, dst in data | control:
+        graph.add_edge(src, dst)
+    # Register return variables (and all program variables) as vertices
+    # so reachability queries on assignment-free variables still work.
+    for name in free_vars(lowered.source):
+        graph.add_vertex(name)
+    return DependencyInfo(
+        observed=frozenset(observed),
+        graph=graph,
+        data_edges=frozenset(data),
+        control_edges=frozenset(control),
+    )
+
+
+def _observe_var(stmt: Observe) -> str:
+    cond = stmt.cond
+    if not isinstance(cond, Var):
+        raise ValidationError(
+            f"dependence analysis requires single-variable form; "
+            f"observe condition is {cond} (run the SVF transformation first)"
+        )
+    return cond.name
 
 
 def analyze(program_or_stmt) -> DependencyInfo:
     """Compute ``OVAR`` and ``DEP`` for a program or statement."""
-    stmt = (
-        program_or_stmt.body
-        if isinstance(program_or_stmt, Program)
-        else program_or_stmt
-    )
-    a = _Analyzer()
-    a.visit(stmt, frozenset())
-    graph = DiGraph()
-    for src, dst in a.data | a.control:
-        graph.add_edge(src, dst)
-    # Register return variables (and all program variables) as vertices
-    # so reachability queries on assignment-free variables still work.
-    for name in free_vars(program_or_stmt):
-        graph.add_vertex(name)
-    return DependencyInfo(
-        observed=frozenset(a.observed),
-        graph=graph,
-        data_edges=frozenset(a.data),
-        control_edges=frozenset(a.control),
-    )
+    return analyze_lowered(lower(program_or_stmt))
 
 
 def observed_vars(program_or_stmt) -> FrozenSet[str]:

@@ -1,20 +1,27 @@
-"""Graphviz (DOT) export of dependence graphs and slicing results.
+"""Graphviz (DOT) export of dependence graphs, slicing results, and
+the IR's control-flow graphs.
 
 ``slice_result_dot`` renders the paper's Figure-3-style picture for
 any program: data edges solid, control edges dashed, observed
 variables double-circled, influencers filled — making it visible at a
-glance *why* a statement survived the slice.
+glance *why* a statement survived the slice.  ``cfg_dot`` renders the
+shared IR (:mod:`repro.ir`) itself: basic blocks as boxes of
+statements, flow edges solid (true edges labelled), and the
+control-dependence edges the dependence analysis reads off the
+postdominator tree dashed.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Mapping, Optional
 
+from ..core.printer import pretty
+from ..ir.lower import Lowered
 from ..transforms.pipeline import SliceResult
 from .depgraph import DependencyInfo
 from .graph import DiGraph
 
-__all__ = ["graph_dot", "dependency_dot", "slice_result_dot"]
+__all__ = ["graph_dot", "dependency_dot", "slice_result_dot", "cfg_dot"]
 
 
 def _quote(name: str) -> str:
@@ -50,6 +57,66 @@ def dependency_dot(info: DependencyInfo, name: str = "dependences") -> str:
         lines.append(f"  {_quote(src)} -> {_quote(dst)};")
     for src, dst in sorted(info.control_edges):
         lines.append(f"  {_quote(src)} -> {_quote(dst)} [style=dashed];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _label_escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("{", "\\{")
+        .replace("}", "\\}")
+        .replace("<", "\\<")
+        .replace(">", "\\>")
+        .replace("|", "\\|")
+    )
+
+
+def cfg_dot(lowered: Lowered, name: str = "cfg") -> str:
+    """DOT for a lowered program's CFG.
+
+    Each basic block is a box listing its nodes (primitive statements,
+    ``if (c)`` / ``while (c)`` conditions) in order.  Flow edges are
+    solid, with the true edge of a two-way branch labelled ``T``;
+    control-dependence edges — branch block to dependent block, as
+    computed from the postdominator tree — are dashed.
+    """
+    cfg = lowered.cfg
+    lines = [f"digraph {_quote(name)} {{", "  node [shape=box, fontname=monospace];"]
+    for block in cfg.blocks:
+        rows = []
+        for node_id in block.nodes:
+            node = cfg.node(node_id)
+            if node.kind == "branch":
+                text = f"if ({pretty(node.cond)})"
+            elif node.kind == "loop":
+                text = f"while ({pretty(node.cond)})"
+            else:
+                text = pretty(node.stmt).strip().replace("\n", " ")
+            token = lowered.tokens.get(node_id)
+            if token is not None:
+                text = f"{text}  // {token}"
+            rows.append(f"{node_id}: {_label_escape(text)}")
+        if block.id == cfg.entry:
+            rows.insert(0, "entry")
+        if block.id == cfg.exit:
+            rows.insert(0, "exit")
+        label = "\\l".join(rows) + ("\\l" if rows else "")
+        lines.append(f"  B{block.id} [label=\"B{block.id}\\l{label}\"];")
+    for src, dst in cfg.flow_edges():
+        attrs = ""
+        if len(cfg.blocks[src].succ) == 2 and cfg.blocks[src].succ[0] == dst:
+            attrs = ' [label="T"]'
+        lines.append(f"  B{src} -> B{dst}{attrs};")
+    for block_id, branches in sorted(cfg.control_dependence().items()):
+        for branch in sorted(branches):
+            src = cfg.node(branch).block
+            if src == block_id:
+                continue  # loop-header self dependence: visual noise
+            lines.append(
+                f"  B{src} -> B{block_id} [style=dashed, color=gray50];"
+            )
     lines.append("}")
     return "\n".join(lines)
 

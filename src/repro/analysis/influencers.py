@@ -1,5 +1,10 @@
 """Direct influencers and influencers (Figure 10).
 
+Both relations are plain graph queries over the dependence graph that
+:func:`repro.analysis.depgraph.analyze` reads off the shared CFG
+(:mod:`repro.ir`): ``DINF`` is backward reachability, ``INF`` the
+paper's observe-dependence closure over the same edges.
+
 ``DINF(G)(R)`` is backward reachability in the dependence graph from
 the return variables — ordinary control + data slicing.
 

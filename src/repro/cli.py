@@ -65,6 +65,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the dependence graph as Graphviz DOT instead of code",
     )
+    parser.add_argument(
+        "--emit-cfg",
+        action="store_true",
+        help=(
+            "emit the preprocessed program's control-flow graph "
+            "(with control-dependence edges) as Graphviz DOT"
+        ),
+    )
     return parser
 
 
@@ -85,6 +93,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"syntax error: {exc}", file=sys.stderr)
         return 1
     result = sli(program, use_obs=not args.no_obs, simplify=args.simplify)
+    if args.emit_cfg:
+        from .analysis.dot import cfg_dot
+        from .ir.lower import lower
+
+        # The CFG the analyses actually ran on: the pre-pass output's
+        # lowering (memoized, so this is the same object the slicer used).
+        print(cfg_dot(lower(result.transformed)))
+        return 0
     if args.dot:
         from .analysis.dot import slice_result_dot
 

@@ -5,11 +5,18 @@ programs.
 (read or written): this is the set the SSA transformation seeds its
 used-name set ``X`` with (Figure 14), and the set the dependence
 analysis draws its vertex universe from.
+
+:func:`free_vars` is memoized with an identity-keyed cache: the
+dependence analysis, SVF, liveness, and the slicer all re-query the
+same (immutable, shared) subtrees, and structural hashing of deep
+expressions would cost more than the traversal it saves.  Entries hold
+a strong reference to their node, which is what keeps the ``id`` key
+from being reused while the entry is alive.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Union
+from typing import Dict, FrozenSet, Tuple, Union
 
 from .ast import (
     Assign,
@@ -32,11 +39,32 @@ from .ast import (
     While,
 )
 
-__all__ = ["free_vars", "read_vars", "assigned_vars"]
+__all__ = ["free_vars", "read_vars", "assigned_vars", "clear_free_vars_cache"]
+
+#: ``id(node) -> (node, result)``.  Bounded; cleared wholesale when full.
+_FV_CACHE: Dict[int, Tuple[object, FrozenSet[str]]] = {}
+_FV_CACHE_MAX = 1 << 18
+
+
+def clear_free_vars_cache() -> None:
+    """Drop the memoized free-variable sets (mainly for tests)."""
+    _FV_CACHE.clear()
 
 
 def free_vars(obj: Union[Program, Stmt, Expr, DistCall]) -> FrozenSet[str]:
     """All variable names occurring in ``obj`` (reads and writes)."""
+    key = id(obj)
+    hit = _FV_CACHE.get(key)
+    if hit is not None and hit[0] is obj:
+        return hit[1]
+    result = _free_vars(obj)
+    if len(_FV_CACHE) >= _FV_CACHE_MAX:
+        _FV_CACHE.clear()
+    _FV_CACHE[key] = (obj, result)
+    return result
+
+
+def _free_vars(obj: Union[Program, Stmt, Expr, DistCall]) -> FrozenSet[str]:
     if isinstance(obj, Var):
         return frozenset({obj.name})
     if isinstance(obj, Const):

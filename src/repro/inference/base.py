@@ -6,9 +6,16 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+import random
+from typing import TYPE_CHECKING
+
 from ..core.ast import Program
 from ..semantics.distribution import FiniteDist
+from ..semantics.executor import ExecutorOptions, RunResult, run_program
 from ..semantics.values import Value
+
+if TYPE_CHECKING:
+    from ..semantics.trace import Trace
 
 __all__ = [
     "InferenceError",
@@ -113,12 +120,40 @@ class InferenceResult:
 
 
 class Engine:
-    """Abstract inference engine: ``infer(program) -> InferenceResult``."""
+    """Abstract inference engine: ``infer(program) -> InferenceResult``.
+
+    Engines that execute programs forward route every run through
+    :meth:`_run_program`, which honors the opt-in ``compiled`` flag:
+    when set, the program is translated once to Python closures
+    (:mod:`repro.semantics.compiled` — built on the shared IR) and runs
+    skip per-node interpretive dispatch.  Default off; the compiled
+    executor replicates :func:`repro.semantics.executor.run_program`'s
+    trace, replay, and blocked-run behavior exactly, so the flag only
+    changes speed, never the sampled stream.
+    """
 
     name: str = "engine"
+    #: Opt-in: execute via the compiled (codegen) executor.
+    compiled: bool = False
 
     def infer(self, program: Program) -> InferenceResult:
         raise NotImplementedError
+
+    def _run_program(
+        self,
+        program: Program,
+        rng: random.Random,
+        base_trace: "Optional[Trace]" = None,
+        options: ExecutorOptions = ExecutorOptions(),
+    ) -> RunResult:
+        """One forward run of ``program``, interpreted or compiled."""
+        if self.compiled:
+            from ..semantics.compiled import compile_program
+
+            return compile_program(program).run(
+                rng, base_trace=base_trace, options=options
+            )
+        return run_program(program, rng, base_trace=base_trace, options=options)
 
 
 def effective_sample_size(samples: Sequence[float], max_lag: int = 200) -> float:

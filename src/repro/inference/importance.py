@@ -13,7 +13,7 @@ import random
 import time
 
 from ..core.ast import Program
-from ..semantics.executor import ExecutorOptions, NonTerminatingRun, run_program
+from ..semantics.executor import ExecutorOptions, NonTerminatingRun
 from .base import Engine, InferenceError, InferenceResult
 
 __all__ = ["LikelihoodWeighting"]
@@ -29,12 +29,14 @@ class LikelihoodWeighting(Engine):
         n_samples: int = 10_000,
         seed: int = 0,
         executor_options: ExecutorOptions = ExecutorOptions(),
+        compiled: bool = False,
     ) -> None:
         if n_samples <= 0:
             raise ValueError("n_samples must be positive")
         self.n_samples = n_samples
         self.seed = seed
         self.executor_options = executor_options
+        self.compiled = compiled
 
     def infer(self, program: Program) -> InferenceResult:
         rng = random.Random(self.seed)
@@ -43,7 +45,7 @@ class LikelihoodWeighting(Engine):
         assert result.weights is not None
         for _ in range(self.n_samples):
             try:
-                run = run_program(program, rng, options=self.executor_options)
+                run = self._run_program(program, rng, options=self.executor_options)
             except NonTerminatingRun:
                 continue
             result.statements_executed += run.statements_executed

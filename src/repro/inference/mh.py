@@ -30,7 +30,6 @@ from ..semantics.executor import (
     ExecutorOptions,
     NonTerminatingRun,
     RunResult,
-    run_program,
 )
 from .base import (
     Engine,
@@ -67,6 +66,7 @@ class MetropolisHastings(Engine):
         global_move_prob: float = 0.05,
         time_budget: Optional[float] = None,
         executor_options: ExecutorOptions = ExecutorOptions(),
+        compiled: bool = False,
     ) -> None:
         if n_samples <= 0:
             raise ValueError("n_samples must be positive")
@@ -84,12 +84,13 @@ class MetropolisHastings(Engine):
         self.global_move_prob = global_move_prob
         self.time_budget = time_budget
         self.executor_options = executor_options
+        self.compiled = compiled
         self._deadline: Optional[float] = None
 
     # -- hooks the Church-like engine overrides -------------------------------
 
     def _execute(self, program, rng, base_trace, result: InferenceResult) -> RunResult:
-        run = run_program(
+        run = self._run_program(
             program, rng, base_trace=base_trace, options=self.executor_options
         )
         result.statements_executed += run.statements_executed

@@ -14,7 +14,7 @@ import random
 import time
 
 from ..core.ast import Program
-from ..semantics.executor import ExecutorOptions, NonTerminatingRun, run_program
+from ..semantics.executor import ExecutorOptions, NonTerminatingRun
 from .base import Engine, InferenceError, InferenceResult, UnsupportedProgramError
 from .features import has_soft_conditioning
 
@@ -36,6 +36,7 @@ class RejectionSampler(Engine):
         seed: int = 0,
         max_attempts: int = 10_000_000,
         executor_options: ExecutorOptions = ExecutorOptions(),
+        compiled: bool = False,
     ) -> None:
         if n_samples <= 0:
             raise ValueError("n_samples must be positive")
@@ -43,6 +44,7 @@ class RejectionSampler(Engine):
         self.seed = seed
         self.max_attempts = max_attempts
         self.executor_options = executor_options
+        self.compiled = compiled
 
     def infer(self, program: Program) -> InferenceResult:
         if has_soft_conditioning(program):
@@ -61,7 +63,7 @@ class RejectionSampler(Engine):
                 )
             attempts += 1
             try:
-                run = run_program(
+                run = self._run_program(
                     program, rng, options=self.executor_options
                 )
             except NonTerminatingRun:

@@ -36,6 +36,7 @@ from ..core.ast import (
     While,
 )
 from ..dists import make_distribution
+from ..semantics.executor import NonTerminatingRun
 from ..semantics.trace import Address, Trace, TraceEntry
 from ..semantics.values import State, Value, default_value, eval_dist_args, eval_expr
 from .base import Engine, InferenceError, InferenceResult
@@ -174,6 +175,7 @@ class SMCSampler(Engine):
         seed: int = 0,
         ess_threshold: float = 0.5,
         max_loop_iterations: int = 1_000_000,
+        compiled: bool = False,
     ) -> None:
         if n_particles <= 0:
             raise ValueError("n_particles must be positive")
@@ -183,13 +185,31 @@ class SMCSampler(Engine):
         self.seed = seed
         self.ess_threshold = ess_threshold
         self.max_loop_iterations = max_loop_iterations
+        self.compiled = compiled
+
+    def _new_run(
+        self,
+        program: Program,
+        rng: random.Random,
+        base_trace: Optional[Trace],
+    ):
+        """A fresh particle execution context, interpreted or compiled.
+        Both speak the same protocol (``advance`` / ``trace`` /
+        ``statements`` / ``value``) and consume the RNG identically."""
+        if self.compiled:
+            from ..semantics.compiled import CompiledRun, compile_program
+
+            return CompiledRun(
+                compile_program(program), rng, base_trace, self.max_loop_iterations
+            )
+        return _Run(program, rng, base_trace, self.max_loop_iterations)
 
     def infer(self, program: Program) -> InferenceResult:
         rng = random.Random(self.seed)
         result = InferenceResult(weights=[])
         start = time.perf_counter()
         particles = [
-            _Particle(_Run(program, rng, None, self.max_loop_iterations))
+            _Particle(self._new_run(program, rng, None))
             for _ in range(self.n_particles)
         ]
         finished: List[_Particle] = []
@@ -200,7 +220,7 @@ class SMCSampler(Engine):
             for p in particles:
                 try:
                     delta = p.run.advance()
-                except _NonTerminating:
+                except (_NonTerminating, NonTerminatingRun):
                     p.alive = False
                     continue
                 result.statements_executed += p.run.statements
@@ -279,7 +299,7 @@ class SMCSampler(Engine):
     ) -> _Particle:
         """Replay the source's trace up to its barrier count, then let
         the clone diverge with fresh randomness."""
-        run = _Run(program, rng, dict(source.run.trace), self.max_loop_iterations)
+        run = self._new_run(program, rng, dict(source.run.trace))
         clone = _Particle(run)
         for _ in range(source.barriers):
             delta = run.advance()

@@ -25,7 +25,7 @@ import random
 from typing import Optional
 
 from ..core.ast import Program
-from ..semantics.executor import RunResult, run_program
+from ..semantics.executor import RunResult
 from .base import InferenceResult, UnsupportedProgramError
 from .features import distributions_used
 from .mh import MetropolisHastings
@@ -71,12 +71,12 @@ class ChurchTraceMH(MetropolisHastings):
         # per-proposal cost scales like an interpreted host's would.
         # The extra runs replay the *produced* trace, so the sampled
         # values are identical and only work is added.
-        run = run_program(
+        run = self._run_program(
             program, rng, base_trace=base_trace, options=self.executor_options
         )
         result.statements_executed += run.statements_executed
         for _ in range(self.overhead - 1):
-            replay = run_program(
+            replay = self._run_program(
                 program, rng, base_trace=run.trace, options=self.executor_options
             )
             result.statements_executed += replay.statements_executed

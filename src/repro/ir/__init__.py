@@ -1,0 +1,40 @@
+"""``repro.ir`` — a shared control-flow-graph intermediate representation.
+
+Amtoft & Banerjee's *A Theory of Slicing for Probabilistic Control-Flow
+Graphs* states the paper's observe-dependence slicing over a
+probabilistic CFG with explicit control dependence via postdominators.
+This package adopts that representation as the common substrate for
+the analyses and the compiled execution layer:
+
+* :mod:`repro.ir.cfg` — basic blocks, flow edges, dominator /
+  postdominator trees, and control-dependence edges;
+* :mod:`repro.ir.lower` — AST→CFG lowering (one node per primitive
+  statement; ``observe`` / ``sample`` / ``factor`` are first-class node
+  kinds) plus the verified CFG→AST *raising* that the slicer and the
+  printer rely on;
+* :mod:`repro.ir.analyses` — a generic worklist dataflow fixpoint
+  engine that :mod:`repro.semantics.liveness` instantiates.
+
+Consumers: :mod:`repro.analysis.depgraph` reads data/control/observe
+dependence off CFG edges, :mod:`repro.transforms.slice` marks CFG nodes
+and raises the kept subset back to an AST, and
+:mod:`repro.semantics.compiled` compiles each basic block to a Python
+closure for the inference hot path.
+"""
+
+from .cfg import CFG, BasicBlock, Node
+from .lower import Lowered, lower, raise_program, raise_region
+from .analyses import DataflowProblem, DataflowSolution, solve
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "Node",
+    "Lowered",
+    "lower",
+    "raise_program",
+    "raise_region",
+    "DataflowProblem",
+    "DataflowSolution",
+    "solve",
+]

@@ -1,0 +1,318 @@
+"""Basic-block control-flow graphs for PROB programs.
+
+A :class:`CFG` holds one :class:`Node` per primitive statement
+(``skip`` produces no node) plus *branch* nodes for ``if`` / ``while``
+conditions, grouped into :class:`BasicBlock`\\ s of straight-line code.
+``observe`` / ``sample`` / ``factor`` are first-class node kinds, which
+is what makes the probabilistic analyses (observe dependence, the
+compiled executor's conditioning barriers) graph-local queries.
+
+On top of the raw graph the class computes, on demand and cached:
+
+* immediate dominators / postdominators (Cooper–Harvey–Kennedy
+  iteration over a reverse-postorder numbering — near-linear on the
+  reducible graphs structured lowering produces);
+* block-level **control dependence** via the postdominator frontier
+  (Ferrante–Ottenstein–Warren): block ``v`` is control-dependent on
+  branch block ``u`` iff ``u`` has a successor that ``v`` postdominates
+  while ``v`` does not strictly postdominate ``u``;
+* the transitive control-dependence *closure*, which for structured
+  programs coincides with "the stack of enclosing branch conditions" —
+  exactly the control context Figure 9's ``DEP`` rules thread through
+  the AST.
+
+Every loop header is control-dependent on itself (the back edge makes
+its own condition decide whether it executes again); consumers that
+mirror the paper's AST formulation filter that reflexive entry out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..core.ast import Expr, Stmt
+
+__all__ = ["Node", "BasicBlock", "CFG", "NODE_KINDS"]
+
+#: Node kinds.  ``stmt`` nodes carry a primitive statement; ``branch``
+#: (if) and ``loop`` (while header) nodes carry a condition expression.
+NODE_KINDS = ("stmt", "branch", "loop")
+
+
+@dataclass
+class Node:
+    """One CFG node: a primitive statement or a branch condition."""
+
+    id: int
+    kind: str  # one of NODE_KINDS
+    stmt: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    #: Index of the owning basic block (set during construction).
+    block: int = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        payload = self.stmt if self.stmt is not None else self.cond
+        return f"Node({self.id}, {self.kind}, {payload})"
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of nodes.
+
+    A block ends at (and contains) at most one ``branch``/``loop``
+    node, always in last position; blocks with two successors are
+    exactly the blocks ending in such a node, and the first successor
+    is the true edge.
+    """
+
+    id: int
+    nodes: List[int] = field(default_factory=list)
+    succ: List[int] = field(default_factory=list)
+    pred: List[int] = field(default_factory=list)
+
+
+class CFG:
+    """A control-flow graph with a unique entry and exit block."""
+
+    def __init__(self) -> None:
+        self.nodes: List[Node] = []
+        self.blocks: List[BasicBlock] = []
+        self.entry: int = self.new_block()  # block id 0
+        self.exit: int = -1  # set by seal()
+        self._ipdom: Optional[Dict[int, int]] = None
+        self._idom: Optional[Dict[int, int]] = None
+        self._cd: Optional[Dict[int, FrozenSet[int]]] = None
+        self._cd_closure: Optional[Dict[int, FrozenSet[int]]] = None
+
+    # -- construction (used by repro.ir.lower) --------------------------------
+
+    def new_block(self) -> int:
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block.id
+
+    def new_node(
+        self,
+        kind: str,
+        block: int,
+        stmt: Optional[Stmt] = None,
+        cond: Optional[Expr] = None,
+    ) -> int:
+        if kind not in NODE_KINDS:
+            raise ValueError(f"unknown node kind: {kind!r}")
+        node = Node(len(self.nodes), kind, stmt, cond, block)
+        self.nodes.append(node)
+        self.blocks[block].nodes.append(node.id)
+        return node.id
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.blocks[src].succ.append(dst)
+        self.blocks[dst].pred.append(src)
+
+    def seal(self, exit_block: int) -> None:
+        """Mark construction complete; ``exit_block`` is the unique exit."""
+        self.exit = exit_block
+
+    # -- basic queries --------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def block_of(self, node_id: int) -> BasicBlock:
+        return self.blocks[self.nodes[node_id].block]
+
+    def branch_node_of_block(self, block_id: int) -> Optional[int]:
+        """The branch/loop node terminating ``block_id``, if any."""
+        nodes = self.blocks[block_id].nodes
+        if nodes and self.nodes[nodes[-1]].kind in ("branch", "loop"):
+            return nodes[-1]
+        return None
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Nodes in creation order — which lowering guarantees is AST
+        pre-order, the traversal order the paper's analyses use."""
+        return iter(self.nodes)
+
+    def flow_edges(self) -> Iterator[Tuple[int, int]]:
+        for block in self.blocks:
+            for dst in block.succ:
+                yield block.id, dst
+
+    # -- dominators -----------------------------------------------------------
+
+    def _rpo(self, root: int, forward: bool) -> List[int]:
+        """Reverse postorder over blocks from ``root`` following
+        successor (forward) or predecessor (backward) edges."""
+        succ = (
+            (lambda b: self.blocks[b].succ)
+            if forward
+            else (lambda b: self.blocks[b].pred)
+        )
+        seen = {root}
+        order: List[int] = []
+        stack: List[Tuple[int, Iterator[int]]] = [(root, iter(succ(root)))]
+        while stack:
+            block, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, iter(succ(nxt))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(block)
+                stack.pop()
+        order.reverse()
+        return order
+
+    def _compute_idoms(self, root: int, forward: bool) -> Dict[int, int]:
+        """Cooper–Harvey–Kennedy immediate (post)dominators."""
+        rpo = self._rpo(root, forward)
+        number = {b: i for i, b in enumerate(rpo)}
+        preds = (
+            (lambda b: self.blocks[b].pred)
+            if forward
+            else (lambda b: self.blocks[b].succ)
+        )
+        idom: Dict[int, int] = {root: root}
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while number[a] > number[b]:
+                    a = idom[a]
+                while number[b] > number[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo:
+                if block == root:
+                    continue
+                new_idom = -1
+                for p in preds(block):
+                    if p not in number or p not in idom:
+                        continue
+                    new_idom = p if new_idom == -1 else intersect(p, new_idom)
+                if new_idom != -1 and idom.get(block) != new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        return idom
+
+    def idoms(self) -> Dict[int, int]:
+        """Immediate dominators (block → idom block; entry maps to itself)."""
+        if self._idom is None:
+            self._idom = self._compute_idoms(self.entry, forward=True)
+        return self._idom
+
+    def ipdoms(self) -> Dict[int, int]:
+        """Immediate postdominators (block → ipdom; exit maps to itself)."""
+        if self._ipdom is None:
+            self._ipdom = self._compute_idoms(self.exit, forward=False)
+        return self._ipdom
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Does block ``a`` dominate block ``b``?"""
+        idom = self.idoms()
+        while True:
+            if a == b:
+                return True
+            nxt = idom.get(b, b)
+            if nxt == b:
+                return False
+            b = nxt
+
+    def postdominates(self, a: int, b: int) -> bool:
+        """Does block ``a`` postdominate block ``b``?"""
+        ipdom = self.ipdoms()
+        while True:
+            if a == b:
+                return True
+            nxt = ipdom.get(b, b)
+            if nxt == b:
+                return False
+            b = nxt
+
+    # -- control dependence ---------------------------------------------------
+
+    def control_dependence(self) -> Dict[int, FrozenSet[int]]:
+        """Block-level control dependence: block → the *branch nodes*
+        it is directly control-dependent on.
+
+        Ferrante–Ottenstein–Warren over the postdominator tree: for each
+        flow edge ``u → v`` where ``v`` does not postdominate ``u``,
+        every block on the postdominator-tree path from ``v`` up to (but
+        excluding) ``ipdom(u)`` is control-dependent on ``u``'s
+        terminating branch node.
+        """
+        if self._cd is not None:
+            return self._cd
+        ipdom = self.ipdoms()
+        cd: Dict[int, set] = {b.id: set() for b in self.blocks}
+        for u, v in self.flow_edges():
+            branch = self.branch_node_of_block(u)
+            if branch is None:
+                continue
+            stop = ipdom.get(u, u)
+            runner = v
+            while runner != stop:
+                cd[runner].add(branch)
+                nxt = ipdom.get(runner, runner)
+                if nxt == runner:
+                    break  # unreachable-from-exit safety valve
+                runner = nxt
+        self._cd = {b: frozenset(s) for b, s in cd.items()}
+        return self._cd
+
+    def control_dependence_closure(self) -> Dict[int, FrozenSet[int]]:
+        """Transitive control dependence: block → every branch node it
+        is (transitively) control-dependent on.
+
+        For the structured graphs lowering produces this is the chain of
+        enclosing ``if``/``while`` conditions (loop headers include
+        themselves via their back edge).
+        """
+        if self._cd_closure is not None:
+            return self._cd_closure
+        cd = self.control_dependence()
+        closure: Dict[int, FrozenSet[int]] = {}
+
+        def resolve(block: int, in_progress: set) -> FrozenSet[int]:
+            done = closure.get(block)
+            if done is not None:
+                return done
+            if block in in_progress:
+                # Cycle (loop-header self dependence): the fixpoint adds
+                # nothing beyond what the other callers accumulate.
+                return frozenset(cd[block])
+            in_progress.add(block)
+            acc = set(cd[block])
+            for branch in cd[block]:
+                acc |= resolve(self.nodes[branch].block, in_progress)
+            in_progress.discard(block)
+            closure[block] = frozenset(acc)
+            return closure[block]
+
+        for block in cd:
+            resolve(block, set())
+        self._cd_closure = closure
+        return closure
+
+    def node_control_closure(self, node_id: int) -> FrozenSet[int]:
+        """Branch nodes the given node is transitively control-dependent
+        on, *excluding* itself (the paper's AST rules never make a loop
+        condition depend on itself)."""
+        closure = self.control_dependence_closure()
+        branches = closure[self.nodes[node_id].block]
+        if node_id in branches:
+            branches = branches - {node_id}
+        return branches
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CFG({len(self.nodes)} nodes, {len(self.blocks)} blocks, "
+            f"entry={self.entry}, exit={self.exit})"
+        )

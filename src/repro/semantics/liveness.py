@@ -1,4 +1,5 @@
-"""Backward liveness analysis for PROB statements.
+"""Backward liveness analysis, as an instance of the generic CFG
+dataflow engine (:mod:`repro.ir.analyses`).
 
 ``live_in(S, out)`` computes the variables whose values *may* be read
 by ``S`` or by the continuation whose live set is ``out``.  It is
@@ -6,70 +7,105 @@ deliberately conservative: right-hand sides count as read even when
 the target is dead (the exact engine still evaluates them, so their
 variables must stay in the state).
 
-The exact enumeration engine uses this to project program states onto
-their live variables after every statement — dead variables would
-otherwise keep exponentially many distinguishable states alive (the
-preprocessed Burglar Alarm model has 28 booleans but at most a handful
-live at once).
+The statement is lowered to its CFG (shared with every other analysis
+via the identity-memoized :func:`repro.ir.lower.lower`) and a standard
+union/gen-kill backward problem is solved by the worklist engine —
+``while`` loops fall out of the fixpoint instead of needing their own
+hand-rolled iteration.  Results are memoized per ``(statement, out)``
+pair: the exact enumeration engine re-queries the same loop body once
+per peeled iteration, and those queries now cost a dictionary hit.
+
+The exact engine uses this to project program states onto their live
+variables after every statement — dead variables would otherwise keep
+exponentially many distinguishable states alive (the preprocessed
+Burglar Alarm model has 28 booleans but at most a handful live at
+once).
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import Dict, FrozenSet, Tuple
 
 from ..core.ast import (
     Assign,
-    Block,
     Decl,
     Factor,
-    If,
     Observe,
     ObserveSample,
     Sample,
-    Skip,
     Stmt,
-    While,
 )
 from ..core.freevars import free_vars
+from ..ir.analyses import DataflowProblem, solve
+from ..ir.cfg import Node
+from ..ir.lower import lower
 
-__all__ = ["live_in"]
+__all__ = ["live_in", "LivenessProblem", "clear_liveness_cache"]
+
+
+class LivenessProblem(DataflowProblem[FrozenSet[str]]):
+    """May-liveness: backward, join = union, gen/kill per node kind.
+
+    Branch and loop-header nodes generate their condition's variables;
+    definitions kill their target after generating their reads.
+    """
+
+    direction = "backward"
+
+    def __init__(self, live_out: FrozenSet[str]) -> None:
+        self._boundary = live_out
+
+    def boundary(self) -> FrozenSet[str]:
+        return self._boundary
+
+    def initial(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def join(self, a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+        return a | b
+
+    def transfer(self, node: Node, value: FrozenSet[str]) -> FrozenSet[str]:
+        if node.kind in ("branch", "loop"):
+            return value | free_vars(node.cond)
+        stmt = node.stmt
+        if isinstance(stmt, Decl):
+            return value - {stmt.name}
+        if isinstance(stmt, Assign):
+            return (value - {stmt.name}) | free_vars(stmt.expr)
+        if isinstance(stmt, Sample):
+            return (value - {stmt.name}) | free_vars(stmt.dist)
+        if isinstance(stmt, Observe):
+            return value | free_vars(stmt.cond)
+        if isinstance(stmt, ObserveSample):
+            return value | free_vars(stmt.dist) | free_vars(stmt.value)
+        if isinstance(stmt, Factor):
+            return value | free_vars(stmt.log_weight)
+        raise TypeError(f"not a primitive statement: {stmt!r}")
+
+
+#: ``(id(stmt), live_out) -> live_in`` memo.  The statement reference is
+#: stored so the id key stays valid while the entry lives.
+_CACHE: Dict[Tuple[int, FrozenSet[str]], Tuple[Stmt, FrozenSet[str]]] = {}
+_CACHE_MAX = 65536
+
+
+def clear_liveness_cache() -> None:
+    """Drop memoized liveness results (mainly for tests)."""
+    _CACHE.clear()
 
 
 def live_in(stmt: Stmt, out: FrozenSet[str]) -> FrozenSet[str]:
     """Variables live immediately before ``stmt`` given the live-out
     set ``out``."""
-    if isinstance(stmt, Skip):
-        return out
-    if isinstance(stmt, Decl):
-        return out - {stmt.name}
-    if isinstance(stmt, Assign):
-        return (out - {stmt.name}) | free_vars(stmt.expr)
-    if isinstance(stmt, Sample):
-        return (out - {stmt.name}) | free_vars(stmt.dist)
-    if isinstance(stmt, Observe):
-        return out | free_vars(stmt.cond)
-    if isinstance(stmt, ObserveSample):
-        return out | free_vars(stmt.dist) | free_vars(stmt.value)
-    if isinstance(stmt, Factor):
-        return out | free_vars(stmt.log_weight)
-    if isinstance(stmt, Block):
-        live = out
-        for s in reversed(stmt.stmts):
-            live = live_in(s, live)
-        return live
-    if isinstance(stmt, If):
-        return (
-            free_vars(stmt.cond)
-            | live_in(stmt.then_branch, out)
-            | live_in(stmt.else_branch, out)
-        )
-    if isinstance(stmt, While):
-        # Fixpoint: the loop may repeat, so anything live at its head
-        # stays live across iterations.
-        live = out | free_vars(stmt.cond)
-        while True:
-            next_live = live | live_in(stmt.body, live)
-            if next_live == live:
-                return live
-            live = next_live
-    raise TypeError(f"not a statement: {stmt!r}")
+    out = frozenset(out)
+    key = (id(stmt), out)
+    hit = _CACHE.get(key)
+    if hit is not None and hit[0] is stmt:
+        return hit[1]
+    lowered = lower(stmt)
+    solution = solve(lowered.cfg, LivenessProblem(out))
+    result = solution.entry_value()
+    if len(_CACHE) >= _CACHE_MAX:
+        _CACHE.clear()
+    _CACHE[key] = (stmt, result)
+    return result

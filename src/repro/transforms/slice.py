@@ -1,104 +1,92 @@
 """The slicing transformation SLI (Figure 11) and its complement AUX
-(Figure 17).
+(Figure 17), as CFG node marking plus raising.
 
-``slice_stmt`` keeps exactly the statements whose target variable (or
-observed variable / soft-observation token) lies in the influencer set
-``X``; everything else becomes ``skip``.  ``aux_stmt`` keeps the
-complement — statements whose backward cone is *disjoint* from ``X``.
-Lemma 4 states that the semantics of ``S`` decomposes into the product
-of the semantics of ``SLI(S)`` and ``AUX(S)``; the property test
+The statement is lowered to the shared IR (:mod:`repro.ir.lower` —
+memoized by identity, so the pipeline's dependence analysis and the
+slicer operate on one CFG), each node is marked *kept* or *dropped*
+by comparing its target key against the influencer set ``X``, and the
+kept subset is raised back to an AST by
+:func:`repro.ir.lower.raise_region`:
+
+* a ``Decl`` / ``Assign`` / ``Sample`` node is kept iff its target
+  variable is in ``X``;
+* an ``observe`` node iff its (single-variable) condition is;
+* a soft observation (``observe(Dist, E)`` / ``factor``) iff its
+  synthetic token is — tokens come from the lowering itself, so they
+  are assigned in exactly the order the dependence analysis used;
+* a loop header iff its condition variable is; ``if`` nodes are
+  structural and survive iff either raised branch does.
+
+``aux_stmt`` keeps the complement — nodes whose backward cone in the
+dependence graph is *disjoint* from ``X``.  Lemma 4 states that the
+semantics of ``S`` decomposes into the product of the semantics of
+``SLI(S)`` and ``AUX(S)``; the property test
 ``tests/transforms/test_decomposition.py`` checks the measurable
 consequence ``Z(S) = Z(SLI(S)) * Z(AUX(S))`` on random programs.
-
-Soft observations (``observe(Dist, v)`` / ``factor``) are identified
-by synthetic tokens assigned in traversal order — the same order
-:mod:`repro.analysis.depgraph` uses — so membership of the token in
-``X`` decides whether the statement stays.
 """
 
 from __future__ import annotations
 
-from typing import AbstractSet
+from typing import AbstractSet, Callable, Dict, Optional
 
-from ..core.ast import (
-    Assign,
-    Block,
-    Decl,
-    Factor,
-    If,
-    Observe,
-    ObserveSample,
-    Program,
-    Sample,
-    SKIP,
-    Skip,
-    Stmt,
-    Var,
-    While,
-    is_skip,
-    seq,
-)
+from ..core.ast import Observe, Program, Stmt, Var
 from ..core.validate import ValidationError
-from ..analysis.depgraph import SOFT_OBS_PREFIX
 from ..analysis.graph import DiGraph
+from ..ir.cfg import Node
+from ..ir.lower import Lowered, lower, raise_region
 
 __all__ = ["slice_stmt", "slice_program_with", "aux_stmt", "aux_program_with"]
 
 
-class _TokenCounter:
-    """Soft-observation tokens in traversal order (must match the
-    dependence analysis)."""
-
-    def __init__(self) -> None:
-        self._n = 0
-
-    def next(self) -> str:
-        token = f"{SOFT_OBS_PREFIX}{self._n}"
-        self._n += 1
-        return token
-
-
-def _cond_name(stmt, what: str) -> str:
-    cond = stmt.cond
-    if not isinstance(cond, Var):
-        raise ValidationError(
-            f"SLI requires single variable form; {what} condition is {cond}"
-        )
-    return cond.name
-
-
-def _slice(stmt: Stmt, keep: AbstractSet[str], tokens: _TokenCounter) -> Stmt:
-    if isinstance(stmt, Skip):
-        return SKIP
-    if isinstance(stmt, Decl):
-        return stmt if stmt.name in keep else SKIP
-    if isinstance(stmt, (Assign, Sample)):
-        return stmt if stmt.name in keep else SKIP
+def _node_key(lowered: Lowered, node: Node) -> Optional[str]:
+    """The influencer-set key deciding whether ``node`` is kept:
+    the target variable, observed variable, soft-observation token, or
+    loop condition variable.  ``if`` branch nodes have no key (they are
+    kept structurally) but are still checked for single-variable form,
+    mirroring the historical traversal."""
+    if node.kind == "branch":
+        return None
+    if node.kind == "loop":
+        if not isinstance(node.cond, Var):
+            raise ValidationError(
+                f"SLI requires single variable form; while condition is {node.cond}"
+            )
+        return node.cond.name
+    stmt = node.stmt
     if isinstance(stmt, Observe):
-        return stmt if _cond_name(stmt, "observe") in keep else SKIP
-    if isinstance(stmt, (ObserveSample, Factor)):
-        return stmt if tokens.next() in keep else SKIP
-    if isinstance(stmt, Block):
-        return seq(*(_slice(s, keep, tokens) for s in stmt.stmts))
-    if isinstance(stmt, If):
-        then_branch = _slice(stmt.then_branch, keep, tokens)
-        else_branch = _slice(stmt.else_branch, keep, tokens)
-        if is_skip(then_branch) and is_skip(else_branch):
-            return SKIP
-        return If(stmt.cond, then_branch, else_branch)
-    if isinstance(stmt, While):
-        if _cond_name(stmt, "while") in keep:
-            return While(stmt.cond, _slice(stmt.body, keep, tokens))
-        # Even when the loop is dropped, its body's soft-observation
-        # tokens must advance so later statements keep their numbering.
-        _slice(stmt.body, keep, tokens)
-        return SKIP
-    raise TypeError(f"not a statement: {stmt!r}")
+        if not isinstance(stmt.cond, Var):
+            raise ValidationError(
+                f"SLI requires single variable form; observe condition is {stmt.cond}"
+            )
+        return stmt.cond.name
+    token = lowered.tokens.get(node.id)
+    if token is not None:
+        return token
+    # Decl / Assign / Sample all key on their target variable.
+    return stmt.name  # type: ignore[union-attr]
+
+
+def _selector(
+    lowered: Lowered, decide: Callable[[str], bool]
+) -> Callable[[int], bool]:
+    """Precompute the kept/dropped mark for every CFG node.
+
+    Marks are computed eagerly, in lowering (pre-)order, so
+    single-variable-form violations are reported for the first
+    offending condition even inside dropped regions — exactly as the
+    old recursive slicer did."""
+    kept: Dict[int, bool] = {}
+    for node in lowered.cfg.iter_nodes():
+        key = _node_key(lowered, node)
+        if key is not None:
+            kept[node.id] = decide(key)
+    return lambda node_id: kept.get(node_id, False)
 
 
 def slice_stmt(stmt: Stmt, keep: AbstractSet[str]) -> Stmt:
     """``SLI(S)(X)``: retain statements over influencers, else skip."""
-    return _slice(stmt, keep, _TokenCounter())
+    lowered = lower(stmt)
+    return raise_region(lowered.root, _selector(lowered, lambda key: key in keep))
 
 
 def slice_program_with(program: Program, keep: AbstractSet[str]) -> Program:
@@ -106,42 +94,15 @@ def slice_program_with(program: Program, keep: AbstractSet[str]) -> Program:
     return Program(slice_stmt(program.body, keep), program.ret)
 
 
-def _aux(
-    stmt: Stmt, keep: AbstractSet[str], graph: DiGraph, tokens: _TokenCounter
-) -> Stmt:
-    def disjoint(name: str) -> bool:
-        return not (graph.backward_reachable({name}) & keep)
-
-    if isinstance(stmt, Skip):
-        return SKIP
-    if isinstance(stmt, Decl):
-        return stmt if disjoint(stmt.name) else SKIP
-    if isinstance(stmt, (Assign, Sample)):
-        return stmt if disjoint(stmt.name) else SKIP
-    if isinstance(stmt, Observe):
-        return stmt if disjoint(_cond_name(stmt, "observe")) else SKIP
-    if isinstance(stmt, (ObserveSample, Factor)):
-        return stmt if disjoint(tokens.next()) else SKIP
-    if isinstance(stmt, Block):
-        return seq(*(_aux(s, keep, graph, tokens) for s in stmt.stmts))
-    if isinstance(stmt, If):
-        then_branch = _aux(stmt.then_branch, keep, graph, tokens)
-        else_branch = _aux(stmt.else_branch, keep, graph, tokens)
-        if is_skip(then_branch) and is_skip(else_branch):
-            return SKIP
-        return If(stmt.cond, then_branch, else_branch)
-    if isinstance(stmt, While):
-        if disjoint(_cond_name(stmt, "while")):
-            return While(stmt.cond, _aux(stmt.body, keep, graph, tokens))
-        _aux(stmt.body, keep, graph, tokens)
-        return SKIP
-    raise TypeError(f"not a statement: {stmt!r}")
-
-
 def aux_stmt(stmt: Stmt, keep: AbstractSet[str], graph: DiGraph) -> Stmt:
     """``AUX(S)``: the complement slice — statements whose direct
     influencer cone is disjoint from ``X`` (Figure 17)."""
-    return _aux(stmt, keep, graph, _TokenCounter())
+
+    def disjoint(key: str) -> bool:
+        return not (graph.backward_reachable({key}) & keep)
+
+    lowered = lower(stmt)
+    return raise_region(lowered.root, _selector(lowered, disjoint))
 
 
 def aux_program_with(

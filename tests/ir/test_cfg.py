@@ -1,0 +1,200 @@
+"""Unit tests for the shared IR: lowering structure, dominators,
+control dependence, raising, and the generic dataflow engine."""
+
+from typing import FrozenSet
+
+import pytest
+
+from repro.core.ast import Assign, Decl, Observe, Sample
+from repro.core.parser import parse
+from repro.core.printer import pretty
+from repro.ir import (
+    DataflowProblem,
+    lower,
+    raise_program,
+    solve,
+)
+from repro.ir.cfg import Node
+
+
+@pytest.fixture
+def program():
+    return parse(
+        """
+bool a, b, c;
+a ~ Bernoulli(0.5);
+if (a) { b ~ Bernoulli(0.3); } else { b = false; }
+c ~ Bernoulli(0.5);
+while (c) { c ~ Bernoulli(0.4); }
+observe(a || b);
+return b;
+"""
+    )
+
+
+class TestLoweringStructure:
+    def test_one_node_per_primitive(self, program):
+        cfg = lower(program).cfg
+        kinds = [n.kind for n in cfg.iter_nodes()]
+        # 3 decls, sample a, if-branch, sample b / assign b, sample c,
+        # loop header, sample c (body), observe.
+        assert kinds.count("branch") == 1
+        assert kinds.count("loop") == 1
+        assert kinds.count("stmt") == 9
+
+    def test_creation_order_is_preorder(self, program):
+        cfg = lower(program).cfg
+        stmts = [n.stmt for n in cfg.iter_nodes() if n.kind == "stmt"]
+        assert isinstance(stmts[0], Decl) and stmts[0].name == "a"
+        assert isinstance(stmts[3], Sample) and stmts[3].name == "a"
+        # then-branch sample precedes the else-branch assignment
+        then_idx = next(
+            i for i, s in enumerate(stmts) if isinstance(s, Sample) and s.name == "b"
+        )
+        else_idx = next(
+            i for i, s in enumerate(stmts) if isinstance(s, Assign) and s.name == "b"
+        )
+        assert then_idx < else_idx
+        assert isinstance(stmts[-1], Observe)
+
+    def test_branch_terminates_block(self, program):
+        cfg = lower(program).cfg
+        for block in cfg.blocks:
+            for pos, node_id in enumerate(block.nodes):
+                if cfg.node(node_id).kind in ("branch", "loop"):
+                    assert pos == len(block.nodes) - 1
+                    assert len(block.succ) == 2
+
+    def test_exit_unique(self, program):
+        cfg = lower(program).cfg
+        assert cfg.blocks[cfg.exit].succ == []
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self, program):
+        cfg = lower(program).cfg
+        for block in cfg.blocks:
+            assert cfg.dominates(cfg.entry, block.id)
+
+    def test_exit_postdominates_everything(self, program):
+        cfg = lower(program).cfg
+        for block in cfg.blocks:
+            assert cfg.postdominates(cfg.exit, block.id)
+
+    def test_branch_blocks_do_not_dominate_join(self, program):
+        cfg = lower(program).cfg
+        branch_node = next(n for n in cfg.iter_nodes() if n.kind == "branch")
+        then_block, else_block = cfg.blocks[branch_node.block].succ
+        # Neither arm postdominates the branch block …
+        assert not cfg.postdominates(then_block, branch_node.block)
+        assert not cfg.postdominates(else_block, branch_node.block)
+        # … and neither arm dominates the other.
+        assert not cfg.dominates(then_block, else_block)
+        assert not cfg.dominates(else_block, then_block)
+
+
+class TestControlDependence:
+    def test_if_arms_depend_on_branch(self, program):
+        cfg = lower(program).cfg
+        branch = next(n for n in cfg.iter_nodes() if n.kind == "branch")
+        cd = cfg.control_dependence()
+        for arm in cfg.blocks[branch.block].succ:
+            assert branch.id in cd[arm]
+
+    def test_loop_body_depends_on_header(self, program):
+        cfg = lower(program).cfg
+        head = next(n for n in cfg.iter_nodes() if n.kind == "loop")
+        body_entry = cfg.blocks[head.block].succ[0]  # true edge first
+        assert head.id in cfg.control_dependence()[body_entry]
+
+    def test_loop_header_self_dependence_filtered(self, program):
+        cfg = lower(program).cfg
+        head = next(n for n in cfg.iter_nodes() if n.kind == "loop")
+        # The closure sees the back edge's reflexive dependence …
+        assert head.id in cfg.control_dependence_closure()[head.block]
+        # … but the per-node view (what Figure 9 consumes) filters it.
+        assert head.id not in cfg.node_control_closure(head.id)
+
+    def test_straight_line_code_has_no_dependence(self):
+        program = parse(
+            "bool a, b;\na ~ Bernoulli(0.5);\nb ~ Bernoulli(0.5);\nreturn a && b;"
+        )
+        cfg = lower(program).cfg
+        for node in cfg.iter_nodes():
+            assert cfg.node_control_closure(node.id) == frozenset()
+        # The whole program is one straight-line block plus the exit.
+        assert len(cfg.blocks) == 2
+
+    def test_nested_if_closure_stacks(self):
+        program = parse(
+            """
+bool a, b, x;
+a ~ Bernoulli(0.5);
+b ~ Bernoulli(0.5);
+if (a) { if (b) { x ~ Bernoulli(0.3); } else { x = false; } }
+else { x = true; }
+return x;
+"""
+        )
+        lowered = lower(program)
+        cfg = lowered.cfg
+        inner_sample = next(
+            n
+            for n in cfg.iter_nodes()
+            if n.kind == "stmt" and isinstance(n.stmt, Sample) and n.stmt.name == "x"
+        )
+        closure = cfg.node_control_closure(inner_sample.id)
+        conds = {pretty(cfg.node(b).cond) for b in closure}
+        assert conds == {"a", "b"}
+
+
+class TestRaising:
+    def test_full_raise_roundtrips(self, program):
+        assert pretty(raise_program(lower(program))) == pretty(program)
+
+    def test_empty_selection_raises_to_skip(self, program):
+        raised = raise_program(lower(program), lambda node_id: False)
+        assert pretty(raised).strip().startswith("skip")
+
+
+class _MustDefined(DataflowProblem[FrozenSet[str]]):
+    """Forward must-assign analysis: a variable is in the set iff every
+    path to the point assigns or samples it (declarations don't count).
+    Exercises the forward direction of the worklist engine."""
+
+    direction = "forward"
+
+    def __init__(self, universe: FrozenSet[str]) -> None:
+        self._universe = universe
+
+    def boundary(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def initial(self) -> FrozenSet[str]:
+        return self._universe
+
+    def join(self, a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+        return a & b
+
+    def transfer(self, node: Node, value: FrozenSet[str]) -> FrozenSet[str]:
+        if isinstance(node.stmt, (Assign, Sample)):
+            return value | {node.stmt.name}
+        return value
+
+
+class TestForwardDataflow:
+    def test_must_defined_meets_over_branches(self):
+        program = parse(
+            """
+bool a, t, e;
+a ~ Bernoulli(0.5);
+if (a) { t = true; } else { e = true; }
+return a;
+"""
+        )
+        lowered = lower(program)
+        universe = frozenset({"a", "t", "e"})
+        solution = solve(lowered.cfg, _MustDefined(universe))
+        # At the exit, only the unconditionally assigned names survive
+        # the intersection over the two branch paths.
+        assert solution.block_in[lowered.cfg.exit] == frozenset({"a"})

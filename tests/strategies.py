@@ -78,11 +78,20 @@ def int_exprs(defined: List[str]) -> st.SearchStrategy[Expr]:
     if available:
         atoms.append(st.sampled_from(available).map(Var))
     base = st.one_of(*atoms)
+    # Multiplication only by a small constant: ``n = n * n`` inside a
+    # loop doubles the bit length every iteration, and the exact
+    # engine's loop peeling then builds gigabyte-sized bignums before
+    # the tail mass underflows.  Constant factors keep growth linear.
     return st.recursive(
         base,
-        lambda inner: st.tuples(
-            st.sampled_from(["+", "-", "*"]), inner, inner
-        ).map(lambda t: Binary(t[0], t[1], t[2])),
+        lambda inner: st.one_of(
+            st.tuples(st.sampled_from(["+", "-"]), inner, inner).map(
+                lambda t: Binary(t[0], t[1], t[2])
+            ),
+            st.tuples(
+                st.integers(min_value=0, max_value=3).map(Const), inner
+            ).map(lambda t: Binary("*", t[0], t[1])),
+        ),
         max_leaves=3,
     )
 

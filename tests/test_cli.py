@@ -114,3 +114,10 @@ class TestShippedModels:
         assert main([str(models_dir / "student.prob"), "--dot"]) == 0
         out = capsys.readouterr().out
         assert out.startswith("digraph")
+
+    def test_emit_cfg_flag(self, models_dir, capsys):
+        assert main([str(models_dir / "student.prob"), "--emit-cfg"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "B0" in out
+        assert "entry" in out
