@@ -1,0 +1,141 @@
+"""Parallel runtime benchmarks: multi-chain fan-out scaling and the
+program-fingerprint cache's elimination of repeat setup cost.
+
+Scaling: 400 MH samples on the Chess model (bench scale) fanned out
+over 1/2/4 workers.  The >= 3x-at-4-workers acceptance bar is asserted
+only when the machine actually has >= 4 cores — on fewer cores the
+fan-out still runs (and its determinism is still gated), but wall-clock
+scaling is physically impossible and is reported instead of asserted.
+
+Cache: the first ``ProgramCache.slice`` pays the full SLI pipeline;
+every repeat — same process (memory layer) or a fresh process pointed
+at the same ``cache_dir`` (disk layer) — is a fingerprint lookup.  The
+< 5% setup-cost bar is asserted on the in-process repeat and the disk
+warm start is reported alongside.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.inference import MetropolisHastings
+from repro.models import benchmark as table1_benchmark
+from repro.runtime import ParallelRunner, ProgramCache
+
+from .conftest import record_block
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+_CORES = _cores()
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+_N_SAMPLES = 400
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.skipif(not _HAS_FORK, reason="fork start method unavailable")
+def test_parallel_fanout_scaling(benchmark):
+    spec = table1_benchmark("Chess")
+    program = ProgramCache().slice(spec.bench()).sliced
+    engine = MetropolisHastings(n_samples=_N_SAMPLES, burn_in=50, seed=0)
+
+    # Determinism gate: the runner's sequential path is the engine.
+    direct = engine.infer(program)
+    via_runner = ParallelRunner(n_workers=1).run(engine, program)
+    assert via_runner.samples == direct.samples
+    assert via_runner.statements_executed == direct.statements_executed
+
+    times = {}
+    for workers in (1, 2, 4):
+        runner = ParallelRunner(n_workers=workers, backend="fork")
+        times[workers] = _best_of(lambda: runner.run(engine, program))
+
+    benchmark.group = "parallel-runtime"
+    benchmark.pedantic(
+        lambda: ParallelRunner(n_workers=min(4, _CORES), backend="fork").run(
+            engine, program
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    speedup2 = times[1] / times[2]
+    speedup4 = times[1] / times[4]
+    benchmark.extra_info["cores"] = str(_CORES)
+    benchmark.extra_info["speedup_2w"] = f"{speedup2:.2f}x"
+    benchmark.extra_info["speedup_4w"] = f"{speedup4:.2f}x"
+    record_block(
+        "Parallel runtime: MH fan-out on Chess (bench scale)",
+        "\n".join(
+            [
+                f"cores available: {_CORES}",
+                f"{_N_SAMPLES} samples, 1 worker : {times[1] * 1e3:8.1f}ms",
+                f"{_N_SAMPLES} samples, 2 workers: {times[2] * 1e3:8.1f}ms "
+                f"({speedup2:.2f}x)",
+                f"{_N_SAMPLES} samples, 4 workers: {times[4] * 1e3:8.1f}ms "
+                f"({speedup4:.2f}x)",
+            ]
+        ),
+    )
+    if _CORES >= 4:
+        assert speedup4 >= 3.0, (
+            f"expected >= 3x at 4 workers on {_CORES} cores, "
+            f"got {speedup4:.2f}x"
+        )
+
+
+def test_cache_eliminates_repeat_setup(benchmark, tmp_path):
+    spec = table1_benchmark("Chess")
+    program = spec.paper()  # paper scale: where setup cost actually hurts
+
+    cache = ProgramCache(cache_dir=str(tmp_path))
+    start = time.perf_counter()
+    cold_result = cache.slice(program)
+    cold = time.perf_counter() - start
+
+    warm = _best_of(lambda: cache.slice(program))
+    disk = ProgramCache(cache_dir=str(tmp_path))
+    warm_disk = _best_of(lambda: disk.slice(program))
+    assert disk.stats.disk_hits >= 1
+
+    # The repeat must return the same slice, for (almost) free.
+    from repro.core.printer import pretty
+
+    assert pretty(cache.slice(program).sliced) == pretty(cold_result.sliced)
+    assert warm < 0.05 * cold, (
+        f"warm in-memory lookup {warm * 1e3:.2f}ms is not < 5% of the "
+        f"cold pipeline {cold * 1e3:.1f}ms"
+    )
+
+    benchmark.group = "parallel-runtime"
+    benchmark.pedantic(lambda: cache.slice(program), rounds=5, iterations=1)
+    benchmark.extra_info["cold_ms"] = f"{cold * 1e3:.1f}"
+    benchmark.extra_info["warm_ms"] = f"{warm * 1e3:.3f}"
+    benchmark.extra_info["warm_disk_ms"] = f"{warm_disk * 1e3:.3f}"
+    record_block(
+        "Program-fingerprint cache: SLI setup cost on Chess (paper scale)",
+        "\n".join(
+            [
+                f"cold pipeline       : {cold * 1e3:8.1f}ms",
+                f"warm (memory layer) : {warm * 1e3:8.3f}ms "
+                f"({warm / cold:.2%} of cold)",
+                f"warm (disk layer)   : {warm_disk * 1e3:8.3f}ms "
+                f"({warm_disk / cold:.2%} of cold)",
+            ]
+        ),
+    )

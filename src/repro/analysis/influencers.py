@@ -76,19 +76,31 @@ def inf_fast(
     Figure-10 rule; the property test
     ``tests/analysis/test_influencers.py::TestFastEquivalence`` checks
     agreement on random graphs and on every benchmark program.
+
+    The augmented graph is never materialized: the reverse of an edge
+    ``v -> w`` (added when ``w`` lies in an observed cone) is an edge
+    *into* ``v``, so the backward walk from the targets simply treats
+    ``successors(v) ∩ cone`` as extra predecessors of ``v`` — one
+    set-indexed adjacency query per visited vertex instead of an
+    O(V + E) graph copy per call.
     """
     observed = list(observed)
     if not observed:
         return dinf(graph, targets)
     cone_union = graph.backward_reachable(observed)
-    augmented = DiGraph()
-    for v in graph.vertices():
-        augmented.add_vertex(v)
-    for src, dst in graph.edges():
-        augmented.add_edge(src, dst)
-        if dst in cone_union:
-            augmented.add_edge(dst, src)
-    return augmented.backward_reachable(targets)
+    seen = set(targets)
+    stack = list(seen)
+    while stack:
+        v = stack.pop()
+        for p in graph.predecessors(v):
+            if p not in seen:
+                seen.add(p)
+                stack.append(p)
+        for w in graph.successors(v):
+            if w in cone_union and w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return frozenset(seen)
 
 
 def influencer_closure(

@@ -7,6 +7,12 @@ Usage::
     prob-slice FILE.prob --stats       # sizes and influencer sets
     prob-slice FILE.prob --simplify    # constant-propagation post-pass
     prob-slice FILE.prob --exact       # exact posterior of both versions
+    prob-slice FILE.prob --infer mh --samples 2000 --jobs 4
+                                       # sample the sliced posterior on
+                                       # 4 worker processes
+    prob-slice FILE.prob --cache-dir .prob-cache
+                                       # reuse slices/compilations across
+                                       # invocations (content-addressed)
 """
 
 from __future__ import annotations
@@ -73,7 +79,134 @@ def _build_parser() -> argparse.ArgumentParser:
             "(with control-dependence edges) as Graphviz DOT"
         ),
     )
+    runtime = parser.add_argument_group("runtime (inference on the slice)")
+    runtime.add_argument(
+        "--infer",
+        metavar="ENGINE",
+        choices=sorted(_ENGINE_FACTORIES),
+        help=(
+            "run this inference engine on the sliced program and print "
+            "posterior summaries instead of code; one of: "
+            + ", ".join(sorted(_ENGINE_FACTORIES))
+        ),
+    )
+    runtime.add_argument(
+        "--samples",
+        type=int,
+        default=2_000,
+        help="sample budget for --infer (default: 2000)",
+    )
+    runtime.add_argument(
+        "--seed", type=int, default=0, help="master RNG seed (default: 0)"
+    )
+    runtime.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fan --infer's sampling out over N worker processes "
+            "(chains for mh/church/gibbs, i.i.d. draws for "
+            "importance/rejection, particle islands for smc); N=1 is "
+            "bit-identical to the sequential engine (default: 1)"
+        ),
+    )
+    runtime.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "persist slices and compiled executors under DIR, keyed by "
+            "program content fingerprint, so repeated invocations skip "
+            "the slicing pipeline and recompilation"
+        ),
+    )
     return parser
+
+
+def _engine_mh(args):
+    from .inference.mh import MetropolisHastings
+
+    return MetropolisHastings(n_samples=args.samples, seed=args.seed)
+
+
+def _engine_church(args):
+    from .inference.tracemh import ChurchTraceMH
+
+    return ChurchTraceMH(n_samples=args.samples, seed=args.seed)
+
+
+def _engine_importance(args):
+    from .inference.importance import LikelihoodWeighting
+
+    return LikelihoodWeighting(n_samples=args.samples, seed=args.seed)
+
+
+def _engine_rejection(args):
+    from .inference.rejection import RejectionSampler
+
+    return RejectionSampler(n_samples=args.samples, seed=args.seed)
+
+
+def _engine_smc(args):
+    from .inference.smc import SMCSampler
+
+    return SMCSampler(n_particles=args.samples, seed=args.seed)
+
+
+def _engine_gibbs(args):
+    from .inference.gibbs import GibbsSampler
+
+    return GibbsSampler(n_samples=args.samples, seed=args.seed)
+
+
+_ENGINE_FACTORIES = {
+    "mh": _engine_mh,
+    "church": _engine_church,
+    "importance": _engine_importance,
+    "rejection": _engine_rejection,
+    "smc": _engine_smc,
+    "gibbs": _engine_gibbs,
+}
+
+
+def _run_inference(args, result, cache) -> int:
+    """The --infer path: sample the sliced posterior, optionally in
+    parallel, and print a summary."""
+    from .inference.base import InferenceError
+    from .inference.diagnostics import cross_chain_diagnostics
+    from .runtime import ParallelRunner
+
+    runner = ParallelRunner(n_workers=args.jobs, cache=cache)
+    engine = _ENGINE_FACTORIES[args.infer](args)
+    try:
+        inferred = runner.run(engine, result.sliced)
+    except InferenceError as exc:
+        print(f"inference error: {exc}", file=sys.stderr)
+        return 1
+    print(f"// engine: {engine.name}  jobs: {args.jobs}  seed: {args.seed}")
+    print(
+        f"// samples: {len(inferred.samples)}  "
+        f"statements: {inferred.statements_executed}  "
+        f"elapsed: {inferred.elapsed_seconds:.3f}s"
+    )
+    if inferred.n_proposals:
+        print(f"// acceptance rate: {inferred.acceptance_rate:.3f}")
+    try:
+        print(f"// mean: {inferred.mean():.6g}")
+        print(f"// variance: {inferred.variance():.6g}")
+    except InferenceError as exc:
+        print(f"// moments unavailable: {exc}")
+    if inferred.chains and len(inferred.chains) > 1:
+        try:
+            summary = cross_chain_diagnostics(inferred)
+        except ValueError:
+            pass
+        else:
+            print(
+                f"// cross-chain: R-hat {summary.r_hat:.4f}  "
+                f"ESS {summary.ess:.1f}  chains {summary.n_chains}"
+            )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -92,7 +225,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ProbSyntaxError as exc:
         print(f"syntax error: {exc}", file=sys.stderr)
         return 1
-    result = sli(program, use_obs=not args.no_obs, simplify=args.simplify)
+    cache = None
+    if args.cache_dir:
+        from .runtime import ProgramCache
+
+        cache = ProgramCache(cache_dir=args.cache_dir)
+    result = sli(
+        program, use_obs=not args.no_obs, simplify=args.simplify, cache=cache
+    )
+    if args.infer:
+        return _run_inference(args, result, cache)
     if args.emit_cfg:
         from .analysis.dot import cfg_dot
         from .ir.lower import lower

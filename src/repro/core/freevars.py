@@ -16,7 +16,7 @@ from being reused while the entry is alive.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Tuple, Union
+from typing import Dict, FrozenSet, Set, Tuple, Union
 
 from .ast import (
     Assign,
@@ -74,10 +74,10 @@ def _free_vars(obj: Union[Program, Stmt, Expr, DistCall]) -> FrozenSet[str]:
     if isinstance(obj, Binary):
         return free_vars(obj.left) | free_vars(obj.right)
     if isinstance(obj, DistCall):
-        out: FrozenSet[str] = frozenset()
+        acc: Set[str] = set()
         for arg in obj.args:
-            out |= free_vars(arg)
-        return out
+            acc.update(free_vars(arg))
+        return frozenset(acc)
     if isinstance(obj, Skip):
         return frozenset()
     if isinstance(obj, Decl):
@@ -93,10 +93,13 @@ def _free_vars(obj: Union[Program, Stmt, Expr, DistCall]) -> FrozenSet[str]:
     if isinstance(obj, Factor):
         return free_vars(obj.log_weight)
     if isinstance(obj, Block):
-        out = frozenset()
+        # Accumulate into a mutable set: repeatedly rebuilding a
+        # frozenset (``out |= ...``) is quadratic in the total variable
+        # count for the flat multi-thousand-statement benchmark blocks.
+        acc = set()
         for s in obj.stmts:
-            out |= free_vars(s)
-        return out
+            acc.update(free_vars(s))
+        return frozenset(acc)
     if isinstance(obj, If):
         return (
             free_vars(obj.cond)
@@ -126,10 +129,10 @@ def read_vars(stmt: Stmt) -> FrozenSet[str]:
     if isinstance(stmt, Factor):
         return free_vars(stmt.log_weight)
     if isinstance(stmt, Block):
-        out: FrozenSet[str] = frozenset()
+        acc: Set[str] = set()
         for s in stmt.stmts:
-            out |= read_vars(s)
-        return out
+            acc.update(read_vars(s))
+        return frozenset(acc)
     if isinstance(stmt, If):
         return (
             free_vars(stmt.cond)
@@ -151,10 +154,10 @@ def assigned_vars(stmt: Stmt) -> FrozenSet[str]:
     if isinstance(stmt, (Assign, Sample)):
         return frozenset({stmt.name})
     if isinstance(stmt, Block):
-        out: FrozenSet[str] = frozenset()
+        acc: Set[str] = set()
         for s in stmt.stmts:
-            out |= assigned_vars(s)
-        return out
+            acc.update(assigned_vars(s))
+        return frozenset(acc)
     if isinstance(stmt, If):
         return assigned_vars(stmt.then_branch) | assigned_vars(stmt.else_branch)
     if isinstance(stmt, While):

@@ -93,11 +93,23 @@ class SpeedupRow:
         return orig / new
 
 
-def run_engine(engine: Engine, program: Program) -> EngineRun:
-    """Run ``engine`` on ``program``, capturing outcome and time."""
+def run_engine(
+    engine: Engine, program: Program, runner: Optional[object] = None
+) -> EngineRun:
+    """Run ``engine`` on ``program``, capturing outcome and time.
+
+    ``runner`` (a :class:`repro.runtime.ParallelRunner`) fans the
+    engine's sampling work out across workers; ``None`` keeps the
+    sequential path.  Engine failures surface identically either way —
+    a worker's :class:`InferenceTimeout` / :class:`InferenceError`
+    propagates through the pool and is captured here as a status.
+    """
     start = time.perf_counter()
     try:
-        result = engine.infer(program)
+        if runner is not None:
+            result = runner.run(engine, program)  # type: ignore[attr-defined]
+        else:
+            result = engine.infer(program)
     except InferenceTimeout as exc:
         return EngineRun(
             RunStatus.TIMEOUT, time.perf_counter() - start, message=str(exc)
@@ -119,14 +131,23 @@ def measure_speedup(
     engine: Engine,
     program: Program,
     simplify: bool = False,
+    runner: Optional[object] = None,
+    cache: Optional[object] = None,
 ) -> SpeedupRow:
     """Slice ``program``, run the engine on both versions, and package
-    the Figure-18 row."""
+    the Figure-18 row.
+
+    ``cache`` (a :class:`repro.runtime.ProgramCache`) makes repeated
+    measurements of the same program skip the SLI pipeline;
+    ``slicing_seconds`` then reports the (near-zero) lookup time, which
+    is exactly the setup cost an inference service would pay.
+    ``runner`` parallelizes both engine runs.
+    """
     start = time.perf_counter()
-    slice_result = sli(program, simplify=simplify)
+    slice_result = sli(program, simplify=simplify, cache=cache)
     slicing_seconds = time.perf_counter() - start
-    original = run_engine(engine, program)
-    sliced = run_engine(engine, slice_result.sliced)
+    original = run_engine(engine, program, runner=runner)
+    sliced = run_engine(engine, slice_result.sliced, runner=runner)
     return SpeedupRow(
         benchmark=benchmark_name,
         engine=engine_name,

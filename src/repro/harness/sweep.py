@@ -36,16 +36,26 @@ def sweep_speedup(
     engine_factory: Callable[[], Engine],
     program_for: Callable[[float], Program],
     parameters: Sequence[float],
+    runner: Optional[object] = None,
+    cache: Optional[object] = None,
 ) -> List[SweepPoint]:
     """Measure the slicing speedup at every parameter value.
 
     ``program_for(p)`` builds the benchmark instance for parameter
     ``p``; a fresh engine is created per point so seeds stay aligned.
+    ``runner``/``cache`` (see :mod:`repro.runtime`) parallelize each
+    point's engine runs and de-duplicate slicing work across repeated
+    sweeps of the same grid.
     """
     points: List[SweepPoint] = []
     for p in parameters:
         row = measure_speedup(
-            f"{name}[{p}]", "sweep", engine_factory(), program_for(p)
+            f"{name}[{p}]",
+            "sweep",
+            engine_factory(),
+            program_for(p),
+            runner=runner,
+            cache=cache,
         )
         points.append(SweepPoint(p, row))
     return points

@@ -9,8 +9,15 @@ from .base import (
     InitializationError,
     UnsupportedProgramError,
     effective_sample_size,
+    split_evenly,
 )
-from .diagnostics import ChainSummary, autocorrelation, split_r_hat, summarize_chains
+from .diagnostics import (
+    ChainSummary,
+    autocorrelation,
+    cross_chain_diagnostics,
+    split_r_hat,
+    summarize_chains,
+)
 from .enumeration import EnumerationEngine
 from .gibbs import GibbsSampler
 from .features import (
@@ -33,8 +40,10 @@ __all__ = [
     "InitializationError",
     "UnsupportedProgramError",
     "effective_sample_size",
+    "split_evenly",
     "ChainSummary",
     "autocorrelation",
+    "cross_chain_diagnostics",
     "split_r_hat",
     "summarize_chains",
     "EnumerationEngine",

@@ -24,7 +24,17 @@ __all__ = [
     "InitializationError",
     "InferenceResult",
     "Engine",
+    "split_evenly",
 ]
+
+
+def split_evenly(total: int, n_shards: int) -> List[int]:
+    """Split ``total`` units of work into ``n_shards`` near-equal parts
+    (earlier shards take the remainder); parts may be zero."""
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    base, rem = divmod(total, n_shards)
+    return [base + (1 if i < rem else 0) for i in range(n_shards)]
 
 
 class InferenceError(RuntimeError):
@@ -56,6 +66,11 @@ class InferenceResult:
     sets ``exact`` directly.  ``statements_executed`` is a
     deterministic work measure used by the benchmark harness alongside
     wall time.
+
+    Results produced by the parallel runtime (:mod:`repro.runtime`)
+    additionally carry ``chains``: the per-worker sample lists, in
+    worker order, for cross-chain diagnostics (split-R̂ / ESS over the
+    *independent* chains rather than the pooled stream).
     """
 
     samples: List[Value] = field(default_factory=list)
@@ -67,12 +82,61 @@ class InferenceResult:
     statements_executed: int = 0
     n_proposals: int = 0
     n_accepted: int = 0
+    #: Per-worker sample lists when this result was merged from a
+    #: multi-chain parallel run (``None`` for sequential results).
+    chains: Optional[List[List[Value]]] = None
+    #: Memoized ``(len(samples), mean, variance)`` reduction — the
+    #: benchmark reporting calls ``mean()``/``variance()`` repeatedly
+    #: and each was an O(n) Python loop per call.  Keyed by the sample
+    #: count so appends during inference invalidate it naturally.
+    _reductions: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def acceptance_rate(self) -> float:
         if self.n_proposals == 0:
             return 0.0
         return self.n_accepted / self.n_proposals
+
+    @classmethod
+    def merge(
+        cls,
+        parts: Sequence["InferenceResult"],
+        keep_chains: bool = False,
+    ) -> "InferenceResult":
+        """Combine per-worker results into one.
+
+        Samples and weights concatenate in worker order (deterministic:
+        the runner preserves shard order), work counters sum, and the
+        acceptance statistics pool.  ``keep_chains=True`` records each
+        part's samples as an independent chain for cross-chain
+        diagnostics.  ``elapsed_seconds`` sums the workers' own clocks;
+        the parallel runner overwrites it with the wall-clock time of
+        the whole fan-out.
+        """
+        if not parts:
+            raise InferenceError("cannot merge zero inference results")
+        merged = cls()
+        has_weights = any(p.weights is not None for p in parts)
+        if has_weights:
+            merged.weights = []
+        for p in parts:
+            merged.samples.extend(p.samples)
+            if has_weights:
+                assert merged.weights is not None
+                if p.weights is None:
+                    raise InferenceError(
+                        "cannot merge weighted and unweighted results"
+                    )
+                merged.weights.extend(p.weights)
+            merged.statements_executed += p.statements_executed
+            merged.n_proposals += p.n_proposals
+            merged.n_accepted += p.n_accepted
+            merged.elapsed_seconds += p.elapsed_seconds
+        if keep_chains:
+            merged.chains = [list(p.samples) for p in parts]
+        return merged
 
     def distribution(self) -> FiniteDist:
         """The (estimated or exact) output distribution."""
@@ -92,16 +156,7 @@ class InferenceResult:
             return self.moments[0]
         if self.exact is not None:
             return self.exact.expectation()
-        if not self.samples:
-            raise InferenceError("no samples")
-        if self.weights is not None:
-            total = sum(self.weights)
-            if total <= 0.0:
-                raise InferenceError("all importance weights are zero")
-            return (
-                sum(float(s) * w for s, w in zip(self.samples, self.weights)) / total
-            )
-        return sum(float(s) for s in self.samples) / len(self.samples)
+        return self._sample_reductions()[1]
 
     def variance(self) -> float:
         """Posterior variance of the return value."""
@@ -109,14 +164,35 @@ class InferenceResult:
             return self.moments[1]
         if self.exact is not None:
             return self.exact.variance()
-        m = self.mean()
+        return self._sample_reductions()[2]
+
+    def _sample_reductions(self) -> tuple:
+        """``(n, mean, variance)`` over the samples, computed once per
+        sample count.  The formulas are unchanged from the historical
+        per-call loops (two passes, so the floating-point results are
+        bit-identical to before the memoization)."""
+        n = len(self.samples)
+        cached = self._reductions
+        if cached is not None and cached[0] == n:
+            return cached
+        if n == 0:
+            raise InferenceError("no samples")
         if self.weights is not None:
             total = sum(self.weights)
-            return (
+            if total <= 0.0:
+                raise InferenceError("all importance weights are zero")
+            m = (
+                sum(float(s) * w for s, w in zip(self.samples, self.weights)) / total
+            )
+            v = (
                 sum(w * (float(s) - m) ** 2 for s, w in zip(self.samples, self.weights))
                 / total
             )
-        return sum((float(s) - m) ** 2 for s in self.samples) / len(self.samples)
+        else:
+            m = sum(float(s) for s in self.samples) / n
+            v = sum((float(s) - m) ** 2 for s in self.samples) / n
+        self._reductions = (n, m, v)
+        return self._reductions
 
 
 class Engine:
@@ -135,9 +211,43 @@ class Engine:
     name: str = "engine"
     #: Opt-in: execute via the compiled (codegen) executor.
     compiled: bool = False
+    #: How this engine's sampling work decomposes across workers:
+    #: ``"chains"`` (independent MCMC chains: MH, trace MH, Gibbs),
+    #: ``"draws"`` (i.i.d. draws: importance, rejection), ``"islands"``
+    #: (SMC particle islands), or ``"none"`` (cannot be sharded — the
+    #: parallel runner falls back to a single sequential ``infer``).
+    parallel_unit: str = "none"
 
     def infer(self, program: Program) -> InferenceResult:
         raise NotImplementedError
+
+    # -- parallel-decomposition protocol (repro.runtime) ----------------------
+
+    def shard(self, n_shards: int, seeds: Sequence[int]) -> List["Engine"]:
+        """Split this engine's sampling work into ``n_shards``
+        independently-runnable engines.
+
+        Each shard is a configured copy with its slice of the total
+        sample budget and ``seeds[i]`` as its seed; the runner derives
+        ``seeds`` deterministically from the engine's master seed, so a
+        fixed master seed makes the whole fan-out reproducible.  A
+        shard may be omitted when its share of the budget is zero, so
+        the returned list can be shorter than ``n_shards``.  Engines
+        with ``parallel_unit == "none"`` raise.
+        """
+        raise UnsupportedProgramError(
+            f"engine {self.name!r} does not support parallel sharding"
+        )
+
+    def merge(self, parts: Sequence[InferenceResult]) -> InferenceResult:
+        """Combine the shard results (in shard order) into one result.
+
+        The default pools samples/weights/work counters; chain-shaped
+        engines keep per-chain samples for cross-chain diagnostics.
+        """
+        return InferenceResult.merge(
+            parts, keep_chains=self.parallel_unit == "chains"
+        )
 
     def _run_program(
         self,

@@ -12,9 +12,15 @@ import math
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from .base import effective_sample_size
+from .base import InferenceResult, effective_sample_size
 
-__all__ = ["split_r_hat", "autocorrelation", "ChainSummary", "summarize_chains"]
+__all__ = [
+    "split_r_hat",
+    "autocorrelation",
+    "ChainSummary",
+    "summarize_chains",
+    "cross_chain_diagnostics",
+]
 
 
 def split_r_hat(chains: Sequence[Sequence[float]]) -> float:
@@ -99,3 +105,16 @@ def summarize_chains(chains: Sequence[Sequence[float]]) -> ChainSummary:
         n_chains=len(chains),
         n_samples=n,
     )
+
+
+def cross_chain_diagnostics(result: InferenceResult) -> ChainSummary:
+    """Chain diagnostics for a (possibly parallel-merged) result.
+
+    A result merged by the parallel runtime carries its per-worker
+    chains (``result.chains``), giving a genuine multi-chain split-R̂
+    — independent seeds, independent initializations.  A sequential
+    result degrades gracefully to a single-chain split-R̂ over its
+    sample stream.  Booleans are summarized as 0/1.
+    """
+    chains = result.chains if result.chains else [result.samples]
+    return summarize_chains([[float(x) for x in chain] for chain in chains])

@@ -20,9 +20,10 @@ smaller network, and every Gibbs sweep touches fewer nodes.
 
 from __future__ import annotations
 
+import copy
 import random
 import time
-from typing import Dict, List, Set
+from typing import Dict, List, Sequence, Set
 
 from ..bayesnet.compile import CompileError, compile_program
 from ..bayesnet.network import BayesNet
@@ -109,6 +110,7 @@ class GibbsSampler(Engine):
     nodes, with functional propagation of deterministic nodes."""
 
     name = "gibbs"
+    parallel_unit = "chains"
 
     def __init__(
         self,
@@ -127,6 +129,21 @@ class GibbsSampler(Engine):
         self.thin = thin
         self.seed = seed
         self.max_init_attempts = max_init_attempts
+
+    def shard(self, n_shards: int, seeds: Sequence[int]) -> List[Engine]:
+        """Independent Gibbs chains, each with a full burn-in and its
+        share of the sample budget."""
+        from .base import split_evenly
+
+        shards: List[Engine] = []
+        for size, seed in zip(split_evenly(self.n_samples, n_shards), seeds):
+            if size == 0:
+                continue
+            shard = copy.copy(self)
+            shard.n_samples = size
+            shard.seed = seed
+            shards.append(shard)
+        return shards
 
     def infer(self, program: Program) -> InferenceResult:
         try:

@@ -8,13 +8,15 @@ the normalized-over-terminating-runs semantics.
 
 from __future__ import annotations
 
+import copy
 import math
 import random
 import time
+from typing import List, Sequence
 
 from ..core.ast import Program
 from ..semantics.executor import ExecutorOptions, NonTerminatingRun
-from .base import Engine, InferenceError, InferenceResult
+from .base import Engine, InferenceError, InferenceResult, split_evenly
 
 __all__ = ["LikelihoodWeighting"]
 
@@ -23,6 +25,7 @@ class LikelihoodWeighting(Engine):
     """Draw ``n_samples`` prior runs with likelihood weights."""
 
     name = "likelihood-weighting"
+    parallel_unit = "draws"
 
     def __init__(
         self,
@@ -37,6 +40,20 @@ class LikelihoodWeighting(Engine):
         self.seed = seed
         self.executor_options = executor_options
         self.compiled = compiled
+
+    def shard(self, n_shards: int, seeds: Sequence[int]) -> List[Engine]:
+        """I.i.d. draws: each shard draws its share of ``n_samples``.
+        Weights are raw likelihoods (a shared scale), so concatenation
+        is the correct merge."""
+        shards: List[Engine] = []
+        for size, seed in zip(split_evenly(self.n_samples, n_shards), seeds):
+            if size == 0:
+                continue
+            shard = copy.copy(self)
+            shard.n_samples = size
+            shard.seed = seed
+            shards.append(shard)
+        return shards
 
     def infer(self, program: Program) -> InferenceResult:
         rng = random.Random(self.seed)

@@ -20,10 +20,11 @@ one.
 
 from __future__ import annotations
 
+import copy
 import math
 import random
 import time
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from ..core.ast import Program
 from ..semantics.executor import (
@@ -53,6 +54,7 @@ class MetropolisHastings(Engine):
     """
 
     name = "r2-mh"
+    parallel_unit = "chains"
 
     def __init__(
         self,
@@ -86,6 +88,24 @@ class MetropolisHastings(Engine):
         self.executor_options = executor_options
         self.compiled = compiled
         self._deadline: Optional[float] = None
+
+    def shard(self, n_shards: int, seeds: Sequence[int]) -> List["Engine"]:
+        """Independent chains: each shard runs a full burn-in plus its
+        share of ``n_samples``, seeded from its own stream.  The
+        Church-like subclass inherits this unchanged (``copy.copy``
+        carries ``overhead`` and every other setting along)."""
+        from .base import split_evenly
+
+        shards: List[Engine] = []
+        for size, seed in zip(split_evenly(self.n_samples, n_shards), seeds):
+            if size == 0:
+                continue
+            shard = copy.copy(self)
+            shard.n_samples = size
+            shard.seed = seed
+            shard._deadline = None
+            shards.append(shard)
+        return shards
 
     # -- hooks the Church-like engine overrides -------------------------------
 

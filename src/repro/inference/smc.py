@@ -16,10 +16,11 @@ up to the pause point — before continuing fresh.
 
 from __future__ import annotations
 
+import copy
 import math
 import random
 import time
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..core.ast import (
     Assign,
@@ -168,6 +169,7 @@ class SMCSampler(Engine):
     """
 
     name = "smc"
+    parallel_unit = "islands"
 
     def __init__(
         self,
@@ -186,6 +188,42 @@ class SMCSampler(Engine):
         self.ess_threshold = ess_threshold
         self.max_loop_iterations = max_loop_iterations
         self.compiled = compiled
+
+    def shard(self, n_shards: int, seeds: Sequence[int]) -> List[Engine]:
+        """Particle islands: each shard runs an independent SMC pass
+        over its share of the particle population (its own resampling
+        schedule included)."""
+        from .base import split_evenly
+
+        shards: List[Engine] = []
+        for size, seed in zip(split_evenly(self.n_particles, n_shards), seeds):
+            if size == 0:
+                continue
+            shard = copy.copy(self)
+            shard.n_particles = size
+            shard.seed = seed
+            shards.append(shard)
+        return shards
+
+    def merge(self, parts: Sequence[InferenceResult]) -> InferenceResult:
+        """Combine island populations.
+
+        Each island reports weights relative to its own best particle
+        (``exp(lw - max_lw)``), so raw concatenation would let an
+        island's internal scale distort the pooled estimate.  Islands
+        of equal particle share are equally-weighted estimators of the
+        same posterior, so each island's weights are renormalized to
+        sum to its particle count before pooling (the standard
+        island-particle-filter merge when per-island evidence estimates
+        are not tracked)."""
+        merged = InferenceResult.merge(parts)
+        merged.weights = []
+        for p in parts:
+            assert p.weights is not None
+            total = sum(p.weights)
+            share = p.n_proposals if p.n_proposals > 0 else len(p.weights)
+            merged.weights.extend(w / total * share for w in p.weights)
+        return merged
 
     def _new_run(
         self,

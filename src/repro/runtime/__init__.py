@@ -1,0 +1,32 @@
+"""The parallel inference runtime.
+
+Two pieces, usable separately or together:
+
+* :class:`~repro.runtime.cache.ProgramCache` — a content-addressed
+  cache (in-memory, optionally on-disk) for the expensive per-program
+  setup artifacts: :class:`~repro.transforms.pipeline.SliceResult`\\ s
+  and compiled executors, keyed by
+  :func:`~repro.core.fingerprint.program_fingerprint`.
+* :class:`~repro.runtime.parallel.ParallelRunner` — fans an engine's
+  sampling work out across ``multiprocessing`` workers along the shape
+  the engine declares (``Engine.parallel_unit``: chains, i.i.d. draws,
+  or particle islands) and merges the per-worker results.
+
+``n_workers=1`` always takes the engine's own sequential ``infer``
+path, so single-worker output is bit-identical to running the engine
+directly; ``n_workers=k`` is reproducible under a fixed master seed
+(per-worker seeds derive deterministically from it).
+"""
+
+from ..core.fingerprint import FINGERPRINT_VERSION, program_fingerprint
+from .cache import CacheStats, ProgramCache
+from .parallel import ParallelRunner, spawn_seeds
+
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "program_fingerprint",
+    "CacheStats",
+    "ProgramCache",
+    "ParallelRunner",
+    "spawn_seeds",
+]

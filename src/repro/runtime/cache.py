@@ -1,0 +1,186 @@
+"""Content-addressed caching of per-program setup artifacts.
+
+Repeated inference on the same program used to re-pay the whole setup
+bill on every invocation: the SLI pipeline (seconds on the paper-scale
+Chess model) and the executor compilation.  Both artifacts are pure
+functions of the program's canonical text plus the transform options,
+so :class:`ProgramCache` keys them by
+:func:`repro.core.fingerprint.program_fingerprint` — structurally
+equal programs share entries even across parse→print round trips and
+across processes (with ``cache_dir`` set).
+
+The cache is wired in at two levels:
+
+* :func:`repro.transforms.pipeline.sli` accepts ``cache=`` and calls
+  the duck-typed ``get_slice`` / ``put_slice`` pair (the pipeline does
+  not import this module, so the dependency points runtime → transforms
+  only);
+* :meth:`ProgramCache.compiled` fronts
+  :func:`repro.semantics.compiled.compile_program`, adding the on-disk
+  layer to its in-memory fingerprint cache.
+
+On-disk entries are pickles written atomically (temp file + rename)
+under ``<cache_dir>/<fingerprint>.<kind>.pkl``; unreadable or corrupt
+entries are treated as misses and rewritten.  The fingerprint version
+is part of every key, so format changes self-invalidate.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..core.ast import Program
+from ..core.fingerprint import program_fingerprint
+
+if TYPE_CHECKING:
+    from ..semantics.compiled import CompiledProgram
+    from ..transforms.pipeline import SliceResult
+
+__all__ = ["CacheStats", "ProgramCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by artifact kind and storage layer."""
+
+    slice_hits: int = 0
+    slice_misses: int = 0
+    compile_hits: int = 0
+    compile_misses: int = 0
+    disk_hits: int = 0
+
+    def reset(self) -> None:
+        self.slice_hits = 0
+        self.slice_misses = 0
+        self.compile_hits = 0
+        self.compile_misses = 0
+        self.disk_hits = 0
+
+
+class ProgramCache:
+    """In-memory (bounded, LRU) + optional on-disk artifact cache.
+
+    ``cache_dir=None`` keeps everything in memory.  With a directory,
+    every artifact is also persisted, so a fresh process (or a
+    ``multiprocessing`` worker) warm-starts from disk.
+    """
+
+    def __init__(
+        self, cache_dir: Optional[str] = None, max_entries: int = 256
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.cache_dir = cache_dir
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._memory: OrderedDict[str, object] = OrderedDict()
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # -- generic keyed storage ------------------------------------------------
+
+    def _get(self, key: str, kind: str) -> Optional[object]:
+        hit = self._memory.get(key)
+        if hit is not None:
+            self._memory.move_to_end(key)
+            return hit
+        if self.cache_dir is None:
+            return None
+        path = os.path.join(self.cache_dir, f"{key}.{kind}.pkl")
+        try:
+            with open(path, "rb") as f:
+                value = pickle.load(f)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        self.stats.disk_hits += 1
+        self._remember(key, value)
+        return value
+
+    def _put(self, key: str, kind: str, value: object) -> None:
+        self._remember(key, value)
+        if self.cache_dir is None:
+            return
+        path = os.path.join(self.cache_dir, f"{key}.{kind}.pkl")
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def _remember(self, key: str, value: object) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the in-memory layer (and the on-disk one if asked)."""
+        self._memory.clear()
+        if disk and self.cache_dir is not None:
+            for name in os.listdir(self.cache_dir):
+                if name.endswith(".pkl"):
+                    try:
+                        os.unlink(os.path.join(self.cache_dir, name))
+                    except OSError:
+                        pass
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- SliceResult protocol (used by transforms.pipeline.sli) ---------------
+
+    def get_slice(
+        self, program: Program, options: Dict[str, object]
+    ) -> "Optional[SliceResult]":
+        """Cached :class:`SliceResult` for ``program`` under the given
+        pipeline options, or ``None``."""
+        key = program_fingerprint(program, kind="slice", **options)
+        hit = self._get(key, "slice")
+        if hit is None:
+            self.stats.slice_misses += 1
+            return None
+        self.stats.slice_hits += 1
+        return hit  # type: ignore[return-value]
+
+    def put_slice(
+        self,
+        program: Program,
+        options: Dict[str, object],
+        result: "SliceResult",
+    ) -> None:
+        key = program_fingerprint(program, kind="slice", **options)
+        self._put(key, "slice", result)
+
+    def slice(self, program: Program, **options: object) -> "SliceResult":
+        """The SLI pipeline through this cache: a cached result when the
+        fingerprint matches, computed (and stored) otherwise."""
+        from ..transforms.pipeline import sli
+
+        return sli(program, cache=self, **options)  # type: ignore[arg-type]
+
+    # -- compiled executors ---------------------------------------------------
+
+    def compiled(self, program: Program) -> "CompiledProgram":
+        """The compiled executor for ``program``, through this cache
+        (and through :func:`compile_program`'s own in-memory layers)."""
+        from ..semantics.compiled import compile_program
+
+        key = program_fingerprint(program, kind="compiled")
+        hit = self._get(key, "compiled")
+        if hit is not None:
+            self.stats.compile_hits += 1
+            return hit  # type: ignore[return-value]
+        self.stats.compile_misses += 1
+        compiled = compile_program(program)
+        self._put(key, "compiled", compiled)
+        return compiled

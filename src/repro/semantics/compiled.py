@@ -343,6 +343,11 @@ class CompiledProgram:
         gen.function(particle=False)
         gen.function(particle=True)
         self.source = "\n".join(gen.lines)
+        self._hoisted = dict(gen.hoisted)
+        self._exec()
+
+    def _exec(self) -> None:
+        """Bind the entry points by executing the generated source."""
         namespace: Dict[str, object] = {
             "NEG_INF": NEG_INF,
             "NonTerminatingRun": NonTerminatingRun,
@@ -354,10 +359,29 @@ class CompiledProgram:
             "_div": _div,
             "_mod": _mod,
         }
-        namespace.update(gen.hoisted)
+        namespace.update(self._hoisted)
         exec(compile(self.source, "<repro.compiled>", "exec"), namespace)
         self._run = namespace["_compiled_run"]
         self._particle = namespace["_compiled_particle"]
+
+    # ``exec``-produced functions cannot pickle, but the generated
+    # source and the hoisted constant-parameter distributions can —
+    # that is the whole compilation, so unpickling (the runtime cache's
+    # on-disk layer, or shipping to a spawn-started worker) re-binds
+    # the entry points without re-running lowering or codegen.
+
+    def __getstate__(self) -> Dict[str, object]:
+        return {
+            "program": self.program,
+            "source": self.source,
+            "_hoisted": self._hoisted,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.program = state["program"]  # type: ignore[assignment]
+        self.source = state["source"]  # type: ignore[assignment]
+        self._hoisted = state["_hoisted"]  # type: ignore[assignment]
+        self._exec()
 
     def run(
         self,
@@ -417,22 +441,41 @@ class CompiledRun:
 #: ``id(program) -> (program, compiled)``; strong references keep the
 #: identity keys from being reused while entries are alive.
 _COMPILE_CACHE: Dict[int, Tuple[Program, CompiledProgram]] = {}
+#: ``content fingerprint -> compiled``; catches structurally equal
+#: programs that are distinct objects (a re-parsed source file, a
+#: slice recomputed by a fresh pipeline invocation).
+_FINGERPRINT_CACHE: Dict[str, CompiledProgram] = {}
 _COMPILE_CACHE_MAX = 512
 
 
 def clear_compile_cache() -> None:
     """Drop all memoized compilations (mainly for tests)."""
     _COMPILE_CACHE.clear()
+    _FINGERPRINT_CACHE.clear()
 
 
 def compile_program(program: Program) -> CompiledProgram:
-    """Compile ``program``, memoized by object identity — every engine
-    pass over the same program shares one compilation."""
+    """Compile ``program``, memoized twice over.
+
+    The identity layer (``id``-keyed, the per-proposal fast path: MH
+    calls this on every re-execution of the same object) backs onto a
+    content-fingerprint layer, so a structurally identical program —
+    re-sliced, re-parsed, or arriving in another worker — reuses the
+    compilation instead of re-running codegen.
+    """
     key = id(program)
     hit = _COMPILE_CACHE.get(key)
     if hit is not None and hit[0] is program:
         return hit[1]
-    compiled = CompiledProgram(program)
+    from ..core.fingerprint import program_fingerprint
+
+    fp = program_fingerprint(program, kind="compiled")
+    compiled = _FINGERPRINT_CACHE.get(fp)
+    if compiled is None:
+        compiled = CompiledProgram(program)
+        if len(_FINGERPRINT_CACHE) >= _COMPILE_CACHE_MAX:
+            _FINGERPRINT_CACHE.clear()
+        _FINGERPRINT_CACHE[fp] = compiled
     if len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
         _COMPILE_CACHE.clear()
     _COMPILE_CACHE[key] = (program, compiled)

@@ -126,13 +126,32 @@ def sli(
     obs_extended: bool = True,
     simplify: bool = False,
     svf_hoist_variables: bool = False,
+    cache=None,
 ) -> SliceResult:
     """The paper's SLI transformation.
 
     ``use_obs=False`` disables the OBS pre-pass (Ablation A);
     ``simplify=True`` adds the constant/copy-propagation post-pass;
     ``svf_hoist_variables=True`` applies Figure 13 literally.
+
+    ``cache`` (e.g. :class:`repro.runtime.ProgramCache`) short-circuits
+    the whole pipeline for programs already sliced under the same
+    options: it is queried via the duck-typed
+    ``get_slice(program, options)`` / ``put_slice(program, options,
+    result)`` pair, keyed by the program's content fingerprint — so
+    structurally equal programs hit regardless of object identity, and
+    any option change misses.
     """
+    options = dict(
+        use_obs=use_obs,
+        obs_extended=obs_extended,
+        simplify=simplify,
+        svf_hoist_variables=svf_hoist_variables,
+    )
+    if cache is not None:
+        hit = cache.get_slice(program, options)
+        if hit is not None:
+            return hit
     transformed = preprocess(
         program,
         use_obs=use_obs,
@@ -141,7 +160,10 @@ def sli(
     )
     info = analyze(transformed)
     keep = inf_fast(info.observed, info.graph, free_vars(transformed.ret))
-    return _finish(program, transformed, info, frozenset(keep), simplify)
+    result = _finish(program, transformed, info, frozenset(keep), simplify)
+    if cache is not None:
+        cache.put_slice(program, options, result)
+    return result
 
 
 def naive_slice(program: Program, use_obs: bool = True) -> SliceResult:

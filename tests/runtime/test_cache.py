@@ -1,0 +1,129 @@
+"""ProgramCache: memory layer, disk layer, stats, and invalidation."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.fingerprint import program_fingerprint
+from repro.core.parser import parse
+from repro.core.printer import pretty
+from repro.runtime import ProgramCache
+from repro.semantics.compiled import clear_compile_cache
+from repro.transforms.pipeline import sli
+
+
+@pytest.fixture(autouse=True)
+def _fresh_compile_cache():
+    # compile_program keeps its own module-level caches; isolate them
+    # so hit/miss counters here reflect this test's cache only.
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+class TestMemoryLayer:
+    def test_slice_miss_then_hit(self, ex2):
+        cache = ProgramCache()
+        first = cache.slice(ex2)
+        second = cache.slice(ex2)
+        assert second is first
+        assert cache.stats.slice_misses == 1
+        assert cache.stats.slice_hits == 1
+
+    def test_hit_across_parse_print_round_trip(self, ex2):
+        cache = ProgramCache()
+        first = cache.slice(ex2)
+        second = cache.slice(parse(pretty(ex2)))
+        assert second is first
+        assert cache.stats.slice_hits == 1
+
+    def test_option_change_invalidates(self, ex2):
+        cache = ProgramCache()
+        plain = cache.slice(ex2)
+        simplified = cache.slice(ex2, simplify=True)
+        assert simplified is not plain
+        assert cache.stats.slice_misses == 2
+        assert cache.stats.slice_hits == 0
+        # ... and each variant is remembered under its own key.
+        assert cache.slice(ex2, simplify=True) is simplified
+        assert cache.slice(ex2) is plain
+
+    def test_cached_result_matches_direct_sli(self, ex2):
+        cache = ProgramCache()
+        assert pretty(cache.slice(ex2).sliced) == pretty(sli(ex2).sliced)
+
+    def test_lru_eviction(self, ex2, ex4, ex6):
+        cache = ProgramCache(max_entries=2)
+        cache.slice(ex2)
+        cache.slice(ex4)
+        cache.slice(ex6)
+        assert len(cache) == 2
+        cache.slice(ex2)  # evicted → recomputed
+        assert cache.stats.slice_misses == 4
+
+    def test_compiled_miss_then_hit(self, ex2):
+        cache = ProgramCache()
+        first = cache.compiled(ex2)
+        assert cache.compiled(ex2) is first
+        assert cache.stats.compile_misses == 1
+        assert cache.stats.compile_hits == 1
+
+
+class TestDiskLayer:
+    def test_fresh_instance_warm_starts_from_disk(self, ex2, tmp_path):
+        warm = ProgramCache(cache_dir=str(tmp_path))
+        first = warm.slice(ex2)
+        cold = ProgramCache(cache_dir=str(tmp_path))
+        restored = cold.slice(ex2)
+        assert restored is not first  # unpickled, not shared
+        assert pretty(restored.sliced) == pretty(first.sliced)
+        assert cold.stats.disk_hits == 1
+        assert cold.stats.slice_hits == 1
+        assert cold.stats.slice_misses == 0
+
+    def test_compiled_round_trips_through_disk(self, ex2, tmp_path):
+        warm = ProgramCache(cache_dir=str(tmp_path))
+        first = warm.compiled(ex2)
+        clear_compile_cache()
+        cold = ProgramCache(cache_dir=str(tmp_path))
+        restored = cold.compiled(ex2)
+        assert cold.stats.disk_hits == 1
+        assert restored.source == first.source
+
+    def test_corrupt_entry_is_a_miss(self, ex2, tmp_path):
+        cache = ProgramCache(cache_dir=str(tmp_path))
+        cache.slice(ex2)
+        key = program_fingerprint(
+            ex2,
+            kind="slice",
+            use_obs=True,
+            obs_extended=True,
+            simplify=False,
+            svf_hoist_variables=False,
+        )
+        path = tmp_path / f"{key}.slice.pkl"
+        assert path.exists()
+        path.write_bytes(b"not a pickle")
+        cold = ProgramCache(cache_dir=str(tmp_path))
+        result = cold.slice(ex2)
+        assert cold.stats.slice_misses == 1
+        assert cold.stats.disk_hits == 0
+        assert pretty(result.sliced) == pretty(sli(ex2).sliced)
+        # The recompute rewrote the entry.
+        with open(path, "rb") as f:
+            assert pickle.load(f) is not None
+
+    def test_clear_disk(self, ex2, tmp_path):
+        cache = ProgramCache(cache_dir=str(tmp_path))
+        cache.slice(ex2)
+        assert any(n.endswith(".pkl") for n in os.listdir(tmp_path))
+        cache.clear(disk=True)
+        assert len(cache) == 0
+        assert not any(n.endswith(".pkl") for n in os.listdir(tmp_path))
+
+
+class TestValidation:
+    def test_rejects_nonpositive_max_entries(self):
+        with pytest.raises(ValueError):
+            ProgramCache(max_entries=0)

@@ -1,0 +1,58 @@
+"""Program fingerprints: stable across round trips, sensitive to
+options — the key property the cache's correctness rests on."""
+
+from repro.core.fingerprint import FINGERPRINT_VERSION, program_fingerprint
+from repro.core.parser import parse
+from repro.core.printer import pretty
+from repro.models import example2, example4, example6
+
+
+class TestStability:
+    def test_is_hex_digest(self, ex2):
+        fp = program_fingerprint(ex2)
+        assert len(fp) == 64
+        assert set(fp) <= set("0123456789abcdef")
+
+    def test_deterministic(self, ex2):
+        assert program_fingerprint(ex2) == program_fingerprint(ex2)
+
+    def test_stable_across_parse_print_round_trip(self):
+        for make in (example2, example4, example6):
+            p = make()
+            round_tripped = parse(pretty(p))
+            assert program_fingerprint(p) == program_fingerprint(round_tripped)
+
+    def test_structurally_equal_programs_share_fingerprint(self):
+        a = parse("bool c;\nc ~ Bernoulli(0.5);\nreturn c;")
+        b = parse("bool  c ;\nc ~ Bernoulli( 0.5 ) ;\nreturn c ;")
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_version_is_part_of_the_key(self, ex2):
+        # Bumping FINGERPRINT_VERSION must invalidate every old entry;
+        # the current version string is folded into the hash preimage.
+        assert isinstance(FINGERPRINT_VERSION, int)
+
+
+class TestSensitivity:
+    def test_different_programs_differ(self, ex2, ex4):
+        assert program_fingerprint(ex2) != program_fingerprint(ex4)
+
+    def test_options_change_the_fingerprint(self, ex2):
+        base = program_fingerprint(ex2, kind="slice", simplify=False)
+        assert base != program_fingerprint(ex2, kind="slice", simplify=True)
+        assert base != program_fingerprint(ex2, kind="slice")
+
+    def test_kind_changes_the_fingerprint(self, ex2):
+        assert program_fingerprint(ex2, kind="slice") != program_fingerprint(
+            ex2, kind="compiled"
+        )
+
+    def test_option_order_is_irrelevant(self, ex2):
+        assert program_fingerprint(
+            ex2, use_obs=True, simplify=False
+        ) == program_fingerprint(ex2, simplify=False, use_obs=True)
+
+    def test_semantic_edit_changes_the_fingerprint(self):
+        a = parse("bool c;\nc ~ Bernoulli(0.5);\nreturn c;")
+        b = parse("bool c;\nc ~ Bernoulli(0.25);\nreturn c;")
+        assert program_fingerprint(a) != program_fingerprint(b)

@@ -1,0 +1,306 @@
+"""ParallelRunner determinism and merge semantics.
+
+The two load-bearing guarantees (ISSUE acceptance criteria):
+
+* ``n_workers=1`` is bit-identical to calling the engine directly;
+* ``n_workers=k`` under a fixed master seed reproduces the same merged
+  result run after run — including across backends, since the shards
+  and their seed stream are identical and ``Pool.map`` preserves order.
+
+The multiprocessing smoke tests use the real ``fork`` pool with tiny
+sample budgets; everything else runs on the ``inline`` backend (same
+shard/merge code path, no processes).
+"""
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.core.parser import parse
+from repro.inference import (
+    ChurchTraceMH,
+    EnumerationEngine,
+    GibbsSampler,
+    InferenceError,
+    InferenceResult,
+    LikelihoodWeighting,
+    MetropolisHastings,
+    RejectionSampler,
+    SMCSampler,
+    cross_chain_diagnostics,
+    split_evenly,
+)
+from repro.runtime import ParallelRunner, spawn_seeds
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+# A model every engine supports, including Gibbs, whose Bayes-net
+# compiler requires SSA-form definitions and evidence-pattern observes
+# (bare/negated variable or var == const).
+MODEL = parse(
+    """
+bool p, q;
+p ~ Bernoulli(0.5);
+if (p) { q ~ Bernoulli(0.9); } else { q ~ Bernoulli(0.1); }
+observe(q);
+return p;
+"""
+)
+
+
+def small_engines():
+    """One small-budget instance of every shardable engine."""
+    return [
+        MetropolisHastings(n_samples=60, burn_in=10, seed=7),
+        ChurchTraceMH(n_samples=60, burn_in=10, seed=7),
+        GibbsSampler(n_samples=60, burn_in=10, seed=7),
+        LikelihoodWeighting(n_samples=60, seed=7),
+        RejectionSampler(n_samples=60, seed=7),
+        SMCSampler(n_particles=60, seed=7),
+    ]
+
+
+def assert_same_result(a: InferenceResult, b: InferenceResult) -> None:
+    assert a.samples == b.samples
+    assert a.weights == b.weights
+    assert a.statements_executed == b.statements_executed
+    assert a.n_proposals == b.n_proposals
+    assert a.n_accepted == b.n_accepted
+
+
+class TestSeedStream:
+    def test_deterministic(self):
+        assert spawn_seeds(0, 4) == spawn_seeds(0, 4)
+
+    def test_distinct_across_index_and_master(self):
+        seeds = spawn_seeds(0, 8) + spawn_seeds(1, 8)
+        assert len(set(seeds)) == 16
+
+    def test_prefix_stable(self):
+        # Growing the worker count extends the stream, never reshuffles.
+        assert spawn_seeds(42, 8)[:3] == spawn_seeds(42, 3)
+
+
+class TestSplitEvenly:
+    def test_sums_and_shape(self):
+        assert split_evenly(10, 4) == [3, 3, 2, 2]
+        assert split_evenly(3, 5) == [1, 1, 1, 0, 0]
+        for total, shards in [(1, 1), (17, 4), (400, 7), (5, 8)]:
+            sizes = split_evenly(total, shards)
+            assert sum(sizes) == total
+            assert len(sizes) == shards
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestSingleWorkerBitIdentity:
+    @pytest.mark.parametrize(
+        "engine", small_engines(), ids=lambda e: e.name
+    )
+    def test_matches_direct_infer(self, engine):
+        direct = engine.infer(MODEL)
+        via_runner = ParallelRunner(n_workers=1).run(engine, MODEL)
+        assert_same_result(direct, via_runner)
+
+    def test_unshardable_engine_passes_through(self, ex2):
+        engine = EnumerationEngine()
+        assert engine.parallel_unit == "none"
+        direct = engine.infer(ex2)
+        via_runner = ParallelRunner(n_workers=4, backend="inline").run(
+            engine, ex2
+        )
+        assert direct.distribution().allclose(via_runner.distribution())
+
+
+class TestMultiWorkerReproducibility:
+    @pytest.mark.parametrize(
+        "engine", small_engines(), ids=lambda e: e.name
+    )
+    def test_fixed_seed_reproduces(self, engine):
+        runner = ParallelRunner(n_workers=3, backend="inline")
+        first = runner.run(engine, MODEL)
+        second = runner.run(engine, MODEL)
+        assert_same_result(first, second)
+
+    def test_sample_budget_is_preserved(self):
+        for engine in small_engines():
+            merged = ParallelRunner(n_workers=3, backend="inline").run(
+                engine, MODEL
+            )
+            if engine.name == "likelihood-weighting":
+                # LW drops hard-blocked runs; the *draw* budget is what
+                # sharding must preserve.
+                assert merged.n_proposals == 60
+            else:
+                assert len(merged.samples) == 60, engine.name
+
+    def test_mh_merge_carries_chains(self, ex2):
+        engine = MetropolisHastings(n_samples=60, burn_in=10, seed=7)
+        merged = ParallelRunner(n_workers=3, backend="inline").run(engine, ex2)
+        assert merged.chains is not None
+        assert len(merged.chains) == 3
+        assert [x for chain in merged.chains for x in chain] == merged.samples
+
+    def test_draw_engines_do_not_carry_chains(self, ex2):
+        engine = LikelihoodWeighting(n_samples=60, seed=7)
+        merged = ParallelRunner(n_workers=3, backend="inline").run(engine, ex2)
+        assert merged.chains is None
+
+    def test_smc_island_weights_preserve_particle_shares(self, ex2):
+        engine = SMCSampler(n_particles=64, seed=7)
+        merged = ParallelRunner(n_workers=4, backend="inline").run(engine, ex2)
+        assert len(merged.samples) == 64
+        assert len(merged.weights) == 64
+        assert sum(merged.weights) == pytest.approx(64.0)
+
+    def test_more_workers_than_samples(self, ex2):
+        engine = LikelihoodWeighting(n_samples=3, seed=7)
+        merged = ParallelRunner(n_workers=8, backend="inline").run(engine, ex2)
+        assert len(merged.samples) == 3
+
+    def test_cross_chain_diagnostics_on_merged_result(self, ex2):
+        engine = MetropolisHastings(n_samples=120, burn_in=10, seed=7)
+        merged = ParallelRunner(n_workers=3, backend="inline").run(engine, ex2)
+        summary = cross_chain_diagnostics(merged)
+        assert summary.n_chains == 3
+        assert summary.n_samples == 120
+        assert summary.r_hat == pytest.approx(1.0, abs=0.5)
+
+    def test_sequential_diagnostics_degrade_to_one_chain(self, ex2):
+        result = MetropolisHastings(n_samples=60, burn_in=10, seed=7).infer(ex2)
+        assert cross_chain_diagnostics(result).n_chains == 1
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+class TestMultiprocessingSmoke:
+    """Real process pools on two small models, checked against the
+    inline backend (identical shards → identical merged results)."""
+
+    def test_mh_two_workers_matches_inline(self, ex2):
+        engine = MetropolisHastings(n_samples=40, burn_in=5, seed=3)
+        forked = ParallelRunner(n_workers=2, backend="fork").run(engine, ex2)
+        inline = ParallelRunner(n_workers=2, backend="inline").run(engine, ex2)
+        assert_same_result(forked, inline)
+        assert forked.chains == inline.chains
+
+    def test_importance_two_workers_matches_inline(self, ex4):
+        engine = LikelihoodWeighting(n_samples=40, seed=3)
+        forked = ParallelRunner(n_workers=2, backend="fork").run(engine, ex4)
+        inline = ParallelRunner(n_workers=2, backend="inline").run(engine, ex4)
+        assert_same_result(forked, inline)
+
+    def test_worker_error_propagates(self, ex2):
+        engine = RejectionSampler(n_samples=40, seed=3, max_attempts=2)
+        with pytest.raises(InferenceError):
+            ParallelRunner(n_workers=2, backend="fork").run(engine, ex2)
+
+
+class TestMergeSemantics:
+    def test_empty_merge_rejected(self):
+        with pytest.raises(InferenceError):
+            InferenceResult.merge([])
+
+    def test_mixed_weighted_unweighted_rejected(self):
+        weighted = InferenceResult(samples=[1.0], weights=[0.5])
+        plain = InferenceResult(samples=[2.0])
+        with pytest.raises(InferenceError):
+            InferenceResult.merge([weighted, plain])
+
+    def test_counters_sum(self):
+        a = InferenceResult(samples=[1.0, 2.0])
+        a.statements_executed, a.n_proposals, a.n_accepted = 10, 4, 2
+        b = InferenceResult(samples=[3.0])
+        b.statements_executed, b.n_proposals, b.n_accepted = 5, 2, 1
+        merged = InferenceResult.merge([a, b])
+        assert merged.samples == [1.0, 2.0, 3.0]
+        assert merged.statements_executed == 15
+        assert merged.n_proposals == 6
+        assert merged.n_accepted == 3
+
+
+class TestRejectionChunkedLoop:
+    """The chunked accept loop is a pure mechanical speedup: same RNG
+    stream, same accepted samples, same attempt accounting as the
+    historical one-attempt-at-a-time loop."""
+
+    PROGRAM = parse(
+        """
+bool a, b, c;
+a ~ Bernoulli(0.5);
+b ~ Bernoulli(0.5);
+c ~ Bernoulli(0.5);
+observe(a || (b && c));
+return a;
+"""
+    )
+
+    @staticmethod
+    def reference_infer(engine, program):
+        """The pre-optimization per-draw loop, verbatim."""
+        rng = random.Random(engine.seed)
+        result = InferenceResult()
+        attempts = 0
+        while len(result.samples) < engine.n_samples:
+            if attempts >= engine.max_attempts:
+                raise InferenceError("exhausted")
+            attempts += 1
+            run = engine._run_program(
+                program, rng, options=engine.executor_options
+            )
+            result.statements_executed += run.statements_executed
+            if run.blocked:
+                continue
+            result.samples.append(run.value)
+        result.n_proposals = attempts
+        result.n_accepted = len(result.samples)
+        return result
+
+    def test_matches_reference_loop(self):
+        engine = RejectionSampler(n_samples=100, seed=11)
+        fast = engine.infer(self.PROGRAM)
+        slow = self.reference_infer(
+            RejectionSampler(n_samples=100, seed=11), self.PROGRAM
+        )
+        assert fast.samples == slow.samples
+        assert fast.n_proposals == slow.n_proposals
+        assert fast.statements_executed == slow.statements_executed
+
+    def test_exhaustion_message_unchanged(self):
+        engine = RejectionSampler(n_samples=5, seed=0, max_attempts=1)
+        impossible = parse(
+            "bool a;\na ~ Bernoulli(0.0);\nobserve(a);\nreturn a;"
+        )
+        with pytest.raises(InferenceError, match="exhausted 1 attempts"):
+            engine.infer(impossible)
+
+    def test_sharded_cap_never_below_sequential(self):
+        engine = RejectionSampler(n_samples=100, seed=0, max_attempts=1000)
+        shards = engine.shard(3, spawn_seeds(0, 3))
+        assert sum(s.max_attempts for s in shards) >= 1000
+
+
+class TestReductionCaching:
+    def test_mean_and_variance_are_memoized(self):
+        r = InferenceResult(samples=[1.0, 2.0, 3.0, 4.0])
+        assert r.mean() == pytest.approx(2.5)
+        first = r._reductions
+        assert r.variance() == pytest.approx(1.25)
+        assert r.mean() == pytest.approx(2.5)
+        assert r._reductions is first
+
+    def test_cache_invalidates_when_samples_grow(self):
+        r = InferenceResult(samples=[1.0, 2.0])
+        assert r.mean() == pytest.approx(1.5)
+        r.samples.append(6.0)
+        assert r.mean() == pytest.approx(3.0)
+        assert r.variance() == pytest.approx(14.0 / 3.0)
+
+    def test_weighted_mean_unchanged(self):
+        r = InferenceResult(samples=[0.0, 1.0], weights=[1.0, 3.0])
+        assert r.mean() == pytest.approx(0.75)
+        with pytest.raises(InferenceError, match="zero"):
+            InferenceResult(samples=[1.0], weights=[0.0]).mean()
+
+    def test_empty_result_still_errors(self):
+        with pytest.raises(InferenceError, match="no samples"):
+            InferenceResult().mean()

@@ -4,7 +4,7 @@ equivalence property."""
 from hypothesis import HealthCheck, assume, given, settings
 
 from repro.core.parser import parse, parse_statement
-from repro.semantics.exact import ExactOptions, exact_inference
+from repro.semantics.exact import ExactEngineError, ExactOptions, exact_inference
 from repro.semantics.liveness import live_in
 
 from tests.strategies import programs
@@ -71,7 +71,9 @@ class TestPruningEquivalence:
         try:
             pruned = exact_inference(program, ExactOptions(prune_dead=True))
             full = exact_inference(program, ExactOptions(prune_dead=False))
-        except ValueError:
+        except (ValueError, ExactEngineError):
+            # ExactEngineError is a resource limit (state blow-up on the
+            # unpruned run), not an equivalence violation.
             assume(False)
         assert pruned.distribution.allclose(full.distribution, atol=1e-12)
         assert abs(pruned.normalizer - full.normalizer) < 1e-12
