@@ -13,6 +13,13 @@ Usage::
     prob-slice FILE.prob --cache-dir .prob-cache
                                        # reuse slices/compilations across
                                        # invocations (content-addressed)
+    prob-slice FILE.prob --infer mh --jobs 2 --trace trace.json \
+        --trace-format chrome          # record spans/metrics; load the
+                                       # file in chrome://tracing or
+                                       # https://ui.perfetto.dev
+    prob-slice FILE.prob --infer mh --progress --metrics-summary
+                                       # live progress line + final
+                                       # stage-timing/counter summary
 """
 
 from __future__ import annotations
@@ -120,6 +127,35 @@ def _build_parser() -> argparse.ArgumentParser:
             "the slicing pipeline and recompilation"
         ),
     )
+    obs = parser.add_argument_group("observability (repro.obs)")
+    obs.add_argument(
+        "--trace",
+        metavar="FILE",
+        help=(
+            "record spans (slicing stages, compilation, per-worker "
+            "inference) and metrics, and write them to FILE on exit"
+        ),
+    )
+    obs.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help=(
+            "trace file format: 'jsonl' (one record per line, schema in "
+            "repro/obs/trace_schema.json) or 'chrome' (trace-event JSON "
+            "for chrome://tracing / ui.perfetto.dev) (default: jsonl)"
+        ),
+    )
+    obs.add_argument(
+        "--metrics-summary",
+        action="store_true",
+        help="print stage timings, counters, and gauges after the run",
+    )
+    obs.add_argument(
+        "--progress",
+        action="store_true",
+        help="live stderr progress line during --infer (engine metrics)",
+    )
     return parser
 
 
@@ -176,10 +212,15 @@ def _run_inference(args, result, cache) -> int:
     from .inference.diagnostics import cross_chain_diagnostics
     from .runtime import ParallelRunner
 
+    from .obs import current_recorder
+
     runner = ParallelRunner(n_workers=args.jobs, cache=cache)
     engine = _ENGINE_FACTORIES[args.infer](args)
     try:
-        inferred = runner.run(engine, result.sliced)
+        with current_recorder().span(
+            "infer", engine=engine.name, jobs=args.jobs, seed=args.seed
+        ):
+            inferred = runner.run(engine, result.sliced)
     except InferenceError as exc:
         print(f"inference error: {exc}", file=sys.stderr)
         return 1
@@ -225,6 +266,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ProbSyntaxError as exc:
         print(f"syntax error: {exc}", file=sys.stderr)
         return 1
+    if not (args.trace or args.metrics_summary or args.progress):
+        return _dispatch(args, program)
+    # Observability path: record the whole slice→(compile→)infer run,
+    # then export / summarize.
+    from .obs import (
+        ProgressLine,
+        TraceRecorder,
+        format_metrics_summary,
+        use_recorder,
+        write_trace,
+    )
+
+    progress_line = ProgressLine(force=True) if args.progress else None
+    recorder = TraceRecorder(on_progress=progress_line)
+    try:
+        with use_recorder(recorder):
+            status = _dispatch(args, program)
+    finally:
+        if progress_line is not None:
+            progress_line.close()
+    if args.trace:
+        n = write_trace(recorder, args.trace, args.trace_format)
+        unit = "records" if args.trace_format == "jsonl" else "events"
+        print(f"// trace: {n} {unit} -> {args.trace}", file=sys.stderr)
+    if args.metrics_summary:
+        print(format_metrics_summary(recorder))
+    return status
+
+
+def _dispatch(args, program) -> int:
     cache = None
     if args.cache_dir:
         from .runtime import ProgramCache

@@ -1,5 +1,6 @@
 """Benchmark harness: engine runners, speedup measurement, reports."""
 
+from .bench_json import collect_bench_report, write_bench_json
 from .report import format_convergence_table, format_speedup_table, format_table
 from .sweep import SweepPoint, format_sweep, sweep_speedup
 from .runner import (
@@ -11,6 +12,8 @@ from .runner import (
 )
 
 __all__ = [
+    "collect_bench_report",
+    "write_bench_json",
     "format_convergence_table",
     "format_speedup_table",
     "format_table",

@@ -1,0 +1,174 @@
+"""Machine-readable benchmark snapshots (``BENCH_pr3.json``).
+
+For every Table-1 benchmark (at ``bench`` scale, so the whole thing
+finishes in CI time) this module records, under a
+:class:`repro.obs.TraceRecorder`:
+
+* the slice statistics — statement counts before/after and the slice
+  *ratio* (sliced / preprocessed, the paper's Table-1 reduction read
+  the other way up);
+* per-stage pipeline wall times (``sli.obs`` … ``sli.slice``,
+  ``ir.lower``, ``semantics.compile``) pulled from the recorded spans;
+* compiled-executor MH inference throughput on original vs sliced
+  (samples/sec plus the speedup), with acceptance metrics.
+
+Run it directly to (re)generate the repo-root snapshot::
+
+    PYTHONPATH=src python -m repro.harness.bench_json -o BENCH_pr3.json
+
+The JSON shape is stable so future PRs can diff perf trajectories
+file-against-file; CI's ``obs-smoke`` job uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from ..inference.mh import MetropolisHastings
+from ..models.registry import TABLE1
+from ..obs.recorder import TraceRecorder, use_recorder
+from ..transforms.pipeline import sli
+
+__all__ = ["bench_record", "collect_bench_report", "write_bench_json", "main"]
+
+#: Pipeline/compile stages folded into each benchmark record.
+STAGES = (
+    "sli",
+    "sli.obs",
+    "sli.svf",
+    "sli.ssa",
+    "sli.analyze",
+    "sli.influencers",
+    "sli.slice",
+    "ir.lower",
+    "semantics.compile",
+)
+
+
+def bench_record(
+    spec: Any, n_samples: int = 400, seed: int = 0
+) -> Dict[str, Any]:
+    """One benchmark's snapshot (slice stats, stage timings, inference
+    throughput on original vs sliced under compiled MH)."""
+    program = spec.bench()
+    recorder = TraceRecorder()
+    with use_recorder(recorder):
+        t0 = time.perf_counter()
+        result = sli(program)
+        slicing_seconds = time.perf_counter() - t0
+
+        def samples_per_sec(target) -> Dict[str, float]:
+            engine = MetropolisHastings(
+                n_samples=n_samples, burn_in=100, seed=seed, compiled=True
+            )
+            out = engine.infer(target)
+            secs = max(out.elapsed_seconds, 1e-9)
+            return {
+                "samples": len(out.samples),
+                "seconds": round(secs, 6),
+                "samples_per_sec": round(len(out.samples) / secs, 2),
+                "acceptance_rate": round(out.acceptance_rate, 4),
+            }
+
+        original = samples_per_sec(program)
+        sliced = samples_per_sec(result.sliced)
+    stages = recorder.stage_seconds()
+    return {
+        "name": spec.name,
+        "slice": {
+            "original_stmts": result.original_size,
+            "preprocessed_stmts": result.transformed_size,
+            "sliced_stmts": result.sliced_size,
+            "ratio": round(
+                result.sliced_size / max(1, result.transformed_size), 4
+            ),
+            "reduction": round(result.reduction, 4),
+            "slicing_seconds": round(slicing_seconds, 6),
+        },
+        "stages_ms": {
+            name: round(stages[name] * 1000, 3)
+            for name in STAGES
+            if name in stages
+        },
+        "inference": {
+            "engine": "mh-compiled",
+            "n_samples": n_samples,
+            "original": original,
+            "sliced": sliced,
+            "speedup": round(
+                original["seconds"] / max(sliced["seconds"], 1e-9), 2
+            ),
+        },
+    }
+
+
+def collect_bench_report(
+    n_samples: int = 400, only: Optional[List[str]] = None
+) -> Dict[str, Any]:
+    """The full ``BENCH_pr3.json`` document."""
+    benchmarks = []
+    for spec in TABLE1:
+        if only and spec.name not in only:
+            continue
+        benchmarks.append(bench_record(spec, n_samples=n_samples))
+    return {
+        "schema": "repro-bench/1",
+        "pr": 3,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "n_samples": n_samples,
+        "benchmarks": benchmarks,
+    }
+
+
+def write_bench_json(
+    path: str = "BENCH_pr3.json",
+    n_samples: int = 400,
+    only: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    report = collect_bench_report(n_samples=n_samples, only=only)
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=False)
+        f.write("\n")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.bench_json",
+        description="Write the machine-readable benchmark snapshot.",
+    )
+    parser.add_argument("-o", "--output", default="BENCH_pr3.json")
+    parser.add_argument(
+        "--samples", type=int, default=400, help="MH samples per run"
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        metavar="NAME",
+        help="restrict to these Table-1 benchmark names",
+    )
+    args = parser.parse_args(argv)
+    report = write_bench_json(
+        args.output, n_samples=args.samples, only=args.only
+    )
+    for bench in report["benchmarks"]:
+        inf = bench["inference"]
+        print(
+            f"{bench['name']:28s} ratio={bench['slice']['ratio']:.3f} "
+            f"orig={inf['original']['samples_per_sec']:9.1f}/s "
+            f"sliced={inf['sliced']['samples_per_sec']:9.1f}/s "
+            f"speedup={inf['speedup']:.2f}x"
+        )
+    print(f"wrote {args.output} ({len(report['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -10,9 +10,10 @@ status instead of raising.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import Dict, Optional
 
 from ..core.ast import Program
 from ..inference.base import (
@@ -22,6 +23,7 @@ from ..inference.base import (
     InferenceTimeout,
     UnsupportedProgramError,
 )
+from ..obs.recorder import use_recorder
 from ..transforms.pipeline import SliceResult, sli
 
 __all__ = ["RunStatus", "EngineRun", "SpeedupRow", "run_engine", "measure_speedup"]
@@ -58,6 +60,10 @@ class SpeedupRow:
     sliced: EngineRun
     slice_result: SliceResult
     slicing_seconds: float
+    #: Wall seconds per pipeline stage (span name -> total), folded in
+    #: from the ``recorder=`` passed to :func:`measure_speedup`; empty
+    #: when no recorder was attached.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def speedup(self) -> Optional[float]:
@@ -94,7 +100,10 @@ class SpeedupRow:
 
 
 def run_engine(
-    engine: Engine, program: Program, runner: Optional[object] = None
+    engine: Engine,
+    program: Program,
+    runner: Optional[object] = None,
+    recorder: Optional[object] = None,
 ) -> EngineRun:
     """Run ``engine`` on ``program``, capturing outcome and time.
 
@@ -103,13 +112,20 @@ def run_engine(
     sequential path.  Engine failures surface identically either way —
     a worker's :class:`InferenceTimeout` / :class:`InferenceError`
     propagates through the pool and is captured here as a status.
+
+    ``recorder`` (a :class:`repro.obs.TraceRecorder`) is installed as
+    the ambient recorder for the duration of the run, capturing engine
+    progress metrics, compile spans, and (under a parallel runner)
+    per-worker spans; ``None`` leaves the ambient recorder in place.
     """
+    ctx = nullcontext() if recorder is None else use_recorder(recorder)
     start = time.perf_counter()
     try:
-        if runner is not None:
-            result = runner.run(engine, program)  # type: ignore[attr-defined]
-        else:
-            result = engine.infer(program)
+        with ctx:
+            if runner is not None:
+                result = runner.run(engine, program)  # type: ignore[attr-defined]
+            else:
+                result = engine.infer(program)
     except InferenceTimeout as exc:
         return EngineRun(
             RunStatus.TIMEOUT, time.perf_counter() - start, message=str(exc)
@@ -133,6 +149,7 @@ def measure_speedup(
     simplify: bool = False,
     runner: Optional[object] = None,
     cache: Optional[object] = None,
+    recorder: Optional[object] = None,
 ) -> SpeedupRow:
     """Slice ``program``, run the engine on both versions, and package
     the Figure-18 row.
@@ -141,13 +158,28 @@ def measure_speedup(
     measurements of the same program skip the SLI pipeline;
     ``slicing_seconds`` then reports the (near-zero) lookup time, which
     is exactly the setup cost an inference service would pay.
-    ``runner`` parallelizes both engine runs.
+    ``runner`` parallelizes both engine runs.  ``recorder`` (a
+    :class:`repro.obs.TraceRecorder`) captures spans and metrics for
+    the whole measurement; the per-stage slicing timings are folded
+    into the row's ``stage_seconds``.
     """
-    start = time.perf_counter()
-    slice_result = sli(program, simplify=simplify, cache=cache)
-    slicing_seconds = time.perf_counter() - start
-    original = run_engine(engine, program, runner=runner)
-    sliced = run_engine(engine, slice_result.sliced, runner=runner)
+    recording = recorder is not None and getattr(recorder, "enabled", False)
+    before = recorder.stage_seconds() if recording else {}
+    ctx = nullcontext() if recorder is None else use_recorder(recorder)
+    with ctx:
+        start = time.perf_counter()
+        slice_result = sli(program, simplify=simplify, cache=cache)
+        slicing_seconds = time.perf_counter() - start
+        original = run_engine(engine, program, runner=runner)
+        sliced = run_engine(engine, slice_result.sliced, runner=runner)
+    stage_seconds: Dict[str, float] = {}
+    if recording:
+        # Only this measurement's share: the recorder may span several
+        # rows (a sweep), so diff against the entry snapshot.
+        for name, secs in recorder.stage_seconds().items():
+            delta = secs - before.get(name, 0.0)
+            if delta > 0.0:
+                stage_seconds[name] = delta
     return SpeedupRow(
         benchmark=benchmark_name,
         engine=engine_name,
@@ -155,4 +187,5 @@ def measure_speedup(
         sliced=sliced,
         slice_result=slice_result,
         slicing_seconds=slicing_seconds,
+        stage_seconds=stage_seconds,
     )

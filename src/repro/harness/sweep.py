@@ -5,6 +5,7 @@ fraction ablation.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
@@ -38,6 +39,7 @@ def sweep_speedup(
     parameters: Sequence[float],
     runner: Optional[object] = None,
     cache: Optional[object] = None,
+    recorder: Optional[object] = None,
 ) -> List[SweepPoint]:
     """Measure the slicing speedup at every parameter value.
 
@@ -45,18 +47,27 @@ def sweep_speedup(
     ``p``; a fresh engine is created per point so seeds stay aligned.
     ``runner``/``cache`` (see :mod:`repro.runtime`) parallelize each
     point's engine runs and de-duplicate slicing work across repeated
-    sweeps of the same grid.
+    sweeps of the same grid.  ``recorder`` (a
+    :class:`repro.obs.TraceRecorder`) spans each grid point and folds
+    the pipeline stage timings into every row.
     """
     points: List[SweepPoint] = []
     for p in parameters:
-        row = measure_speedup(
-            f"{name}[{p}]",
-            "sweep",
-            engine_factory(),
-            program_for(p),
-            runner=runner,
-            cache=cache,
+        ctx = (
+            recorder.span(f"sweep[{name}]", parameter=p)
+            if recorder is not None and getattr(recorder, "enabled", False)
+            else nullcontext()
         )
+        with ctx:
+            row = measure_speedup(
+                f"{name}[{p}]",
+                "sweep",
+                engine_factory(),
+                program_for(p),
+                runner=runner,
+                cache=cache,
+                recorder=recorder,
+            )
         points.append(SweepPoint(p, row))
     return points
 

@@ -9,6 +9,7 @@ form of "sliced programs converge faster".
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -112,9 +113,68 @@ def cross_chain_diagnostics(result: InferenceResult) -> ChainSummary:
 
     A result merged by the parallel runtime carries its per-worker
     chains (``result.chains``), giving a genuine multi-chain split-R̂
-    — independent seeds, independent initializations.  A sequential
-    result degrades gracefully to a single-chain split-R̂ over its
-    sample stream.  Booleans are summarized as 0/1.
+    — independent seeds, independent initializations.  Booleans are
+    summarized as 0/1.
+
+    Unlike the strict :func:`split_r_hat` / :func:`summarize_chains`
+    primitives, this entry point is meant for report code that must
+    not die on a degenerate run, so the edge cases degrade instead of
+    raising: a single (sequential) chain reports ``r_hat = nan``, a
+    zero-variance result (every sample identical — e.g. a chain stuck
+    at its initialization) reports ``r_hat = nan`` and ``ess = 0.0``,
+    and chains too short to split report ``r_hat = nan``.  Each case
+    emits a :class:`RuntimeWarning` saying why.
     """
-    chains = result.chains if result.chains else [result.samples]
-    return summarize_chains([[float(x) for x in chain] for chain in chains])
+    raw = result.chains if result.chains else [result.samples]
+    chains = [[float(x) for x in chain] for chain in raw]
+    pooled = [x for chain in chains for x in chain]
+    if not pooled:
+        raise ValueError("no samples")
+    n = len(pooled)
+    mean = sum(pooled) / n
+    var = sum((x - mean) ** 2 for x in pooled) / max(1, n - 1)
+    nan = float("nan")
+    if var == 0.0:
+        warnings.warn(
+            "cross_chain_diagnostics: all samples identical "
+            "(zero variance); R-hat is undefined and ESS is 0",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return ChainSummary(
+            mean=mean,
+            sd=0.0,
+            ess=0.0,
+            r_hat=nan,
+            n_chains=len(chains),
+            n_samples=n,
+        )
+    ess = sum(effective_sample_size(chain) for chain in chains)
+    if len(chains) < 2:
+        warnings.warn(
+            "cross_chain_diagnostics: single chain; cross-chain R-hat "
+            "is undefined (run with n_workers > 1 for a genuine "
+            "multi-chain diagnostic)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        r_hat = nan
+    else:
+        try:
+            r_hat = split_r_hat(chains)
+        except (ValueError, ZeroDivisionError) as exc:
+            warnings.warn(
+                f"cross_chain_diagnostics: split R-hat unavailable "
+                f"({exc})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            r_hat = nan
+    return ChainSummary(
+        mean=mean,
+        sd=math.sqrt(var),
+        ess=ess,
+        r_hat=r_hat,
+        n_chains=len(chains),
+        n_samples=n,
+    )

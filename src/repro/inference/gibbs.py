@@ -177,9 +177,16 @@ class GibbsSampler(Engine):
         # order (recomputed on every candidate evaluation).
         det_order = [n for n in net.order if n in deterministic]
 
+        from ..obs.recorder import current_recorder
+
+        rec = current_recorder()
         state = self._initialize(net, evidence, rng)
         total_sweeps = self.burn_in + self.n_samples * self.thin
         for sweep in range(total_sweeps):
+            if rec.enabled and sweep % 16 == 0:
+                rec.progress(
+                    self.name, sweep, total_sweeps, free_nodes=len(free)
+                )
             for node in free:
                 self._resample(
                     net, node, state, evidence, deterministic, det_order,
@@ -191,6 +198,10 @@ class GibbsSampler(Engine):
             if sweep >= self.burn_in and (sweep - self.burn_in) % self.thin == 0:
                 result.samples.append(state[compiled.query])
         result.elapsed_seconds = time.perf_counter() - start
+        if rec.enabled:
+            rec.progress(self.name, total_sweeps, total_sweeps, free_nodes=len(free))
+            rec.counter("engine.proposals", result.n_proposals)
+            rec.counter("engine.samples", len(result.samples))
         return result
 
     # -- internals -----------------------------------------------------------------

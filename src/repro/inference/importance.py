@@ -21,6 +21,13 @@ from .base import Engine, InferenceError, InferenceResult, split_evenly
 __all__ = ["LikelihoodWeighting"]
 
 
+def _weight_ess(sum_w: float, sum_w2: float) -> float:
+    """Kish effective sample size of the importance weights so far."""
+    if sum_w2 <= 0.0:
+        return 0.0
+    return sum_w * sum_w / sum_w2
+
+
 class LikelihoodWeighting(Engine):
     """Draw ``n_samples`` prior runs with likelihood weights."""
 
@@ -56,11 +63,21 @@ class LikelihoodWeighting(Engine):
         return shards
 
     def infer(self, program: Program) -> InferenceResult:
+        from ..obs.recorder import current_recorder
+
         rng = random.Random(self.seed)
         result = InferenceResult(weights=[])
+        rec = current_recorder()
         start = time.perf_counter()
         assert result.weights is not None
-        for _ in range(self.n_samples):
+        # Running Σw / Σw² for the weight-degeneracy ESS progress metric.
+        sum_w = 0.0
+        sum_w2 = 0.0
+        for i in range(self.n_samples):
+            if rec.enabled and i % 256 == 0 and i:
+                rec.progress(
+                    self.name, i, self.n_samples, ess=_weight_ess(sum_w, sum_w2)
+                )
             try:
                 run = self._run_program(program, rng, options=self.executor_options)
             except NonTerminatingRun:
@@ -69,10 +86,22 @@ class LikelihoodWeighting(Engine):
             if run.blocked:
                 continue
             result.samples.append(run.value)
-            result.weights.append(math.exp(min(run.log_likelihood, 700.0)))
+            w = math.exp(min(run.log_likelihood, 700.0))
+            result.weights.append(w)
+            sum_w += w
+            sum_w2 += w * w
         result.n_proposals = self.n_samples
         result.n_accepted = len(result.samples)
         result.elapsed_seconds = time.perf_counter() - start
+        if rec.enabled:
+            rec.progress(
+                self.name,
+                self.n_samples,
+                self.n_samples,
+                ess=_weight_ess(sum_w, sum_w2),
+            )
+            rec.counter("engine.proposals", result.n_proposals)
+            rec.counter("engine.samples", len(result.samples))
         if not result.samples or sum(result.weights) <= 0.0:
             raise InferenceError("all likelihood weights are zero")
         return result

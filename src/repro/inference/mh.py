@@ -325,8 +325,11 @@ class MetropolisHastings(Engine):
             )
 
     def infer(self, program: Program) -> InferenceResult:
+        from ..obs.recorder import current_recorder
+
         rng = random.Random(self.seed)
         result = InferenceResult()
+        rec = current_recorder()
         start = time.perf_counter()
         self._deadline = (
             None if self.time_budget is None else start + self.time_budget
@@ -336,6 +339,13 @@ class MetropolisHastings(Engine):
         for step in range(total_steps):
             if step % 64 == 0:
                 self._check_deadline(f"step {step} of {total_steps}")
+                if rec.enabled:
+                    rec.progress(
+                        self.name,
+                        step,
+                        total_steps,
+                        accept_rate=result.n_accepted / max(1, result.n_proposals),
+                    )
             result.n_proposals += 1
             accepted = self._propose(program, rng, current, result)
             if accepted is not None:
@@ -344,4 +354,13 @@ class MetropolisHastings(Engine):
             if step >= self.burn_in and (step - self.burn_in) % self.thin == 0:
                 result.samples.append(current.value)
         result.elapsed_seconds = time.perf_counter() - start
+        if rec.enabled:
+            rec.progress(
+                self.name,
+                total_steps,
+                total_steps,
+                accept_rate=result.n_accepted / max(1, result.n_proposals),
+            )
+            rec.counter("engine.proposals", result.n_proposals)
+            rec.counter("engine.samples", len(result.samples))
         return result

@@ -78,8 +78,11 @@ class RejectionSampler(Engine):
             raise UnsupportedProgramError(
                 "rejection sampling requires hard observations only"
             )
+        from ..obs.recorder import current_recorder
+
         rng = random.Random(self.seed)
         result = InferenceResult()
+        rec = current_recorder()
         start = time.perf_counter()
         # The accept loop draws in chunks sized by the running
         # acceptance-rate estimate (Laplace-smoothed, 25% headroom)
@@ -119,8 +122,19 @@ class RejectionSampler(Engine):
                     samples.append(run.value)
                     if len(samples) >= target:
                         break
+            if rec.enabled:
+                rec.progress(
+                    self.name,
+                    len(samples),
+                    target,
+                    attempts=attempts,
+                    accept_rate=len(samples) / max(1, attempts),
+                )
         result.statements_executed = statements
         result.n_proposals = attempts
         result.n_accepted = len(samples)
         result.elapsed_seconds = time.perf_counter() - start
+        if rec.enabled:
+            rec.counter("engine.proposals", attempts)
+            rec.counter("engine.samples", len(samples))
         return result

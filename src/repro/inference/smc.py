@@ -243,9 +243,14 @@ class SMCSampler(Engine):
         return _Run(program, rng, base_trace, self.max_loop_iterations)
 
     def infer(self, program: Program) -> InferenceResult:
+        from ..obs.recorder import current_recorder
+
         rng = random.Random(self.seed)
         result = InferenceResult(weights=[])
+        rec = current_recorder()
         start = time.perf_counter()
+        self._resamples = 0
+        barriers = 0
         particles = [
             _Particle(self._new_run(program, rng, None))
             for _ in range(self.n_particles)
@@ -276,6 +281,16 @@ class SMCSampler(Engine):
             if not particles:
                 break
             particles = self._maybe_resample(program, rng, particles)
+            barriers += 1
+            if rec.enabled:
+                rec.progress(
+                    self.name,
+                    len(finished),
+                    self.n_particles,
+                    live=len(particles),
+                    barriers=barriers,
+                    resamples=self._resamples,
+                )
 
         if not finished:
             raise InferenceError("every SMC particle died (zero-mass program?)")
@@ -289,6 +304,16 @@ class SMCSampler(Engine):
         result.elapsed_seconds = time.perf_counter() - start
         if sum(result.weights) <= 0.0:
             raise InferenceError("all SMC particle weights are zero")
+        if rec.enabled:
+            rec.progress(
+                self.name,
+                self.n_particles,
+                self.n_particles,
+                resamples=self._resamples,
+            )
+            rec.counter("engine.proposals", result.n_proposals)
+            rec.counter("engine.samples", len(result.samples))
+            rec.counter("smc.resamples", self._resamples)
         return result
 
     # -- resampling ---------------------------------------------------------------
@@ -308,6 +333,7 @@ class SMCSampler(Engine):
         # part of the population (replenish back to full size).
         if ess >= self.ess_threshold * target and len(particles) == target:
             return particles
+        self._resamples = getattr(self, "_resamples", 0) + 1
         # Systematic resampling back to the full population size.
         positions = [(rng.random() + i) / target for i in range(target)]
         cumulative = 0.0

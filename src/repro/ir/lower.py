@@ -209,14 +209,18 @@ def lower(source: Union[Program, Stmt]) -> Lowered:
     hit = _LOWER_CACHE.get(key)
     if hit is not None and hit[0] is source:
         return hit[1]
-    body = source.body if isinstance(source, Program) else source
-    ret = source.ret if isinstance(source, Program) else None
-    lo = _Lowerer()
-    root, last = lo.lower(body, lo.cfg.entry)
-    exit_block = lo.cfg.new_block()
-    lo.cfg.add_edge(last, exit_block)
-    lo.cfg.seal(exit_block)
-    result = Lowered(lo.cfg, root, source, ret, lo.tokens)
+    from ..obs.recorder import current_recorder
+
+    with current_recorder().span("ir.lower") as sp:
+        body = source.body if isinstance(source, Program) else source
+        ret = source.ret if isinstance(source, Program) else None
+        lo = _Lowerer()
+        root, last = lo.lower(body, lo.cfg.entry)
+        exit_block = lo.cfg.new_block()
+        lo.cfg.add_edge(last, exit_block)
+        lo.cfg.seal(exit_block)
+        result = Lowered(lo.cfg, root, source, ret, lo.tokens)
+        sp.set(n_nodes=len(lo.cfg.nodes), n_blocks=len(lo.cfg.blocks))
     if len(_LOWER_CACHE) >= _LOWER_CACHE_MAX:
         _LOWER_CACHE.clear()
     _LOWER_CACHE[key] = (source, result)

@@ -1,0 +1,75 @@
+"""The stderr progress line (``--progress``).
+
+A :class:`ProgressLine` is a plain callable suitable for
+``TraceRecorder(on_progress=...)``: every progress event overwrites a
+single ``\\r``-terminated stderr line with the latest per-engine
+counts and metrics.  Output is throttled (default 10 Hz) so tight
+reporting loops never turn into I/O storms, and suppressed entirely
+when stderr is not a TTY unless ``force=True`` (CI smoke tests force
+it to assert on the output).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, IO, Optional
+
+__all__ = ["ProgressLine"]
+
+
+class ProgressLine:
+    """Render progress events as one self-overwriting stderr line."""
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        min_interval: float = 0.1,
+        force: bool = False,
+    ) -> None:
+        self.stream = sys.stderr if stream is None else stream
+        self.min_interval = min_interval
+        self.force = force
+        self._last_write = 0.0
+        self._dirty = False
+        self._width = 0
+
+    def _active(self) -> bool:
+        if self.force:
+            return True
+        isatty = getattr(self.stream, "isatty", None)
+        return bool(isatty and isatty())
+
+    def __call__(self, event: Dict[str, Any]) -> None:
+        if not self._active():
+            return
+        now = time.monotonic()
+        done, total = event["done"], event["total"]
+        finished = total is not None and done >= total
+        if not finished and now - self._last_write < self.min_interval:
+            return
+        self._last_write = now
+        parts = [f"[{event['source']}]"]
+        if total:
+            pct = 100.0 * done / total
+            parts.append(f"{done}/{total} ({pct:.0f}%)")
+        else:
+            parts.append(str(done))
+        for key, value in event["metrics"].items():
+            if isinstance(value, float):
+                parts.append(f"{key}={value:.3g}")
+            else:
+                parts.append(f"{key}={value}")
+        line = " ".join(parts)
+        pad = max(0, self._width - len(line))
+        self._width = len(line)
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+        self._dirty = True
+
+    def close(self) -> None:
+        """Terminate the in-place line (call once, after inference)."""
+        if self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False

@@ -1,0 +1,362 @@
+"""The Recorder protocol: spans, metrics, and progress events.
+
+Two implementations share one duck-typed surface:
+
+* :data:`NULL_RECORDER` (a :class:`NullRecorder`) — the process-wide
+  default.  Every method is a no-op and :meth:`NullRecorder.span`
+  returns one shared null context manager, so instrumentation woven
+  through the hot paths costs an attribute lookup and a call — the
+  disabled-path overhead budget that
+  ``benchmarks/bench_obs_overhead.py`` enforces (<2%).  Call sites
+  that would do *extra work to compute attributes* (walking an AST to
+  classify statements, say) must guard on :attr:`Recorder.enabled`.
+* :class:`TraceRecorder` — buffers hierarchical spans (wall + CPU
+  time, free-form attributes), typed metrics (monotonic counters,
+  last-value gauges, value-list histograms), and per-engine progress
+  events in memory.  Export lives in :mod:`repro.obs.export`.
+
+The ambient recorder is a :mod:`contextvars` variable:
+:func:`current_recorder` reads it (the instrumented layers call this
+once per stage, never per iteration) and :func:`use_recorder` is the
+context manager the CLI / harness / tests install a recorder with.
+
+Cross-process merging (the :class:`repro.runtime.parallel
+.ParallelRunner` worker protocol): a worker builds its own
+``TraceRecorder``, serializes it with :meth:`TraceRecorder.to_payload`
+(plain dicts — picklable under fork, spawn, and forkserver alike), and
+the parent folds it in with :meth:`TraceRecorder.merge_child`.  Span
+timestamps are kept relative to each recorder's wall-clock epoch, so
+merging re-bases the child's spans by the epoch difference and the
+merged tree lines up on one timeline.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "TraceRecorder",
+    "Recorder",
+    "current_recorder",
+    "use_recorder",
+]
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Span:
+    """One timed region.  ``start``/``end`` are wall-clock seconds
+    relative to the owning recorder's ``epoch``; ``cpu`` is the CPU
+    seconds consumed between enter and exit (process-wide clock, so
+    concurrent spans overlap)."""
+
+    name: str
+    start: float
+    end: float = 0.0
+    cpu: float = 0.0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes; chainable, usable on the open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "cpu": self.cpu,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Span":
+        return cls(
+            name=d["name"],
+            start=d["start"],
+            end=d["end"],
+            cpu=d.get("cpu", 0.0),
+            attrs=dict(d.get("attrs", {})),
+            children=[cls.from_dict(c) for c in d.get("children", [])],
+        )
+
+    def shifted(self, offset: float) -> "Span":
+        """A copy with every timestamp moved by ``offset`` seconds."""
+        return Span(
+            name=self.name,
+            start=self.start + offset,
+            end=self.end + offset,
+            cpu=self.cpu,
+            attrs=dict(self.attrs),
+            children=[c.shifted(offset) for c in self.children],
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing span/context-manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager around one :class:`Span` on a recorder's stack."""
+
+    __slots__ = ("_recorder", "span")
+
+    def __init__(self, recorder: "TraceRecorder", span: Span) -> None:
+        self._recorder = recorder
+        self.span = span
+
+    def __enter__(self) -> Span:
+        rec = self._recorder
+        span = self.span
+        span.start = rec._now()
+        rec._cpu_marks.append(time.process_time())
+        rec._stack.append(span)
+        return span
+
+    def __exit__(self, *exc: object) -> bool:
+        rec = self._recorder
+        span = rec._stack.pop()
+        span.end = rec._now()
+        span.cpu = time.process_time() - rec._cpu_marks.pop()
+        if rec._stack:
+            rec._stack[-1].children.append(span)
+        else:
+            rec.spans.append(span)
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Recorders
+# ---------------------------------------------------------------------------
+
+
+class NullRecorder:
+    """The default recorder: records nothing, costs (almost) nothing."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def histogram(self, name: str, value: float) -> None:
+        pass
+
+    def progress(
+        self, source: str, done: int, total: Optional[int], **metrics: float
+    ) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NullRecorder()"
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder:
+    """In-memory recorder of spans, metrics, and progress events.
+
+    ``on_progress`` — optional callable invoked with every progress
+    event dict (the stderr progress line registers here).
+    """
+
+    enabled = True
+
+    def __init__(
+        self, on_progress: Optional[Callable[[Dict[str, Any]], None]] = None
+    ) -> None:
+        #: Wall-clock (``time.time``) instant all span times are
+        #: relative to — the cross-process alignment anchor.
+        self.epoch = time.time()
+        self._perf0 = time.perf_counter()
+        self.spans: List[Span] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, List[float]] = {}
+        self.progress_events: List[Dict[str, Any]] = []
+        self.on_progress = on_progress
+        self._stack: List[Span] = []
+        self._cpu_marks: List[float] = []
+
+    # -- time ----------------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._perf0
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        """``with recorder.span("stage", key=...) as sp: ...`` — the
+        span closes (and is attached to its parent) on exit."""
+        return _ActiveSpan(self, Span(name=name, start=0.0, attrs=attrs))
+
+    # -- metrics ---------------------------------------------------------------
+
+    def counter(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def histogram(self, name: str, value: float) -> None:
+        self.histograms.setdefault(name, []).append(value)
+
+    # -- progress --------------------------------------------------------------
+
+    def progress(
+        self, source: str, done: int, total: Optional[int], **metrics: float
+    ) -> None:
+        """One engine progress report (``done`` of ``total`` units).
+
+        The latest value of each metric is mirrored into gauges as
+        ``progress.<source>.<metric>`` so a summary needs no replay.
+        """
+        event: Dict[str, Any] = {
+            "t": self._now(),
+            "source": source,
+            "done": done,
+            "total": total,
+            "metrics": dict(metrics),
+        }
+        self.progress_events.append(event)
+        self.gauges[f"progress.{source}.done"] = done
+        for key, value in metrics.items():
+            self.gauges[f"progress.{source}.{key}"] = value
+        if self.on_progress is not None:
+            self.on_progress(event)
+
+    # -- cross-process merge ---------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-data snapshot for shipping across a process boundary."""
+        return {
+            "epoch": self.epoch,
+            "spans": [s.to_dict() for s in self.spans],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: list(v) for k, v in self.histograms.items()},
+            "progress": [dict(e) for e in self.progress_events],
+        }
+
+    def merge_child(self, payload: Optional[Dict[str, Any]]) -> None:
+        """Fold a worker's :meth:`to_payload` into this recorder.
+
+        Child spans are re-based onto this recorder's timeline (epoch
+        difference) and attached under the currently open span (the
+        parallel fan-out span) or at the root.  Counters sum,
+        histograms concatenate, gauges last-write-wins, and progress
+        events append with re-based timestamps.
+        """
+        if payload is None:
+            return
+        offset = payload["epoch"] - self.epoch
+        sink = self._stack[-1].children if self._stack else self.spans
+        for d in payload.get("spans", []):
+            sink.append(Span.from_dict(d).shifted(offset))
+        for name, value in payload.get("counters", {}).items():
+            self.counter(name, value)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauges[name] = value
+        for name, values in payload.get("histograms", {}).items():
+            self.histograms.setdefault(name, []).extend(values)
+        for event in payload.get("progress", []):
+            event = dict(event)
+            event["t"] = event.get("t", 0.0) + offset
+            self.progress_events.append(event)
+
+    # -- queries ---------------------------------------------------------------
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Depth-first over every span: finished roots plus the open
+        stack (whose attached children are already finished)."""
+        stack = list(reversed(self.spans + self._stack))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def find_spans(self, name: str) -> List[Span]:
+        return [s for s in self.iter_spans() if s.name == name]
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Total wall seconds per span name, summed over occurrences
+        (spans still open are skipped)."""
+        out: Dict[str, float] = {}
+        for span in self.iter_spans():
+            if span.end < span.start:  # still open
+                continue
+            out[span.name] = out.get(span.name, 0.0) + span.duration
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceRecorder(spans={len(self.spans)}, "
+            f"counters={len(self.counters)}, "
+            f"progress={len(self.progress_events)})"
+        )
+
+
+#: Structural union for annotations; both implementations satisfy it.
+Recorder = object
+
+
+# ---------------------------------------------------------------------------
+# The ambient recorder
+# ---------------------------------------------------------------------------
+
+_CURRENT: "contextvars.ContextVar[Any]" = contextvars.ContextVar(
+    "repro_obs_recorder", default=NULL_RECORDER
+)
+
+
+def current_recorder() -> Any:
+    """The ambient recorder (default: :data:`NULL_RECORDER`)."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_recorder(recorder: Any) -> Iterator[Any]:
+    """Install ``recorder`` as the ambient recorder for the block."""
+    token = _CURRENT.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _CURRENT.reset(token)

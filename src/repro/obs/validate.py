@@ -1,0 +1,83 @@
+"""Validate a JSONL trace export against the checked-in schema.
+
+Usage::
+
+    python -m repro.obs.validate TRACE.jsonl [...]
+
+Exit status 0 when every line of every file validates, 1 otherwise.
+Requires the ``jsonschema`` package (a dev dependency — CI's
+``obs-smoke`` job installs it); a clear error is printed when it is
+missing rather than an ImportError traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import List, Optional, Tuple
+
+__all__ = ["SCHEMA_PATH", "load_schema", "validate_jsonl", "main"]
+
+SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "trace_schema.json")
+
+
+def load_schema() -> dict:
+    with open(SCHEMA_PATH) as f:
+        return json.load(f)
+
+
+def validate_jsonl(path: str) -> List[Tuple[int, str]]:
+    """Validate every line of ``path``; returns ``(lineno, error)``
+    pairs (empty means the file is valid)."""
+    try:
+        import jsonschema
+    except ImportError as exc:  # pragma: no cover - dev-dep missing
+        raise RuntimeError(
+            "trace validation needs the 'jsonschema' package "
+            "(pip install jsonschema)"
+        ) from exc
+
+    validator = jsonschema.Draft202012Validator(load_schema())
+    errors: List[Tuple[int, str]] = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append((lineno, f"not JSON: {exc}"))
+                continue
+            for err in validator.iter_errors(record):
+                errors.append((lineno, err.message))
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.validate TRACE.jsonl [...]", file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        try:
+            errors = validate_jsonl(path)
+        except (OSError, RuntimeError) as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        if errors:
+            status = 1
+            for lineno, message in errors[:20]:
+                print(f"{path}:{lineno}: {message}", file=sys.stderr)
+            if len(errors) > 20:
+                print(f"{path}: ... {len(errors) - 20} more", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from ..core.ast import Program
 from ..core.fingerprint import program_fingerprint
+from ..obs.recorder import current_recorder
 
 if TYPE_CHECKING:
     from ..semantics.compiled import CompiledProgram
@@ -53,6 +54,11 @@ class CacheStats:
     compile_hits: int = 0
     compile_misses: int = 0
     disk_hits: int = 0
+    #: Disk entries that existed but could not be unpickled (corrupt or
+    #: truncated); each is treated as a miss and the file is deleted.
+    disk_load_failures: int = 0
+    #: In-memory LRU evictions.
+    evictions: int = 0
 
     def reset(self) -> None:
         self.slice_hits = 0
@@ -60,6 +66,8 @@ class CacheStats:
         self.compile_hits = 0
         self.compile_misses = 0
         self.disk_hits = 0
+        self.disk_load_failures = 0
+        self.evictions = 0
 
 
 class ProgramCache:
@@ -93,11 +101,26 @@ class ProgramCache:
             return None
         path = os.path.join(self.cache_dir, f"{key}.{kind}.pkl")
         try:
-            with open(path, "rb") as f:
+            f = open(path, "rb")
+        except OSError:
+            return None
+        try:
+            with f:
                 value = pickle.load(f)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except Exception:
+            # The entry exists but cannot be loaded (corrupt/truncated
+            # pickle, or a stale class the unpickler no longer finds):
+            # count it, drop the bad file, and treat it as a miss so
+            # the caller recomputes and rewrites a good entry.
+            self.stats.disk_load_failures += 1
+            current_recorder().counter("cache.disk_corrupt")
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return None
         self.stats.disk_hits += 1
+        current_recorder().counter("cache.disk_read")
         self._remember(key, value)
         return value
 
@@ -122,6 +145,8 @@ class ProgramCache:
         self._memory.move_to_end(key)
         while len(self._memory) > self.max_entries:
             self._memory.popitem(last=False)
+            self.stats.evictions += 1
+            current_recorder().counter("cache.evict")
 
     def clear(self, disk: bool = False) -> None:
         """Drop the in-memory layer (and the on-disk one if asked)."""
@@ -148,8 +173,10 @@ class ProgramCache:
         hit = self._get(key, "slice")
         if hit is None:
             self.stats.slice_misses += 1
+            current_recorder().counter("cache.slice.miss")
             return None
         self.stats.slice_hits += 1
+        current_recorder().counter("cache.slice.hit")
         return hit  # type: ignore[return-value]
 
     def put_slice(
@@ -179,8 +206,10 @@ class ProgramCache:
         hit = self._get(key, "compiled")
         if hit is not None:
             self.stats.compile_hits += 1
+            current_recorder().counter("cache.compile.hit")
             return hit  # type: ignore[return-value]
         self.stats.compile_misses += 1
+        current_recorder().counter("cache.compile.miss")
         compiled = compile_program(program)
         self._put(key, "compiled", compiled)
         return compiled

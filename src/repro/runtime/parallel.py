@@ -39,6 +39,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.ast import Program
 from ..inference.base import Engine, InferenceResult
+from ..obs.recorder import TraceRecorder, current_recorder, use_recorder
 
 __all__ = ["ParallelRunner", "spawn_seeds"]
 
@@ -61,10 +62,28 @@ def spawn_seeds(master_seed: int, n: int) -> List[int]:
     return seeds
 
 
-def _infer_shard(payload: Tuple[Engine, Program]) -> InferenceResult:
-    """Top-level worker entry point (must be picklable by reference)."""
-    engine, program = payload
-    return engine.infer(program)
+def _infer_shard(
+    payload: Tuple[Engine, Program, int, bool]
+) -> Tuple[InferenceResult, Optional[dict]]:
+    """Top-level worker entry point (must be picklable by reference).
+
+    With ``capture`` set, the shard runs under its own
+    :class:`TraceRecorder` whose whole buffer (the ``worker`` span tree
+    plus any engine progress metrics and counters) ships back as a
+    plain-dict payload for the parent to merge — the same code path
+    regardless of start method, so fork/spawn/forkserver/inline all
+    produce identical span structure.
+    """
+    engine, program, index, capture = payload
+    if not capture:
+        return engine.infer(program), None
+    recorder = TraceRecorder()
+    with use_recorder(recorder):
+        with recorder.span(
+            "worker", worker=index, engine=engine.name, pid=os.getpid()
+        ):
+            result = engine.infer(program)
+    return result, recorder.to_payload()
 
 
 def _default_workers() -> int:
@@ -122,24 +141,35 @@ class ParallelRunner:
         shards = engine.shard(self.n_workers, seeds)
         if len(shards) <= 1:
             return engine.infer(program)
-        start = time.perf_counter()
-        parts = self._map(shards, program)
-        merged = engine.merge(parts)
-        merged.elapsed_seconds = time.perf_counter() - start
+        recorder = current_recorder()
+        with recorder.span(
+            "parallel.run",
+            engine=engine.name,
+            n_workers=len(shards),
+            backend=self.backend,
+            unit=engine.parallel_unit,
+        ):
+            start = time.perf_counter()
+            pairs = self._map(shards, program)
+            for _, payload in pairs:
+                if payload is not None:
+                    recorder.merge_child(payload)
+            merged = engine.merge([result for result, _ in pairs])
+            merged.elapsed_seconds = time.perf_counter() - start
         return merged
 
     def _map(
         self, shards: Sequence[Engine], program: Program
-    ) -> List[InferenceResult]:
+    ) -> List[Tuple[InferenceResult, Optional[dict]]]:
+        capture = current_recorder().enabled
+        payloads = [
+            (shard, program, i, capture) for i, shard in enumerate(shards)
+        ]
         if self.backend == "inline":
-            return [shard.infer(program) for shard in shards]
+            return [_infer_shard(p) for p in payloads]
         ctx = multiprocessing.get_context(self.backend)
         with ctx.Pool(processes=len(shards)) as pool:
-            return pool.map(
-                _infer_shard,
-                [(shard, program) for shard in shards],
-                chunksize=1,
-            )
+            return pool.map(_infer_shard, payloads, chunksize=1)
 
     def __repr__(self) -> str:
         return (

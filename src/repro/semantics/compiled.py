@@ -472,7 +472,11 @@ def compile_program(program: Program) -> CompiledProgram:
     fp = program_fingerprint(program, kind="compiled")
     compiled = _FINGERPRINT_CACHE.get(fp)
     if compiled is None:
-        compiled = CompiledProgram(program)
+        from ..obs.recorder import current_recorder
+
+        with current_recorder().span("semantics.compile") as sp:
+            compiled = CompiledProgram(program)
+            sp.set(code_chars=len(compiled.source))
         if len(_FINGERPRINT_CACHE) >= _COMPILE_CACHE_MAX:
             _FINGERPRINT_CACHE.clear()
         _FINGERPRINT_CACHE[fp] = compiled

@@ -29,15 +29,35 @@ from typing import FrozenSet
 from ..analysis.depgraph import DependencyInfo, analyze
 from ..analysis.graph import DiGraph
 from ..analysis.influencers import dinf, inf_fast
-from ..core.ast import Program, statement_count
+from ..core.ast import (
+    Block,
+    Factor,
+    If,
+    Observe,
+    ObserveSample,
+    Program,
+    Stmt,
+    While,
+    is_skip,
+    statement_count,
+)
 from ..core.freevars import free_vars
+from ..obs.recorder import current_recorder
 from .constprop import const_prop, copy_prop
 from .obs import obs_transform
 from .slice import aux_program_with, slice_program_with
 from .ssa import ssa_transform
 from .svf import svf_transform
 
-__all__ = ["SliceResult", "preprocess", "sli", "naive_slice", "nt_slice", "aux_of"]
+__all__ = [
+    "SliceResult",
+    "preprocess",
+    "sli",
+    "naive_slice",
+    "nt_slice",
+    "aux_of",
+    "node_class_counts",
+]
 
 
 @dataclass(frozen=True)
@@ -88,10 +108,54 @@ def preprocess(
     ``svf_hoist_variables=True`` applies Figure 13 literally (fresh
     helper even for bare-variable conditions).
     """
+    rec = current_recorder()
     if use_obs:
-        program = obs_transform(program, extended=obs_extended)
-    program = svf_transform(program, hoist_variables=svf_hoist_variables)
-    return ssa_transform(program)
+        with rec.span("sli.obs", extended=obs_extended):
+            program = obs_transform(program, extended=obs_extended)
+    with rec.span("sli.svf", hoist_variables=svf_hoist_variables):
+        program = svf_transform(program, hoist_variables=svf_hoist_variables)
+    with rec.span("sli.ssa"):
+        return ssa_transform(program)
+
+
+def node_class_counts(stmt: Stmt) -> dict:
+    """Statement counts per CFG node class — ``observe`` (conditioning:
+    hard/soft observes and factors), ``control`` (if/while), ``data``
+    (everything else) — the per-class slice metrics Amtoft & Banerjee's
+    probabilistic-CFG slicing view suggests reporting."""
+    counts = {"observe": 0, "control": 0, "data": 0}
+    stack = [stmt]
+    while stack:
+        s = stack.pop()
+        if isinstance(s, Block):
+            stack.extend(s.stmts)
+        elif isinstance(s, If):
+            counts["control"] += 1
+            stack.append(s.then_branch)
+            stack.append(s.else_branch)
+        elif isinstance(s, While):
+            counts["control"] += 1
+            stack.append(s.body)
+        elif isinstance(s, (Observe, ObserveSample, Factor)):
+            counts["observe"] += 1
+        elif not is_skip(s):
+            counts["data"] += 1
+    return counts
+
+
+def _record_slice_metrics(result: SliceResult) -> None:
+    """Per-node-class kept/dropped counters plus size attributes, on
+    the ambient recorder (callers guard on ``recorder.enabled``)."""
+    rec = current_recorder()
+    kept = node_class_counts(result.sliced.body)
+    total = node_class_counts(result.transformed.body)
+    for cls in ("observe", "control", "data"):
+        rec.counter(f"slice.kept.{cls}", kept[cls])
+        rec.counter(f"slice.dropped.{cls}", max(0, total[cls] - kept[cls]))
+    rec.gauge("slice.stmts.original", result.original_size)
+    rec.gauge("slice.stmts.transformed", result.transformed_size)
+    rec.gauge("slice.stmts.sliced", result.sliced_size)
+    rec.gauge("slice.reduction", result.reduction)
 
 
 def _finish(
@@ -101,15 +165,18 @@ def _finish(
     keep: FrozenSet[str],
     simplify: bool,
 ) -> SliceResult:
-    sliced = slice_program_with(transformed, keep)
+    rec = current_recorder()
+    with rec.span("sli.slice"):
+        sliced = slice_program_with(transformed, keep)
     if simplify:
         # Constant and copy propagation can turn observes into skips,
         # conditions into constants, and merge aliases into dead code,
         # enabling a second, smaller slice.
-        sliced = copy_prop(const_prop(sliced))
-        info2 = analyze(sliced)
-        keep2 = inf_fast(info2.observed, info2.graph, free_vars(sliced.ret))
-        sliced = slice_program_with(sliced, frozenset(keep2))
+        with rec.span("sli.simplify"):
+            sliced = copy_prop(const_prop(sliced))
+            info2 = analyze(sliced)
+            keep2 = inf_fast(info2.observed, info2.graph, free_vars(sliced.ret))
+            sliced = slice_program_with(sliced, frozenset(keep2))
     return SliceResult(
         original=original,
         transformed=transformed,
@@ -148,22 +215,35 @@ def sli(
         simplify=simplify,
         svf_hoist_variables=svf_hoist_variables,
     )
-    if cache is not None:
-        hit = cache.get_slice(program, options)
-        if hit is not None:
-            return hit
-    transformed = preprocess(
-        program,
-        use_obs=use_obs,
-        obs_extended=obs_extended,
-        svf_hoist_variables=svf_hoist_variables,
-    )
-    info = analyze(transformed)
-    keep = inf_fast(info.observed, info.graph, free_vars(transformed.ret))
-    result = _finish(program, transformed, info, frozenset(keep), simplify)
-    if cache is not None:
-        cache.put_slice(program, options, result)
-    return result
+    rec = current_recorder()
+    with rec.span("sli", simplify=simplify, use_obs=use_obs) as sp:
+        if cache is not None:
+            hit = cache.get_slice(program, options)
+            if hit is not None:
+                sp.set(cached=True)
+                return hit
+        transformed = preprocess(
+            program,
+            use_obs=use_obs,
+            obs_extended=obs_extended,
+            svf_hoist_variables=svf_hoist_variables,
+        )
+        with rec.span("sli.analyze"):
+            info = analyze(transformed)
+        with rec.span("sli.influencers"):
+            keep = inf_fast(info.observed, info.graph, free_vars(transformed.ret))
+        result = _finish(program, transformed, info, frozenset(keep), simplify)
+        if rec.enabled:
+            _record_slice_metrics(result)
+            sp.set(
+                original_stmts=result.original_size,
+                transformed_stmts=result.transformed_size,
+                sliced_stmts=result.sliced_size,
+                reduction=round(result.reduction, 4),
+            )
+        if cache is not None:
+            cache.put_slice(program, options, result)
+        return result
 
 
 def naive_slice(program: Program, use_obs: bool = True) -> SliceResult:

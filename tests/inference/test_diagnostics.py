@@ -5,8 +5,10 @@ import random
 
 import pytest
 
+from repro.inference.base import InferenceResult
 from repro.inference.diagnostics import (
     autocorrelation,
+    cross_chain_diagnostics,
     split_r_hat,
     summarize_chains,
 )
@@ -108,3 +110,64 @@ class TestSummary:
         ]
         summary = summarize_chains(chains)
         assert summary.converged(threshold=1.1)
+
+
+class TestCrossChainEdgeCases:
+    """cross_chain_diagnostics must degrade (nan + warning), not raise,
+    on degenerate runs the strict primitives reject."""
+
+    def test_single_chain_rhat_nan_with_warning(self):
+        result = InferenceResult(samples=_iid_chain(0, n=200))
+        with pytest.warns(RuntimeWarning, match="single chain"):
+            summary = cross_chain_diagnostics(result)
+        assert summary.n_chains == 1
+        assert summary.n_samples == 200
+        assert math.isnan(summary.r_hat)
+        assert summary.ess > 0.0  # ESS is still well-defined
+
+    def test_zero_variance_result(self):
+        # A chain stuck at its initialization: every sample identical.
+        result = InferenceResult(
+            samples=[2.0] * 50, chains=[[2.0] * 25, [2.0] * 25]
+        )
+        with pytest.warns(RuntimeWarning, match="zero variance"):
+            summary = cross_chain_diagnostics(result)
+        assert math.isnan(summary.r_hat)
+        assert summary.ess == 0.0
+        assert summary.sd == 0.0
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.n_chains == 2
+
+    def test_too_short_chains_rhat_nan(self):
+        # split_r_hat needs >= 4 samples per chain; the wrapper
+        # converts its ValueError into nan + warning.
+        result = InferenceResult(
+            samples=[0.0, 1.0, 2.0, 3.0],
+            chains=[[0.0, 1.0], [2.0, 3.0]],
+        )
+        with pytest.warns(RuntimeWarning, match="unavailable"):
+            summary = cross_chain_diagnostics(result)
+        assert math.isnan(summary.r_hat)
+        assert summary.n_chains == 2
+
+    def test_boolean_samples_coerced(self):
+        result = InferenceResult(
+            samples=[True, False] * 20,
+            chains=[[True, False] * 10, [False, True] * 10],
+        )
+        summary = cross_chain_diagnostics(result)
+        assert summary.mean == pytest.approx(0.5)
+        assert summary.r_hat == pytest.approx(1.0, abs=0.3)
+
+    def test_healthy_multichain_unchanged(self):
+        chains = [_iid_chain(s, n=500) for s in range(3)]
+        result = InferenceResult(
+            samples=[x for c in chains for x in c], chains=chains
+        )
+        summary = cross_chain_diagnostics(result)
+        assert not math.isnan(summary.r_hat)
+        assert abs(summary.r_hat - 1.0) < 0.05
+
+    def test_empty_still_raises(self):
+        with pytest.raises(ValueError):
+            cross_chain_diagnostics(InferenceResult(samples=[]))

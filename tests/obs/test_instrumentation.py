@@ -1,0 +1,228 @@
+"""Instrumentation woven through the layers: pipeline stage spans,
+slice node-class metrics, lowering/compile spans, cache counters, and
+engine progress events."""
+
+import pytest
+
+from repro.core.parser import parse
+from repro.inference.gibbs import GibbsSampler
+from repro.inference.importance import LikelihoodWeighting, _weight_ess
+from repro.inference.mh import MetropolisHastings
+from repro.inference.rejection import RejectionSampler
+from repro.inference.smc import SMCSampler
+from repro.obs import NULL_RECORDER, TraceRecorder, use_recorder
+from repro.runtime import ProgramCache
+from repro.semantics.compiled import clear_compile_cache
+from repro.transforms.pipeline import node_class_counts, sli
+
+PIPELINE_SPANS = {
+    "sli",
+    "sli.obs",
+    "sli.svf",
+    "sli.ssa",
+    "sli.analyze",
+    "sli.influencers",
+    "sli.slice",
+}
+
+
+class TestPipelineSpans:
+    def test_sli_emits_stage_spans(self, ex2):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            sli(ex2)
+        names = {s.name for s in rec.iter_spans()}
+        assert PIPELINE_SPANS <= names
+        # The stage spans nest under the pipeline root.
+        root = rec.find_spans("sli")[0]
+        child_names = {c.name for c in root.children}
+        assert "sli.analyze" in child_names and "sli.slice" in child_names
+
+    def test_sli_span_carries_size_attrs(self, ex2):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            result = sli(ex2)
+        attrs = rec.find_spans("sli")[0].attrs
+        assert attrs["original_stmts"] == result.original_size
+        assert attrs["sliced_stmts"] == result.sliced_size
+        assert attrs["reduction"] == pytest.approx(result.reduction, abs=1e-3)
+
+    def test_simplify_adds_its_span(self, ex2):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            sli(ex2, simplify=True)
+        assert rec.find_spans("sli.simplify")
+
+    def test_cache_hit_is_marked_and_skips_stages(self, ex2):
+        cache = ProgramCache()
+        cache.slice(ex2)
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            cache.slice(ex2)
+        root = rec.find_spans("sli")[0]
+        assert root.attrs.get("cached") is True
+        assert not rec.find_spans("sli.analyze")
+        assert rec.counters["cache.slice.hit"] == 1
+
+    def test_uninstrumented_by_default(self, ex2):
+        # No recorder installed: sli must leave the null recorder empty
+        # (nothing buffered anywhere).
+        assert not NULL_RECORDER.enabled
+        sli(ex2)  # would raise if any instrumentation wrote state
+
+
+class TestSliceNodeClassMetrics:
+    def test_node_class_counts(self):
+        program = parse(
+            """
+            bool b;
+            int x;
+            x = 0;
+            b ~ Bernoulli(0.5);
+            if (b) { x = 1; } else { x = 2; }
+            observe(b);
+            return x;
+            """
+        )
+        counts = node_class_counts(program.body)
+        assert counts["observe"] == 1
+        assert counts["control"] == 1
+        assert counts["data"] >= 4  # decls, x=0, b~, x=1, x=2
+
+    def test_kept_plus_dropped_covers_transformed(self, ex2):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            result = sli(ex2)
+        for cls in ("observe", "control", "data"):
+            kept = rec.counters[f"slice.kept.{cls}"]
+            dropped = rec.counters[f"slice.dropped.{cls}"]
+            total = node_class_counts(result.transformed.body)[cls]
+            assert kept + dropped == total
+        assert rec.gauges["slice.stmts.sliced"] == result.sliced_size
+        assert rec.gauges["slice.reduction"] == pytest.approx(
+            result.reduction
+        )
+
+    def test_something_is_dropped_on_ex5(self, ex5):
+        # Ex5 (observe g, return l) slices away most of the student
+        # model, so the dropped counters must be non-zero.
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            sli(ex5)
+        dropped = sum(
+            rec.counters[f"slice.dropped.{c}"]
+            for c in ("observe", "control", "data")
+        )
+        assert dropped > 0
+
+
+class TestLowerAndCompileSpans:
+    def test_compile_path_spans(self, ex2):
+        clear_compile_cache()
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            engine = MetropolisHastings(n_samples=20, burn_in=5, compiled=True)
+            engine.infer(ex2)
+        compile_spans = rec.find_spans("semantics.compile")
+        assert compile_spans
+        assert compile_spans[0].attrs["code_chars"] > 0
+        clear_compile_cache()
+
+    def test_lower_span_has_node_counts(self, ex2):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            sli(ex2)
+        lower_spans = rec.find_spans("ir.lower")
+        if lower_spans:  # a fixture-fresh program always lowers
+            assert lower_spans[0].attrs["n_nodes"] > 0
+            assert lower_spans[0].attrs["n_blocks"] > 0
+
+
+class TestEngineProgress:
+    @pytest.mark.parametrize(
+        "engine",
+        [
+            MetropolisHastings(n_samples=200, burn_in=10, seed=1),
+            GibbsSampler(n_samples=100, seed=1),
+            LikelihoodWeighting(n_samples=600, seed=1),
+            RejectionSampler(n_samples=50, seed=1),
+            SMCSampler(n_particles=64, seed=1),
+        ],
+        ids=lambda e: e.name,
+    )
+    def test_engines_report_progress_and_counters(self, engine, ex2):
+        # Gibbs needs the SSA form; the slice of ex2 works for all.
+        program = sli(ex2).sliced
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            result = engine.infer(program)
+        assert rec.progress_events, f"{engine.name} emitted no progress"
+        final = rec.progress_events[-1]
+        assert final["source"] == engine.name
+        assert rec.counters["engine.samples"] == len(result.samples)
+        assert rec.counters["engine.proposals"] > 0
+
+    def test_mh_progress_carries_accept_rate(self, ex2):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            MetropolisHastings(n_samples=300, burn_in=10, seed=2).infer(ex2)
+        rates = [
+            e["metrics"]["accept_rate"]
+            for e in rec.progress_events
+            if "accept_rate" in e["metrics"]
+        ]
+        assert rates and all(0.0 <= r <= 1.0 for r in rates)
+
+    def test_importance_progress_carries_ess(self, ex2):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            LikelihoodWeighting(n_samples=600, seed=3).infer(ex2)
+        final = rec.progress_events[-1]
+        assert "ess" in final["metrics"]
+        assert 0.0 < final["metrics"]["ess"] <= 600.0
+
+    def test_smc_counts_resamples(self, ex2):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            SMCSampler(n_particles=64, seed=4).infer(ex2)
+        assert "smc.resamples" in rec.counters
+
+    def test_engines_silent_without_recorder(self, ex2):
+        # The default path: no recorder, no progress buffered anywhere.
+        MetropolisHastings(n_samples=50, burn_in=5, seed=5).infer(ex2)
+        assert not NULL_RECORDER.enabled
+
+
+class TestWeightEss:
+    def test_uniform_weights_full_ess(self):
+        assert _weight_ess(10.0, 10.0) == pytest.approx(10.0)
+
+    def test_degenerate_weights_ess_one(self):
+        # One dominant weight: ESS collapses toward 1.
+        assert _weight_ess(1.0, 1.0) == pytest.approx(1.0)
+
+    def test_zero_weights(self):
+        assert _weight_ess(0.0, 0.0) == 0.0
+
+
+class TestCacheCounters:
+    def test_compile_cache_counters(self, ex2):
+        clear_compile_cache()
+        cache = ProgramCache()
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            cache.compiled(ex2)
+            cache.compiled(ex2)
+        assert rec.counters["cache.compile.miss"] == 1
+        assert rec.counters["cache.compile.hit"] == 1
+        clear_compile_cache()
+
+    def test_slice_cache_counters(self, ex2, ex4):
+        cache = ProgramCache()
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            cache.slice(ex2)
+            cache.slice(ex2)
+            cache.slice(ex4)
+        assert rec.counters["cache.slice.miss"] == 2
+        assert rec.counters["cache.slice.hit"] == 1

@@ -8,9 +8,18 @@ import pytest
 from repro.core.fingerprint import program_fingerprint
 from repro.core.parser import parse
 from repro.core.printer import pretty
+from repro.obs import TraceRecorder, use_recorder
 from repro.runtime import ProgramCache
 from repro.semantics.compiled import clear_compile_cache
 from repro.transforms.pipeline import sli
+
+#: The sli() defaults, as get_slice/put_slice see them.
+SLICE_OPTIONS = dict(
+    use_obs=True,
+    obs_extended=True,
+    simplify=False,
+    svf_hoist_variables=False,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -59,8 +68,18 @@ class TestMemoryLayer:
         cache.slice(ex4)
         cache.slice(ex6)
         assert len(cache) == 2
+        assert cache.stats.evictions == 1
         cache.slice(ex2)  # evicted → recomputed
         assert cache.stats.slice_misses == 4
+
+    def test_eviction_emits_counter(self, ex2, ex4, ex6):
+        cache = ProgramCache(max_entries=2)
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            cache.slice(ex2)
+            cache.slice(ex4)
+            cache.slice(ex6)
+        assert recorder.counters["cache.evict"] == 1
 
     def test_compiled_miss_then_hit(self, ex2):
         cache = ProgramCache()
@@ -113,6 +132,49 @@ class TestDiskLayer:
         # The recompute rewrote the entry.
         with open(path, "rb") as f:
             assert pickle.load(f) is not None
+
+    def test_corrupt_entry_counted_and_deleted(self, ex2, tmp_path):
+        cache = ProgramCache(cache_dir=str(tmp_path))
+        cache.slice(ex2)
+        key = program_fingerprint(ex2, kind="slice", **SLICE_OPTIONS)
+        path = tmp_path / f"{key}.slice.pkl"
+        path.write_bytes(b"\x80\x04truncated-pickle")
+        cold = ProgramCache(cache_dir=str(tmp_path))
+        # Probe the disk layer directly (no recompute/rewrite): the bad
+        # file must be deleted, counted, and reported as a miss.
+        assert cold.get_slice(ex2, dict(SLICE_OPTIONS)) is None
+        assert cold.stats.disk_load_failures == 1
+        assert cold.stats.disk_hits == 0
+        assert cold.stats.slice_misses == 1
+        assert not path.exists()
+
+    def test_corrupt_entry_emits_counter(self, ex2, tmp_path):
+        cache = ProgramCache(cache_dir=str(tmp_path))
+        cache.slice(ex2)
+        key = program_fingerprint(ex2, kind="slice", **SLICE_OPTIONS)
+        path = tmp_path / f"{key}.slice.pkl"
+        path.write_bytes(b"not a pickle")
+        cold = ProgramCache(cache_dir=str(tmp_path))
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            result = cold.slice(ex2)
+        assert recorder.counters["cache.disk_corrupt"] == 1
+        assert recorder.counters["cache.slice.miss"] == 1
+        assert "cache.disk_read" not in recorder.counters
+        # ... and the recompute healed the entry in place.
+        assert pretty(result.sliced) == pretty(sli(ex2).sliced)
+        with open(path, "rb") as f:
+            assert pickle.load(f) is not None
+
+    def test_disk_read_counter_on_clean_hit(self, ex2, tmp_path):
+        ProgramCache(cache_dir=str(tmp_path)).slice(ex2)
+        cold = ProgramCache(cache_dir=str(tmp_path))
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            cold.slice(ex2)
+        assert recorder.counters["cache.disk_read"] == 1
+        assert recorder.counters["cache.slice.hit"] == 1
+        assert cold.stats.disk_load_failures == 0
 
     def test_clear_disk(self, ex2, tmp_path):
         cache = ProgramCache(cache_dir=str(tmp_path))
