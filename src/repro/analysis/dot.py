@@ -73,8 +73,15 @@ def _label_escape(text: str) -> str:
     )
 
 
-def cfg_dot(lowered: Lowered, name: str = "cfg") -> str:
+def cfg_dot(source, name: str = "cfg") -> str:
     """DOT for a lowered program's CFG.
+
+    ``source`` is either a :class:`repro.ir.lower.Lowered` or a
+    :class:`repro.passes.PassContext` — for a context, the pipeline's
+    recorded pre-slice lowering (the ``transformed_lowered`` artifact)
+    is rendered, falling back to the current program's cached lowering;
+    either way no re-lowering happens, the exporter reads the same IR
+    the analyses and the slicer used.
 
     Each basic block is a box listing its nodes (primitive statements,
     ``if (c)`` / ``while (c)`` conditions) in order.  Flow edges are
@@ -82,6 +89,12 @@ def cfg_dot(lowered: Lowered, name: str = "cfg") -> str:
     control-dependence edges — branch block to dependent block, as
     computed from the postdominator tree — are dashed.
     """
+    if isinstance(source, Lowered):
+        lowered = source
+    else:
+        lowered = source.artifacts.get("transformed_lowered")
+        if lowered is None:
+            lowered = source.analysis("lowered")
     cfg = lowered.cfg
     lines = [f"digraph {_quote(name)} {{", "  node [shape=box, fontname=monospace];"]
     for block in cfg.blocks:

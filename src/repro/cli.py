@@ -20,6 +20,11 @@ Usage::
     prob-slice FILE.prob --infer mh --progress --metrics-summary
                                        # live progress line + final
                                        # stage-timing/counter summary
+    prob-slice FILE.prob --passes obs,svf,ssa,slice,constprop \
+        --print-after-each --verify-each
+                                       # run an explicit pass pipeline,
+                                       # printing and verifying the
+                                       # program after every pass
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ from typing import List, Optional
 from .core.parser import ProbSyntaxError, parse
 from .core.printer import pretty
 from .semantics.exact import ExactEngineError, exact_inference
-from .transforms.pipeline import sli
+from .transforms.pipeline import run_sli, sli
 
 __all__ = ["main"]
 
@@ -84,6 +89,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "emit the preprocessed program's control-flow graph "
             "(with control-dependence edges) as Graphviz DOT"
+        ),
+    )
+    passes = parser.add_argument_group("pass pipeline (repro.passes)")
+    passes.add_argument(
+        "--passes",
+        metavar="NAMES",
+        help=(
+            "run a custom comma-separated pass pipeline instead of the "
+            "default SLI one (e.g. 'obs,svf,ssa,slice,constprop'); "
+            "available passes: obs, svf, ssa, slice, constprop, copyprop"
+        ),
+    )
+    passes.add_argument(
+        "--print-after-each",
+        action="store_true",
+        help="print the program after every pass",
+    )
+    passes.add_argument(
+        "--verify-each",
+        action="store_true",
+        help=(
+            "re-validate the program after every pass and spot-check "
+            "distribution-preserving passes with seeded interpreter runs"
         ),
     )
     runtime = parser.add_argument_group("runtime (inference on the slice)")
@@ -295,25 +323,82 @@ def main(argv: Optional[List[str]] = None) -> int:
     return status
 
 
+def _print_after_pass(pazz, ctx) -> None:
+    print(f"// --- after pass {pazz.name} ---")
+    print(pretty(ctx.program))
+
+
 def _dispatch(args, program) -> int:
+    from .passes import PassVerificationError
+
     cache = None
     if args.cache_dir:
         from .runtime import ProgramCache
 
         cache = ProgramCache(cache_dir=args.cache_dir)
-    result = sli(
-        program, use_obs=not args.no_obs, simplify=args.simplify, cache=cache
-    )
-    if args.infer:
-        return _run_inference(args, result, cache)
+    on_after_pass = _print_after_pass if args.print_after_each else None
+    # Three seeds give the spot-check some behavioural coverage while
+    # staying cheap (two interpreter runs per seed per pass).
+    seeds = tuple(range(args.seed, args.seed + 3)) if args.verify_each else ()
+    ctx = None
+    try:
+        if args.passes:
+            from .passes import PassManager, build_pipeline
+            from .transforms.pipeline import _result_from_context
+
+            try:
+                pipeline = build_pipeline(args.passes)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            manager = PassManager(
+                pipeline,
+                verify=args.verify_each,
+                spot_check_seeds=seeds,
+                on_after_pass=on_after_pass,
+            )
+            ctx = manager.run(program)
+            if "transformed" in ctx.artifacts:
+                result = _result_from_context(program, ctx)
+            else:
+                # No slice pass ran: there is no SliceResult to report
+                # on, just the rewritten program.
+                result = None
+        elif args.emit_cfg or args.print_after_each:
+            # These need the pass context (the cached lowering, the
+            # per-pass hook), so skip the cache short-circuit.
+            result, ctx = run_sli(
+                program,
+                use_obs=not args.no_obs,
+                simplify=args.simplify,
+                verify=args.verify_each,
+                spot_check_seeds=seeds,
+                on_after_pass=on_after_pass,
+            )
+        else:
+            result = sli(
+                program,
+                use_obs=not args.no_obs,
+                simplify=args.simplify,
+                cache=cache,
+                verify=args.verify_each,
+                spot_check_seeds=seeds,
+            )
+    except PassVerificationError as exc:
+        print(f"pass verification failed: {exc}", file=sys.stderr)
+        return 1
     if args.emit_cfg:
         from .analysis.dot import cfg_dot
-        from .ir.lower import lower
 
-        # The CFG the analyses actually ran on: the pre-pass output's
-        # lowering (memoized, so this is the same object the slicer used).
-        print(cfg_dot(lower(result.transformed)))
+        # The CFG the analyses actually ran on: the pipeline's cached
+        # pre-slice lowering, read straight off the pass context.
+        print(cfg_dot(ctx))
         return 0
+    if result is None:
+        print(pretty(ctx.program), end="")
+        return 0
+    if args.infer:
+        return _run_inference(args, result, cache)
     if args.dot:
         from .analysis.dot import slice_result_dot
 

@@ -24,7 +24,9 @@ from .printer import pretty
 __all__ = ["FINGERPRINT_VERSION", "program_fingerprint"]
 
 #: Folded into every digest; bump on printer or cache-layout changes.
-FINGERPRINT_VERSION = 1
+#: v2: ``SliceResult`` gained ``pass_seconds`` and slice entries are
+#: keyed on the pass-pipeline fingerprint instead of option flags.
+FINGERPRINT_VERSION = 2
 
 
 def program_fingerprint(

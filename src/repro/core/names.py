@@ -1,0 +1,88 @@
+"""Fresh-variable name generation shared by every transformation.
+
+Historically SVF and SSA each kept a private fresh-name source seeded
+from the free variables of *their own* input, which was sound only
+because the pipeline happened to thread the programs in the right
+order — a composed pipeline that interleaved passes differently could
+have minted the same helper name twice.  :class:`FreshNames` is the
+single source both disciplines draw from (the pass manager carries one
+instance per pipeline run on the :class:`repro.passes.PassContext`),
+so composed passes can never collide and tests can pin the exact
+names produced.
+
+Two naming disciplines, one shared *taken* set:
+
+* :meth:`fresh` — numbered helpers ``q1, q2, ...`` (Figure 13's SVF
+  variables), skipping names already taken, with an independent
+  counter per prefix;
+* :meth:`define` — SSA versioning (Figure 14): the first definition of
+  a base name keeps the name, later definitions get ``base1``,
+  ``base2``, ... (``base_1`` when the base already ends in a digit, to
+  avoid ``q1`` → ``q11`` confusion).
+
+Every name either discipline hands out joins the taken set, so a
+``q``-helper minted by SVF can never be re-minted as an SSA version
+and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+__all__ = ["FreshNames"]
+
+
+class FreshNames:
+    """A deterministic fresh-name source over a shared taken set."""
+
+    def __init__(self, taken: Iterable[str] = ()) -> None:
+        self._taken: Set[str] = set(taken)
+        self._counters: Dict[str, int] = {}
+        self._defined: Set[str] = set()
+
+    def reserve(self, names: Iterable[str]) -> None:
+        """Mark ``names`` as taken without defining them."""
+        self._taken.update(names)
+
+    def is_taken(self, name: str) -> bool:
+        return name in self._taken
+
+    def fresh(self, prefix: str = "q") -> str:
+        """The next unused ``<prefix>N`` helper name (N = 1, 2, ...).
+
+        The per-prefix counter advances past taken names permanently,
+        matching the historical SVF numbering: helpers are numbered in
+        traversal order even when some numbers were pre-taken by the
+        source program.
+        """
+        counter = self._counters.get(prefix, 0)
+        while True:
+            counter += 1
+            name = f"{prefix}{counter}"
+            if name not in self._taken:
+                self._counters[prefix] = counter
+                self._taken.add(name)
+                return name
+
+    def define(self, base: str) -> str:
+        """SSA-style definition of ``base``: the first definition keeps
+        the name, later ones get numeric suffixes."""
+        if base not in self._defined:
+            self._defined.add(base)
+            self._taken.add(base)
+            return base
+        sep = "_" if base and base[-1].isdigit() else ""
+        k = 1
+        while True:
+            candidate = f"{base}{sep}{k}"
+            if candidate not in self._taken and candidate not in self._defined:
+                self._defined.add(candidate)
+                self._taken.add(candidate)
+                return candidate
+            k += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FreshNames(taken={len(self._taken)}, "
+            f"defined={len(self._defined)})"
+        )

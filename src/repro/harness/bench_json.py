@@ -7,8 +7,9 @@ finishes in CI time) this module records, under a
 * the slice statistics — statement counts before/after and the slice
   *ratio* (sliced / preprocessed, the paper's Table-1 reduction read
   the other way up);
-* per-stage pipeline wall times (``sli.obs`` … ``sli.slice``,
-  ``ir.lower``, ``semantics.compile``) pulled from the recorded spans;
+* per-stage pipeline wall times (the pass manager's ``pass.obs`` …
+  ``pass.slice`` spans, plus ``ir.lower`` and ``semantics.compile``)
+  pulled from the recorded spans;
 * compiled-executor MH inference throughput on original vs sliced
   (samples/sec plus the speedup), with acceptance metrics.
 
@@ -36,15 +37,16 @@ from ..transforms.pipeline import sli
 
 __all__ = ["bench_record", "collect_bench_report", "write_bench_json", "main"]
 
-#: Pipeline/compile stages folded into each benchmark record.
+#: Pipeline/compile stages folded into each benchmark record.  The
+#: ``pass.*`` names are the pass manager's per-pass spans.
 STAGES = (
     "sli",
-    "sli.obs",
-    "sli.svf",
-    "sli.ssa",
-    "sli.analyze",
-    "sli.influencers",
-    "sli.slice",
+    "pass.obs",
+    "pass.svf",
+    "pass.ssa",
+    "pass.slice",
+    "pass.constprop",
+    "pass.copyprop",
     "ir.lower",
     "semantics.compile",
 )

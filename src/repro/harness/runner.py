@@ -158,10 +158,15 @@ def measure_speedup(
     measurements of the same program skip the SLI pipeline;
     ``slicing_seconds`` then reports the (near-zero) lookup time, which
     is exactly the setup cost an inference service would pay.
-    ``runner`` parallelizes both engine runs.  ``recorder`` (a
-    :class:`repro.obs.TraceRecorder`) captures spans and metrics for
-    the whole measurement; the per-stage slicing timings are folded
-    into the row's ``stage_seconds``.
+    ``runner`` parallelizes both engine runs.
+
+    The row's ``stage_seconds`` always carries the pass manager's
+    per-pass timings (``pass.obs``, ``pass.svf``, ... from
+    ``SliceResult.pass_seconds`` — measured directly, no recorder
+    required; empty on a cache hit).  ``recorder`` (a
+    :class:`repro.obs.TraceRecorder`) additionally captures spans and
+    metrics for the whole measurement — compilation, lowering, and
+    inference spans are folded into ``stage_seconds`` on top.
     """
     recording = recorder is not None and getattr(recorder, "enabled", False)
     before = recorder.stage_seconds() if recording else {}
@@ -172,10 +177,13 @@ def measure_speedup(
         slicing_seconds = time.perf_counter() - start
         original = run_engine(engine, program, runner=runner)
         sliced = run_engine(engine, slice_result.sliced, runner=runner)
-    stage_seconds: Dict[str, float] = {}
+    # The manager's own per-pass timings (recorder-independent).
+    stage_seconds: Dict[str, float] = dict(slice_result.pass_seconds)
     if recording:
         # Only this measurement's share: the recorder may span several
-        # rows (a sweep), so diff against the entry snapshot.
+        # rows (a sweep), so diff against the entry snapshot.  Span
+        # timings win over the manager's where both exist (same
+        # clock, same regions — the values agree to within noise).
         for name, secs in recorder.stage_seconds().items():
             delta = secs - before.get(name, 0.0)
             if delta > 0.0:

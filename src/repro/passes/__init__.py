@@ -1,0 +1,52 @@
+"""An LLVM-style pass manager for the slicing pipeline.
+
+``repro.passes`` makes the paper's transformation composition
+(``SLI = slice ∘ SSA ∘ SVF ∘ OBS``) first-class: each transformation
+is a declarative :class:`Pass` over a shared :class:`PassContext`
+whose analyses (CFG lowering, free variables, dependence info,
+influencer closure) are computed lazily, cached, and invalidated by
+the pass's declared ``preserves`` contract.  The
+:class:`PassManager` adds per-pass spans and timings, opt-in
+verification, and a pipeline fingerprint the runtime cache keys on.
+
+See ``docs/architecture.md`` ("Pass manager") for the pass protocol
+and how to add a pass.
+"""
+
+from .context import PassContext, register_analysis, registered_analyses
+from .library import (
+    PASS_REGISTRY,
+    ConstPropPass,
+    CopyPropPass,
+    ObsPass,
+    SlicePass,
+    SsaPass,
+    SvfPass,
+    build_pipeline,
+    naive_passes,
+    nt_passes,
+    preprocess_passes,
+    sli_passes,
+)
+from .manager import Pass, PassManager, PassVerificationError
+
+__all__ = [
+    "PassContext",
+    "register_analysis",
+    "registered_analyses",
+    "Pass",
+    "PassManager",
+    "PassVerificationError",
+    "ObsPass",
+    "SvfPass",
+    "SsaPass",
+    "SlicePass",
+    "ConstPropPass",
+    "CopyPropPass",
+    "PASS_REGISTRY",
+    "build_pipeline",
+    "preprocess_passes",
+    "sli_passes",
+    "naive_passes",
+    "nt_passes",
+]

@@ -1,0 +1,265 @@
+"""The built-in passes and the canned pipelines.
+
+One pass per paper transformation — OBS (Figure 12), SVF (Figure 13),
+SSA (Figure 14), SLI's node-marking slice (Figure 11) — plus the
+constant/copy-propagation post-passes from the Section 2 "further
+optimized" step.  The paper's composition
+
+::
+
+    SLI(P) = slice( SSA( SVF( OBS(P) ) ) )
+
+is literally :func:`sli_passes`: a list of pass instances the
+:class:`repro.passes.manager.PassManager` runs in order.  The baseline
+slicers are the same pipeline with a different final
+:class:`SlicePass` configuration:
+
+* :func:`naive_passes` — ``closure="dinf"`` (ordinary control+data
+  reachability, the incorrect classical slicer of Example 4);
+* :func:`nt_passes` — ``closure="dinf", include_observed=True`` and no
+  OBS pre-pass (Hatcliff-style non-termination-preserving slicing).
+
+:data:`PASS_REGISTRY` maps CLI names to pass factories;
+:func:`build_pipeline` turns a ``--passes obs,svf,ssa,slice`` string
+into pass instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..analysis.influencers import dinf, inf_fast
+from ..core.freevars import free_vars
+from ..transforms.constprop import const_prop, copy_prop
+from ..transforms.obs import obs_transform
+from ..transforms.slice import slice_lowered
+from ..transforms.ssa import ssa_transform
+from ..transforms.svf import svf_transform
+from .context import PassContext
+from .manager import Pass
+
+__all__ = [
+    "ObsPass",
+    "SvfPass",
+    "SsaPass",
+    "SlicePass",
+    "ConstPropPass",
+    "CopyPropPass",
+    "PASS_REGISTRY",
+    "build_pipeline",
+    "preprocess_passes",
+    "sli_passes",
+    "naive_passes",
+    "nt_passes",
+]
+
+
+class ObsPass(Pass):
+    """OBS: materialize observed values as assignments (Figure 12)."""
+
+    name = "obs"
+    distribution_preserving = True
+
+    def __init__(self, extended: bool = True) -> None:
+        self.extended = extended
+
+    def params(self) -> Dict[str, object]:
+        return {"extended": self.extended}
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.update_program(
+            obs_transform(ctx.program, extended=self.extended),
+            preserves=self.preserves,
+        )
+
+
+class SvfPass(Pass):
+    """SVF: hoist conditions into fresh single variables (Figure 13)."""
+
+    name = "svf"
+    distribution_preserving = True
+
+    def __init__(self, hoist_variables: bool = False) -> None:
+        self.hoist_variables = hoist_variables
+
+    def params(self) -> Dict[str, object]:
+        return {"hoist_variables": self.hoist_variables}
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.update_program(
+            svf_transform(
+                ctx.program,
+                hoist_variables=self.hoist_variables,
+                names=ctx.fresh,
+            ),
+            preserves=self.preserves,
+        )
+
+
+class SsaPass(Pass):
+    """Phi-free SSA: single variable definitions (Figure 14)."""
+
+    name = "ssa"
+    distribution_preserving = True
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.update_program(
+            ssa_transform(ctx.program, names=ctx.fresh),
+            preserves=self.preserves,
+        )
+
+
+class SlicePass(Pass):
+    """Mark-and-raise slicing over the cached lowering (Figure 11).
+
+    ``closure`` selects the influencer closure: ``"inf"`` (the paper's
+    ``INF`` — observe-dependence aware, the correct one) or ``"dinf"``
+    (plain backward reachability, the classical baseline).
+    ``include_observed=True`` adds every observed variable to the slice
+    targets (the non-termination-preserving baseline).
+
+    Artifacts (``setdefault`` — the *first* slice in a pipeline wins,
+    so the constprop re-slice never overwrites the pipeline-level
+    record): ``transformed`` (the pre-slice program),
+    ``transformed_lowered`` (its CFG lowering, for ``--emit-cfg``),
+    ``influencers``, ``observed``, ``graph``.
+    """
+
+    name = "slice"
+    distribution_preserving = False
+
+    def __init__(
+        self, closure: str = "inf", include_observed: bool = False
+    ) -> None:
+        if closure not in ("inf", "dinf"):
+            raise ValueError(f"unknown closure {closure!r}")
+        self.closure = closure
+        self.include_observed = include_observed
+
+    def params(self) -> Dict[str, object]:
+        return {
+            "closure": self.closure,
+            "include_observed": self.include_observed,
+        }
+
+    def run(self, ctx: PassContext) -> None:
+        lowered = ctx.analysis("lowered")
+        deps = ctx.analysis("deps")
+        if self.closure == "inf" and not self.include_observed:
+            keep = ctx.analysis("influencers")
+        else:
+            targets = set(free_vars(ctx.program.ret))
+            if self.include_observed:
+                targets |= set(deps.observed)
+            if self.closure == "dinf":
+                keep = dinf(deps.graph, targets)
+            else:
+                keep = inf_fast(deps.observed, deps.graph, targets)
+        keep = frozenset(keep)
+        ctx.artifacts.setdefault("transformed", ctx.program)
+        ctx.artifacts.setdefault("transformed_lowered", lowered)
+        ctx.artifacts.setdefault("influencers", keep)
+        ctx.artifacts.setdefault("observed", deps.observed)
+        ctx.artifacts.setdefault("graph", deps.graph)
+        ctx.update_program(slice_lowered(lowered, keep), preserves=self.preserves)
+
+
+class ConstPropPass(Pass):
+    """Constant propagation and folding (the Section 2 post-pass)."""
+
+    name = "constprop"
+    distribution_preserving = True
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.update_program(const_prop(ctx.program), preserves=self.preserves)
+
+
+class CopyPropPass(Pass):
+    """Copy propagation: merge SSA aliases introduced by merges."""
+
+    name = "copyprop"
+    distribution_preserving = True
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.update_program(copy_prop(ctx.program), preserves=self.preserves)
+
+
+#: CLI name -> zero-argument pass factory (default parameters).
+PASS_REGISTRY: Dict[str, Callable[[], Pass]] = {
+    "obs": ObsPass,
+    "svf": SvfPass,
+    "ssa": SsaPass,
+    "slice": SlicePass,
+    "constprop": ConstPropPass,
+    "copyprop": CopyPropPass,
+}
+
+
+def build_pipeline(spec: str) -> List[Pass]:
+    """Parse a ``--passes`` CSV (``"obs,svf,ssa,slice"``) into pass
+    instances with default parameters."""
+    passes: List[Pass] = []
+    for raw in spec.split(","):
+        name = raw.strip()
+        if not name:
+            continue
+        try:
+            factory = PASS_REGISTRY[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown pass {name!r}; available: "
+                f"{', '.join(sorted(PASS_REGISTRY))}"
+            ) from None
+        passes.append(factory())
+    if not passes:
+        raise ValueError("empty pass pipeline")
+    return passes
+
+
+def preprocess_passes(
+    use_obs: bool = True,
+    obs_extended: bool = True,
+    svf_hoist_variables: bool = False,
+) -> List[Pass]:
+    """The pre-pass pipeline: OBS (optional), SVF, SSA (Section 4.2)."""
+    passes: List[Pass] = []
+    if use_obs:
+        passes.append(ObsPass(extended=obs_extended))
+    passes.append(SvfPass(hoist_variables=svf_hoist_variables))
+    passes.append(SsaPass())
+    return passes
+
+
+def sli_passes(
+    use_obs: bool = True,
+    obs_extended: bool = True,
+    simplify: bool = False,
+    svf_hoist_variables: bool = False,
+) -> List[Pass]:
+    """The full SLI pipeline; ``simplify=True`` appends the
+    constant/copy-propagation post-passes and a second slice."""
+    passes = preprocess_passes(
+        use_obs=use_obs,
+        obs_extended=obs_extended,
+        svf_hoist_variables=svf_hoist_variables,
+    )
+    passes.append(SlicePass())
+    if simplify:
+        passes.extend([ConstPropPass(), CopyPropPass(), SlicePass()])
+    return passes
+
+
+def naive_passes(use_obs: bool = True) -> List[Pass]:
+    """Classical control+data slicing (``DINF`` only; Example 4's
+    incorrect baseline)."""
+    passes = preprocess_passes(use_obs=use_obs)
+    passes.append(SlicePass(closure="dinf"))
+    return passes
+
+
+def nt_passes() -> List[Pass]:
+    """Non-termination-preserving slicing: the return cone plus the
+    cones of every observed variable and loop condition."""
+    passes = preprocess_passes(use_obs=False)
+    passes.append(SlicePass(closure="dinf", include_observed=True))
+    return passes

@@ -1,0 +1,194 @@
+"""The pass manager: declarative pass pipelines with per-pass
+observability and opt-in verification.
+
+A **pass** is a named program rewrite (or pure analysis step) over a
+:class:`repro.passes.context.PassContext`.  The base class fixes the
+contract:
+
+* ``name`` — stable identifier; the manager's obs span for the pass is
+  ``pass.<name>`` and the CLI's ``--passes`` flag resolves names
+  through :data:`repro.passes.library.PASS_REGISTRY`;
+* ``run(ctx)`` — does the work, installing a rewritten program via
+  :meth:`PassContext.update_program` (never by assignment, so analysis
+  invalidation cannot be skipped);
+* ``preserves`` — analysis names still valid after this pass rewrites
+  the program (conservative default: none).  A pass that does not
+  rewrite the program implicitly preserves everything;
+* ``distribution_preserving`` — whether the rewrite keeps seeded
+  interpreter runs observationally identical (same return value, same
+  log-likelihood).  OBS/SVF/SSA/constprop/copyprop qualify — none of
+  them changes which ``Sample`` statements execute or their order —
+  while slicing does not (it removes irrelevant sampling); the
+  manager's spot-check mode only exercises passes that opt in.
+
+The **manager** (:class:`PassManager`) runs a pass list over a
+context, and per pass:
+
+* opens a ``pass.<name>`` span carrying the pass parameters (these
+  replace the historical hand-placed ``sli.obs`` / ``sli.svf`` /
+  ``sli.ssa`` spans; the JSONL export schema is unchanged);
+* accumulates wall seconds into :attr:`PassContext.pass_seconds`
+  (timed directly, so the harness gets stage timings even with the
+  null recorder installed);
+* with ``verify=True``, re-validates the program
+  (:func:`repro.core.validate.check_def_before_use`) after the pass
+  and — for distribution-preserving passes, when ``spot_check_seeds``
+  is non-empty — replays the given seeds through the interpreter
+  before and after the rewrite, requiring identical return values and
+  log-likelihoods.  Failures raise :class:`PassVerificationError`
+  naming the pass.
+
+The pipeline is fingerprintable: :attr:`PassManager.pipeline_key`
+renders every pass signature (name + parameters) into one string,
+which :func:`repro.transforms.pipeline.sli` mixes into the
+:class:`repro.runtime.ProgramCache` key — a cached slice is keyed on
+``(program, pipeline)`` uniformly, so any pass or parameter change
+misses instead of serving a stale artifact.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from ..core.ast import Program
+from ..core.validate import check_def_before_use
+from ..obs.recorder import current_recorder
+from .context import PassContext
+
+__all__ = ["Pass", "PassManager", "PassVerificationError"]
+
+
+class PassVerificationError(RuntimeError):
+    """A per-pass verification check failed; names the offending pass."""
+
+
+class Pass:
+    """Base class for pipeline passes (see module docstring)."""
+
+    name: str = "pass"
+    #: Analysis names still valid after this pass rewrites the program.
+    preserves: FrozenSet[str] = frozenset()
+    #: Whether seeded runs are observationally identical across this
+    #: pass (return value + log-likelihood); enables spot-checking.
+    distribution_preserving: bool = False
+
+    def params(self) -> Dict[str, object]:
+        """The pass's configuration, for spans and the pipeline key."""
+        return {}
+
+    def signature(self) -> str:
+        """Stable ``name(key=value,...)`` rendering for fingerprints."""
+        params = self.params()
+        if not params:
+            return self.name
+        inner = ",".join(f"{k}={params[k]!r}" for k in sorted(params))
+        return f"{self.name}({inner})"
+
+    def run(self, ctx: PassContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.signature()}>"
+
+
+def _spot_check(
+    name: str, before: Program, after: Program, seeds: Sequence[int]
+) -> None:
+    """Replay ``seeds`` through both programs; identical observable
+    behaviour (return value, log-likelihood, or the same
+    non-termination) is required."""
+    import random
+
+    from ..semantics.executor import NonTerminatingRun, run_program
+
+    def observe(program: Program, seed: int) -> Tuple[str, Any, float]:
+        try:
+            r = run_program(program, random.Random(seed))
+        except NonTerminatingRun:
+            return ("nonterminating", None, 0.0)
+        return ("ok", r.value, r.log_likelihood)
+
+    for seed in seeds:
+        kind_a, value_a, ll_a = observe(before, seed)
+        kind_b, value_b, ll_b = observe(after, seed)
+        if kind_a != kind_b or value_a != value_b:
+            raise PassVerificationError(
+                f"pass {name!r} changed seeded behaviour (seed {seed}): "
+                f"{kind_a}/{value_a!r} -> {kind_b}/{value_b!r}"
+            )
+        if not math.isclose(ll_a, ll_b, rel_tol=1e-9, abs_tol=1e-12):
+            raise PassVerificationError(
+                f"pass {name!r} changed the log-likelihood (seed {seed}): "
+                f"{ll_a!r} -> {ll_b!r}"
+            )
+
+
+class PassManager:
+    """Run a pass list over a context, with spans, timings, and
+    optional per-pass verification.
+
+    ``on_after_pass(pazz, ctx)`` — optional observer invoked after
+    every pass (and its verification) completes; the CLI's
+    ``--print-after-each`` hangs off it.
+    """
+
+    def __init__(
+        self,
+        passes: Iterable[Pass],
+        verify: bool = False,
+        spot_check_seeds: Sequence[int] = (),
+        on_after_pass: Optional[Callable[[Pass, PassContext], None]] = None,
+    ) -> None:
+        self.passes: Tuple[Pass, ...] = tuple(passes)
+        self.verify = verify
+        self.spot_check_seeds = tuple(spot_check_seeds)
+        self.on_after_pass = on_after_pass
+
+    @property
+    def pipeline_key(self) -> str:
+        """Stable fingerprint component: every pass signature, in
+        order (``obs(extended=True)|svf(...)|ssa|slice(...)``)."""
+        return "|".join(p.signature() for p in self.passes)
+
+    def run(
+        self, program: Program, context: Optional[PassContext] = None
+    ) -> PassContext:
+        """Run the pipeline on ``program`` (or continue an existing
+        ``context``); returns the final context, whose ``program`` is
+        the pipeline output."""
+        ctx = context if context is not None else PassContext(program)
+        rec = current_recorder()
+        for pazz in self.passes:
+            before = ctx.program
+            span_name = f"pass.{pazz.name}"
+            t0 = time.perf_counter()
+            with rec.span(span_name, **pazz.params()) as sp:
+                pazz.run(ctx)
+                if rec.enabled and ctx.program is not before:
+                    sp.set(rewrote=True)
+            elapsed = time.perf_counter() - t0
+            ctx.pass_seconds[span_name] = (
+                ctx.pass_seconds.get(span_name, 0.0) + elapsed
+            )
+            if self.verify:
+                self._verify(pazz, before, ctx)
+            if self.on_after_pass is not None:
+                self.on_after_pass(pazz, ctx)
+        return ctx
+
+    def _verify(self, pazz: Pass, before: Program, ctx: PassContext) -> None:
+        try:
+            check_def_before_use(ctx.program)
+        except Exception as exc:
+            raise PassVerificationError(
+                f"pass {pazz.name!r} broke program validity: {exc}"
+            ) from exc
+        current_recorder().counter(f"passes.verified.{pazz.name}")
+        if (
+            self.spot_check_seeds
+            and pazz.distribution_preserving
+            and ctx.program is not before
+        ):
+            _spot_check(pazz.name, before, ctx.program, self.spot_check_seeds)

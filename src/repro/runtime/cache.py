@@ -168,7 +168,13 @@ class ProgramCache:
         self, program: Program, options: Dict[str, object]
     ) -> "Optional[SliceResult]":
         """Cached :class:`SliceResult` for ``program`` under the given
-        pipeline options, or ``None``."""
+        pipeline options, or ``None``.
+
+        ``sli`` passes ``{"pipeline": <PassManager.pipeline_key>}`` —
+        the rendered pass signatures — so the entry is keyed on
+        ``(program, pipeline config)`` uniformly and any pass or
+        pass-parameter change misses instead of aliasing.
+        """
         key = program_fingerprint(program, kind="slice", **options)
         hit = self._get(key, "slice")
         if hit is None:

@@ -77,15 +77,22 @@ class DataSliceResult:
 def data_slice(
     template: Callable[[Sequence[T]], Program],
     data: Sequence[T],
+    cache=None,
+    verify: bool = False,
 ) -> DataSliceResult:
     """Slice a templated program's *dataset*.
 
     ``template`` must produce exactly one soft observation per data
     row, in row order (raises ``ValueError`` otherwise).  Returns the
     surviving rows and the re-instantiated program.
+
+    The slicing runs through the standard pass-manager pipeline:
+    ``cache`` short-circuits repeated datasets (keyed on the
+    instantiated program + pipeline fingerprint) and ``verify=True``
+    enables per-pass validation, exactly as for :func:`sli`.
     """
     program = template(data)
-    result = sli(program)
+    result = sli(program, cache=cache, verify=verify)
     n_soft = sum(
         1 for token in result.observed if token.startswith(SOFT_OBS_PREFIX)
     )

@@ -1,14 +1,22 @@
-"""The full SLI pipeline (Section 4) and the baseline slicers.
+"""The full SLI pipeline (Section 4) and the baseline slicers, built
+on the :mod:`repro.passes` pass manager.
 
 ``sli`` composes the paper's four transformations::
 
     SLI(P) = slice( SSA( SVF( OBS(P) ) ), INF(O, G)(R) )
 
-and optionally a constant-propagation + re-slice post-pass (the
-Section 2 "further optimized" step that turns the Example-5 slice into
-``l = Bernoulli(0.1); return l``).
+as the canned pipeline :func:`repro.passes.library.sli_passes` —
+optionally followed by a constant-propagation + re-slice post-pass
+(the Section 2 "further optimized" step that turns the Example-5
+slice into ``l = Bernoulli(0.1); return l``).  The manager gives every
+stage a ``pass.<name>`` span, accumulates per-pass wall seconds into
+:attr:`SliceResult.pass_seconds`, and computes each analysis (the CFG
+lowering above all) at most once per program version — the
+``passes.analysis.computed.lowered`` counter stays at 1 for a default
+run.
 
-Baselines for the evaluation:
+Baselines for the evaluation (same pipeline, different final
+:class:`repro.passes.library.SlicePass` configuration):
 
 * :func:`naive_slice` — classic control+data slicing (``DINF`` only).
   *Incorrect* for probabilistic programs (Example 4): it drops
@@ -19,16 +27,19 @@ Baselines for the evaluation:
   loop conditions in addition to the return's cone, so conditioning
   and potential divergence are preserved exactly.  Correct but larger
   (Section 6 argues this forfeits most of the benefit).
+
+``repro.passes`` is imported lazily inside the functions: the pass
+library imports the transform submodules, so a module-level import
+here would cycle through ``repro.transforms.__init__`` during package
+initialization.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import FrozenSet
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 
-from ..analysis.depgraph import DependencyInfo, analyze
 from ..analysis.graph import DiGraph
-from ..analysis.influencers import dinf, inf_fast
 from ..core.ast import (
     Block,
     Factor,
@@ -41,17 +52,12 @@ from ..core.ast import (
     is_skip,
     statement_count,
 )
-from ..core.freevars import free_vars
 from ..obs.recorder import current_recorder
-from .constprop import const_prop, copy_prop
-from .obs import obs_transform
-from .slice import aux_program_with, slice_program_with
-from .ssa import ssa_transform
-from .svf import svf_transform
 
 __all__ = [
     "SliceResult",
     "preprocess",
+    "run_sli",
     "sli",
     "naive_slice",
     "nt_slice",
@@ -68,6 +74,12 @@ class SliceResult:
     influencer analysis ran on; ``sliced`` is the final program.  Note
     ``sliced`` speaks in SSA names — its return expression is the
     renamed one.
+
+    ``pass_seconds`` maps ``pass.<name>`` to the wall seconds that
+    pass took in the run that produced this result (empty on a cache
+    hit — cached results carry no stale timings).  It is excluded from
+    equality: two results are the same slice regardless of how long
+    they took.
     """
 
     original: Program
@@ -76,6 +88,9 @@ class SliceResult:
     influencers: FrozenSet[str]
     observed: FrozenSet[str]
     graph: DiGraph
+    pass_seconds: Mapping[str, float] = field(
+        default_factory=dict, compare=False
+    )
 
     @property
     def original_size(self) -> int:
@@ -108,14 +123,16 @@ def preprocess(
     ``svf_hoist_variables=True`` applies Figure 13 literally (fresh
     helper even for bare-variable conditions).
     """
-    rec = current_recorder()
-    if use_obs:
-        with rec.span("sli.obs", extended=obs_extended):
-            program = obs_transform(program, extended=obs_extended)
-    with rec.span("sli.svf", hoist_variables=svf_hoist_variables):
-        program = svf_transform(program, hoist_variables=svf_hoist_variables)
-    with rec.span("sli.ssa"):
-        return ssa_transform(program)
+    from ..passes import PassManager, preprocess_passes
+
+    manager = PassManager(
+        preprocess_passes(
+            use_obs=use_obs,
+            obs_extended=obs_extended,
+            svf_hoist_variables=svf_hoist_variables,
+        )
+    )
+    return manager.run(program).program
 
 
 def node_class_counts(stmt: Stmt) -> dict:
@@ -158,33 +175,55 @@ def _record_slice_metrics(result: SliceResult) -> None:
     rec.gauge("slice.reduction", result.reduction)
 
 
-def _finish(
-    original: Program,
-    transformed: Program,
-    info: DependencyInfo,
-    keep: FrozenSet[str],
-    simplify: bool,
-) -> SliceResult:
-    rec = current_recorder()
-    with rec.span("sli.slice"):
-        sliced = slice_program_with(transformed, keep)
-    if simplify:
-        # Constant and copy propagation can turn observes into skips,
-        # conditions into constants, and merge aliases into dead code,
-        # enabling a second, smaller slice.
-        with rec.span("sli.simplify"):
-            sliced = copy_prop(const_prop(sliced))
-            info2 = analyze(sliced)
-            keep2 = inf_fast(info2.observed, info2.graph, free_vars(sliced.ret))
-            sliced = slice_program_with(sliced, frozenset(keep2))
+def _result_from_context(original: Program, ctx) -> SliceResult:
+    """Assemble a :class:`SliceResult` from a finished slice pipeline's
+    context (the artifacts the first :class:`SlicePass` recorded)."""
     return SliceResult(
         original=original,
-        transformed=transformed,
-        sliced=sliced,
-        influencers=keep,
-        observed=info.observed,
-        graph=info.graph,
+        transformed=ctx.artifacts["transformed"],
+        sliced=ctx.program,
+        influencers=ctx.artifacts["influencers"],
+        observed=ctx.artifacts["observed"],
+        graph=ctx.artifacts["graph"],
+        pass_seconds=dict(ctx.pass_seconds),
     )
+
+
+def run_sli(
+    program: Program,
+    use_obs: bool = True,
+    obs_extended: bool = True,
+    simplify: bool = False,
+    svf_hoist_variables: bool = False,
+    verify: bool = False,
+    spot_check_seeds: Sequence[int] = (),
+    on_after_pass=None,
+) -> Tuple[SliceResult, "object"]:
+    """Run the SLI pipeline and return ``(result, pass context)``.
+
+    The context exposes the cached analyses (``transformed_lowered``
+    feeds ``--emit-cfg`` without re-lowering) and the per-analysis
+    computed/reused counts.  ``verify=True`` re-validates the program
+    after every pass; ``spot_check_seeds`` additionally replays seeds
+    through the interpreter across every distribution-preserving pass.
+    ``on_after_pass(pazz, ctx)`` observes each pass as it completes
+    (the CLI's ``--print-after-each``).
+    """
+    from ..passes import PassManager, sli_passes
+
+    manager = PassManager(
+        sli_passes(
+            use_obs=use_obs,
+            obs_extended=obs_extended,
+            simplify=simplify,
+            svf_hoist_variables=svf_hoist_variables,
+        ),
+        verify=verify,
+        spot_check_seeds=spot_check_seeds,
+        on_after_pass=on_after_pass,
+    )
+    ctx = manager.run(program)
+    return _result_from_context(program, ctx), ctx
 
 
 def sli(
@@ -194,45 +233,51 @@ def sli(
     simplify: bool = False,
     svf_hoist_variables: bool = False,
     cache=None,
+    verify: bool = False,
+    spot_check_seeds: Sequence[int] = (),
 ) -> SliceResult:
     """The paper's SLI transformation.
 
     ``use_obs=False`` disables the OBS pre-pass (Ablation A);
     ``simplify=True`` adds the constant/copy-propagation post-pass;
-    ``svf_hoist_variables=True`` applies Figure 13 literally.
+    ``svf_hoist_variables=True`` applies Figure 13 literally;
+    ``verify=True`` enables per-pass verification (see :mod:`repro
+    .passes.manager`).
 
     ``cache`` (e.g. :class:`repro.runtime.ProgramCache`) short-circuits
     the whole pipeline for programs already sliced under the same
-    options: it is queried via the duck-typed
+    pipeline: it is queried via the duck-typed
     ``get_slice(program, options)`` / ``put_slice(program, options,
-    result)`` pair, keyed by the program's content fingerprint — so
-    structurally equal programs hit regardless of object identity, and
-    any option change misses.
+    result)`` pair, keyed by the program's content fingerprint mixed
+    with the pass pipeline's fingerprint
+    (:attr:`repro.passes.PassManager.pipeline_key`) — so structurally
+    equal programs hit regardless of object identity, and any pass or
+    pass-parameter change misses.
     """
-    options = dict(
-        use_obs=use_obs,
-        obs_extended=obs_extended,
-        simplify=simplify,
-        svf_hoist_variables=svf_hoist_variables,
+    from ..passes import PassManager, sli_passes
+
+    manager = PassManager(
+        sli_passes(
+            use_obs=use_obs,
+            obs_extended=obs_extended,
+            simplify=simplify,
+            svf_hoist_variables=svf_hoist_variables,
+        ),
+        verify=verify,
+        spot_check_seeds=spot_check_seeds,
     )
+    options: Dict[str, object] = {"pipeline": manager.pipeline_key}
     rec = current_recorder()
     with rec.span("sli", simplify=simplify, use_obs=use_obs) as sp:
         if cache is not None:
-            hit = cache.get_slice(program, options)
+            hit: Optional[SliceResult] = cache.get_slice(program, options)
             if hit is not None:
                 sp.set(cached=True)
-                return hit
-        transformed = preprocess(
-            program,
-            use_obs=use_obs,
-            obs_extended=obs_extended,
-            svf_hoist_variables=svf_hoist_variables,
-        )
-        with rec.span("sli.analyze"):
-            info = analyze(transformed)
-        with rec.span("sli.influencers"):
-            keep = inf_fast(info.observed, info.graph, free_vars(transformed.ret))
-        result = _finish(program, transformed, info, frozenset(keep), simplify)
+                # A cached result's timings describe the run that
+                # produced it, not this one.
+                return replace(hit, pass_seconds={})
+        ctx = manager.run(program)
+        result = _result_from_context(program, ctx)
         if rec.enabled:
             _record_slice_metrics(result)
             sp.set(
@@ -253,23 +298,24 @@ def naive_slice(program: Program, use_obs: bool = True) -> SliceResult:
     trail to the return variables (Example 4); provided as the paper's
     "usual definition of slicing" comparison point.
     """
-    transformed = preprocess(program, use_obs=use_obs)
-    info = analyze(transformed)
-    keep = dinf(info.graph, free_vars(transformed.ret))
-    return _finish(program, transformed, info, frozenset(keep), simplify=False)
+    from ..passes import PassManager, naive_passes
+
+    ctx = PassManager(naive_passes(use_obs=use_obs)).run(program)
+    return _result_from_context(program, ctx)
 
 
 def nt_slice(program: Program) -> SliceResult:
     """Non-termination-preserving slicing: the return cone plus the
     cones of every observed variable and loop condition."""
-    transformed = preprocess(program, use_obs=False)
-    info = analyze(transformed)
-    targets = set(free_vars(transformed.ret)) | set(info.observed)
-    keep = dinf(info.graph, targets)
-    return _finish(program, transformed, info, frozenset(keep), simplify=False)
+    from ..passes import PassManager, nt_passes
+
+    ctx = PassManager(nt_passes()).run(program)
+    return _result_from_context(program, ctx)
 
 
 def aux_of(result: SliceResult) -> Program:
     """The AUX complement (Figure 17) of a pipeline result, as a
     program returning a constant.  ``Z(P) = Z(SLI(P)) * Z(AUX(P))``."""
+    from .slice import aux_program_with
+
     return aux_program_with(result.transformed, result.influencers, result.graph)

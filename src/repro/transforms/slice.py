@@ -33,9 +33,15 @@ from ..core.ast import Observe, Program, Stmt, Var
 from ..core.validate import ValidationError
 from ..analysis.graph import DiGraph
 from ..ir.cfg import Node
-from ..ir.lower import Lowered, lower, raise_region
+from ..ir.lower import Lowered, lower, raise_program, raise_region
 
-__all__ = ["slice_stmt", "slice_program_with", "aux_stmt", "aux_program_with"]
+__all__ = [
+    "slice_stmt",
+    "slice_program_with",
+    "slice_lowered",
+    "aux_stmt",
+    "aux_program_with",
+]
 
 
 def _node_key(lowered: Lowered, node: Node) -> Optional[str]:
@@ -92,6 +98,13 @@ def slice_stmt(stmt: Stmt, keep: AbstractSet[str]) -> Stmt:
 def slice_program_with(program: Program, keep: AbstractSet[str]) -> Program:
     """Slice a whole program with a precomputed influencer set."""
     return Program(slice_stmt(program.body, keep), program.ret)
+
+
+def slice_lowered(lowered: Lowered, keep: AbstractSet[str]) -> Program:
+    """Slice an already-lowered *program* with a precomputed influencer
+    set — the pass pipeline's entry point, which reuses the one cached
+    lowering the dependence analysis ran on instead of re-lowering."""
+    return raise_program(lowered, _selector(lowered, lambda key: key in keep))
 
 
 def aux_stmt(stmt: Stmt, keep: AbstractSet[str], graph: DiGraph) -> Stmt:

@@ -19,7 +19,7 @@ variable keep the original name on every path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from ..core.ast import (
     Assign,
@@ -43,6 +43,7 @@ from ..core.ast import (
     seq,
 )
 from ..core.freevars import free_vars
+from ..core.names import FreshNames
 
 __all__ = ["ssa_transform", "rename_expr"]
 
@@ -68,35 +69,9 @@ def _rename_dist(dist: DistCall, rho: Renaming) -> DistCall:
     return DistCall(dist.name, tuple(rename_expr(a, rho) for a in dist.args))
 
 
-class _SSAFresh:
-    """Fresh-name source.  First definition of a base name keeps the
-    name; later definitions get ``base1``, ``base2``, ... (``base_1``
-    when the base already ends in a digit, to avoid ``q1`` -> ``q11``
-    confusion)."""
-
-    def __init__(self, taken: Set[str]) -> None:
-        self._taken = set(taken)
-        self._defined: Set[str] = set()
-
-    def define(self, base: str) -> str:
-        if base not in self._defined:
-            self._defined.add(base)
-            self._taken.add(base)
-            return base
-        sep = "_" if base and base[-1].isdigit() else ""
-        k = 1
-        while True:
-            candidate = f"{base}{sep}{k}"
-            if candidate not in self._taken and candidate not in self._defined:
-                self._defined.add(candidate)
-                self._taken.add(candidate)
-                return candidate
-            k += 1
-
-
 class _SSA:
-    def __init__(self, taken: Set[str]) -> None:
-        self._fresh = _SSAFresh(taken)
+    def __init__(self, names: FreshNames) -> None:
+        self._fresh = names
         #: Version names holding a value on the *current path* —
         #: declared names and assignment targets.  Merge assignments
         #: whose source version is unavailable on their path are dead
@@ -243,11 +218,20 @@ def _vars_in_order(program: Program) -> List[str]:
     return seen
 
 
-def ssa_transform(program: Program) -> Program:
+def ssa_transform(
+    program: Program, names: Optional[FreshNames] = None
+) -> Program:
     """Apply the phi-free SSA transformation to a whole program; the
-    return expression is renamed by the final environment."""
+    return expression is renamed by the final environment.
+
+    ``names`` supplies a shared :class:`FreshNames` source (versioned
+    names via :meth:`FreshNames.define`); by default a private one is
+    seeded from the program's free variables.
+    """
     ordered = _vars_in_order(program)
     rho: Renaming = {x: x for x in ordered}
-    ssa = _SSA(set(free_vars(program)))
+    if names is None:
+        names = FreshNames(free_vars(program))
+    ssa = _SSA(names)
     body = ssa.stmt(program.body, rho)
     return Program(body, rename_expr(program.ret, rho))

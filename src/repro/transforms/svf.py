@@ -21,7 +21,7 @@ introduces ``q1 = c`` for ``while (c)``) is available with
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Optional
 
 from ..core.ast import (
     Assign,
@@ -35,27 +35,14 @@ from ..core.ast import (
     seq,
 )
 from ..core.freevars import free_vars
+from ..core.names import FreshNames
 
 __all__ = ["svf_transform"]
 
 
-class _FreshNames:
-    def __init__(self, taken: Set[str]) -> None:
-        self._taken = set(taken)
-        self._counter = 0
-
-    def fresh(self) -> str:
-        while True:
-            self._counter += 1
-            name = f"q{self._counter}"
-            if name not in self._taken:
-                self._taken.add(name)
-                return name
-
-
 class _SVF:
-    def __init__(self, taken: Set[str], hoist_variables: bool) -> None:
-        self._names = _FreshNames(taken)
+    def __init__(self, names: FreshNames, hoist_variables: bool) -> None:
+        self._names = names
         self._hoist_variables = hoist_variables
 
     def _skip_hoist(self, cond) -> bool:
@@ -88,11 +75,20 @@ class _SVF:
         return stmt
 
 
-def svf_transform(program: Program, hoist_variables: bool = False) -> Program:
+def svf_transform(
+    program: Program,
+    hoist_variables: bool = False,
+    names: Optional[FreshNames] = None,
+) -> Program:
     """Apply SVF to a whole program.
 
     ``hoist_variables=True`` reproduces Figure 13 literally (fresh
     helpers even for bare-variable conditions, as in Figure 16(c)).
+    ``names`` supplies a shared :class:`FreshNames` source (the pass
+    manager's, so composed passes never collide on helper names); by
+    default a private one is seeded from the program's free variables.
     """
-    svf = _SVF(set(free_vars(program)), hoist_variables)
+    if names is None:
+        names = FreshNames(free_vars(program))
+    svf = _SVF(names, hoist_variables)
     return Program(svf.stmt(program.body), program.ret)

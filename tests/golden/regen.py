@@ -1,0 +1,54 @@
+"""Regenerate the golden sliced-program outputs.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+One golden file per (Table-1 benchmark, slicer) pair, containing the
+pretty-printed sliced program.  The goldens pin the *byte-identical*
+behaviour of the slicers across refactors: any diff here is either a
+deliberate output change (regenerate and review the diff) or a
+regression (fix the code).
+
+The ``bench()`` scale is used so the files stay reviewable and the
+golden test runs in seconds; every structural property of the paper
+scale (who is observed, who is returned, which fraction slices away)
+is preserved at that scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.printer import pretty
+from repro.models.registry import TABLE1
+from repro.transforms.pipeline import naive_slice, nt_slice, sli
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+#: (file tag, callable producing the sliced program)
+SLICERS = {
+    "sli": lambda p: sli(p).sliced,
+    "sli-simplify": lambda p: sli(p, simplify=True).sliced,
+    "naive": lambda p: naive_slice(p).sliced,
+    "nt": lambda p: nt_slice(p).sliced,
+}
+
+
+def golden_path(benchmark: str, tag: str) -> str:
+    return os.path.join(HERE, f"{benchmark}.{tag}.prob")
+
+
+def main() -> None:
+    for spec in TABLE1:
+        program = spec.bench()
+        for tag, run in SLICERS.items():
+            path = golden_path(spec.name, tag)
+            text = pretty(run(program))
+            with open(path, "w") as f:
+                f.write(text)
+            print(f"wrote {os.path.relpath(path)} ({len(text)} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,14 +15,13 @@ from repro.runtime import ProgramCache
 from repro.semantics.compiled import clear_compile_cache
 from repro.transforms.pipeline import node_class_counts, sli
 
+#: The pass manager's per-pass spans for a default ``sli`` run.
 PIPELINE_SPANS = {
     "sli",
-    "sli.obs",
-    "sli.svf",
-    "sli.ssa",
-    "sli.analyze",
-    "sli.influencers",
-    "sli.slice",
+    "pass.obs",
+    "pass.svf",
+    "pass.ssa",
+    "pass.slice",
 }
 
 
@@ -33,10 +32,10 @@ class TestPipelineSpans:
             sli(ex2)
         names = {s.name for s in rec.iter_spans()}
         assert PIPELINE_SPANS <= names
-        # The stage spans nest under the pipeline root.
+        # The pass spans nest under the pipeline root.
         root = rec.find_spans("sli")[0]
         child_names = {c.name for c in root.children}
-        assert "sli.analyze" in child_names and "sli.slice" in child_names
+        assert "pass.ssa" in child_names and "pass.slice" in child_names
 
     def test_sli_span_carries_size_attrs(self, ex2):
         rec = TraceRecorder()
@@ -47,11 +46,24 @@ class TestPipelineSpans:
         assert attrs["sliced_stmts"] == result.sliced_size
         assert attrs["reduction"] == pytest.approx(result.reduction, abs=1e-3)
 
-    def test_simplify_adds_its_span(self, ex2):
+    def test_simplify_adds_its_spans(self, ex2):
         rec = TraceRecorder()
         with use_recorder(rec):
             sli(ex2, simplify=True)
-        assert rec.find_spans("sli.simplify")
+        assert rec.find_spans("pass.constprop")
+        assert rec.find_spans("pass.copyprop")
+        # The post-pass re-slices: two slice spans in total.
+        assert len(rec.find_spans("pass.slice")) == 2
+
+    def test_one_lowering_per_run(self, ex2):
+        # The shared-analysis guarantee: a default sli run lowers the
+        # preprocessed program exactly once, every other consumer
+        # reuses the cached analysis.
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            sli(ex2)
+        assert rec.counters["passes.analysis.computed.lowered"] == 1
+        assert rec.counters.get("passes.analysis.reused.lowered", 0) >= 1
 
     def test_cache_hit_is_marked_and_skips_stages(self, ex2):
         cache = ProgramCache()
@@ -61,7 +73,7 @@ class TestPipelineSpans:
             cache.slice(ex2)
         root = rec.find_spans("sli")[0]
         assert root.attrs.get("cached") is True
-        assert not rec.find_spans("sli.analyze")
+        assert not rec.find_spans("pass.slice")
         assert rec.counters["cache.slice.hit"] == 1
 
     def test_uninstrumented_by_default(self, ex2):

@@ -1,0 +1,109 @@
+"""CLI surface of the pass manager: ``--passes``,
+``--print-after-each``, ``--verify-each``, and their interaction with
+``--emit-cfg`` and ``--metrics-summary``."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    path = tmp_path / "model.prob"
+    path.write_text(
+        """
+d ~ Bernoulli(0.6);
+i ~ Bernoulli(0.7);
+if (!i && !d) { g ~ Bernoulli(0.3); }
+else { g ~ Bernoulli(0.5); }
+observe(g == false);
+if (!g) { l ~ Bernoulli(0.1); }
+else    { l ~ Bernoulli(0.4); }
+return l;
+"""
+    )
+    return str(path)
+
+
+class TestPassesFlag:
+    def test_explicit_sli_pipeline_matches_default(self, model_file, capsys):
+        assert main([model_file]) == 0
+        default = capsys.readouterr().out
+        assert main([model_file, "--passes", "obs,svf,ssa,slice"]) == 0
+        assert capsys.readouterr().out == default
+
+    def test_preprocess_only_pipeline(self, model_file, capsys):
+        # No slice pass -> the CLI prints the pipeline's final program.
+        assert main([model_file, "--passes", "obs,svf,ssa"]) == 0
+        out = capsys.readouterr().out
+        # SVF introduced helper variables; nothing was sliced away.
+        assert "q1" in out
+        assert "observe" in out
+
+    def test_simplify_pipeline(self, model_file, capsys):
+        spec = "obs,svf,ssa,slice,constprop,copyprop,slice"
+        assert main([model_file, "--passes", spec]) == 0
+        explicit = capsys.readouterr().out
+        assert main([model_file, "--simplify"]) == 0
+        assert capsys.readouterr().out == explicit
+
+    def test_unknown_pass_is_usage_error(self, model_file, capsys):
+        assert main([model_file, "--passes", "obs,nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown pass" in err
+        assert "nope" in err
+
+    def test_stats_with_passes(self, model_file, capsys):
+        assert main([model_file, "--passes", "obs,svf,ssa,slice", "--stats"]) == 0
+        assert "influencers:" in capsys.readouterr().out
+
+
+class TestPrintAfterEach:
+    def test_prints_each_stage(self, model_file, capsys):
+        assert main([model_file, "--print-after-each"]) == 0
+        out = capsys.readouterr().out
+        for name in ("obs", "svf", "ssa", "slice"):
+            assert f"// --- after pass {name} ---" in out
+
+    def test_respects_custom_pipeline(self, model_file, capsys):
+        assert main(
+            [model_file, "--passes", "obs,svf", "--print-after-each"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "// --- after pass obs ---" in out
+        assert "// --- after pass svf ---" in out
+        assert "after pass ssa" not in out
+
+
+class TestVerifyEach:
+    def test_verify_each_green(self, model_file, capsys):
+        assert main([model_file, "--verify-each", "--simplify"]) == 0
+
+    def test_verify_each_with_custom_pipeline(self, model_file, capsys):
+        assert main(
+            [model_file, "--passes", "obs,svf,ssa,slice", "--verify-each"]
+        ) == 0
+
+    def test_metrics_summary_shows_one_lowering(self, model_file, capsys):
+        assert main([model_file, "--verify-each", "--metrics-summary"]) == 0
+        captured = capsys.readouterr()
+        text = captured.out + captured.err
+        assert "passes.analysis.computed.lowered" in text
+        line = next(
+            ln
+            for ln in text.splitlines()
+            if "passes.analysis.computed.lowered" in ln
+        )
+        assert line.split()[-1] == "1"
+
+
+class TestEmitCfgUsesContext:
+    def test_emit_cfg_still_works(self, model_file, capsys):
+        assert main([model_file, "--emit-cfg"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_emit_cfg_with_passes(self, model_file, capsys):
+        assert main([model_file, "--passes", "obs,svf,ssa", "--emit-cfg"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")

@@ -1,0 +1,331 @@
+"""The pass manager itself: context caching and invalidation, the
+pass protocol, pipeline fingerprints, verification, and the shared
+fresh-name source."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.ast import Program, Var
+from repro.core.names import FreshNames
+from repro.core.parser import parse
+from repro.core.printer import pretty
+from repro.obs import TraceRecorder, use_recorder
+from repro.passes import (
+    PASS_REGISTRY,
+    ObsPass,
+    Pass,
+    PassContext,
+    PassManager,
+    PassVerificationError,
+    SlicePass,
+    SsaPass,
+    build_pipeline,
+    naive_passes,
+    nt_passes,
+    preprocess_passes,
+    registered_analyses,
+    sli_passes,
+)
+from repro.transforms.pipeline import naive_slice, nt_slice, preprocess, sli
+
+
+class TestFreshNames:
+    def test_fresh_skips_taken_names(self):
+        names = FreshNames({"q1", "q3"})
+        assert names.fresh() == "q2"
+        # The counter advanced past q3 permanently (historical SVF
+        # numbering: helpers numbered in traversal order).
+        assert names.fresh() == "q4"
+        assert names.fresh() == "q5"
+
+    def test_fresh_counters_are_per_prefix(self):
+        names = FreshNames()
+        assert names.fresh("q") == "q1"
+        assert names.fresh("t") == "t1"
+        assert names.fresh("q") == "q2"
+
+    def test_define_first_keeps_name(self):
+        names = FreshNames({"x"})
+        assert names.define("x") == "x"
+        assert names.define("x") == "x1"
+        assert names.define("x") == "x2"
+
+    def test_define_digit_base_uses_separator(self):
+        names = FreshNames({"q1"})
+        assert names.define("q1") == "q1"
+        # q1 -> q1_1, never q11 (which could collide with fresh()).
+        assert names.define("q1") == "q1_1"
+
+    def test_disciplines_share_the_taken_set(self):
+        names = FreshNames({"x"})
+        assert names.fresh() == "q1"
+        # SSA versioning of a base whose next version was minted by
+        # fresh() must skip it.
+        assert names.define("q") == "q"
+        assert names.define("q") == "q2"
+
+    def test_reserve(self):
+        names = FreshNames()
+        names.reserve(["q1", "q2"])
+        assert names.is_taken("q1")
+        assert names.fresh() == "q3"
+
+
+class TestPassContext:
+    def test_analysis_computed_once(self, ex2):
+        ctx = PassContext(ex2)
+        first = ctx.analysis("lowered")
+        second = ctx.analysis("lowered")
+        assert second is first
+        assert ctx.computed["lowered"] == 1
+        assert ctx.reused["lowered"] == 1
+
+    def test_analysis_dependencies_share_the_cache(self, ex2):
+        # "deps" needs single-variable (post-SVF/SSA) form.
+        ctx = PassContext(preprocess(ex2))
+        ctx.analysis("deps")  # computes "lowered" internally
+        ctx.analysis("lowered")
+        assert ctx.computed["lowered"] == 1
+        assert ctx.reused["lowered"] == 1
+
+    def test_update_program_invalidates(self, ex2, ex4):
+        ctx = PassContext(ex2)
+        ctx.analysis("lowered")
+        ctx.update_program(ex4)
+        assert ctx.cached("lowered") is None
+        ctx.analysis("lowered")
+        assert ctx.computed["lowered"] == 2
+
+    def test_update_program_preserves_declared_analyses(self, ex2, ex4):
+        ctx = PassContext(preprocess(ex2))
+        lowered = ctx.analysis("lowered")
+        ctx.analysis("deps")
+        ctx.update_program(ex4, preserves={"lowered"})
+        assert ctx.cached("lowered") is lowered
+        assert ctx.cached("deps") is None
+
+    def test_update_with_same_object_is_noop(self, ex2):
+        ctx = PassContext(ex2)
+        lowered = ctx.analysis("lowered")
+        ctx.update_program(ctx.program)
+        assert ctx.cached("lowered") is lowered
+
+    def test_unknown_analysis(self, ex2):
+        with pytest.raises(KeyError):
+            PassContext(ex2).analysis("nope")
+
+    def test_builtin_analyses_registered(self):
+        assert {"lowered", "free_vars", "deps", "influencers"} <= set(
+            registered_analyses()
+        )
+
+    def test_counters_reach_the_recorder(self, ex2):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            ctx = PassContext(ex2)
+            ctx.analysis("lowered")
+            ctx.analysis("lowered")
+        assert rec.counters["passes.analysis.computed.lowered"] == 1
+        assert rec.counters["passes.analysis.reused.lowered"] == 1
+
+
+class TestPipelineKey:
+    def test_signature_renders_params(self):
+        assert ObsPass(extended=False).signature() == "obs(extended=False)"
+        assert SsaPass().signature() == "ssa"
+
+    def test_key_is_order_and_param_sensitive(self):
+        default = PassManager(sli_passes()).pipeline_key
+        simplified = PassManager(sli_passes(simplify=True)).pipeline_key
+        no_obs = PassManager(sli_passes(use_obs=False)).pipeline_key
+        assert len({default, simplified, no_obs}) == 3
+        assert default == PassManager(sli_passes()).pipeline_key
+
+    def test_canned_pipelines_shapes(self):
+        assert [p.name for p in sli_passes()] == ["obs", "svf", "ssa", "slice"]
+        assert [p.name for p in sli_passes(simplify=True)] == [
+            "obs", "svf", "ssa", "slice", "constprop", "copyprop", "slice",
+        ]
+        assert [p.name for p in preprocess_passes()] == ["obs", "svf", "ssa"]
+        assert [p.name for p in naive_passes()] == ["obs", "svf", "ssa", "slice"]
+        assert naive_passes()[-1].closure == "dinf"
+        nt = nt_passes()
+        assert [p.name for p in nt] == ["svf", "ssa", "slice"]
+        assert nt[-1].include_observed is True
+
+
+class TestBuildPipeline:
+    def test_parses_csv(self):
+        names = [p.name for p in build_pipeline("obs, svf,ssa,slice")]
+        assert names == ["obs", "svf", "ssa", "slice"]
+
+    def test_unknown_pass(self):
+        with pytest.raises(ValueError, match="unknown pass"):
+            build_pipeline("obs,nope")
+
+    def test_empty_pipeline(self):
+        with pytest.raises(ValueError, match="empty"):
+            build_pipeline(" , ")
+
+    def test_registry_covers_library(self):
+        assert set(PASS_REGISTRY) == {
+            "obs", "svf", "ssa", "slice", "constprop", "copyprop",
+        }
+
+    def test_bad_closure_rejected(self):
+        with pytest.raises(ValueError, match="closure"):
+            SlicePass(closure="bogus")
+
+
+class TestManagerRun:
+    def test_equivalent_to_wrappers(self, ex5):
+        ctx = PassManager(sli_passes()).run(ex5)
+        assert pretty(ctx.program) == pretty(sli(ex5).sliced)
+        assert pretty(PassManager(naive_passes()).run(ex5).program) == pretty(
+            naive_slice(ex5).sliced
+        )
+        assert pretty(PassManager(nt_passes()).run(ex5).program) == pretty(
+            nt_slice(ex5).sliced
+        )
+        assert pretty(PassManager(preprocess_passes()).run(ex5).program) == (
+            pretty(preprocess(ex5))
+        )
+
+    def test_slice_artifacts(self, ex5):
+        ctx = PassManager(sli_passes()).run(ex5)
+        result = sli(ex5)
+        assert pretty(ctx.artifacts["transformed"]) == pretty(result.transformed)
+        assert ctx.artifacts["influencers"] == result.influencers
+        assert ctx.artifacts["observed"] == result.observed
+        assert ctx.artifacts["transformed_lowered"].source is (
+            ctx.artifacts["transformed"]
+        )
+
+    def test_first_slice_wins_artifacts(self, ex5):
+        # The simplify re-slice must not overwrite the pipeline-level
+        # artifacts recorded by the first slice.
+        ctx = PassManager(sli_passes(simplify=True)).run(ex5)
+        result = sli(ex5, simplify=True)
+        assert pretty(ctx.artifacts["transformed"]) == pretty(result.transformed)
+        assert ctx.artifacts["influencers"] == result.influencers
+
+    def test_pass_seconds_accumulate(self, ex2):
+        ctx = PassManager(sli_passes(simplify=True)).run(ex2)
+        assert set(ctx.pass_seconds) == {
+            "pass.obs", "pass.svf", "pass.ssa", "pass.slice",
+            "pass.constprop", "pass.copyprop",
+        }
+        assert all(t >= 0.0 for t in ctx.pass_seconds.values())
+
+    def test_per_pass_spans(self, ex2):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            PassManager(sli_passes()).run(ex2)
+        # ir.lower spans nest inside pass.slice; look only at pass.*.
+        pass_spans = [s for s in rec.spans if s.name.startswith("pass.")]
+        assert [s.name for s in pass_spans] == [
+            "pass.obs", "pass.svf", "pass.ssa", "pass.slice",
+        ]
+        assert pass_spans[0].attrs["extended"] is True
+        assert pass_spans[-1].attrs["rewrote"] is True
+
+    def test_on_after_pass_hook(self, ex2):
+        seen = []
+        PassManager(
+            sli_passes(),
+            on_after_pass=lambda p, ctx: seen.append(p.name),
+        ).run(ex2)
+        assert seen == ["obs", "svf", "ssa", "slice"]
+
+    def test_one_lowering_for_default_sli(self, ex5):
+        ctx = PassManager(sli_passes()).run(ex5)
+        assert ctx.computed.get("lowered") == 1
+
+    def test_simplify_lowers_once_per_program_version(self, ex5):
+        # The re-slice after constprop/copyprop runs on a genuinely new
+        # program, so exactly one extra lowering is allowed.
+        ctx = PassManager(sli_passes(simplify=True)).run(ex5)
+        assert ctx.computed.get("lowered") == 2
+
+
+class _BreakValidity(Pass):
+    """A deliberately broken pass: introduces a read of an undefined
+    variable."""
+
+    name = "breakit"
+    distribution_preserving = False
+
+    def run(self, ctx):
+        ctx.update_program(
+            Program(ctx.program.body, Var("never_defined_anywhere"))
+        )
+
+
+class _SkewLikelihood(Pass):
+    """Claims to preserve the distribution but drops conditioning."""
+
+    name = "skew"
+    distribution_preserving = True
+
+    def run(self, ctx):
+        ctx.update_program(parse("bool c; c ~ Bernoulli(0.5); return c;"))
+
+
+class TestVerification:
+    def test_verify_green_for_canned_pipelines(self, ex2, ex5):
+        for program in (ex2, ex5):
+            PassManager(
+                sli_passes(simplify=True),
+                verify=True,
+                spot_check_seeds=(0, 1, 2),
+            ).run(program)
+            PassManager(nt_passes(), verify=True).run(program)
+
+    def test_validity_failure_names_the_pass(self, ex2):
+        manager = PassManager([_BreakValidity()], verify=True)
+        with pytest.raises(PassVerificationError, match="breakit"):
+            manager.run(ex2)
+        # Without verification the same pipeline runs through.
+        PassManager([_BreakValidity()]).run(ex2)
+
+    def test_spot_check_catches_distribution_change(self):
+        program = parse(
+            """
+            bool c;
+            c ~ Bernoulli(0.5);
+            observe(c);
+            return c;
+            """
+        )
+        manager = PassManager(
+            [_SkewLikelihood()], verify=True, spot_check_seeds=tuple(range(8))
+        )
+        with pytest.raises(PassVerificationError, match="skew"):
+            manager.run(program)
+
+    def test_verified_counters(self, ex2):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            PassManager(sli_passes(), verify=True).run(ex2)
+        for name in ("obs", "svf", "ssa", "slice"):
+            assert rec.counters[f"passes.verified.{name}"] == 1
+
+
+class TestSliWrapperExtras:
+    def test_sli_verify_flag(self, ex5):
+        result = sli(ex5, verify=True, spot_check_seeds=(0,))
+        assert pretty(result.sliced) == pretty(sli(ex5).sliced)
+
+    def test_pass_seconds_on_result(self, ex5):
+        result = sli(ex5)
+        assert set(result.pass_seconds) == {
+            "pass.obs", "pass.svf", "pass.ssa", "pass.slice",
+        }
+
+    def test_pass_seconds_excluded_from_equality(self, ex5):
+        a = sli(ex5)
+        assert a.pass_seconds != {}
+        # Timings describe a particular run, not the result: stripping
+        # them (as cache hits do) keeps the result equal.
+        assert a == replace(a, pass_seconds={})
