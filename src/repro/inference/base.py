@@ -85,6 +85,11 @@ class InferenceResult:
     #: Per-worker sample lists when this result was merged from a
     #: multi-chain parallel run (``None`` for sequential results).
     chains: Optional[List[List[Value]]] = None
+    #: Number of distinct root ancestors among the final particles of
+    #: an SMC run (``None`` for non-particle engines).  Resampling
+    #: collapses genealogies, so this — not the particle count — bounds
+    #: the number of independent draws the population represents.
+    lineages: Optional[int] = None
     #: Memoized ``(len(samples), mean, variance)`` reduction — the
     #: benchmark reporting calls ``mean()``/``variance()`` repeatedly
     #: and each was an O(n) Python loop per call.  Keyed by the sample
@@ -134,6 +139,9 @@ class InferenceResult:
             merged.n_proposals += p.n_proposals
             merged.n_accepted += p.n_accepted
             merged.elapsed_seconds += p.elapsed_seconds
+        if all(p.lineages is not None for p in parts):
+            # Independent islands: their surviving genealogies add.
+            merged.lineages = sum(p.lineages for p in parts)  # type: ignore[misc]
         if keep_chains:
             merged.chains = [list(p.samples) for p in parts]
         return merged

@@ -150,13 +150,17 @@ class _Run:
 
 
 class _Particle:
-    __slots__ = ("run", "log_weight", "barriers", "alive")
+    __slots__ = ("run", "log_weight", "barriers", "alive", "finished", "lineage")
 
-    def __init__(self, run: _Run) -> None:
+    def __init__(self, run: _Run, lineage: int = 0) -> None:
         self.run = run
         self.log_weight = 0.0
         self.barriers = 0
         self.alive = True
+        self.finished = False
+        #: Index of the root ancestor (clones inherit it): the count of
+        #: distinct lineages at the end measures genealogy collapse.
+        self.lineage = lineage
 
 
 class SMCSampler(Engine):
@@ -251,16 +255,18 @@ class SMCSampler(Engine):
         start = time.perf_counter()
         self._resamples = 0
         barriers = 0
-        particles = [
-            _Particle(self._new_run(program, rng, None))
-            for _ in range(self.n_particles)
+        population = [
+            _Particle(self._new_run(program, rng, None), lineage=i)
+            for i in range(self.n_particles)
         ]
-        finished: List[_Particle] = []
 
-        while particles:
-            # Advance every live particle to its next barrier (or end).
-            still_running: List[_Particle] = []
-            for p in particles:
+        while True:
+            # Advance every live, unfinished particle to its next
+            # barrier (or the end of the program).
+            running = [p for p in population if not p.finished]
+            if not running:
+                break
+            for p in running:
                 try:
                     delta = p.run.advance()
                 except (_NonTerminating, NonTerminatingRun):
@@ -269,29 +275,34 @@ class SMCSampler(Engine):
                 result.statements_executed += p.run.statements
                 p.run.statements = 0
                 if delta is None:
-                    finished.append(p)
+                    p.finished = True
                     continue
                 p.barriers += 1
                 p.log_weight += delta
                 if p.log_weight == NEG_INF:
                     p.alive = False
-                    continue
-                still_running.append(p)
-            particles = still_running
-            if not particles:
+            population = [p for p in population if p.alive]
+            if not population:
                 break
-            particles = self._maybe_resample(program, rng, particles)
+            # Resample over the *whole* population — finished particles
+            # included.  Excluding them would let the still-running
+            # subset (e.g. one branch of an ``if`` holding the only
+            # remaining observes) be replenished to full size, inflating
+            # its posterior mass relative to runs that already ended.
+            if any(not p.finished for p in population):
+                population = self._maybe_resample(program, rng, population)
             barriers += 1
             if rec.enabled:
                 rec.progress(
                     self.name,
-                    len(finished),
+                    sum(1 for p in population if p.finished),
                     self.n_particles,
-                    live=len(particles),
+                    live=sum(1 for p in population if not p.finished),
                     barriers=barriers,
                     resamples=self._resamples,
                 )
 
+        finished = [p for p in population if p.finished]
         if not finished:
             raise InferenceError("every SMC particle died (zero-mass program?)")
         max_lw = max(p.log_weight for p in finished)
@@ -299,8 +310,13 @@ class SMCSampler(Engine):
         for p in finished:
             result.samples.append(p.run.value)
             result.weights.append(math.exp(p.log_weight - max_lw))
+            # Clones of finished particles replay to completion without
+            # a later advance to collect their statement count.
+            result.statements_executed += p.run.statements
+            p.run.statements = 0
         result.n_proposals = self.n_particles
         result.n_accepted = len(finished)
+        result.lineages = len({p.lineage for p in finished})
         result.elapsed_seconds = time.perf_counter() - start
         if sum(result.weights) <= 0.0:
             raise InferenceError("all SMC particle weights are zero")
@@ -330,7 +346,9 @@ class SMCSampler(Engine):
         total = sum(weights)
         ess = total * total / sum(w * w for w in weights)
         # Resample when weights degenerate *or* hard observes killed
-        # part of the population (replenish back to full size).
+        # part of the population (replenish back to full size —
+        # finished particles stay in the pool, so mere completion
+        # never shrinks it).
         if ess >= self.ess_threshold * target and len(particles) == target:
             return particles
         self._resamples = getattr(self, "_resamples", 0) + 1
@@ -361,16 +379,21 @@ class SMCSampler(Engine):
     def _clone(
         self, program: Program, rng: random.Random, source: _Particle
     ) -> _Particle:
-        """Replay the source's trace up to its barrier count, then let
-        the clone diverge with fresh randomness."""
+        """Replay the source's trace up to its barrier count (to
+        completion for finished sources), then let the clone diverge
+        with fresh randomness."""
         run = self._new_run(program, rng, dict(source.run.trace))
-        clone = _Particle(run)
+        clone = _Particle(run, lineage=source.lineage)
         for _ in range(source.barriers):
             delta = run.advance()
             if delta is None:
                 raise AssertionError("replay finished before source barrier")
+        if source.finished:
+            if run.advance() is not None:
+                raise AssertionError("replay outlived its finished source")
+            clone.finished = True
         # Replay work is real work; it stays in run.statements and is
-        # picked up by the next advance's accounting.
+        # picked up by the next accounting pass.
         clone.barriers = source.barriers
         clone.log_weight = 0.0
         return clone

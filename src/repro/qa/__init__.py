@@ -1,0 +1,83 @@
+"""Differential testing & QA for the slicing pipeline.
+
+Standing correctness tooling for Theorem 1: a typed, termination-
+biased program generator (:mod:`repro.qa.generate` — the same one the
+hypothesis property suite consumes), distribution-equivalence and
+differential oracles over the inference engines, execution backends,
+and pass pipelines (:mod:`repro.qa.oracles`), a delta-debugging
+counterexample shrinker (:mod:`repro.qa.shrink`), and a seeded,
+time-budgeted campaign driver with a crash corpus
+(:mod:`repro.qa.fuzz`).
+
+Command line::
+
+    python -m repro.qa fuzz --time-budget 60 --seed 0 --corpus crashes/
+    python -m repro.qa replay tests/qa_corpus
+    python -m repro.qa shrink failing.prob
+"""
+
+from .fuzz import Crash, FuzzStats, fuzz, replay, write_crash
+from .generate import (
+    DEFAULT_CONFIG,
+    Chooser,
+    GenConfig,
+    RandomChooser,
+    build_program,
+    derive_seed,
+    generate_program,
+    iter_corpus,
+    load_program,
+    program_stream,
+    programs,
+    save_program,
+)
+from .oracles import (
+    ORACLE_TYPES,
+    BackendEquivalenceOracle,
+    BayesNetOracle,
+    Disagreement,
+    ExactEquivalenceOracle,
+    Oracle,
+    OracleConfig,
+    SamplerEquivalenceOracle,
+    default_oracle_names,
+    format_report,
+    make_oracles,
+    run_oracles,
+)
+from .shrink import ShrinkResult, reductions, shrink
+
+__all__ = [
+    "Crash",
+    "FuzzStats",
+    "fuzz",
+    "replay",
+    "write_crash",
+    "DEFAULT_CONFIG",
+    "Chooser",
+    "GenConfig",
+    "RandomChooser",
+    "build_program",
+    "derive_seed",
+    "generate_program",
+    "iter_corpus",
+    "load_program",
+    "program_stream",
+    "programs",
+    "save_program",
+    "ORACLE_TYPES",
+    "BackendEquivalenceOracle",
+    "BayesNetOracle",
+    "Disagreement",
+    "ExactEquivalenceOracle",
+    "Oracle",
+    "OracleConfig",
+    "SamplerEquivalenceOracle",
+    "default_oracle_names",
+    "format_report",
+    "make_oracles",
+    "run_oracles",
+    "ShrinkResult",
+    "reductions",
+    "shrink",
+]

@@ -1,0 +1,207 @@
+"""``python -m repro.qa`` — the QA command line.
+
+Subcommands:
+
+* ``fuzz`` — a seeded, time-budgeted differential fuzzing campaign.
+  Exit status 1 when any oracle disagreement was found.
+* ``replay`` — push a ``.prob`` corpus directory through the oracles
+  (the regression check CI runs on ``tests/qa_corpus``).
+* ``shrink`` — minimize a failing ``.prob`` file against the oracles.
+
+All subcommands accept ``--oracles`` (comma-separated subset of
+``backends,exact,bayesnet,samplers``), ``--samples`` (per-engine draw
+count for the statistical oracle), and observability flags
+(``--trace FILE`` / ``--metrics-summary``) that record ``qa.*`` spans
+and counters via :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from ..core.parser import ProbSyntaxError
+from ..core.printer import pretty
+from .fuzz import fuzz, replay
+from .generate import DEFAULT_CONFIG, load_program
+from .oracles import (
+    OracleConfig,
+    default_oracle_names,
+    make_oracles,
+    run_oracles,
+)
+from .shrink import shrink
+
+__all__ = ["main"]
+
+
+def _add_oracle_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--oracles",
+        default=",".join(default_oracle_names()),
+        help=(
+            "comma-separated oracle subset "
+            "(backends,exact,bayesnet,samplers)"
+        ),
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=OracleConfig().n_samples,
+        help="draws per engine in the statistical oracle",
+    )
+    parser.add_argument(
+        "--alpha",
+        type=float,
+        default=OracleConfig().alpha,
+        help="family-wise false-alarm budget for the statistical oracle",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a JSONL span/metric trace of the run",
+    )
+    parser.add_argument(
+        "--metrics-summary",
+        action="store_true",
+        help="print a counter/span summary at the end",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.qa",
+        description="Differential fuzzing & QA for the slicing pipeline.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fz = sub.add_parser("fuzz", help="run a fuzzing campaign")
+    fz.add_argument("--time-budget", type=float, default=60.0, metavar="SECONDS")
+    fz.add_argument("--seed", type=int, default=0)
+    fz.add_argument(
+        "--max-programs",
+        type=int,
+        default=None,
+        help="stop after this many candidate programs",
+    )
+    fz.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="write shrunk counterexamples + reports here",
+    )
+    fz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw counterexamples without minimizing",
+    )
+    fz.add_argument(
+        "--no-loops",
+        action="store_true",
+        help="generate loop-free programs only",
+    )
+    fz.add_argument(
+        "--max-stmts",
+        type=int,
+        default=DEFAULT_CONFIG.max_top_stmts,
+        help="top-level statement budget per generated program",
+    )
+    _add_oracle_args(fz)
+
+    rp = sub.add_parser("replay", help="replay a corpus through the oracles")
+    rp.add_argument("corpus", metavar="DIR", help="directory of .prob files")
+    _add_oracle_args(rp)
+
+    sh = sub.add_parser("shrink", help="minimize a failing program")
+    sh.add_argument("file", metavar="FILE.prob")
+    _add_oracle_args(sh)
+
+    return parser
+
+
+def _oracle_config(args, n_comparisons: int) -> OracleConfig:
+    return replace(
+        OracleConfig(),
+        n_samples=args.samples,
+        alpha=args.alpha,
+        n_comparisons=n_comparisons,
+    )
+
+
+def _run(args) -> int:
+    names = [n.strip() for n in args.oracles.split(",") if n.strip()]
+    if args.command == "fuzz":
+        gen_config = DEFAULT_CONFIG
+        if args.no_loops:
+            gen_config = replace(gen_config, allow_loops=False)
+        if args.max_stmts != gen_config.max_top_stmts:
+            gen_config = replace(gen_config, max_top_stmts=args.max_stmts)
+        oracles = make_oracles(names, config=_oracle_config(args, 10_000))
+        stats = fuzz(
+            time_budget=args.time_budget,
+            seed=args.seed,
+            oracles=oracles,
+            gen_config=gen_config,
+            corpus_dir=args.corpus,
+            max_programs=args.max_programs,
+            shrink_failures=not args.no_shrink,
+        )
+        print(stats.summary())
+        for crash in stats.crashes:
+            print(f"--- crash (program {crash.index}, shrunk to "
+                  f"{crash.shrunk_size} statements) ---")
+            for d in crash.shrunk_disagreements or crash.disagreements:
+                print(f"  {d.describe()}")
+            print(pretty(crash.shrunk), end="")
+        return 0 if stats.clean else 1
+    if args.command == "replay":
+        oracles = make_oracles(names, config=_oracle_config(args, 1_000))
+        failures = replay(args.corpus, oracles=oracles)
+        total = sum(len(ds) for _, ds in failures)
+        if failures:
+            for path, ds in failures:
+                print(f"{path}:")
+                for d in ds:
+                    print(f"  {d.describe()}")
+            print(f"replay: {total} disagreements in {len(failures)} files")
+            return 1
+        print("replay: corpus clean")
+        return 0
+    # shrink
+    oracles = make_oracles(names, config=_oracle_config(args, 1_000))
+    try:
+        program = load_program(args.file)
+    except (OSError, ProbSyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    disagreements = run_oracles(program, oracles)
+    if not disagreements:
+        print("program does not fail any selected oracle", file=sys.stderr)
+        return 1
+    result = shrink(program, lambda q: bool(run_oracles(q, oracles)))
+    for d in run_oracles(result.program, oracles):
+        print(f"// {d.describe()}")
+    print(pretty(result.program), end="")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if not (args.trace or args.metrics_summary):
+        return _run(args)
+    from ..obs import TraceRecorder, format_metrics_summary, use_recorder, write_trace
+
+    recorder = TraceRecorder()
+    with use_recorder(recorder):
+        status = _run(args)
+    if args.trace:
+        n = write_trace(recorder, args.trace, "jsonl")
+        print(f"// trace: {n} records -> {args.trace}", file=sys.stderr)
+    if args.metrics_summary:
+        print(format_metrics_summary(recorder))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""The differential fuzzing campaign driver.
+
+:func:`fuzz` runs a seeded, time-budgeted loop: generate a program,
+run every oracle, and on any disagreement shrink the program to a
+minimal counterexample and write it (plus the full disagreement
+report) into a crash-corpus directory.  Everything is deterministic
+under a fixed master seed — program ``i`` of a campaign can always be
+regenerated in isolation via
+``generate_program(derive_seed(seed, i))``.
+
+Instrumentation (:mod:`repro.obs`): the campaign runs inside a
+``qa.fuzz`` span with one ``qa.program`` span per candidate, and
+maintains the counters
+
+* ``qa.programs`` — programs generated and checked,
+* ``qa.degenerate`` — programs skipped because every run is blocked
+  (zero normalizer — Theorem 1's excluded case),
+* ``qa.disagreements`` — oracle violations found,
+* ``qa.shrink_steps`` / ``qa.shrink_candidates`` — minimization work
+  (bumped by :mod:`repro.qa.shrink`).
+
+:func:`replay` pushes an existing corpus (e.g. the checked-in
+``tests/qa_corpus``) through the oracles — the regression half of the
+QA story: every counterexample the fuzzer ever found stays fixed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.ast import Program, statement_count
+from ..core.fingerprint import program_fingerprint
+from ..obs.recorder import current_recorder
+from ..semantics.exact import ExactEngineError, exact_inference
+from .generate import (
+    DEFAULT_CONFIG,
+    GenConfig,
+    derive_seed,
+    generate_program,
+    iter_corpus,
+    save_program,
+)
+from .oracles import (
+    Disagreement,
+    Oracle,
+    OracleConfig,
+    format_report,
+    make_oracles,
+    run_oracles,
+)
+from .shrink import shrink
+
+__all__ = ["Crash", "FuzzStats", "fuzz", "replay", "write_crash"]
+
+
+@dataclass(frozen=True)
+class Crash:
+    """One fuzzer finding: the program, its minimized form, and the
+    disagreements each produced."""
+
+    seed: int
+    index: int
+    program: Program
+    disagreements: Tuple[Disagreement, ...]
+    shrunk: Program
+    shrunk_disagreements: Tuple[Disagreement, ...]
+    shrink_steps: int
+
+    @property
+    def shrunk_size(self) -> int:
+        return statement_count(self.shrunk.body)
+
+
+@dataclass
+class FuzzStats:
+    """Campaign summary."""
+
+    programs: int = 0
+    degenerate: int = 0
+    disagreements: int = 0
+    crashes: List[Crash] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    seed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return self.disagreements == 0
+
+    def summary(self) -> str:
+        return (
+            f"fuzz: {self.programs} programs "
+            f"({self.degenerate} degenerate skipped) in "
+            f"{self.elapsed_seconds:.1f}s, "
+            f"{self.disagreements} disagreements, "
+            f"{len(self.crashes)} crash reports"
+        )
+
+
+def _is_degenerate(program: Program) -> bool:
+    """True when the program has no permitted terminating run (or the
+    exact engine cannot decide cheaply) — Theorem 1 excludes those."""
+    try:
+        exact_inference(program)
+    except ValueError:
+        return True
+    except ExactEngineError:
+        # State-space blow-up: the exact oracles skip it anyway, and
+        # sampler comparisons without an exact reference are weak, so
+        # spend the budget elsewhere.
+        return True
+    return False
+
+
+def write_crash(
+    corpus_dir: Union[str, Path],
+    crash: Crash,
+) -> Tuple[Path, Path]:
+    """Persist a crash: the *shrunk* program as a replayable ``.prob``
+    file plus a full report alongside it."""
+    corpus_dir = Path(corpus_dir)
+    tag = program_fingerprint(crash.program)[:12]
+    prob_path = corpus_dir / f"crash-{tag}.prob"
+    header = (
+        f"shrunk counterexample (campaign seed {crash.seed}, "
+        f"program {crash.index}; "
+        f"{statement_count(crash.program.body)} -> "
+        f"{crash.shrunk_size} statements)\n"
+        + "\n".join(d.describe() for d in crash.shrunk_disagreements)
+    )
+    save_program(prob_path, crash.shrunk, header=header)
+    report_path = corpus_dir / f"crash-{tag}.report.txt"
+    report_path.write_text(
+        format_report(
+            crash.program,
+            crash.disagreements,
+            shrunk=crash.shrunk,
+            seed=derive_seed(crash.seed, crash.index),
+        )
+    )
+    return prob_path, report_path
+
+
+def fuzz(
+    time_budget: float = 60.0,
+    seed: int = 0,
+    oracles: Optional[Sequence[Oracle]] = None,
+    oracle_names: Optional[Sequence[str]] = None,
+    oracle_config: Optional[OracleConfig] = None,
+    gen_config: GenConfig = DEFAULT_CONFIG,
+    corpus_dir: Optional[Union[str, Path]] = None,
+    max_programs: Optional[int] = None,
+    shrink_failures: bool = True,
+    on_progress=None,
+) -> FuzzStats:
+    """Run a differential fuzzing campaign.
+
+    Stops at ``time_budget`` wall seconds (the program being checked
+    when the budget expires still completes) or after ``max_programs``
+    candidates.  ``oracles`` wins over ``oracle_names``/
+    ``oracle_config`` when given.  ``on_progress(stats)`` is invoked
+    after every program — the CLI uses it for a status line.
+    """
+    if oracles is None:
+        config = oracle_config if oracle_config is not None else OracleConfig()
+        if config.n_comparisons <= 1:
+            # Bonferroni over a rough campaign-size estimate: the exact
+            # count is unknowable up front (it depends on how many
+            # programs fit the budget); a generous constant keeps the
+            # family-wise rate bounded without destroying power.
+            config = replace(config, n_comparisons=10_000)
+        oracles = make_oracles(oracle_names, config=config)
+    stats = FuzzStats(seed=seed)
+    rec = current_recorder()
+    deadline = time.perf_counter() + time_budget
+    start = time.perf_counter()
+    with rec.span("qa.fuzz", seed=seed, time_budget=time_budget):
+        index = 0
+        while time.perf_counter() < deadline:
+            if max_programs is not None and index >= max_programs:
+                break
+            program_seed = derive_seed(seed, index)
+            program = generate_program(program_seed, gen_config)
+            with rec.span("qa.program", index=index):
+                if _is_degenerate(program):
+                    stats.degenerate += 1
+                    rec.counter("qa.degenerate")
+                else:
+                    stats.programs += 1
+                    rec.counter("qa.programs")
+                    disagreements = run_oracles(program, oracles)
+                    if disagreements:
+                        stats.disagreements += len(disagreements)
+                        rec.counter("qa.disagreements", len(disagreements))
+                        crash = _shrink_crash(
+                            seed,
+                            index,
+                            program,
+                            disagreements,
+                            oracles,
+                            shrink_failures,
+                        )
+                        stats.crashes.append(crash)
+                        if corpus_dir is not None:
+                            write_crash(corpus_dir, crash)
+            index += 1
+            if on_progress is not None:
+                stats.elapsed_seconds = time.perf_counter() - start
+                on_progress(stats)
+    stats.elapsed_seconds = time.perf_counter() - start
+    return stats
+
+
+def _shrink_crash(
+    seed: int,
+    index: int,
+    program: Program,
+    disagreements: List[Disagreement],
+    oracles: Sequence[Oracle],
+    shrink_failures: bool,
+) -> Crash:
+    if shrink_failures:
+        result = shrink(program, lambda q: bool(run_oracles(q, oracles)))
+        shrunk = result.program
+        steps = result.steps
+        shrunk_disagreements = tuple(run_oracles(shrunk, oracles))
+    else:
+        shrunk = program
+        steps = 0
+        shrunk_disagreements = tuple(disagreements)
+    return Crash(
+        seed=seed,
+        index=index,
+        program=program,
+        disagreements=tuple(disagreements),
+        shrunk=shrunk,
+        shrunk_disagreements=shrunk_disagreements,
+        shrink_steps=steps,
+    )
+
+
+def replay(
+    corpus_dir: Union[str, Path],
+    oracles: Optional[Sequence[Oracle]] = None,
+    oracle_names: Optional[Sequence[str]] = None,
+    oracle_config: Optional[OracleConfig] = None,
+) -> List[Tuple[Path, List[Disagreement]]]:
+    """Run every ``.prob`` file in ``corpus_dir`` through the oracles.
+
+    Returns ``(path, disagreements)`` for *failing* files only (an
+    empty list means the whole corpus is clean).
+    """
+    if oracles is None:
+        config = oracle_config if oracle_config is not None else OracleConfig(
+            n_comparisons=1_000
+        )
+        oracles = make_oracles(oracle_names, config=config)
+    rec = current_recorder()
+    failures: List[Tuple[Path, List[Disagreement]]] = []
+    with rec.span("qa.replay"):
+        for path, program in iter_corpus(corpus_dir):
+            rec.counter("qa.programs")
+            with rec.span("qa.program", file=str(path)):
+                disagreements = run_oracles(program, oracles)
+            if disagreements:
+                rec.counter("qa.disagreements", len(disagreements))
+                failures.append((path, disagreements))
+    return failures

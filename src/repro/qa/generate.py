@@ -1,0 +1,477 @@
+"""Random PROB program generation — the one generator behind both the
+hypothesis property tests and the differential fuzzer.
+
+The AST-building logic lives in :func:`build_program`, written against
+the tiny :class:`Chooser` interface (three primitive decisions:
+``integer``, ``choice``, ``boolean``).  Two front ends drive it:
+
+* :func:`generate_program` — a plain seeded :class:`random.Random`
+  chooser, used by ``python -m repro.qa fuzz`` for high-throughput
+  campaigns (no hypothesis machinery in the loop);
+* :func:`programs` — a hypothesis ``@composite`` strategy whose every
+  decision routes through ``draw``, so hypothesis's shrinker still
+  works.  ``tests/strategies.py`` re-exports it; the property suite
+  and the fuzzer therefore exercise the *same* program family and can
+  never drift apart.
+
+Design constraints baked into the generator (unchanged from the
+historical ``tests/strategies.py``):
+
+* **def-before-use** — statements only read already-defined variables,
+  so the paper-faithful SSA renaming is sound;
+* **almost-sure termination** — loop conditions are re-sampled from a
+  bounded-probability Bernoulli on every iteration, so the exact
+  engine's unrolling converges;
+* **non-degenerate conditioning** — observes are disjunction-weakened
+  with a fresh coin so that programs rarely block every run (consumers
+  still skip programs whose normalizer is zero).
+
+Every knob sits on :class:`GenConfig`; the defaults reproduce the
+historical generator's shape.
+
+The module also holds the seed-corpus reader/writer: programs are
+stored as ``.prob`` files in canonical concrete syntax
+(:func:`repro.core.printer.pretty`), so the corpus is human-readable,
+diffable, and round-trips through the parser.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core.ast import (
+    Assign,
+    Binary,
+    Const,
+    DistCall,
+    Expr,
+    If,
+    Observe,
+    Program,
+    Sample,
+    Stmt,
+    Unary,
+    Var,
+    While,
+    seq,
+)
+from ..core.parser import parse
+from ..core.printer import pretty
+
+__all__ = [
+    "GenConfig",
+    "Chooser",
+    "RandomChooser",
+    "build_program",
+    "build_bool_expr",
+    "build_int_expr",
+    "generate_program",
+    "program_stream",
+    "programs",
+    "bool_exprs",
+    "int_exprs",
+    "save_program",
+    "load_program",
+    "iter_corpus",
+]
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Tuning knobs for the program generator.
+
+    The defaults reproduce the historical ``tests/strategies.py``
+    family; the fuzzer CLI exposes the size/feature knobs directly.
+    """
+
+    #: Statement count bounds: top-level blocks draw up to
+    #: ``max_top_stmts``, nested blocks up to ``max_nested_stmts``.
+    max_top_stmts: int = 6
+    max_nested_stmts: int = 4
+    #: Nesting depth cap for if/while bodies.
+    max_depth: int = 3
+    #: Expression recursion depth.
+    max_expr_depth: int = 2
+    #: Feature toggles.
+    allow_loops: bool = True
+    allow_observes: bool = True
+    #: Variable pools (bool variables are ``b0..``, ints ``n0..``).
+    n_bool_vars: int = 4
+    n_int_vars: int = 3
+    #: Integer constants are drawn from ``[0, max_int_const]``.
+    max_int_const: int = 3
+    #: Bernoulli parameters — away from 0/1 so observes rarely become
+    #: impossible.
+    prob_palette: Tuple[float, ...] = (0.2, 0.3, 0.5, 0.7, 0.8)
+    #: Loop-continue probabilities — bounded away from 1 so loops
+    #: terminate almost surely and the exact engine's peeling
+    #: converges quickly.
+    loop_continue_probs: Tuple[float, ...] = (0.2, 0.3, 0.5)
+    #: Disjunction-weaken observes with a fresh ``Bernoulli(0.7)``
+    #: coin so full blocking is rare.
+    weaken_observes: bool = True
+
+    @property
+    def bool_vars(self) -> List[str]:
+        return [f"b{i}" for i in range(self.n_bool_vars)]
+
+    @property
+    def int_vars(self) -> List[str]:
+        return [f"n{i}" for i in range(self.n_int_vars)]
+
+
+DEFAULT_CONFIG = GenConfig()
+
+
+# ---------------------------------------------------------------------------
+# Choosers: the three primitive decisions the builder makes
+# ---------------------------------------------------------------------------
+
+
+class Chooser:
+    """Source of generator decisions.
+
+    Implementations: :class:`RandomChooser` (seeded PRNG, fuzzing) and
+    the hypothesis-backed chooser inside :func:`programs` (property
+    tests, shrinkable).
+    """
+
+    def integer(self, lo: int, hi: int) -> int:
+        """Uniform integer in ``[lo, hi]`` inclusive."""
+        raise NotImplementedError
+
+    def choice(self, options: Sequence):
+        """One element of ``options``."""
+        raise NotImplementedError
+
+    def boolean(self) -> bool:
+        """A fair coin."""
+        raise NotImplementedError
+
+
+class RandomChooser(Chooser):
+    """Chooser backed by a (seeded) :class:`random.Random`."""
+
+    def __init__(self, rng: Union[random.Random, int]) -> None:
+        self._rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+
+    def integer(self, lo: int, hi: int) -> int:
+        return self._rng.randint(lo, hi)
+
+    def choice(self, options: Sequence):
+        return options[self._rng.randrange(len(options))]
+
+    def boolean(self) -> bool:
+        return self._rng.random() < 0.5
+
+
+# ---------------------------------------------------------------------------
+# The shared AST builder
+# ---------------------------------------------------------------------------
+
+
+def build_bool_expr(
+    ch: Chooser,
+    defined: Sequence[str],
+    config: GenConfig = DEFAULT_CONFIG,
+    depth: Optional[int] = None,
+) -> Expr:
+    """A boolean expression over the defined boolean variables."""
+    if depth is None:
+        depth = config.max_expr_depth
+    available = [v for v in defined if v.startswith("b")]
+    if depth <= 0 or ch.integer(0, 2) == 0:
+        # Leaf: a variable when one exists (2/3 of the time), else a
+        # constant.
+        if available and ch.integer(0, 2) != 0:
+            return Var(ch.choice(available))
+        return Const(ch.boolean())
+    op = ch.choice(["!", "&&", "||"])
+    if op == "!":
+        return Unary("!", build_bool_expr(ch, defined, config, depth - 1))
+    return Binary(
+        op,
+        build_bool_expr(ch, defined, config, depth - 1),
+        build_bool_expr(ch, defined, config, depth - 1),
+    )
+
+
+def build_int_expr(
+    ch: Chooser,
+    defined: Sequence[str],
+    config: GenConfig = DEFAULT_CONFIG,
+    depth: Optional[int] = None,
+) -> Expr:
+    """A small integer expression over the defined integer variables.
+
+    Multiplication only by a small constant: ``n = n * n`` inside a
+    loop doubles the bit length every iteration, and the exact
+    engine's loop peeling then builds gigabyte-sized bignums before
+    the tail mass underflows.  Constant factors keep growth linear.
+    """
+    if depth is None:
+        depth = config.max_expr_depth
+    available = [v for v in defined if v.startswith("n")]
+    if depth <= 0 or ch.integer(0, 2) == 0:
+        if available and ch.integer(0, 2) != 0:
+            return Var(ch.choice(available))
+        return Const(ch.integer(0, config.max_int_const))
+    op = ch.choice(["+", "-", "*"])
+    if op == "*":
+        return Binary(
+            "*",
+            Const(ch.integer(0, config.max_int_const)),
+            build_int_expr(ch, defined, config, depth - 1),
+        )
+    return Binary(
+        op,
+        build_int_expr(ch, defined, config, depth - 1),
+        build_int_expr(ch, defined, config, depth - 1),
+    )
+
+
+def _build_statements(
+    ch: Chooser,
+    defined: List[str],
+    config: GenConfig,
+    depth: int,
+    allow_loops: bool,
+) -> List[Stmt]:
+    hi = config.max_nested_stmts if depth else config.max_top_stmts
+    n = ch.integer(1, max(1, hi))
+    kinds = ["sample_b", "sample_n", "assign_b", "assign_n"]
+    if depth < config.max_depth:
+        kinds.append("if")
+    if config.allow_observes:
+        kinds.append("observe")
+    if allow_loops and config.allow_loops and depth == 0:
+        kinds.append("while")
+    out: List[Stmt] = []
+    for _ in range(n):
+        kind = ch.choice(kinds)
+        if kind == "sample_b":
+            name = ch.choice(config.bool_vars)
+            p = ch.choice(config.prob_palette)
+            out.append(Sample(name, DistCall("Bernoulli", (Const(p),))))
+            if name not in defined:
+                defined.append(name)
+        elif kind == "sample_n":
+            name = ch.choice(config.int_vars)
+            lo = ch.integer(0, 1)
+            hi_ = lo + ch.integer(0, 2)
+            out.append(
+                Sample(name, DistCall("DiscreteUniform", (Const(lo), Const(hi_))))
+            )
+            if name not in defined:
+                defined.append(name)
+        elif kind == "assign_b":
+            name = ch.choice(config.bool_vars)
+            out.append(Assign(name, build_bool_expr(ch, defined, config)))
+            if name not in defined:
+                defined.append(name)
+        elif kind == "assign_n":
+            name = ch.choice(config.int_vars)
+            out.append(Assign(name, build_int_expr(ch, defined, config)))
+            if name not in defined:
+                defined.append(name)
+        elif kind == "observe":
+            cond = build_bool_expr(ch, defined, config)
+            if config.weaken_observes:
+                # Weaken with a fresh coin so full blocking is rare.
+                helper = ch.choice(config.bool_vars)
+                out.append(Sample(helper, DistCall("Bernoulli", (Const(0.7),))))
+                if helper not in defined:
+                    defined.append(helper)
+                out.append(Observe(Binary("||", cond, Var(helper))))
+            else:
+                out.append(Observe(cond))
+        elif kind == "if":
+            cond = build_bool_expr(ch, defined, config)
+            then_defined = list(defined)
+            then_branch = seq(
+                *_build_statements(ch, then_defined, config, depth + 1, allow_loops)
+            )
+            else_defined = list(defined)
+            else_branch = seq(
+                *_build_statements(ch, else_defined, config, depth + 1, allow_loops)
+            )
+            out.append(If(cond, then_branch, else_branch))
+            # Only variables defined on *both* branches (or before) are
+            # definitely defined afterwards.
+            defined[:] = [
+                v
+                for v in set(then_defined) | set(else_defined)
+                if v in then_defined and v in else_defined
+            ]
+        else:  # while
+            loop_var = ch.choice(config.bool_vars)
+            p = ch.choice(config.loop_continue_probs)
+            body_defined = list(defined) + [loop_var]
+            body = _build_statements(ch, body_defined, config, depth + 1, False)
+            body.append(Sample(loop_var, DistCall("Bernoulli", (Const(p),))))
+            out.append(Sample(loop_var, DistCall("Bernoulli", (Const(p),))))
+            out.append(While(Var(loop_var), seq(*body)))
+            if loop_var not in defined:
+                defined.append(loop_var)
+    return out
+
+
+def build_program(ch: Chooser, config: GenConfig = DEFAULT_CONFIG) -> Program:
+    """A random well-formed finite discrete PROB program."""
+    defined: List[str] = []
+    stmts = _build_statements(ch, defined, config, 0, config.allow_loops)
+    body = seq(*stmts)
+    if ch.boolean():
+        ret = build_bool_expr(ch, defined, config)
+    else:
+        ret = build_int_expr(ch, defined, config)
+    return Program(body, ret)
+
+
+# ---------------------------------------------------------------------------
+# Fuzzer front end
+# ---------------------------------------------------------------------------
+
+
+def generate_program(
+    seed: Union[int, random.Random],
+    config: GenConfig = DEFAULT_CONFIG,
+) -> Program:
+    """One random program from a seed (or a live RNG)."""
+    return build_program(RandomChooser(seed), config)
+
+
+def program_stream(
+    seed: int, config: GenConfig = DEFAULT_CONFIG
+) -> Iterator[Tuple[int, Program]]:
+    """An infinite deterministic stream ``(index, program)``.
+
+    Program ``i`` is generated from its own derived seed, so any
+    single program from a campaign can be regenerated without
+    replaying the stream prefix:
+    ``generate_program(derive_seed(seed, i))``.
+    """
+    i = 0
+    while True:
+        yield i, generate_program(derive_seed(seed, i), config)
+        i += 1
+
+
+def derive_seed(master: int, index: int) -> int:
+    """The seed for campaign program ``index`` under ``master``."""
+    # Mirrors the runtime's SHA-based stream idea at much lower cost:
+    # a fixed odd multiplier decorrelates consecutive indices.
+    return (master * 0x9E3779B97F4A7C15 + index) % (2**63)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis front end (lazy import: repro.qa works without hypothesis)
+# ---------------------------------------------------------------------------
+
+
+def programs(allow_loops: bool = True, config: Optional[GenConfig] = None):
+    """Hypothesis strategy for random well-formed PROB programs.
+
+    Every decision routes through ``draw``, so hypothesis's shrinker
+    applies.  Requires hypothesis (a test dependency); imported lazily
+    so the fuzzer never needs it.
+    """
+    from hypothesis import strategies as st
+
+    cfg = config if config is not None else DEFAULT_CONFIG
+    if not allow_loops:
+        cfg = replace(cfg, allow_loops=False)
+
+    @st.composite
+    def _programs(draw) -> Program:
+        return build_program(_HypothesisChooser(draw), cfg)
+
+    return _programs()
+
+
+class _HypothesisChooser(Chooser):
+    """Chooser that answers every decision via a hypothesis ``draw``."""
+
+    def __init__(self, draw) -> None:
+        self._draw = draw
+
+    def integer(self, lo: int, hi: int) -> int:
+        from hypothesis import strategies as st
+
+        return self._draw(st.integers(min_value=lo, max_value=hi))
+
+    def choice(self, options: Sequence):
+        from hypothesis import strategies as st
+
+        return self._draw(st.sampled_from(list(options)))
+
+    def boolean(self) -> bool:
+        from hypothesis import strategies as st
+
+        return self._draw(st.booleans())
+
+
+def bool_exprs(defined: Sequence[str], config: GenConfig = DEFAULT_CONFIG):
+    """Hypothesis strategy: boolean expressions over ``defined``."""
+    from hypothesis import strategies as st
+
+    @st.composite
+    def _exprs(draw) -> Expr:
+        return build_bool_expr(_HypothesisChooser(draw), list(defined), config)
+
+    return _exprs()
+
+
+def int_exprs(defined: Sequence[str], config: GenConfig = DEFAULT_CONFIG):
+    """Hypothesis strategy: small integer expressions over ``defined``."""
+    from hypothesis import strategies as st
+
+    @st.composite
+    def _exprs(draw) -> Expr:
+        return build_int_expr(_HypothesisChooser(draw), list(defined), config)
+
+    return _exprs()
+
+
+# ---------------------------------------------------------------------------
+# Seed-corpus reader/writer
+# ---------------------------------------------------------------------------
+
+
+def save_program(
+    path: Union[str, Path],
+    program: Program,
+    header: Optional[str] = None,
+) -> Path:
+    """Write ``program`` to ``path`` in canonical ``.prob`` syntax.
+
+    ``header`` lines (if any) are emitted as ``//`` comments, so
+    provenance (generator seed, oracle that failed) travels with the
+    file.  The parent directory is created if needed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = pretty(program)
+    if header:
+        lines = "".join(f"// {line}\n" for line in header.splitlines())
+        text = lines + text
+    path.write_text(text)
+    return path
+
+
+def load_program(path: Union[str, Path]) -> Program:
+    """Parse a ``.prob`` corpus file back into a program."""
+    return parse(Path(path).read_text())
+
+
+def iter_corpus(directory: Union[str, Path]) -> Iterator[Tuple[Path, Program]]:
+    """Yield ``(path, program)`` for every ``.prob`` file under
+    ``directory``, in sorted order (deterministic replay)."""
+    root = Path(directory)
+    if not root.is_dir():
+        return
+    for path in sorted(root.rglob("*.prob")):
+        yield path, load_program(path)

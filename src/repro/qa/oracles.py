@@ -1,0 +1,768 @@
+"""Distribution-equivalence and differential oracles.
+
+Theorem 1 guarantees ``P`` and ``SLI(P)`` have identical normalized
+output distributions.  The oracles here turn that guarantee (and the
+repository's backend-equivalence guarantees) into executable checks a
+fuzz campaign can run at scale:
+
+* :class:`ExactEquivalenceOracle` — for finite programs, the
+  enumeration engine computes the exact output distribution of the
+  original and of every distribution-preserving pipeline variant
+  (``sli``, ``sli --simplify``, ``sli`` without OBS, ``nt_slice``);
+  total-variation distance must be zero (up to float tolerance).
+  ``naive_slice`` is *excluded* from this check on purpose: it is the
+  paper's known-unsound baseline (Example 4 — it drops observes).
+* :class:`BackendEquivalenceOracle` — the interpreter and the compiled
+  executor must produce *bit-identical* runs (value, likelihood,
+  trace, statement count) from the same RNG stream, on the original
+  and on every pipeline variant (``naive_slice`` included: unsound as
+  a slicer, its output is still a program both backends must agree on).
+* :class:`BayesNetOracle` — for loop-free compilable programs,
+  Bayes-net compilation + variable elimination must match enumeration.
+* :class:`SamplerEquivalenceOracle` — every sampling engine, run with
+  a fixed derived seed stream on the original and on the ``sli``
+  slice, must pass a chi-square goodness-of-fit test against the
+  exact distribution (Bonferroni-corrected so a campaign of thousands
+  of programs keeps a bounded family-wise false-alarm rate).  Weighted
+  samplers (likelihood weighting, SMC) are tested at their Kish
+  effective sample size.
+
+Every oracle reports :class:`Disagreement` records and never raises
+on *expected* inapplicability (continuous programs, zero normalizers,
+unsupported features) — those are skips, counted by the campaign.  An
+unexpected exception inside an engine or transform *is* reported as a
+disagreement of kind ``crash``: the fuzzer's job is exactly to find
+those.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import traceback
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.ast import Program
+from ..core.fingerprint import program_fingerprint
+from ..core.printer import pretty
+from ..inference import (
+    ChurchTraceMH,
+    GibbsSampler,
+    InferenceError,
+    LikelihoodWeighting,
+    MetropolisHastings,
+    RejectionSampler,
+    SMCSampler,
+    UnsupportedProgramError,
+    has_loop,
+    has_soft_conditioning,
+)
+from ..semantics.distribution import FiniteDist
+from ..semantics.exact import ExactEngineError, ExactResult, exact_inference
+from ..semantics.executor import NonTerminatingRun, run_program
+from ..transforms import naive_slice, nt_slice, sli
+
+__all__ = [
+    "Disagreement",
+    "OracleConfig",
+    "Oracle",
+    "ExactEquivalenceOracle",
+    "BackendEquivalenceOracle",
+    "BayesNetOracle",
+    "SamplerEquivalenceOracle",
+    "ORACLE_TYPES",
+    "default_oracle_names",
+    "make_oracles",
+    "run_oracles",
+    "format_report",
+    "chi_square_gof",
+    "chi2_sf",
+]
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One oracle violation.
+
+    ``kind`` is ``"distribution"`` (normalized output distributions
+    differ), ``"backend"`` (interpreter and compiled executor
+    diverged), ``"statistical"`` (a sampler failed its goodness-of-fit
+    test beyond the corrected threshold), or ``"crash"`` (an engine or
+    transform raised an unexpected exception).  ``subject`` and
+    ``reference`` name the two sides that were compared; ``metric`` is
+    the oracle's distance/p-value when one exists.
+    """
+
+    oracle: str
+    kind: str
+    subject: str
+    reference: str
+    detail: str
+    metric: Optional[float] = None
+
+    def describe(self) -> str:
+        m = "" if self.metric is None else f" (metric={self.metric:.3g})"
+        return (
+            f"[{self.oracle}] {self.kind}: {self.subject} vs "
+            f"{self.reference}{m}: {self.detail}"
+        )
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Shared oracle tuning.
+
+    ``alpha`` is the *family-wise* false-alarm budget of the whole
+    campaign for the statistical oracle; each individual test runs at
+    ``alpha / max(1, n_comparisons)`` (Bonferroni).  The campaign
+    driver sets ``n_comparisons`` to its total planned test count.
+    Fixed seeds make every check deterministic: a passing campaign
+    passes forever.
+    """
+
+    #: RNG seeds for the backend trace-equality runs.
+    seeds: Tuple[int, ...] = (0, 1, 2)
+    #: Draws per sampling engine in the statistical oracle.
+    n_samples: int = 1200
+    #: Family-wise false-alarm budget for the statistical oracle.
+    alpha: float = 1e-4
+    #: Bonferroni divisor (number of statistical tests in the family).
+    n_comparisons: int = 1
+    #: Absolute tolerance for the exact-distribution comparison.
+    atol: float = 1e-9
+    #: Sampling engines exercised by the statistical oracle.
+    engines: Tuple[str, ...] = (
+        "rejection",
+        "importance",
+        "mh",
+        "church",
+        "gibbs",
+        "smc",
+    )
+    #: MH burn-in (kept small — QA programs are tiny).
+    burn_in: int = 200
+    #: Attempt budget multiplier for rejection sampling.
+    max_attempts_factor: int = 400
+
+    @property
+    def corrected_alpha(self) -> float:
+        return self.alpha / max(1, self.n_comparisons)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline variants under test
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One transformed version of the program under test."""
+
+    name: str
+    program: Program
+    #: Whether Theorem 1 applies (``naive_slice`` is the known-unsound
+    #: baseline, so only backend self-consistency is checked on it).
+    distribution_preserving: bool
+
+
+def program_variants(program: Program) -> Tuple[List[Variant], List[Disagreement]]:
+    """All pipeline variants of ``program``, plus crash reports for
+    any pipeline that failed to run at all."""
+    variants = [Variant("original", program, True)]
+    crashes: List[Disagreement] = []
+    builders: List[Tuple[str, bool, Callable[[Program], Program]]] = [
+        ("sli", True, lambda p: sli(p).sliced),
+        ("sli+simplify", True, lambda p: sli(p, simplify=True).sliced),
+        ("sli-no-obs", True, lambda p: sli(p, use_obs=False).sliced),
+        ("nt_slice", True, lambda p: nt_slice(p).sliced),
+        ("naive_slice", False, lambda p: naive_slice(p).sliced),
+    ]
+    for name, preserving, build in builders:
+        try:
+            variants.append(Variant(name, build(program), preserving))
+        except Exception:
+            crashes.append(
+                Disagreement(
+                    oracle="transform",
+                    kind="crash",
+                    subject=name,
+                    reference="original",
+                    detail=traceback.format_exc(limit=6),
+                )
+            )
+    return variants, crashes
+
+
+# ---------------------------------------------------------------------------
+# Chi-square machinery (scipy-gated with a pure-python fallback)
+# ---------------------------------------------------------------------------
+
+
+def chi2_sf(stat: float, dof: int) -> float:
+    """Chi-square survival function ``P(X >= stat)``.
+
+    Uses scipy when available; otherwise the regularized upper
+    incomplete gamma function ``Q(dof/2, stat/2)`` via the standard
+    series / continued-fraction split (Numerical Recipes ``gammq``).
+    """
+    if stat <= 0.0:
+        return 1.0
+    if dof <= 0:
+        return 1.0
+    try:
+        from scipy.stats import chi2
+
+        return float(chi2.sf(stat, dof))
+    except ImportError:  # pragma: no cover - exercised without scipy only
+        return _gammq(dof / 2.0, stat / 2.0)
+
+
+def _gammq(a: float, x: float) -> float:  # pragma: no cover - scipy fallback
+    """Regularized upper incomplete gamma ``Q(a, x)``."""
+    if x < a + 1.0:
+        # Series for P(a, x); Q = 1 - P.
+        term = 1.0 / a
+        total = term
+        n = a
+        for _ in range(500):
+            n += 1.0
+            term *= x / n
+            total += term
+            if abs(term) < abs(total) * 1e-15:
+                break
+        p = total * math.exp(-x + a * math.log(x) - math.lgamma(a))
+        return max(0.0, 1.0 - p)
+    # Continued fraction for Q(a, x) (modified Lentz).
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 500):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    return h * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def chi_square_gof(
+    empirical: FiniteDist,
+    expected: FiniteDist,
+    n_effective: float,
+) -> Tuple[float, float, int]:
+    """Pearson goodness-of-fit of ``empirical`` against ``expected``.
+
+    Returns ``(p_value, statistic, dof)``.  Bins with expected count
+    below 5 are pooled into one (standard Cochran guard); observing a
+    value *outside* the expected support is an immediate fail
+    (``p = 0``) — a sampler must never emit an impossible value.
+    """
+    support = expected.support()
+    outside = sum(
+        empirical.prob(v) for v in empirical.support() if v not in set(support)
+    )
+    if outside > 0.0:
+        return 0.0, math.inf, max(1, len(support) - 1)
+    pooled_obs = 0.0
+    pooled_exp = 0.0
+    stat = 0.0
+    bins = 0
+    for v in support:
+        e = expected.prob(v) * n_effective
+        o = empirical.prob(v) * n_effective
+        if e < 5.0:
+            pooled_obs += o
+            pooled_exp += e
+            continue
+        stat += (o - e) ** 2 / e
+        bins += 1
+    if pooled_exp > 0.0:
+        stat += (pooled_obs - pooled_exp) ** 2 / pooled_exp
+        bins += 1
+    dof = bins - 1
+    if dof <= 0:
+        # Single-bin support: the outside-support check above is the
+        # whole test.
+        return 1.0, stat, 0
+    return chi2_sf(stat, dof), stat, dof
+
+
+# ---------------------------------------------------------------------------
+# The oracles
+# ---------------------------------------------------------------------------
+
+
+class Oracle:
+    """Interface: ``check(program)`` returns disagreements (empty =
+    agreement), ``applicable(program)`` gates expensive checks."""
+
+    name: str = "oracle"
+
+    def __init__(self, config: OracleConfig = OracleConfig()) -> None:
+        self.config = config
+
+    def applicable(self, program: Program) -> bool:
+        return True
+
+    def check(self, program: Program) -> List[Disagreement]:
+        raise NotImplementedError
+
+
+def _try_exact(program: Program) -> Optional[ExactResult]:
+    """Exact result, or ``None`` for degenerate/out-of-reach programs."""
+    try:
+        return exact_inference(program)
+    except (ValueError, ExactEngineError):
+        return None
+
+
+class ExactEquivalenceOracle(Oracle):
+    """TV distance between the original's and every preserving
+    variant's exact output distribution must be (float-)zero."""
+
+    name = "exact"
+
+    def check(self, program: Program) -> List[Disagreement]:
+        base = _try_exact(program)
+        if base is None:
+            return []
+        variants, out = program_variants(program)
+        for variant in variants[1:]:
+            if not variant.distribution_preserving:
+                continue
+            try:
+                got = exact_inference(variant.program)
+            except (ValueError, ExactEngineError):
+                out.append(
+                    Disagreement(
+                        oracle=self.name,
+                        kind="distribution",
+                        subject=variant.name,
+                        reference="original",
+                        detail=(
+                            "variant is degenerate/unenumerable but the "
+                            "original has a positive normalizer"
+                        ),
+                    )
+                )
+                continue
+            except Exception:
+                out.append(
+                    Disagreement(
+                        oracle=self.name,
+                        kind="crash",
+                        subject=variant.name,
+                        reference="original",
+                        detail=traceback.format_exc(limit=6),
+                    )
+                )
+                continue
+            tv = base.distribution.tv_distance(got.distribution)
+            if not base.distribution.allclose(
+                got.distribution, atol=self.config.atol
+            ):
+                out.append(
+                    Disagreement(
+                        oracle=self.name,
+                        kind="distribution",
+                        subject=variant.name,
+                        reference="original",
+                        detail=(
+                            f"exact output distributions differ: "
+                            f"{base.distribution!r} vs {got.distribution!r}"
+                        ),
+                        metric=tv,
+                    )
+                )
+        return out
+
+
+class BackendEquivalenceOracle(Oracle):
+    """Interpreter vs compiled executor: same seed, identical run."""
+
+    name = "backends"
+
+    def check(self, program: Program) -> List[Disagreement]:
+        from ..semantics.compiled import compile_program as compile_executable
+
+        variants, out = program_variants(program)
+        for variant in variants:
+            try:
+                executable = compile_executable(variant.program)
+            except Exception:
+                out.append(
+                    Disagreement(
+                        oracle=self.name,
+                        kind="crash",
+                        subject=f"compiled[{variant.name}]",
+                        reference=f"interp[{variant.name}]",
+                        detail=traceback.format_exc(limit=6),
+                    )
+                )
+                continue
+            for seed in self.config.seeds:
+                out.extend(self._compare_run(variant, executable, seed))
+        return out
+
+    def _compare_run(self, variant, executable, seed) -> List[Disagreement]:
+        def run(fn):
+            try:
+                return fn(random.Random(seed)), None
+            except NonTerminatingRun:
+                return None, "non-terminating"
+            except Exception:
+                return None, traceback.format_exc(limit=6)
+
+        interp, interp_err = run(
+            lambda rng: run_program(variant.program, rng)
+        )
+        compiled, compiled_err = run(lambda rng: executable.run(rng))
+        where = f"{variant.name}@seed={seed}"
+        if interp_err != compiled_err:
+            return [
+                Disagreement(
+                    oracle=self.name,
+                    kind="backend",
+                    subject=f"compiled[{where}]",
+                    reference=f"interp[{where}]",
+                    detail=(
+                        f"error behaviour differs: interpreter "
+                        f"{interp_err or 'succeeded'}, compiled "
+                        f"{compiled_err or 'succeeded'}"
+                    ),
+                )
+            ]
+        if interp is None:
+            return []  # both raised the same way
+        mismatches = []
+        for field_name in ("value", "log_likelihood", "statements_executed"):
+            a = getattr(interp, field_name)
+            b = getattr(compiled, field_name)
+            if a != b:
+                mismatches.append(f"{field_name}: {a!r} != {b!r}")
+        if interp.trace != compiled.trace:
+            mismatches.append("traces differ")
+        if mismatches:
+            return [
+                Disagreement(
+                    oracle=self.name,
+                    kind="backend",
+                    subject=f"compiled[{where}]",
+                    reference=f"interp[{where}]",
+                    detail="; ".join(mismatches),
+                )
+            ]
+        return []
+
+
+class BayesNetOracle(Oracle):
+    """Bayes-net compile + variable elimination vs enumeration."""
+
+    name = "bayesnet"
+
+    def applicable(self, program: Program) -> bool:
+        return not has_loop(program)
+
+    def check(self, program: Program) -> List[Disagreement]:
+        from ..bayesnet import (
+            BayesNetError,
+            CompileError,
+            compile_program,
+            variable_elimination,
+        )
+        from ..transforms import preprocess
+
+        base = _try_exact(program)
+        if base is None:
+            return []
+        try:
+            compiled = compile_program(preprocess(program))
+        except CompileError:
+            return []
+        try:
+            post = variable_elimination(
+                compiled.net, compiled.query, compiled.evidence
+            )
+        except BayesNetError:
+            # Inconsistent-evidence refusal mirrors a zero normalizer;
+            # VE's evidence patterns are narrower than the executor's,
+            # so a refusal here is inapplicability, not a bug.
+            return []
+        except Exception:
+            return [
+                Disagreement(
+                    oracle=self.name,
+                    kind="crash",
+                    subject="variable-elimination",
+                    reference="enumeration",
+                    detail=traceback.format_exc(limit=6),
+                )
+            ]
+        if not post.allclose(base.distribution, atol=self.config.atol):
+            return [
+                Disagreement(
+                    oracle=self.name,
+                    kind="distribution",
+                    subject="variable-elimination",
+                    reference="enumeration",
+                    detail=(
+                        f"VE posterior {post!r} != exact "
+                        f"{base.distribution!r}"
+                    ),
+                    metric=post.tv_distance(base.distribution),
+                )
+            ]
+        return []
+
+
+class SamplerEquivalenceOracle(Oracle):
+    """Every sampling engine, on the original and on the SLI slice,
+    must fit the exact distribution (chi-square, Bonferroni)."""
+
+    name = "samplers"
+
+    def check(self, program: Program) -> List[Disagreement]:
+        base = _try_exact(program)
+        if base is None:
+            return []
+        out: List[Disagreement] = []
+        try:
+            sliced = sli(program).sliced
+            subjects = [("original", program), ("sli", sliced)]
+        except Exception:
+            # The exact oracle owns transform crashes; still test the
+            # original program here.
+            subjects = [("original", program)]
+        for engine_name in self.config.engines:
+            for subject_name, subject in subjects:
+                out.extend(
+                    self._check_engine(engine_name, subject_name, subject, base)
+                )
+        return out
+
+    def _engine(self, engine_name: str, seed: int):
+        cfg = self.config
+        n = cfg.n_samples
+        if engine_name == "rejection":
+            return RejectionSampler(
+                n_samples=n,
+                seed=seed,
+                max_attempts=n * cfg.max_attempts_factor,
+            )
+        if engine_name == "importance":
+            return LikelihoodWeighting(n_samples=n, seed=seed)
+        if engine_name == "mh":
+            return MetropolisHastings(
+                n_samples=n, burn_in=cfg.burn_in, seed=seed
+            )
+        if engine_name == "church":
+            return ChurchTraceMH(
+                n_samples=n, burn_in=cfg.burn_in, seed=seed, overhead=1
+            )
+        if engine_name == "gibbs":
+            return GibbsSampler(n_samples=n, burn_in=cfg.burn_in, seed=seed)
+        if engine_name == "smc":
+            return SMCSampler(n_particles=n, seed=seed)
+        raise ValueError(f"unknown engine {engine_name!r}")
+
+    def _applicable(self, engine_name: str, program: Program) -> bool:
+        if engine_name == "rejection" and has_soft_conditioning(program):
+            return False
+        if engine_name == "gibbs" and has_loop(program):
+            return False
+        if engine_name == "smc" and has_loop(program):
+            # SMC pauses at every conditioning point and a resample
+            # clone replays the particle's whole prefix, so observes
+            # inside loops make cloning quadratic in the iteration
+            # count — far too slow for a fuzz loop.
+            return False
+        return True
+
+    def _check_engine(
+        self,
+        engine_name: str,
+        subject_name: str,
+        program: Program,
+        base: ExactResult,
+    ) -> List[Disagreement]:
+        if not self._applicable(engine_name, program):
+            return []
+        # A fixed seed derived from (program, engine, subject): the
+        # same campaign always draws the same streams, so a passing
+        # run is reproducibly passing.
+        seed = int(
+            program_fingerprint(
+                program, engine=engine_name, subject=subject_name
+            )[:12],
+            16,
+        )
+        engine = self._engine(engine_name, seed)
+        try:
+            result = engine.infer(program)
+        except (UnsupportedProgramError, InferenceError):
+            # Legitimate refusals (unsupported features, exhausted
+            # budgets on low-acceptance programs) are skips; the
+            # campaign counts them.
+            return []
+        except Exception:
+            return [
+                Disagreement(
+                    oracle=self.name,
+                    kind="crash",
+                    subject=f"{engine_name}[{subject_name}]",
+                    reference="enumeration",
+                    detail=traceback.format_exc(limit=6),
+                )
+            ]
+        try:
+            empirical = result.distribution()
+        except InferenceError:
+            return []
+        n_eff = _effective_draws(
+            result, mcmc=engine_name in ("mh", "church", "gibbs")
+        )
+        if n_eff < 50.0:
+            return []  # too few effective draws for a meaningful test
+        p_value, stat, dof = chi_square_gof(empirical, base.distribution, n_eff)
+        if p_value < self.config.corrected_alpha:
+            return [
+                Disagreement(
+                    oracle=self.name,
+                    kind="statistical",
+                    subject=f"{engine_name}[{subject_name}]",
+                    reference="enumeration",
+                    detail=(
+                        f"chi-square GOF failed: stat={stat:.2f} dof={dof} "
+                        f"n_eff={n_eff:.0f} p={p_value:.3g} < "
+                        f"alpha={self.config.corrected_alpha:.3g}; "
+                        f"tv={empirical.tv_distance(base.distribution):.4f}"
+                    ),
+                    metric=p_value,
+                )
+            ]
+        return []
+
+
+def _effective_draws(result, mcmc: bool = False) -> float:
+    """Kish effective sample size for weighted results; for MCMC
+    chains, the autocorrelation-based ESS (single-site kernels update
+    the returned variable only a fraction of the steps, so treating
+    the chain as ``n`` independent draws makes the chi-square test
+    reject correct engines — the fuzzer found exactly that); the raw
+    count otherwise.  Particle populations are additionally capped by
+    their surviving lineage count: resampling after a rare hard
+    observe can leave thousands of particles descending from a handful
+    of ancestors (the burglar-alarm model collapses ~1200 particles to
+    ~10 genealogies), and treating those as independent draws makes
+    the test reject a correct, merely high-variance engine."""
+    if result.weights is None:
+        if mcmc:
+            from ..inference.base import effective_sample_size
+
+            return effective_sample_size(
+                [float(s) for s in result.samples]
+            )
+        return float(len(result.samples))
+    total = sum(result.weights)
+    if total <= 0.0:
+        return 0.0
+    sq = sum(w * w for w in result.weights)
+    if sq <= 0.0:
+        return 0.0
+    kish = total * total / sq
+    if result.lineages is not None:
+        return min(kish, float(result.lineages))
+    return kish
+
+
+# ---------------------------------------------------------------------------
+# Registry and campaign helpers
+# ---------------------------------------------------------------------------
+
+
+ORACLE_TYPES: Dict[str, type] = {
+    "backends": BackendEquivalenceOracle,
+    "exact": ExactEquivalenceOracle,
+    "bayesnet": BayesNetOracle,
+    "samplers": SamplerEquivalenceOracle,
+}
+
+
+def default_oracle_names() -> Tuple[str, ...]:
+    return ("backends", "exact", "bayesnet", "samplers")
+
+
+def make_oracles(
+    names: Optional[Sequence[str]] = None,
+    config: OracleConfig = OracleConfig(),
+) -> List[Oracle]:
+    """Instantiate oracles by name (all four by default)."""
+    chosen = tuple(names) if names else default_oracle_names()
+    oracles = []
+    for name in chosen:
+        try:
+            oracle_type = ORACLE_TYPES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown oracle {name!r}; known: {', '.join(ORACLE_TYPES)}"
+            ) from None
+        oracles.append(oracle_type(config))
+    return oracles
+
+
+def run_oracles(
+    program: Program, oracles: Sequence[Oracle]
+) -> List[Disagreement]:
+    """Run every applicable oracle on ``program``."""
+    out: List[Disagreement] = []
+    for oracle in oracles:
+        if oracle.applicable(program):
+            out.extend(oracle.check(program))
+    return out
+
+
+def format_report(
+    program: Program,
+    disagreements: Sequence[Disagreement],
+    shrunk: Optional[Program] = None,
+    seed: Optional[int] = None,
+) -> str:
+    """Human-readable disagreement report for the crash corpus."""
+    lines = ["oracle disagreement report", "=" * 60]
+    if seed is not None:
+        lines.append(f"generator seed: {seed}")
+    lines.append(f"fingerprint: {program_fingerprint(program)[:16]}")
+    lines.append("")
+    for d in disagreements:
+        lines.append(d.describe())
+    lines.append("")
+    lines.append("original program:")
+    lines.append(pretty(program).rstrip())
+    if shrunk is not None:
+        lines.append("")
+        lines.append("shrunk counterexample:")
+        lines.append(pretty(shrunk).rstrip())
+    lines.append("")
+    return "\n".join(lines)
+
+
+# Re-exported convenience: a config tuned for quick smoke runs.
+def smoke_config(n_comparisons: int = 1) -> OracleConfig:
+    """A cheaper configuration for CI smoke campaigns."""
+    return replace(
+        OracleConfig(),
+        n_samples=600,
+        seeds=(0, 1),
+        n_comparisons=n_comparisons,
+    )

@@ -1,0 +1,217 @@
+"""Delta-debugging counterexample shrinking.
+
+Given a failing program and a predicate ("these oracles still
+disagree"), :func:`shrink` greedily applies single-step reductions —
+statement-span deletion (ddmin-style, large spans first), branch and
+loop-body inlining, and expression simplification — re-validating and
+re-testing after each step, until no reduction preserves the failure.
+The result is a *1-minimal-ish* counterexample: every statement left
+matters.
+
+Candidates that break def-before-use are rejected before the
+(expensive) predicate runs.  Every accepted reduction bumps the
+``qa.shrink_steps`` counter; every predicate evaluation bumps
+``qa.shrink_candidates`` — so a trace of a fuzz campaign shows exactly
+how hard minimization worked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List
+
+from ..core.ast import (
+    SKIP,
+    Binary,
+    Block,
+    Const,
+    Expr,
+    If,
+    Observe,
+    Program,
+    Stmt,
+    Unary,
+    Var,
+    While,
+    block_items,
+    is_skip,
+    seq,
+    statement_count,
+)
+from ..core.validate import ValidationError, check_def_before_use
+from ..obs.recorder import current_recorder
+
+__all__ = ["ShrinkResult", "shrink", "reductions"]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of a shrink run.
+
+    ``steps`` counts accepted reductions, ``candidates`` the predicate
+    evaluations (accepted + rejected).
+    """
+
+    program: Program
+    steps: int
+    candidates: int
+
+    @property
+    def size(self) -> int:
+        return statement_count(self.program.body)
+
+
+def _is_valid(program: Program) -> bool:
+    try:
+        check_def_before_use(program)
+    except ValidationError:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Single-step reductions
+# ---------------------------------------------------------------------------
+
+
+def _expr_reductions(expr: Expr) -> Iterator[Expr]:
+    """Smaller expressions that could replace ``expr``.
+
+    Subterms first (they preserve the most structure), then boolean
+    constants for non-constant expressions.
+    """
+    if isinstance(expr, Binary):
+        yield expr.left
+        yield expr.right
+        for r in _expr_reductions(expr.left):
+            yield Binary(expr.op, r, expr.right)
+        for r in _expr_reductions(expr.right):
+            yield Binary(expr.op, expr.left, r)
+    elif isinstance(expr, Unary):
+        yield expr.operand
+        for r in _expr_reductions(expr.operand):
+            yield Unary(expr.op, r)
+    elif isinstance(expr, Var):
+        # Variables are leaves; constants would change which variables
+        # the program reads, handled well enough by statement deletion.
+        return
+
+
+def _spans(n: int) -> Iterator[tuple]:
+    """Deletion spans ``(start, length)`` over an ``n``-statement
+    block, largest first (classic ddmin schedule: halves, quarters,
+    then singles)."""
+    size = n // 2
+    while size >= 1:
+        for start in range(0, n - size + 1, size):
+            yield start, size
+        if size == 1:
+            break
+        size //= 2
+    if n == 1:
+        yield 0, 1
+
+
+def _stmt_reductions(stmt: Stmt) -> Iterator[Stmt]:
+    """Single-step reductions of one statement (possibly to ``SKIP``)."""
+    if isinstance(stmt, Block):
+        items: List[Stmt] = list(stmt.stmts)
+        n = len(items)
+        seen = set()
+        for start, size in _spans(n):
+            if (start, size) in seen:
+                continue
+            seen.add((start, size))
+            yield seq(*(items[:start] + items[start + size :]))
+        for i, child in enumerate(items):
+            for r in _stmt_reductions(child):
+                yield seq(*(items[:i] + [r] + items[i + 1 :]))
+    elif isinstance(stmt, If):
+        yield stmt.then_branch
+        yield stmt.else_branch
+        for r in _stmt_reductions(stmt.then_branch):
+            yield If(stmt.cond, r, stmt.else_branch)
+        for r in _stmt_reductions(stmt.else_branch):
+            yield If(stmt.cond, stmt.then_branch, r)
+        for c in _expr_reductions(stmt.cond):
+            yield If(c, stmt.then_branch, stmt.else_branch)
+    elif isinstance(stmt, While):
+        yield SKIP
+        yield stmt.body  # unroll once, drop the loop
+        for r in _stmt_reductions(stmt.body):
+            yield While(stmt.cond, r)
+        for c in _expr_reductions(stmt.cond):
+            yield While(c, stmt.body)
+    elif isinstance(stmt, Observe):
+        for c in _expr_reductions(stmt.cond):
+            yield Observe(c)
+    elif not is_skip(stmt):
+        # Samples/assigns/factors: deletion (at the block level) is the
+        # only reduction; their right-hand sides are already minimal
+        # for counterexample-reading purposes.
+        return
+
+
+def reductions(program: Program) -> Iterator[Program]:
+    """All single-step reductions of ``program``.
+
+    Statement reductions first (largest deletions first — the ddmin
+    schedule), then return-expression simplifications.  Invalid
+    candidates (def-before-use violations) are filtered by the caller.
+    """
+    body_as_block = seq(*block_items(program.body))
+    for r in _stmt_reductions(body_as_block):
+        yield Program(r, program.ret)
+    for r in _expr_reductions(program.ret):
+        yield Program(program.body, r)
+    # Last resort: a constant return isolates failures that do not
+    # depend on the returned value at all (e.g. backend divergence).
+    if not isinstance(program.ret, Const):
+        yield Program(program.body, Const(True))
+
+
+# ---------------------------------------------------------------------------
+# The greedy shrink loop
+# ---------------------------------------------------------------------------
+
+
+def shrink(
+    program: Program,
+    predicate: Callable[[Program], bool],
+    max_candidates: int = 5_000,
+) -> ShrinkResult:
+    """Greedily minimize ``program`` while ``predicate`` holds.
+
+    ``predicate(candidate)`` must return True iff the candidate still
+    exhibits the failure (the fuzz driver re-runs its oracles).  The
+    original program is assumed failing; callers should verify that
+    before shrinking.  ``max_candidates`` bounds total predicate
+    evaluations, so shrinking always terminates quickly even when the
+    predicate is expensive.
+    """
+    rec = current_recorder()
+    current = program
+    steps = 0
+    candidates = 0
+    with rec.span("qa.shrink"):
+        improved = True
+        while improved and candidates < max_candidates:
+            improved = False
+            for candidate in reductions(current):
+                if candidates >= max_candidates:
+                    break
+                if statement_count(candidate.body) > statement_count(
+                    current.body
+                ):
+                    continue
+                if candidate == current or not _is_valid(candidate):
+                    continue
+                candidates += 1
+                rec.counter("qa.shrink_candidates")
+                if predicate(candidate):
+                    current = candidate
+                    steps += 1
+                    rec.counter("qa.shrink_steps")
+                    improved = True
+                    break
+    return ShrinkResult(program=current, steps=steps, candidates=candidates)

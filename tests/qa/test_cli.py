@@ -1,0 +1,144 @@
+"""``python -m repro.qa`` end-to-end (in-process via ``main``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parser import parse
+from repro.qa.__main__ import main
+from repro.qa.generate import derive_seed, generate_program, save_program
+
+
+class TestFuzzCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        status = main(
+            [
+                "fuzz",
+                "--time-budget", "20",
+                "--seed", "0",
+                "--max-programs", "6",
+                "--oracles", "exact,backends",
+                "--no-loops",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "fuzz:" in out
+        assert "0 disagreements" in out
+
+    def test_broken_slicer_exits_nonzero(self, monkeypatch, capsys, tmp_path):
+        from repro.analysis.influencers import dinf
+        import repro.passes.context as context
+
+        monkeypatch.setattr(
+            context,
+            "inf_fast",
+            lambda observed, graph, targets: dinf(graph, targets),
+        )
+        status = main(
+            [
+                "fuzz",
+                "--time-budget", "60",
+                "--seed", "0",
+                "--max-programs", "40",
+                "--oracles", "exact",
+                "--corpus", str(tmp_path),
+            ]
+        )
+        assert status == 1
+        out = capsys.readouterr().out
+        assert "--- crash" in out
+        assert list(tmp_path.glob("crash-*.prob"))
+
+    def test_metrics_summary_flag(self, capsys):
+        status = main(
+            [
+                "fuzz",
+                "--time-budget", "20",
+                "--seed", "0",
+                "--max-programs", "3",
+                "--oracles", "exact",
+                "--metrics-summary",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "qa.programs" in out
+
+    def test_trace_flag_writes_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        status = main(
+            [
+                "fuzz",
+                "--time-budget", "20",
+                "--seed", "0",
+                "--max-programs", "2",
+                "--oracles", "exact",
+                "--trace", str(trace),
+            ]
+        )
+        assert status == 0
+        assert trace.exists()
+        assert trace.read_text().strip()
+
+
+class TestReplayCommand:
+    def test_replay_clean(self, tmp_path, capsys):
+        for i in range(2):
+            save_program(
+                tmp_path / f"p{i}.prob", generate_program(derive_seed(0, i))
+            )
+        status = main(["replay", str(tmp_path), "--oracles", "exact"])
+        assert status == 0
+        assert "corpus clean" in capsys.readouterr().out
+
+
+class TestShrinkCommand:
+    def test_shrink_non_failing_program(self, tmp_path, capsys):
+        path = tmp_path / "fine.prob"
+        save_program(path, parse("b0 ~ Bernoulli(0.5); return b0;"))
+        status = main(["shrink", str(path), "--oracles", "exact"])
+        assert status == 1
+        assert "does not fail" in capsys.readouterr().err
+
+    def test_shrink_failing_program(self, monkeypatch, tmp_path, capsys):
+        from repro.analysis.influencers import dinf
+        import repro.passes.context as context
+
+        monkeypatch.setattr(
+            context,
+            "inf_fast",
+            lambda observed, graph, targets: dinf(graph, targets),
+        )
+        path = tmp_path / "bad.prob"
+        save_program(
+            path,
+            parse(
+                "b1 ~ Bernoulli(0.5); b2 ~ Bernoulli(0.5); "
+                "observe(b1 || b2); return b2;"
+            ),
+        )
+        status = main(["shrink", str(path), "--oracles", "exact"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "// [exact]" in out
+        assert "return" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        status = main(
+            ["shrink", str(tmp_path / "nope.prob"), "--oracles", "exact"]
+        )
+        assert status == 2
+        assert "error:" in capsys.readouterr().err
+
+
+def test_unknown_oracle_rejected(tmp_path):
+    with pytest.raises(ValueError, match="unknown oracle"):
+        main(
+            [
+                "fuzz",
+                "--max-programs", "1",
+                "--time-budget", "5",
+                "--oracles", "bogus",
+            ]
+        )

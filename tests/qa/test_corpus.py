@@ -1,0 +1,122 @@
+"""Seed-corpus replay: every program in ``tests/qa_corpus`` must stay
+clean under the full oracle stack, and the counterexample entries must
+keep witnessing the bugs they were minimized for.
+
+The corpus is the regression half of the QA story — benchmark models
+plus every shrunk counterexample the fuzzer ever found.  CI replays it
+both here and via ``python -m repro.qa replay tests/qa_corpus``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.core.validate import check_def_before_use
+from repro.inference import MetropolisHastings, SMCSampler
+from repro.qa.generate import iter_corpus, load_program
+from repro.qa.oracles import (
+    _effective_draws,
+    make_oracles,
+    run_oracles,
+    smoke_config,
+)
+from repro.semantics import exact_inference
+
+CORPUS = Path(__file__).resolve().parent.parent / "qa_corpus"
+
+
+def _load_regen():
+    spec = importlib.util.spec_from_file_location(
+        "qa_corpus_regen", CORPUS / "regen.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _entries():
+    return list(iter_corpus(CORPUS))
+
+
+class TestCorpusWellFormed:
+    def test_corpus_is_nonempty(self):
+        assert len(_entries()) >= 9
+
+    def test_every_entry_parses_and_validates(self):
+        for path, program in _entries():
+            check_def_before_use(program)
+
+    def test_benchmark_entries_match_registry(self):
+        # The .prob files are generated from repro.models; drift between
+        # the checked-in corpus and the registry means someone edited
+        # one without regenerating the other.
+        regen = _load_regen()
+        for filename, make, _note in regen.BENCHMARKS:
+            assert load_program(CORPUS / filename) == make(), (
+                f"{filename} is stale: rerun "
+                "PYTHONPATH=src python tests/qa_corpus/regen.py"
+            )
+
+    def test_counterexample_entries_match_regen(self):
+        from repro.core.parser import parse
+
+        regen = _load_regen()
+        for filename, source, _note in regen.COUNTEREXAMPLES:
+            assert load_program(CORPUS / filename) == parse(source)
+
+
+class TestCorpusReplay:
+    @pytest.mark.parametrize(
+        "path", sorted(CORPUS.rglob("*.prob")), ids=lambda p: p.stem
+    )
+    def test_entry_is_clean(self, path):
+        program = load_program(path)
+        oracles = make_oracles(config=smoke_config(n_comparisons=1_000))
+        disagreements = run_oracles(program, oracles)
+        assert not disagreements, "\n".join(
+            d.describe() for d in disagreements
+        )
+
+
+class TestCounterexamplesStillWitness:
+    """The crash entries must keep pinning the bug they were shrunk
+    for — directly, so a regression fails with a pointed message even
+    if the statistical oracle's calibration changes."""
+
+    def test_smc_branch_observe_unbiased(self):
+        # Regression for the resampling bug where finished particles
+        # were excluded from the pool, inflating the mass of the branch
+        # still paused at its observe (TV 0.26 before the fix).
+        program = load_program(CORPUS / "crash-smc-branch-observe.prob")
+        exact = exact_inference(program).distribution
+        for seed in (0, 1, 2):
+            r = SMCSampler(4000, seed=seed).infer(program)
+            tv = r.distribution().tv_distance(exact)
+            assert tv < 0.05, f"seed {seed}: tv={tv:.4f}"
+
+    def test_smc_lineage_collapse_is_reported(self):
+        # The burglar model's end-of-program rare observes collapse the
+        # population to a handful of genealogies; the oracle must see
+        # that (via result.lineages) instead of trusting the particle
+        # count.
+        program = load_program(CORPUS / "table1-burglar-alarm.prob")
+        r = SMCSampler(1200, seed=1).infer(program)
+        assert r.lineages is not None
+        assert r.lineages < 50 < r.n_accepted
+        assert _effective_draws(r) <= r.lineages
+
+    def test_mh_chain_discounted_by_autocorrelation(self):
+        # Single-site MH on a many-variable prior-only program updates
+        # the returned variables in a minority of steps; the raw chain
+        # length overstated the evidence ~7x and made the chi-square
+        # oracle reject a correct engine.
+        program = load_program(CORPUS / "crash-mh-ess-calibration.prob")
+        r = MetropolisHastings(n_samples=2000, burn_in=200, seed=3).infer(
+            program
+        )
+        n_eff = _effective_draws(r, mcmc=True)
+        assert n_eff < 0.75 * len(r.samples)
+        assert n_eff > 50

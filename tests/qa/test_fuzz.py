@@ -1,0 +1,189 @@
+"""The campaign driver — and the acceptance test for the whole QA
+stack: a deliberately broken slicer must be found and shrunk to a
+small counterexample."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.obs import TraceRecorder, use_recorder
+from repro.qa.fuzz import fuzz, replay, write_crash
+from repro.qa.generate import DEFAULT_CONFIG, load_program, save_program
+from repro.qa.oracles import OracleConfig, make_oracles
+
+FAST_GEN = replace(DEFAULT_CONFIG, allow_loops=False, max_top_stmts=4)
+
+
+def exact_only():
+    return make_oracles(["exact"], config=OracleConfig())
+
+
+class TestCampaign:
+    def test_clean_campaign(self):
+        stats = fuzz(
+            time_budget=30.0,
+            seed=0,
+            oracles=exact_only(),
+            gen_config=FAST_GEN,
+            max_programs=12,
+        )
+        assert stats.clean
+        assert stats.programs + stats.degenerate == 12
+        assert stats.crashes == []
+        assert "0 disagreements" in stats.summary()
+
+    def test_deterministic_given_seed(self):
+        runs = [
+            fuzz(
+                time_budget=30.0,
+                seed=4,
+                oracles=exact_only(),
+                gen_config=FAST_GEN,
+                max_programs=8,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].programs == runs[1].programs
+        assert runs[0].degenerate == runs[1].degenerate
+
+    def test_time_budget_stops_campaign(self):
+        stats = fuzz(
+            time_budget=0.0,
+            seed=0,
+            oracles=exact_only(),
+            gen_config=FAST_GEN,
+        )
+        assert stats.programs + stats.degenerate == 0
+
+    def test_progress_callback_and_counters(self):
+        seen = []
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            fuzz(
+                time_budget=30.0,
+                seed=0,
+                oracles=exact_only(),
+                gen_config=FAST_GEN,
+                max_programs=5,
+                on_progress=seen.append,
+            )
+        assert len(seen) == 5
+        total = recorder.counters.get(
+            "qa.programs", 0
+        ) + recorder.counters.get("qa.degenerate", 0)
+        assert total == 5
+
+
+class TestBrokenSlicerAcceptance:
+    """ISSUE acceptance criterion: break the slicer by dropping the
+    observe-dependence closure in INF (keep DINF reachability only) and
+    the fuzzer must find a disagreement and shrink it to a
+    counterexample of at most 10 statements."""
+
+    def _break_slicer(self, monkeypatch):
+        from repro.analysis.influencers import dinf
+        import repro.passes.context as context
+
+        monkeypatch.setattr(
+            context,
+            "inf_fast",
+            lambda observed, graph, targets: dinf(graph, targets),
+        )
+
+    def test_fuzzer_finds_and_shrinks_counterexample(
+        self, monkeypatch, tmp_path
+    ):
+        self._break_slicer(monkeypatch)
+        corpus = tmp_path / "crashes"
+        stats = fuzz(
+            time_budget=120.0,
+            seed=0,
+            oracles=exact_only(),
+            corpus_dir=corpus,
+            max_programs=40,
+        )
+        assert not stats.clean, "fuzzer failed to catch the broken slicer"
+        crash = stats.crashes[0]
+        assert crash.shrunk_size <= 10
+        assert crash.shrunk_disagreements
+        assert crash.shrink_steps > 0
+        # The crash corpus holds the replayable artifact + report.
+        prob_files = list(corpus.glob("crash-*.prob"))
+        reports = list(corpus.glob("crash-*.report.txt"))
+        assert len(prob_files) == len(stats.crashes)
+        assert len(reports) == len(stats.crashes)
+        replayed = {load_program(p) for p in prob_files}
+        assert {c.shrunk for c in stats.crashes} == replayed
+        text = reports[0].read_text()
+        assert "oracle disagreement report" in text
+        assert "shrunk counterexample:" in text
+
+    def test_minimal_counterexample_still_fails_oracles(self, monkeypatch):
+        self._break_slicer(monkeypatch)
+        stats = fuzz(
+            time_budget=120.0,
+            seed=0,
+            oracles=exact_only(),
+            max_programs=40,
+        )
+        assert stats.crashes
+        from repro.qa.oracles import run_oracles
+
+        assert run_oracles(stats.crashes[0].shrunk, exact_only())
+
+
+class TestReplay:
+    def test_replay_clean_corpus(self, tmp_path):
+        from repro.qa.generate import derive_seed, generate_program
+
+        for i in range(3):
+            save_program(
+                tmp_path / f"p{i}.prob",
+                generate_program(derive_seed(0, i), FAST_GEN),
+            )
+        assert replay(tmp_path, oracles=exact_only()) == []
+
+    def test_replay_reports_failing_entry(self, monkeypatch, tmp_path):
+        from repro.core.parser import parse
+
+        save_program(
+            tmp_path / "bad.prob",
+            parse(
+                "b1 ~ Bernoulli(0.5); b2 ~ Bernoulli(0.5); "
+                "observe(b1 || b2); return b2;"
+            ),
+        )
+        from repro.analysis.influencers import dinf
+        import repro.passes.context as context
+
+        monkeypatch.setattr(
+            context,
+            "inf_fast",
+            lambda observed, graph, targets: dinf(graph, targets),
+        )
+        failures = replay(tmp_path, oracles=exact_only())
+        assert len(failures) == 1
+        path, disagreements = failures[0]
+        assert path.name == "bad.prob"
+        assert disagreements
+
+
+class TestWriteCrash:
+    def test_write_crash_filenames_are_fingerprint_stable(self, tmp_path):
+        from repro.core.parser import parse
+        from repro.qa.fuzz import Crash
+
+        program = parse("b0 ~ Bernoulli(0.5); return b0;")
+        crash = Crash(
+            seed=0,
+            index=1,
+            program=program,
+            disagreements=(),
+            shrunk=program,
+            shrunk_disagreements=(),
+            shrink_steps=0,
+        )
+        p1, r1 = write_crash(tmp_path, crash)
+        p2, r2 = write_crash(tmp_path, crash)
+        assert p1 == p2 and r1 == r2
+        assert load_program(p1) == program

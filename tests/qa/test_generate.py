@@ -1,0 +1,181 @@
+"""The shared program generator: validity, determinism, coverage, and
+the corpus round-trip."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.ast import (
+    Block,
+    If,
+    Observe,
+    Program,
+    While,
+    statement_count,
+)
+from repro.core.parser import parse
+from repro.core.printer import pretty
+from repro.core.validate import check_def_before_use
+from repro.qa.generate import (
+    DEFAULT_CONFIG,
+    GenConfig,
+    derive_seed,
+    generate_program,
+    iter_corpus,
+    load_program,
+    program_stream,
+    save_program,
+)
+from repro.semantics.exact import ExactEngineError, exact_inference
+
+N = 80
+
+
+def _programs(config=DEFAULT_CONFIG, n=N):
+    return [generate_program(derive_seed(0, i), config) for i in range(n)]
+
+
+def walk_statements(stmt):
+    """Every statement in the tree, containers included."""
+    yield stmt
+    if isinstance(stmt, Block):
+        for s in stmt.stmts:
+            yield from walk_statements(s)
+    elif isinstance(stmt, If):
+        yield from walk_statements(stmt.then_branch)
+        yield from walk_statements(stmt.else_branch)
+    elif isinstance(stmt, While):
+        yield from walk_statements(stmt.body)
+
+
+class TestValidity:
+    def test_every_program_validates(self):
+        for p in _programs():
+            check_def_before_use(p)
+
+    def test_round_trips_through_parser(self):
+        for p in _programs():
+            assert parse(pretty(p)) == p
+
+    def test_almost_all_enumerable(self):
+        # Termination-biased loops + small state spaces: the exact
+        # engine must handle essentially everything (this is what makes
+        # the distribution oracle cheap).  Zero-normalizer programs are
+        # permitted; state-space blow-ups are not.
+        for p in _programs():
+            try:
+                exact_inference(p)
+            except ValueError:
+                pass  # blocked everywhere: fuzz driver counts + skips
+            except ExactEngineError as exc:  # pragma: no cover
+                pytest.fail(f"not enumerable: {exc}\n{pretty(p)}")
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        for i in (0, 7, 31):
+            s = derive_seed(3, i)
+            assert generate_program(s) == generate_program(s)
+
+    def test_stream_matches_derive_seed(self):
+        stream = program_stream(5)
+        for expected_index in range(4):
+            i, p = next(stream)
+            assert i == expected_index
+            assert p == generate_program(derive_seed(5, i))
+
+    def test_distinct_indices_distinct_programs(self):
+        ps = _programs(n=30)
+        assert len({pretty(p) for p in ps}) > 20
+
+
+class TestKnobs:
+    def test_no_loops(self):
+        config = replace(DEFAULT_CONFIG, allow_loops=False)
+        for p in _programs(config, n=40):
+            assert not any(
+                isinstance(s, While) for s in walk_statements(p.body)
+            )
+
+    def test_no_observes(self):
+        config = replace(DEFAULT_CONFIG, allow_observes=False)
+        for p in _programs(config, n=40):
+            assert not any(
+                isinstance(s, Observe) for s in walk_statements(p.body)
+            )
+
+    def test_statement_budget(self):
+        config = replace(
+            DEFAULT_CONFIG, max_top_stmts=3, max_nested_stmts=2, max_depth=1
+        )
+        sizes = [statement_count(p.body) for p in _programs(config, n=40)]
+        assert max(sizes) <= 30
+
+    def test_feature_coverage(self):
+        # The default configuration must actually exercise the slicer's
+        # interesting cases: observes, branches, loops.
+        ps = _programs(n=N)
+        kinds = {type(s).__name__ for p in ps for s in walk_statements(p.body)}
+        assert {"Sample", "Assign", "Observe", "If", "While"} <= kinds
+
+
+class TestCorpusIO:
+    def test_save_load_round_trip(self, tmp_path):
+        p = generate_program(derive_seed(0, 1))
+        path = tmp_path / "sub" / "one.prob"
+        save_program(path, p, header="line one\nline two")
+        assert load_program(path) == p
+        text = path.read_text()
+        assert text.startswith("// line one\n// line two\n")
+
+    def test_iter_corpus_sorted_recursive(self, tmp_path):
+        for name in ("b/x.prob", "a.prob", "b/a.prob"):
+            target = tmp_path / name
+            target.parent.mkdir(parents=True, exist_ok=True)
+            save_program(target, generate_program(derive_seed(0, 2)))
+        (tmp_path / "notes.txt").write_text("ignored")
+        paths = [p for p, _ in iter_corpus(tmp_path)]
+        assert [str(p.relative_to(tmp_path)) for p in paths] == [
+            "a.prob",
+            "b/a.prob",
+            "b/x.prob",
+        ]
+
+
+class TestHypothesisBridge:
+    def test_programs_strategy_yields_valid_programs(self):
+        from hypothesis import given, settings
+        from repro.qa.generate import programs
+
+        hits = []
+
+        @settings(max_examples=25, deadline=None)
+        @given(programs())
+        def run(p):
+            assert isinstance(p, Program)
+            check_def_before_use(p)
+            hits.append(p)
+
+        run()
+        assert hits
+
+    def test_config_reaches_strategy(self):
+        from hypothesis import given, settings
+        from repro.qa.generate import programs
+
+        @settings(max_examples=15, deadline=None)
+        @given(programs(allow_loops=False))
+        def run(p):
+            assert not any(
+                isinstance(s, While) for s in walk_statements(p.body)
+            )
+
+        run()
+
+
+def test_derive_seed_spreads():
+    seeds = {derive_seed(0, i) for i in range(1000)}
+    assert len(seeds) == 1000
+    assert all(0 <= s < 2**63 for s in seeds)

@@ -1,0 +1,280 @@
+"""Oracle failure paths, exercised with broken stand-ins.
+
+The clean-program tests show the oracles stay silent; these show each
+oracle actually *reports* when its subject misbehaves — crash capture,
+backend divergence, Bayes-net mismatch, statistical rejection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parser import parse
+from repro.inference.base import InferenceResult
+from repro.qa.oracles import (
+    BackendEquivalenceOracle,
+    BayesNetOracle,
+    ExactEquivalenceOracle,
+    Oracle,
+    OracleConfig,
+    SamplerEquivalenceOracle,
+    Variant,
+    _effective_draws,
+    chi2_sf,
+    program_variants,
+)
+from repro.semantics.distribution import FiniteDist
+from repro.semantics.executor import NonTerminatingRun
+
+EX2_SRC = """
+c1 ~ Bernoulli(0.5);
+c2 ~ Bernoulli(0.5);
+observe(c1 || c2);
+return c1;
+"""
+
+
+class TestTransformCrashCapture:
+    def test_crashing_pipeline_reported_not_raised(self, monkeypatch):
+        import repro.qa.oracles as oracles_mod
+
+        def boom(program, **kwargs):
+            raise RuntimeError("synthetic transform failure")
+
+        monkeypatch.setattr(oracles_mod, "nt_slice", boom)
+        variants, crashes = program_variants(parse(EX2_SRC))
+        assert "nt_slice" not in {v.name for v in variants}
+        assert len(crashes) == 1
+        assert crashes[0].kind == "crash"
+        assert "synthetic transform failure" in crashes[0].detail
+
+    def test_sampler_oracle_falls_back_to_original_when_sli_crashes(
+        self, monkeypatch
+    ):
+        import repro.qa.oracles as oracles_mod
+
+        def boom(program, **kwargs):
+            raise RuntimeError("sli exploded")
+
+        monkeypatch.setattr(oracles_mod, "sli", boom)
+        from repro.qa.oracles import smoke_config
+
+        oracle = SamplerEquivalenceOracle(smoke_config())
+        # Must still test the original program, and find it clean.
+        assert oracle.check(parse(EX2_SRC)) == []
+
+
+class TestExactOracleErrorPaths:
+    def test_degenerate_variant_is_a_disagreement(self, monkeypatch):
+        import repro.qa.oracles as oracles_mod
+
+        class Sliced:
+            sliced = parse("x ~ Bernoulli(0.5); observe(x && !x); return x;")
+
+        monkeypatch.setattr(
+            oracles_mod, "nt_slice", lambda program, **kw: Sliced
+        )
+        oracle = ExactEquivalenceOracle(OracleConfig())
+        disagreements = oracle.check(parse(EX2_SRC))
+        assert any(
+            d.subject == "nt_slice" and "degenerate" in d.detail
+            for d in disagreements
+        )
+
+
+class TestBackendOracleDivergence:
+    class _StubExecutable:
+        def __init__(self, outcome):
+            self._outcome = outcome
+
+        def run(self, rng):
+            if isinstance(self._outcome, Exception):
+                raise self._outcome
+            return self._outcome
+
+    def _interp_result(self, seed=0):
+        import random
+
+        from repro.semantics.executor import run_program
+
+        program = parse("x ~ Bernoulli(0.5); return x;")
+        return program, run_program(program, random.Random(seed))
+
+    def test_error_behaviour_mismatch(self):
+        program, _ = self._interp_result()
+        oracle = BackendEquivalenceOracle(OracleConfig())
+        variant = Variant("original", program, True)
+        out = oracle._compare_run(
+            variant, self._StubExecutable(NonTerminatingRun()), seed=0
+        )
+        assert len(out) == 1
+        assert "error behaviour differs" in out[0].detail
+
+    def test_value_mismatch(self):
+        from dataclasses import replace as dc_replace
+
+        program, interp = self._interp_result()
+        doctored = dc_replace(interp, value=not interp.value)
+        oracle = BackendEquivalenceOracle(OracleConfig())
+        variant = Variant("original", program, True)
+        out = oracle._compare_run(
+            variant, self._StubExecutable(doctored), seed=0
+        )
+        assert len(out) == 1
+        assert "value" in out[0].detail
+
+    def test_trace_mismatch(self):
+        from dataclasses import replace as dc_replace
+
+        program, interp = self._interp_result()
+        doctored = dc_replace(interp, trace={})
+        oracle = BackendEquivalenceOracle(OracleConfig())
+        variant = Variant("original", program, True)
+        out = oracle._compare_run(
+            variant, self._StubExecutable(doctored), seed=0
+        )
+        assert len(out) == 1
+        assert "traces differ" in out[0].detail
+
+    def test_matching_runs_are_silent(self):
+        program, interp = self._interp_result()
+        oracle = BackendEquivalenceOracle(OracleConfig())
+        variant = Variant("original", program, True)
+        assert (
+            oracle._compare_run(variant, self._StubExecutable(interp), seed=0)
+            == []
+        )
+
+    def test_compile_crash_reported(self, monkeypatch):
+        import repro.semantics.compiled as compiled_mod
+
+        def boom(program):
+            raise RuntimeError("synthetic compile failure")
+
+        monkeypatch.setattr(compiled_mod, "compile_program", boom)
+        oracle = BackendEquivalenceOracle(OracleConfig())
+        out = oracle.check(parse(EX2_SRC))
+        assert out
+        assert all(d.kind == "crash" for d in out)
+
+
+class TestBayesNetOracleErrorPaths:
+    def test_ve_crash_reported(self, monkeypatch):
+        import repro.bayesnet as bn
+
+        def boom(net, query, evidence):
+            raise RuntimeError("synthetic VE failure")
+
+        monkeypatch.setattr(bn, "variable_elimination", boom)
+        oracle = BayesNetOracle(OracleConfig())
+        out = oracle.check(parse(EX2_SRC))
+        assert len(out) == 1
+        assert out[0].kind == "crash"
+
+    def test_ve_mismatch_reported(self, monkeypatch):
+        import repro.bayesnet as bn
+
+        monkeypatch.setattr(
+            bn,
+            "variable_elimination",
+            lambda net, query, evidence: FiniteDist({True: 1.0}),
+        )
+        oracle = BayesNetOracle(OracleConfig())
+        out = oracle.check(parse(EX2_SRC))
+        assert len(out) == 1
+        assert out[0].kind == "distribution"
+        assert out[0].metric is not None
+
+    def test_compile_refusal_is_a_skip(self, monkeypatch):
+        import repro.bayesnet as bn
+
+        def refuse(program):
+            raise bn.CompileError("synthetic refusal")
+
+        monkeypatch.setattr(bn, "compile_program", refuse)
+        oracle = BayesNetOracle(OracleConfig())
+        assert oracle.check(parse(EX2_SRC)) == []
+
+
+class _StubEngine:
+    def __init__(self, result=None, error=None):
+        self._result = result
+        self._error = error
+
+    def infer(self, program):
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class _StubbedSamplerOracle(SamplerEquivalenceOracle):
+    def __init__(self, config, engine):
+        super().__init__(config)
+        self._stub = engine
+
+    def _engine(self, engine_name, seed):
+        return self._stub
+
+
+class TestSamplerOracleErrorPaths:
+    def _config(self):
+        from repro.qa.oracles import smoke_config
+
+        return OracleConfig(
+            engines=("rejection",), n_samples=200, n_comparisons=1
+        )
+
+    def test_engine_crash_reported(self):
+        oracle = _StubbedSamplerOracle(
+            self._config(), _StubEngine(error=RuntimeError("engine bug"))
+        )
+        out = oracle.check(parse(EX2_SRC))
+        assert out
+        assert all(d.kind == "crash" for d in out)
+        assert "engine bug" in out[0].detail
+
+    def test_biased_engine_rejected(self):
+        # An "engine" that always answers False on a program whose
+        # exact posterior is {True: 2/3, False: 1/3}.
+        biased = InferenceResult(samples=[False] * 1200)
+        oracle = _StubbedSamplerOracle(self._config(), _StubEngine(biased))
+        out = oracle.check(parse(EX2_SRC))
+        assert out
+        assert all(d.kind == "statistical" for d in out)
+        assert out[0].metric == 0.0  # outside-support/GOF hard fail
+
+    def test_unknown_engine_name(self):
+        oracle = SamplerEquivalenceOracle(OracleConfig())
+        with pytest.raises(ValueError, match="unknown engine"):
+            oracle._engine("bogus", 0)
+
+    def test_few_effective_draws_is_a_skip(self):
+        tiny = InferenceResult(samples=[True] * 10)
+        oracle = _StubbedSamplerOracle(self._config(), _StubEngine(tiny))
+        assert oracle.check(parse(EX2_SRC)) == []
+
+
+class TestEffectiveDraws:
+    def test_zero_weights(self):
+        assert _effective_draws(
+            InferenceResult(samples=[1, 2], weights=[0.0, 0.0])
+        ) == 0.0
+
+    def test_kish(self):
+        r = InferenceResult(samples=[1, 2], weights=[1.0, 1.0])
+        assert _effective_draws(r) == pytest.approx(2.0)
+        skewed = InferenceResult(samples=[1, 2], weights=[1.0, 0.0])
+        assert _effective_draws(skewed) == pytest.approx(1.0)
+
+    def test_lineage_cap(self):
+        r = InferenceResult(
+            samples=[1] * 100, weights=[1.0] * 100, lineages=4
+        )
+        assert _effective_draws(r) == 4.0
+
+
+def test_oracle_base_class_contract():
+    oracle = Oracle(OracleConfig())
+    assert oracle.applicable(parse("return true;"))
+    with pytest.raises(NotImplementedError):
+        oracle.check(parse("return true;"))
+    assert chi2_sf(5.0, 0) == 1.0

@@ -1,0 +1,191 @@
+"""The differential oracles: statistics, variant plumbing, and the
+power to catch a genuinely broken transform."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.parser import parse
+from repro.qa.oracles import (
+    BackendEquivalenceOracle,
+    BayesNetOracle,
+    Disagreement,
+    ExactEquivalenceOracle,
+    OracleConfig,
+    SamplerEquivalenceOracle,
+    chi_square_gof,
+    chi2_sf,
+    default_oracle_names,
+    format_report,
+    make_oracles,
+    program_variants,
+    run_oracles,
+    smoke_config,
+)
+from repro.semantics.distribution import FiniteDist
+
+EX2_SRC = """
+bool c1, c2;
+c1 ~ Bernoulli(0.5);
+c2 ~ Bernoulli(0.5);
+observe(c1 || c2);
+return c1;
+"""
+
+LOOPY_SRC = """
+b ~ Bernoulli(0.3);
+while (b) { b ~ Bernoulli(0.3); }
+return b;
+"""
+
+
+class TestChiSquare:
+    def test_sf_extremes(self):
+        assert chi2_sf(0.0, 3) == 1.0
+        assert chi2_sf(1e6, 1) < 1e-10
+        # Median of chi2(2) is 2 ln 2.
+        assert abs(chi2_sf(2 * math.log(2), 2) - 0.5) < 1e-9
+
+    def test_gof_accepts_matching(self):
+        expected = FiniteDist({True: 0.7, False: 0.3})
+        empirical = FiniteDist({True: 0.71, False: 0.29})
+        p, _stat, dof = chi_square_gof(empirical, expected, 1000)
+        assert p > 0.1
+        assert dof == 1
+
+    def test_gof_rejects_biased_at_scale(self):
+        expected = FiniteDist({True: 0.7, False: 0.3})
+        empirical = FiniteDist({True: 0.5, False: 0.5})
+        p, _stat, _dof = chi_square_gof(empirical, expected, 5000)
+        assert p < 1e-12
+
+    def test_gof_outside_support_is_immediate_fail(self):
+        expected = FiniteDist({0: 0.5, 1: 0.5})
+        empirical = FiniteDist({0: 0.5, 1: 0.499, 7: 0.001})
+        p, stat, _dof = chi_square_gof(empirical, expected, 100)
+        assert p == 0.0 and stat == math.inf
+
+    def test_gof_pools_small_bins(self):
+        # 10 outcomes at n=30: every expected count is 3 < 5, so all
+        # bins pool into one and the test degrades to the support check.
+        expected = FiniteDist({i: 0.1 for i in range(10)})
+        p, _stat, dof = chi_square_gof(expected, expected, 30)
+        assert dof == 0
+        assert p == 1.0
+
+    def test_bonferroni(self):
+        config = OracleConfig(alpha=1e-3, n_comparisons=100)
+        assert config.corrected_alpha == pytest.approx(1e-5)
+
+
+class TestVariants:
+    def test_all_pipelines_present(self):
+        variants, crashes = program_variants(parse(EX2_SRC))
+        assert not crashes
+        names = [v.name for v in variants]
+        assert names == [
+            "original",
+            "sli",
+            "sli+simplify",
+            "sli-no-obs",
+            "nt_slice",
+            "naive_slice",
+        ]
+        preserving = {v.name for v in variants if v.distribution_preserving}
+        assert "naive_slice" not in preserving
+        assert "sli" in preserving
+
+
+class TestOraclesClean:
+    """On known-correct programs every oracle must stay silent."""
+
+    @pytest.mark.parametrize("src", [EX2_SRC, LOOPY_SRC])
+    def test_exact_and_backends(self, src):
+        program = parse(src)
+        for oracle in (
+            ExactEquivalenceOracle(OracleConfig()),
+            BackendEquivalenceOracle(OracleConfig()),
+        ):
+            assert oracle.check(program) == []
+
+    def test_bayesnet(self):
+        oracle = BayesNetOracle(OracleConfig())
+        assert oracle.check(parse(EX2_SRC)) == []
+        # Loops are outside the Bayes-net fragment: gated, not failed.
+        assert not oracle.applicable(parse(LOOPY_SRC))
+
+    def test_samplers_smoke(self):
+        oracle = SamplerEquivalenceOracle(smoke_config())
+        assert oracle.check(parse(EX2_SRC)) == []
+
+    def test_sampler_gates(self):
+        oracle = SamplerEquivalenceOracle(smoke_config())
+        loopy = parse(LOOPY_SRC)
+        assert not oracle._applicable("gibbs", loopy)
+        assert not oracle._applicable("smc", loopy)
+        assert oracle._applicable("mh", loopy)
+        soft = parse("x ~ Gaussian(0.0, 1.0); observe(Gaussian(x, 1.0), 0.5); return x > 0.0;")
+        assert not oracle._applicable("rejection", soft)
+
+
+class TestRegistry:
+    def test_make_oracles_default(self):
+        oracles = make_oracles()
+        assert [o.name for o in oracles] == list(default_oracle_names())
+
+    def test_make_oracles_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown oracle"):
+            make_oracles(["exact", "nope"])
+
+    def test_run_oracles_aggregates(self):
+        program = parse(EX2_SRC)
+        oracles = make_oracles(["exact", "backends"])
+        assert run_oracles(program, oracles) == []
+
+
+class TestReport:
+    def test_format_report(self):
+        program = parse(EX2_SRC)
+        d = Disagreement(
+            oracle="exact",
+            kind="distribution",
+            subject="sli",
+            reference="original",
+            detail="they differ",
+            metric=0.25,
+        )
+        text = format_report(program, [d], shrunk=program, seed=42)
+        assert "generator seed: 42" in text
+        assert "they differ" in text
+        assert "shrunk counterexample:" in text
+        assert "return c1;" in text
+
+
+class TestBrokenSlicerIsCaught:
+    """Dropping the observe-dependence closure (the bottom rules of
+    Figure 10 — keeping only DINF reachability) must be caught by the
+    exact oracle: that is precisely the unsoundness of Example 4."""
+
+    def test_exact_oracle_flags_broken_inf(self, monkeypatch):
+        from repro.analysis.influencers import dinf
+        import repro.passes.context as context
+
+        monkeypatch.setattr(
+            context, "inf_fast", lambda observed, graph, targets: dinf(graph, targets)
+        )
+        oracle = ExactEquivalenceOracle(OracleConfig())
+        # Example-4 shape: the observe depends on a variable that DINF
+        # alone considers irrelevant to the return value.
+        program = parse(
+            """
+b1 ~ Bernoulli(0.5);
+b2 ~ Bernoulli(0.5);
+observe(b1 || b2);
+return b2;
+"""
+        )
+        disagreements = oracle.check(program)
+        assert disagreements, "broken slicer not caught"
+        assert any(d.kind == "distribution" for d in disagreements)

@@ -1,0 +1,94 @@
+"""The delta-debugging shrinker: minimality, validity, termination."""
+
+from __future__ import annotations
+
+from repro.core.ast import Const, statement_count
+from repro.core.parser import parse
+from repro.core.printer import pretty
+from repro.core.validate import check_def_before_use
+from repro.qa.generate import derive_seed, generate_program
+from repro.qa.shrink import reductions, shrink
+
+
+class TestReductions:
+    def test_every_candidate_is_smaller_or_equal(self):
+        program = generate_program(derive_seed(0, 3))
+        size = statement_count(program.body)
+        for candidate in reductions(program):
+            assert statement_count(candidate.body) <= size
+
+    def test_block_deletion_spans(self):
+        program = parse(
+            "b0 ~ Bernoulli(0.5); b1 ~ Bernoulli(0.5); "
+            "b2 ~ Bernoulli(0.5); b3 ~ Bernoulli(0.5); return b0;"
+        )
+        candidates = list(reductions(program))
+        # Dropping half the block in one step must be among the
+        # candidates (ddmin: halves before singles), and the halves
+        # must come before any single-statement deletion.
+        sizes = [statement_count(c.body) for c in candidates]
+        assert sizes[0] == 2
+        assert 3 in sizes
+
+    def test_constant_return_is_last_resort(self):
+        program = parse("b0 ~ Bernoulli(0.5); return b0;")
+        assert list(reductions(program))[-1].ret == Const(True)
+
+
+class TestShrink:
+    def test_shrinks_to_the_failing_core(self):
+        # Predicate: the program still contains an observe.  Everything
+        # else must be stripped.
+        program = parse(
+            """
+b0 ~ Bernoulli(0.5);
+b1 ~ Bernoulli(0.3);
+n0 ~ DiscreteUniform(0, 2);
+if (b0) { b1 ~ Bernoulli(0.7); } else { skip; }
+observe(b0 || b1);
+n1 = n0 + 1;
+return b1;
+"""
+        )
+
+        def has_observe(p):
+            return "observe" in pretty(p)
+
+        result = shrink(program, has_observe)
+        assert has_observe(result.program)
+        assert result.size <= 2  # the observe plus at most one sample
+        assert result.steps > 0
+        assert result.candidates >= result.steps
+
+    def test_result_always_validates(self):
+        program = generate_program(derive_seed(1, 5))
+
+        def big(p):
+            return statement_count(p.body) >= 1
+
+        result = shrink(program, big)
+        check_def_before_use(result.program)
+
+    def test_fixed_point_when_nothing_fails(self):
+        program = parse("b0 ~ Bernoulli(0.5); return b0;")
+        result = shrink(program, lambda p: False)
+        assert result.program == program
+        assert result.steps == 0
+
+    def test_candidate_budget_bounds_work(self):
+        program = generate_program(derive_seed(2, 9))
+        result = shrink(program, lambda p: True, max_candidates=7)
+        assert result.candidates <= 7
+
+    def test_observability_counters(self):
+        from repro.obs import TraceRecorder, use_recorder
+
+        program = parse(
+            "b0 ~ Bernoulli(0.5); b1 ~ Bernoulli(0.5); "
+            "observe(b0 || b1); return b0;"
+        )
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            shrink(program, lambda p: "observe" in pretty(p))
+        assert recorder.counters.get("qa.shrink_steps", 0) > 0
+        assert recorder.counters.get("qa.shrink_candidates", 0) > 0

@@ -1,194 +1,20 @@
-"""Hypothesis strategies generating random finite discrete PROB
-programs.
+"""Hypothesis strategies for random finite discrete PROB programs.
 
-The generator is the backbone of the semantics-preservation property
-tests: every transformation must leave the exact output distribution
-unchanged on anything it produces.
+Thin re-export shim: the generator now lives in
+:mod:`repro.qa.generate`, where one chooser-driven core serves both
+the hypothesis property suite (shrinkable ``draw``-based strategies)
+and the ``python -m repro.qa`` differential fuzzer (seeded
+``random.Random`` streams).  Keeping a single generator prevents the
+two from drifting apart: any program class the fuzzer explores is, by
+construction, the same class the property tests cover.
 
-Design constraints baked into the generator:
-
-* **def-before-use** — statements only read already-defined variables,
-  so the paper-faithful SSA renaming is sound;
-* **almost-sure termination** — loop conditions are re-sampled from a
-  bounded-probability Bernoulli on every iteration, so the exact
-  engine's unrolling converges;
-* **non-degenerate conditioning** — observes are disjunction-weakened
-  so that programs rarely block every run (tests still ``assume`` the
-  normalizer is positive).
+See :class:`repro.qa.generate.GenConfig` for the invariants the
+generator maintains (def-before-use, almost-sure termination,
+disjunction-weakened observes).
 """
 
 from __future__ import annotations
 
-from typing import List
-
-from hypothesis import strategies as st
-
-from repro.core.ast import (
-    Assign,
-    Binary,
-    Block,
-    Const,
-    DistCall,
-    Expr,
-    If,
-    Observe,
-    Program,
-    Sample,
-    Stmt,
-    Unary,
-    Var,
-    While,
-    seq,
-)
+from repro.qa.generate import bool_exprs, int_exprs, programs
 
 __all__ = ["programs", "bool_exprs", "int_exprs"]
-
-_BOOL_VARS = [f"b{i}" for i in range(4)]
-_INT_VARS = [f"n{i}" for i in range(3)]
-
-
-def _prob() -> st.SearchStrategy[float]:
-    # Away from 0/1 so observes rarely become impossible.
-    return st.sampled_from([0.2, 0.3, 0.5, 0.7, 0.8])
-
-
-def bool_exprs(defined: List[str]) -> st.SearchStrategy[Expr]:
-    """Boolean expressions over defined boolean variables."""
-    available = [v for v in defined if v.startswith("b")]
-    atoms = [st.just(Const(True)), st.just(Const(False))]
-    if available:
-        atoms.append(st.sampled_from(available).map(Var))
-    base = st.one_of(*atoms)
-    return st.recursive(
-        base,
-        lambda inner: st.one_of(
-            inner.map(lambda e: Unary("!", e)),
-            st.tuples(st.sampled_from(["&&", "||"]), inner, inner).map(
-                lambda t: Binary(t[0], t[1], t[2])
-            ),
-        ),
-        max_leaves=4,
-    )
-
-
-def int_exprs(defined: List[str]) -> st.SearchStrategy[Expr]:
-    """Small integer expressions over defined integer variables."""
-    available = [v for v in defined if v.startswith("n")]
-    atoms = [st.integers(min_value=0, max_value=3).map(Const)]
-    if available:
-        atoms.append(st.sampled_from(available).map(Var))
-    base = st.one_of(*atoms)
-    # Multiplication only by a small constant: ``n = n * n`` inside a
-    # loop doubles the bit length every iteration, and the exact
-    # engine's loop peeling then builds gigabyte-sized bignums before
-    # the tail mass underflows.  Constant factors keep growth linear.
-    return st.recursive(
-        base,
-        lambda inner: st.one_of(
-            st.tuples(st.sampled_from(["+", "-"]), inner, inner).map(
-                lambda t: Binary(t[0], t[1], t[2])
-            ),
-            st.tuples(
-                st.integers(min_value=0, max_value=3).map(Const), inner
-            ).map(lambda t: Binary("*", t[0], t[1])),
-        ),
-        max_leaves=3,
-    )
-
-
-@st.composite
-def _statements(
-    draw, defined: List[str], depth: int, allow_loops: bool
-) -> List[Stmt]:
-    n = draw(st.integers(min_value=1, max_value=4 if depth else 6))
-    out: List[Stmt] = []
-    for _ in range(n):
-        kind = draw(
-            st.sampled_from(
-                ["sample_b", "sample_n", "assign_b", "assign_n", "observe", "if"]
-                + (["while"] if allow_loops and depth == 0 else [])
-            )
-        )
-        if kind == "sample_b":
-            name = draw(st.sampled_from(_BOOL_VARS))
-            out.append(
-                Sample(name, DistCall("Bernoulli", (Const(draw(_prob())),)))
-            )
-            if name not in defined:
-                defined.append(name)
-        elif kind == "sample_n":
-            name = draw(st.sampled_from(_INT_VARS))
-            lo = draw(st.integers(min_value=0, max_value=1))
-            hi = lo + draw(st.integers(min_value=0, max_value=2))
-            out.append(
-                Sample(
-                    name, DistCall("DiscreteUniform", (Const(lo), Const(hi)))
-                )
-            )
-            if name not in defined:
-                defined.append(name)
-        elif kind == "assign_b":
-            name = draw(st.sampled_from(_BOOL_VARS))
-            out.append(Assign(name, draw(bool_exprs(defined))))
-            if name not in defined:
-                defined.append(name)
-        elif kind == "assign_n":
-            name = draw(st.sampled_from(_INT_VARS))
-            out.append(Assign(name, draw(int_exprs(defined))))
-            if name not in defined:
-                defined.append(name)
-        elif kind == "observe":
-            cond = draw(bool_exprs(defined))
-            # Weaken with a fresh coin so full blocking is rare.
-            helper = draw(st.sampled_from(_BOOL_VARS))
-            out.append(
-                Sample(helper, DistCall("Bernoulli", (Const(0.7),)))
-            )
-            if helper not in defined:
-                defined.append(helper)
-            out.append(Observe(Binary("||", cond, Var(helper))))
-        elif kind == "if":
-            cond = draw(bool_exprs(defined))
-            then_defined = list(defined)
-            then_branch = seq(
-                *draw(_statements(then_defined, depth + 1, allow_loops))
-            )
-            else_defined = list(defined)
-            else_branch = seq(
-                *draw(_statements(else_defined, depth + 1, allow_loops))
-            )
-            out.append(If(cond, then_branch, else_branch))
-            # Only variables defined on *both* branches (or before) are
-            # definitely defined afterwards.
-            defined[:] = [
-                v
-                for v in set(then_defined) | set(else_defined)
-                if v in then_defined and v in else_defined
-            ]
-        else:  # while
-            loop_var = draw(st.sampled_from(_BOOL_VARS))
-            p = draw(st.sampled_from([0.2, 0.3, 0.5]))
-            body_defined = list(defined) + [loop_var]
-            body = draw(_statements(body_defined, depth + 1, False))
-            body.append(
-                Sample(loop_var, DistCall("Bernoulli", (Const(p),)))
-            )
-            out.append(Sample(loop_var, DistCall("Bernoulli", (Const(p),))))
-            out.append(While(Var(loop_var), seq(*body)))
-            if loop_var not in defined:
-                defined.append(loop_var)
-    return out
-
-
-@st.composite
-def programs(draw, allow_loops: bool = True) -> Program:
-    """A random well-formed finite discrete PROB program."""
-    defined: List[str] = []
-    stmts = draw(_statements(defined, 0, allow_loops))
-    body = seq(*stmts)
-    ret_kind = draw(st.sampled_from(["bool", "int"]))
-    if ret_kind == "bool":
-        ret = draw(bool_exprs(defined))
-    else:
-        ret = draw(int_exprs(defined))
-    return Program(body, ret)
