@@ -20,10 +20,27 @@ def reachable(
     net: BayesNet, source: str, evidence: Iterable[str]
 ) -> FrozenSet[str]:
     """All nodes reachable from ``source`` via an active trail given
-    ``evidence``."""
-    Z = set(evidence)
+    ``evidence``.
+
+    Memoized per ``(source, evidence-set)`` on the network's derived
+    cache (the factorisation cross-checks and the d-separation test
+    batteries re-query the same net with the same evidence for every
+    node pair, and each uncached query walks the whole graph).
+    ``add_node`` invalidates the cache.
+    """
+    Z = frozenset(evidence)
+    memo = net._cache.setdefault("reachable", {})
+    key = (source, Z)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
     # Phase 1: ancestors of evidence (needed for the v-structure rule).
-    ancestors_of_z = set(net.ancestors(list(Z))) if Z else set()
+    # The ancestor closure only depends on Z, so it gets its own memo.
+    anc_memo = net._cache.setdefault("evidence_ancestors", {})
+    ancestors_of_z = anc_memo.get(Z)
+    if ancestors_of_z is None:
+        ancestors_of_z = set(net.ancestors(list(Z))) if Z else set()
+        anc_memo[Z] = ancestors_of_z
     # Phase 2: breadth-first over (node, direction) states.
     # direction 'up' = trail arrives at node from a child;
     # direction 'down' = trail arrives from a parent.
@@ -49,7 +66,9 @@ def reachable(
             if node in ancestors_of_z:
                 for p in net.nodes[node].parents:
                     frontier.append((p, "up"))
-    return frozenset(result)
+    answer = frozenset(result)
+    memo[key] = answer
+    return answer
 
 
 def active_trail_exists(

@@ -51,6 +51,15 @@ class BayesNet:
 
     nodes: Dict[str, Node] = field(default_factory=dict)
     order: List[str] = field(default_factory=list)
+    #: Derived-structure caches (children adjacency, Bayes-ball trail
+    #: searches keyed by evidence set).  Purely an acceleration:
+    #: :meth:`add_node` invalidates it, so cached answers are always
+    #: consistent with the current node set.  Excluded from equality
+    #: and ``repr`` — two nets with the same nodes are the same net
+    #: regardless of what has been queried against them.
+    _cache: Dict[str, object] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def add_node(
         self,
@@ -84,15 +93,24 @@ class BayesNet:
         node = Node(name, tuple(parents), tuple(support), normalized)
         self.nodes[name] = node
         self.order.append(name)
+        self._cache.clear()
         return node
 
     def parents(self, name: str) -> Tuple[str, ...]:
         return self.nodes[name].parents
 
     def children(self, name: str) -> Tuple[str, ...]:
-        return tuple(
-            n for n in self.order if name in self.nodes[n].parents
-        )
+        children_map = self._cache.get("children")
+        if children_map is None:
+            children_map = {n: [] for n in self.order}
+            for n in self.order:
+                for p in self.nodes[n].parents:
+                    children_map[p].append(n)
+            children_map = {
+                n: tuple(kids) for n, kids in children_map.items()
+            }
+            self._cache["children"] = children_map
+        return children_map.get(name, ())
 
     def ancestors(self, names: Sequence[str]) -> frozenset:
         """All (strict and reflexive) ancestors of the given nodes."""

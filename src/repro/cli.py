@@ -74,6 +74,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the exact posterior of the original and the slice",
     )
     parser.add_argument(
+        "--factorize",
+        action="store_true",
+        help=(
+            "partition the sliced program into independent factors; "
+            "prints one standalone program per factor (with --infer: "
+            "each factor is inferred separately and the sub-posteriors "
+            "recombine exactly; with --exact: the product of factor "
+            "posteriors is compared against the monolithic one)"
+        ),
+    )
+    parser.add_argument(
         "--explain",
         metavar="VAR",
         help="explain why VAR is (or is not) in the slice",
@@ -98,7 +109,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "run a custom comma-separated pass pipeline instead of the "
             "default SLI one (e.g. 'obs,svf,ssa,slice,constprop'); "
-            "available passes: obs, svf, ssa, slice, constprop, copyprop"
+            "available passes: obs, svf, ssa, slice, factorize, "
+            "constprop, copyprop"
         ),
     )
     passes.add_argument(
@@ -244,15 +256,25 @@ def _run_inference(args, result, cache) -> int:
 
     runner = ParallelRunner(n_workers=args.jobs, cache=cache)
     engine = _ENGINE_FACTORIES[args.infer](args)
+    factored = args.factorize and result.factors is not None
     try:
         with current_recorder().span(
             "infer", engine=engine.name, jobs=args.jobs, seed=args.seed
         ):
-            inferred = runner.run(engine, result.sliced)
+            if factored:
+                inferred = runner.run_factored(engine, result.factors)
+            else:
+                inferred = runner.run(engine, result.sliced)
     except InferenceError as exc:
         print(f"inference error: {exc}", file=sys.stderr)
         return 1
     print(f"// engine: {engine.name}  jobs: {args.jobs}  seed: {args.seed}")
+    if factored:
+        print(
+            f"// factors: {len(result.factors)} "
+            f"(recombined sub-posteriors; {result.factors.dropped} "
+            f"prior-only components dropped)"
+        )
     print(
         f"// samples: {len(inferred.samples)}  "
         f"statements: {inferred.statements_executed}  "
@@ -371,6 +393,7 @@ def _dispatch(args, program) -> int:
                 program,
                 use_obs=not args.no_obs,
                 simplify=args.simplify,
+                factorize=args.factorize,
                 verify=args.verify_each,
                 spot_check_seeds=seeds,
                 on_after_pass=on_after_pass,
@@ -380,6 +403,7 @@ def _dispatch(args, program) -> int:
                 program,
                 use_obs=not args.no_obs,
                 simplify=args.simplify,
+                factorize=args.factorize,
                 cache=cache,
                 verify=args.verify_each,
                 spot_check_seeds=seeds,
@@ -413,7 +437,16 @@ def _dispatch(args, program) -> int:
         print("// --- after OBS; SVF; SSA ---")
         print(pretty(result.transformed))
         print("// --- slice ---")
-    print(pretty(result.sliced), end="")
+    if args.factorize and result.factors is not None:
+        factors = result.factors
+        for factor in factors.factors:
+            owns = ", ".join(factor.returns) or "(evidence only)"
+            print(f"// --- factor {factor.index}: {owns} ---")
+            print(pretty(factor.program), end="")
+        if not factors.factors:
+            print("// (no factors: constant return)")
+    else:
+        print(pretty(result.sliced), end="")
     if args.stats:
         print(
             f"// statements: {result.original_size} source, "
@@ -422,6 +455,13 @@ def _dispatch(args, program) -> int:
         )
         print(f"// observed: {', '.join(sorted(result.observed)) or '(none)'}")
         print(f"// influencers: {', '.join(sorted(result.influencers))}")
+        if args.factorize and result.factors is not None:
+            sizes = ", ".join(str(f.size) for f in result.factors.factors)
+            print(
+                f"// factors: {len(result.factors)} "
+                f"(sizes: {sizes or 'none'}; "
+                f"{result.factors.dropped} dropped)"
+            )
     if args.exact:
         try:
             original = exact_inference(program).distribution
@@ -432,6 +472,21 @@ def _dispatch(args, program) -> int:
         print(f"// exact original: {original}")
         print(f"// exact sliced:   {sliced}")
         print(f"// agree: {original.allclose(sliced, atol=1e-9)}")
+        if args.factorize and result.factors is not None:
+            from .semantics.factored import factored_exact
+
+            try:
+                product = factored_exact(result.factors).distribution
+            except (ExactEngineError, ValueError) as exc:
+                print(
+                    f"// factored exact unavailable: {exc}", file=sys.stderr
+                )
+                return 0
+            print(f"// exact factored: {product}")
+            print(
+                f"// factored agrees: "
+                f"{product.allclose(original, atol=1e-9)}"
+            )
     return 0
 
 

@@ -37,6 +37,7 @@ __all__ = [
     "Const",
     "Unary",
     "Binary",
+    "TupleExpr",
     "DistCall",
     "Stmt",
     "Skip",
@@ -86,7 +87,7 @@ BINARY_OPS = BOOL_BINARY_OPS + COMPARISON_OPS + ARITH_BINARY_OPS
 
 def lift(value: "Union[Expr, bool, int, float]") -> "Expr":
     """Lift a Python literal to a :class:`Const`; expressions pass through."""
-    if isinstance(value, (Var, Const, Unary, Binary)):
+    if isinstance(value, (Var, Const, Unary, Binary, TupleExpr)):
         return value
     if isinstance(value, (bool, int, float)):
         return Const(value)
@@ -224,7 +225,24 @@ class Binary(_ExprOps):
         return f"({self.left} {self.op} {self.right})"
 
 
-Expr = Union[Var, Const, Unary, Binary]
+@dataclass(frozen=True)
+class TupleExpr(_ExprOps):
+    """A tuple of expressions ``tuple(E1, ..., En)``.
+
+    Not part of the paper's surface language: the factorisation pass
+    uses it as a factor's return expression when the factor owns more
+    than one query variable, so a standalone factor program returns the
+    *joint* sample over its variables.  It evaluates to a Python tuple,
+    which is hashable and therefore enumerable by the exact engine.
+    """
+
+    elements: Tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        return f"tuple({', '.join(map(str, self.elements))})"
+
+
+Expr = Union[Var, Const, Unary, Binary, TupleExpr]
 
 
 @dataclass(frozen=True)
@@ -457,6 +475,8 @@ def _expr_node_count(expr: Expr) -> int:
         return 1 + _expr_node_count(expr.operand)
     if isinstance(expr, Binary):
         return 1 + _expr_node_count(expr.left) + _expr_node_count(expr.right)
+    if isinstance(expr, TupleExpr):
+        return 1 + sum(_expr_node_count(e) for e in expr.elements)
     raise TypeError(f"not an expression: {expr!r}")
 
 
@@ -467,7 +487,7 @@ def node_count(obj: Union[Program, Stmt, Expr, DistCall]) -> int:
         return node_count(obj.body) + node_count(obj.ret)
     if isinstance(obj, DistCall):
         return 1 + sum(node_count(a) for a in obj.args)
-    if isinstance(obj, (Var, Const, Unary, Binary)):
+    if isinstance(obj, (Var, Const, Unary, Binary, TupleExpr)):
         return _expr_node_count(obj)
     if isinstance(obj, Skip):
         return 1

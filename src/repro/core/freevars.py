@@ -34,6 +34,7 @@ from .ast import (
     Sample,
     Skip,
     Stmt,
+    TupleExpr,
     Unary,
     Var,
     While,
@@ -73,6 +74,11 @@ def _free_vars(obj: Union[Program, Stmt, Expr, DistCall]) -> FrozenSet[str]:
         return free_vars(obj.operand)
     if isinstance(obj, Binary):
         return free_vars(obj.left) | free_vars(obj.right)
+    if isinstance(obj, TupleExpr):
+        acc: Set[str] = set()
+        for e in obj.elements:
+            acc.update(free_vars(e))
+        return frozenset(acc)
     if isinstance(obj, DistCall):
         acc: Set[str] = set()
         for arg in obj.args:

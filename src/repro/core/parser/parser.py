@@ -41,6 +41,7 @@ from ..ast import (
     SKIP,
     Skip,
     Stmt,
+    TupleExpr,
     Unary,
     Var,
     While,
@@ -149,6 +150,23 @@ class _Parser:
             self._next()
             return Const(tok.text == "true")
         if tok.kind == "IDENT":
+            # ``tuple(E1, ..., En)`` — the factorisation pass's joint
+            # return expression.  PROB has no other function-call
+            # syntax in expressions, so this is unambiguous.
+            if (
+                tok.text == "tuple"
+                and self._peek(1).kind == "OP"
+                and self._peek(1).text == "("
+            ):
+                self._next()
+                self._next()
+                elements: List[Expr] = []
+                if not (self._peek().kind == "OP" and self._peek().text == ")"):
+                    elements.append(self.parse_expr())
+                    while self._match("OP", ","):
+                        elements.append(self.parse_expr())
+                self._expect("OP", ")")
+                return TupleExpr(tuple(elements))
             self._next()
             return Var(tok.text)
         raise self._error("expected an expression")

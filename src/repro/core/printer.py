@@ -25,6 +25,7 @@ from .ast import (
     Sample,
     Skip,
     Stmt,
+    TupleExpr,
     Unary,
     Var,
     While,
@@ -78,6 +79,9 @@ def pretty_expr(expr: Expr, parent_prec: int = 0) -> str:
         right = pretty_expr(expr.right, prec + 1)
         text = f"{left} {expr.op} {right}"
         return f"({text})" if parent_prec > prec else text
+    if isinstance(expr, TupleExpr):
+        inner = ", ".join(pretty_expr(e) for e in expr.elements)
+        return f"tuple({inner})"
     raise TypeError(f"not an expression: {expr!r}")
 
 
@@ -136,7 +140,7 @@ def _emit_body(stmt: Stmt, indent: int, lines: List[str]) -> None:
 
 def pretty(obj: Union[Program, Stmt, Expr]) -> str:
     """Render a program, statement, or expression as concrete syntax."""
-    if isinstance(obj, (Var, Const, Unary, Binary)):
+    if isinstance(obj, (Var, Const, Unary, Binary, TupleExpr)):
         return pretty_expr(obj)
     lines: List[str] = []
     if isinstance(obj, Program):

@@ -34,6 +34,7 @@ from .ast import (
     Sample,
     Skip,
     Stmt,
+    TupleExpr,
     Unary,
     Var,
     While,
@@ -44,6 +45,7 @@ __all__ = ["TypeError_", "TypeEnv", "infer_expr_type", "check_program"]
 BOOL = "bool"
 INT = "int"
 FLOAT = "float"
+TUPLE = "tuple"
 
 #: Value type of each distribution's samples; parameters are numeric.
 _DIST_VALUE_TYPE = {
@@ -122,6 +124,12 @@ def infer_expr_type(expr: Expr, env: TypeEnv) -> str:
             _join_numeric(lt, rt)
             return FLOAT
         return _join_numeric(lt, rt)
+    if isinstance(expr, TupleExpr):
+        # A joint value over a factor's query variables; opaque to the
+        # operators, so only valid as a (return) expression by itself.
+        for e in expr.elements:
+            infer_expr_type(e, env)
+        return TUPLE
     raise TypeError(f"not an expression: {expr!r}")
 
 

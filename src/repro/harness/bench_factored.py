@@ -1,0 +1,231 @@
+"""Factored vs monolithic inference benchmark (``BENCH_pr6.json``).
+
+Two tables, one JSON document:
+
+* **Table-1 models** — every registry benchmark at ``bench`` scale is
+  sliced with the factorisation pass on, then compiled MH runs once
+  monolithically on the sliced program and once shard-by-factor
+  (:meth:`repro.runtime.parallel.ParallelRunner.run_factored`),
+  recording wall-clock, samples/sec, and the factor count.  Most
+  Table-1 programs are a single connected component after slicing, so
+  these rows mostly document that factorisation costs nothing when it
+  cannot split.
+* **Synthetic K-component family** — ``k_components_model(k)`` for
+  ``k`` in ``--k-values``, under *rejection* sampling, where
+  factorisation provably wins: the monolithic run accepts with
+  probability ``0.5**k`` while each factor accepts with probability
+  ``0.5``, so factored throughput beats monolithic for every
+  ``k >= 2`` (the document records the speedup so CI can assert it).
+
+Both arms run on the same :class:`ParallelRunner` with the inline
+backend so the comparison measures the factorisation itself, not
+process fan-out.  Regenerate the repo-root snapshot with::
+
+    PYTHONPATH=src python -m repro.harness.bench_factored -o BENCH_pr6.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from ..core.ast import Program
+from ..inference.base import Engine
+from ..inference.mh import MetropolisHastings
+from ..inference.rejection import RejectionSampler
+from ..models.kcomponents import k_components_model
+from ..models.registry import TABLE1
+from ..runtime.parallel import ParallelRunner
+from ..transforms.pipeline import sli
+
+__all__ = [
+    "factored_record",
+    "kfamily_record",
+    "collect_factored_report",
+    "write_factored_json",
+    "main",
+]
+
+
+def _throughput(run) -> Dict[str, float]:
+    secs = max(run.elapsed_seconds, 1e-9)
+    return {
+        "samples": len(run.samples),
+        "seconds": round(secs, 6),
+        "samples_per_sec": round(len(run.samples) / secs, 2),
+    }
+
+
+def _compare(
+    program: Program,
+    make_engine,
+    runner: ParallelRunner,
+) -> Dict[str, Any]:
+    """Monolithic vs factored throughput for one program under one
+    engine family; the sliced program and factor set come from the same
+    ``sli`` run so both arms condition identically."""
+    result = sli(program, factorize=True)
+    factors = result.factors
+    assert factors is not None
+    mono_engine: Engine = make_engine()
+    t0 = time.perf_counter()
+    mono = mono_engine.infer(result.sliced)
+    mono.elapsed_seconds = time.perf_counter() - t0
+    fact = runner.run_factored(make_engine(), factors)
+    monolithic = _throughput(mono)
+    factored = _throughput(fact)
+    return {
+        "n_factors": len(factors),
+        "dropped": factors.dropped,
+        "monolithic": monolithic,
+        "factored": factored,
+        "speedup": round(
+            factored["samples_per_sec"]
+            / max(monolithic["samples_per_sec"], 1e-9),
+            3,
+        ),
+    }
+
+
+def factored_record(
+    spec: Any,
+    runner: ParallelRunner,
+    n_samples: int = 400,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """One Table-1 benchmark: compiled MH, monolithic vs factored."""
+
+    def make_engine() -> Engine:
+        return MetropolisHastings(
+            n_samples=n_samples, burn_in=100, seed=seed, compiled=True
+        )
+
+    record = _compare(spec.bench(), make_engine, runner)
+    record["name"] = spec.name
+    record["engine"] = "mh-compiled"
+    return record
+
+
+def kfamily_record(
+    k: int,
+    runner: ParallelRunner,
+    n_samples: int = 200,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """One synthetic K-component point: rejection sampling, monolithic
+    vs factored.  Monolithic acceptance is ``0.5**k`` so its attempt
+    budget scales with ``2**k``."""
+
+    def make_engine() -> Engine:
+        return RejectionSampler(
+            n_samples=n_samples,
+            seed=seed,
+            max_attempts=max(200_000, n_samples * (2 ** (k + 4))),
+        )
+
+    record = _compare(k_components_model(k), make_engine, runner)
+    record["k"] = k
+    record["engine"] = "rejection"
+    return record
+
+
+def collect_factored_report(
+    n_samples: int = 400,
+    k_values: Optional[List[int]] = None,
+    only: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    """The full ``BENCH_pr6.json`` document."""
+    runner = ParallelRunner(n_workers=1, backend="inline")
+    table1 = []
+    for spec in TABLE1:
+        if only and spec.name not in only:
+            continue
+        table1.append(factored_record(spec, runner, n_samples=n_samples))
+    kfamily = [
+        kfamily_record(k, runner, n_samples=max(50, n_samples // 2))
+        for k in (k_values or [1, 2, 4, 8])
+    ]
+    return {
+        "schema": "repro-bench/1",
+        "pr": 6,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "n_samples": n_samples,
+        "table1": table1,
+        "k_family": kfamily,
+    }
+
+
+def write_factored_json(
+    path: str = "BENCH_pr6.json",
+    n_samples: int = 400,
+    k_values: Optional[List[int]] = None,
+    only: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    report = collect_factored_report(
+        n_samples=n_samples, k_values=k_values, only=only
+    )
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=False)
+        f.write("\n")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.bench_factored",
+        description="Write the factored-vs-monolithic benchmark snapshot.",
+    )
+    parser.add_argument("-o", "--output", default="BENCH_pr6.json")
+    parser.add_argument(
+        "--samples", type=int, default=400, help="samples per run"
+    )
+    parser.add_argument(
+        "--k-values",
+        type=int,
+        nargs="*",
+        metavar="K",
+        help="synthetic family sizes (default: 1 2 4 8)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        metavar="NAME",
+        help="restrict Table-1 rows to these benchmark names",
+    )
+    args = parser.parse_args(argv)
+    report = write_factored_json(
+        args.output,
+        n_samples=args.samples,
+        k_values=args.k_values,
+        only=args.only,
+    )
+    for row in report["table1"]:
+        print(
+            f"{row['name']:28s} factors={row['n_factors']} "
+            f"mono={row['monolithic']['samples_per_sec']:9.1f}/s "
+            f"fact={row['factored']['samples_per_sec']:9.1f}/s "
+            f"speedup={row['speedup']:.2f}x"
+        )
+    for row in report["k_family"]:
+        print(
+            f"k={row['k']:<26d} factors={row['n_factors']} "
+            f"mono={row['monolithic']['samples_per_sec']:9.1f}/s "
+            f"fact={row['factored']['samples_per_sec']:9.1f}/s "
+            f"speedup={row['speedup']:.2f}x"
+        )
+    print(
+        f"wrote {args.output} "
+        f"({len(report['table1'])} benchmarks, "
+        f"{len(report['k_family'])} k-family points)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

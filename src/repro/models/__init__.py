@@ -13,6 +13,7 @@ from .datasets import (
     tournament_data,
 )
 from .hiv import hiv_model
+from .kcomponents import k_components_model
 from .linreg import linreg_model
 from .noisy_or import noisy_or_model
 from .paper_examples import (
@@ -40,6 +41,7 @@ __all__ = [
     "team_tournament_data",
     "tournament_data",
     "hiv_model",
+    "k_components_model",
     "linreg_model",
     "noisy_or_model",
     "STUDENT_CORE",

@@ -18,6 +18,7 @@ from .library import (
     PASS_REGISTRY,
     ConstPropPass,
     CopyPropPass,
+    FactorizePass,
     ObsPass,
     SlicePass,
     SsaPass,
@@ -41,6 +42,7 @@ __all__ = [
     "SvfPass",
     "SsaPass",
     "SlicePass",
+    "FactorizePass",
     "ConstPropPass",
     "CopyPropPass",
     "PASS_REGISTRY",

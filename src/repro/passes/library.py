@@ -31,6 +31,7 @@ from typing import Callable, Dict, List
 from ..analysis.influencers import dinf, inf_fast
 from ..core.freevars import free_vars
 from ..transforms.constprop import const_prop, copy_prop
+from ..transforms.factorize import factorize_lowered
 from ..transforms.obs import obs_transform
 from ..transforms.slice import slice_lowered
 from ..transforms.ssa import ssa_transform
@@ -43,6 +44,7 @@ __all__ = [
     "SvfPass",
     "SsaPass",
     "SlicePass",
+    "FactorizePass",
     "ConstPropPass",
     "CopyPropPass",
     "PASS_REGISTRY",
@@ -164,6 +166,27 @@ class SlicePass(Pass):
         ctx.update_program(slice_lowered(lowered, keep), preserves=self.preserves)
 
 
+class FactorizePass(Pass):
+    """Partition the program into independent factors (an analysis
+    pass: the program itself is left untouched).
+
+    Runs :func:`repro.transforms.factorize.factorize_lowered` on the
+    cached lowering and records the resulting
+    :class:`repro.transforms.factorize.FactorSet` as the
+    ``factor_set`` artifact, which :func:`repro.transforms.pipeline
+    .sli` surfaces as :attr:`SliceResult.factors`.  Because the pass
+    participates in the pipeline key, factorized and plain slices
+    occupy distinct :class:`repro.runtime.ProgramCache` entries.
+    """
+
+    name = "factorize"
+    distribution_preserving = True
+
+    def run(self, ctx: PassContext) -> None:
+        lowered = ctx.analysis("lowered")
+        ctx.artifacts["factor_set"] = factorize_lowered(lowered)
+
+
 class ConstPropPass(Pass):
     """Constant propagation and folding (the Section 2 post-pass)."""
 
@@ -190,6 +213,7 @@ PASS_REGISTRY: Dict[str, Callable[[], Pass]] = {
     "svf": SvfPass,
     "ssa": SsaPass,
     "slice": SlicePass,
+    "factorize": FactorizePass,
     "constprop": ConstPropPass,
     "copyprop": CopyPropPass,
 }
@@ -235,9 +259,12 @@ def sli_passes(
     obs_extended: bool = True,
     simplify: bool = False,
     svf_hoist_variables: bool = False,
+    factorize: bool = False,
 ) -> List[Pass]:
     """The full SLI pipeline; ``simplify=True`` appends the
-    constant/copy-propagation post-passes and a second slice."""
+    constant/copy-propagation post-passes and a second slice;
+    ``factorize=True`` appends the factorisation analysis pass, which
+    partitions the sliced program into independent factors."""
     passes = preprocess_passes(
         use_obs=use_obs,
         obs_extended=obs_extended,
@@ -246,6 +273,8 @@ def sli_passes(
     passes.append(SlicePass())
     if simplify:
         passes.extend([ConstPropPass(), CopyPropPass(), SlicePass()])
+    if factorize:
+        passes.append(FactorizePass())
     return passes
 
 

@@ -37,6 +37,7 @@ from .oracles import (
     BayesNetOracle,
     Disagreement,
     ExactEquivalenceOracle,
+    FactorizationOracle,
     Oracle,
     OracleConfig,
     SamplerEquivalenceOracle,
@@ -70,6 +71,7 @@ __all__ = [
     "BayesNetOracle",
     "Disagreement",
     "ExactEquivalenceOracle",
+    "FactorizationOracle",
     "Oracle",
     "OracleConfig",
     "SamplerEquivalenceOracle",

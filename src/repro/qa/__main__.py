@@ -9,7 +9,8 @@ Subcommands:
 * ``shrink`` — minimize a failing ``.prob`` file against the oracles.
 
 All subcommands accept ``--oracles`` (comma-separated subset of
-``backends,exact,bayesnet,samplers``), ``--samples`` (per-engine draw
+``backends,exact,bayesnet,samplers,factorization``), ``--samples``
+(per-engine draw
 count for the statistical oracle), and observability flags
 (``--trace FILE`` / ``--metrics-summary``) that record ``qa.*`` spans
 and counters via :mod:`repro.obs`.
@@ -43,7 +44,7 @@ def _add_oracle_args(parser: argparse.ArgumentParser) -> None:
         default=",".join(default_oracle_names()),
         help=(
             "comma-separated oracle subset "
-            "(backends,exact,bayesnet,samplers)"
+            "(backends,exact,bayesnet,samplers,factorization)"
         ),
     )
     parser.add_argument(
@@ -107,6 +108,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_CONFIG.max_top_stmts,
         help="top-level statement budget per generated program",
     )
+    fz.add_argument(
+        "--components",
+        type=int,
+        default=DEFAULT_CONFIG.n_components,
+        help=(
+            "statically independent components per generated program "
+            "(factorisation stress; 1 = historical family)"
+        ),
+    )
     _add_oracle_args(fz)
 
     rp = sub.add_parser("replay", help="replay a corpus through the oracles")
@@ -137,6 +147,8 @@ def _run(args) -> int:
             gen_config = replace(gen_config, allow_loops=False)
         if args.max_stmts != gen_config.max_top_stmts:
             gen_config = replace(gen_config, max_top_stmts=args.max_stmts)
+        if args.components != gen_config.n_components:
+            gen_config = replace(gen_config, n_components=args.components)
         oracles = make_oracles(names, config=_oracle_config(args, 10_000))
         stats = fuzz(
             time_budget=args.time_budget,

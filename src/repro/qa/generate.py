@@ -113,14 +113,24 @@ class GenConfig:
     #: Disjunction-weaken observes with a fresh ``Bernoulli(0.7)``
     #: coin so full blocking is rare.
     weaken_observes: bool = True
+    #: Emit this many statically independent components: each gets its
+    #: own variable pool (``var_prefix`` distinguishes them), top-level
+    #: statements are round-robin interleaved, and the return value
+    #: folds one boolean per component.  ``1`` is the historical
+    #: single-component family.
+    n_components: int = 1
+    #: Inserted *after* the type letter (``b``/``n``), so per-component
+    #: pools like ``bc0_0`` still satisfy the ``startswith`` checks the
+    #: expression builders use to tell bools from ints.
+    var_prefix: str = ""
 
     @property
     def bool_vars(self) -> List[str]:
-        return [f"b{i}" for i in range(self.n_bool_vars)]
+        return [f"b{self.var_prefix}{i}" for i in range(self.n_bool_vars)]
 
     @property
     def int_vars(self) -> List[str]:
-        return [f"n{i}" for i in range(self.n_int_vars)]
+        return [f"n{self.var_prefix}{i}" for i in range(self.n_int_vars)]
 
 
 DEFAULT_CONFIG = GenConfig()
@@ -320,15 +330,46 @@ def _build_statements(
 
 
 def build_program(ch: Chooser, config: GenConfig = DEFAULT_CONFIG) -> Program:
-    """A random well-formed finite discrete PROB program."""
-    defined: List[str] = []
-    stmts = _build_statements(ch, defined, config, 0, config.allow_loops)
-    body = seq(*stmts)
-    if ch.boolean():
-        ret = build_bool_expr(ch, defined, config)
-    else:
-        ret = build_int_expr(ch, defined, config)
-    return Program(body, ret)
+    """A random well-formed finite discrete PROB program.
+
+    With ``config.n_components > 1`` the program is a round-robin
+    interleaving of that many statically independent components (no
+    statement of one mentions a variable of another; per-component
+    statement order is preserved, so def-before-use still holds), and
+    the return expression is an ``&&``/``||`` fold of one boolean per
+    component — the factorisation pass must split such programs along
+    exactly those component seams.
+    """
+    if config.n_components <= 1:
+        defined: List[str] = []
+        stmts = _build_statements(ch, defined, config, 0, config.allow_loops)
+        body = seq(*stmts)
+        if ch.boolean():
+            ret = build_bool_expr(ch, defined, config)
+        else:
+            ret = build_int_expr(ch, defined, config)
+        return Program(body, ret)
+    parts: List[Tuple[List[Stmt], Expr]] = []
+    for i in range(config.n_components):
+        sub = replace(
+            config,
+            n_components=1,
+            var_prefix=f"{config.var_prefix}c{i}_",
+        )
+        defined = []
+        stmts = _build_statements(ch, defined, sub, 0, sub.allow_loops)
+        parts.append((stmts, build_bool_expr(ch, defined, sub)))
+    interleaved: List[Stmt] = []
+    cursor = 0
+    while any(stmts for stmts, _ in parts):
+        stmts, _ = parts[cursor % len(parts)]
+        if stmts:
+            interleaved.append(stmts.pop(0))
+        cursor += 1
+    ret = parts[0][1]
+    for _, part_ret in parts[1:]:
+        ret = Binary(ch.choice(["&&", "||"]), ret, part_ret)
+    return Program(seq(*interleaved), ret)
 
 
 # ---------------------------------------------------------------------------

@@ -26,6 +26,11 @@ fuzz campaign can run at scale:
   of programs keeps a bounded family-wise false-alarm rate).  Weighted
   samplers (likelihood weighting, SMC) are tested at their Kish
   effective sample size.
+* :class:`FactorizationOracle` — the factorisation pass
+  (``sli --factorize``) must be exact: the product of the per-factor
+  posteriors recombined through the original return expression matches
+  the monolithic exact posterior with zero TV distance, and the factor
+  bodies partition the sliced program.
 
 Every oracle reports :class:`Disagreement` records and never raises
 on *expected* inapplicability (continuous programs, zero normalizers,
@@ -61,6 +66,7 @@ from ..inference import (
 from ..semantics.distribution import FiniteDist
 from ..semantics.exact import ExactEngineError, ExactResult, exact_inference
 from ..semantics.executor import NonTerminatingRun, run_program
+from ..semantics.factored import factored_exact
 from ..transforms import naive_slice, nt_slice, sli
 
 __all__ = [
@@ -71,6 +77,7 @@ __all__ = [
     "BackendEquivalenceOracle",
     "BayesNetOracle",
     "SamplerEquivalenceOracle",
+    "FactorizationOracle",
     "ORACLE_TYPES",
     "default_oracle_names",
     "make_oracles",
@@ -686,6 +693,93 @@ def _effective_draws(result, mcmc: bool = False) -> float:
     return kish
 
 
+class FactorizationOracle(Oracle):
+    """Product of per-factor exact posteriors == monolithic posterior.
+
+    Runs ``sli(P, factorize=True)`` and checks that
+    :func:`repro.semantics.factored.factored_exact` over the resulting
+    :class:`~repro.transforms.factorize.FactorSet` matches
+    ``exact_inference(P)`` with TV distance (float-)zero, and that the
+    factor bodies partition the sliced program (sizes sum to the slice
+    size when nothing was dropped, and never exceed it).
+    """
+
+    name = "factorization"
+
+    def check(self, program: Program) -> List[Disagreement]:
+        base = _try_exact(program)
+        if base is None:
+            return []
+        out: List[Disagreement] = []
+        try:
+            result = sli(program, factorize=True)
+            factors = result.factors
+            assert factors is not None
+            product = factored_exact(factors)
+        except (ValueError, ExactEngineError):
+            out.append(
+                Disagreement(
+                    oracle=self.name,
+                    kind="distribution",
+                    subject="factored",
+                    reference="original",
+                    detail=(
+                        "factorized pipeline is degenerate/unenumerable "
+                        "but the original has a positive normalizer"
+                    ),
+                )
+            )
+            return out
+        except Exception:
+            out.append(
+                Disagreement(
+                    oracle=self.name,
+                    kind="crash",
+                    subject="factored",
+                    reference="original",
+                    detail=traceback.format_exc(limit=6),
+                )
+            )
+            return out
+        total = sum(f.size for f in factors.factors)
+        if total > result.sliced_size or (
+            factors.dropped == 0 and total != result.sliced_size
+        ):
+            out.append(
+                Disagreement(
+                    oracle=self.name,
+                    kind="invariant",
+                    subject="factored",
+                    reference="sli",
+                    detail=(
+                        f"factor bodies do not partition the slice: "
+                        f"sizes {[f.size for f in factors.factors]} sum to "
+                        f"{total}, slice has {result.sliced_size} "
+                        f"statements, {factors.dropped} dropped"
+                    ),
+                )
+            )
+        tv = base.distribution.tv_distance(product.distribution)
+        if not base.distribution.allclose(
+            product.distribution, atol=self.config.atol
+        ):
+            out.append(
+                Disagreement(
+                    oracle=self.name,
+                    kind="distribution",
+                    subject="factored",
+                    reference="original",
+                    detail=(
+                        f"product of {len(factors)} factor posteriors "
+                        f"differs from monolithic: {base.distribution!r} "
+                        f"vs {product.distribution!r}"
+                    ),
+                    metric=tv,
+                )
+            )
+        return out
+
+
 # ---------------------------------------------------------------------------
 # Registry and campaign helpers
 # ---------------------------------------------------------------------------
@@ -696,18 +790,19 @@ ORACLE_TYPES: Dict[str, type] = {
     "exact": ExactEquivalenceOracle,
     "bayesnet": BayesNetOracle,
     "samplers": SamplerEquivalenceOracle,
+    "factorization": FactorizationOracle,
 }
 
 
 def default_oracle_names() -> Tuple[str, ...]:
-    return ("backends", "exact", "bayesnet", "samplers")
+    return ("backends", "exact", "bayesnet", "samplers", "factorization")
 
 
 def make_oracles(
     names: Optional[Sequence[str]] = None,
     config: OracleConfig = OracleConfig(),
 ) -> List[Oracle]:
-    """Instantiate oracles by name (all four by default)."""
+    """Instantiate oracles by name (all five by default)."""
     chosen = tuple(names) if names else default_oracle_names()
     oracles = []
     for name in chosen:

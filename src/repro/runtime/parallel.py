@@ -31,15 +31,19 @@ environments use.
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import multiprocessing
 import os
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..core.ast import Program
-from ..inference.base import Engine, InferenceResult
+from ..inference.base import Engine, InferenceError, InferenceResult
 from ..obs.recorder import TraceRecorder, current_recorder, use_recorder
+
+if TYPE_CHECKING:
+    from ..transforms.factorize import FactorSet
 
 __all__ = ["ParallelRunner", "spawn_seeds"]
 
@@ -84,6 +88,49 @@ def _infer_shard(
         ):
             result = engine.infer(program)
     return result, recorder.to_payload()
+
+
+def _recombine(
+    factor_set: "FactorSet", parts: Sequence[InferenceResult]
+) -> InferenceResult:
+    """Exact product recombination of per-factor sampling results.
+
+    Factor variable sets are disjoint, so the i-th joint sample is the
+    original return expression evaluated over the union of the i-th
+    per-factor assignments, and (when any factor is weighted) the i-th
+    joint weight is the product of the per-factor weights.
+    """
+    if len(parts) != len(factor_set.factors):
+        raise InferenceError(
+            f"expected {len(factor_set.factors)} factor results, "
+            f"got {len(parts)}"
+        )
+    for part in parts:
+        if part.exact is not None or part.moments is not None:
+            raise InferenceError(
+                "factored recombination requires sampling results"
+            )
+    n = min(len(part.samples) for part in parts)
+    merged = InferenceResult()
+    has_weights = any(part.weights is not None for part in parts)
+    if has_weights:
+        merged.weights = []
+    for i in range(n):
+        values = [part.samples[i] for part in parts]
+        merged.samples.append(factor_set.recombine(values))
+        if has_weights:
+            w = 1.0
+            for part in parts:
+                if part.weights is not None:
+                    w *= part.weights[i]
+            assert merged.weights is not None
+            merged.weights.append(w)
+    for part in parts:
+        merged.statements_executed += part.statements_executed
+        merged.n_proposals += part.n_proposals
+        merged.n_accepted += part.n_accepted
+        merged.elapsed_seconds += part.elapsed_seconds
+    return merged
 
 
 def _default_workers() -> int:
@@ -158,17 +205,86 @@ class ParallelRunner:
             merged.elapsed_seconds = time.perf_counter() - start
         return merged
 
+    def run_factored(
+        self, engine: Engine, factor_set: "FactorSet"
+    ) -> InferenceResult:
+        """Shard-by-factor inference: run ``engine`` independently on
+        every factor of ``factor_set`` and recombine the per-factor
+        sub-posteriors into a joint result.
+
+        Each factor gets a clone of the engine with its own seed from
+        the master's :func:`spawn_seeds` stream, so the result is
+        deterministic in the engine's seed.  Recombination is the exact
+        product over disjoint variable sets: per-index factor outputs
+        join into one assignment, the original return expression is
+        evaluated on it, and importance weights multiply (both the
+        proposal and the target factorize across factors, so the
+        product weight is the joint weight).  Joint samples are capped
+        at the smallest per-factor sample count; work counters sum;
+        cross-factor chain diagnostics are unavailable (``chains`` is
+        ``None``) because no worker ever sees the joint state.
+
+        Evidence-only factors still run — they carry the conditioning
+        (a blocked factor must surface the same ``InferenceError`` the
+        monolithic run would) — but their samples join as the empty
+        assignment.
+        """
+        factors = factor_set.factors
+        if not factors:
+            # Everything was dropped (constant return): a point mass.
+            return InferenceResult(samples=[factor_set.recombine([])])
+        if self.cache is not None and getattr(engine, "compiled", False):
+            for factor in factors:
+                self.cache.compiled(factor.program)
+        seeds = spawn_seeds(getattr(engine, "seed", 0), len(factors))
+        clones: List[Engine] = []
+        for seed in seeds:
+            clone = copy.copy(engine)
+            if hasattr(clone, "seed"):
+                clone.seed = seed  # type: ignore[attr-defined]
+            clones.append(clone)
+        tasks = [
+            (clone, factor.program)
+            for clone, factor in zip(clones, factors)
+        ]
+        recorder = current_recorder()
+        with recorder.span(
+            "parallel.run_factored",
+            engine=engine.name,
+            n_factors=len(factors),
+            backend=self.backend,
+        ):
+            start = time.perf_counter()
+            pairs = self._map_tasks(
+                tasks, force_inline=self.n_workers <= 1
+            )
+            for _, payload in pairs:
+                if payload is not None:
+                    recorder.merge_child(payload)
+            merged = _recombine(factor_set, [result for result, _ in pairs])
+            merged.elapsed_seconds = time.perf_counter() - start
+        return merged
+
     def _map(
         self, shards: Sequence[Engine], program: Program
     ) -> List[Tuple[InferenceResult, Optional[dict]]]:
+        return self._map_tasks([(shard, program) for shard in shards])
+
+    def _map_tasks(
+        self,
+        tasks: Sequence[Tuple[Engine, Program]],
+        force_inline: bool = False,
+    ) -> List[Tuple[InferenceResult, Optional[dict]]]:
         capture = current_recorder().enabled
         payloads = [
-            (shard, program, i, capture) for i, shard in enumerate(shards)
+            (engine, program, i, capture)
+            for i, (engine, program) in enumerate(tasks)
         ]
-        if self.backend == "inline":
+        if self.backend == "inline" or force_inline:
             return [_infer_shard(p) for p in payloads]
         ctx = multiprocessing.get_context(self.backend)
-        with ctx.Pool(processes=len(shards)) as pool:
+        processes = min(len(payloads), max(1, self.n_workers))
+        with ctx.Pool(processes=processes) as pool:
             return pool.map(_infer_shard, payloads, chunksize=1)
 
     def __repr__(self) -> str:

@@ -3,6 +3,7 @@ executor with traces (the substrate of the sampling engines)."""
 
 from .distribution import FiniteDist
 from .exact import ExactEngineError, ExactOptions, ExactResult, exact_inference
+from .factored import factored_exact
 from .executor import (
     ExecutorOptions,
     NonTerminatingRun,
@@ -18,6 +19,7 @@ __all__ = [
     "ExactOptions",
     "ExactResult",
     "exact_inference",
+    "factored_exact",
     "ExecutorOptions",
     "NonTerminatingRun",
     "RunResult",

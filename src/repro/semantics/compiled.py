@@ -52,6 +52,7 @@ from ..core.ast import (
     ObserveSample,
     Program,
     Sample,
+    TupleExpr,
     Unary,
     Var,
 )
@@ -173,6 +174,11 @@ class _Codegen:
             if op == "%":
                 return f"_mod({left}, {right}, {f'modulo by zero in {e}'!r})"
             raise CompilationError(f"unknown operator {op!r}")
+        if isinstance(e, TupleExpr):
+            inner = ", ".join(self.expr(el) for el in e.elements)
+            if len(e.elements) == 1:
+                inner += ","
+            return f"({inner})"
         raise CompilationError(f"not an expression: {e!r}")
 
     def dist(self, d: DistCall) -> str:

@@ -153,6 +153,10 @@ class FiniteDist:
         return f"FiniteDist({{{inner}}})"
 
 
-def _sort_key(value: Value) -> Tuple[int, float]:
-    # Sort bools before numbers of equal float value to keep ordering total.
+def _sort_key(value: Value):
+    # Sort bools before numbers of equal float value to keep ordering
+    # total; tuples (joint factor values) sort after scalars, by their
+    # element keys.
+    if isinstance(value, tuple):
+        return (2, tuple(_sort_key(v) for v in value))
     return (0 if isinstance(value, bool) else 1, float(value))

@@ -1,0 +1,70 @@
+"""Exact product recombination of per-factor posteriors.
+
+A :class:`repro.transforms.factorize.FactorSet` partitions a program
+into factors whose key sets are disjoint, so the unnormalized measure
+of the whole program is the product of the factors' measures:
+
+* the joint posterior over all query variables is the product of the
+  per-factor posteriors (disjoint variable sets);
+* the normalizer is the product of the per-factor normalizers
+  (evidence-only factors contribute exactly their normalizer);
+* the output distribution is the original return expression pushed
+  forward through that product.
+
+:func:`factored_exact` implements this by enumerating the product of
+the per-factor supports — the whole point of factorisation is that
+``|S_1| × ... × |S_K|`` per-factor enumeration plus a product over
+supports is exponentially cheaper than one enumeration over the joint
+state space.  It raises exactly where the monolithic engine would:
+``ValueError`` when any factor's normalizer is zero (the product is
+then zero — Theorem 1's excluded case), :class:`ExactEngineError`
+when any factor is out of the engine's reach.
+
+The qa factorisation oracle checks ``factored_exact(factorize(P)) ==
+exact_inference(P)`` with TV distance zero on every enumerable fuzz
+program.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Dict
+
+from .distribution import FiniteDist
+from .exact import ExactOptions, ExactResult, exact_inference
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..transforms.factorize import FactorSet
+
+__all__ = ["factored_exact"]
+
+
+def factored_exact(
+    factor_set: "FactorSet", options: ExactOptions = ExactOptions()
+) -> ExactResult:
+    """Exact inference as a product over the factors of ``factor_set``.
+
+    Runs the enumeration engine on every factor independently, then
+    recombines: output values come from evaluating the original return
+    expression on the cartesian product of per-factor supports, and
+    the normalizer is the product of per-factor normalizers.
+    """
+    parts = [
+        exact_inference(factor.program, options)
+        for factor in factor_set.factors
+    ]
+    normalizer = 1.0
+    for part in parts:
+        normalizer *= part.normalizer
+    weights: Dict[object, float] = {}
+    for combo in itertools.product(*(p.distribution.items() for p in parts)):
+        prob = 1.0
+        for _value, p in combo:
+            prob *= p
+        if prob <= 0.0:
+            continue
+        value = factor_set.recombine([v for v, _p in combo])
+        weights[value] = weights.get(value, 0.0) + prob
+    return ExactResult(
+        distribution=FiniteDist(weights), normalizer=normalizer
+    )

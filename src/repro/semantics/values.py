@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple, Union
 
-from ..core.ast import Binary, Const, DistCall, Expr, Unary, Var
+from ..core.ast import Binary, Const, DistCall, Expr, TupleExpr, Unary, Var
 
 __all__ = ["Value", "State", "EvalError", "eval_expr", "eval_dist_args", "default_value"]
 
@@ -97,6 +97,8 @@ def eval_expr(expr: Expr, state: State) -> Value:
                 raise EvalError(f"modulo by zero in {expr}")
             return lnum % rnum
         raise EvalError(f"unknown operator {op!r}")
+    if isinstance(expr, TupleExpr):
+        return tuple(eval_expr(e, state) for e in expr.elements)
     raise EvalError(f"not an expression: {expr!r}")
 
 

@@ -3,6 +3,7 @@ propagation, and the baseline slicers."""
 
 from .constprop import const_prop, copy_prop, fold_expr
 from .dataslice import DataSliceResult, data_slice, kept_observation_indices
+from .factorize import FactorSet, ProgramFactor, factorize
 from .obs import obs_transform, observe_set, while_set
 from .pipeline import (
     SliceResult,
@@ -23,6 +24,9 @@ __all__ = [
     "data_slice",
     "kept_observation_indices",
     "fold_expr",
+    "FactorSet",
+    "ProgramFactor",
+    "factorize",
     "obs_transform",
     "observe_set",
     "while_set",

@@ -1,0 +1,251 @@
+"""Static factorisation of a PROB program into independent factors.
+
+The dependence analysis (Figure 9) assigns every primitive statement a
+*key* — its target variable, observed variable, soft-observation
+token, or loop condition variable — and connects keys with data and
+control edges.  Each statement contributes a potential over the keys
+it mentions (target, reads, enclosing control conditions), so the
+program's unnormalized density factorizes over the *connected
+components* of the undirected dependence graph: two statements in
+different components share no variable through any chain of data,
+control, or observation dependences, hence no active trail through
+the observed set (the d-separation view — ``repro.bayesnet.dsep``
+certifies this on compilable programs, and the qa factorisation
+oracle checks the measurable consequence on every enumerable fuzz
+program).
+
+Each component is raised to a standalone program with the existing
+mark-and-raise slicer (:func:`repro.transforms.slice.slice_lowered`):
+component key sets partition the key universe, so the factor bodies
+partition the program's statements.  A factor's return expression is
+
+* the single query variable it owns,
+* a :class:`repro.core.ast.TupleExpr` of its query variables (so the
+  factor returns a *joint* sample), or
+* ``Const(True)`` for evidence-only factors (run for their normalizer
+  and their blocking behaviour).
+
+Components that own no query variable and contain no conditioning
+(no observe, no soft observation, no loop — loop conditions are
+observed) integrate to 1 and are dropped, as are empty components.
+
+Recombination is exact because the posterior factorizes as a product
+over factors of disjoint variable sets: :meth:`FactorSet.recombine`
+evaluates the original return expression in the union of the
+per-factor assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.ast import Const, Expr, Program, TupleExpr, Var, statement_count
+from ..core.freevars import free_vars
+from ..analysis.depgraph import DependencyInfo, analyze_lowered
+from ..ir.lower import Lowered, lower
+from .slice import _node_key, slice_lowered
+
+__all__ = [
+    "ProgramFactor",
+    "FactorSet",
+    "factorize",
+    "factorize_lowered",
+]
+
+
+@dataclass(frozen=True)
+class ProgramFactor:
+    """One independent factor of a program.
+
+    ``program`` is a valid standalone PROB program; ``returns`` names
+    the query variables this factor owns (in its return expression's
+    order — empty for evidence-only factors); ``observed`` is the
+    subset of the observed set (variables and soft tokens) the factor
+    owns; ``keys`` is its full key set (variables plus tokens), which
+    partitions across the factors of a :class:`FactorSet`.
+    """
+
+    index: int
+    program: Program
+    returns: Tuple[str, ...]
+    observed: FrozenSet[str]
+    keys: FrozenSet[str]
+
+    @property
+    def size(self) -> int:
+        """Primitive statement count of the factor body."""
+        return statement_count(self.program.body)
+
+    def assignment(self, value: object) -> Dict[str, object]:
+        """Map this factor's output ``value`` back to its query
+        variables (the inverse of the factor's return expression)."""
+        if not self.returns:
+            return {}
+        if len(self.returns) == 1:
+            if isinstance(value, tuple):
+                # Single-variable factors return scalars (their return
+                # expression is a Var); a tuple is a shape mistake.
+                raise ValueError(
+                    f"factor {self.index} expected a scalar for "
+                    f"{self.returns[0]!r}, got {value!r}"
+                )
+            return {self.returns[0]: value}
+        if not isinstance(value, tuple) or len(value) != len(self.returns):
+            raise ValueError(
+                f"factor {self.index} returned {value!r}, expected a "
+                f"{len(self.returns)}-tuple for {self.returns}"
+            )
+        return dict(zip(self.returns, value))
+
+
+@dataclass(frozen=True)
+class FactorSet:
+    """The result of factorizing a program.
+
+    ``program`` is the (sliced, single-variable-form) program that was
+    factorized; ``ret`` its original return expression, which
+    :meth:`recombine` re-evaluates over joined per-factor outputs.
+    ``n_components`` counts every dependence component including the
+    ``dropped`` prior-only/empty ones that have no factor.
+    """
+
+    program: Program
+    ret: Expr
+    factors: Tuple[ProgramFactor, ...]
+    n_components: int
+    dropped: int
+
+    def __len__(self) -> int:
+        return len(self.factors)
+
+    @property
+    def query_factors(self) -> Tuple[ProgramFactor, ...]:
+        """Factors owning at least one return variable."""
+        return tuple(f for f in self.factors if f.returns)
+
+    @property
+    def evidence_factors(self) -> Tuple[ProgramFactor, ...]:
+        """Factors run only for conditioning (no return variables)."""
+        return tuple(f for f in self.factors if not f.returns)
+
+    def recombine(self, values: Sequence[object]) -> object:
+        """Evaluate the original return expression from one output
+        value per factor (aligned with ``self.factors``)."""
+        from ..semantics.values import eval_expr
+
+        if len(values) != len(self.factors):
+            raise ValueError(
+                f"expected {len(self.factors)} factor values, "
+                f"got {len(values)}"
+            )
+        state: Dict[str, object] = {}
+        for factor, value in zip(self.factors, values):
+            state.update(factor.assignment(value))
+        return eval_expr(self.ret, state)
+
+
+def _components(
+    lowered: Lowered, deps: DependencyInfo
+) -> List[FrozenSet[str]]:
+    """Connected components of the undirected dependence graph, over
+    the full key universe (graph vertices plus observed tokens),
+    ordered by first appearance of a member key in lowering order."""
+    graph = deps.graph
+    universe = set(graph.vertices()) | set(deps.observed)
+    universe |= free_vars(lowered.source)
+
+    parent: Dict[str, str] = {k: k for k in universe}
+
+    def find(k: str) -> str:
+        root = k
+        while parent[root] != root:
+            root = parent[root]
+        while parent[k] != root:
+            parent[k], k = root, parent[k]
+        return root
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for src, dst in graph.edges():
+        union(src, dst)
+
+    groups: Dict[str, set] = {}
+    for k in universe:
+        groups.setdefault(find(k), set()).add(k)
+
+    # Order components by the lowering order of their first statement
+    # key, so factor numbering is deterministic and follows the program
+    # text; key-only components (never a statement key) sort last.
+    first_seen: Dict[str, int] = {}
+    for position, node in enumerate(lowered.cfg.iter_nodes()):
+        key = _node_key(lowered, node)
+        if key is not None:
+            root = find(key)
+            first_seen.setdefault(root, position)
+    ordered = sorted(
+        groups.items(),
+        key=lambda item: (first_seen.get(item[0], 1 << 30), min(item[1])),
+    )
+    return [frozenset(keys) for _root, keys in ordered]
+
+
+def factorize_lowered(lowered: Lowered) -> FactorSet:
+    """Factorize an already-lowered program (the pass-pipeline entry
+    point, reusing the one cached lowering)."""
+    if lowered.ret is None:
+        raise TypeError("factorize requires a lowered Program, not a Stmt")
+    deps = analyze_lowered(lowered)
+    ret_vars = free_vars(lowered.ret)
+    factors: List[ProgramFactor] = []
+    components = _components(lowered, deps)
+    dropped = 0
+    for keys in components:
+        owned_ret = tuple(sorted(keys & ret_vars))
+        observed = keys & deps.observed
+        program = slice_lowered(lowered, keys)
+        if not owned_ret:
+            if not observed or statement_count(program.body) == 0:
+                # Prior-only or empty component: integrates to 1 and
+                # cannot block, so it contributes nothing to the
+                # posterior or the normalizer.
+                dropped += 1
+                continue
+        if len(owned_ret) == 0:
+            ret: Expr = Const(True)
+        elif len(owned_ret) == 1:
+            ret = Var(owned_ret[0])
+        else:
+            ret = TupleExpr(tuple(Var(v) for v in owned_ret))
+        factors.append(
+            ProgramFactor(
+                index=len(factors),
+                program=Program(program.body, ret),
+                returns=owned_ret,
+                observed=frozenset(observed),
+                keys=keys,
+            )
+        )
+    source = lowered.source
+    assert isinstance(source, Program)
+    return FactorSet(
+        program=source,
+        ret=lowered.ret,
+        factors=tuple(factors),
+        n_components=len(components),
+        dropped=dropped,
+    )
+
+
+def factorize(program: Program) -> FactorSet:
+    """Partition ``program`` into independent factors.
+
+    Expects single-variable form (run the OBS/SVF/SSA pre-passes
+    first — :func:`repro.passes.library.sli_passes` with
+    ``factorize=True`` does, and `sli(program, factorize=True)` is the
+    one-call entry point).
+    """
+    return factorize_lowered(lower(program))

@@ -53,6 +53,7 @@ from ..core.ast import (
     statement_count,
 )
 from ..obs.recorder import current_recorder
+from .factorize import FactorSet
 
 __all__ = [
     "SliceResult",
@@ -91,6 +92,9 @@ class SliceResult:
     pass_seconds: Mapping[str, float] = field(
         default_factory=dict, compare=False
     )
+    #: The factorisation of ``sliced`` (``sli(..., factorize=True)``);
+    #: ``None`` when the pipeline did not run the factorize pass.
+    factors: Optional["FactorSet"] = None
 
     @property
     def original_size(self) -> int:
@@ -186,6 +190,7 @@ def _result_from_context(original: Program, ctx) -> SliceResult:
         observed=ctx.artifacts["observed"],
         graph=ctx.artifacts["graph"],
         pass_seconds=dict(ctx.pass_seconds),
+        factors=ctx.artifacts.get("factor_set"),
     )
 
 
@@ -195,6 +200,7 @@ def run_sli(
     obs_extended: bool = True,
     simplify: bool = False,
     svf_hoist_variables: bool = False,
+    factorize: bool = False,
     verify: bool = False,
     spot_check_seeds: Sequence[int] = (),
     on_after_pass=None,
@@ -217,6 +223,7 @@ def run_sli(
             obs_extended=obs_extended,
             simplify=simplify,
             svf_hoist_variables=svf_hoist_variables,
+            factorize=factorize,
         ),
         verify=verify,
         spot_check_seeds=spot_check_seeds,
@@ -232,6 +239,7 @@ def sli(
     obs_extended: bool = True,
     simplify: bool = False,
     svf_hoist_variables: bool = False,
+    factorize: bool = False,
     cache=None,
     verify: bool = False,
     spot_check_seeds: Sequence[int] = (),
@@ -241,8 +249,10 @@ def sli(
     ``use_obs=False`` disables the OBS pre-pass (Ablation A);
     ``simplify=True`` adds the constant/copy-propagation post-pass;
     ``svf_hoist_variables=True`` applies Figure 13 literally;
-    ``verify=True`` enables per-pass verification (see :mod:`repro
-    .passes.manager`).
+    ``factorize=True`` appends the factorisation analysis pass, so the
+    result carries a :class:`repro.transforms.factorize.FactorSet` in
+    :attr:`SliceResult.factors`; ``verify=True`` enables per-pass
+    verification (see :mod:`repro.passes.manager`).
 
     ``cache`` (e.g. :class:`repro.runtime.ProgramCache`) short-circuits
     the whole pipeline for programs already sliced under the same
@@ -262,6 +272,7 @@ def sli(
             obs_extended=obs_extended,
             simplify=simplify,
             svf_hoist_variables=svf_hoist_variables,
+            factorize=factorize,
         ),
         verify=verify,
         spot_check_seeds=spot_check_seeds,

@@ -1,0 +1,107 @@
+"""Memoized Bayes-ball trail search: correctness and invalidation."""
+
+from repro.bayesnet.dsep import d_separated, reachable
+from repro.bayesnet.network import BayesNet
+
+
+def chain_net():
+    net = BayesNet()
+    net.add_node("a", [], [False, True], {(): {False: 0.5, True: 0.5}})
+    net.add_node(
+        "b",
+        ["a"],
+        [False, True],
+        {
+            (False,): {False: 0.8, True: 0.2},
+            (True,): {False: 0.2, True: 0.8},
+        },
+    )
+    net.add_node(
+        "c",
+        ["b"],
+        [False, True],
+        {
+            (False,): {False: 0.7, True: 0.3},
+            (True,): {False: 0.3, True: 0.7},
+        },
+    )
+    return net
+
+
+class TestMemo:
+    def test_repeat_query_returns_cached_object(self):
+        net = chain_net()
+        first = reachable(net, "a", ["b"])
+        second = reachable(net, "a", ["b"])
+        assert first is second
+
+    def test_different_evidence_not_aliased(self):
+        net = chain_net()
+        blocked = reachable(net, "a", ["b"])
+        open_ = reachable(net, "a", [])
+        assert "c" not in blocked
+        assert "c" in open_
+
+    def test_evidence_order_irrelevant(self):
+        net = chain_net()
+        net.add_node(
+            "d",
+            ["a", "c"],
+            [False, True],
+            {
+                key: {False: 0.5, True: 0.5}
+                for key in [
+                    (False, False),
+                    (False, True),
+                    (True, False),
+                    (True, True),
+                ]
+            },
+        )
+        assert reachable(net, "a", ["b", "d"]) is reachable(
+            net, "a", ["d", "b"]
+        )
+
+    def test_add_node_invalidates(self):
+        net = chain_net()
+        assert d_separated(net, "a", "c", ["b"])
+        before = reachable(net, "a", ["b"])
+        # New collider a -> d <- c, observed: activates the trail.
+        net.add_node(
+            "d",
+            ["a", "c"],
+            [False, True],
+            {
+                key: {False: 0.5, True: 0.5}
+                for key in [
+                    (False, False),
+                    (False, True),
+                    (True, False),
+                    (True, True),
+                ]
+            },
+        )
+        after = reachable(net, "a", ["b", "d"])
+        assert after is not before
+        assert not d_separated(net, "a", "c", ["b", "d"])
+
+    def test_children_cached_and_invalidated(self):
+        net = chain_net()
+        assert net.children("a") == ("b",)
+        net.add_node(
+            "e",
+            ["a"],
+            [False, True],
+            {
+                (False,): {False: 0.5, True: 0.5},
+                (True,): {False: 0.5, True: 0.5},
+            },
+        )
+        assert net.children("a") == ("b", "e")
+        assert net.children("unknown") == ()
+
+    def test_cache_excluded_from_equality(self):
+        warm = chain_net()
+        reachable(warm, "a", ["b"])
+        cold = chain_net()
+        assert warm == cold

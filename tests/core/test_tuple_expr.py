@@ -1,0 +1,98 @@
+"""TupleExpr: the joint-return node the factorisation pass emits."""
+
+import pytest
+
+from repro.core.ast import Const, TupleExpr, Var, node_count
+from repro.core.parser import parse_expr
+from repro.core.printer import pretty_expr
+from repro.core.freevars import free_vars
+from repro.core.types import TUPLE, TypeError_, infer_expr_type
+from repro.semantics.values import eval_expr
+
+
+class TestSyntax:
+    def test_parse_round_trips_through_printer(self):
+        expr = parse_expr("tuple(a, b && c, 1 + n)")
+        assert isinstance(expr, TupleExpr)
+        assert len(expr.elements) == 3
+        assert parse_expr(pretty_expr(expr)) == expr
+
+    def test_str(self):
+        expr = TupleExpr((Var("a"), Const(True)))
+        assert str(expr) == "tuple(a, true)"
+
+    def test_plain_identifier_named_tuple_still_parses(self):
+        # Only `tuple(` is special; a bare variable named tuple is not.
+        assert parse_expr("tuple") == Var("tuple")
+
+
+class TestStructure:
+    def test_free_vars_unions_elements(self):
+        expr = parse_expr("tuple(a, b && c)")
+        assert free_vars(expr) == frozenset({"a", "b", "c"})
+
+    def test_node_count_counts_elements(self):
+        expr = TupleExpr((Var("a"), Const(1)))
+        assert node_count(expr) == 3
+
+    def test_type_is_tuple(self):
+        expr = TupleExpr((Const(True), Const(1)))
+        assert infer_expr_type(expr, {}) == TUPLE
+
+    def test_element_type_errors_propagate(self):
+        expr = parse_expr("tuple(true && 1)")
+        with pytest.raises(TypeError_):
+            infer_expr_type(expr, {})
+
+
+class TestEvaluation:
+    def test_evaluates_to_python_tuple(self):
+        expr = parse_expr("tuple(a, n + 1)")
+        assert eval_expr(expr, {"a": True, "n": 2}) == (True, 3)
+
+    def test_value_is_hashable(self):
+        expr = parse_expr("tuple(a, b)")
+        value = eval_expr(expr, {"a": True, "b": False})
+        assert {value: 1}[(True, False)] == 1
+
+    def test_compiled_backend_matches_interpreter(self):
+        import random
+
+        from repro.core.ast import Program
+        from repro.core.parser import parse
+        from repro.semantics.compiled import compile_program
+        from repro.semantics.executor import run_program
+
+        program = parse(
+            """
+            a ~ Bernoulli(0.5);
+            b ~ Bernoulli(0.5);
+            return a;
+            """
+        )
+        program = Program(
+            program.body, parse_expr("tuple(a, b)")
+        )
+        compiled = compile_program(program)
+        for seed in range(20):
+            interp = run_program(program, random.Random(seed))
+            comp = compiled.run(random.Random(seed))
+            assert interp.value == comp.value
+            assert isinstance(comp.value, tuple)
+
+    def test_exact_inference_enumerates_tuples(self):
+        from repro.core.ast import Program
+        from repro.core.parser import parse
+        from repro.semantics import exact_inference
+
+        program = parse(
+            """
+            a ~ Bernoulli(0.5);
+            b ~ Bernoulli(0.3);
+            return a;
+            """
+        )
+        program = Program(program.body, parse_expr("tuple(a, b)"))
+        dist = exact_inference(program).distribution
+        assert dist.prob((True, True)) == pytest.approx(0.15)
+        assert dist.prob((False, False)) == pytest.approx(0.35)

@@ -1,0 +1,90 @@
+"""The factorisation oracle: product of factor posteriors must equal
+the monolithic posterior on every enumerable program."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.parser import parse
+from repro.qa.generate import DEFAULT_CONFIG, derive_seed, generate_program
+from repro.qa.oracles import (
+    FactorizationOracle,
+    default_oracle_names,
+    make_oracles,
+)
+
+
+class TestOracle:
+    def test_registered_and_on_by_default(self):
+        assert "factorization" in default_oracle_names()
+        oracles = make_oracles()
+        assert any(isinstance(o, FactorizationOracle) for o in oracles)
+
+    def test_clean_on_factorable_program(self):
+        program = parse(
+            """
+            ba ~ Bernoulli(0.6);
+            observe(ba);
+            bb ~ Bernoulli(0.3);
+            return ba && bb;
+            """
+        )
+        assert FactorizationOracle().check(program) == []
+
+    def test_skips_degenerate_program(self):
+        program = parse("a ~ Bernoulli(0.5); observe(a && !a); return a;")
+        assert FactorizationOracle().check(program) == []
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_clean_on_generated_multi_component_programs(self, seed):
+        cfg = replace(
+            DEFAULT_CONFIG, n_components=3, allow_loops=False
+        )
+        program = generate_program(derive_seed(99, seed), cfg)
+        assert FactorizationOracle().check(program) == []
+
+
+class TestComponentGenerator:
+    def test_components_share_no_variables(self):
+        from repro.core.freevars import assigned_vars, read_vars
+
+        cfg = replace(DEFAULT_CONFIG, n_components=3, allow_loops=False)
+        for seed in range(20):
+            program = generate_program(derive_seed(5, seed), cfg)
+            names = set(assigned_vars(program.body)) | set(
+                read_vars(program.body)
+            )
+            pools = {
+                prefix: {n for n in names if n[1:].startswith(prefix)}
+                for prefix in ("c0_", "c1_", "c2_")
+            }
+            assert names == pools["c0_"] | pools["c1_"] | pools["c2_"]
+            assert not (pools["c0_"] & pools["c1_"])
+            assert not (pools["c1_"] & pools["c2_"])
+
+    def test_single_component_config_unchanged(self):
+        # n_components=1 must reproduce the historical family exactly.
+        a = generate_program(derive_seed(1, 0), DEFAULT_CONFIG)
+        b = generate_program(
+            derive_seed(1, 0), replace(DEFAULT_CONFIG, n_components=1)
+        )
+        assert a == b
+
+    def test_var_prefix_after_type_letter(self):
+        cfg = replace(DEFAULT_CONFIG, var_prefix="z_")
+        assert all(v.startswith("bz_") for v in cfg.bool_vars)
+        assert all(v.startswith("nz_") for v in cfg.int_vars)
+
+    def test_multi_component_programs_often_factor(self):
+        from repro.transforms import sli
+
+        cfg = replace(DEFAULT_CONFIG, n_components=3, allow_loops=False)
+        split = 0
+        for seed in range(25):
+            program = generate_program(derive_seed(42, seed), cfg)
+            result = sli(program, factorize=True)
+            if result.factors is not None and len(result.factors) >= 2:
+                split += 1
+        # Slicing can collapse components whose variables drop out of
+        # the query, so not every program splits — but most must.
+        assert split >= 10
