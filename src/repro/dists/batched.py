@@ -1,0 +1,686 @@
+"""Batched (vectorized) distribution layer for the numpy array backend.
+
+Each scalar :class:`~repro.dists.base.Distribution` that the array
+backend supports gets a ``_Batched*`` handler here operating on
+``(batch,)`` numpy arrays: parameters arrive as python scalars (hoisted
+constants) or ``(batch,)`` arrays, draws come from a
+``numpy.random.Generator``, and log-probabilities are computed
+full-width with ``-inf`` outside the support.
+
+The handlers replicate the scalar semantics' *observable* behaviour:
+
+* the same support boundaries and parameter-validation rules (checked
+  only on **active** lanes — a lane that is already blocked may carry
+  arbitrary values through a dead branch, exactly like the scalar run
+  that never executes it); invalid inactive lanes are sanitized to
+  neutral parameters so the full-width numpy call cannot fault;
+* the same log-density formulas, term for term (``log1p``-based tails,
+  ``lgamma`` normalizers, the ``p == 0`` / ``p == 1`` edge cases), so a
+  trace scored by a batched handler agrees with the scalar scorer to
+  float64 rounding;
+* the scalar dynamic-type gates, lifted to array dtypes: integer-only
+  distributions reject ``bool`` and ``float`` *arrays* the way the
+  scalar ``log_prob`` rejects ``True`` and ``2.0`` (the array backend's
+  dtype promotion mirrors the interpreter's dynamic types, so the gate
+  fires for the same programs).
+
+What is deliberately *not* replicated: the random stream.  Scalar
+engines consume a Mersenne ``random.Random``; batched draws consume a
+PCG64 ``Generator``.  Equivalence across backends is established by
+trace replay (shared addresses) and by distributional oracles, never by
+bit-matching fresh draws.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .base import DistributionError
+
+try:  # pragma: no cover - scipy is a baked-in dependency of this image
+    from scipy.special import gammaln as _gammaln
+except Exception:  # pragma: no cover - keep working without scipy
+    _gammaln = np.vectorize(math.lgamma, otypes=[np.float64])
+
+__all__ = [
+    "BatchedDist",
+    "BATCHED",
+    "batched_dist_names",
+    "get_batched",
+]
+
+NEG_INF = float("-inf")
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+#: A distribution parameter as the generated code passes it: a python
+#: scalar (constant-folded) or a full-width ``(batch,)`` array.
+Param = Union[bool, int, float, np.ndarray]
+
+
+def _full(mask: np.ndarray) -> bool:
+    return bool(mask.all())
+
+
+def _first_bad(values: np.ndarray, bad: np.ndarray) -> float:
+    """The first offending lane's value, for scalar-style messages."""
+    idx = int(np.argmax(bad))
+    return float(np.asarray(values).ravel()[idx] if np.ndim(values) else values)
+
+
+def _pfloat(x: Param, what: str) -> Union[float, np.ndarray]:
+    """Lift a parameter to float, mirroring ``_as_float`` (bools are 1/0)."""
+    if isinstance(x, np.ndarray):
+        return x.astype(np.float64, copy=False)
+    if isinstance(x, bool):
+        return 1.0 if x else 0.0
+    if isinstance(x, (int, float)):
+        return float(x)
+    raise DistributionError(f"{what} must be numeric, got {x!r}")
+
+
+def _where(cond: np.ndarray, a, b):
+    return np.where(cond, a, b)
+
+
+class BatchedDist:
+    """Base class: ``prepare`` validates/sanitizes parameters on the
+    active-lane mask, ``sample`` draws full-width, ``log_prob`` scores
+    full-width.  ``dtype`` is the value dtype the distribution
+    produces."""
+
+    name: str = ""
+    dtype: type = np.float64
+    n_args: Optional[int] = None  # None: variadic
+
+    def prepare(self, args: Sequence[Param], mask: np.ndarray) -> Tuple:
+        raise NotImplementedError
+
+    def sample(self, params: Tuple, gen: np.random.Generator, n: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def log_prob(self, params: Tuple, values: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- shared validation helpers ------------------------------------------
+
+    def _check_arity(self, args: Sequence[Param]) -> None:
+        if self.n_args is not None and len(args) != self.n_args:
+            raise DistributionError(
+                f"bad arguments for {self.name}: expected {self.n_args} "
+                f"parameters, got {len(args)}"
+            )
+
+    def _require(
+        self,
+        ok,
+        mask: np.ndarray,
+        values,
+        message: str,
+    ) -> None:
+        """Raise unless ``ok`` holds on every active lane.  ``message``
+        contains ``{got}`` for the offending value."""
+        bad = mask & ~np.asarray(ok)
+        if np.any(bad):
+            raise DistributionError(
+                message.format(got=_first_bad(np.broadcast_to(values, bad.shape), bad))
+            )
+
+
+def _sanitize(param, ok, mask: np.ndarray, neutral):
+    """Replace values that are invalid (or inactive) with ``neutral`` so
+    the full-width numpy sampling call cannot fault."""
+    if np.ndim(param) == 0 and _full(mask):
+        return param  # scalar, already validated on all lanes
+    return np.where(np.asarray(ok) & mask, param, neutral)
+
+
+# -- integer/bool dtype gates (scalar dynamic-type checks, lifted) ----------
+
+
+def _int_valued(values: np.ndarray) -> bool:
+    """True for arrays the scalar ``isinstance(value, int) and not bool``
+    gate would accept."""
+    return values.dtype.kind in "iu"
+
+
+def _as_float_values(values: np.ndarray) -> np.ndarray:
+    return values.astype(np.float64, copy=False)
+
+
+# -- continuous --------------------------------------------------------------
+
+
+class _BatchedGaussian(BatchedDist):
+    name = "Gaussian"
+    dtype = np.float64
+    n_args = 2
+
+    def prepare(self, args, mask):
+        self._check_arity(args)
+        mu = _pfloat(args[0], "Gaussian mean")
+        var = _pfloat(args[1], "Gaussian variance")
+        ok = np.greater(var, 0.0)
+        self._require(ok, mask, var, "Gaussian variance must be > 0, got {got}")
+        return mu, _sanitize(var, ok, mask, 1.0)
+
+    def sample(self, params, gen, n):
+        mu, var = params
+        return gen.normal(mu, np.sqrt(var), size=n)
+
+    def log_prob(self, params, values):
+        mu, var = params
+        x = _as_float_values(values)
+        return -0.5 * (_LOG_2PI + np.log(var) + (x - mu) ** 2 / var)
+
+
+class _BatchedUniform(BatchedDist):
+    name = "Uniform"
+    dtype = np.float64
+    n_args = 2
+
+    def prepare(self, args, mask):
+        self._check_arity(args)
+        lo = _pfloat(args[0], "Uniform lo")
+        hi = _pfloat(args[1], "Uniform hi")
+        ok = np.greater(hi, lo)
+        bad = mask & ~np.asarray(ok)
+        if np.any(bad):
+            blo = _first_bad(np.broadcast_to(lo, bad.shape), bad)
+            bhi = _first_bad(np.broadcast_to(hi, bad.shape), bad)
+            raise DistributionError(f"Uniform needs lo < hi, got [{blo}, {bhi})")
+        return lo, _sanitize(hi, ok, mask, np.asarray(lo) + 1.0)
+
+    def sample(self, params, gen, n):
+        lo, hi = params
+        return gen.uniform(lo, hi, size=n)
+
+    def log_prob(self, params, values):
+        lo, hi = params
+        x = _as_float_values(values)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            lp = -np.log(hi - lo)
+        return _where((lo <= x) & (x < hi), lp, NEG_INF)
+
+
+class _BatchedGamma(BatchedDist):
+    name = "Gamma"
+    dtype = np.float64
+    n_args = 2
+
+    def prepare(self, args, mask):
+        self._check_arity(args)
+        shape = _pfloat(args[0], "Gamma shape")
+        rate = _pfloat(args[1], "Gamma rate")
+        ok = np.greater(shape, 0.0) & np.greater(rate, 0.0)
+        bad = mask & ~np.asarray(ok)
+        if np.any(bad):
+            bs = _first_bad(np.broadcast_to(shape, bad.shape), bad)
+            br = _first_bad(np.broadcast_to(rate, bad.shape), bad)
+            raise DistributionError(f"Gamma parameters must be > 0, got ({bs}, {br})")
+        return _sanitize(shape, ok, mask, 1.0), _sanitize(rate, ok, mask, 1.0)
+
+    def sample(self, params, gen, n):
+        shape, rate = params
+        return gen.gamma(shape, 1.0 / np.asarray(rate, dtype=np.float64), size=n)
+
+    def log_prob(self, params, values):
+        shape, rate = params
+        x = _as_float_values(values)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            lp = (
+                shape * np.log(rate)
+                + (np.asarray(shape) - 1.0) * np.log(x)
+                - rate * x
+                - _gammaln(shape)
+            )
+        return _where(x > 0.0, lp, NEG_INF)
+
+
+class _BatchedBeta(BatchedDist):
+    name = "Beta"
+    dtype = np.float64
+    n_args = 2
+
+    def prepare(self, args, mask):
+        self._check_arity(args)
+        alpha = _pfloat(args[0], "Beta alpha")
+        beta = _pfloat(args[1], "Beta beta")
+        ok = np.greater(alpha, 0.0) & np.greater(beta, 0.0)
+        bad = mask & ~np.asarray(ok)
+        if np.any(bad):
+            ba = _first_bad(np.broadcast_to(alpha, bad.shape), bad)
+            bb = _first_bad(np.broadcast_to(beta, bad.shape), bad)
+            raise DistributionError(f"Beta parameters must be > 0, got ({ba}, {bb})")
+        return _sanitize(alpha, ok, mask, 1.0), _sanitize(beta, ok, mask, 1.0)
+
+    def sample(self, params, gen, n):
+        alpha, beta = params
+        return gen.beta(alpha, beta, size=n)
+
+    def log_prob(self, params, values):
+        alpha, beta = params
+        x = _as_float_values(values)
+        inside = (x > 0.0) & (x < 1.0)
+        safe = _where(inside, x, 0.5)
+        log_norm = _gammaln(alpha) + _gammaln(beta) - _gammaln(np.asarray(alpha) + beta)
+        lp = (
+            (np.asarray(alpha) - 1.0) * np.log(safe)
+            + (np.asarray(beta) - 1.0) * np.log1p(-safe)
+            - log_norm
+        )
+        return _where(inside, lp, NEG_INF)
+
+
+class _BatchedExponential(BatchedDist):
+    name = "Exponential"
+    dtype = np.float64
+    n_args = 1
+
+    def prepare(self, args, mask):
+        self._check_arity(args)
+        rate = _pfloat(args[0], "Exponential rate")
+        ok = np.greater(rate, 0.0)
+        self._require(ok, mask, rate, "Exponential rate must be > 0, got {got}")
+        return (_sanitize(rate, ok, mask, 1.0),)
+
+    def sample(self, params, gen, n):
+        (rate,) = params
+        return gen.exponential(1.0 / np.asarray(rate, dtype=np.float64), size=n)
+
+    def log_prob(self, params, values):
+        (rate,) = params
+        x = _as_float_values(values)
+        return _where(x >= 0.0, np.log(rate) - rate * x, NEG_INF)
+
+
+class _BatchedLaplace(BatchedDist):
+    name = "Laplace"
+    dtype = np.float64
+    n_args = 2
+
+    def prepare(self, args, mask):
+        self._check_arity(args)
+        loc = _pfloat(args[0], "Laplace loc")
+        scale = _pfloat(args[1], "Laplace scale")
+        ok = np.greater(scale, 0.0)
+        self._require(ok, mask, scale, "Laplace scale must be > 0, got {got}")
+        return loc, _sanitize(scale, ok, mask, 1.0)
+
+    def sample(self, params, gen, n):
+        loc, scale = params
+        return gen.laplace(loc, scale, size=n)
+
+    def log_prob(self, params, values):
+        loc, scale = params
+        x = _as_float_values(values)
+        return -np.abs(x - loc) / scale - np.log(2.0 * np.asarray(scale))
+
+
+class _BatchedLogNormal(BatchedDist):
+    name = "LogNormal"
+    dtype = np.float64
+    n_args = 2
+
+    def prepare(self, args, mask):
+        self._check_arity(args)
+        mu = _pfloat(args[0], "LogNormal mu")
+        sigma2 = _pfloat(args[1], "LogNormal sigma2")
+        ok = np.greater(sigma2, 0.0)
+        self._require(ok, mask, sigma2, "LogNormal variance must be > 0, got {got}")
+        return mu, _sanitize(sigma2, ok, mask, 1.0)
+
+    def sample(self, params, gen, n):
+        mu, sigma2 = params
+        return gen.lognormal(mu, np.sqrt(sigma2), size=n)
+
+    def log_prob(self, params, values):
+        mu, sigma2 = params
+        x = _as_float_values(values)
+        inside = x > 0.0
+        safe = _where(inside, x, 1.0)
+        log_x = np.log(safe)
+        lp = (
+            -0.5 * (_LOG_2PI + np.log(sigma2))
+            - (log_x - mu) ** 2 / (2.0 * np.asarray(sigma2))
+            - log_x
+        )
+        return _where(inside, lp, NEG_INF)
+
+
+class _BatchedStudentT(BatchedDist):
+    name = "StudentT"
+    dtype = np.float64
+    n_args = 1
+
+    def prepare(self, args, mask):
+        self._check_arity(args)
+        df = _pfloat(args[0], "StudentT df")
+        ok = np.greater(df, 0.0)
+        self._require(ok, mask, df, "StudentT df must be > 0, got {got}")
+        return (_sanitize(df, ok, mask, 1.0),)
+
+    def sample(self, params, gen, n):
+        (df,) = params
+        return gen.standard_t(df, size=n)
+
+    def log_prob(self, params, values):
+        (df,) = params
+        v = np.asarray(df, dtype=np.float64)
+        x = _as_float_values(values)
+        return (
+            _gammaln((v + 1.0) / 2.0)
+            - _gammaln(v / 2.0)
+            - 0.5 * np.log(v * math.pi)
+            - (v + 1.0) / 2.0 * np.log1p(x * x / v)
+        )
+
+
+# -- discrete ----------------------------------------------------------------
+
+
+class _BatchedBernoulli(BatchedDist):
+    name = "Bernoulli"
+    dtype = np.bool_
+    n_args = 1
+
+    def prepare(self, args, mask):
+        self._check_arity(args)
+        p = _pfloat(args[0], "Bernoulli p")
+        ok = np.greater_equal(p, 0.0) & np.less_equal(p, 1.0)
+        self._require(ok, mask, p, "Bernoulli p must be in [0, 1], got {got}")
+        return (_sanitize(p, ok, mask, 0.5),)
+
+    def sample(self, params, gen, n):
+        (p,) = params
+        return gen.random(n) < p
+
+    def log_prob(self, params, values):
+        (p,) = params
+        p = np.asarray(p, dtype=np.float64)
+        if values.dtype.kind == "b":
+            truth = values
+            valid = np.ones(values.shape, dtype=bool)
+        else:
+            # Scalar semantics: numeric 0/1 (including 0.0/1.0) count as
+            # bools, anything else is outside the support.
+            x = _as_float_values(values)
+            truth = x == 1.0
+            valid = truth | (x == 0.0)
+        chosen = _where(truth, p, 1.0 - p)
+        with np.errstate(divide="ignore"):
+            lp = np.log(chosen)
+        return _where(valid & (chosen > 0.0), lp, NEG_INF)
+
+
+class _BatchedCategorical(BatchedDist):
+    name = "Categorical"
+    dtype = np.int64
+    n_args = None  # variadic
+
+    def prepare(self, args, mask):
+        if not args:
+            raise DistributionError("Categorical needs at least one probability")
+        cols = [_pfloat(a, "Categorical probability") for a in args]
+        probs = np.stack([np.broadcast_to(c, mask.shape) for c in cols], axis=1)
+        probs = probs.astype(np.float64, copy=False)
+        if np.any(mask & np.any(probs < 0.0, axis=1)):
+            raise DistributionError("Categorical probabilities must be >= 0")
+        total = probs.sum(axis=1)
+        if np.any(mask & (total <= 0.0)):
+            raise DistributionError("Categorical probabilities sum to zero")
+        ok = (total > 0.0) & ~np.any(probs < 0.0, axis=1)
+        probs = np.where(ok[:, None], probs, 1.0)
+        total = probs.sum(axis=1)
+        return (probs / total[:, None],)
+
+    def sample(self, params, gen, n):
+        (probs,) = params
+        u = gen.random(n)
+        cum = np.cumsum(probs, axis=1)
+        # First index with u < cumsum — the scalar scan, vectorized.
+        idx = (cum <= u[:, None]).sum(axis=1)
+        return np.minimum(idx, probs.shape[1] - 1).astype(np.int64)
+
+    def log_prob(self, params, values):
+        (probs,) = params
+        if not _int_valued(values):
+            return np.full(values.shape, NEG_INF)
+        k = probs.shape[1]
+        inside = (values >= 0) & (values < k)
+        safe = np.where(inside, values, 0)
+        chosen = probs[np.arange(probs.shape[0]), safe]
+        with np.errstate(divide="ignore"):
+            lp = np.log(chosen)
+        return _where(inside & (chosen > 0.0), lp, NEG_INF)
+
+
+class _BatchedDiscreteUniform(BatchedDist):
+    name = "DiscreteUniform"
+    dtype = np.int64
+    n_args = 2
+
+    def prepare(self, args, mask):
+        self._check_arity(args)
+        # Scalar constructor truncates via int(float(x)).
+        lo = np.trunc(np.asarray(_pfloat(args[0], "DiscreteUniform lo")))
+        hi = np.trunc(np.asarray(_pfloat(args[1], "DiscreteUniform hi")))
+        ok = hi >= lo
+        bad = mask & ~ok
+        if np.any(bad):
+            blo = int(_first_bad(np.broadcast_to(lo, bad.shape), bad))
+            bhi = int(_first_bad(np.broadcast_to(hi, bad.shape), bad))
+            raise DistributionError(
+                f"DiscreteUniform needs lo <= hi, got [{blo}, {bhi}]"
+            )
+        lo = lo.astype(np.int64)
+        hi = np.where(ok, hi, lo).astype(np.int64)
+        return lo, hi
+
+    def sample(self, params, gen, n):
+        lo, hi = params
+        return gen.integers(lo, hi, size=n, endpoint=True, dtype=np.int64)
+
+    def log_prob(self, params, values):
+        lo, hi = params
+        if not _int_valued(values):
+            return np.full(values.shape, NEG_INF)
+        count = (hi - lo + 1).astype(np.float64)
+        inside = (values >= lo) & (values <= hi)
+        return _where(inside, -np.log(count), NEG_INF)
+
+
+class _BatchedBinomial(BatchedDist):
+    name = "Binomial"
+    dtype = np.int64
+    n_args = 2
+
+    def prepare(self, args, mask):
+        self._check_arity(args)
+        n = np.trunc(np.asarray(_pfloat(args[0], "Binomial n")))
+        p = _pfloat(args[1], "Binomial p")
+        ok_n = n >= 0
+        bad = mask & ~ok_n
+        if np.any(bad):
+            raise DistributionError(
+                f"Binomial n must be >= 0, got {int(_first_bad(np.broadcast_to(n, bad.shape), bad))}"
+            )
+        ok_p = np.greater_equal(p, 0.0) & np.less_equal(p, 1.0)
+        self._require(ok_p, mask, p, "Binomial p must be in [0, 1], got {got}")
+        return (
+            np.where(ok_n, n, 0).astype(np.int64),
+            _sanitize(p, ok_p, mask, 0.5),
+        )
+
+    def sample(self, params, gen, n_draws):
+        n, p = params
+        return gen.binomial(n, p, size=n_draws).astype(np.int64)
+
+    def log_prob(self, params, values):
+        n, p = params
+        if not _int_valued(values):
+            return np.full(values.shape, NEG_INF)
+        p = np.asarray(p, dtype=np.float64)
+        nf = n.astype(np.float64) if isinstance(n, np.ndarray) else float(n)
+        inside = (values >= 0) & (values <= n)
+        v = np.where(inside, values, 0).astype(np.float64)
+        mid = (0.0 < p) & (p < 1.0)
+        safe_p = np.where(mid, p, 0.5)
+        lp = (
+            _gammaln(nf + 1.0)
+            - _gammaln(v + 1.0)
+            - _gammaln(nf - v + 1.0)
+            + v * np.log(safe_p)
+            + (nf - v) * np.log1p(-safe_p)
+        )
+        # p == 0: all mass at 0; p == 1: all mass at n.
+        lp = np.where(p == 0.0, np.where(v == 0.0, 0.0, NEG_INF), lp)
+        lp = np.where(p == 1.0, np.where(v == nf, 0.0, NEG_INF), lp)
+        return _where(inside, lp, NEG_INF)
+
+
+class _BatchedPoisson(BatchedDist):
+    name = "Poisson"
+    dtype = np.int64
+    n_args = 1
+
+    def prepare(self, args, mask):
+        self._check_arity(args)
+        rate = _pfloat(args[0], "Poisson rate")
+        ok = np.greater_equal(rate, 0.0)
+        self._require(ok, mask, rate, "Poisson rate must be >= 0, got {got}")
+        return (_sanitize(rate, ok, mask, 0.0),)
+
+    def sample(self, params, gen, n):
+        (rate,) = params
+        return gen.poisson(rate, size=n).astype(np.int64)
+
+    def log_prob(self, params, values):
+        (rate,) = params
+        if not _int_valued(values):
+            return np.full(values.shape, NEG_INF)
+        rate = np.asarray(rate, dtype=np.float64)
+        inside = values >= 0
+        v = np.where(inside, values, 0).astype(np.float64)
+        positive = rate > 0.0
+        safe = np.where(positive, rate, 1.0)
+        lp = v * np.log(safe) - safe - _gammaln(v + 1.0)
+        lp = np.where(positive, lp, np.where(v == 0.0, 0.0, NEG_INF))
+        return _where(inside, lp, NEG_INF)
+
+
+class _BatchedGeometric(BatchedDist):
+    name = "Geometric"
+    dtype = np.int64
+    n_args = 1
+
+    def prepare(self, args, mask):
+        self._check_arity(args)
+        p = _pfloat(args[0], "Geometric p")
+        ok = np.greater(p, 0.0) & np.less_equal(p, 1.0)
+        self._require(ok, mask, p, "Geometric p must be in (0, 1], got {got}")
+        return (_sanitize(p, ok, mask, 0.5),)
+
+    def sample(self, params, gen, n):
+        (p,) = params
+        # numpy's Geometric counts trials to first success (support
+        # 1, 2, ...); the scalar dist counts failures (support 0, 1, ...).
+        return (gen.geometric(p, size=n) - 1).astype(np.int64)
+
+    def log_prob(self, params, values):
+        (p,) = params
+        if not _int_valued(values):
+            return np.full(values.shape, NEG_INF)
+        p = np.asarray(p, dtype=np.float64)
+        inside = values >= 0
+        v = np.where(inside, values, 0).astype(np.float64)
+        sure = p == 1.0
+        safe = np.where(sure, 0.5, p)
+        lp = v * np.log1p(-safe) + np.log(safe)
+        lp = np.where(sure, np.where(v == 0.0, 0.0, NEG_INF), lp)
+        return _where(inside, lp, NEG_INF)
+
+
+class _BatchedNegativeBinomial(BatchedDist):
+    name = "NegativeBinomial"
+    dtype = np.int64
+    n_args = 2
+
+    def prepare(self, args, mask):
+        self._check_arity(args)
+        r = _pfloat(args[0], "NegativeBinomial r")
+        p = _pfloat(args[1], "NegativeBinomial p")
+        ok_r = np.greater(r, 0.0)
+        self._require(ok_r, mask, r, "NegativeBinomial r must be > 0, got {got}")
+        ok_p = np.greater(p, 0.0) & np.less_equal(p, 1.0)
+        self._require(ok_p, mask, p, "NegativeBinomial p must be in (0, 1], got {got}")
+        return _sanitize(r, ok_r, mask, 1.0), _sanitize(p, ok_p, mask, 0.5)
+
+    def sample(self, params, gen, n):
+        r, p = params
+        # Gamma-Poisson mixture, like the scalar sampler (works for real
+        # r); p == 1 yields scale 0 -> rate 0 -> always 0.
+        p = np.asarray(p, dtype=np.float64)
+        scale = (1.0 - p) / p
+        rate = gen.gamma(r, scale, size=n)
+        return gen.poisson(rate).astype(np.int64)
+
+    def log_prob(self, params, values):
+        r, p = params
+        if not _int_valued(values):
+            return np.full(values.shape, NEG_INF)
+        r = np.asarray(r, dtype=np.float64)
+        p = np.asarray(p, dtype=np.float64)
+        inside = values >= 0
+        v = np.where(inside, values, 0).astype(np.float64)
+        sure = p == 1.0
+        safe = np.where(sure, 0.5, p)
+        lp = (
+            _gammaln(v + r)
+            - _gammaln(r)
+            - _gammaln(v + 1.0)
+            + r * np.log(safe)
+            + v * np.log1p(-safe)
+        )
+        lp = np.where(sure, np.where(v == 0.0, 0.0, NEG_INF), lp)
+        return _where(inside, lp, NEG_INF)
+
+
+_HANDLERS: List[BatchedDist] = [
+    _BatchedGaussian(),
+    _BatchedUniform(),
+    _BatchedGamma(),
+    _BatchedBeta(),
+    _BatchedExponential(),
+    _BatchedLaplace(),
+    _BatchedLogNormal(),
+    _BatchedStudentT(),
+    _BatchedBernoulli(),
+    _BatchedCategorical(),
+    _BatchedDiscreteUniform(),
+    _BatchedBinomial(),
+    _BatchedPoisson(),
+    _BatchedGeometric(),
+    _BatchedNegativeBinomial(),
+]
+
+#: name -> batched handler; the vectorizability analysis treats this
+#: key set as the supported-distribution fragment.
+BATCHED: Dict[str, BatchedDist] = {h.name: h for h in _HANDLERS}
+
+
+def batched_dist_names() -> frozenset:
+    """Names of distributions with a batched handler."""
+    return frozenset(BATCHED)
+
+
+def get_batched(name: str) -> BatchedDist:
+    try:
+        return BATCHED[name]
+    except KeyError:
+        raise DistributionError(
+            f"distribution {name!r} has no batched handler"
+        ) from None

@@ -19,6 +19,15 @@ Run it directly to (re)generate the repo-root snapshot::
 
 The JSON shape is stable so future PRs can diff perf trajectories
 file-against-file; CI's ``obs-smoke`` job uploads it as an artifact.
+
+``--vectorized`` switches to the array-backend snapshot
+(``BENCH_pr7.json``): for every Table-1 benchmark, original *and*
+sliced, it sweeps likelihood weighting over batch sizes 1 → 10k on the
+closure backend vs ``compiled="numpy"`` and adds a lockstep-chain MH
+row, recording samples/sec next to ESS/sec (Kish ESS for weighted
+samples, autocorrelation ESS for MH chains)::
+
+    PYTHONPATH=src python -m repro.harness.bench_json --vectorized -o BENCH_pr7.json
 """
 
 from __future__ import annotations
@@ -30,12 +39,22 @@ import sys
 import time
 from typing import Any, Dict, List, Optional
 
+from ..inference.base import InferenceError, effective_sample_size
+from ..inference.importance import LikelihoodWeighting
 from ..inference.mh import MetropolisHastings
 from ..models.registry import TABLE1
 from ..obs.recorder import TraceRecorder, use_recorder
 from ..transforms.pipeline import sli
 
-__all__ = ["bench_record", "collect_bench_report", "write_bench_json", "main"]
+__all__ = [
+    "bench_record",
+    "collect_bench_report",
+    "write_bench_json",
+    "vectorized_record",
+    "collect_vectorized_report",
+    "write_vectorized_json",
+    "main",
+]
 
 #: Pipeline/compile stages folded into each benchmark record.  The
 #: ``pass.*`` names are the pass manager's per-pass spans.
@@ -141,14 +160,218 @@ def write_bench_json(
     return report
 
 
+#: Lockstep chain count for the --vectorized MH row.  The batched
+#: kernel pays burn-in once per *step* (all chains advance together),
+#: so it needs wide batches to amortize per-step array overhead; 256
+#: chains is past the crossover on every Table-1 model.
+MH_BATCH_CHAINS = 256
+
+#: Batch sizes the array-backend sweep measures.  At 1 the numpy
+#: backend pays pure overhead; the crossover and the asymptotic win
+#: both live inside this range.
+VECTORIZED_BATCHES = (1, 10, 100, 1_000, 10_000)
+
+
+def _kish_ess(weights: Optional[List[float]], n: int) -> float:
+    """Kish effective sample size ``(Σw)² / Σw²`` of an importance
+    sample; unweighted samples count at face value."""
+    if not weights:
+        return float(n)
+    sum_w = sum(weights)
+    sum_w2 = sum(w * w for w in weights)
+    if sum_w2 <= 0.0:
+        return 0.0
+    return (sum_w * sum_w) / sum_w2
+
+
+def _throughput_cell(engine, program) -> Dict[str, Any]:
+    """One backend × batch measurement: samples/sec and ESS/sec (Kish
+    for weighted engines, autocorrelation for MCMC chains).  Engine
+    failures (e.g. likelihood weighting finding zero mass on a
+    hard-observe model at small n) are recorded, not raised."""
+    try:
+        out = engine.infer(program)
+    except InferenceError as exc:
+        return {"error": str(exc)}
+    secs = max(out.elapsed_seconds, 1e-9)
+    if out.weights is not None:
+        ess = _kish_ess(out.weights, len(out.samples))
+    else:
+        ess = effective_sample_size([float(s) for s in out.samples])
+    return {
+        "samples": len(out.samples),
+        "seconds": round(secs, 6),
+        "samples_per_sec": round(len(out.samples) / secs, 2),
+        "ess": round(ess, 2),
+        "ess_per_sec": round(ess / secs, 2),
+    }
+
+
+def _speedup(closure: Dict[str, Any], numpy_cell: Dict[str, Any]) -> Optional[float]:
+    if "error" in closure or "error" in numpy_cell:
+        return None
+    return round(
+        numpy_cell["samples_per_sec"] / max(closure["samples_per_sec"], 1e-9), 2
+    )
+
+
+def _vectorized_variant(
+    program: Any, batch_sizes: tuple, seed: int, mh_samples: int
+) -> Dict[str, Any]:
+    """The LW batch sweep plus the MH lockstep row for one program."""
+    # Warm the memoized vectorized compile (and the closure compile) so
+    # the sweep measures steady-state throughput, not one-time codegen.
+    try:
+        LikelihoodWeighting(n_samples=1, seed=seed, compiled="numpy").infer(program)
+    except InferenceError:
+        pass  # zero mass at n=1 still compiled everything we need
+    rows = []
+    for batch in batch_sizes:
+        closure = _throughput_cell(
+            LikelihoodWeighting(n_samples=batch, seed=seed, compiled=True), program
+        )
+        numpy_cell = _throughput_cell(
+            LikelihoodWeighting(n_samples=batch, seed=seed, compiled="numpy"),
+            program,
+        )
+        rows.append(
+            {
+                "batch": batch,
+                "closure": closure,
+                "numpy": numpy_cell,
+                "speedup": _speedup(closure, numpy_cell),
+            }
+        )
+    mh_closure = _throughput_cell(
+        MetropolisHastings(
+            n_samples=mh_samples, burn_in=100, seed=seed, compiled=True
+        ),
+        program,
+    )
+    mh_numpy = _throughput_cell(
+        MetropolisHastings(
+            n_samples=mh_samples,
+            burn_in=100,
+            seed=seed,
+            compiled="numpy",
+            batch_chains=MH_BATCH_CHAINS,
+        ),
+        program,
+    )
+    return {
+        "lw": {"engine": "likelihood-weighting", "rows": rows},
+        "mh": {
+            "engine": "mh",
+            "n_samples": mh_samples,
+            "closure": mh_closure,
+            "numpy": mh_numpy,
+            "speedup": _speedup(mh_closure, mh_numpy),
+        },
+    }
+
+
+def vectorized_record(
+    spec: Any,
+    batch_sizes: tuple = VECTORIZED_BATCHES,
+    seed: int = 0,
+    mh_samples: int = 4_000,
+) -> Dict[str, Any]:
+    """One benchmark's array-backend snapshot, original and sliced."""
+    program = spec.bench()
+    sliced = sli(program).sliced
+    return {
+        "name": spec.name,
+        "variants": {
+            "original": _vectorized_variant(program, batch_sizes, seed, mh_samples),
+            "sliced": _vectorized_variant(sliced, batch_sizes, seed, mh_samples),
+        },
+    }
+
+
+def collect_vectorized_report(
+    batch_sizes: tuple = VECTORIZED_BATCHES,
+    seed: int = 0,
+    mh_samples: int = 4_000,
+    only: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    """The full ``BENCH_pr7.json`` document."""
+    benchmarks = []
+    for spec in TABLE1:
+        if only and spec.name not in only:
+            continue
+        benchmarks.append(
+            vectorized_record(
+                spec, batch_sizes=batch_sizes, seed=seed, mh_samples=mh_samples
+            )
+        )
+    return {
+        "schema": "repro-bench-vectorized/1",
+        "pr": 7,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "batch_sizes": list(batch_sizes),
+        "mh_samples": mh_samples,
+        "benchmarks": benchmarks,
+    }
+
+
+def write_vectorized_json(
+    path: str = "BENCH_pr7.json",
+    batch_sizes: tuple = VECTORIZED_BATCHES,
+    seed: int = 0,
+    mh_samples: int = 4_000,
+    only: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    report = collect_vectorized_report(
+        batch_sizes=batch_sizes, seed=seed, mh_samples=mh_samples, only=only
+    )
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=False)
+        f.write("\n")
+    return report
+
+
+def _print_vectorized(report: Dict[str, Any]) -> None:
+    for bench in report["benchmarks"]:
+        for variant, data in bench["variants"].items():
+            top = data["lw"]["rows"][-1]
+            if top["speedup"] is None:
+                line = f"lw@{top['batch']}: n/a ({'zero mass' if 'error' in top['closure'] or 'error' in top['numpy'] else '?'})"
+            else:
+                line = (
+                    f"lw@{top['batch']}: "
+                    f"{top['closure']['samples_per_sec']:10.1f}/s -> "
+                    f"{top['numpy']['samples_per_sec']:12.1f}/s "
+                    f"({top['speedup']:.1f}x)"
+                )
+            mh = data["mh"]
+            mh_part = (
+                f"mh: {mh['speedup']:.1f}x" if mh["speedup"] is not None else "mh: n/a"
+            )
+            print(f"{bench['name']:26s} {variant:8s} {line}  {mh_part}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness.bench_json",
         description="Write the machine-readable benchmark snapshot.",
     )
-    parser.add_argument("-o", "--output", default="BENCH_pr3.json")
+    parser.add_argument("-o", "--output", default=None)
     parser.add_argument(
         "--samples", type=int, default=400, help="MH samples per run"
+    )
+    parser.add_argument(
+        "--vectorized",
+        action="store_true",
+        help="write the array-backend sweep (BENCH_pr7.json) instead",
+    )
+    parser.add_argument(
+        "--batches",
+        nargs="*",
+        type=int,
+        metavar="N",
+        help="batch sizes for the --vectorized sweep",
     )
     parser.add_argument(
         "--only",
@@ -157,8 +380,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="restrict to these Table-1 benchmark names",
     )
     args = parser.parse_args(argv)
+    if args.vectorized:
+        output = args.output or "BENCH_pr7.json"
+        batches = tuple(args.batches) if args.batches else VECTORIZED_BATCHES
+        report = write_vectorized_json(output, batch_sizes=batches, only=args.only)
+        _print_vectorized(report)
+        print(f"wrote {output} ({len(report['benchmarks'])} benchmarks)")
+        return 0
+    output = args.output or "BENCH_pr3.json"
     report = write_bench_json(
-        args.output, n_samples=args.samples, only=args.only
+        output, n_samples=args.samples, only=args.only
     )
     for bench in report["benchmarks"]:
         inf = bench["inference"]
@@ -168,7 +399,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"sliced={inf['sliced']['samples_per_sec']:9.1f}/s "
             f"speedup={inf['speedup']:.2f}x"
         )
-    print(f"wrote {args.output} ({len(report['benchmarks'])} benchmarks)")
+    print(f"wrote {output} ({len(report['benchmarks'])} benchmarks)")
     return 0
 
 

@@ -214,11 +214,27 @@ class Engine:
     executor replicates :func:`repro.semantics.executor.run_program`'s
     trace, replay, and blocked-run behavior exactly, so the flag only
     changes speed, never the sampled stream.
+
+    ``compiled`` is tri-state (``bool | str``, backward compatible —
+    any truthy value routes scalar runs through the closure backend):
+
+    * ``False`` — interpret every run;
+    * ``True`` — closure backend (:mod:`repro.semantics.compiled`);
+    * ``"numpy"`` — the array backend
+      (:mod:`repro.semantics.vectorized`): batch-capable engines
+      (rejection, importance, MH, SMC) advance whole batches of lanes
+      per numpy step.  Programs outside the vectorizable fragment fall
+      back to the closure backend per engine run; :meth:`_vectorize`
+      records the fallback and its ``NotVectorizable`` reason as obs
+      counters (``vectorized.fallback.*``) so the fallback is never
+      silent.
     """
 
     name: str = "engine"
-    #: Opt-in: execute via the compiled (codegen) executor.
-    compiled: bool = False
+    #: Opt-in executor selection: ``False`` (interpreter), ``True``
+    #: (closure backend), or ``"numpy"`` (array backend with closure
+    #: fallback).  Any truthy value keeps scalar helper runs compiled.
+    compiled: "bool | str" = False
     #: How this engine's sampling work decomposes across workers:
     #: ``"chains"`` (independent MCMC chains: MH, trace MH, Gibbs),
     #: ``"draws"`` (i.i.d. draws: importance, rejection), ``"islands"``
@@ -272,6 +288,32 @@ class Engine:
                 rng, base_trace=base_trace, options=options
             )
         return run_program(program, rng, base_trace=base_trace, options=options)
+
+    def _vectorize(self, program: Program):
+        """The program's array-backend compilation when
+        ``compiled == "numpy"`` and the program is inside the
+        vectorizable fragment, else ``None``.
+
+        A ``None`` from a ``"numpy"`` engine means *fallback*: the
+        engine proceeds on the closure backend (``"numpy"`` is truthy,
+        so :meth:`_run_program` already compiles), and the obs counters
+        ``vectorized.fallback.<engine>`` and
+        ``vectorized.fallback.reason.<reason>`` record why.
+        """
+        if self.compiled != "numpy":
+            return None
+        from ..obs.recorder import current_recorder
+        from ..semantics.vectorized import NotVectorizable, compile_vectorized
+
+        try:
+            vectorized = compile_vectorized(program)
+        except NotVectorizable as exc:
+            recorder = current_recorder()
+            recorder.counter(f"vectorized.fallback.{self.name}")
+            recorder.counter(f"vectorized.fallback.reason.{exc.reason}")
+            return None
+        current_recorder().counter(f"vectorized.used.{self.name}")
+        return vectorized
 
 
 def effective_sample_size(samples: Sequence[float], max_lag: int = 200) -> float:

@@ -12,7 +12,7 @@ import copy
 import math
 import random
 import time
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.ast import Program
 from ..semantics.executor import ExecutorOptions, NonTerminatingRun
@@ -39,7 +39,8 @@ class LikelihoodWeighting(Engine):
         n_samples: int = 10_000,
         seed: int = 0,
         executor_options: ExecutorOptions = ExecutorOptions(),
-        compiled: bool = False,
+        compiled: "bool | str" = False,
+        batch_size: Optional[int] = None,
     ) -> None:
         if n_samples <= 0:
             raise ValueError("n_samples must be positive")
@@ -47,6 +48,9 @@ class LikelihoodWeighting(Engine):
         self.seed = seed
         self.executor_options = executor_options
         self.compiled = compiled
+        #: Lanes per vectorized step under ``compiled="numpy"``; ``None``
+        #: draws all ``n_samples`` lanes at once up to a 16384-lane cap.
+        self.batch_size = batch_size
 
     def shard(self, n_shards: int, seeds: Sequence[int]) -> List[Engine]:
         """I.i.d. draws: each shard draws its share of ``n_samples``.
@@ -64,6 +68,10 @@ class LikelihoodWeighting(Engine):
 
     def infer(self, program: Program) -> InferenceResult:
         from ..obs.recorder import current_recorder
+
+        vectorized = self._vectorize(program)
+        if vectorized is not None:
+            return self._infer_numpy(vectorized)
 
         rng = random.Random(self.seed)
         result = InferenceResult(weights=[])
@@ -103,5 +111,59 @@ class LikelihoodWeighting(Engine):
             rec.counter("engine.proposals", result.n_proposals)
             rec.counter("engine.samples", len(result.samples))
         if not result.samples or sum(result.weights) <= 0.0:
+            raise InferenceError("all likelihood weights are zero")
+        return result
+
+    def _infer_numpy(self, vectorized) -> InferenceResult:
+        """Array-backend likelihood weighting: whole chunks of prior
+        lanes advance per numpy step.  Blocked lanes (hard-observe
+        failures or ``-inf`` soft scores) drop exactly as the scalar
+        loop skips blocked runs; surviving weights are the same
+        overflow-clamped ``exp(min(ll, 700))``."""
+        import numpy as np
+
+        from ..obs.recorder import current_recorder
+        from ..runtime.parallel import numpy_generator
+
+        gen = numpy_generator(self.seed, "likelihood-weighting")
+        rec = current_recorder()
+        result = InferenceResult(weights=[])
+        assert result.weights is not None
+        start = time.perf_counter()
+        sum_w = 0.0
+        sum_w2 = 0.0
+        cap = self.batch_size if self.batch_size is not None else 16384
+        done = 0
+        while done < self.n_samples:
+            chunk = min(cap, self.n_samples - done)
+            batch = vectorized.run_batch(gen, chunk)
+            done += chunk
+            result.statements_executed += int(batch.statements.sum())
+            keep = np.flatnonzero(~batch.blocked)
+            weights = np.exp(np.minimum(batch.log_likelihood[keep], 700.0))
+            value = batch.value
+            if isinstance(value, tuple):
+                columns = [np.asarray(v)[keep] for v in value]
+                for j in range(keep.size):
+                    result.samples.append(tuple(c[j].item() for c in columns))
+            else:
+                result.samples.extend(v.item() for v in np.asarray(value)[keep])
+            result.weights.extend(weights.tolist())
+            sum_w += float(weights.sum())
+            sum_w2 += float((weights * weights).sum())
+            if rec.enabled:
+                rec.progress(
+                    self.name,
+                    done,
+                    self.n_samples,
+                    ess=_weight_ess(sum_w, sum_w2),
+                )
+        result.n_proposals = self.n_samples
+        result.n_accepted = len(result.samples)
+        result.elapsed_seconds = time.perf_counter() - start
+        if rec.enabled:
+            rec.counter("engine.proposals", result.n_proposals)
+            rec.counter("engine.samples", len(result.samples))
+        if not result.samples or sum_w <= 0.0:
             raise InferenceError("all likelihood weights are zero")
         return result

@@ -68,7 +68,8 @@ class MetropolisHastings(Engine):
         global_move_prob: float = 0.05,
         time_budget: Optional[float] = None,
         executor_options: ExecutorOptions = ExecutorOptions(),
-        compiled: bool = False,
+        compiled: "bool | str" = False,
+        batch_chains: int = 64,
     ) -> None:
         if n_samples <= 0:
             raise ValueError("n_samples must be positive")
@@ -76,6 +77,8 @@ class MetropolisHastings(Engine):
             raise ValueError("thin must be positive")
         if not 0.0 <= global_move_prob <= 1.0:
             raise ValueError("global_move_prob must be in [0, 1]")
+        if batch_chains <= 0:
+            raise ValueError("batch_chains must be positive")
         self.n_samples = n_samples
         self.burn_in = burn_in
         self.thin = thin
@@ -87,6 +90,10 @@ class MetropolisHastings(Engine):
         self.time_budget = time_budget
         self.executor_options = executor_options
         self.compiled = compiled
+        #: Lockstep chains per vectorized step under ``compiled="numpy"``
+        #: (capped at ``n_samples``); each records its
+        #: :func:`~repro.inference.base.split_evenly` share of the total.
+        self.batch_chains = batch_chains
         self._deadline: Optional[float] = None
 
     def shard(self, n_shards: int, seeds: Sequence[int]) -> List["Engine"]:
@@ -327,6 +334,10 @@ class MetropolisHastings(Engine):
     def infer(self, program: Program) -> InferenceResult:
         from ..obs.recorder import current_recorder
 
+        vectorized = self._vectorize(program)
+        if vectorized is not None:
+            return self._infer_numpy(program, vectorized)
+
         rng = random.Random(self.seed)
         result = InferenceResult()
         rec = current_recorder()
@@ -353,6 +364,184 @@ class MetropolisHastings(Engine):
                 result.n_accepted += 1
             if step >= self.burn_in and (step - self.burn_in) % self.thin == 0:
                 result.samples.append(current.value)
+        result.elapsed_seconds = time.perf_counter() - start
+        if rec.enabled:
+            rec.progress(
+                self.name,
+                total_steps,
+                total_steps,
+                accept_rate=result.n_accepted / max(1, result.n_proposals),
+            )
+            rec.counter("engine.proposals", result.n_proposals)
+            rec.counter("engine.samples", len(result.samples))
+        return result
+
+    def _infer_numpy(self, program: Program, vectorized) -> InferenceResult:
+        """Array-backend MH: a batch of independent chains advances in
+        lockstep, one vectorized program run per step, with a per-chain
+        accept mask.
+
+        Initialization is the scalar path (one chain's worth of
+        annealing machinery), replicated across all lanes; from there
+        every lane applies the scalar single-site/global kernel
+        element-wise — same site-choice distribution, same acceptance
+        ratio term for term — so each lane is marginally the scalar
+        chain (on a PCG64 stream instead of the Mersenne one).  Each
+        chain records its :func:`split_evenly` share of ``n_samples``
+        and the per-chain streams land in ``result.chains``.
+        """
+        import numpy as np
+
+        from ..dists.batched import BATCHED
+        from ..obs.recorder import current_recorder
+        from ..runtime.parallel import numpy_generator
+        from .base import split_evenly
+
+        rec = current_recorder()
+        result = InferenceResult()
+        start = time.perf_counter()
+        self._deadline = (
+            None if self.time_budget is None else start + self.time_budget
+        )
+        rng = random.Random(self.seed)
+        current = self._initialize(program, rng, result)
+
+        B = min(self.batch_chains, self.n_samples)
+        gen = numpy_generator(self.seed, "mh")
+        sites = vectorized.sites
+        S = len(sites)
+        # Chain state: one (B,) column per static site (value, prior
+        # log-density, presence), all lanes starting from the scalar
+        # initializer's trace.
+        vals: List[np.ndarray] = []
+        lps: List[np.ndarray] = []
+        pres: List[np.ndarray] = []
+        for site in sites:
+            entry = current.trace.get(site.addr)
+            dtype = BATCHED[site.dist_name].dtype
+            if entry is not None and entry.dist_name == site.dist_name:
+                vals.append(np.full(B, entry.value, dtype=dtype))
+                lps.append(np.full(B, entry.log_prior, dtype=np.float64))
+                pres.append(np.ones(B, dtype=np.bool_))
+            else:
+                vals.append(np.zeros(B, dtype=dtype))
+                lps.append(np.zeros(B, dtype=np.float64))
+                pres.append(np.zeros(B, dtype=np.bool_))
+        cur_ll = np.full(B, current.log_likelihood)
+        cur_joint = np.full(B, current.log_joint)
+        if isinstance(current.value, tuple):
+            cur_value = tuple(np.full(B, v) for v in current.value)
+        else:
+            cur_value = np.full(B, current.value)
+
+        quotas = split_evenly(self.n_samples, B)
+        chains: List[List[object]] = [[] for _ in range(B)]
+        total_steps = self.burn_in + max(quotas) * self.thin
+        for step in range(total_steps):
+            if step % 64 == 0:
+                self._check_deadline(f"step {step} of {total_steps}")
+                if rec.enabled:
+                    rec.progress(
+                        self.name,
+                        step,
+                        total_steps,
+                        accept_rate=result.n_accepted
+                        / max(1, result.n_proposals),
+                    )
+            gmask = gen.random(B) < self.global_move_prob
+            if S:
+                pres_mat = np.stack(pres)
+                counts = pres_mat.sum(axis=0)
+                # Uniform site choice via the presence-cumsum trick:
+                # `order[s]` is the site's rank among the lane's
+                # present sites, `pick` the target rank.
+                pick = np.floor(
+                    gen.random(B) * np.maximum(counts, 1)
+                ).astype(np.int64)
+                order = np.cumsum(pres_mat, axis=0) - pres_mat
+                chosen = pres_mat & (order == pick) & ~gmask & (counts > 0)
+                base_present = [
+                    pres[s] & ~chosen[s] & ~gmask for s in range(S)
+                ]
+            else:
+                counts = np.zeros(B, dtype=np.int64)
+                chosen = np.zeros((0, B), dtype=np.bool_)
+                base_present = []
+            batch = vectorized.run_batch(gen, B, base=(vals, base_present))
+            result.statements_executed += int(batch.statements.sum())
+            prop_joint = batch.log_joints()
+            with np.errstate(invalid="ignore", divide="ignore"):
+                if S:
+                    forward = np.zeros(B)
+                    reverse = np.zeros(B)
+                    m_new = np.zeros(B, dtype=np.int64)
+                    for s in range(S):
+                        new_p = batch.site_present[s]
+                        forward += np.where(
+                            new_p & (chosen[s] | ~pres[s]),
+                            batch.site_log_priors[s],
+                            0.0,
+                        )
+                        reverse += np.where(
+                            pres[s] & (chosen[s] | ~new_p), lps[s], 0.0
+                        )
+                        m_new += new_p
+                    log_alpha_site = (
+                        prop_joint
+                        - cur_joint
+                        + np.log(np.maximum(counts, 1))
+                        - np.log(np.maximum(m_new, 1))
+                        + reverse
+                        - forward
+                    )
+                else:
+                    log_alpha_site = np.full(B, NEG_INF)
+                log_alpha = np.where(
+                    gmask, batch.log_likelihood - cur_ll, log_alpha_site
+                )
+                # NaN compares False on both sides: natural rejection,
+                # as in the scalar kernel.
+                accept = (log_alpha >= 0.0) | (np.log(gen.random(B)) < log_alpha)
+            accept &= ~batch.blocked
+            # Site moves need a site to move (scalar: empty trace
+            # proposes nothing) and a finite proposal joint.
+            accept &= gmask | ((counts > 0) & (prop_joint > NEG_INF))
+            result.n_proposals += B
+            n_acc = int(accept.sum())
+            result.n_accepted += n_acc
+            if n_acc:
+                cur_ll = np.where(accept, batch.log_likelihood, cur_ll)
+                cur_joint = np.where(accept, prop_joint, cur_joint)
+                for s in range(S):
+                    vals[s] = np.where(accept, batch.site_values[s], vals[s])
+                    lps[s] = np.where(
+                        accept, batch.site_log_priors[s], lps[s]
+                    )
+                    pres[s] = np.where(accept, batch.site_present[s], pres[s])
+                if isinstance(cur_value, tuple):
+                    cur_value = tuple(
+                        np.where(accept, new, old)
+                        for new, old in zip(batch.value, cur_value)
+                    )
+                else:
+                    cur_value = np.where(accept, batch.value, cur_value)
+            if step >= self.burn_in and (step - self.burn_in) % self.thin == 0:
+                i = (step - self.burn_in) // self.thin
+                if isinstance(cur_value, tuple):
+                    columns = [np.asarray(v).tolist() for v in cur_value]
+                    for c in range(B):
+                        if i < quotas[c]:
+                            chains[c].append(
+                                tuple(column[c] for column in columns)
+                            )
+                else:
+                    column = np.asarray(cur_value).tolist()
+                    for c in range(B):
+                        if i < quotas[c]:
+                            chains[c].append(column[c])
+        for chain in chains:
+            result.samples.extend(chain)
+        result.chains = chains
         result.elapsed_seconds = time.perf_counter() - start
         if rec.enabled:
             rec.progress(

@@ -13,7 +13,7 @@ from __future__ import annotations
 import copy
 import random
 import time
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.ast import Program
 from ..semantics.executor import ExecutorOptions, NonTerminatingRun
@@ -45,7 +45,8 @@ class RejectionSampler(Engine):
         seed: int = 0,
         max_attempts: int = 10_000_000,
         executor_options: ExecutorOptions = ExecutorOptions(),
-        compiled: bool = False,
+        compiled: "bool | str" = False,
+        batch_size: Optional[int] = None,
     ) -> None:
         if n_samples <= 0:
             raise ValueError("n_samples must be positive")
@@ -54,6 +55,10 @@ class RejectionSampler(Engine):
         self.max_attempts = max_attempts
         self.executor_options = executor_options
         self.compiled = compiled
+        #: Lanes per vectorized step under ``compiled="numpy"``; ``None``
+        #: sizes chunks adaptively from the running acceptance rate
+        #: (capped at 16384 lanes) exactly like the scalar chunk loop.
+        self.batch_size = batch_size
 
     def shard(self, n_shards: int, seeds: Sequence[int]) -> List[Engine]:
         """I.i.d. draws: each shard collects its share of ``n_samples``
@@ -79,6 +84,10 @@ class RejectionSampler(Engine):
                 "rejection sampling requires hard observations only"
             )
         from ..obs.recorder import current_recorder
+
+        vectorized = self._vectorize(program)
+        if vectorized is not None:
+            return self._infer_numpy(vectorized)
 
         rng = random.Random(self.seed)
         result = InferenceResult()
@@ -122,6 +131,72 @@ class RejectionSampler(Engine):
                     samples.append(run.value)
                     if len(samples) >= target:
                         break
+            if rec.enabled:
+                rec.progress(
+                    self.name,
+                    len(samples),
+                    target,
+                    attempts=attempts,
+                    accept_rate=len(samples) / max(1, attempts),
+                )
+        result.statements_executed = statements
+        result.n_proposals = attempts
+        result.n_accepted = len(samples)
+        result.elapsed_seconds = time.perf_counter() - start
+        if rec.enabled:
+            rec.counter("engine.proposals", attempts)
+            rec.counter("engine.samples", len(samples))
+        return result
+
+    def _infer_numpy(self, vectorized) -> InferenceResult:
+        """Array-backend accept loop: whole chunks of lanes advance per
+        numpy step; blocked lanes are simply filtered out by the
+        ``_alive`` mask.  Attempt accounting stops at the lane that
+        completes the target (as the scalar loop's mid-chunk ``break``
+        does), so the exhaustion error fires under the same budget."""
+        import numpy as np
+
+        from ..obs.recorder import current_recorder
+        from ..runtime.parallel import numpy_generator
+
+        gen = numpy_generator(self.seed, "rejection")
+        rec = current_recorder()
+        result = InferenceResult()
+        samples = result.samples
+        target = self.n_samples
+        attempts = 0
+        statements = 0
+        start = time.perf_counter()
+        while len(samples) < target:
+            if attempts >= self.max_attempts:
+                result.statements_executed = statements
+                raise InferenceError(
+                    f"rejection sampler exhausted {self.max_attempts} attempts "
+                    f"with only {len(samples)} accepted samples"
+                )
+            remaining = target - len(samples)
+            if self.batch_size is not None:
+                chunk = self.batch_size
+            else:
+                rate = (len(samples) + 1.0) / (attempts + 2.0)
+                chunk = min(
+                    max(remaining, int(remaining / rate * 1.25) + 1), 16384
+                )
+            chunk = min(chunk, self.max_attempts - attempts)
+            batch = vectorized.run_batch(gen, chunk)
+            accepted = np.flatnonzero(~batch.blocked)[:remaining]
+            # Lanes past the one that fills the target were never
+            # "attempted" in the scalar accounting.
+            cut = chunk if accepted.size < remaining else int(accepted[-1]) + 1
+            attempts += cut
+            statements += int(batch.statements[:cut].sum())
+            value = batch.value
+            if isinstance(value, tuple):
+                columns = [np.asarray(v)[accepted] for v in value]
+                for j in range(accepted.size):
+                    samples.append(tuple(c[j].item() for c in columns))
+            else:
+                samples.extend(v.item() for v in np.asarray(value)[accepted])
             if rec.enabled:
                 rec.progress(
                     self.name,

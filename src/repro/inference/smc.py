@@ -181,7 +181,7 @@ class SMCSampler(Engine):
         seed: int = 0,
         ess_threshold: float = 0.5,
         max_loop_iterations: int = 1_000_000,
-        compiled: bool = False,
+        compiled: "bool | str" = False,
     ) -> None:
         if n_particles <= 0:
             raise ValueError("n_particles must be positive")
@@ -248,6 +248,10 @@ class SMCSampler(Engine):
 
     def infer(self, program: Program) -> InferenceResult:
         from ..obs.recorder import current_recorder
+
+        vectorized = self._vectorize(program)
+        if vectorized is not None:
+            return self._infer_numpy(vectorized)
 
         rng = random.Random(self.seed)
         result = InferenceResult(weights=[])
@@ -327,6 +331,102 @@ class SMCSampler(Engine):
                 self.n_particles,
                 resamples=self._resamples,
             )
+            rec.counter("engine.proposals", result.n_proposals)
+            rec.counter("engine.samples", len(result.samples))
+            rec.counter("smc.resamples", self._resamples)
+        return result
+
+    def _infer_numpy(self, vectorized) -> InferenceResult:
+        """Array-backend SMC: the whole population advances barrier by
+        barrier through one batched generator, weights update as
+        ``(batch,)`` arrays, and systematic resampling is a single
+        ``searchsorted`` gather sent back into the generator (no trace
+        replay — clones copy ancestor state by indexing).
+
+        One documented divergence from the scalar engine: lanes share
+        the program's *static* barrier schedule (an ``if`` holding an
+        observe pauses every lane, contributing a zero delta on lanes
+        that took the other arm), so the resampling points are the
+        static conditioning statements rather than each particle's own
+        dynamic barrier sequence.
+        """
+        import numpy as np
+
+        from ..obs.recorder import current_recorder
+        from ..runtime.parallel import numpy_generator
+
+        gen = numpy_generator(self.seed, "smc")
+        rec = current_recorder()
+        result = InferenceResult(weights=[])
+        assert result.weights is not None
+        start = time.perf_counter()
+        self._resamples = 0
+        barriers = 0
+        target = self.n_particles
+        particles = vectorized.particles(gen, target)
+        log_weights = np.zeros(target, dtype=np.float64)
+        lineage = np.arange(target)
+        ancestors: Optional[np.ndarray] = None
+        while True:
+            delta = particles.advance(ancestors)
+            ancestors = None
+            if delta is None:
+                break
+            barriers += 1
+            log_weights = log_weights + delta
+            dead = np.isneginf(log_weights)
+            if dead.all():
+                raise InferenceError(
+                    "every SMC particle died (zero-mass program?)"
+                )
+            with np.errstate(over="ignore"):
+                weights = np.exp(log_weights - log_weights.max())
+            total = float(weights.sum())
+            ess = total * total / float((weights * weights).sum())
+            # Same trigger as the scalar engine: weight degeneracy or
+            # any hard-observe death (replenish back to full size).
+            if ess < self.ess_threshold * target or dead.any():
+                self._resamples += 1
+                positions = (gen.random(target) + np.arange(target)) / target
+                cumulative = np.cumsum(weights / total)
+                ancestors = np.minimum(
+                    np.searchsorted(cumulative, positions, side="left"),
+                    target - 1,
+                )
+                log_weights = np.zeros(target, dtype=np.float64)
+                lineage = lineage[ancestors]
+            if rec.enabled:
+                rec.progress(
+                    self.name,
+                    0,
+                    target,
+                    live=int(target - dead.sum()),
+                    barriers=barriers,
+                    resamples=self._resamples,
+                )
+        final = particles.finished_result()
+        result.statements_executed += int(final.statements.sum())
+        keep = np.flatnonzero(~np.isneginf(log_weights))
+        if keep.size == 0:
+            raise InferenceError("every SMC particle died (zero-mass program?)")
+        with np.errstate(over="ignore"):
+            weights = np.exp(log_weights[keep] - log_weights[keep].max())
+        value = final.value
+        if isinstance(value, tuple):
+            columns = [np.asarray(v)[keep] for v in value]
+            for j in range(keep.size):
+                result.samples.append(tuple(c[j].item() for c in columns))
+        else:
+            result.samples.extend(v.item() for v in np.asarray(value)[keep])
+        result.weights.extend(weights.tolist())
+        result.n_proposals = target
+        result.n_accepted = keep.size
+        result.lineages = int(np.unique(lineage[keep]).size)
+        result.elapsed_seconds = time.perf_counter() - start
+        if sum(result.weights) <= 0.0:
+            raise InferenceError("all SMC particle weights are zero")
+        if rec.enabled:
+            rec.progress(self.name, target, target, resamples=self._resamples)
             rec.counter("engine.proposals", result.n_proposals)
             rec.counter("engine.samples", len(result.samples))
             rec.counter("smc.resamples", self._resamples)

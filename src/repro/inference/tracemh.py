@@ -66,6 +66,14 @@ class ChurchTraceMH(MetropolisHastings):
             raise ValueError("overhead must be >= 1")
         self.overhead = overhead
 
+    def _vectorize(self, program):
+        # This engine models an *interpreted* host; the array backend
+        # would erase the overhead factor the emulation exists to
+        # charge, so church-mh always takes the scalar path (a truthy
+        # ``compiled`` still routes those runs through the closure
+        # backend).
+        return None
+
     def _execute(self, program, rng, base_trace, result: InferenceResult) -> RunResult:
         # Interpretation overhead: re-run the executor redundantly so
         # per-proposal cost scales like an interpreted host's would.

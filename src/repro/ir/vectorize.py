@@ -1,0 +1,286 @@
+"""Vectorizability analysis and bounded loop unrolling.
+
+The array backend (:mod:`repro.semantics.vectorized`) compiles a
+program to straight-line numpy code over a ``(batch,)`` array per
+variable, with ``if`` branches handled by predicated select.  That
+compilation scheme only exists for a *fragment* of PROB:
+
+* every ``while`` loop must have a **statically determined trip
+  count** — a condition that constant-folds to the same boolean on
+  every lane, every iteration (the canonical ``i = 0; while (i < K)
+  { ...; i = i + 1; }`` counter loop).  Such loops are unrolled here,
+  each iteration keeping its own ``('W', k)`` address component so
+  sample-site addresses match the interpreter's exactly;
+* the trip count must not exceed the **unroll budget** (data-dependent
+  or probabilistic trip counts are rejected outright — a per-lane
+  trip count cannot be predicated away without per-iteration masks on
+  a bound nobody knows);
+* every sampled/observed distribution must have a batched handler
+  (the caller passes the supported set);
+* the right operand of ``&&`` / ``||`` must not contain a division or
+  modulo whose divisor is not a non-zero constant: the scalar
+  semantics short-circuits (never evaluating the right side), while
+  the array backend evaluates both sides on all lanes, so a guarded
+  ``x != 0 && 1 / x > 0`` would raise on lanes the interpreter
+  protects;
+* tuple expressions are only allowed in return position (they have no
+  single-array representation).
+
+Programs outside the fragment raise the typed :exc:`NotVectorizable`
+with a machine-readable ``reason`` (``while.data-dependent``,
+``while.budget``, ``dist.<Name>``, ``expr.shortcircuit-division``,
+``expr.tuple``); engines catch it, record an obs counter, and fall
+back to the closure backend.
+
+The analysis threads a concrete constant environment through the
+region tree (assignments of constant-foldable expressions are tracked;
+samples and merge-divergent branches invalidate), so nested counter
+loops unroll correctly even when an inner bound depends on the outer
+counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from ..core.ast import (
+    Assign,
+    Binary,
+    Const,
+    Decl,
+    DistCall,
+    Expr,
+    Factor,
+    Observe,
+    ObserveSample,
+    Sample,
+    TupleExpr,
+    Unary,
+    Var,
+)
+from ..ir.lower import IfRegion, Leaf, Lowered, Region, Seq, WhileRegion
+from ..semantics.values import EvalError, Value, default_value, eval_expr
+
+__all__ = [
+    "NotVectorizable",
+    "UnrolledLoop",
+    "VecRegion",
+    "DEFAULT_UNROLL_BUDGET",
+    "unroll_regions",
+]
+
+#: Default per-loop unroll cap.  Generous for the counter loops the
+#: generator and the paper's models produce, small enough that the
+#: generated straight-line source stays manageable.
+DEFAULT_UNROLL_BUDGET = 128
+
+
+class NotVectorizable(Exception):
+    """The program lies outside the vectorizable fragment.
+
+    ``reason`` is a short machine-readable token (used in obs counter
+    names); the exception message carries the human explanation.
+    """
+
+    def __init__(self, reason: str, message: str = "") -> None:
+        self.reason = reason
+        super().__init__(message or reason)
+
+
+@dataclass(frozen=True)
+class UnrolledLoop:
+    """A ``while`` replaced by its statically-unrolled iterations.
+
+    ``iterations[k]`` is the (recursively unrolled) body copy for
+    iteration ``k``; codegen addresses its sample sites with the same
+    ``('W', k)`` component the interpreter uses at run time.
+    """
+
+    node: int
+    iterations: Tuple["VecRegion", ...]
+
+
+VecRegion = Union[Leaf, Seq, IfRegion, UnrolledLoop]
+
+_ConstEnv = Dict[str, Value]
+
+
+def _const_eval(expr: Expr, env: _ConstEnv) -> Optional[Value]:
+    """Evaluate ``expr`` over the known-constant environment, or
+    ``None`` when it depends on anything unknown (or errors)."""
+    try:
+        return eval_expr(expr, env)
+    except EvalError:
+        return None
+
+
+def _has_unsafe_division(expr: Expr) -> bool:
+    """True when ``expr`` contains ``/`` or ``%`` whose divisor is not
+    a non-zero constant."""
+    if isinstance(expr, (Var, Const)):
+        return False
+    if isinstance(expr, Unary):
+        return _has_unsafe_division(expr.operand)
+    if isinstance(expr, Binary):
+        if expr.op in ("/", "%"):
+            right = expr.right
+            if not (isinstance(right, Const) and right.value != 0):
+                return True
+        return _has_unsafe_division(expr.left) or _has_unsafe_division(expr.right)
+    if isinstance(expr, TupleExpr):
+        return any(_has_unsafe_division(e) for e in expr.elements)
+    return False
+
+
+class _Analyzer:
+    def __init__(
+        self,
+        budget: int,
+        supported_dists: Optional[frozenset],
+    ) -> None:
+        self.budget = budget
+        self.supported = supported_dists
+
+    # -- expression fragment checks -----------------------------------------
+
+    def check_expr(self, expr: Expr) -> None:
+        if isinstance(expr, (Var, Const)):
+            return
+        if isinstance(expr, Unary):
+            self.check_expr(expr.operand)
+            return
+        if isinstance(expr, Binary):
+            if expr.op in ("&&", "||") and _has_unsafe_division(expr.right):
+                raise NotVectorizable(
+                    "expr.shortcircuit-division",
+                    f"division under short-circuit in {expr}: the scalar "
+                    "semantics may never evaluate the divisor",
+                )
+            self.check_expr(expr.left)
+            self.check_expr(expr.right)
+            return
+        if isinstance(expr, TupleExpr):
+            raise NotVectorizable(
+                "expr.tuple",
+                "tuple expressions are only vectorizable in return position",
+            )
+        raise NotVectorizable("expr.unknown", f"not an expression: {expr!r}")
+
+    def check_dist(self, dist: DistCall) -> None:
+        if self.supported is not None and dist.name not in self.supported:
+            raise NotVectorizable(
+                f"dist.{dist.name}",
+                f"distribution {dist.name!r} has no batched handler",
+            )
+        for arg in dist.args:
+            self.check_expr(arg)
+
+    # -- region walk ---------------------------------------------------------
+
+    def region(self, region: Region, env: _ConstEnv) -> VecRegion:
+        if isinstance(region, Leaf):
+            if region.node is not None:
+                self._leaf(region.stmt, env)
+            return region
+        if isinstance(region, Seq):
+            return Seq(tuple(self.region(c, env) for c in region.children))
+        if isinstance(region, IfRegion):
+            self.check_expr(region.cond)
+            then_env = dict(env)
+            else_env = dict(env)
+            then_region = self.region(region.then_region, then_env)
+            else_region = self.region(region.else_region, else_env)
+            env.clear()
+            for name, value in then_env.items():
+                other = else_env.get(name, _MISSING)
+                if other is not _MISSING and other == value and type(other) is type(value):
+                    env[name] = value
+            return IfRegion(region.cond, region.node, then_region, else_region)
+        if isinstance(region, WhileRegion):
+            return self._while(region, env)
+        raise NotVectorizable("region.unknown", f"not a region: {region!r}")
+
+    def _leaf(self, stmt, env: _ConstEnv) -> None:
+        if isinstance(stmt, Decl):
+            try:
+                env[stmt.name] = default_value(stmt.type)
+            except EvalError:
+                env.pop(stmt.name, None)
+        elif isinstance(stmt, Assign):
+            self.check_expr(stmt.expr)
+            value = _const_eval(stmt.expr, env)
+            if value is None or isinstance(value, tuple):
+                env.pop(stmt.name, None)
+            else:
+                env[stmt.name] = value
+        elif isinstance(stmt, Sample):
+            self.check_dist(stmt.dist)
+            env.pop(stmt.name, None)
+        elif isinstance(stmt, Observe):
+            self.check_expr(stmt.cond)
+        elif isinstance(stmt, ObserveSample):
+            self.check_dist(stmt.dist)
+            self.check_expr(stmt.value)
+        elif isinstance(stmt, Factor):
+            self.check_expr(stmt.log_weight)
+        else:
+            raise NotVectorizable(
+                "stmt.unknown", f"not a primitive statement: {stmt!r}"
+            )
+
+    def _while(self, region: WhileRegion, env: _ConstEnv) -> UnrolledLoop:
+        self.check_expr(region.cond)
+        iterations = []
+        for _ in range(self.budget):
+            cond = _const_eval(region.cond, env)
+            if cond is None:
+                raise NotVectorizable(
+                    "while.data-dependent",
+                    f"while condition {region.cond} does not constant-fold; "
+                    "the trip count is data-dependent",
+                )
+            if cond is not True:
+                return UnrolledLoop(region.node, tuple(iterations))
+            iterations.append(self.region(region.body, env))
+        cond = _const_eval(region.cond, env)
+        if cond is None:
+            raise NotVectorizable(
+                "while.data-dependent",
+                f"while condition {region.cond} stopped constant-folding "
+                f"after {self.budget} iterations",
+            )
+        if cond is True:
+            raise NotVectorizable(
+                "while.budget",
+                f"while loop exceeds the unroll budget of {self.budget} "
+                "iterations",
+            )
+        return UnrolledLoop(region.node, tuple(iterations))
+
+
+_MISSING = object()
+
+
+def unroll_regions(
+    lowered: Lowered,
+    budget: int = DEFAULT_UNROLL_BUDGET,
+    supported_dists: Optional[frozenset] = None,
+) -> VecRegion:
+    """Analyze ``lowered`` for vectorizability and return its loop-free
+    region tree (``while`` regions replaced by :class:`UnrolledLoop`).
+
+    Raises :exc:`NotVectorizable` for programs outside the fragment.
+    ``supported_dists``, when given, restricts the allowed
+    distribution names (the array backend passes its batched registry).
+    """
+    analyzer = _Analyzer(budget, supported_dists)
+    ret = lowered.ret
+    if ret is not None:
+        # Tuple returns are fine (handled element-wise); check elements.
+        if isinstance(ret, TupleExpr):
+            for element in ret.elements:
+                analyzer.check_expr(element)
+        else:
+            analyzer.check_expr(ret)
+    return analyzer.region(lowered.root, {})

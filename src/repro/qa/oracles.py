@@ -17,6 +17,12 @@ fuzz campaign can run at scale:
   trace, statement count) from the same RNG stream, on the original
   and on every pipeline variant (``naive_slice`` included: unsound as
   a slicer, its output is still a program both backends must agree on).
+  Vectorizable variants get the third backend locked in as well: every
+  interpreter run must replay bit-exactly through the array backend
+  (:mod:`repro.semantics.vectorized`) at batch 1, and every lane of a
+  fresh vectorized batch must replay bit-exactly through *both* scalar
+  backends — trace replay is the cross-backend equivalence mechanism,
+  since the PCG64 and Mersenne streams can never bit-match.
 * :class:`BayesNetOracle` — for loop-free compilable programs,
   Bayes-net compilation + variable elimination must match enumeration.
 * :class:`SamplerEquivalenceOracle` — every sampling engine, run with
@@ -138,7 +144,11 @@ class OracleConfig:
     n_comparisons: int = 1
     #: Absolute tolerance for the exact-distribution comparison.
     atol: float = 1e-9
-    #: Sampling engines exercised by the statistical oracle.
+    #: Sampling engines exercised by the statistical oracle.  The
+    #: ``-numpy`` variants run the same engines on the array backend
+    #: (``compiled="numpy"``), falling back to the closure backend on
+    #: non-vectorizable programs — either way the sampled stream must
+    #: fit the exact distribution.
     engines: Tuple[str, ...] = (
         "rejection",
         "importance",
@@ -146,6 +156,10 @@ class OracleConfig:
         "church",
         "gibbs",
         "smc",
+        "rejection-numpy",
+        "importance-numpy",
+        "mh-numpy",
+        "smc-numpy",
     )
     #: MH burn-in (kept small — QA programs are tiny).
     burn_in: int = 200
@@ -396,12 +410,22 @@ class ExactEquivalenceOracle(Oracle):
 
 
 class BackendEquivalenceOracle(Oracle):
-    """Interpreter vs compiled executor: same seed, identical run."""
+    """Interpreter vs compiled executor vs array backend.
+
+    Interpreter and closure backend share the ``random.Random`` stream,
+    so their runs compare directly.  The array backend draws from PCG64
+    and is locked in by *trace replay* in both directions: interpreter
+    run → batch-of-1 vectorized replay, and fresh vectorized batch →
+    per-lane scalar replays through both other backends.  Programs
+    outside the vectorizable fragment skip the third leg (that is the
+    contract, not a bug); any other vectorization failure is a crash.
+    """
 
     name = "backends"
 
     def check(self, program: Program) -> List[Disagreement]:
         from ..semantics.compiled import compile_program as compile_executable
+        from ..semantics.vectorized import NotVectorizable, compile_vectorized
 
         variants, out = program_variants(program)
         for variant in variants:
@@ -418,11 +442,141 @@ class BackendEquivalenceOracle(Oracle):
                     )
                 )
                 continue
+            try:
+                vectorized = compile_vectorized(variant.program)
+            except NotVectorizable:
+                vectorized = None
+            except Exception:
+                vectorized = None
+                out.append(
+                    Disagreement(
+                        oracle=self.name,
+                        kind="crash",
+                        subject=f"vectorized[{variant.name}]",
+                        reference=f"interp[{variant.name}]",
+                        detail=traceback.format_exc(limit=6),
+                    )
+                )
             for seed in self.config.seeds:
-                out.extend(self._compare_run(variant, executable, seed))
+                out.extend(
+                    self._compare_run(variant, executable, seed, vectorized)
+                )
+            if vectorized is not None:
+                for seed in self.config.seeds:
+                    out.extend(
+                        self._check_lanes(variant, executable, vectorized, seed)
+                    )
         return out
 
-    def _compare_run(self, variant, executable, seed) -> List[Disagreement]:
+    @staticmethod
+    def _run_mismatches(lhs, rhs) -> List[str]:
+        """Field-by-field comparison of two (scalar) run results."""
+        mismatches = []
+        for field_name in ("value", "log_likelihood", "statements_executed"):
+            a = getattr(lhs, field_name)
+            b = getattr(rhs, field_name)
+            if a != b:
+                mismatches.append(f"{field_name}: {a!r} != {b!r}")
+        if lhs.trace != rhs.trace:
+            mismatches.append("traces differ")
+        return mismatches
+
+    def _check_replay(
+        self, variant, vectorized, interp, seed
+    ) -> List[Disagreement]:
+        """Direction 1: an interpreter run's trace must replay
+        bit-exactly through the array backend at batch 1."""
+        from ..runtime.parallel import numpy_generator
+
+        where = f"{variant.name}@seed={seed}"
+        try:
+            batch = vectorized.run_batch(
+                numpy_generator(seed, "qa", "replay"),
+                1,
+                base=vectorized.base_from_trace(interp.trace, 1),
+            )
+            lane = batch.lane_result(0)
+        except Exception:
+            return [
+                Disagreement(
+                    oracle=self.name,
+                    kind="crash",
+                    subject=f"vectorized[{where}]",
+                    reference=f"interp[{where}]",
+                    detail=traceback.format_exc(limit=6),
+                )
+            ]
+        mismatches = self._run_mismatches(lane, interp)
+        if mismatches:
+            return [
+                Disagreement(
+                    oracle=self.name,
+                    kind="backend",
+                    subject=f"vectorized[{where}]",
+                    reference=f"interp[{where}]",
+                    detail="replayed interpreter trace diverged: "
+                    + "; ".join(mismatches),
+                )
+            ]
+        return []
+
+    def _check_lanes(
+        self, variant, executable, vectorized, seed
+    ) -> List[Disagreement]:
+        """Direction 2: each lane of a fresh vectorized batch must
+        replay bit-exactly through both scalar backends."""
+        from ..runtime.parallel import numpy_generator
+
+        where = f"{variant.name}@seed={seed}"
+        try:
+            batch = vectorized.run_batch(numpy_generator(seed, "qa", "batch"), 3)
+        except Exception:
+            # Fresh-batch errors (e.g. a division by zero some lane
+            # hit) cannot be compared across different RNG streams;
+            # the same-stream comparison above owns error behaviour.
+            return []
+        out: List[Disagreement] = []
+        for i in range(batch.batch):
+            lane = batch.lane_result(i)
+            for backend, run_fn in (
+                ("interp", lambda t: run_program(
+                    variant.program, random.Random(seed), base_trace=t
+                )),
+                ("compiled", lambda t: executable.run(
+                    random.Random(seed), base_trace=t
+                )),
+            ):
+                try:
+                    replayed = run_fn(dict(lane.trace))
+                except Exception:
+                    out.append(
+                        Disagreement(
+                            oracle=self.name,
+                            kind="backend",
+                            subject=f"{backend}[{where}#lane{i}]",
+                            reference=f"vectorized[{where}#lane{i}]",
+                            detail="lane trace failed to replay: "
+                            + traceback.format_exc(limit=6),
+                        )
+                    )
+                    continue
+                mismatches = self._run_mismatches(replayed, lane)
+                if mismatches:
+                    out.append(
+                        Disagreement(
+                            oracle=self.name,
+                            kind="backend",
+                            subject=f"{backend}[{where}#lane{i}]",
+                            reference=f"vectorized[{where}#lane{i}]",
+                            detail="replayed lane diverged: "
+                            + "; ".join(mismatches),
+                        )
+                    )
+        return out
+
+    def _compare_run(
+        self, variant, executable, seed, vectorized=None
+    ) -> List[Disagreement]:
         def run(fn):
             try:
                 return fn(random.Random(seed)), None
@@ -452,14 +606,7 @@ class BackendEquivalenceOracle(Oracle):
             ]
         if interp is None:
             return []  # both raised the same way
-        mismatches = []
-        for field_name in ("value", "log_likelihood", "statements_executed"):
-            a = getattr(interp, field_name)
-            b = getattr(compiled, field_name)
-            if a != b:
-                mismatches.append(f"{field_name}: {a!r} != {b!r}")
-        if interp.trace != compiled.trace:
-            mismatches.append("traces differ")
+        mismatches = self._run_mismatches(compiled, interp)
         if mismatches:
             return [
                 Disagreement(
@@ -470,6 +617,8 @@ class BackendEquivalenceOracle(Oracle):
                     detail="; ".join(mismatches),
                 )
             ]
+        if vectorized is not None:
+            return self._check_replay(variant, vectorized, interp, seed)
         return []
 
 
@@ -561,17 +710,22 @@ class SamplerEquivalenceOracle(Oracle):
     def _engine(self, engine_name: str, seed: int):
         cfg = self.config
         n = cfg.n_samples
+        compiled: "bool | str" = False
+        if engine_name.endswith("-numpy"):
+            engine_name = engine_name[: -len("-numpy")]
+            compiled = "numpy"
         if engine_name == "rejection":
             return RejectionSampler(
                 n_samples=n,
                 seed=seed,
                 max_attempts=n * cfg.max_attempts_factor,
+                compiled=compiled,
             )
         if engine_name == "importance":
-            return LikelihoodWeighting(n_samples=n, seed=seed)
+            return LikelihoodWeighting(n_samples=n, seed=seed, compiled=compiled)
         if engine_name == "mh":
             return MetropolisHastings(
-                n_samples=n, burn_in=cfg.burn_in, seed=seed
+                n_samples=n, burn_in=cfg.burn_in, seed=seed, compiled=compiled
             )
         if engine_name == "church":
             return ChurchTraceMH(
@@ -580,10 +734,11 @@ class SamplerEquivalenceOracle(Oracle):
         if engine_name == "gibbs":
             return GibbsSampler(n_samples=n, burn_in=cfg.burn_in, seed=seed)
         if engine_name == "smc":
-            return SMCSampler(n_particles=n, seed=seed)
+            return SMCSampler(n_particles=n, seed=seed, compiled=compiled)
         raise ValueError(f"unknown engine {engine_name!r}")
 
     def _applicable(self, engine_name: str, program: Program) -> bool:
+        engine_name = engine_name.removesuffix("-numpy")
         if engine_name == "rejection" and has_soft_conditioning(program):
             return False
         if engine_name == "gibbs" and has_loop(program):
@@ -637,7 +792,8 @@ class SamplerEquivalenceOracle(Oracle):
         except InferenceError:
             return []
         n_eff = _effective_draws(
-            result, mcmc=engine_name in ("mh", "church", "gibbs")
+            result,
+            mcmc=engine_name.removesuffix("-numpy") in ("mh", "church", "gibbs"),
         )
         if n_eff < 50.0:
             return []  # too few effective draws for a meaningful test

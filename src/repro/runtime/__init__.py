@@ -20,7 +20,7 @@ directly; ``n_workers=k`` is reproducible under a fixed master seed
 
 from ..core.fingerprint import FINGERPRINT_VERSION, program_fingerprint
 from .cache import CacheStats, ProgramCache
-from .parallel import ParallelRunner, spawn_seeds
+from .parallel import ParallelRunner, numpy_generator, spawn_seeds
 
 __all__ = [
     "FINGERPRINT_VERSION",
@@ -28,5 +28,6 @@ __all__ = [
     "CacheStats",
     "ProgramCache",
     "ParallelRunner",
+    "numpy_generator",
     "spawn_seeds",
 ]

@@ -38,6 +38,8 @@ import os
 import time
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.ast import Program
 from ..inference.base import Engine, InferenceError, InferenceResult
 from ..obs.recorder import TraceRecorder, current_recorder, use_recorder
@@ -45,7 +47,7 @@ from ..obs.recorder import TraceRecorder, current_recorder, use_recorder
 if TYPE_CHECKING:
     from ..transforms.factorize import FactorSet
 
-__all__ = ["ParallelRunner", "spawn_seeds"]
+__all__ = ["ParallelRunner", "numpy_generator", "spawn_seeds"]
 
 _BACKENDS = ("fork", "spawn", "forkserver", "inline")
 
@@ -64,6 +66,25 @@ def spawn_seeds(master_seed: int, n: int) -> List[int]:
         ).digest()
         seeds.append(int.from_bytes(digest[:8], "big") >> 1)
     return seeds
+
+
+def numpy_generator(master_seed: Optional[int], *path: object) -> np.random.Generator:
+    """A ``numpy.random.Generator`` derived from the same SHA-256 seed
+    stream as :func:`spawn_seeds`.
+
+    ``path`` components keep independent consumers (the array backend's
+    engines, per-shard lanes) off each other's streams; the whole
+    derivation is a pure function of ``(master_seed, *path)``, so the
+    ``n_workers=1`` reproducibility discipline extends to batched
+    draws.  A ``None`` master seed yields OS entropy, matching the
+    scalar engines' unseeded behaviour.
+    """
+    if master_seed is None:
+        return np.random.default_rng()
+    digest = hashlib.sha256(
+        ("repro-numpy-stream\x00" + "\x00".join(str(p) for p in (master_seed, *path))).encode()
+    ).digest()
+    return np.random.default_rng(int.from_bytes(digest[:16], "big"))
 
 
 def _infer_shard(

@@ -1,0 +1,154 @@
+"""The batched handlers must agree with the scalar distributions they
+shadow: same log densities to float64 rounding on value grids, same
+support boundaries (``-inf`` outside), same validation failures on
+active lanes, and the value dtype each handler declares must match what
+its sampler actually produces."""
+
+import numpy as np
+import pytest
+
+from repro.dists import DistributionError, make_distribution
+from repro.dists.batched import BATCHED, batched_dist_names, get_batched
+from repro.runtime.parallel import numpy_generator
+
+# name -> (scalar args, value grid probing inside + both boundaries +
+# outside the support).  Grids use integer values for the int-valued
+# distributions and floats elsewhere.
+_CASES = {
+    "Gaussian": ((0.5, 2.0), [-3.0, -0.5, 0.0, 0.5, 4.0]),
+    "Uniform": ((-1.0, 2.0), [-1.5, -1.0, 0.0, 1.999, 2.0, 3.0]),
+    "Gamma": ((2.5, 1.5), [-1.0, 0.0, 0.25, 1.0, 7.0]),
+    "Beta": ((2.0, 3.0), [-0.1, 0.0, 0.25, 0.5, 1.0, 1.1]),
+    "Exponential": ((1.5,), [-1.0, 0.0, 0.5, 4.0]),
+    "Laplace": ((0.5, 2.0), [-4.0, 0.0, 0.5, 3.0]),
+    "LogNormal": ((0.1, 1.5), [-1.0, 0.0, 0.5, 2.0]),
+    "StudentT": ((3.0,), [-2.0, 0.0, 1.5]),
+    "Bernoulli": ((0.3,), [False, True]),
+    "Categorical": ((0.2, 0.5, 0.3), [-1, 0, 1, 2, 3]),
+    "DiscreteUniform": ((1, 6), [0, 1, 3, 6, 7]),
+    "Binomial": ((10, 0.4), [-1, 0, 4, 10, 11]),
+    "Poisson": ((2.5,), [-1, 0, 2, 9]),
+    "Geometric": ((0.3,), [-1, 0, 1, 5]),
+    "NegativeBinomial": ((3.0, 0.4), [-1, 0, 2, 8]),
+}
+
+
+def _values_array(handler, values):
+    if handler.dtype is np.bool_:
+        return np.asarray(values, dtype=np.bool_)
+    if handler.dtype is np.int64:
+        return np.asarray(values, dtype=np.int64)
+    return np.asarray(values, dtype=np.float64)
+
+
+class TestLogProbParity:
+    @pytest.mark.parametrize("name", sorted(_CASES))
+    def test_matches_scalar_on_grid(self, name):
+        args, grid = _CASES[name]
+        handler = BATCHED[name]
+        scalar = make_distribution(name, args)
+        mask = np.ones(len(grid), dtype=bool)
+        params = handler.prepare(args, mask)
+        batched_lp = handler.log_prob(params, _values_array(handler, grid))
+        for i, v in enumerate(grid):
+            expected = scalar.log_prob(v)
+            got = float(batched_lp[i])
+            if expected == float("-inf"):
+                assert got == float("-inf"), (name, v)
+            else:
+                assert got == pytest.approx(expected, rel=1e-12, abs=1e-12), (name, v)
+
+    @pytest.mark.parametrize("name", sorted(_CASES))
+    def test_matches_scalar_with_per_lane_params(self, name):
+        """Parameters as (batch,) arrays: lane i scored with params[i]."""
+        args, grid = _CASES[name]
+        handler = BATCHED[name]
+        batch = len(grid)
+        mask = np.ones(batch, dtype=bool)
+        arr_args = [np.full(batch, float(a)) for a in args]
+        params = handler.prepare(arr_args, mask)
+        batched_lp = handler.log_prob(params, _values_array(handler, grid))
+        scalar = make_distribution(name, args)
+        for i, v in enumerate(grid):
+            expected = scalar.log_prob(v)
+            got = float(batched_lp[i])
+            if expected == float("-inf"):
+                assert got == float("-inf"), (name, v)
+            else:
+                assert got == pytest.approx(expected, rel=1e-12, abs=1e-12), (name, v)
+
+
+class TestDtypeAndSampling:
+    @pytest.mark.parametrize("name", sorted(_CASES))
+    def test_sample_dtype_matches_declaration(self, name):
+        args, _ = _CASES[name]
+        handler = BATCHED[name]
+        mask = np.ones(64, dtype=bool)
+        params = handler.prepare([np.full(64, float(a)) for a in args], mask)
+        draws = handler.sample(params, numpy_generator(0, "test", name), 64)
+        assert draws.shape == (64,)
+        assert draws.dtype == np.dtype(handler.dtype), name
+        # Every draw scores finite (draws live inside the support).
+        lp = handler.log_prob(params, draws)
+        assert np.isfinite(lp).all(), name
+
+    def test_int_valued_dists_reject_float_arrays(self):
+        """The scalar integer gate, lifted to dtypes: a float64 array is
+        outside the support of every integer-valued distribution."""
+        for name in ("Categorical", "DiscreteUniform", "Binomial", "Poisson",
+                     "Geometric", "NegativeBinomial"):
+            args, grid = _CASES[name]
+            handler = BATCHED[name]
+            mask = np.ones(3, dtype=bool)
+            params = handler.prepare(args, mask)
+            lp = handler.log_prob(params, np.asarray([0.0, 1.0, 2.0]))
+            assert np.isneginf(lp).all(), name
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "name,args",
+        [
+            ("Gaussian", (0.0, -1.0)),
+            ("Uniform", (2.0, 1.0)),
+            ("Gamma", (-1.0, 1.0)),
+            ("Beta", (0.0, 1.0)),
+            ("Exponential", (0.0,)),
+            ("Bernoulli", (1.5,)),
+            ("Binomial", (-3, 0.5)),
+            ("Geometric", (0.0,)),
+        ],
+    )
+    def test_invalid_active_lane_raises_like_scalar(self, name, args):
+        handler = BATCHED[name]
+        with pytest.raises(DistributionError):
+            make_distribution(name, args)
+        with pytest.raises(DistributionError):
+            handler.prepare(args, np.ones(2, dtype=bool))
+
+    def test_invalid_inactive_lane_is_sanitized(self):
+        """A lane that is already blocked may carry garbage parameters
+        through a dead branch — prepare must not raise and sample must
+        not fault, exactly like the scalar run that never executes it."""
+        handler = BATCHED["Gaussian"]
+        var = np.asarray([1.0, -5.0])
+        mask = np.asarray([True, False])  # lane 1 is dead
+        params = handler.prepare([0.0, var], mask)
+        draws = handler.sample(params, numpy_generator(1, "test"), 2)
+        assert np.isfinite(draws).all()
+
+    def test_arity_is_checked(self):
+        with pytest.raises(DistributionError):
+            BATCHED["Gaussian"].prepare((1.0,), np.ones(1, dtype=bool))
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_batched("Gaussian") is BATCHED["Gaussian"]
+        with pytest.raises(DistributionError):
+            get_batched("Dirichlet")
+
+    def test_names_cover_the_fragment(self):
+        names = batched_dist_names()
+        assert "Gaussian" in names and "Bernoulli" in names
+        assert names == frozenset(BATCHED)
