@@ -112,6 +112,70 @@ def test_null_recorder_overhead_budget(benchmark):
     )
 
 
+def test_live_layer_disabled_overhead(benchmark):
+    """PR 8's live telemetry must leave the disabled path alone.
+
+    The snapshot layer added instrumentation sites (engine baseline
+    progress reports) and new modules; this re-runs the projected
+    overhead check with the live layer resident in the process — a
+    :class:`~repro.obs.SnapshotRecorder` exercised on the workload
+    first — so the event count includes every PR 8 hook and any
+    accidental ambient cost the live layer introduced would show up in
+    the baseline timing.
+    """
+    benchmark.group = "obs-overhead"
+    from repro.obs import SnapshotRecorder, current_recorder
+
+    program = lookup("BayesianLinearRegression").bench()
+    _workload(program)  # warm process-lifetime caches
+    live = SnapshotRecorder(cadence=0.0)
+    with use_recorder(live):
+        _workload(program)
+    assert live.n_published >= 1, "live layer never published a snapshot"
+    assert current_recorder() is NULL_RECORDER, "ambient recorder leaked"
+
+    recorder = TraceRecorder()
+    with use_recorder(recorder):
+        _workload(program)
+    n_events = (
+        sum(1 for _ in recorder.iter_spans())
+        + len(recorder.counters)
+        + len(recorder.gauges)
+        + len(recorder.progress_events)
+    )
+    per_event_ns = _null_event_cost_ns()
+
+    def run():
+        with use_recorder(NULL_RECORDER):
+            _workload(program)
+
+    t0 = time.perf_counter()
+    runs = 0
+    while time.perf_counter() - t0 < 1.0:
+        run()
+        runs += 1
+    baseline_s = (time.perf_counter() - t0) / runs
+    projected = n_events * per_event_ns * 1e-9
+    overhead = projected / baseline_s
+    benchmark.extra_info["events"] = n_events
+    benchmark.extra_info["projected_overhead"] = round(overhead, 6)
+    record_block(
+        "Observability: disabled path with live layer resident",
+        (
+            f"workload: {baseline_s * 1000:.1f}ms, {n_events} events "
+            f"(incl. PR 8 baseline hooks), null cost "
+            f"{per_event_ns:.0f}ns/event\n"
+            f"projected disabled-path overhead: {overhead:.3%} "
+            f"(budget {OVERHEAD_BUDGET:.0%})"
+        ),
+    )
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    assert overhead < OVERHEAD_BUDGET, (
+        f"disabled-path overhead {overhead:.3%} with live layer resident "
+        f"exceeds {OVERHEAD_BUDGET:.0%} budget"
+    )
+
+
 @pytest.mark.parametrize("mode", ["null", "trace"])
 def test_recording_cost_ab(benchmark, mode):
     """The same workload under both recorders — context for how much

@@ -49,7 +49,17 @@ def _build_parser() -> argparse.ArgumentParser:
             "return expression (Hur et al., PLDI 2014)."
         ),
     )
-    parser.add_argument("file", help="PROB source file ('-' for stdin)")
+    parser.add_argument(
+        "file", nargs="?", help="PROB source file ('-' for stdin)"
+    )
+    parser.add_argument(
+        "--benchmark",
+        metavar="NAME",
+        help=(
+            "run a Table-1 benchmark model by name instead of FILE "
+            "(repro.models.registry; e.g. Ex3, BayesianLinearRegression)"
+        ),
+    )
     parser.add_argument(
         "--show-pre",
         action="store_true",
@@ -147,6 +157,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="master RNG seed (default: 0)"
     )
     runtime.add_argument(
+        "--compiled",
+        action="store_true",
+        help=(
+            "compile the program to Python closures before sampling "
+            "(mh/church/importance/rejection/smc; ignored by gibbs)"
+        ),
+    )
+    runtime.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -196,37 +214,76 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="live stderr progress line during --infer (engine metrics)",
     )
+    obs.add_argument(
+        "--watch",
+        action="store_true",
+        help=(
+            "live multi-row terminal dashboard (one row per engine and "
+            "per parallel worker, plus health warnings); implies live "
+            "snapshot telemetry"
+        ),
+    )
+    obs.add_argument(
+        "--stream-metrics",
+        metavar="FILE",
+        help=(
+            "stream NDJSON snapshots to FILE ('-' for stdout) as the run "
+            "progresses; schema in repro/obs/snapshot_schema.json "
+            "(validate with python -m repro.obs.validate --schema snapshot)"
+        ),
+    )
+    obs.add_argument(
+        "--snapshot-cadence",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help=(
+            "minimum seconds between live snapshots for "
+            "--watch/--stream-metrics (default: 0.25; 0 snapshots every "
+            "recorded event)"
+        ),
+    )
     return parser
 
 
 def _engine_mh(args):
     from .inference.mh import MetropolisHastings
 
-    return MetropolisHastings(n_samples=args.samples, seed=args.seed)
+    return MetropolisHastings(
+        n_samples=args.samples, seed=args.seed, compiled=args.compiled
+    )
 
 
 def _engine_church(args):
     from .inference.tracemh import ChurchTraceMH
 
-    return ChurchTraceMH(n_samples=args.samples, seed=args.seed)
+    return ChurchTraceMH(
+        n_samples=args.samples, seed=args.seed, compiled=args.compiled
+    )
 
 
 def _engine_importance(args):
     from .inference.importance import LikelihoodWeighting
 
-    return LikelihoodWeighting(n_samples=args.samples, seed=args.seed)
+    return LikelihoodWeighting(
+        n_samples=args.samples, seed=args.seed, compiled=args.compiled
+    )
 
 
 def _engine_rejection(args):
     from .inference.rejection import RejectionSampler
 
-    return RejectionSampler(n_samples=args.samples, seed=args.seed)
+    return RejectionSampler(
+        n_samples=args.samples, seed=args.seed, compiled=args.compiled
+    )
 
 
 def _engine_smc(args):
     from .inference.smc import SMCSampler
 
-    return SMCSampler(n_particles=args.samples, seed=args.seed)
+    return SMCSampler(
+        n_particles=args.samples, seed=args.seed, compiled=args.compiled
+    )
 
 
 def _engine_gibbs(args):
@@ -268,6 +325,17 @@ def _run_inference(args, result, cache) -> int:
     except InferenceError as exc:
         print(f"inference error: {exc}", file=sys.stderr)
         return 1
+    # Live telemetry: publish the terminal snapshot first (a short run
+    # may never have crossed the cadence, and the monitors must see the
+    # final progress state), then finalize the health monitors against
+    # the merged result and attach the report (printed below,
+    # machine-readable on the result itself).
+    rec = current_recorder()
+    if callable(getattr(rec, "publish", None)):
+        rec.publish()
+    tracker = getattr(rec, "health", None)
+    if tracker is not None:
+        inferred.health = tracker.finalize(inferred)
     print(f"// engine: {engine.name}  jobs: {args.jobs}  seed: {args.seed}")
     if factored:
         print(
@@ -297,29 +365,50 @@ def _run_inference(args, result, cache) -> int:
                 f"// cross-chain: R-hat {summary.r_hat:.4f}  "
                 f"ESS {summary.ess:.1f}  chains {summary.n_chains}"
             )
+    if inferred.health is not None:
+        for line in inferred.health.summary().splitlines():
+            print(f"// {line}")
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.file == "-":
-        source = sys.stdin.read()
-    else:
+    if (args.file is None) == (args.benchmark is None):
+        print(
+            "error: give exactly one of FILE or --benchmark NAME",
+            file=sys.stderr,
+        )
+        return 2
+    if args.benchmark is not None:
+        from .models import benchmark
+
         try:
-            with open(args.file) as f:
-                source = f.read()
-        except OSError as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            program = benchmark(args.benchmark).bench()
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
-    try:
-        program = parse(source)
-    except ProbSyntaxError as exc:
-        print(f"syntax error: {exc}", file=sys.stderr)
-        return 1
-    if not (args.trace or args.metrics_summary or args.progress):
+    else:
+        if args.file == "-":
+            source = sys.stdin.read()
+        else:
+            try:
+                with open(args.file) as f:
+                    source = f.read()
+            except OSError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        try:
+            program = parse(source)
+        except ProbSyntaxError as exc:
+            print(f"syntax error: {exc}", file=sys.stderr)
+            return 1
+    live = args.watch or args.stream_metrics is not None
+    if not (args.trace or args.metrics_summary or args.progress or live):
         return _dispatch(args, program)
     # Observability path: record the whole slice→(compile→)infer run,
-    # then export / summarize.
+    # then export / summarize.  --watch / --stream-metrics additionally
+    # wrap the trace recorder in a SnapshotRecorder publishing live
+    # snapshots to the dashboard / NDJSON stream while it runs.
     from .obs import (
         ProgressLine,
         TraceRecorder,
@@ -330,10 +419,35 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     progress_line = ProgressLine(force=True) if args.progress else None
     recorder = TraceRecorder(on_progress=progress_line)
+    watch = None
+    stream = None
+    if live:
+        from .obs import SnapshotRecorder, SnapshotStreamWriter, WatchDashboard
+
+        subscribers = []
+        if args.stream_metrics is not None:
+            stream = SnapshotStreamWriter(args.stream_metrics)
+            subscribers.append(stream)
+        if args.watch:
+            watch = WatchDashboard(force=True)
+            subscribers.append(watch)
+        recorder = SnapshotRecorder(
+            inner=recorder,
+            cadence=max(0.0, args.snapshot_cadence),
+            subscribers=subscribers,
+        )
+        if watch is not None and recorder.health is not None:
+            recorder.health.on_warning(watch.note_warning)
     try:
         with use_recorder(recorder):
             status = _dispatch(args, program)
     finally:
+        if live:
+            recorder.publish()  # terminal snapshot, throttle bypassed
+        if watch is not None:
+            watch.close()
+        if stream is not None:
+            stream.close()
         if progress_line is not None:
             progress_line.close()
     if args.trace:

@@ -53,6 +53,9 @@ __all__ = [
     "vectorized_record",
     "collect_vectorized_report",
     "write_vectorized_json",
+    "health_record",
+    "collect_health_report",
+    "write_health_json",
     "main",
 ]
 
@@ -89,12 +92,22 @@ def bench_record(
             )
             out = engine.infer(target)
             secs = max(out.elapsed_seconds, 1e-9)
-            return {
+            cell = {
                 "samples": len(out.samples),
                 "seconds": round(secs, 6),
                 "samples_per_sec": round(len(out.samples) / secs, 2),
                 "acceptance_rate": round(out.acceptance_rate, 4),
+                # Kish ESS counts unweighted MH samples at face value;
+                # the autocorrelation ESS is the one that exposes
+                # sticky chains (the ROADMAP's "speedup is partly
+                # illusory in effective-samples terms").
+                "kish_ess": round(_kish_ess(out.weights, len(out.samples)), 2),
             }
+            ess = _autocorr_ess(out.samples)
+            if ess is not None:
+                cell["ess"] = round(ess, 2)
+                cell["ess_per_sec"] = round(ess / secs, 2)
+            return cell
 
         original = samples_per_sec(program)
         sliced = samples_per_sec(result.sliced)
@@ -177,11 +190,19 @@ def _kish_ess(weights: Optional[List[float]], n: int) -> float:
     sample; unweighted samples count at face value."""
     if not weights:
         return float(n)
-    sum_w = sum(weights)
-    sum_w2 = sum(w * w for w in weights)
-    if sum_w2 <= 0.0:
-        return 0.0
-    return (sum_w * sum_w) / sum_w2
+    from ..metrics.online import kish_ess
+
+    return kish_ess(weights)
+
+
+def _autocorr_ess(samples: List[Any]) -> Optional[float]:
+    """Autocorrelation ESS of a sample list, or ``None`` for
+    non-numeric (e.g. tuple-valued) samples."""
+    try:
+        floats = [float(s) for s in samples]
+    except (TypeError, ValueError):
+        return None
+    return effective_sample_size(floats)
 
 
 def _throughput_cell(engine, program) -> Dict[str, Any]:
@@ -332,6 +353,113 @@ def write_vectorized_json(
     return report
 
 
+def _health_cell(target: Any, n_samples: int, seed: int) -> Dict[str, Any]:
+    """One compiled-MH run under a live SnapshotRecorder, with the
+    health panel's verdict folded into the throughput cell."""
+    from ..obs.live import SnapshotRecorder
+
+    recorder = SnapshotRecorder(inner=TraceRecorder(), cadence=0.0)
+    engine = MetropolisHastings(
+        n_samples=n_samples, burn_in=100, seed=seed, compiled=True
+    )
+    with use_recorder(recorder):
+        out = engine.infer(target)
+    recorder.publish()
+    report = recorder.health.finalize(out)
+    secs = max(out.elapsed_seconds, 1e-9)
+    cell: Dict[str, Any] = {
+        "samples": len(out.samples),
+        "seconds": round(secs, 6),
+        "samples_per_sec": round(len(out.samples) / secs, 2),
+        "acceptance_rate": round(out.acceptance_rate, 4),
+        "kish_ess": round(_kish_ess(out.weights, len(out.samples)), 2),
+    }
+    ess = _autocorr_ess(out.samples)
+    if ess is not None:
+        cell["ess"] = round(ess, 2)
+        cell["ess_per_sec"] = round(ess / secs, 2)
+    cell["health"] = {
+        "clean": report.clean,
+        "n_snapshots": report.n_snapshots,
+        "warnings": [
+            {
+                "kind": w.kind,
+                "source": w.source,
+                "severity": w.severity,
+                "message": w.message,
+            }
+            for w in report.warnings
+        ],
+    }
+    return cell
+
+
+def health_record(
+    spec: Any, n_samples: int = 400, seed: int = 0
+) -> Dict[str, Any]:
+    """One benchmark's health snapshot: compiled MH on original vs
+    sliced, each under the full live-telemetry + monitor stack."""
+    program = spec.bench()
+    sliced = sli(program).sliced
+    return {
+        "name": spec.name,
+        "engine": "mh-compiled",
+        "original": _health_cell(program, n_samples, seed),
+        "sliced": _health_cell(sliced, n_samples, seed),
+    }
+
+
+def collect_health_report(
+    n_samples: int = 400, seed: int = 0, only: Optional[List[str]] = None
+) -> Dict[str, Any]:
+    """The full ``BENCH_pr8.json`` document."""
+    benchmarks = []
+    for spec in TABLE1:
+        if only and spec.name not in only:
+            continue
+        benchmarks.append(health_record(spec, n_samples=n_samples, seed=seed))
+    return {
+        "schema": "repro-bench-health/1",
+        "pr": 8,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "n_samples": n_samples,
+        "benchmarks": benchmarks,
+    }
+
+
+def write_health_json(
+    path: str = "BENCH_pr8.json",
+    n_samples: int = 400,
+    seed: int = 0,
+    only: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    report = collect_health_report(n_samples=n_samples, seed=seed, only=only)
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=False)
+        f.write("\n")
+    return report
+
+
+def _print_health(report: Dict[str, Any]) -> None:
+    for bench in report["benchmarks"]:
+        for variant in ("original", "sliced"):
+            cell = bench[variant]
+            health = cell["health"]
+            verdict = (
+                "clean"
+                if health["clean"]
+                else ",".join(w["kind"] for w in health["warnings"])
+            )
+            ess = cell.get("ess_per_sec", "n/a")
+            print(
+                f"{bench['name']:26s} {variant:8s} "
+                f"accept={cell['acceptance_rate']:.3f} "
+                f"ess/sec={ess} health={verdict}"
+            )
+
+
 def _print_vectorized(report: Dict[str, Any]) -> None:
     for bench in report["benchmarks"]:
         for variant, data in bench["variants"].items():
@@ -374,12 +502,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="batch sizes for the --vectorized sweep",
     )
     parser.add_argument(
+        "--health",
+        action="store_true",
+        help=(
+            "write the health snapshot (BENCH_pr8.json): compiled MH "
+            "under live telemetry with per-benchmark monitor verdicts"
+        ),
+    )
+    parser.add_argument(
         "--only",
         nargs="*",
         metavar="NAME",
         help="restrict to these Table-1 benchmark names",
     )
     args = parser.parse_args(argv)
+    if args.health:
+        output = args.output or "BENCH_pr8.json"
+        report = write_health_json(
+            output, n_samples=args.samples, only=args.only
+        )
+        _print_health(report)
+        print(f"wrote {output} ({len(report['benchmarks'])} benchmarks)")
+        return 0
     if args.vectorized:
         output = args.output or "BENCH_pr7.json"
         batches = tuple(args.batches) if args.batches else VECTORIZED_BATCHES

@@ -90,6 +90,12 @@ class InferenceResult:
     #: collapses genealogies, so this — not the particle count — bounds
     #: the number of independent draws the population represents.
     lineages: Optional[int] = None
+    #: :class:`repro.obs.health.HealthReport` attached by run drivers
+    #: (CLI, harness, parallel runner) when the run executed under a
+    #: live :class:`~repro.obs.live.SnapshotRecorder`; ``None``
+    #: otherwise.  Typed loosely to keep this module free of any
+    #: obs-layer import.
+    health: Optional[object] = field(default=None, repr=False, compare=False)
     #: Memoized ``(len(samples), mean, variance)`` reduction — the
     #: benchmark reporting calls ``mean()``/``variance()`` repeatedly
     #: and each was an O(n) Python loop per call.  Keyed by the sample

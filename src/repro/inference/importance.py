@@ -81,6 +81,11 @@ class LikelihoodWeighting(Engine):
         # Running Σw / Σw² for the weight-degeneracy ESS progress metric.
         sum_w = 0.0
         sum_w2 = 0.0
+        if rec.enabled:
+            # Baseline report: gives the live snapshot layer a row (and
+            # the stall monitor a reference point) before the first
+            # 256-draw reporting interval completes.
+            rec.progress(self.name, 0, self.n_samples, ess=0.0)
         for i in range(self.n_samples):
             if rec.enabled and i % 256 == 0 and i:
                 rec.progress(
@@ -134,6 +139,8 @@ class LikelihoodWeighting(Engine):
         sum_w2 = 0.0
         cap = self.batch_size if self.batch_size is not None else 16384
         done = 0
+        if rec.enabled:
+            rec.progress(self.name, 0, self.n_samples, ess=0.0)
         while done < self.n_samples:
             chunk = min(cap, self.n_samples - done)
             batch = vectorized.run_batch(gen, chunk)

@@ -107,6 +107,10 @@ class RejectionSampler(Engine):
         options = self.executor_options
         attempts = 0
         statements = 0
+        if rec.enabled:
+            # Baseline report for the live snapshot layer (first chunk
+            # can take a while on low-acceptance programs).
+            rec.progress(self.name, 0, target, attempts=0, accept_rate=0.0)
         while len(samples) < target:
             if attempts >= self.max_attempts:
                 result.statements_executed = statements
@@ -167,6 +171,8 @@ class RejectionSampler(Engine):
         attempts = 0
         statements = 0
         start = time.perf_counter()
+        if rec.enabled:
+            rec.progress(self.name, 0, target, attempts=0, accept_rate=0.0)
         while len(samples) < target:
             if attempts >= self.max_attempts:
                 result.statements_executed = statements

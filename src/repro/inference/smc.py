@@ -263,6 +263,17 @@ class SMCSampler(Engine):
             _Particle(self._new_run(program, rng, None), lineage=i)
             for i in range(self.n_particles)
         ]
+        if rec.enabled:
+            # Baseline report for the live snapshot layer before the
+            # first barrier completes.
+            rec.progress(
+                self.name,
+                0,
+                self.n_particles,
+                live=self.n_particles,
+                barriers=0,
+                resamples=0,
+            )
 
         while True:
             # Advance every live, unfinished particle to its next
@@ -367,6 +378,10 @@ class SMCSampler(Engine):
         log_weights = np.zeros(target, dtype=np.float64)
         lineage = np.arange(target)
         ancestors: Optional[np.ndarray] = None
+        if rec.enabled:
+            rec.progress(
+                self.name, 0, target, live=target, barriers=0, resamples=0
+            )
         while True:
             delta = particles.advance(ancestors)
             ancestors = None

@@ -6,6 +6,7 @@ from .convergence import (
     geometric_checkpoints,
 )
 from .divergence import kl_divergence, running_kl, tv_distance
+from .online import OnlineEss, OnlineMeanVar, OnlineSplitRHat, kish_ess
 
 __all__ = [
     "ConvergenceCurve",
@@ -14,4 +15,8 @@ __all__ = [
     "kl_divergence",
     "running_kl",
     "tv_distance",
+    "OnlineEss",
+    "OnlineMeanVar",
+    "OnlineSplitRHat",
+    "kish_ess",
 ]

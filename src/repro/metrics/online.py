@@ -1,0 +1,163 @@
+"""Online convergence statistics over growing chains.
+
+The batch estimators (:func:`repro.inference.diagnostics.split_r_hat`,
+:func:`repro.inference.base.effective_sample_size`) take a finished
+run.  The health monitors need the same numbers *while the chains are
+still growing*, repeatedly, without re-deriving the estimator each
+time.  The classes here hold the growing state, answer at any point in
+the run, and are pinned by test to agree exactly with their batch
+counterparts on the samples seen so far — the contract is "same
+estimator, queryable mid-run", not a cheaper approximation.
+
+Split-R-hat and autocorrelation ESS both depend on the sample mean, so
+an exact O(1)-per-update form does not exist; queries recompute over
+the retained samples and cache by length, which makes the
+check-every-snapshot access pattern cheap (repeated queries between
+pushes are free) while staying bit-identical to the batch answer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "OnlineMeanVar",
+    "OnlineEss",
+    "OnlineSplitRHat",
+    "kish_ess",
+]
+
+
+class OnlineMeanVar:
+    """Welford's streaming mean/variance (numerically stable)."""
+
+    __slots__ = ("n", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, x: float) -> None:
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+
+    def variance(self, ddof: int = 1) -> float:
+        if self.n <= ddof:
+            return float("nan")
+        return self._m2 / (self.n - ddof)
+
+    def sd(self, ddof: int = 1) -> float:
+        var = self.variance(ddof)
+        return math.sqrt(var) if var == var else float("nan")
+
+
+def kish_ess(weights: Sequence[float]) -> float:
+    """Kish effective sample size ``(sum w)^2 / sum w^2``.
+
+    Zero or empty weight vectors give 0.0 (no effective draws) rather
+    than raising — callers feed raw importance weights straight in.
+    """
+    total = 0.0
+    total_sq = 0.0
+    for w in weights:
+        total += w
+        total_sq += w * w
+    if total_sq <= 0.0:
+        return 0.0
+    return (total * total) / total_sq
+
+
+class OnlineEss:
+    """Autocorrelation ESS (initial-positive-sequence) over a growing
+    chain; agrees with :func:`repro.inference.base.effective_sample_size`
+    on the prefix pushed so far."""
+
+    def __init__(self, max_lag: int = 200) -> None:
+        self.max_lag = max_lag
+        self._samples: List[float] = []
+        self._cached_at = -1
+        self._cached = 0.0
+
+    @property
+    def n(self) -> int:
+        return len(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def push(self, x: float) -> None:
+        self._samples.append(float(x))
+
+    def extend(self, xs: Sequence[float]) -> None:
+        for x in xs:
+            self.push(x)
+
+    def ess(self) -> float:
+        n = len(self._samples)
+        if self._cached_at != n:
+            from ..inference.base import effective_sample_size
+
+            self._cached = effective_sample_size(
+                self._samples, max_lag=self.max_lag
+            )
+            self._cached_at = n
+        return self._cached
+
+    def ess_per_sec(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return float("nan")
+        return self.ess() / elapsed
+
+
+class OnlineSplitRHat:
+    """Gelman–Rubin split-R-hat over a fixed set of growing chains.
+
+    Push samples as they arrive (``push(chain_index, x)``); query
+    :meth:`r_hat` at any time.  Before every chain has 4 samples (the
+    batch estimator's minimum) the answer is ``nan`` instead of an
+    exception, matching what a monitor wants early in a run.  Once
+    defined, the value is exactly
+    :func:`repro.inference.diagnostics.split_r_hat` of the chains seen
+    so far.
+    """
+
+    def __init__(self, n_chains: int) -> None:
+        if n_chains < 1:
+            raise ValueError("need at least one chain")
+        self.chains: List[List[float]] = [[] for _ in range(n_chains)]
+        self._cached_at: Optional[tuple] = None
+        self._cached = float("nan")
+
+    @property
+    def n(self) -> int:
+        return sum(len(chain) for chain in self.chains)
+
+    def push(self, chain_index: int, x: float) -> None:
+        self.chains[chain_index].append(float(x))
+
+    def extend(self, chain_index: int, xs: Sequence[float]) -> None:
+        for x in xs:
+            self.push(chain_index, x)
+
+    def defined(self) -> bool:
+        return len(self.chains) >= 1 and all(
+            len(chain) >= 4 for chain in self.chains
+        )
+
+    def r_hat(self) -> float:
+        shape = tuple(len(chain) for chain in self.chains)
+        if self._cached_at == shape:
+            return self._cached
+        if not self.defined():
+            value = float("nan")
+        else:
+            from ..inference.diagnostics import split_r_hat
+
+            value = split_r_hat(self.chains)
+        self._cached_at = shape
+        self._cached = value
+        return value

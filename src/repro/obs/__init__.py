@@ -41,6 +41,20 @@ from .recorder import (
     current_recorder,
     use_recorder,
 )
+from .live import (
+    MetricsRegistry,
+    Snapshot,
+    SnapshotRecorder,
+    SnapshotStreamWriter,
+    TimeSeries,
+    snapshot_to_prometheus,
+)
+from .health import (
+    HealthReport,
+    HealthTracker,
+    HealthWarning,
+)
+from .watch import WatchDashboard
 
 __all__ = [
     "NULL_RECORDER",
@@ -58,4 +72,14 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "write_trace",
+    "MetricsRegistry",
+    "Snapshot",
+    "SnapshotRecorder",
+    "SnapshotStreamWriter",
+    "TimeSeries",
+    "snapshot_to_prometheus",
+    "HealthReport",
+    "HealthTracker",
+    "HealthWarning",
+    "WatchDashboard",
 ]

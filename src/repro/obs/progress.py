@@ -50,8 +50,10 @@ class ProgressLine:
             return
         self._last_write = now
         parts = [f"[{event['source']}]"]
-        if total:
-            pct = 100.0 * done / total
+        if total is not None:
+            # ``total == 0`` is a known-empty run, not an unknown
+            # total: it is born finished, so render it at 100%.
+            pct = 100.0 if total == 0 else 100.0 * done / total
             parts.append(f"{done}/{total} ({pct:.0f}%)")
         else:
             parts.append(str(done))

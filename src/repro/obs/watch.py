@@ -1,0 +1,148 @@
+"""The ``--watch`` terminal dashboard.
+
+:class:`WatchDashboard` generalises :class:`~repro.obs.progress.ProgressLine`
+from one self-overwriting line to a self-redrawing block: one row per
+progress source (and per worker — in-flight snapshots from
+:class:`~repro.runtime.parallel.ParallelRunner` workers carry their
+worker index, so a ``--jobs 4`` run shows four live rows), plus the
+most recent health warnings.
+
+On a TTY the block redraws in place with ANSI cursor movement.  When
+stderr is not a TTY the dashboard stays silent unless ``force=True``
+(the CI smoke mode), in which case it prints plain sequential render
+blocks with no escape codes — safe to pipe, grep, and diff.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, IO, List, Optional, Tuple
+
+from .live import Snapshot
+
+__all__ = ["WatchDashboard"]
+
+
+def _fmt_metric(key: str, value: Any) -> str:
+    if isinstance(value, float):
+        return f"{key}={value:.3g}"
+    return f"{key}={value}"
+
+
+class WatchDashboard:
+    """Render the snapshot stream as a live multi-row status block."""
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        min_interval: float = 0.1,
+        force: bool = False,
+        max_warnings: int = 4,
+        clock: Any = time.monotonic,
+    ) -> None:
+        self.stream = sys.stderr if stream is None else stream
+        self.min_interval = min_interval
+        self.force = force
+        self.max_warnings = max_warnings
+        self._clock = clock
+        self._last_write: Optional[float] = None
+        self._rows: Dict[str, str] = {}
+        self._warnings: List[str] = []
+        self._drawn = 0
+        self._header = ""
+        self.n_renders = 0
+
+    # -- input -----------------------------------------------------------------
+
+    def _active(self) -> bool:
+        if self.force:
+            return True
+        isatty = getattr(self.stream, "isatty", None)
+        return bool(isatty and isatty())
+
+    def __call__(self, snapshot: Snapshot) -> None:
+        """Subscriber entry point: fold one snapshot into the rows."""
+        for source, state in snapshot.progress.items():
+            key = (
+                source
+                if snapshot.worker is None
+                else f"w{snapshot.worker}/{source}"
+            )
+            self._rows[key] = self._format_row(key, state)
+        self._header = f"watch t={snapshot.t:.2f}s seq={snapshot.seq}"
+        if not self._active():
+            return
+        now = self._clock()
+        if (
+            self._last_write is not None
+            and now - self._last_write < self.min_interval
+        ):
+            return
+        self._last_write = now
+        self._render()
+
+    def note_warning(self, warning: Any) -> None:
+        """Health-warning callback (``HealthTracker.on_warning``)."""
+        where = warning.source
+        if warning.worker is not None:
+            where = f"w{warning.worker}/{where}"
+        line = f"!! [{warning.severity}] {warning.kind} {where}: {warning.message}"
+        self._warnings.append(line)
+        del self._warnings[: -self.max_warnings]
+
+    # -- output ----------------------------------------------------------------
+
+    def _format_row(self, key: str, state: Dict[str, Any]) -> str:
+        done = int(state.get("done", 0))
+        total = state.get("total")
+        parts = [f"[{key}]"]
+        if total is not None:
+            pct = 100.0 if total == 0 else 100.0 * done / total
+            parts.append(f"{done}/{int(total)} ({pct:.0f}%)")
+        else:
+            parts.append(str(done))
+        for mkey in sorted(state.get("metrics", {})):
+            parts.append(_fmt_metric(mkey, state["metrics"][mkey]))
+        return " ".join(parts)
+
+    def _lines(self) -> List[str]:
+        lines = [self._header] if self._header else []
+        lines.extend(self._rows[key] for key in sorted(self._rows))
+        lines.extend(self._warnings)
+        return lines
+
+    def _render(self) -> None:
+        lines = self._lines()
+        if not lines:
+            return
+        tty = getattr(self.stream, "isatty", None)
+        if tty and tty():
+            out = []
+            if self._drawn:
+                out.append(f"\x1b[{self._drawn}F")  # up to block start
+            for line in lines:
+                out.append("\x1b[2K" + line + "\n")
+            # A shrinking block (rows can only grow today, but be safe)
+            for _ in range(max(0, self._drawn - len(lines))):
+                out.append("\x1b[2K\n")
+            self.stream.write("".join(out))
+            self._drawn = max(len(lines), self._drawn)
+        else:
+            self.stream.write("\n".join(lines) + "\n")
+        self.stream.flush()
+        self.n_renders += 1
+
+    def close(self) -> None:
+        """Force one final render (terminal state always shown)."""
+        if self._active() and (self._rows or self._warnings):
+            self._last_write = self._clock()
+            self._render()
+
+    # -- introspection (tests) -------------------------------------------------
+
+    def rows(self) -> Dict[str, str]:
+        return dict(self._rows)
+
+    def warnings(self) -> Tuple[str, ...]:
+        return tuple(self._warnings)

@@ -88,7 +88,7 @@ def numpy_generator(master_seed: Optional[int], *path: object) -> np.random.Gene
 
 
 def _infer_shard(
-    payload: Tuple[Engine, Program, int, bool]
+    payload: Tuple[Engine, Program, int, bool, Optional[dict], Optional[object]]
 ) -> Tuple[InferenceResult, Optional[dict]]:
     """Top-level worker entry point (must be picklable by reference).
 
@@ -98,17 +98,61 @@ def _infer_shard(
     plain-dict payload for the parent to merge — the same code path
     regardless of start method, so fork/spawn/forkserver/inline all
     produce identical span structure.
+
+    ``live_spec`` (the parent :class:`~repro.obs.live.SnapshotRecorder`'s
+    ``worker_spec()``) upgrades the worker recorder to a
+    ``SnapshotRecorder`` wrapping that same ``TraceRecorder`` — the
+    trace half of the payload stays identical — and adds the worker's
+    final registry state under the payload's ``live`` key.  ``sink``
+    (a manager queue, or an in-process adapter on the inline backend)
+    additionally streams each published snapshot home as
+    ``(index, snapshot_dict)`` while the shard is still running.
     """
-    engine, program, index, capture = payload
+    engine, program, index, capture, live_spec, sink = payload
     if not capture:
         return engine.infer(program), None
-    recorder = TraceRecorder()
+    trace = TraceRecorder()
+    recorder: object = trace
+    if live_spec is not None:
+        from ..obs.live import SnapshotRecorder
+
+        subscribers = []
+        if sink is not None:
+
+            def ship(snapshot: object) -> None:
+                try:
+                    sink.put((index, snapshot.to_dict()))  # type: ignore[union-attr]
+                except Exception:
+                    pass  # a dead parent queue must not kill the shard
+
+            subscribers.append(ship)
+        recorder = SnapshotRecorder(
+            inner=trace,
+            worker=index,
+            subscribers=subscribers,
+            health=None,  # monitors run on the parent, over the merge
+            **live_spec,
+        )
     with use_recorder(recorder):
-        with recorder.span(
+        with trace.span(
             "worker", worker=index, engine=engine.name, pid=os.getpid()
         ):
             result = engine.infer(program)
-    return result, recorder.to_payload()
+    if live_spec is not None:
+        recorder.publish()  # type: ignore[union-attr]
+    return result, recorder.to_payload()  # type: ignore[union-attr]
+
+
+class _InlineSink:
+    """Queue stand-in for the inline backend: snapshots go straight to
+    the parent recorder, synchronously and deterministically."""
+
+    def __init__(self, recorder: object) -> None:
+        self.recorder = recorder
+
+    def put(self, item: Tuple[int, dict]) -> None:
+        _, snapshot = item
+        self.recorder.ingest_worker_snapshot(snapshot)  # type: ignore[attr-defined]
 
 
 def _recombine(
@@ -296,17 +340,57 @@ class ParallelRunner:
         tasks: Sequence[Tuple[Engine, Program]],
         force_inline: bool = False,
     ) -> List[Tuple[InferenceResult, Optional[dict]]]:
-        capture = current_recorder().enabled
+        recorder = current_recorder()
+        capture = recorder.enabled
+        inline = self.backend == "inline" or force_inline
+        # A SnapshotRecorder parent asks workers to run live telemetry
+        # too; when it also has live consumers (watch, NDJSON stream),
+        # in-flight snapshots come home through a sink.
+        spec_fn = getattr(recorder, "worker_spec", None)
+        live_spec = spec_fn() if capture and callable(spec_fn) else None
+        manager = None
+        sink: Optional[object] = None
+        if live_spec is not None and getattr(recorder, "wants_live", False):
+            if inline:
+                sink = _InlineSink(recorder)
+            else:
+                ctx = multiprocessing.get_context(self.backend)
+                manager = ctx.Manager()
+                sink = manager.Queue()
         payloads = [
-            (engine, program, i, capture)
+            (engine, program, i, capture, live_spec, sink)
             for i, (engine, program) in enumerate(tasks)
         ]
-        if self.backend == "inline" or force_inline:
-            return [_infer_shard(p) for p in payloads]
-        ctx = multiprocessing.get_context(self.backend)
-        processes = min(len(payloads), max(1, self.n_workers))
-        with ctx.Pool(processes=processes) as pool:
-            return pool.map(_infer_shard, payloads, chunksize=1)
+        try:
+            if inline:
+                return [_infer_shard(p) for p in payloads]
+            ctx = multiprocessing.get_context(self.backend)
+            processes = min(len(payloads), max(1, self.n_workers))
+            with ctx.Pool(processes=processes) as pool:
+                if sink is None:
+                    return pool.map(_infer_shard, payloads, chunksize=1)
+                handle = pool.map_async(_infer_shard, payloads, chunksize=1)
+                while not handle.ready():
+                    self._drain(sink, recorder)
+                    handle.wait(0.05)
+                self._drain(sink, recorder)
+                return handle.get()
+        finally:
+            if manager is not None:
+                manager.shutdown()
+
+    @staticmethod
+    def _drain(sink: object, recorder: object) -> None:
+        """Forward queued in-flight worker snapshots to the parent
+        recorder's subscribers."""
+        import queue as _queue
+
+        while True:
+            try:
+                _, snapshot = sink.get_nowait()  # type: ignore[attr-defined]
+            except (_queue.Empty, OSError, EOFError):
+                return
+            recorder.ingest_worker_snapshot(snapshot)  # type: ignore[attr-defined]
 
     def __repr__(self) -> str:
         return (

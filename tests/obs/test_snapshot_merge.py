@@ -1,0 +1,126 @@
+"""Snapshot aggregation across process boundaries.
+
+PR 8 satellite criterion: a parallel run under a SnapshotRecorder must
+merge worker telemetry into the same registry state regardless of the
+backend that scheduled the work — fork / spawn / forkserver workers
+and the inline backend all land identical counters and per-worker
+progress (times differ; values must not)."""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.parser import parse
+from repro.inference import LikelihoodWeighting, MetropolisHastings
+from repro.obs import SnapshotRecorder, use_recorder
+from repro.runtime import ParallelRunner
+
+BACKENDS = ["inline"] + multiprocessing.get_all_start_methods()
+
+MODEL = parse(
+    """
+bool p, q;
+p ~ Bernoulli(0.5);
+if (p) { q ~ Bernoulli(0.9); } else { q ~ Bernoulli(0.1); }
+observe(q);
+return p;
+"""
+)
+
+N_WORKERS = 2
+
+
+def _live_run(engine, backend, subscribers=()):
+    recorder = SnapshotRecorder(cadence=0.0, subscribers=list(subscribers))
+    with use_recorder(recorder):
+        result = ParallelRunner(n_workers=N_WORKERS, backend=backend).run(
+            engine, MODEL
+        )
+    recorder.publish()
+    return recorder, result
+
+
+def _registry_state(recorder):
+    """The backend-independent view of a merged registry: counter
+    sums, and per-source progress done/total (no timestamps)."""
+    reg = recorder.registry
+    progress = {
+        key: (state["done"], state["total"])
+        for key, state in reg.progress.items()
+    }
+    return dict(reg.counters), progress
+
+
+class TestMergeAcrossBackends:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mh_registry_state_matches_inline(self, backend):
+        engine = MetropolisHastings(n_samples=256, burn_in=32, seed=3)
+        baseline, _ = _live_run(engine, "inline")
+        recorder, result = _live_run(engine, backend)
+        assert _registry_state(recorder) == _registry_state(baseline)
+        assert len(result.samples) == 256
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_lw_registry_state_matches_inline(self, backend):
+        engine = LikelihoodWeighting(n_samples=512, seed=5)
+        baseline, _ = _live_run(engine, "inline")
+        recorder, _ = _live_run(engine, backend)
+        assert _registry_state(recorder) == _registry_state(baseline)
+
+    def test_worker_progress_is_prefixed_and_complete(self):
+        engine = MetropolisHastings(n_samples=256, burn_in=32, seed=3)
+        recorder, _ = _live_run(engine, "inline")
+        sources = set(recorder.registry.progress)
+        assert sources == {f"w{i}/{engine.name}" for i in range(N_WORKERS)}
+        for state in recorder.registry.progress.values():
+            assert state["done"] >= state["total"]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_trace_half_still_merges(self, backend):
+        """Composition: the SnapshotRecorder's inner TraceRecorder
+        still receives the PR 4 worker span merge untouched."""
+        engine = MetropolisHastings(n_samples=128, burn_in=16, seed=1)
+        recorder, _ = _live_run(engine, backend)
+        workers = recorder.find_spans("worker")
+        assert sorted(s.attrs["worker"] for s in workers) == list(
+            range(N_WORKERS)
+        )
+
+
+class TestInFlightSnapshots:
+    def test_inline_backend_streams_worker_snapshots(self):
+        """With a live subscriber attached, worker snapshots arrive
+        *during* the run (via the inline sink) tagged with their
+        worker index, and the parent keeps the latest per worker."""
+        seen = []
+        engine = MetropolisHastings(n_samples=256, burn_in=32, seed=3)
+        recorder, _ = _live_run(engine, "inline", subscribers=[seen.append])
+        worker_ids = {s.worker for s in seen if s.worker is not None}
+        assert worker_ids == set(range(N_WORKERS))
+        assert set(recorder.worker_snapshots) == set(range(N_WORKERS))
+        final = recorder.worker_snapshots[0]
+        assert engine.name in final.progress
+
+    def test_no_subscribers_means_no_streaming_plumbing(self):
+        """Without live subscribers the runner must not pay for a
+        manager queue: worker snapshots only land via the end-of-run
+        payload merge."""
+        engine = MetropolisHastings(n_samples=64, burn_in=8, seed=1)
+        recorder, _ = _live_run(engine, "inline")
+        assert not recorder.wants_live
+        assert recorder.worker_snapshots == {}
+        # ... but the merged registry still has their telemetry.
+        assert recorder.registry.progress
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method unavailable",
+    )
+    def test_fork_backend_streams_worker_snapshots(self):
+        """Cross-process in-flight streaming: snapshots cross the
+        manager queue while the pool is running."""
+        seen = []
+        engine = MetropolisHastings(n_samples=512, burn_in=64, seed=3)
+        recorder, _ = _live_run(engine, "fork", subscribers=[seen.append])
+        worker_ids = {s.worker for s in seen if s.worker is not None}
+        assert worker_ids == set(range(N_WORKERS))

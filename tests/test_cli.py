@@ -80,6 +80,98 @@ class TestCLI:
         assert "unavailable" in capsys.readouterr().err
 
 
+class TestBenchmarkFlag:
+    def test_benchmark_by_name(self, capsys):
+        assert main(["--benchmark", "Ex3"]) == 0
+        assert "return" in capsys.readouterr().out
+
+    def test_benchmark_unknown_name(self, capsys):
+        assert main(["--benchmark", "Nope"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_file_and_benchmark_exclusive(self, model_file, capsys):
+        assert main([model_file, "--benchmark", "Ex3"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_neither_file_nor_benchmark(self, capsys):
+        assert main([]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+
+class TestLiveTelemetryFlags:
+    def test_stream_metrics_and_health_summary(self, tmp_path, capsys):
+        out_file = tmp_path / "snap.ndjson"
+        assert (
+            main(
+                [
+                    "--benchmark",
+                    "Ex3",
+                    "--infer",
+                    "mh",
+                    "--samples",
+                    "300",
+                    "--compiled",
+                    "--stream-metrics",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "// health: ok" in out
+        assert "ess_per_sec" in out
+        import json
+
+        lines = out_file.read_text().splitlines()
+        assert lines
+        snaps = [json.loads(line) for line in lines]
+        assert all(s["type"] == "snapshot" for s in snaps)
+        assert "r2-mh" in snaps[-1]["progress"]
+
+    def test_blr_collapse_flagged_in_summary(self, capsys):
+        assert (
+            main(
+                [
+                    "--benchmark",
+                    "BayesianLinearRegression",
+                    "--infer",
+                    "mh",
+                    "--samples",
+                    "1000",
+                    "--compiled",
+                    "--watch",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "// health:" in captured.out
+        assert "acceptance-collapse" in captured.out
+        # ... and the dashboard carried the same warning line.
+        assert "!! [critical] acceptance-collapse" in captured.err
+
+    def test_watch_forced_non_tty(self, capsys):
+        assert (
+            main(
+                [
+                    "--benchmark",
+                    "Ex3",
+                    "--infer",
+                    "mh",
+                    "--samples",
+                    "300",
+                    "--compiled",
+                    "--watch",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "watch t=" in captured.err
+        assert "[r2-mh]" in captured.err
+        assert "\x1b" not in captured.err  # plain blocks off-TTY
+
+
 class TestShippedModels:
     """The .prob files under examples/models slice cleanly."""
 
