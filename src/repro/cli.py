@@ -7,6 +7,9 @@ Usage::
     prob-slice FILE.prob --stats       # sizes and influencer sets
     prob-slice FILE.prob --simplify    # constant-propagation post-pass
     prob-slice FILE.prob --exact       # exact posterior of both versions
+    prob-slice FILE.prob --slicer ab   # Amtoft–Banerjee CFG slicing
+                                       # instead of the default OBS/SVF
+                                       # pipeline
     prob-slice FILE.prob --infer mh --samples 2000 --jobs 4
                                        # sample the sliced posterior on
                                        # 4 worker processes
@@ -79,6 +82,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the OBS transformation (larger slices)",
     )
     parser.add_argument(
+        "--slicer",
+        metavar="NAME",
+        default="svf",
+        help=(
+            "slicing theory: 'svf' (default — the paper's OBS/SVF/SSA "
+            "pipeline; slices speak SSA names) or 'ab' (Amtoft–Banerjee "
+            "weak slice sets computed directly on the CFG; slices speak "
+            "source variable names).  Both are verified the same way "
+            "(--verify-each) and cached under separate keys"
+        ),
+    )
+    parser.add_argument(
         "--exact",
         action="store_true",
         help="print the exact posterior of the original and the slice",
@@ -119,8 +134,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "run a custom comma-separated pass pipeline instead of the "
             "default SLI one (e.g. 'obs,svf,ssa,slice,constprop'); "
-            "available passes: obs, svf, ssa, slice, factorize, "
-            "constprop, copyprop"
+            "available passes: obs, svf, ssa, slice, cfgslice, "
+            "factorize, constprop, copyprop"
         ),
     )
     passes.add_argument(
@@ -373,6 +388,15 @@ def _run_inference(args, result, cache) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    from .passes import SLICER_REGISTRY
+
+    if args.slicer not in SLICER_REGISTRY:
+        print(
+            f"error: unknown slicer {args.slicer!r}; available: "
+            + ", ".join(sorted(SLICER_REGISTRY)),
+            file=sys.stderr,
+        )
+        return 2
     if (args.file is None) == (args.benchmark is None):
         print(
             "error: give exactly one of FILE or --benchmark NAME",
@@ -508,6 +532,7 @@ def _dispatch(args, program) -> int:
                 use_obs=not args.no_obs,
                 simplify=args.simplify,
                 factorize=args.factorize,
+                slicer=args.slicer,
                 verify=args.verify_each,
                 spot_check_seeds=seeds,
                 on_after_pass=on_after_pass,
@@ -518,6 +543,7 @@ def _dispatch(args, program) -> int:
                 use_obs=not args.no_obs,
                 simplify=args.simplify,
                 factorize=args.factorize,
+                slicer=args.slicer,
                 cache=cache,
                 verify=args.verify_each,
                 spot_check_seeds=seeds,
@@ -525,6 +551,11 @@ def _dispatch(args, program) -> int:
     except PassVerificationError as exc:
         print(f"pass verification failed: {exc}", file=sys.stderr)
         return 1
+    except ValueError as exc:
+        # Invalid slicer/option combination (e.g. --factorize with the
+        # ab slicer, whose pipeline has no single-variable-form graph).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.emit_cfg:
         from .analysis.dot import cfg_dot
 
@@ -548,7 +579,8 @@ def _dispatch(args, program) -> int:
         print(format_explanation(result, args.explain))
         return 0
     if args.show_pre:
-        print("// --- after OBS; SVF; SSA ---")
+        pre = "OBS; SVF; SSA" if args.slicer == "svf" else "OBS"
+        print(f"// --- after {pre} ---")
         print(pretty(result.transformed))
         print("// --- slice ---")
     if args.factorize and result.factors is not None:

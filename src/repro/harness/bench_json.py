@@ -20,6 +20,17 @@ Run it directly to (re)generate the repo-root snapshot::
 The JSON shape is stable so future PRs can diff perf trajectories
 file-against-file; CI's ``obs-smoke`` job uploads it as an artifact.
 
+``--slicers`` switches to the slicer-arbitration snapshot
+(``BENCH_pr9.json``): for every Table-1 benchmark and each slicing
+theory in :data:`repro.passes.SLICER_REGISTRY` (``svf`` and ``ab``)
+it records kept/dropped node counts per CFG node class (observe /
+control / data), the slice-size delta between the theories, whether
+the slice passed per-pass verification (seeded interpreter spot-check
+plus the bounded exact-distribution check), and compiled-MH
+samples/sec on each theory's slice next to the original::
+
+    PYTHONPATH=src python -m repro.harness.bench_json --slicers -o BENCH_pr9.json
+
 ``--vectorized`` switches to the array-backend snapshot
 (``BENCH_pr7.json``): for every Table-1 benchmark, original *and*
 sliced, it sweeps likelihood weighting over batch sizes 1 → 10k on the
@@ -56,6 +67,9 @@ __all__ = [
     "health_record",
     "collect_health_report",
     "write_health_json",
+    "slicer_record",
+    "collect_slicer_report",
+    "write_slicer_json",
     "main",
 ]
 
@@ -442,6 +456,159 @@ def write_health_json(
     return report
 
 
+#: Slicing theories the --slicers snapshot arbitrates.
+SLICER_NAMES = ("svf", "ab")
+
+
+def _mh_cell(target: Any, n_samples: int, seed: int) -> Dict[str, Any]:
+    """Compiled-MH throughput on ``target`` (same shape as the default
+    snapshot's cells, minus the health panel)."""
+    engine = MetropolisHastings(
+        n_samples=n_samples, burn_in=100, seed=seed, compiled=True
+    )
+    try:
+        out = engine.infer(target)
+    except InferenceError as exc:
+        return {"error": str(exc)}
+    secs = max(out.elapsed_seconds, 1e-9)
+    cell: Dict[str, Any] = {
+        "samples": len(out.samples),
+        "seconds": round(secs, 6),
+        "samples_per_sec": round(len(out.samples) / secs, 2),
+        "acceptance_rate": round(out.acceptance_rate, 4),
+    }
+    ess = _autocorr_ess(out.samples)
+    if ess is not None:
+        cell["ess"] = round(ess, 2)
+        cell["ess_per_sec"] = round(ess / secs, 2)
+    return cell
+
+
+def _slicer_cell(
+    program: Any, slicer: str, n_samples: int, seed: int
+) -> Dict[str, Any]:
+    """One theory's verdict on one benchmark: sizes, kept/dropped node
+    classes, the per-pass verification outcome, and compiled-MH
+    throughput on the slice."""
+    from ..passes import PassVerificationError
+    from ..transforms.pipeline import node_class_counts
+
+    t0 = time.perf_counter()
+    try:
+        result = sli(
+            program, slicer=slicer, verify=True, spot_check_seeds=(0, 1, 2)
+        )
+        verified = True
+        verify_error = None
+    except PassVerificationError as exc:
+        verified = False
+        verify_error = str(exc)
+        result = sli(program, slicer=slicer)
+    slicing_seconds = time.perf_counter() - t0
+    kept = node_class_counts(result.sliced.body)
+    total = node_class_counts(result.transformed.body)
+    cell: Dict[str, Any] = {
+        "transformed_stmts": result.transformed_size,
+        "sliced_stmts": result.sliced_size,
+        "ratio": round(
+            result.sliced_size / max(1, result.transformed_size), 4
+        ),
+        "kept": kept,
+        "dropped": {k: max(0, total[k] - kept[k]) for k in kept},
+        "verified": verified,
+        "slicing_seconds": round(slicing_seconds, 6),
+        "inference": _mh_cell(result.sliced, n_samples, seed),
+    }
+    if verify_error is not None:
+        cell["verify_error"] = verify_error
+    return cell
+
+
+def slicer_record(
+    spec: Any, n_samples: int = 400, seed: int = 0
+) -> Dict[str, Any]:
+    """One benchmark's slicer-arbitration snapshot: both theories'
+    slices of the same program, side by side."""
+    program = spec.bench()
+    slicers = {
+        name: _slicer_cell(program, name, n_samples, seed)
+        for name in SLICER_NAMES
+    }
+    return {
+        "name": spec.name,
+        "original_stmts": _original_size(program),
+        "original_inference": _mh_cell(program, n_samples, seed),
+        "slicers": slicers,
+        "delta": {
+            "sliced_stmts": slicers["ab"]["sliced_stmts"]
+            - slicers["svf"]["sliced_stmts"]
+        },
+    }
+
+
+def _original_size(program: Any) -> int:
+    from ..core.ast import statement_count
+
+    return statement_count(program.body)
+
+
+def collect_slicer_report(
+    n_samples: int = 400, seed: int = 0, only: Optional[List[str]] = None
+) -> Dict[str, Any]:
+    """The full ``BENCH_pr9.json`` document."""
+    benchmarks = []
+    for spec in TABLE1:
+        if only and spec.name not in only:
+            continue
+        benchmarks.append(slicer_record(spec, n_samples=n_samples, seed=seed))
+    return {
+        "schema": "repro-bench-slicers/1",
+        "pr": 9,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "n_samples": n_samples,
+        "slicers": list(SLICER_NAMES),
+        "benchmarks": benchmarks,
+    }
+
+
+def write_slicer_json(
+    path: str = "BENCH_pr9.json",
+    n_samples: int = 400,
+    seed: int = 0,
+    only: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    report = collect_slicer_report(n_samples=n_samples, seed=seed, only=only)
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=False)
+        f.write("\n")
+    return report
+
+
+def _print_slicers(report: Dict[str, Any]) -> None:
+    for bench in report["benchmarks"]:
+        parts = []
+        for name in report["slicers"]:
+            cell = bench["slicers"][name]
+            inf = cell["inference"]
+            rate = (
+                f"{inf['samples_per_sec']:9.1f}/s"
+                if "error" not in inf
+                else "n/a"
+            )
+            flag = "ok" if cell["verified"] else "FAIL"
+            parts.append(
+                f"{name}={cell['sliced_stmts']}stmts "
+                f"[{flag}] {rate}"
+            )
+        print(
+            f"{bench['name']:26s} orig={bench['original_stmts']:4d} "
+            + "  ".join(parts)
+            + f"  delta={bench['delta']['sliced_stmts']:+d}"
+        )
+
+
 def _print_health(report: Dict[str, Any]) -> None:
     for bench in report["benchmarks"]:
         for variant in ("original", "sliced"):
@@ -510,12 +677,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--slicers",
+        action="store_true",
+        help=(
+            "write the slicer-arbitration snapshot (BENCH_pr9.json): "
+            "kept/dropped node classes, verification verdicts, and "
+            "compiled-MH throughput per slicing theory (svf vs ab)"
+        ),
+    )
+    parser.add_argument(
         "--only",
         nargs="*",
         metavar="NAME",
         help="restrict to these Table-1 benchmark names",
     )
     args = parser.parse_args(argv)
+    if args.slicers:
+        output = args.output or "BENCH_pr9.json"
+        report = write_slicer_json(
+            output, n_samples=args.samples, only=args.only
+        )
+        _print_slicers(report)
+        print(f"wrote {output} ({len(report['benchmarks'])} benchmarks)")
+        return 0
     if args.health:
         output = args.output or "BENCH_pr8.json"
         report = write_health_json(

@@ -13,7 +13,11 @@ the analyses and the compiled execution layer:
   kinds) plus the verified CFG→AST *raising* that the slicer and the
   printer rely on;
 * :mod:`repro.ir.analyses` — a generic worklist dataflow fixpoint
-  engine that :mod:`repro.semantics.liveness` instantiates.
+  engine that :mod:`repro.semantics.liveness` instantiates, plus the
+  CFG-level analyses the Amtoft–Banerjee slicer
+  (:mod:`repro.transforms.cfgslice`) consumes: reaching definitions,
+  node-level data dependence, weak-slice-set closure, and the
+  conditioning-node enumeration.
 
 Consumers: :mod:`repro.analysis.depgraph` reads data/control/observe
 dependence off CFG edges, :mod:`repro.transforms.slice` marks CFG nodes
@@ -24,7 +28,20 @@ closure for the inference hot path.
 
 from .cfg import CFG, BasicBlock, Node
 from .lower import Lowered, lower, raise_program, raise_region
-from .analyses import DataflowProblem, DataflowSolution, solve
+from .analyses import (
+    END,
+    CfgDataDeps,
+    DataflowProblem,
+    DataflowSolution,
+    ReachingDefinitions,
+    conditioning_nodes,
+    data_dependence,
+    first_relevant,
+    node_def,
+    node_uses,
+    solve,
+    weak_slice_closure,
+)
 
 __all__ = [
     "CFG",
@@ -37,4 +54,13 @@ __all__ = [
     "DataflowProblem",
     "DataflowSolution",
     "solve",
+    "END",
+    "CfgDataDeps",
+    "ReachingDefinitions",
+    "conditioning_nodes",
+    "data_dependence",
+    "first_relevant",
+    "node_def",
+    "node_uses",
+    "weak_slice_closure",
 ]

@@ -16,6 +16,8 @@ and how to add a pass.
 from .context import PassContext, register_analysis, registered_analyses
 from .library import (
     PASS_REGISTRY,
+    SLICER_REGISTRY,
+    CfgSlicePass,
     ConstPropPass,
     CopyPropPass,
     FactorizePass,
@@ -23,10 +25,12 @@ from .library import (
     SlicePass,
     SsaPass,
     SvfPass,
+    ab_passes,
     build_pipeline,
     naive_passes,
     nt_passes,
     preprocess_passes,
+    slicer_passes,
     sli_passes,
 )
 from .manager import Pass, PassManager, PassVerificationError
@@ -42,13 +46,17 @@ __all__ = [
     "SvfPass",
     "SsaPass",
     "SlicePass",
+    "CfgSlicePass",
     "FactorizePass",
     "ConstPropPass",
     "CopyPropPass",
     "PASS_REGISTRY",
+    "SLICER_REGISTRY",
     "build_pipeline",
+    "slicer_passes",
     "preprocess_passes",
     "sli_passes",
+    "ab_passes",
     "naive_passes",
     "nt_passes",
 ]

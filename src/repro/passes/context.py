@@ -10,9 +10,10 @@ passes threads through.  It carries:
   original program's variables, so composed passes (SVF helpers, SSA
   versions) can never collide on fresh names;
 * lazily-computed, cached **analyses** — the CFG lowering, free
-  variables, the Figure-9 dependence info, and the INF influencer
-  closure — each computed at most once per program version and shared
-  by every consumer (the depgraph, the slicer, the DOT exporter);
+  variables, the Figure-9 dependence info, the INF influencer closure,
+  and the AB theory's node-level data dependence + weak-slice decision
+  — each computed at most once per program version and shared by every
+  consumer (the depgraph, both slicers, the DOT exporter);
 * free-form **artifacts** set by passes (the pre-slice program, its
   lowering, the influencer/observed sets) that outlive program
   updates — :func:`repro.transforms.pipeline.sli` assembles its
@@ -199,4 +200,25 @@ def _influencers(ctx: PassContext):
     deps = ctx.analysis("deps")
     return frozenset(
         inf_fast(deps.observed, deps.graph, free_vars(ctx.program.ret))
+    )
+
+
+@register_analysis("cfg_data_deps")
+def _cfg_data_deps(ctx: PassContext):
+    """Node-level data dependence (reaching definitions) on the cached
+    lowering — the AB slicing theory's data-closure input."""
+    from ..ir.analyses import data_dependence
+
+    return data_dependence(ctx.analysis("lowered"))
+
+
+@register_analysis("ab_slice")
+def _ab_slice(ctx: PassContext):
+    """The Amtoft–Banerjee weak-slice decision
+    (:class:`repro.transforms.cfgslice.CfgSliceInfo`) for the current
+    program, computed from the shared lowering and ``cfg_data_deps``."""
+    from ..transforms.cfgslice import ab_slice_info
+
+    return ab_slice_info(
+        ctx.analysis("lowered"), ctx.analysis("cfg_data_deps")
     )

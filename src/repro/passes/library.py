@@ -30,6 +30,7 @@ from typing import Callable, Dict, List
 
 from ..analysis.influencers import dinf, inf_fast
 from ..core.freevars import free_vars
+from ..transforms.cfgslice import ab_slice_lowered
 from ..transforms.constprop import const_prop, copy_prop
 from ..transforms.factorize import factorize_lowered
 from ..transforms.obs import obs_transform
@@ -44,13 +45,17 @@ __all__ = [
     "SvfPass",
     "SsaPass",
     "SlicePass",
+    "CfgSlicePass",
     "FactorizePass",
     "ConstPropPass",
     "CopyPropPass",
     "PASS_REGISTRY",
+    "SLICER_REGISTRY",
     "build_pipeline",
+    "slicer_passes",
     "preprocess_passes",
     "sli_passes",
+    "ab_passes",
     "naive_passes",
     "nt_passes",
 ]
@@ -137,6 +142,10 @@ class SlicePass(Pass):
             raise ValueError(f"unknown closure {closure!r}")
         self.closure = closure
         self.include_observed = include_observed
+        # The bare-``dinf`` configuration is the deliberately unsound
+        # classical baseline (Example 4) — exempt from the manager's
+        # distribution spot-check; every sound configuration opts in.
+        self.slices = not (closure == "dinf" and not include_observed)
 
     def params(self) -> Dict[str, object]:
         return {
@@ -164,6 +173,41 @@ class SlicePass(Pass):
         ctx.artifacts.setdefault("observed", deps.observed)
         ctx.artifacts.setdefault("graph", deps.graph)
         ctx.update_program(slice_lowered(lowered, keep), preserves=self.preserves)
+
+
+class CfgSlicePass(Pass):
+    """Amtoft–Banerjee weak-slice-set slicing directly on the CFG
+    (:mod:`repro.transforms.cfgslice`).
+
+    Consumes the shared ``lowered`` analysis plus the node-level
+    ``cfg_data_deps`` / ``ab_slice`` analyses — no SVF/SSA detour, so
+    the pass accepts programs outside single-variable form and its
+    slices speak the *source* variable names.
+
+    Artifacts mirror :class:`SlicePass` (``setdefault`` — the first
+    slicer in a pipeline wins): ``transformed``,
+    ``transformed_lowered``, plus the name-level ``influencers`` /
+    ``observed`` / ``graph`` summaries from
+    :class:`repro.transforms.cfgslice.CfgSliceInfo`, and the full
+    decision record as ``slice_info``.
+    """
+
+    name = "cfgslice"
+    distribution_preserving = False
+    slices = True
+
+    def run(self, ctx: PassContext) -> None:
+        lowered = ctx.analysis("lowered")
+        info = ctx.analysis("ab_slice")
+        ctx.artifacts.setdefault("transformed", ctx.program)
+        ctx.artifacts.setdefault("transformed_lowered", lowered)
+        ctx.artifacts.setdefault("influencers", info.influencers)
+        ctx.artifacts.setdefault("observed", info.observed)
+        ctx.artifacts.setdefault("graph", info.graph)
+        ctx.artifacts.setdefault("slice_info", info)
+        ctx.update_program(
+            ab_slice_lowered(lowered, info), preserves=self.preserves
+        )
 
 
 class FactorizePass(Pass):
@@ -213,6 +257,7 @@ PASS_REGISTRY: Dict[str, Callable[[], Pass]] = {
     "svf": SvfPass,
     "ssa": SsaPass,
     "slice": SlicePass,
+    "cfgslice": CfgSlicePass,
     "factorize": FactorizePass,
     "constprop": ConstPropPass,
     "copyprop": CopyPropPass,
@@ -276,6 +321,62 @@ def sli_passes(
     if factorize:
         passes.append(FactorizePass())
     return passes
+
+
+def ab_passes(
+    use_obs: bool = True,
+    obs_extended: bool = True,
+    simplify: bool = False,
+    svf_hoist_variables: bool = False,
+    factorize: bool = False,
+) -> List[Pass]:
+    """The Amtoft–Banerjee pipeline: OBS (optional) then the CFG
+    weak-slice-set slicer — no SVF/SSA preprocessing, the theory works
+    on raw nodes.  ``simplify=True`` appends constant propagation and
+    a re-slice (copy propagation is an SSA-alias cleanup, meaningless
+    off the SVF pipeline)."""
+    if svf_hoist_variables:
+        raise ValueError(
+            "svf_hoist_variables applies to the 'svf' slicer only "
+            "(the 'ab' pipeline runs no SVF pass)"
+        )
+    if factorize:
+        raise ValueError(
+            "factorize requires the 'svf' slicer (the factorisation "
+            "pass consumes the single-variable-form dependence graph)"
+        )
+    passes: List[Pass] = []
+    if use_obs:
+        passes.append(ObsPass(extended=obs_extended))
+    passes.append(CfgSlicePass())
+    if simplify:
+        passes.extend([ConstPropPass(), CfgSlicePass()])
+    return passes
+
+
+#: Slicing theory name -> canned-pipeline factory.  Every factory
+#: accepts the :func:`sli_passes` keyword surface, so
+#: :func:`repro.transforms.pipeline.sli` is parameterized by name and
+#: the chosen slicer's pass signatures land in the pipeline key (the
+#: :class:`repro.runtime.ProgramCache` can never serve one theory's
+#: slice for the other).
+SLICER_REGISTRY: Dict[str, Callable[..., List[Pass]]] = {
+    "svf": sli_passes,
+    "ab": ab_passes,
+}
+
+
+def slicer_passes(slicer: str = "svf", **kwargs) -> List[Pass]:
+    """The canned pipeline for a named slicing theory; unknown names
+    report the registered alternatives."""
+    try:
+        factory = SLICER_REGISTRY[slicer]
+    except KeyError:
+        raise ValueError(
+            f"unknown slicer {slicer!r}; available: "
+            f"{', '.join(sorted(SLICER_REGISTRY))}"
+        ) from None
+    return factory(**kwargs)
 
 
 def naive_passes(use_obs: bool = True) -> List[Pass]:

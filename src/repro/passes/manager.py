@@ -35,8 +35,11 @@ context, and per pass:
   and — for distribution-preserving passes, when ``spot_check_seeds``
   is non-empty — replays the given seeds through the interpreter
   before and after the rewrite, requiring identical return values and
-  log-likelihoods.  Failures raise :class:`PassVerificationError`
-  naming the pass.
+  log-likelihoods.  Slicer passes (``slices = True`` — both slicing
+  theories) instead get :func:`_slice_spot_check`: the slice must
+  execute under every seed and, where cheaply enumerable, match the
+  original's exact output distribution.  Failures raise
+  :class:`PassVerificationError` naming the pass.
 
 The pipeline is fingerprintable: :attr:`PassManager.pipeline_key`
 renders every pass signature (name + parameters) into one string,
@@ -73,6 +76,12 @@ class Pass:
     #: Whether seeded runs are observationally identical across this
     #: pass (return value + log-likelihood); enables spot-checking.
     distribution_preserving: bool = False
+    #: Whether this pass is a *slicer*: it removes statements, so
+    #: seeded runs cannot be compared directly, but the normalized
+    #: output distribution must be preserved — the manager's verify
+    #: mode applies :func:`_slice_spot_check` uniformly to every pass
+    #: that sets this (both slicing theories get the same check).
+    slices: bool = False
 
     def params(self) -> Dict[str, object]:
         """The pass's configuration, for spans and the pipeline key."""
@@ -123,6 +132,67 @@ def _spot_check(
                 f"pass {name!r} changed the log-likelihood (seed {seed}): "
                 f"{ll_a!r} -> {ll_b!r}"
             )
+
+
+#: Statement-count ceiling for the exact-distribution leg of the
+#: slice spot-check; larger inputs rely on the seeded-execution leg
+#: plus the qa campaign (the exact engine would dominate slicing time).
+_SLICE_CHECK_MAX_STMTS = 200
+
+
+def _slice_spot_check(
+    name: str, before: Program, after: Program, seeds: Sequence[int]
+) -> None:
+    """Verification for slicer passes, identical for every theory.
+
+    A slicer changes *which* statements execute, so the direct seeded
+    replay of :func:`_spot_check` cannot apply.  Instead:
+
+    * the sliced program must itself execute under every seed (a slice
+      with a dangling read or a type fault fails here immediately;
+      non-termination is allowed — slices preserve it by design);
+    * where the exact engine can enumerate both programs cheaply, the
+      normalized output distributions must coincide (Theorem 1 for the
+      SVF theory, the weak-slice correctness theorem for AB).
+      Degenerate or out-of-reach programs skip this leg — the qa
+      slicer-arbitration oracle owns the statistical fallback.
+    """
+    import random
+
+    from ..semantics.executor import NonTerminatingRun, run_program
+
+    for seed in seeds:
+        try:
+            run_program(after, random.Random(seed))
+        except NonTerminatingRun:
+            pass
+        except Exception as exc:
+            raise PassVerificationError(
+                f"pass {name!r} produced a slice that fails to execute "
+                f"(seed {seed}): {exc}"
+            ) from exc
+    from ..core.ast import statement_count
+
+    if statement_count(before.body) > _SLICE_CHECK_MAX_STMTS:
+        return
+    from ..semantics.exact import (
+        ExactEngineError,
+        ExactOptions,
+        exact_inference,
+    )
+
+    options = ExactOptions(max_states=20_000, max_loop_iterations=500)
+    try:
+        base = exact_inference(before, options)
+        got = exact_inference(after, options)
+    except (ValueError, ExactEngineError):
+        return
+    if not base.distribution.allclose(got.distribution, atol=1e-9):
+        raise PassVerificationError(
+            f"pass {name!r} changed the output distribution: "
+            f"{base.distribution!r} -> {got.distribution!r} "
+            f"(tv={base.distribution.tv_distance(got.distribution):.3g})"
+        )
 
 
 class PassManager:
@@ -186,9 +256,11 @@ class PassManager:
                 f"pass {pazz.name!r} broke program validity: {exc}"
             ) from exc
         current_recorder().counter(f"passes.verified.{pazz.name}")
-        if (
-            self.spot_check_seeds
-            and pazz.distribution_preserving
-            and ctx.program is not before
-        ):
+        if not self.spot_check_seeds or ctx.program is before:
+            return
+        if pazz.distribution_preserving:
             _spot_check(pazz.name, before, ctx.program, self.spot_check_seeds)
+        elif pazz.slices:
+            _slice_spot_check(
+                pazz.name, before, ctx.program, self.spot_check_seeds
+            )

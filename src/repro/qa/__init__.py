@@ -41,6 +41,7 @@ from .oracles import (
     Oracle,
     OracleConfig,
     SamplerEquivalenceOracle,
+    SlicerArbitrationOracle,
     default_oracle_names,
     format_report,
     make_oracles,
@@ -75,6 +76,7 @@ __all__ = [
     "Oracle",
     "OracleConfig",
     "SamplerEquivalenceOracle",
+    "SlicerArbitrationOracle",
     "default_oracle_names",
     "format_report",
     "make_oracles",

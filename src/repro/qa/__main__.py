@@ -9,7 +9,8 @@ Subcommands:
 * ``shrink`` — minimize a failing ``.prob`` file against the oracles.
 
 All subcommands accept ``--oracles`` (comma-separated subset of
-``backends,exact,bayesnet,samplers,factorization``), ``--samples``
+``backends,exact,bayesnet,samplers,factorization,slicers``),
+``--samples``
 (per-engine draw
 count for the statistical oracle), and observability flags
 (``--trace FILE`` / ``--metrics-summary``) that record ``qa.*`` spans
@@ -44,7 +45,7 @@ def _add_oracle_args(parser: argparse.ArgumentParser) -> None:
         default=",".join(default_oracle_names()),
         help=(
             "comma-separated oracle subset "
-            "(backends,exact,bayesnet,samplers,factorization)"
+            "(backends,exact,bayesnet,samplers,factorization,slicers)"
         ),
     )
     parser.add_argument(

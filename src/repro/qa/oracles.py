@@ -37,6 +37,16 @@ fuzz campaign can run at scale:
   posteriors recombined through the original return expression matches
   the monolithic exact posterior with zero TV distance, and the factor
   bodies partition the sliced program.
+* :class:`SlicerArbitrationOracle` — both slicing *theories*
+  (``svf``, the paper's OBS→SVF→SSA composition, and ``ab``, the
+  Amtoft–Banerjee CFG slicer) must each be distribution-equivalent to
+  the original: exact TV (float-)zero where the enumerator reaches,
+  and a two-sample chi-square homogeneity test on likelihood-weighted
+  sample streams otherwise.  Slice-*size* divergence between the two
+  theories is expected (they keep different node sets) and is
+  *recorded*, never failed — the arbitration record is the
+  experiment's data, surfaced via ``qa.slicers.*`` counters and
+  :attr:`SlicerArbitrationOracle.size_records`.
 
 Every oracle reports :class:`Disagreement` records and never raises
 on *expected* inapplicability (continuous programs, zero normalizers,
@@ -72,8 +82,9 @@ from ..inference import (
 from ..semantics.distribution import FiniteDist
 from ..semantics.exact import ExactEngineError, ExactResult, exact_inference
 from ..semantics.executor import NonTerminatingRun, run_program
+from ..obs.recorder import current_recorder
 from ..semantics.factored import factored_exact
-from ..transforms import naive_slice, nt_slice, sli
+from ..transforms import naive_slice, node_class_counts, nt_slice, sli
 
 __all__ = [
     "Disagreement",
@@ -84,12 +95,14 @@ __all__ = [
     "BayesNetOracle",
     "SamplerEquivalenceOracle",
     "FactorizationOracle",
+    "SlicerArbitrationOracle",
     "ORACLE_TYPES",
     "default_oracle_names",
     "make_oracles",
     "run_oracles",
     "format_report",
     "chi_square_gof",
+    "chi_square_homogeneity",
     "chi2_sf",
 ]
 
@@ -196,6 +209,7 @@ def program_variants(program: Program) -> Tuple[List[Variant], List[Disagreement
         ("sli", True, lambda p: sli(p).sliced),
         ("sli+simplify", True, lambda p: sli(p, simplify=True).sliced),
         ("sli-no-obs", True, lambda p: sli(p, use_obs=False).sliced),
+        ("sli-ab", True, lambda p: sli(p, slicer="ab").sliced),
         ("nt_slice", True, lambda p: nt_slice(p).sliced),
         ("naive_slice", False, lambda p: naive_slice(p).sliced),
     ]
@@ -315,6 +329,55 @@ def chi_square_gof(
     if dof <= 0:
         # Single-bin support: the outside-support check above is the
         # whole test.
+        return 1.0, stat, 0
+    return chi2_sf(stat, dof), stat, dof
+
+
+def chi_square_homogeneity(
+    dist_a: FiniteDist,
+    n_a: float,
+    dist_b: FiniteDist,
+    n_b: float,
+) -> Tuple[float, float, int]:
+    """Two-sample Pearson homogeneity test: could ``dist_a`` (observed
+    with ``n_a`` effective draws) and ``dist_b`` (``n_b`` draws) have
+    come from the same underlying distribution?
+
+    Expected counts come from the *pooled* empirical proportions, so
+    neither side is privileged — this is the right shape when no exact
+    reference exists and both sides are noisy.  Bins whose expected
+    count falls below 5 in either sample are pooled into one (Cochran
+    guard).  Returns ``(p_value, statistic, dof)`` with
+    ``dof = bins - 1`` (two samples).
+    """
+    support = sorted(
+        set(dist_a.support()) | set(dist_b.support()), key=repr
+    )
+    total = n_a + n_b
+    if total <= 0.0:
+        return 1.0, 0.0, 0
+    stat = 0.0
+    bins = 0
+    pooled_obs = [0.0, 0.0]
+    pooled_exp = [0.0, 0.0]
+    for v in support:
+        p = (dist_a.prob(v) * n_a + dist_b.prob(v) * n_b) / total
+        expected = (p * n_a, p * n_b)
+        observed = (dist_a.prob(v) * n_a, dist_b.prob(v) * n_b)
+        if min(expected) < 5.0:
+            for i in range(2):
+                pooled_obs[i] += observed[i]
+                pooled_exp[i] += expected[i]
+            continue
+        for o, e in zip(observed, expected):
+            stat += (o - e) ** 2 / e
+        bins += 1
+    if min(pooled_exp) > 0.0:
+        for o, e in zip(pooled_obs, pooled_exp):
+            stat += (o - e) ** 2 / e
+        bins += 1
+    dof = bins - 1
+    if dof <= 0:
         return 1.0, stat, 0
     return chi2_sf(stat, dof), stat, dof
 
@@ -936,6 +999,204 @@ class FactorizationOracle(Oracle):
         return out
 
 
+class SlicerArbitrationOracle(Oracle):
+    """Arbitrate the two slicing theories against the original.
+
+    Both ``sli(P, slicer="svf")`` and ``sli(P, slicer="ab")`` claim
+    Theorem-1-style distribution preservation, via very different
+    arguments (d-separation on the single-variable-form dependence
+    graph vs weak slice sets on the CFG).  This oracle holds each to
+    the claim independently:
+
+    * where the enumerator reaches the original, each slice's exact
+      posterior must match with TV (float-)zero — and a slice must
+      never be degenerate/unenumerable when the original has a
+      positive normalizer;
+    * otherwise, likelihood-weighted sample streams from the original
+      and from each slice (fixed fingerprint-derived seeds) must pass
+      a two-sample chi-square homogeneity test at the campaign's
+      Bonferroni-corrected level — applied only to discrete,
+      small-support outputs, where the pooled-count test is meaningful.
+
+    The theories legitimately keep *different node sets* (SSA helper
+    variables on one side, source-level cones on the other), so
+    slice-size divergence is data, not failure: every program where
+    both pipelines ran gets a record in :attr:`size_records` and bumps
+    one of the ``qa.slicers.{equal_size,svf_tighter,ab_tighter}``
+    counters.
+    """
+
+    name = "slicers"
+    slicer_names: Tuple[str, ...] = ("svf", "ab")
+    #: Largest joint support the sampler fallback will test; beyond
+    #: this the output is effectively continuous and per-value pooled
+    #: counts carry no power.
+    max_support: int = 40
+
+    def __init__(self, config: OracleConfig = OracleConfig()) -> None:
+        super().__init__(config)
+        #: One record per program where *both* pipelines succeeded:
+        #: fingerprint, per-theory sizes and kept node-class counts,
+        #: and the ab-minus-svf statement delta.
+        self.size_records: List[Dict[str, object]] = []
+
+    def check(self, program: Program) -> List[Disagreement]:
+        out: List[Disagreement] = []
+        results = {}
+        for slicer in self.slicer_names:
+            try:
+                results[slicer] = sli(program, slicer=slicer)
+            except Exception:
+                out.append(
+                    Disagreement(
+                        oracle=self.name,
+                        kind="crash",
+                        subject=f"sli[{slicer}]",
+                        reference="original",
+                        detail=traceback.format_exc(limit=6),
+                    )
+                )
+        if len(results) == len(self.slicer_names):
+            self._record_sizes(program, results)
+        base = _try_exact(program)
+        for slicer, result in results.items():
+            if base is not None:
+                out.extend(self._check_exact(slicer, result, base))
+            else:
+                out.extend(self._check_sampled(slicer, program, result))
+        return out
+
+    def _record_sizes(self, program: Program, results) -> None:
+        record: Dict[str, object] = {
+            "fingerprint": program_fingerprint(program)[:16],
+            "original_stmts": results["svf"].original_size,
+        }
+        for slicer, result in results.items():
+            record[slicer] = {
+                "transformed_stmts": result.transformed_size,
+                "sliced_stmts": result.sliced_size,
+                "kept": node_class_counts(result.sliced.body),
+            }
+        delta = results["ab"].sliced_size - results["svf"].sliced_size
+        record["delta"] = delta
+        self.size_records.append(record)
+        rec = current_recorder()
+        if delta == 0:
+            rec.counter("qa.slicers.equal_size")
+        elif delta < 0:
+            rec.counter("qa.slicers.ab_tighter")
+        else:
+            rec.counter("qa.slicers.svf_tighter")
+
+    def _check_exact(
+        self, slicer: str, result, base: ExactResult
+    ) -> List[Disagreement]:
+        try:
+            got = exact_inference(result.sliced)
+        except (ValueError, ExactEngineError):
+            return [
+                Disagreement(
+                    oracle=self.name,
+                    kind="distribution",
+                    subject=f"sli[{slicer}]",
+                    reference="original",
+                    detail=(
+                        "slice is degenerate/unenumerable but the "
+                        "original has a positive normalizer"
+                    ),
+                )
+            ]
+        except Exception:
+            return [
+                Disagreement(
+                    oracle=self.name,
+                    kind="crash",
+                    subject=f"sli[{slicer}]",
+                    reference="original",
+                    detail=traceback.format_exc(limit=6),
+                )
+            ]
+        tv = base.distribution.tv_distance(got.distribution)
+        if not base.distribution.allclose(
+            got.distribution, atol=self.config.atol
+        ):
+            return [
+                Disagreement(
+                    oracle=self.name,
+                    kind="distribution",
+                    subject=f"sli[{slicer}]",
+                    reference="original",
+                    detail=(
+                        f"exact output distributions differ: "
+                        f"{base.distribution!r} vs {got.distribution!r}"
+                    ),
+                    metric=tv,
+                )
+            ]
+        return []
+
+    def _check_sampled(
+        self, slicer: str, program: Program, result
+    ) -> List[Disagreement]:
+        """Sampler fallback for programs the enumerator cannot reach:
+        likelihood-weighted streams from the original and the slice
+        must be homogeneous."""
+        seed = int(
+            program_fingerprint(program, oracle=self.name, slicer=slicer)[
+                :12
+            ],
+            16,
+        )
+        sides = []
+        for offset, (side_name, side) in enumerate(
+            [("original", program), (f"sli[{slicer}]", result.sliced)]
+        ):
+            engine = LikelihoodWeighting(
+                n_samples=self.config.n_samples, seed=seed + offset
+            )
+            try:
+                res = engine.infer(side)
+                dist = res.distribution()
+            except (UnsupportedProgramError, InferenceError):
+                return []  # legitimate refusal — a skip, not a bug
+            except Exception:
+                return [
+                    Disagreement(
+                        oracle=self.name,
+                        kind="crash",
+                        subject=side_name,
+                        reference="importance",
+                        detail=traceback.format_exc(limit=6),
+                    )
+                ]
+            n_eff = _effective_draws(res)
+            if n_eff < 50.0:
+                return []  # too few effective draws to compare
+            sides.append((side_name, dist, n_eff))
+        (_, dist_a, n_a), (subject_name, dist_b, n_b) = sides
+        if len(set(dist_a.support()) | set(dist_b.support())) > self.max_support:
+            return []  # effectively continuous output
+        p_value, stat, dof = chi_square_homogeneity(dist_a, n_a, dist_b, n_b)
+        if p_value < self.config.corrected_alpha:
+            return [
+                Disagreement(
+                    oracle=self.name,
+                    kind="statistical",
+                    subject=subject_name,
+                    reference="original",
+                    detail=(
+                        f"two-sample chi-square homogeneity failed: "
+                        f"stat={stat:.2f} dof={dof} n_eff="
+                        f"({n_a:.0f}, {n_b:.0f}) p={p_value:.3g} < "
+                        f"alpha={self.config.corrected_alpha:.3g}; "
+                        f"tv={dist_a.tv_distance(dist_b):.4f}"
+                    ),
+                    metric=p_value,
+                )
+            ]
+        return []
+
+
 # ---------------------------------------------------------------------------
 # Registry and campaign helpers
 # ---------------------------------------------------------------------------
@@ -947,18 +1208,26 @@ ORACLE_TYPES: Dict[str, type] = {
     "bayesnet": BayesNetOracle,
     "samplers": SamplerEquivalenceOracle,
     "factorization": FactorizationOracle,
+    "slicers": SlicerArbitrationOracle,
 }
 
 
 def default_oracle_names() -> Tuple[str, ...]:
-    return ("backends", "exact", "bayesnet", "samplers", "factorization")
+    return (
+        "backends",
+        "exact",
+        "bayesnet",
+        "samplers",
+        "factorization",
+        "slicers",
+    )
 
 
 def make_oracles(
     names: Optional[Sequence[str]] = None,
     config: OracleConfig = OracleConfig(),
 ) -> List[Oracle]:
-    """Instantiate oracles by name (all five by default)."""
+    """Instantiate oracles by name (all six by default)."""
     chosen = tuple(names) if names else default_oracle_names()
     oracles = []
     for name in chosen:

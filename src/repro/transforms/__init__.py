@@ -1,6 +1,8 @@
 """Program transformations: OBS, SVF, SSA, SLI/AUX, constant
-propagation, and the baseline slicers."""
+propagation, the baseline slicers, and the Amtoft–Banerjee CFG
+slicer (``sli(..., slicer="ab")``)."""
 
+from .cfgslice import CfgSliceInfo, ab_slice, ab_slice_info, ab_slice_lowered
 from .constprop import const_prop, copy_prop, fold_expr
 from .dataslice import DataSliceResult, data_slice, kept_observation_indices
 from .factorize import FactorSet, ProgramFactor, factorize
@@ -9,6 +11,7 @@ from .pipeline import (
     SliceResult,
     aux_of,
     naive_slice,
+    node_class_counts,
     nt_slice,
     preprocess,
     sli,
@@ -18,6 +21,10 @@ from .ssa import rename_expr, ssa_transform
 from .svf import svf_transform
 
 __all__ = [
+    "CfgSliceInfo",
+    "ab_slice",
+    "ab_slice_info",
+    "ab_slice_lowered",
     "const_prop",
     "copy_prop",
     "DataSliceResult",
@@ -33,6 +40,7 @@ __all__ = [
     "SliceResult",
     "aux_of",
     "naive_slice",
+    "node_class_counts",
     "nt_slice",
     "preprocess",
     "sli",

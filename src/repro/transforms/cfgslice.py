@@ -1,0 +1,167 @@
+"""Amtoft–Banerjee slicing: weak slice sets computed directly on the
+CFG (arXiv 1711.02246 / 1711.02256), raised back to an AST through the
+verified raiser.
+
+Where the paper's SLI pipeline reasons about *variable names* after
+rewriting the program into SVF/SSA form, the AB theory works on raw
+CFG *nodes* and needs no preprocessing beyond (optionally) OBS:
+
+1. seed ``Q`` with the definition nodes the return expression may
+   read (:attr:`repro.ir.analyses.CfgDataDeps.ret_deps`);
+2. close ``Q`` into the least weak slice set containing the seeds
+   (:func:`repro.ir.analyses.weak_slice_closure` — data dependence
+   plus the "provides next observables" branch promotion);
+3. arbitrate the **conditioning nodes** (hard/soft observes, factors,
+   and loop headers — the semantics normalizes over terminating
+   permitted runs, so both condition the output): a conditioning node
+   ``c`` is kept iff its own least weak slice set (its *cone*
+   ``W(c)``) intersects ``Q``, in which case ``c`` joins ``Q`` and the
+   closure re-runs, to a fixpoint.
+
+At the fixpoint every dropped conditioning node's cone is disjoint
+from ``Q``.  Disjoint closed node sets read disjoint sample nodes, so
+the event "every dropped observe passes and every dropped loop
+terminates" is *independent* of the kept computation and cancels
+between the numerator and the normalizer — the slice's normalized
+output distribution equals the original's (the AB correctness theorem,
+restated for this repo's semantics; the qa slicer-arbitration oracle
+checks it empirically on every fuzzed program).
+
+Extraction reuses :func:`repro.ir.lower.raise_program` unchanged: a
+branch node promoted into ``Q`` always has a kept node in one arm (two
+arms that agree on their first relevant node are never promoted), so
+``if`` regions survive structurally exactly when they must.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..analysis.graph import DiGraph
+from ..core.ast import Program
+from ..core.freevars import free_vars
+from ..ir.analyses import (
+    CfgDataDeps,
+    conditioning_nodes,
+    data_dependence,
+    weak_slice_closure,
+)
+from ..ir.lower import Lowered, lower, raise_program
+
+__all__ = [
+    "CfgSliceInfo",
+    "ab_slice_info",
+    "ab_slice_lowered",
+    "ab_slice",
+]
+
+
+@dataclass(frozen=True)
+class CfgSliceInfo:
+    """The AB slicer's decision record.
+
+    ``keep`` is the final weak slice set ``Q`` (the nodes the raiser
+    retains); ``dropped_conditioning`` the conditioning nodes whose
+    cones stayed disjoint from ``Q``.  ``influencers`` / ``observed`` /
+    ``graph`` are *name-level* summaries mirroring the SVF pipeline's
+    artifacts so ``--stats`` / ``--explain`` / ``--dot`` work
+    uniformly across slicers: the AB theory itself never consults
+    them.
+    """
+
+    keep: FrozenSet[int]
+    dropped_conditioning: FrozenSet[int]
+    influencers: FrozenSet[str]
+    observed: FrozenSet[str]
+    graph: DiGraph
+
+
+def _name_summaries(
+    lowered: Lowered, dd: CfgDataDeps, keep: FrozenSet[int]
+) -> Tuple[FrozenSet[str], FrozenSet[str], DiGraph]:
+    """Variable-name views of a node-level slice (see
+    :class:`CfgSliceInfo`): kept targets + kept condition reads as the
+    influencer set, conditioning reads/tokens as the observed set, and
+    a use→target dependence graph for the DOT/explain surfaces."""
+    influencers = set()
+    observed = set()
+    graph = DiGraph()
+    cfg = lowered.cfg
+    for node in cfg.iter_nodes():
+        target: Optional[str] = dd.defs.get(node.id)
+        token = lowered.tokens.get(node.id)
+        if target is None and token is not None:
+            target = token
+        if target is not None:
+            graph.add_vertex(target)
+            for used in dd.uses.get(node.id, ()):
+                graph.add_edge(used, target)
+        if node.id in keep:
+            if target is not None:
+                influencers.add(target)
+            influencers |= dd.uses.get(node.id, frozenset())
+    from ..core.ast import Factor, Observe, ObserveSample
+
+    for node_id in conditioning_nodes(lowered):
+        node = cfg.nodes[node_id]
+        if node.kind == "loop":
+            observed |= free_vars(node.cond)
+        elif isinstance(node.stmt, Observe):
+            observed |= free_vars(node.stmt.cond)
+        elif isinstance(node.stmt, (ObserveSample, Factor)):
+            observed.add(lowered.tokens[node_id])
+    if lowered.ret is not None:
+        influencers |= free_vars(lowered.ret)
+    return frozenset(influencers), frozenset(observed), graph
+
+
+def ab_slice_info(
+    lowered: Lowered, dd: Optional[CfgDataDeps] = None
+) -> CfgSliceInfo:
+    """Compute the AB weak-slice decision for a lowered program."""
+    if dd is None:
+        dd = data_dependence(lowered)
+    cfg = lowered.cfg
+    keep = set(weak_slice_closure(cfg, dd, dd.ret_deps))
+    pending = list(conditioning_nodes(lowered))
+    cones: Dict[int, FrozenSet[int]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for c in pending:
+            if c in keep:
+                continue
+            cone = cones.get(c)
+            if cone is None:
+                cone = weak_slice_closure(cfg, dd, frozenset([c]))
+                cones[c] = cone
+            if cone & keep:
+                keep = set(weak_slice_closure(cfg, dd, keep | {c}))
+                changed = True
+    kept = frozenset(keep)
+    dropped = frozenset(
+        c for c in conditioning_nodes(lowered) if c not in kept
+    )
+    influencers, observed, graph = _name_summaries(lowered, dd, kept)
+    return CfgSliceInfo(
+        keep=kept,
+        dropped_conditioning=dropped,
+        influencers=influencers,
+        observed=observed,
+        graph=graph,
+    )
+
+
+def ab_slice_lowered(lowered: Lowered, info: CfgSliceInfo) -> Program:
+    """Raise the kept node set back to a program (the pass pipeline's
+    entry point — reuses the one cached lowering)."""
+    keep = info.keep
+    return raise_program(lowered, lambda node_id: node_id in keep)
+
+
+def ab_slice(program: Program) -> Program:
+    """One-shot convenience: AB-slice ``program`` directly (no OBS
+    pre-pass, no pass manager — tests and exploration)."""
+    lowered = lower(program)
+    return ab_slice_lowered(lowered, ab_slice_info(lowered))

@@ -201,6 +201,7 @@ def run_sli(
     simplify: bool = False,
     svf_hoist_variables: bool = False,
     factorize: bool = False,
+    slicer: str = "svf",
     verify: bool = False,
     spot_check_seeds: Sequence[int] = (),
     on_after_pass=None,
@@ -209,16 +210,20 @@ def run_sli(
 
     The context exposes the cached analyses (``transformed_lowered``
     feeds ``--emit-cfg`` without re-lowering) and the per-analysis
-    computed/reused counts.  ``verify=True`` re-validates the program
-    after every pass; ``spot_check_seeds`` additionally replays seeds
-    through the interpreter across every distribution-preserving pass.
-    ``on_after_pass(pazz, ctx)`` observes each pass as it completes
-    (the CLI's ``--print-after-each``).
+    computed/reused counts.  ``slicer`` names the slicing theory
+    (:data:`repro.passes.SLICER_REGISTRY`); ``verify=True``
+    re-validates the program after every pass; ``spot_check_seeds``
+    additionally replays seeds through the interpreter across every
+    distribution-preserving pass (slicer passes get the uniform
+    distribution spot-check instead).  ``on_after_pass(pazz, ctx)``
+    observes each pass as it completes (the CLI's
+    ``--print-after-each``).
     """
-    from ..passes import PassManager, sli_passes
+    from ..passes import PassManager, slicer_passes
 
     manager = PassManager(
-        sli_passes(
+        slicer_passes(
+            slicer=slicer,
             use_obs=use_obs,
             obs_extended=obs_extended,
             simplify=simplify,
@@ -240,17 +245,24 @@ def sli(
     simplify: bool = False,
     svf_hoist_variables: bool = False,
     factorize: bool = False,
+    slicer: str = "svf",
     cache=None,
     verify: bool = False,
     spot_check_seeds: Sequence[int] = (),
 ) -> SliceResult:
-    """The paper's SLI transformation.
+    """The paper's SLI transformation, parameterized by slicing theory.
 
-    ``use_obs=False`` disables the OBS pre-pass (Ablation A);
-    ``simplify=True`` adds the constant/copy-propagation post-pass;
-    ``svf_hoist_variables=True`` applies Figure 13 literally;
-    ``factorize=True`` appends the factorisation analysis pass, so the
-    result carries a :class:`repro.transforms.factorize.FactorSet` in
+    ``slicer`` selects the theory from
+    :data:`repro.passes.SLICER_REGISTRY`: ``"svf"`` (default — the
+    paper's OBS→SVF→SSA→slice composition) or ``"ab"`` (Amtoft–
+    Banerjee weak slice sets on the CFG, no SVF/SSA detour; its slices
+    speak source variable names).  ``use_obs=False`` disables the OBS
+    pre-pass (Ablation A); ``simplify=True`` adds the
+    constant-propagation post-pass (plus copy propagation under
+    ``svf``); ``svf_hoist_variables=True`` applies Figure 13 literally
+    (``svf`` only); ``factorize=True`` appends the factorisation
+    analysis pass (``svf`` only), so the result carries a
+    :class:`repro.transforms.factorize.FactorSet` in
     :attr:`SliceResult.factors`; ``verify=True`` enables per-pass
     verification (see :mod:`repro.passes.manager`).
 
@@ -259,15 +271,17 @@ def sli(
     pipeline: it is queried via the duck-typed
     ``get_slice(program, options)`` / ``put_slice(program, options,
     result)`` pair, keyed by the program's content fingerprint mixed
-    with the pass pipeline's fingerprint
+    with the slicer name and the pass pipeline's fingerprint
     (:attr:`repro.passes.PassManager.pipeline_key`) — so structurally
-    equal programs hit regardless of object identity, and any pass or
-    pass-parameter change misses.
+    equal programs hit regardless of object identity, and any slicer,
+    pass, or pass-parameter change misses instead of serving another
+    theory's slice.
     """
-    from ..passes import PassManager, sli_passes
+    from ..passes import PassManager, slicer_passes
 
     manager = PassManager(
-        sli_passes(
+        slicer_passes(
+            slicer=slicer,
             use_obs=use_obs,
             obs_extended=obs_extended,
             simplify=simplify,
@@ -277,9 +291,12 @@ def sli(
         verify=verify,
         spot_check_seeds=spot_check_seeds,
     )
-    options: Dict[str, object] = {"pipeline": manager.pipeline_key}
+    options: Dict[str, object] = {
+        "pipeline": manager.pipeline_key,
+        "slicer": slicer,
+    }
     rec = current_recorder()
-    with rec.span("sli", simplify=simplify, use_obs=use_obs) as sp:
+    with rec.span("sli", simplify=simplify, use_obs=use_obs, slicer=slicer) as sp:
         if cache is not None:
             hit: Optional[SliceResult] = cache.get_slice(program, options)
             if hit is not None:

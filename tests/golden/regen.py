@@ -30,6 +30,7 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 SLICERS = {
     "sli": lambda p: sli(p).sliced,
     "sli-simplify": lambda p: sli(p, simplify=True).sliced,
+    "ab": lambda p: sli(p, slicer="ab").sliced,
     "naive": lambda p: naive_slice(p).sliced,
     "nt": lambda p: nt_slice(p).sliced,
 }

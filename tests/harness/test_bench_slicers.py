@@ -1,0 +1,39 @@
+"""The --slicers benchmark snapshot (BENCH_pr9.json shape)."""
+
+import json
+
+from repro.harness.bench_json import (
+    SLICER_NAMES,
+    collect_slicer_report,
+    write_slicer_json,
+)
+
+
+class TestSlicerReport:
+    def test_shape_and_verification(self):
+        report = collect_slicer_report(n_samples=60, only=["Ex5"])
+        assert report["schema"] == "repro-bench-slicers/1"
+        assert report["pr"] == 9
+        assert report["slicers"] == list(SLICER_NAMES)
+        (bench,) = report["benchmarks"]
+        assert bench["name"] == "Ex5"
+        assert bench["original_stmts"] > 0
+        assert "samples_per_sec" in bench["original_inference"]
+        for name in SLICER_NAMES:
+            cell = bench["slicers"][name]
+            assert cell["verified"] is True
+            assert set(cell["kept"]) == {"observe", "control", "data"}
+            assert set(cell["dropped"]) == {"observe", "control", "data"}
+            assert cell["sliced_stmts"] <= cell["transformed_stmts"]
+            assert "samples_per_sec" in cell["inference"]
+        assert (
+            bench["delta"]["sliced_stmts"]
+            == bench["slicers"]["ab"]["sliced_stmts"]
+            - bench["slicers"]["svf"]["sliced_stmts"]
+        )
+
+    def test_write_round_trips(self, tmp_path):
+        path = tmp_path / "BENCH_pr9.json"
+        report = write_slicer_json(str(path), n_samples=60, only=["Ex3"])
+        with open(path) as f:
+            assert json.load(f) == report

@@ -1,0 +1,207 @@
+"""Unit tests for the Amtoft–Banerjee CFG analyses: reaching
+definitions, node-level data dependence, first-relevant sets, the
+weak-slice-set closure, and conditioning-node enumeration."""
+
+from repro.core.ast import Observe, Sample
+from repro.core.parser import parse
+from repro.ir import (
+    END,
+    ReachingDefinitions,
+    conditioning_nodes,
+    data_dependence,
+    first_relevant,
+    lower,
+    node_def,
+    node_uses,
+    solve,
+    weak_slice_closure,
+)
+
+
+def lowered_of(src):
+    return lower(parse(src))
+
+
+def node_by_pred(cfg, pred):
+    matches = [n for n in cfg.iter_nodes() if pred(n)]
+    assert len(matches) == 1, matches
+    return matches[0]
+
+
+def sample_node(cfg, name):
+    return node_by_pred(
+        cfg,
+        lambda n: isinstance(n.stmt, Sample) and n.stmt.name == name,
+    )
+
+
+class TestDefsAndUses:
+    def test_sample_defines_and_uses(self):
+        low = lowered_of(
+            "x ~ Gaussian(0.0, 1.0); y ~ Gaussian(x, 1.0); return y;"
+        )
+        x = sample_node(low.cfg, "x")
+        y = sample_node(low.cfg, "y")
+        assert node_def(x) == "x"
+        assert node_def(y) == "y"
+        assert node_uses(x) == frozenset()
+        assert node_uses(y) == frozenset({"x"})
+
+    def test_observe_uses_condition(self):
+        low = lowered_of(
+            "a ~ Bernoulli(0.5); b ~ Bernoulli(0.5); observe(a || b); return a;"
+        )
+        obs = node_by_pred(low.cfg, lambda n: isinstance(n.stmt, Observe))
+        assert node_def(obs) is None
+        assert node_uses(obs) == frozenset({"a", "b"})
+
+    def test_branch_uses_condition(self):
+        low = lowered_of(
+            "a ~ Bernoulli(0.5); if (a) { b = true; } else { b = false; } return b;"
+        )
+        branch = node_by_pred(low.cfg, lambda n: n.kind == "branch")
+        assert node_uses(branch) == frozenset({"a"})
+
+
+class TestReachingDefinitions:
+    def test_straight_line_kill(self):
+        low = lowered_of("x ~ Bernoulli(0.5); x = true; return x;")
+        solution = solve(low.cfg, ReachingDefinitions())
+        reaching = solution.block_in[low.cfg.exit]
+        # Only the overwrite reaches the exit — the sample was killed.
+        assigned = {d for v, d in reaching if v == "x"}
+        sample = sample_node(low.cfg, "x")
+        assert sample.id not in assigned
+        assert len(assigned) == 1
+
+    def test_branch_merges_both_definitions(self):
+        low = lowered_of(
+            "a ~ Bernoulli(0.5);"
+            "if (a) { b = true; } else { b = false; } return b;"
+        )
+        solution = solve(low.cfg, ReachingDefinitions())
+        reaching = solution.block_in[low.cfg.exit]
+        assert len({d for v, d in reaching if v == "b"}) == 2
+
+
+class TestDataDependence:
+    def test_ret_deps_skip_dead_store(self):
+        low = lowered_of("x ~ Bernoulli(0.5); x = true; return x;")
+        dd = data_dependence(low)
+        sample = sample_node(low.cfg, "x")
+        assert sample.id not in dd.ret_deps
+        assert len(dd.ret_deps) == 1
+
+    def test_transitive_use(self):
+        low = lowered_of(
+            "x ~ Gaussian(0.0, 1.0); y ~ Gaussian(x, 1.0); return y;"
+        )
+        dd = data_dependence(low)
+        x = sample_node(low.cfg, "x")
+        y = sample_node(low.cfg, "y")
+        assert dd.deps[y.id] == frozenset({x.id})
+        assert dd.ret_deps == frozenset({y.id})
+
+    def test_no_return_expression(self):
+        low = lower(parse("x ~ Bernoulli(0.5); return x;").body)
+        assert data_dependence(low).ret_deps == frozenset()
+
+
+class TestFirstRelevant:
+    def test_empty_relevant_is_end_everywhere(self):
+        low = lowered_of(
+            "a ~ Bernoulli(0.5); if (a) { b = true; } else { b = false; } return b;"
+        )
+        first = first_relevant(low.cfg, frozenset())
+        for block in low.cfg.blocks:
+            assert first[block.id] == frozenset([END])
+
+    def test_asymmetric_branch_disagrees(self):
+        low = lowered_of(
+            "a ~ Bernoulli(0.5); if (a) { b = true; } else { c = true; } return a;"
+        )
+        b = node_by_pred(
+            low.cfg, lambda n: node_def(n) == "b" and n.kind != "decl"
+        )
+        first = first_relevant(low.cfg, frozenset([b.id]))
+        branch_block = next(
+            blk
+            for blk in low.cfg.blocks
+            if low.cfg.branch_node_of_block(blk.id) is not None
+        )
+        succ_sets = {first[s] for s in branch_block.succ}
+        assert len(succ_sets) == 2  # one arm sees b first, the other END
+
+
+class TestWeakSliceClosure:
+    def test_return_cone_only(self):
+        low = lowered_of(
+            "x ~ Gaussian(0.0, 1.0); z ~ Bernoulli(0.9);"
+            "y ~ Gaussian(x, 1.0); return y;"
+        )
+        dd = data_dependence(low)
+        q = weak_slice_closure(low.cfg, dd, dd.ret_deps)
+        x = sample_node(low.cfg, "x")
+        y = sample_node(low.cfg, "y")
+        z = sample_node(low.cfg, "z")
+        assert x.id in q and y.id in q
+        assert z.id not in q
+
+    def test_branch_promoted_when_arm_defines_member(self):
+        low = lowered_of(
+            "a ~ Bernoulli(0.5); b = false;"
+            "if (a) { b = true; } return b;"
+        )
+        dd = data_dependence(low)
+        q = weak_slice_closure(low.cfg, dd, dd.ret_deps)
+        branch = node_by_pred(low.cfg, lambda n: n.kind == "branch")
+        a = sample_node(low.cfg, "a")
+        assert branch.id in q  # paths disagree on the first b-def seen
+        assert a.id in q  # ...and pulling in the branch pulls its cone
+
+    def test_innocent_branch_not_promoted(self):
+        # The branch picks between two statements that are both outside
+        # the slice: its arms agree on the first relevant node (END via
+        # the return dep), so it must stay out.
+        low = lowered_of(
+            "a ~ Bernoulli(0.5); r ~ Bernoulli(0.3);"
+            "if (a) { u = true; } else { u = false; } return r;"
+        )
+        dd = data_dependence(low)
+        q = weak_slice_closure(low.cfg, dd, dd.ret_deps)
+        branch = node_by_pred(low.cfg, lambda n: n.kind == "branch")
+        assert branch.id not in q
+        assert sample_node(low.cfg, "a").id not in q
+
+    def test_result_is_data_closed(self):
+        low = lowered_of(
+            "a ~ Bernoulli(0.5);"
+            "if (a) { b ~ Bernoulli(0.9); } else { b ~ Bernoulli(0.1); }"
+            "if (b) { c = true; } else { c = false; } return c;"
+        )
+        dd = data_dependence(low)
+        q = weak_slice_closure(low.cfg, dd, dd.ret_deps)
+        for n in q:
+            assert dd.deps.get(n, frozenset()) <= q
+
+
+class TestConditioningNodes:
+    def test_observes_factors_and_loops(self):
+        low = lowered_of(
+            """
+a ~ Bernoulli(0.5);
+observe(a);
+factor(-1.5);
+c ~ Bernoulli(0.5);
+while (c) { c ~ Bernoulli(0.4); }
+return a;
+"""
+        )
+        nodes = conditioning_nodes(low)
+        kinds = [low.cfg.nodes[n].kind for n in nodes]
+        assert kinds.count("loop") == 1
+        assert len(nodes) == 3
+
+    def test_plain_program_has_none(self):
+        low = lowered_of("x ~ Bernoulli(0.5); return x;")
+        assert conditioning_nodes(low) == ()

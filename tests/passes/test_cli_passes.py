@@ -97,6 +97,61 @@ class TestVerifyEach:
         assert line.split()[-1] == "1"
 
 
+class TestSlicerFlag:
+    def test_default_is_svf(self, model_file, capsys):
+        assert main([model_file]) == 0
+        default = capsys.readouterr().out
+        assert main([model_file, "--slicer", "svf"]) == 0
+        assert capsys.readouterr().out == default
+
+    def test_ab_slicer_speaks_source_names(self, model_file, capsys):
+        assert main([model_file, "--slicer", "ab"]) == 0
+        out = capsys.readouterr().out
+        # No SVF helper variables and no SSA suffixes in an AB slice.
+        assert "q1" not in out
+        assert "l" in out
+
+    def test_ab_matches_explicit_cfgslice_pipeline(self, model_file, capsys):
+        assert main([model_file, "--slicer", "ab"]) == 0
+        via_flag = capsys.readouterr().out
+        assert main([model_file, "--passes", "obs,cfgslice"]) == 0
+        assert capsys.readouterr().out == via_flag
+
+    def test_unknown_slicer_is_usage_error(self, model_file, capsys):
+        assert main([model_file, "--slicer", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown slicer" in err
+        assert "ab" in err and "svf" in err
+
+    def test_ab_rejects_factorize(self, model_file, capsys):
+        assert main([model_file, "--slicer", "ab", "--factorize"]) == 2
+        assert "svf" in capsys.readouterr().err
+
+    def test_ab_verify_each_green(self, model_file, capsys):
+        assert main([model_file, "--slicer", "ab", "--verify-each"]) == 0
+
+    def test_ab_exact_agrees(self, model_file, capsys):
+        assert main([model_file, "--slicer", "ab", "--exact"]) == 0
+        assert "// agree: True" in capsys.readouterr().out
+
+    def test_ab_emit_cfg(self, model_file, capsys):
+        assert main([model_file, "--slicer", "ab", "--emit-cfg"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_ab_metrics_show_one_lowering(self, model_file, capsys):
+        assert main(
+            [model_file, "--slicer", "ab", "--metrics-summary"]
+        ) == 0
+        captured = capsys.readouterr()
+        text = captured.out + captured.err
+        line = next(
+            ln
+            for ln in text.splitlines()
+            if "passes.analysis.computed.lowered" in ln
+        )
+        assert line.split()[-1] == "1"
+
+
 class TestEmitCfgUsesContext:
     def test_emit_cfg_still_works(self, model_file, capsys):
         assert main([model_file, "--emit-cfg"]) == 0

@@ -170,8 +170,8 @@ class TestBuildPipeline:
 
     def test_registry_covers_library(self):
         assert set(PASS_REGISTRY) == {
-            "obs", "svf", "ssa", "slice", "constprop", "copyprop",
-            "factorize",
+            "obs", "svf", "ssa", "slice", "cfgslice", "constprop",
+            "copyprop", "factorize",
         }
 
     def test_bad_closure_rejected(self):

@@ -90,6 +90,7 @@ class TestVariants:
             "sli",
             "sli+simplify",
             "sli-no-obs",
+            "sli-ab",
             "nt_slice",
             "naive_slice",
         ]

@@ -1,0 +1,154 @@
+"""The slicer-arbitration oracle: both slicing theories must agree
+with the original's distribution; size divergence is recorded data."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.parser import parse
+from repro.obs import TraceRecorder, use_recorder
+from repro.qa.oracles import (
+    OracleConfig,
+    SlicerArbitrationOracle,
+    chi_square_homogeneity,
+    default_oracle_names,
+    make_oracles,
+)
+from repro.semantics.distribution import FiniteDist
+from repro.transforms import sli
+
+ENUMERABLE = """
+d ~ Bernoulli(0.6);
+i ~ Bernoulli(0.7);
+if (d && i) { g ~ Bernoulli(0.9); } else { g ~ Bernoulli(0.3); }
+s ~ Bernoulli(0.75);
+l ~ Bernoulli(0.1);
+observe(g || s);
+return l;
+"""
+
+# The Gaussian latent blocks enumeration, forcing the sampler fallback;
+# the return variable stays discrete so the test has power.
+CONTINUOUS_LATENT = """
+x ~ Gaussian(0.0, 1.0);
+b ~ Bernoulli(0.5);
+y ~ Bernoulli(0.3);
+observe(b || y);
+return b;
+"""
+
+
+class TestRegistry:
+    def test_in_default_names(self):
+        assert "slicers" in default_oracle_names()
+
+    def test_make_oracles_builds_it(self):
+        names = [o.name for o in make_oracles()]
+        assert "slicers" in names
+
+
+class TestCleanPrograms:
+    def test_enumerable_program_passes(self):
+        oracle = SlicerArbitrationOracle(OracleConfig())
+        assert oracle.check(parse(ENUMERABLE)) == []
+
+    def test_sampler_fallback_passes(self):
+        oracle = SlicerArbitrationOracle(OracleConfig())
+        assert oracle.check(parse(CONTINUOUS_LATENT)) == []
+
+    def test_size_record_shape(self):
+        oracle = SlicerArbitrationOracle(OracleConfig())
+        oracle.check(parse(ENUMERABLE))
+        (record,) = oracle.size_records
+        assert set(record) == {
+            "fingerprint",
+            "original_stmts",
+            "svf",
+            "ab",
+            "delta",
+        }
+        for slicer in ("svf", "ab"):
+            assert set(record[slicer]) == {
+                "transformed_stmts",
+                "sliced_stmts",
+                "kept",
+            }
+
+    def test_size_counters_recorded(self):
+        oracle = SlicerArbitrationOracle(OracleConfig())
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            oracle.check(parse(ENUMERABLE))
+        assert any(k.startswith("qa.slicers.") for k in rec.counters)
+
+
+class TestDetection:
+    def test_exact_path_flags_wrong_slice(self):
+        oracle = SlicerArbitrationOracle(OracleConfig())
+        program = parse(ENUMERABLE)
+        from repro.semantics.exact import exact_inference
+
+        base = exact_inference(program)
+        wrong = dataclasses.replace(
+            sli(program, slicer="ab"), sliced=parse("return true;")
+        )
+        out = oracle._check_exact("ab", wrong, base)
+        assert len(out) == 1
+        assert out[0].kind == "distribution"
+        assert out[0].subject == "sli[ab]"
+
+    def test_sampled_path_flags_wrong_slice(self):
+        oracle = SlicerArbitrationOracle(
+            OracleConfig(n_comparisons=1000)
+        )
+        program = parse(CONTINUOUS_LATENT)
+        # "Slice" that forgot the observe: the marginal of b shifts
+        # from ~0.59 back to 0.5 — the homogeneity test must notice.
+        wrong = dataclasses.replace(
+            sli(program, slicer="ab"),
+            sliced=parse("b ~ Bernoulli(0.5); return b;"),
+        )
+        out = oracle._check_sampled("ab", program, wrong)
+        assert len(out) == 1
+        assert out[0].kind == "statistical"
+
+    def test_crashing_slicer_reported(self, monkeypatch):
+        oracle = SlicerArbitrationOracle(OracleConfig())
+
+        def broken_sli(program, slicer="svf", **kwargs):
+            if slicer == "ab":
+                raise RuntimeError("kaboom")
+            return sli(program, slicer=slicer, **kwargs)
+
+        monkeypatch.setattr("repro.qa.oracles.sli", broken_sli)
+        out = oracle.check(parse(ENUMERABLE))
+        assert any(
+            d.kind == "crash" and d.subject == "sli[ab]" for d in out
+        )
+        # No joint size record when one theory failed to produce.
+        assert oracle.size_records == []
+
+
+class TestHomogeneity:
+    def test_identical_distributions_pass(self):
+        d = FiniteDist({True: 0.3, False: 0.7})
+        p, _, _ = chi_square_homogeneity(d, 1000, d, 1000)
+        assert p == pytest.approx(1.0)
+
+    def test_disjoint_support_fails(self):
+        a = FiniteDist({0: 1.0})
+        b = FiniteDist({1: 1.0})
+        p, _, _ = chi_square_homogeneity(a, 500, b, 500)
+        assert p < 1e-6
+
+    def test_shifted_bernoulli_fails(self):
+        a = FiniteDist({True: 0.5, False: 0.5})
+        b = FiniteDist({True: 0.9, False: 0.1})
+        p, _, _ = chi_square_homogeneity(a, 1000, b, 1000)
+        assert p < 1e-6
+
+    def test_small_counts_pool_without_crashing(self):
+        a = FiniteDist({0: 0.99, 1: 0.01})
+        b = FiniteDist({0: 0.98, 1: 0.02})
+        p, stat, dof = chi_square_homogeneity(a, 60, b, 60)
+        assert 0.0 <= p <= 1.0

@@ -16,8 +16,11 @@ from repro.transforms.pipeline import sli
 from repro.passes import PassManager, sli_passes
 
 #: The sli() defaults, as get_slice/put_slice see them: entries are
-#: keyed on the pass pipeline's fingerprint.
-SLICE_OPTIONS = {"pipeline": PassManager(sli_passes()).pipeline_key}
+#: keyed on the pass pipeline's fingerprint plus the slicer name.
+SLICE_OPTIONS = {
+    "pipeline": PassManager(sli_passes()).pipeline_key,
+    "slicer": "svf",
+}
 
 
 @pytest.fixture(autouse=True)

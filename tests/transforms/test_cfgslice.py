@@ -1,0 +1,194 @@
+"""The Amtoft–Banerjee CFG slicer: worked examples, the conditioning
+arbitration, and the distribution-preservation property the theory
+guarantees (hypothesis-driven, exact where enumerable)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.ast import statement_count
+from repro.core.parser import parse
+from repro.core.printer import pretty
+from repro.ir import lower
+from repro.semantics.exact import ExactEngineError, exact_inference
+from repro.transforms import ab_slice, ab_slice_info, sli
+from tests.strategies import programs
+
+
+def ab(src):
+    return ab_slice(parse(src))
+
+
+class TestWorkedExamples:
+    def test_v_structure_observe_kept(self):
+        # Observing g opens an active trail from the return variable's
+        # cone into g's cone: the observe's cone intersects Q, so the
+        # arbitration must keep it (Example 4 is exactly the program
+        # naive slicing gets wrong).
+        out = ab(
+            """
+d ~ Bernoulli(0.6);
+i ~ Bernoulli(0.7);
+if (d && i) { g ~ Bernoulli(0.9); } else { g ~ Bernoulli(0.3); }
+s ~ Bernoulli(0.75);
+observe(g || s);
+if (g) { l ~ Bernoulli(0.6); } else { l ~ Bernoulli(0.1); }
+return l;
+"""
+        )
+        text = pretty(out)
+        assert "observe" in text
+        assert "s ~" in text  # s feeds the kept observe
+
+    def test_independent_observe_dropped(self):
+        out = ab(
+            """
+l ~ Bernoulli(0.1);
+s ~ Bernoulli(0.75);
+observe(s);
+return l;
+"""
+        )
+        text = pretty(out)
+        assert "observe" not in text
+        assert "s ~" not in text
+
+    def test_dead_store_dropped(self):
+        # Node-level precision SSA-free slicing is supposed to retain:
+        # the sampled x is overwritten before any use.
+        out = ab("x ~ Bernoulli(0.5); x = true; return x;")
+        text = pretty(out)
+        assert "~" not in text
+        assert "x = true;" in text
+
+    def test_return_correlated_loop_kept(self):
+        out = ab(
+            """
+c ~ Bernoulli(0.5);
+while (c) { c ~ Bernoulli(0.4); }
+return c;
+"""
+        )
+        assert "while" in pretty(out)
+
+    def test_independent_loop_dropped(self):
+        out = ab(
+            """
+l ~ Bernoulli(0.1);
+c ~ Bernoulli(0.5);
+while (c) { c ~ Bernoulli(0.4); }
+return l;
+"""
+        )
+        text = pretty(out)
+        assert "while" not in text
+        assert "c ~" not in text
+
+    def test_chained_conditioning_cones_merge(self):
+        # Keeping one observe can drag another observe's cone into Q;
+        # the arbitration loop must re-run until no cone intersects.
+        out = ab(
+            """
+a ~ Bernoulli(0.5);
+b ~ Bernoulli(0.5);
+c ~ Bernoulli(0.5);
+observe(a || b);
+observe(b || c);
+return a;
+"""
+        )
+        text = pretty(out)
+        assert text.count("observe") == 2
+        assert "c ~" in text
+
+
+class TestSliceInfo:
+    def test_dropped_conditioning_recorded(self):
+        lowered = lower(
+            parse("l ~ Bernoulli(0.1); s ~ Bernoulli(0.75); observe(s); return l;")
+        )
+        info = ab_slice_info(lowered)
+        assert len(info.dropped_conditioning) == 1
+        assert info.keep and info.dropped_conditioning.isdisjoint(info.keep)
+
+    def test_name_summaries_mirror_svf_artifacts(self):
+        lowered = lower(
+            parse(
+                "a ~ Bernoulli(0.5); b ~ Bernoulli(0.5);"
+                "observe(a || b); return a;"
+            )
+        )
+        info = ab_slice_info(lowered)
+        assert "a" in info.influencers
+        assert {"a", "b"} <= set(info.observed)
+        assert info.graph.vertices()
+
+
+class TestDistributionPreservation:
+    EXAMPLES = [
+        # (program, reason it is interesting)
+        """
+d ~ Bernoulli(0.6);
+i ~ Bernoulli(0.7);
+if (d && i) { g ~ Bernoulli(0.9); } else { g ~ Bernoulli(0.3); }
+s ~ Bernoulli(0.75);
+l ~ Bernoulli(0.1);
+observe(g || s);
+return l;
+""",
+        """
+a ~ Bernoulli(0.5);
+b ~ Bernoulli(0.5);
+observe(a || b);
+return a;
+""",
+        """
+c ~ Bernoulli(0.8);
+n = 0;
+while (c) { n = n + 1; c ~ Bernoulli(0.2); }
+u ~ Bernoulli(0.5);
+return n;
+""",
+        "x ~ Bernoulli(0.5); x = true; observe(x); return x;",
+    ]
+
+    @pytest.mark.parametrize("src", EXAMPLES)
+    def test_exact_tv_zero(self, src):
+        program = parse(src)
+        base = exact_inference(program).distribution
+        got = exact_inference(ab_slice(program)).distribution
+        assert base.allclose(got, atol=1e-9)
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(programs())
+    def test_property_ab_preserves_exact_distribution(self, program):
+        try:
+            base = exact_inference(program).distribution
+        except (ValueError, ExactEngineError):
+            return
+        sliced = ab_slice(program)
+        assert statement_count(sliced.body) <= statement_count(program.body)
+        got = exact_inference(sliced).distribution
+        assert base.allclose(got, atol=1e-9)
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(programs())
+    def test_property_pipeline_ab_matches_direct_theory_on_exact(
+        self, program
+    ):
+        # The full sli(slicer="ab") pipeline adds the OBS pre-pass and
+        # per-pass bookkeeping but must stay distribution-equivalent.
+        try:
+            base = exact_inference(program).distribution
+        except (ValueError, ExactEngineError):
+            return
+        result = sli(program, slicer="ab")
+        got = exact_inference(result.sliced).distribution
+        assert base.allclose(got, atol=1e-9)
