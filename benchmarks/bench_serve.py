@@ -1,0 +1,292 @@
+"""Load-test client for ``repro.serve`` — emits ``BENCH_serve.json``.
+
+Boots the real :class:`~repro.serve.app.HttpServer` on an ephemeral
+port (port 0 — no collisions), then drives a seeded warm/cold tenant
+mix over actual HTTP with ``http.client``:
+
+* *warm* tenants resubmit one shared program, so every request after
+  the first is served from the :class:`ProgramCache` (no ``pass.*``
+  stages run);
+* *cold* tenants each submit a distinct program, paying the full
+  slice+compile pipeline every time.
+
+The report captures end-to-end submit latency (p50/p90/p99), completed
+jobs per second, and the cache hit rate as the service itself counted
+it (``/v1/stats``), plus the per-job stage-seconds split so the
+warm-vs-cold gap is visible in the artifact::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py -o BENCH_serve.json
+
+Stdlib only, like the server under test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import http.client
+import json
+import platform
+import statistics
+import sys
+import threading
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runtime.cache import ProgramCache  # noqa: E402
+from repro.serve.app import HttpServer, ServeApp  # noqa: E402
+from repro.serve.runner import LocalRunner  # noqa: E402
+
+WARM_PROGRAM = (
+    "bool c, d; c ~ Bernoulli(0.5); d ~ Bernoulli(0.5); "
+    "observe(c || d); return c;"
+)
+
+#: Distinct programs for the cold tenants: each ``|| false`` suffix
+#: changes the fingerprint without changing the posterior.
+def cold_program(i: int) -> str:
+    return (
+        f"bool c; c ~ Bernoulli(0.5); observe(c{' || false' * (i + 1)}); "
+        "return c;"
+    )
+
+
+def percentile(values: List[float], q: float) -> float:
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    k = min(len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1))))
+    return ordered[k]
+
+
+class ServerHandle:
+    """The HttpServer on its own loop thread, torn down cleanly."""
+
+    def __init__(self, workers: int) -> None:
+        self.cache = ProgramCache()
+        self.app = ServeApp(
+            runner=LocalRunner(cache=self.cache),
+            cache=self.cache,
+            workers=workers,
+            tenant_rate=10_000.0,
+            tenant_burst=10_000.0,
+            tenant_max_inflight=10_000,
+        )
+        self._info: Dict[str, Any] = {}
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            server = HttpServer(self.app, port=0)
+            await server.start()
+            self._info["server"] = server
+            self._info["loop"] = asyncio.get_running_loop()
+            self.port = server.port
+            self._ready.set()
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "ServerHandle":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("serve failed to boot")
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self._info["server"].shutdown(timeout=30), self._info["loop"]
+        )
+        future.result(timeout=60)
+        self._thread.join(timeout=10)
+
+    def request(self, method: str, path: str, body: Any = None) -> Any:
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=60)
+        try:
+            conn.request(
+                method,
+                path,
+                body=None if body is None else json.dumps(body),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            if response.status >= 400:
+                raise RuntimeError(f"{method} {path} -> {response.status}: {payload}")
+            return payload
+        finally:
+            conn.close()
+
+
+def run_load(
+    handle: ServerHandle,
+    n_warm: int,
+    n_cold: int,
+    samples: int,
+    engine: str,
+) -> Dict[str, Any]:
+    jobs: List[Dict[str, Any]] = []
+
+    def submit(tenant: str, program: str, kind: str) -> None:
+        t0 = time.perf_counter()
+        body = handle.request(
+            "POST",
+            "/v1/jobs",
+            {
+                "program": program,
+                "tenant": tenant,
+                "engine": engine,
+                "samples": samples,
+                "seed": 1234 + len(jobs),
+                "cadence": 0.05,
+            },
+        )
+        jobs.append(
+            {
+                "id": body["id"],
+                "kind": kind,
+                "submit_seconds": time.perf_counter() - t0,
+            }
+        )
+
+    # One priming request warms the shared fingerprint, then the mix.
+    submit("warm-0", WARM_PROGRAM, "warm-prime")
+    for i in range(n_warm):
+        submit(f"warm-{i % 2}", WARM_PROGRAM, "warm")
+    for i in range(n_cold):
+        submit(f"cold-{i % 2}", cold_program(i), "cold")
+
+    # Drain: poll each job to terminal state (bounded, event-paced by
+    # the server's own completion — this is a bench, sleeps are fine).
+    t_drain0 = time.perf_counter()
+    deadline = t_drain0 + 300
+    for job in jobs:
+        while True:
+            body = handle.request("GET", f"/v1/jobs/{job['id']}")
+            if body["status"] in ("done", "failed", "deadline", "cancelled"):
+                job["status"] = body["status"]
+                job["cache"] = body["cache"]
+                job["stage_seconds"] = body["stage_seconds"]
+                break
+            if time.perf_counter() > deadline:
+                raise RuntimeError(f"job {job['id']} never finished")
+            time.sleep(0.01)
+    wall = time.perf_counter() - t_drain0
+
+    return {"jobs": jobs, "drain_seconds": wall}
+
+
+def summarize(load: Dict[str, Any], stats: Dict[str, Any]) -> Dict[str, Any]:
+    jobs = load["jobs"]
+    latencies = [job["submit_seconds"] for job in jobs]
+    by_kind: Dict[str, Any] = {}
+    for kind in ("warm", "cold"):
+        subset = [j for j in jobs if j["kind"] == kind]
+        if not subset:
+            continue
+        pass_seconds = [
+            sum(v for k, v in j["stage_seconds"].items() if k.startswith("pass."))
+            for j in subset
+        ]
+        by_kind[kind] = {
+            "n": len(subset),
+            "cache_hits": sum(1 for j in subset if j["cache"] == "hit"),
+            "mean_pass_seconds": statistics.mean(pass_seconds),
+        }
+    counters = stats["scheduler"]["counters"]
+    finished = sum(
+        v for k, v in counters.items() if k.startswith("finished.")
+    )
+    return {
+        "n_requests": len(jobs),
+        "statuses": {
+            status: sum(1 for j in jobs if j["status"] == status)
+            for status in sorted({j["status"] for j in jobs})
+        },
+        "submit_latency_seconds": {
+            "p50": round(percentile(latencies, 50), 6),
+            "p90": round(percentile(latencies, 90), 6),
+            "p99": round(percentile(latencies, 99), 6),
+            "max": round(max(latencies), 6),
+        },
+        "requests_per_second": round(finished / load["drain_seconds"], 2),
+        "cache": {
+            "hit_rate": round(
+                counters.get("cache.hit", 0)
+                / max(1, counters.get("cache.hit", 0) + counters.get("cache.miss", 0)),
+                4,
+            ),
+            "scheduler_hits": counters.get("cache.hit", 0),
+            "scheduler_misses": counters.get("cache.miss", 0),
+            "slice_hits": stats["cache"]["slice_hits"],
+            "slice_misses": stats["cache"]["slice_misses"],
+            "flight_waits": stats["cache"]["flight_waits"],
+        },
+        "by_kind": by_kind,
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="BENCH_serve.json")
+    parser.add_argument("--warm", type=int, default=12,
+                        help="requests against the shared warm program")
+    parser.add_argument("--cold", type=int, default=6,
+                        help="requests each with a fresh fingerprint")
+    parser.add_argument("--samples", type=int, default=400)
+    parser.add_argument("--engine", default="importance")
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    with ServerHandle(workers=args.workers) as handle:
+        load = run_load(handle, args.warm, args.cold, args.samples, args.engine)
+        stats = handle.request("GET", "/v1/stats")
+        handle.app.runner.join(timeout=60)
+
+    summary = summarize(load, stats)
+    report = {
+        "schema": "repro-bench-serve/1",
+        "generated_at": datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%S%z"
+        ),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "config": {
+            "warm": args.warm,
+            "cold": args.cold,
+            "samples": args.samples,
+            "engine": args.engine,
+            "workers": args.workers,
+        },
+        "summary": summary,
+        "jobs": load["jobs"],
+    }
+    Path(args.output).write_text(json.dumps(report, indent=1) + "\n")
+
+    latency = summary["submit_latency_seconds"]
+    print(
+        f"{summary['n_requests']} requests  "
+        f"p50={latency['p50'] * 1000:.1f}ms  "
+        f"p99={latency['p99'] * 1000:.1f}ms  "
+        f"{summary['requests_per_second']} req/s  "
+        f"cache hit rate {summary['cache']['hit_rate']:.0%}"
+    )
+    # The warm mix must actually hit: every warm request after the
+    # prime shares one fingerprint.
+    warm = summary["by_kind"].get("warm")
+    if warm and warm["cache_hits"] == 0:
+        print("FAIL: warm tenants never hit the cache", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

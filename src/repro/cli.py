@@ -51,6 +51,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "Slice a PROB probabilistic program with respect to its "
             "return expression (Hur et al., PLDI 2014)."
         ),
+        epilog=(
+            "This is the one-shot frontend; `python -m repro.serve` runs "
+            "the same pipeline as an always-on HTTP service (submit/poll "
+            "jobs, SSE snapshot streams, cache-warmed multi-tenancy)."
+        ),
     )
     parser.add_argument(
         "file", nargs="?", help="PROB source file ('-' for stdin)"

@@ -4,6 +4,7 @@
 from .base import (
     Engine,
     InferenceError,
+    InferenceCancelled,
     InferenceResult,
     InferenceTimeout,
     InitializationError,
@@ -35,6 +36,7 @@ from .tracemh import ChurchTraceMH
 __all__ = [
     "Engine",
     "InferenceError",
+    "InferenceCancelled",
     "InferenceResult",
     "InferenceTimeout",
     "InitializationError",

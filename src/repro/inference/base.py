@@ -21,6 +21,7 @@ __all__ = [
     "InferenceError",
     "UnsupportedProgramError",
     "InferenceTimeout",
+    "InferenceCancelled",
     "InitializationError",
     "InferenceResult",
     "Engine",
@@ -51,6 +52,16 @@ class InferenceTimeout(InferenceError):
     """The engine exceeded its wall-clock budget — this is how the
     paper's 'Church does not terminate on the original program' rows
     manifest in our harness."""
+
+
+class InferenceCancelled(InferenceError):
+    """The run was cancelled cooperatively before it finished.
+
+    Raised by the :class:`repro.runtime.parallel.ParallelRunner` when
+    its ``cancel`` hook turns true mid-run, and by ``repro.serve``'s
+    deadline enforcement (a snapshot subscriber raises it inside the
+    engine's thread).  Engines themselves never raise it.
+    """
 
 
 class InitializationError(InferenceError):

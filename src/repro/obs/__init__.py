@@ -45,6 +45,7 @@ from .live import (
     MetricsRegistry,
     Snapshot,
     SnapshotRecorder,
+    SnapshotSink,
     SnapshotStreamWriter,
     TimeSeries,
     snapshot_to_prometheus,
@@ -75,6 +76,7 @@ __all__ = [
     "MetricsRegistry",
     "Snapshot",
     "SnapshotRecorder",
+    "SnapshotSink",
     "SnapshotStreamWriter",
     "TimeSeries",
     "snapshot_to_prometheus",

@@ -63,6 +63,7 @@ __all__ = [
     "MetricsRegistry",
     "Snapshot",
     "SnapshotRecorder",
+    "SnapshotSink",
     "SnapshotStreamWriter",
     "snapshot_to_prometheus",
 ]
@@ -591,20 +592,78 @@ class SnapshotRecorder:
 
 
 # ---------------------------------------------------------------------------
+# Sinks
+# ---------------------------------------------------------------------------
+
+
+class SnapshotSink:
+    """The consumer contract every snapshot sink implements.
+
+    A *sink* is anything a :class:`SnapshotRecorder` publishes to that
+    has a lifetime: the ``--watch`` dashboard, the NDJSON stream
+    writer, and ``repro.serve``'s per-job SSE bridge all subclass
+    this.  The contract exists so every sink shares one delivery
+    discipline instead of each reinventing (and mis-handling) the
+    finalize edge:
+
+    * ``__call__`` — the subscriber entry point.  It records the
+      snapshot (``last_snapshot``, ``n_received``) *before* handing it
+      to :meth:`on_snapshot`, so a snapshot published during engine
+      finalize — after the last cadence window, possibly after the
+      sink's consumer stopped caring — is always retained even if the
+      subclass throttles or defers its visible effect.
+    * ``close()`` — idempotent.  Calls :meth:`flush` exactly once, so
+      any effect a throttled :meth:`on_snapshot` deferred (a pending
+      dashboard render, a buffered SSE frame) is emitted rather than
+      dropped.  Delivery after ``close()`` still updates
+      ``last_snapshot`` (nothing is silently lost) but subclasses may
+      skip side effects via ``self.closed``.
+
+    Subclasses implement :meth:`on_snapshot` and optionally
+    :meth:`flush`.
+    """
+
+    def __init__(self) -> None:
+        self.last_snapshot: Optional[Snapshot] = None
+        self.n_received = 0
+        self.closed = False
+
+    def __call__(self, snapshot: Snapshot) -> None:
+        self.last_snapshot = snapshot
+        self.n_received += 1
+        self.on_snapshot(snapshot)
+
+    def on_snapshot(self, snapshot: Snapshot) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Emit any deferred effect; called once by :meth:`close`."""
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        try:
+            self.flush()
+        finally:
+            self.closed = True
+
+
+# ---------------------------------------------------------------------------
 # Wire formats
 # ---------------------------------------------------------------------------
 
 
-class SnapshotStreamWriter:
+class SnapshotStreamWriter(SnapshotSink):
     """Incremental NDJSON snapshot stream (``--stream-metrics FILE|-``).
 
     One :meth:`Snapshot.to_dict` JSON object per line, flushed as it is
-    written so a tailing consumer (or the future SSE endpoint) sees
-    snapshots the moment they publish.  Validated by
+    written so a tailing consumer (or the ``repro.serve`` SSE bridge)
+    sees snapshots the moment they publish.  Validated by
     ``python -m repro.obs.validate --schema snapshot``.
     """
 
     def __init__(self, dest: Union[str, IO[str]]) -> None:
+        super().__init__()
         self._owns = False
         if dest == "-":
             self.stream: IO[str] = sys.stdout
@@ -615,7 +674,9 @@ class SnapshotStreamWriter:
             self.stream = dest
         self.n_written = 0
 
-    def __call__(self, snapshot: Snapshot) -> None:
+    def on_snapshot(self, snapshot: Snapshot) -> None:
+        if self.closed:
+            return
         self.stream.write(
             json.dumps(snapshot.to_dict(), allow_nan=False, default=repr)
         )
@@ -623,7 +684,16 @@ class SnapshotStreamWriter:
         self.stream.flush()
         self.n_written += 1
 
+    def flush(self) -> None:
+        try:
+            self.stream.flush()
+        except ValueError:  # already-closed underlying file
+            pass
+
     def close(self) -> None:
+        if self.closed:
+            return
+        super().close()
         if self._owns:
             self.stream.close()
             self._owns = False

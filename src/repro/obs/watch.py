@@ -19,7 +19,7 @@ import sys
 import time
 from typing import Any, Dict, IO, List, Optional, Tuple
 
-from .live import Snapshot
+from .live import Snapshot, SnapshotSink
 
 __all__ = ["WatchDashboard"]
 
@@ -30,7 +30,7 @@ def _fmt_metric(key: str, value: Any) -> str:
     return f"{key}={value}"
 
 
-class WatchDashboard:
+class WatchDashboard(SnapshotSink):
     """Render the snapshot stream as a live multi-row status block."""
 
     def __init__(
@@ -41,6 +41,7 @@ class WatchDashboard:
         max_warnings: int = 4,
         clock: Any = time.monotonic,
     ) -> None:
+        super().__init__()
         self.stream = sys.stderr if stream is None else stream
         self.min_interval = min_interval
         self.force = force
@@ -51,6 +52,10 @@ class WatchDashboard:
         self._warnings: List[str] = []
         self._drawn = 0
         self._header = ""
+        #: A snapshot updated the rows but the render was throttled;
+        #: :meth:`flush` (via ``close``) emits it so the finalize-time
+        #: snapshot is never dropped from the terminal.
+        self._dirty = False
         self.n_renders = 0
 
     # -- input -----------------------------------------------------------------
@@ -61,8 +66,8 @@ class WatchDashboard:
         isatty = getattr(self.stream, "isatty", None)
         return bool(isatty and isatty())
 
-    def __call__(self, snapshot: Snapshot) -> None:
-        """Subscriber entry point: fold one snapshot into the rows."""
+    def on_snapshot(self, snapshot: Snapshot) -> None:
+        """Fold one snapshot into the rows (subscriber entry point)."""
         for source, state in snapshot.progress.items():
             key = (
                 source
@@ -71,6 +76,7 @@ class WatchDashboard:
             )
             self._rows[key] = self._format_row(key, state)
         self._header = f"watch t={snapshot.t:.2f}s seq={snapshot.seq}"
+        self._dirty = True
         if not self._active():
             return
         now = self._clock()
@@ -132,9 +138,11 @@ class WatchDashboard:
             self.stream.write("\n".join(lines) + "\n")
         self.stream.flush()
         self.n_renders += 1
+        self._dirty = False
 
-    def close(self) -> None:
-        """Force one final render (terminal state always shown)."""
+    def flush(self) -> None:
+        """Force one final render (terminal state always shown), even
+        when the last snapshot landed inside the throttle window."""
         if self._active() and (self._rows or self._warnings):
             self._last_write = self._clock()
             self._render()

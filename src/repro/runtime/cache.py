@@ -23,6 +23,16 @@ On-disk entries are pickles written atomically (temp file + rename)
 under ``<cache_dir>/<fingerprint>.<kind>.pkl``; unreadable or corrupt
 entries are treated as misses and rewritten.  The fingerprint version
 is part of every key, so format changes self-invalidate.
+
+Concurrency: ``repro.serve`` runs jobs on threads, so one cache is
+shared by concurrent readers and writers.  All in-memory LRU state is
+guarded by one re-entrant mutex (an ``OrderedDict.move_to_end`` racing
+a ``popitem`` corrupts the order, or dies with ``KeyError``), and the
+expensive producers (:meth:`ProgramCache.slice`,
+:meth:`ProgramCache.compiled`) are *single-flight*: a per-fingerprint
+lock makes the second of two in-flight requests for the same artifact
+wait for the first and then take the cache hit, instead of slicing or
+compiling the same program twice.
 """
 
 from __future__ import annotations
@@ -30,9 +40,11 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, Optional
 
 from ..core.ast import Program
 from ..core.fingerprint import program_fingerprint
@@ -59,6 +71,10 @@ class CacheStats:
     disk_load_failures: int = 0
     #: In-memory LRU evictions.
     evictions: int = 0
+    #: Requests that arrived while another thread was already producing
+    #: the same artifact and were served by waiting for it instead of
+    #: recomputing (the single-flight path).
+    flight_waits: int = 0
 
     def reset(self) -> None:
         self.slice_hits = 0
@@ -68,6 +84,7 @@ class CacheStats:
         self.disk_hits = 0
         self.disk_load_failures = 0
         self.evictions = 0
+        self.flight_waits = 0
 
 
 class ProgramCache:
@@ -87,16 +104,50 @@ class ProgramCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._memory: OrderedDict[str, object] = OrderedDict()
+        #: Guards ``_memory``, ``stats``, and ``_flights``; re-entrant
+        #: so locked paths may call other locked paths.
+        self._mutex = threading.RLock()
+        #: Per-fingerprint producer locks for the single-flight paths.
+        self._flights: Dict[str, threading.Lock] = {}
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
+
+    # -- single-flight --------------------------------------------------------
+
+    @contextmanager
+    def _flight(self, key: str) -> Iterator[None]:
+        """Serialize producers of the artifact named ``key``.
+
+        The second thread to enter blocks until the first leaves; the
+        caller re-checks the cache after acquiring, so the waiter takes
+        a hit instead of recomputing.  Lock objects are created on
+        demand and dropped once nobody holds or waits on them.
+        """
+        with self._mutex:
+            lock = self._flights.get(key)
+            if lock is None:
+                lock = self._flights[key] = threading.Lock()
+        waited = not lock.acquire(blocking=False)
+        if waited:
+            lock.acquire()
+            with self._mutex:
+                self.stats.flight_waits += 1
+        try:
+            yield
+        finally:
+            lock.release()
+            with self._mutex:
+                if not lock.locked() and self._flights.get(key) is lock:
+                    del self._flights[key]
 
     # -- generic keyed storage ------------------------------------------------
 
     def _get(self, key: str, kind: str) -> Optional[object]:
-        hit = self._memory.get(key)
-        if hit is not None:
-            self._memory.move_to_end(key)
-            return hit
+        with self._mutex:
+            hit = self._memory.get(key)
+            if hit is not None:
+                self._memory.move_to_end(key)
+                return hit
         if self.cache_dir is None:
             return None
         path = os.path.join(self.cache_dir, f"{key}.{kind}.pkl")
@@ -112,14 +163,16 @@ class ProgramCache:
             # pickle, or a stale class the unpickler no longer finds):
             # count it, drop the bad file, and treat it as a miss so
             # the caller recomputes and rewrites a good entry.
-            self.stats.disk_load_failures += 1
+            with self._mutex:
+                self.stats.disk_load_failures += 1
             current_recorder().counter("cache.disk_corrupt")
             try:
                 os.unlink(path)
             except OSError:
                 pass
             return None
-        self.stats.disk_hits += 1
+        with self._mutex:
+            self.stats.disk_hits += 1
         current_recorder().counter("cache.disk_read")
         self._remember(key, value)
         return value
@@ -141,16 +194,21 @@ class ProgramCache:
                 pass
 
     def _remember(self, key: str, value: object) -> None:
-        self._memory[key] = value
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.max_entries:
-            self._memory.popitem(last=False)
-            self.stats.evictions += 1
+        evicted = 0
+        with self._mutex:
+            self._memory[key] = value
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.max_entries:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
+                evicted += 1
+        for _ in range(evicted):
             current_recorder().counter("cache.evict")
 
     def clear(self, disk: bool = False) -> None:
         """Drop the in-memory layer (and the on-disk one if asked)."""
-        self._memory.clear()
+        with self._mutex:
+            self._memory.clear()
         if disk and self.cache_dir is not None:
             for name in os.listdir(self.cache_dir):
                 if name.endswith(".pkl"):
@@ -160,7 +218,8 @@ class ProgramCache:
                         pass
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._mutex:
+            return len(self._memory)
 
     # -- SliceResult protocol (used by transforms.pipeline.sli) ---------------
 
@@ -178,10 +237,12 @@ class ProgramCache:
         key = program_fingerprint(program, kind="slice", **options)
         hit = self._get(key, "slice")
         if hit is None:
-            self.stats.slice_misses += 1
+            with self._mutex:
+                self.stats.slice_misses += 1
             current_recorder().counter("cache.slice.miss")
             return None
-        self.stats.slice_hits += 1
+        with self._mutex:
+            self.stats.slice_hits += 1
         current_recorder().counter("cache.slice.hit")
         return hit  # type: ignore[return-value]
 
@@ -196,26 +257,47 @@ class ProgramCache:
 
     def slice(self, program: Program, **options: object) -> "SliceResult":
         """The SLI pipeline through this cache: a cached result when the
-        fingerprint matches, computed (and stored) otherwise."""
+        fingerprint matches, computed (and stored) otherwise.
+
+        Single-flight: concurrent calls for the same ``(program,
+        options)`` run the pipeline once — the rest block on the
+        producer's flight lock and then take the ``get_slice`` hit
+        inside :func:`~repro.transforms.pipeline.sli`.
+        """
         from ..transforms.pipeline import sli
 
-        return sli(program, cache=self, **options)  # type: ignore[arg-type]
+        flight_key = program_fingerprint(program, kind="slice-flight", **options)
+        with self._flight(flight_key):
+            return sli(program, cache=self, **options)  # type: ignore[arg-type]
 
     # -- compiled executors ---------------------------------------------------
 
     def compiled(self, program: Program) -> "CompiledProgram":
         """The compiled executor for ``program``, through this cache
-        (and through :func:`compile_program`'s own in-memory layers)."""
+        (and through :func:`compile_program`'s own in-memory layers).
+
+        Single-flight: two in-flight jobs for the same fingerprint
+        compile once; the loser of the race waits and takes the hit.
+        """
         from ..semantics.compiled import compile_program
 
         key = program_fingerprint(program, kind="compiled")
         hit = self._get(key, "compiled")
         if hit is not None:
-            self.stats.compile_hits += 1
+            with self._mutex:
+                self.stats.compile_hits += 1
             current_recorder().counter("cache.compile.hit")
             return hit  # type: ignore[return-value]
-        self.stats.compile_misses += 1
-        current_recorder().counter("cache.compile.miss")
-        compiled = compile_program(program)
-        self._put(key, "compiled", compiled)
-        return compiled
+        with self._flight(key):
+            hit = self._get(key, "compiled")
+            if hit is not None:
+                with self._mutex:
+                    self.stats.compile_hits += 1
+                current_recorder().counter("cache.compile.hit")
+                return hit  # type: ignore[return-value]
+            with self._mutex:
+                self.stats.compile_misses += 1
+            current_recorder().counter("cache.compile.miss")
+            compiled = compile_program(program)
+            self._put(key, "compiled", compiled)
+            return compiled

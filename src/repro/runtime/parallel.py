@@ -36,12 +36,17 @@ import hashlib
 import multiprocessing
 import os
 import time
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.ast import Program
-from ..inference.base import Engine, InferenceError, InferenceResult
+from ..inference.base import (
+    Engine,
+    InferenceCancelled,
+    InferenceError,
+    InferenceResult,
+)
 from ..obs.recorder import TraceRecorder, current_recorder, use_recorder
 
 if TYPE_CHECKING:
@@ -239,12 +244,27 @@ class ParallelRunner:
         #: inherits the warm in-memory compilation instead of redoing it.
         self.cache = cache
 
-    def run(self, engine: Engine, program: Program) -> InferenceResult:
+    def run(
+        self,
+        engine: Engine,
+        program: Program,
+        cancel: Optional[Callable[[], bool]] = None,
+    ) -> InferenceResult:
         """``engine.infer(program)``, parallelized when possible.
 
         The merged result's ``elapsed_seconds`` is the fan-out's wall
         time (workers' own clocks overlap and would double-count).
+
+        ``cancel`` — optional zero-arg hook polled between shards
+        (inline) or while the pool drains; when it turns true the
+        fan-out stops (pool terminated) and :class:`InferenceCancelled`
+        is raised.  This is the cooperative cancellation surface
+        ``repro.serve`` uses for request deadlines; sequential
+        single-worker runs check it once up front (mid-run cancellation
+        there comes from the caller's recorder subscriber instead).
         """
+        if cancel is not None and cancel():
+            raise InferenceCancelled("run cancelled before it started")
         if self.cache is not None and getattr(engine, "compiled", False):
             self.cache.compiled(program)
         if self.n_workers <= 1 or engine.parallel_unit == "none":
@@ -262,7 +282,7 @@ class ParallelRunner:
             unit=engine.parallel_unit,
         ):
             start = time.perf_counter()
-            pairs = self._map(shards, program)
+            pairs = self._map(shards, program, cancel=cancel)
             for _, payload in pairs:
                 if payload is not None:
                     recorder.merge_child(payload)
@@ -271,7 +291,10 @@ class ParallelRunner:
         return merged
 
     def run_factored(
-        self, engine: Engine, factor_set: "FactorSet"
+        self,
+        engine: Engine,
+        factor_set: "FactorSet",
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> InferenceResult:
         """Shard-by-factor inference: run ``engine`` independently on
         every factor of ``factor_set`` and recombine the per-factor
@@ -294,6 +317,8 @@ class ParallelRunner:
         monolithic run would) — but their samples join as the empty
         assignment.
         """
+        if cancel is not None and cancel():
+            raise InferenceCancelled("run cancelled before it started")
         factors = factor_set.factors
         if not factors:
             # Everything was dropped (constant return): a point mass.
@@ -321,7 +346,7 @@ class ParallelRunner:
         ):
             start = time.perf_counter()
             pairs = self._map_tasks(
-                tasks, force_inline=self.n_workers <= 1
+                tasks, force_inline=self.n_workers <= 1, cancel=cancel
             )
             for _, payload in pairs:
                 if payload is not None:
@@ -331,14 +356,20 @@ class ParallelRunner:
         return merged
 
     def _map(
-        self, shards: Sequence[Engine], program: Program
+        self,
+        shards: Sequence[Engine],
+        program: Program,
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> List[Tuple[InferenceResult, Optional[dict]]]:
-        return self._map_tasks([(shard, program) for shard in shards])
+        return self._map_tasks(
+            [(shard, program) for shard in shards], cancel=cancel
+        )
 
     def _map_tasks(
         self,
         tasks: Sequence[Tuple[Engine, Program]],
         force_inline: bool = False,
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> List[Tuple[InferenceResult, Optional[dict]]]:
         recorder = current_recorder()
         capture = recorder.enabled
@@ -363,17 +394,32 @@ class ParallelRunner:
         ]
         try:
             if inline:
-                return [_infer_shard(p) for p in payloads]
+                results = []
+                for p in payloads:
+                    if cancel is not None and cancel():
+                        raise InferenceCancelled(
+                            f"cancelled after {len(results)} of "
+                            f"{len(payloads)} shards"
+                        )
+                    results.append(_infer_shard(p))
+                return results
             ctx = multiprocessing.get_context(self.backend)
             processes = min(len(payloads), max(1, self.n_workers))
             with ctx.Pool(processes=processes) as pool:
-                if sink is None:
+                if sink is None and cancel is None:
                     return pool.map(_infer_shard, payloads, chunksize=1)
                 handle = pool.map_async(_infer_shard, payloads, chunksize=1)
                 while not handle.ready():
-                    self._drain(sink, recorder)
+                    if cancel is not None and cancel():
+                        pool.terminate()
+                        raise InferenceCancelled(
+                            "cancelled while the worker pool was busy"
+                        )
+                    if sink is not None:
+                        self._drain(sink, recorder)
                     handle.wait(0.05)
-                self._drain(sink, recorder)
+                if sink is not None:
+                    self._drain(sink, recorder)
                 return handle.get()
         finally:
             if manager is not None:

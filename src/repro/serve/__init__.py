@@ -1,0 +1,57 @@
+"""``repro.serve``: an always-on, cache-warmed inference service.
+
+A small asyncio HTTP/JSON server (stdlib only) over the existing
+pipeline: ``POST /v1/jobs`` submits a slice+infer job (PROB source
+text or a Table-1 benchmark name), ``GET /v1/jobs/{id}`` polls it, and
+``GET /v1/jobs/{id}/events`` streams partial posteriors and live
+telemetry snapshots as Server-Sent Events.  Jobs are fingerprinted
+through the shared :class:`~repro.runtime.cache.ProgramCache`, so a
+warm tenant's second request skips slicing and compilation entirely
+(``"cache": "hit"`` on the job, no ``pass.*`` stage timings), and
+scheduled with per-tenant admission control (token bucket + max
+in-flight), strict-priority dispatch, and request deadlines.
+
+Run it::
+
+    python -m repro.serve --port 8080 --workers 4 --cache-dir .cache
+
+Layering (each module is independently testable)::
+
+    protocol   request validation, JobSpec, published JSON Schemas
+    jobs       Job/JobStore + per-job bounded EventLog (SSE replays it)
+    scheduler  admission, priority queue, deadlines, drain (loop-free)
+    runner     job execution threads over ProgramCache/ParallelRunner
+    sse        event-stream framing + the snapshot→SSE bridge
+    app        routing (pure) + the asyncio HTTP/1.1 server
+    testing    FrozenClock / FakeRunner / in-process ServeTestClient
+"""
+
+from .app import HttpServer, Request, Response, ServeApp
+from .jobs import Event, EventLog, Job, JobStore
+from .protocol import JobSpec, ProtocolError, load_schema, validate_request
+from .runner import JobOutcome, LocalRunner
+from .scheduler import AdmissionError, Draining, Scheduler, TokenBucket
+from .sse import SnapshotBridge, format_event
+
+__all__ = [
+    "HttpServer",
+    "Request",
+    "Response",
+    "ServeApp",
+    "Event",
+    "EventLog",
+    "Job",
+    "JobStore",
+    "JobSpec",
+    "ProtocolError",
+    "load_schema",
+    "validate_request",
+    "JobOutcome",
+    "LocalRunner",
+    "AdmissionError",
+    "Draining",
+    "Scheduler",
+    "TokenBucket",
+    "SnapshotBridge",
+    "format_event",
+]

@@ -1,0 +1,125 @@
+"""``python -m repro.serve``: boot the inference service.
+
+Example::
+
+    python -m repro.serve --port 8080 --workers 4 --cache-dir .cache
+
+Then::
+
+    curl -s localhost:8080/v1/jobs -d '{"benchmark": "BurglarAlarm",
+        "engine": "importance", "samples": 5000}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from typing import List, Optional
+
+from ..runtime.cache import ProgramCache
+from .app import HttpServer, ServeApp
+from .runner import LocalRunner
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description=(
+            "Always-on slicing+inference service: POST /v1/jobs, poll "
+            "GET /v1/jobs/{id}, stream GET /v1/jobs/{id}/events (SSE)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 = ephemeral; printed at boot)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent job slots (default: 2)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help=(
+            "persist slices and compiled executors under DIR so a "
+            "restarted server warm-starts from disk"
+        ),
+    )
+    parser.add_argument(
+        "--cache-entries", type=int, default=256,
+        help="in-memory cache LRU capacity (default: 256)",
+    )
+    parser.add_argument(
+        "--tenant-rate", type=float, default=5.0,
+        help="per-tenant submissions/second (default: 5)",
+    )
+    parser.add_argument(
+        "--tenant-burst", type=float, default=10.0,
+        help="per-tenant burst capacity (default: 10)",
+    )
+    parser.add_argument(
+        "--tenant-max-inflight", type=int, default=8,
+        help="per-tenant queued+running cap (default: 8)",
+    )
+    parser.add_argument(
+        "--parallel-backend",
+        choices=("fork", "spawn", "forkserver", "inline"),
+        default=None,
+        help=(
+            "start method for multi-worker jobs (default: platform "
+            "choice; 'inline' never forks)"
+        ),
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    cache = ProgramCache(
+        cache_dir=args.cache_dir, max_entries=args.cache_entries
+    )
+    runner = LocalRunner(cache=cache, parallel_backend=args.parallel_backend)
+    app = ServeApp(
+        runner=runner,
+        cache=cache,
+        workers=args.workers,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        tenant_max_inflight=args.tenant_max_inflight,
+    )
+    server = HttpServer(app, host=args.host, port=args.port)
+    host, port = await server.start()
+    print(f"repro.serve listening on http://{host}:{port}", file=sys.stderr)
+
+    loop = asyncio.get_running_loop()
+    stop = loop.create_future()
+
+    def request_stop() -> None:
+        if not stop.done():
+            stop.set_result(None)
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, request_stop)
+        except NotImplementedError:  # pragma: no cover - non-Unix
+            pass
+    await stop
+    print("repro.serve draining...", file=sys.stderr)
+    await server.shutdown()
+    runner.join(timeout=5.0)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:  # pragma: no cover - double ^C
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

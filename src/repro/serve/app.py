@@ -1,0 +1,454 @@
+"""The HTTP surface: routing, wire encoding, and the asyncio server.
+
+Two layers, split so the tests can hold the seam:
+
+* :class:`ServeApp` — pure request→response routing over plain
+  :class:`Request`/:class:`Response` values.  No sockets, no awaits,
+  no clocks of its own: ``dispatch`` is a synchronous function of the
+  request plus scheduler/store state, which is why the in-process test
+  client (:mod:`repro.serve.testing`) can drive every endpoint —
+  including SSE, via the response's attached event log — with zero
+  network I/O.
+* :class:`HttpServer` — a minimal HTTP/1.1 server on
+  ``asyncio.start_server`` (stdlib only; one request per connection,
+  ``Connection: close``) that feeds sockets through the app, streams
+  SSE responses from the job's event log, marshals runner callbacks
+  onto the event-loop thread, and arms one ``call_later`` timer at the
+  earliest request deadline (no polling loop — the timer re-arms on
+  submit and after each sweep).
+
+Endpoints::
+
+    POST   /v1/jobs              submit → 202 job | 400 | 429 | 503
+    GET    /v1/jobs/{id}         poll one job
+    DELETE /v1/jobs/{id}         cancel (cooperative)
+    GET    /v1/jobs/{id}/events  SSE replay+follow of the job's log
+    GET    /v1/stats             scheduler + cache counters
+    GET    /v1/schemas/{name}    the published JSON Schemas
+    GET    /healthz              liveness (reports draining)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..runtime.cache import ProgramCache
+from .jobs import EventLog, JobStore
+from .protocol import ProtocolError, load_schema, validate_request
+from .runner import LocalRunner
+from .scheduler import AdmissionError, Draining, Scheduler
+from .sse import format_event
+
+__all__ = ["Request", "Response", "ServeApp", "HttpServer"]
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 204: "No Content", 400: "Bad Request",
+    404: "Not Found", 405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+_JOB_PATH = re.compile(r"^/v1/jobs/(j-[0-9a-f]+)$")
+_EVENTS_PATH = re.compile(r"^/v1/jobs/(j-[0-9a-f]+)/events$")
+_SCHEMA_PATH = re.compile(r"^/v1/schemas/(job|job_request)$")
+
+#: Request bodies larger than this are refused before JSON parsing.
+MAX_BODY_BYTES = 1 << 20
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request (header names lower-cased)."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+
+@dataclass
+class Response:
+    """One response: JSON body, or an SSE stream when ``sse_log`` is
+    set (the socket layer replays the log; the test client reads it
+    directly)."""
+
+    status: int = 200
+    data: Optional[Any] = None
+    headers: Dict[str, str] = field(default_factory=dict)
+    sse_log: Optional[EventLog] = None
+    sse_from: int = 0
+
+    @property
+    def is_sse(self) -> bool:
+        return self.sse_log is not None
+
+    def body(self) -> bytes:
+        if self.data is None:
+            return b""
+        return json.dumps(self.data, default=repr).encode()
+
+
+class ServeApp:
+    """Routing and endpoint logic, free of any I/O."""
+
+    def __init__(
+        self,
+        scheduler: Optional[Scheduler] = None,
+        store: Optional[JobStore] = None,
+        runner: Optional[Any] = None,
+        cache: Optional[ProgramCache] = None,
+        clock: Callable[[], float] = time.monotonic,
+        workers: int = 2,
+        tenant_rate: float = 5.0,
+        tenant_burst: float = 10.0,
+        tenant_max_inflight: int = 8,
+        validate: Callable[[Any], Any] = validate_request,
+    ) -> None:
+        self.clock = clock
+        self.cache = cache if cache is not None else ProgramCache()
+        self.store = store if store is not None else JobStore()
+        self.runner = (
+            runner
+            if runner is not None
+            else LocalRunner(cache=self.cache, clock=clock)
+        )
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else Scheduler(
+                self.store,
+                self.runner,
+                clock=clock,
+                workers=workers,
+                tenant_rate=tenant_rate,
+                tenant_burst=tenant_burst,
+                tenant_max_inflight=tenant_max_inflight,
+            )
+        )
+        self.validate = validate
+        #: Called after every successful submit (the server re-arms its
+        #: deadline timer here); tests leave it unset.
+        self.on_activity: Optional[Callable[[], None]] = None
+
+    # -- routing ---------------------------------------------------------------
+
+    def dispatch(self, request: Request) -> Response:
+        try:
+            return self._route(request)
+        except Exception as exc:  # endpoint bugs become a 500, not EOF
+            return Response(
+                500,
+                {"error": "internal",
+                 "message": f"{type(exc).__name__}: {exc}"},
+            )
+
+    def _route(self, request: Request) -> Response:
+        path = request.path.split("?", 1)[0]
+        if path == "/v1/jobs":
+            if request.method != "POST":
+                return self._method_not_allowed("POST")
+            return self._submit(request)
+        match = _EVENTS_PATH.match(path)
+        if match:
+            if request.method != "GET":
+                return self._method_not_allowed("GET")
+            return self._events(request, match.group(1))
+        match = _JOB_PATH.match(path)
+        if match:
+            if request.method == "GET":
+                return self._poll(match.group(1))
+            if request.method == "DELETE":
+                return self._cancel(match.group(1))
+            return self._method_not_allowed("GET, DELETE")
+        if path == "/v1/stats":
+            return self._stats()
+        match = _SCHEMA_PATH.match(path)
+        if match:
+            return Response(200, load_schema(match.group(1)))
+        if path == "/healthz":
+            return Response(
+                200, {"ok": True, "draining": self.scheduler.draining}
+            )
+        return Response(404, {"error": "not-found", "path": path})
+
+    @staticmethod
+    def _method_not_allowed(allow: str) -> Response:
+        return Response(
+            405, {"error": "method-not-allowed"}, headers={"Allow": allow}
+        )
+
+    # -- endpoints -------------------------------------------------------------
+
+    def _submit(self, request: Request) -> Response:
+        if len(request.body) > MAX_BODY_BYTES:
+            return Response(413, {"error": "payload-too-large"})
+        try:
+            payload = request.json()
+        except (ValueError, UnicodeDecodeError) as exc:
+            return Response(
+                400, {"error": "invalid-json", "message": str(exc)}
+            )
+        try:
+            spec = self.validate(payload)
+        except ProtocolError as exc:
+            return Response(400, exc.to_dict())
+        try:
+            job = self.scheduler.submit(spec)
+        except Draining:
+            return Response(
+                503,
+                {"error": "draining", "message": "server is shutting down"},
+                headers={"Retry-After": "1"},
+            )
+        except AdmissionError as exc:
+            retry = max(0.0, exc.retry_after)
+            return Response(
+                429,
+                exc.to_dict(),
+                headers={"Retry-After": f"{retry:.3f}"},
+            )
+        if self.on_activity is not None:
+            self.on_activity()
+        return Response(
+            202, job.to_dict(self.scheduler.queue_position(job))
+        )
+
+    def _poll(self, job_id: str) -> Response:
+        job = self.store.get(job_id)
+        if job is None:
+            return Response(404, {"error": "no-such-job", "id": job_id})
+        return Response(200, job.to_dict(self.scheduler.queue_position(job)))
+
+    def _cancel(self, job_id: str) -> Response:
+        job = self.store.get(job_id)
+        if job is None:
+            return Response(404, {"error": "no-such-job", "id": job_id})
+        changed = self.scheduler.cancel(job)
+        return Response(
+            200, dict(job.to_dict(), cancelled_now=changed)
+        )
+
+    def _events(self, request: Request, job_id: str) -> Response:
+        job = self.store.get(job_id)
+        if job is None:
+            return Response(404, {"error": "no-such-job", "id": job_id})
+        from_seq = 0
+        last_id = request.headers.get("last-event-id")
+        if last_id is not None:
+            try:
+                from_seq = int(last_id) + 1
+            except ValueError:
+                return Response(
+                    400,
+                    {"error": "invalid-request", "field": "Last-Event-ID",
+                     "message": "expected an integer"},
+                )
+        return Response(
+            200,
+            headers={
+                "Content-Type": "text/event-stream",
+                "Cache-Control": "no-cache",
+            },
+            sse_log=job.log,
+            sse_from=from_seq,
+        )
+
+    def _stats(self) -> Response:
+        cache_stats = self.cache.stats
+        return Response(
+            200,
+            {
+                "scheduler": self.scheduler.stats(),
+                "jobs": len(self.store),
+                "cache": {
+                    "slice_hits": cache_stats.slice_hits,
+                    "slice_misses": cache_stats.slice_misses,
+                    "compile_hits": cache_stats.compile_hits,
+                    "compile_misses": cache_stats.compile_misses,
+                    "disk_hits": cache_stats.disk_hits,
+                    "evictions": cache_stats.evictions,
+                    "flight_waits": cache_stats.flight_waits,
+                    "entries": len(self.cache),
+                },
+            },
+        )
+
+
+class HttpServer:
+    """Serve a :class:`ServeApp` over asyncio streams."""
+
+    def __init__(
+        self, app: ServeApp, host: str = "127.0.0.1", port: int = 8080
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._tick_handle: Optional[asyncio.TimerHandle] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``
+        (``port=0`` requests an ephemeral port — tests and the bench
+        use this to stay collision-free)."""
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        # All job-state mutation happens on this loop's thread: runner
+        # threads hand their emit/done calls over instead of calling in.
+        post = getattr(self.app.runner, "post", None)
+        if post is not None:
+
+            def marshal(fn: Callable[..., None], *args: Any) -> None:
+                loop.call_soon_threadsafe(fn, *args)
+
+            self.app.runner.post = marshal
+        self.app.on_activity = self._arm_tick
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def shutdown(self, timeout: Optional[float] = 30.0) -> None:
+        """Graceful: stop admitting, let in-flight jobs drain, then
+        close the listener (and with it any open SSE streams)."""
+        assert self._loop is not None
+        idle: "asyncio.Future[None]" = self._loop.create_future()
+        self.app.scheduler.drain(
+            lambda: idle.done() or idle.set_result(None)
+        )
+        if not idle.done():
+            try:
+                await asyncio.wait_for(idle, timeout)
+            except asyncio.TimeoutError:
+                pass  # close anyway; jobs are daemon threads
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+            self._tick_handle = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- the deadline timer ----------------------------------------------------
+
+    def _arm_tick(self) -> None:
+        if self._loop is None:
+            return
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+            self._tick_handle = None
+        upcoming = self.app.scheduler.next_deadline()
+        if upcoming is None:
+            return
+        delay = max(0.0, upcoming - self.app.clock())
+        self._tick_handle = self._loop.call_later(delay, self._fire_tick)
+
+    def _fire_tick(self) -> None:
+        self._tick_handle = None
+        self.app.scheduler.tick()
+        self._arm_tick()
+
+    # -- one connection --------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            response = self.app.dispatch(request)
+            if response.is_sse:
+                await self._write_sse(writer, response)
+            else:
+                self._write_response(writer, response)
+                await writer.drain()
+        except (
+            ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError
+        ):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Request]:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0") or "0"
+        try:
+            length = int(length_text)
+        except ValueError:
+            length = 0
+        body = await reader.readexactly(length) if length > 0 else b""
+        return Request(method, target, headers, body)
+
+    @staticmethod
+    def _write_head(
+        writer: asyncio.StreamWriter, status: int, headers: Dict[str, str]
+    ) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        head = [f"HTTP/1.1 {status} {reason}"]
+        head.extend(f"{name}: {value}" for name, value in headers.items())
+        head.append("")
+        head.append("")
+        writer.write("\r\n".join(head).encode("latin-1"))
+
+    def _write_response(
+        self, writer: asyncio.StreamWriter, response: Response
+    ) -> None:
+        body = response.body()
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(body)),
+            "Connection": "close",
+        }
+        headers.update(response.headers)
+        self._write_head(writer, response.status, headers)
+        writer.write(body)
+
+    async def _write_sse(
+        self, writer: asyncio.StreamWriter, response: Response
+    ) -> None:
+        headers = {
+            "Content-Type": "text/event-stream",
+            "Cache-Control": "no-cache",
+            "Connection": "close",
+        }
+        headers.update(response.headers)
+        self._write_head(writer, response.status, headers)
+        await writer.drain()
+        assert response.sse_log is not None
+        async for event in response.sse_log.replay(response.sse_from):
+            writer.write(format_event(event))
+            await writer.drain()

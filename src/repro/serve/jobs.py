@@ -1,0 +1,246 @@
+"""Job state: the store, per-job event logs, and subscriptions.
+
+A :class:`Job` is one submitted slice+infer request moving through
+``queued → running → {done, failed, deadline, cancelled}``.  Every
+externally visible change is appended to the job's bounded
+:class:`EventLog` — SSE streams are *replays* of this log, which is
+what makes them deterministic: a subscriber that arrives before,
+during, or after the run sees the same sequence of events (modulo
+ring-buffer truncation of old snapshots), so the tests never race the
+producer.
+
+Timestamps are seconds on the owning server's injectable monotonic
+clock, not wall-clock — they order events and measure waits, and a
+frozen test clock produces exactly reproducible values.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Dict, List, Optional
+
+from .protocol import JobSpec
+
+__all__ = [
+    "QUEUED", "RUNNING", "DONE", "FAILED", "DEADLINE", "CANCELLED",
+    "TERMINAL", "Event", "EventLog", "Job", "JobStore",
+]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+DEADLINE = "deadline"
+CANCELLED = "cancelled"
+#: States a job never leaves.
+TERMINAL = frozenset({DONE, FAILED, DEADLINE, CANCELLED})
+
+
+@dataclass(frozen=True)
+class Event:
+    """One SSE-visible occurrence: ``kind`` is the SSE event name
+    (``status`` / ``snapshot`` / ``result``), ``data`` its JSON body,
+    ``seq`` the per-job id (monotonic, gap-free as emitted — gaps on
+    replay mean the ring buffer dropped old snapshots)."""
+
+    seq: int
+    kind: str
+    data: Dict[str, Any]
+
+
+class EventLog:
+    """Bounded per-job event history with async subscriptions.
+
+    Events append with monotonically increasing ``seq``; the deque
+    drops the oldest once past ``capacity`` (long MCMC runs emit
+    thousands of snapshots — only the recent window replays, which the
+    ``first_seq`` offset makes explicit to late subscribers).
+    Consumers iterate with :meth:`replay` from any seq; live consumers
+    block on an ``asyncio.Event`` that every append sets.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: "deque[Event]" = deque()
+        self._next_seq = 0
+        self._waiters: List[Any] = []
+        self.closed = False
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    @property
+    def first_seq(self) -> int:
+        """Seq of the oldest retained event (== ``next_seq`` if empty)."""
+        return self._events[0].seq if self._events else self._next_seq
+
+    def append(self, kind: str, data: Dict[str, Any]) -> Event:
+        event = Event(seq=self._next_seq, kind=kind, data=data)
+        self._next_seq += 1
+        self._events.append(event)
+        while len(self._events) > self.capacity:
+            self._events.popleft()
+        self._wake()
+        return event
+
+    def close(self) -> None:
+        """No more events will arrive; wake blocked consumers."""
+        self.closed = True
+        self._wake()
+
+    def _wake(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter.set()
+
+    def events(self) -> List[Event]:
+        return list(self._events)
+
+    def since(self, seq: int) -> List[Event]:
+        """Retained events with ``seq >= seq``, oldest first."""
+        return [e for e in self._events if e.seq >= seq]
+
+    async def replay(self, from_seq: int = 0) -> AsyncIterator[Event]:
+        """Yield events from ``from_seq`` onward, waiting for more
+        until :meth:`close`; never sleeps — wakeups are event-driven."""
+        import asyncio
+
+        cursor = max(from_seq, self.first_seq)
+        while True:
+            batch = self.since(cursor)
+            for event in batch:
+                cursor = event.seq + 1
+                yield event
+            if self.closed and cursor >= self._next_seq:
+                return
+            waiter = asyncio.Event()
+            self._waiters.append(waiter)
+            # Re-check before blocking: an append may have landed
+            # between the `since` read and the waiter registration.
+            if self.closed or self._next_seq > cursor:
+                self._waiters.remove(waiter)
+                continue
+            await waiter.wait()
+
+
+@dataclass
+class Job:
+    """One submitted job and everything the API exposes about it."""
+
+    id: str
+    spec: JobSpec
+    status: str = QUEUED
+    created_t: float = 0.0
+    started_t: Optional[float] = None
+    finished_t: Optional[float] = None
+    deadline_t: Optional[float] = None
+    #: "hit"/"miss" once the runner reports whether the slice+compile
+    #: pipeline was skipped via the ProgramCache.
+    cache: Optional[str] = None
+    stage_seconds: Optional[Dict[str, float]] = None
+    counters: Optional[Dict[str, float]] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    partial: bool = False
+    #: Set by the scheduler when the deadline passes while running;
+    #: runners poll it (and their snapshot subscribers raise on it).
+    cancel_requested: bool = False
+    #: Latest streamed snapshot dict (feeds the deadline partial).
+    last_snapshot: Optional[Dict[str, Any]] = None
+    log: EventLog = field(default_factory=EventLog)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL
+
+    @property
+    def tenant(self) -> str:
+        return self.spec.tenant
+
+    def to_dict(self, queue_position: Optional[int] = None) -> Dict[str, Any]:
+        """The wire form (``job_schema.json``)."""
+        return {
+            "id": self.id,
+            "status": self.status,
+            "tenant": self.spec.tenant,
+            "priority": self.spec.priority,
+            "created_t": self.created_t,
+            "started_t": self.started_t,
+            "finished_t": self.finished_t,
+            "deadline_t": self.deadline_t,
+            "queue_position": queue_position,
+            "cache": self.cache,
+            "stage_seconds": self.stage_seconds,
+            "counters": self.counters,
+            "result": self.result,
+            "error": self.error,
+            "partial": self.partial,
+            "events_url": f"/v1/jobs/{self.id}/events",
+            "request": self.spec.to_dict(),
+        }
+
+
+class JobStore:
+    """All jobs by id, plus the event-publication entry point."""
+
+    def __init__(self, max_jobs: int = 4096, log_capacity: int = 1024) -> None:
+        self.max_jobs = max_jobs
+        self.log_capacity = log_capacity
+        self._jobs: "Dict[str, Job]" = {}
+        self._order: "deque[str]" = deque()
+        self._ids = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def create(self, spec: JobSpec, now: float) -> Job:
+        job = Job(
+            id=f"j-{next(self._ids):06x}",
+            spec=spec,
+            created_t=now,
+            log=EventLog(self.log_capacity),
+        )
+        if spec.deadline_s is not None:
+            job.deadline_t = now + spec.deadline_s
+        self._jobs[job.id] = job
+        self._order.append(job.id)
+        # Evict the oldest *terminal* jobs once over budget; active
+        # jobs are never dropped, so the store can transiently exceed
+        # max_jobs under a flood of in-flight work.
+        while len(self._jobs) > self.max_jobs:
+            for victim_id in list(self._order):
+                victim = self._jobs.get(victim_id)
+                if victim is None or victim.terminal:
+                    self._order.remove(victim_id)
+                    self._jobs.pop(victim_id, None)
+                    break
+            else:
+                break
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        return [self._jobs[i] for i in self._order if i in self._jobs]
+
+    def active(self) -> List[Job]:
+        return [j for j in self.jobs() if not j.terminal]
+
+    def publish(self, job: Job, kind: str, data: Dict[str, Any]) -> Event:
+        """Append one event to the job's log (and mirror snapshots
+        onto ``job.last_snapshot`` for the deadline-partial path)."""
+        if kind == "snapshot":
+            job.last_snapshot = data
+        event = job.log.append(kind, data)
+        if kind == "status" and job.terminal:
+            job.log.close()
+        return event
+
+    def publish_status(self, job: Job, queue_position: Optional[int] = None) -> Event:
+        return self.publish(job, "status", job.to_dict(queue_position))

@@ -1,0 +1,412 @@
+"""Scheduling: per-tenant admission, priority queue, deadlines, drain.
+
+The scheduler is deliberately *synchronous and loop-free*: every state
+change happens inside one of four entry points — :meth:`Scheduler.submit`,
+a runner completion (:meth:`_finish`), a clock :meth:`tick`, and
+:meth:`drain` — each of which runs to completion under one re-entrant
+lock.  The asyncio app marshals runner callbacks onto the event-loop
+thread and arms ticks with ``call_later``; the test suite calls the
+same entry points directly under a frozen clock.  Nothing in here
+sleeps, polls, or owns a thread, which is what makes every scheduling
+behavior (admission, ordering, expiry, drain) exactly reproducible.
+
+Admission is two gates per tenant, checked at submit time:
+
+* a **token bucket** (``rate`` tokens/sec, ``burst`` capacity, one
+  token per submit) — smooths request rate; refusal carries the exact
+  ``retry_after`` until the next token accrues;
+* a **max in-flight** cap on queued+running jobs — bounds one
+  tenant's queue occupancy regardless of rate.
+
+Dispatch order is strict priority (higher first), FIFO within a
+priority level.  Deadlines are enforced by :meth:`tick`: an expired
+queued job finalizes as ``deadline`` immediately; an expired running
+job is finalized with whatever partial state its last snapshot carried
+and its runner is told to stop cooperatively (the worker slot is
+reclaimed at once — a wedged runner cannot hold the service hostage).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from .jobs import (
+    CANCELLED,
+    DEADLINE,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobStore,
+)
+from .protocol import JobSpec
+
+__all__ = ["AdmissionError", "Draining", "TokenBucket", "Scheduler"]
+
+
+class AdmissionError(Exception):
+    """Submission refused (HTTP 429); ``retry_after`` in seconds."""
+
+    def __init__(self, reason: str, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.message = message
+        self.retry_after = retry_after
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "error": "admission",
+            "reason": self.reason,
+            "message": self.message,
+            "retry_after": self.retry_after,
+        }
+
+
+class Draining(Exception):
+    """The server is shutting down; no new jobs (HTTP 503)."""
+
+
+class TokenBucket:
+    """Deterministic token bucket: refill is computed lazily from the
+    injected clock, so a frozen test clock yields exact token counts."""
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self._updated = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_take(self, now: float, n: float = 1.0) -> Optional[float]:
+        """Take ``n`` tokens; ``None`` on success, else seconds until
+        ``n`` tokens will have accrued."""
+        self._refill(now)
+        if self.tokens >= n:
+            self.tokens -= n
+            return None
+        return (n - self.tokens) / self.rate
+
+
+class _Tenant:
+    __slots__ = ("bucket", "inflight")
+
+    def __init__(self, bucket: TokenBucket) -> None:
+        self.bucket = bucket
+        self.inflight = 0
+
+
+class Scheduler:
+    """Admit, order, dispatch, expire, and drain jobs.
+
+    ``runner`` implements the :class:`~repro.serve.runner.JobRunner`
+    protocol (``start(job, emit, done)``); ``clock`` is any zero-arg
+    monotonic-seconds callable.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        runner: Any,
+        clock: Callable[[], float] = time.monotonic,
+        workers: int = 2,
+        tenant_rate: float = 5.0,
+        tenant_burst: float = 10.0,
+        tenant_max_inflight: int = 8,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if tenant_max_inflight <= 0:
+            raise ValueError("tenant_max_inflight must be positive")
+        self.store = store
+        self.runner = runner
+        self.clock = clock
+        self.workers = workers
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self.tenant_max_inflight = tenant_max_inflight
+        self.draining = False
+        self.counters: Dict[str, int] = {}
+        self._lock = threading.RLock()
+        self._heap: List[tuple] = []  # (-priority, fifo_seq, job_id)
+        self._fifo = 0
+        self._running: set = set()
+        self._tenants: Dict[str, _Tenant] = {}
+        self._idle_callbacks: List[Callable[[], None]] = []
+
+    # -- introspection ---------------------------------------------------------
+
+    def _bump(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    @property
+    def n_running(self) -> int:
+        return len(self._running)
+
+    @property
+    def n_queued(self) -> int:
+        with self._lock:
+            return sum(
+                1
+                for (_, _, job_id) in self._heap
+                if (job := self.store.get(job_id)) is not None
+                and job.status == QUEUED
+            )
+
+    def queue_position(self, job: Job) -> Optional[int]:
+        """0-based dispatch rank among queued jobs; ``None`` unless
+        queued."""
+        if job.status != QUEUED:
+            return None
+        with self._lock:
+            live = sorted(
+                entry
+                for entry in self._heap
+                if (other := self.store.get(entry[2])) is not None
+                and other.status == QUEUED
+            )
+            for position, (_, _, job_id) in enumerate(live):
+                if job_id == job.id:
+                    return position
+        return None
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "running": self.n_running,
+                "queued": self.n_queued,
+                "draining": self.draining,
+                "tenants": {
+                    name: {
+                        "inflight": t.inflight,
+                        "tokens": round(t.bucket.tokens, 6),
+                    }
+                    for name, t in sorted(self._tenants.items())
+                },
+                "counters": dict(self.counters),
+            }
+
+    # -- admission + submit ----------------------------------------------------
+
+    def _tenant(self, name: str, now: float) -> _Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            tenant = self._tenants[name] = _Tenant(
+                TokenBucket(self.tenant_rate, self.tenant_burst, now)
+            )
+        return tenant
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit and enqueue one job (dispatching immediately if a
+        worker slot is free).  Raises :class:`Draining` or
+        :class:`AdmissionError`."""
+        with self._lock:
+            if self.draining:
+                self._bump("rejected.draining")
+                raise Draining("server is draining; not accepting jobs")
+            now = self.clock()
+            tenant = self._tenant(spec.tenant, now)
+            if tenant.inflight >= self.tenant_max_inflight:
+                self._bump("rejected.inflight")
+                raise AdmissionError(
+                    "inflight",
+                    f"tenant {spec.tenant!r} already has "
+                    f"{tenant.inflight} jobs in flight "
+                    f"(max {self.tenant_max_inflight})",
+                    retry_after=1.0,
+                )
+            retry = tenant.bucket.try_take(now)
+            if retry is not None:
+                self._bump("rejected.rate")
+                raise AdmissionError(
+                    "rate",
+                    f"tenant {spec.tenant!r} exceeded "
+                    f"{self.tenant_rate}/s (burst {self.tenant_burst})",
+                    retry_after=retry,
+                )
+            job = self.store.create(spec, now)
+            tenant.inflight += 1
+            self._fifo += 1
+            heapq.heappush(
+                self._heap, (-spec.priority, self._fifo, job.id)
+            )
+            self._bump("submitted")
+            self.store.publish_status(job, self.queue_position(job))
+            self._pump()
+            return job
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Start queued jobs while worker slots are free (highest
+        priority first, FIFO within a priority)."""
+        while len(self._running) < self.workers and self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self.store.get(job_id)
+            if job is None or job.status != QUEUED:
+                continue  # expired or evicted while queued
+            job.status = RUNNING
+            job.started_t = self.clock()
+            self._running.add(job.id)
+            self._bump("started")
+            self.store.publish_status(job)
+            self.runner.start(
+                job,
+                emit=lambda kind, data, _job=job: self.store.publish(
+                    _job, kind, data
+                ),
+                done=lambda outcome, _job=job: self._finish(_job, outcome),
+            )
+
+    def _finish(self, job: Job, outcome: Any) -> None:
+        """A runner finished ``job`` (normally or not).  Idempotent
+        against late completions: once a job is terminal — e.g. the
+        deadline sweep already finalized it — the outcome is counted
+        and dropped."""
+        with self._lock:
+            if job.terminal:
+                self._bump("late_completions")
+                self._release(job)
+                return
+            job.status = outcome.status
+            job.result = outcome.result
+            job.error = outcome.error
+            job.cache = outcome.cache
+            job.stage_seconds = outcome.stage_seconds
+            job.counters = outcome.counters
+            job.partial = outcome.partial
+            job.finished_t = self.clock()
+            self._bump(f"finished.{job.status}")
+            if job.cache is not None:
+                self._bump(f"cache.{job.cache}")
+            if outcome.result is not None:
+                self.store.publish(job, "result", outcome.result)
+            self._release(job)
+            self.store.publish_status(job)
+            self._pump()
+            self._check_idle()
+
+    def _release(self, job: Job) -> None:
+        """Reclaim the worker slot and the tenant's in-flight unit."""
+        if job.id in self._running:
+            self._running.discard(job.id)
+        tenant = self._tenants.get(job.spec.tenant)
+        if tenant is not None and tenant.inflight > 0 and job.terminal:
+            if not getattr(job, "_released", False):
+                tenant.inflight -= 1
+                job._released = True  # type: ignore[attr-defined]
+
+    # -- deadlines -------------------------------------------------------------
+
+    def tick(self, now: Optional[float] = None) -> int:
+        """Expire overdue jobs; returns how many were finalized.
+
+        Queued jobs finalize as ``deadline`` with no partial result.
+        Running jobs finalize immediately with the partial state of
+        their last streamed snapshot, and their runner is asked to stop
+        via ``job.cancel_requested`` (plus ``runner.cancel`` when the
+        runner exposes it) — the slot does not wait for it.
+        """
+        with self._lock:
+            if now is None:
+                now = self.clock()
+            expired = 0
+            for job in self.store.active():
+                if job.deadline_t is None or job.deadline_t > now:
+                    continue
+                was_running = job.status == RUNNING
+                job.cancel_requested = True
+                job.status = DEADLINE
+                job.finished_t = now
+                job.partial = was_running
+                if was_running and job.last_snapshot is not None:
+                    job.result = {
+                        "partial": True,
+                        "snapshot": job.last_snapshot,
+                    }
+                    self.store.publish(job, "result", job.result)
+                job.error = (
+                    f"deadline exceeded after {now - job.created_t:.3f}s"
+                )
+                self._bump("finished.deadline")
+                self._release(job)
+                self.store.publish_status(job)
+                cancel = getattr(self.runner, "cancel", None)
+                if was_running and callable(cancel):
+                    cancel(job)
+                expired += 1
+            if expired:
+                self._pump()
+                self._check_idle()
+            return expired
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest deadline among active jobs (the app arms its tick
+        timer with this)."""
+        with self._lock:
+            deadlines = [
+                j.deadline_t
+                for j in self.store.active()
+                if j.deadline_t is not None
+            ]
+            return min(deadlines) if deadlines else None
+
+    # -- cancellation + drain --------------------------------------------------
+
+    def cancel(self, job: Job) -> bool:
+        """Client-requested cancellation; True if the job was active."""
+        with self._lock:
+            if job.terminal:
+                return False
+            was_running = job.status == RUNNING
+            job.cancel_requested = True
+            job.status = CANCELLED
+            job.finished_t = self.clock()
+            job.partial = was_running
+            job.error = "cancelled by client"
+            self._bump("finished.cancelled")
+            self._release(job)
+            self.store.publish_status(job)
+            runner_cancel = getattr(self.runner, "cancel", None)
+            if was_running and callable(runner_cancel):
+                runner_cancel(job)
+            self._pump()
+            self._check_idle()
+            return True
+
+    def drain(self, on_idle: Optional[Callable[[], None]] = None) -> bool:
+        """Stop admitting; queued and running jobs keep going.  Calls
+        ``on_idle`` (now, or later from the finishing entry point) once
+        no job is active.  Returns True if already idle."""
+        with self._lock:
+            self.draining = True
+            self._bump("drain")
+            idle = not self.store.active()
+            if on_idle is not None:
+                if idle:
+                    on_idle()
+                else:
+                    self._idle_callbacks.append(on_idle)
+            return idle
+
+    def _check_idle(self) -> None:
+        if not self.draining or self.store.active():
+            return
+        callbacks, self._idle_callbacks = self._idle_callbacks, []
+        for callback in callbacks:
+            callback()
+
+
+# Re-exported so `from repro.serve.scheduler import DONE` reads naturally
+# in runner implementations.
+__all__ += ["QUEUED", "RUNNING", "DONE", "FAILED", "DEADLINE", "CANCELLED"]

@@ -1,0 +1,196 @@
+"""Deterministic test doubles for the serve stack.
+
+The serve tests never sleep and never open a socket.  Three pieces
+make that possible:
+
+* :class:`FrozenClock` — time moves only when the test says so, which
+  makes token-bucket refills, deadlines, and cadence windows exact.
+* :class:`FakeRunner` — jobs start instantly but *finish only when the
+  test calls* :meth:`FakeRunner.finish` / :meth:`FakeRunner.fail`.
+  Between those two moments the test can observe queued/running state,
+  inject snapshots, expire deadlines — all synchronously.
+* :class:`ServeTestClient` — drives :class:`~repro.serve.app.ServeApp`
+  in-process: ``dispatch`` is synchronous, and SSE responses are read
+  straight off the job's event log on a private event loop (bounded
+  collection, so an unclosed log cannot hang a test).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .app import Request, Response, ServeApp
+from .jobs import DONE, FAILED, Event, Job
+from .runner import JobOutcome
+
+__all__ = ["FrozenClock", "FakeRunner", "ServeTestClient"]
+
+
+class FrozenClock:
+    """A monotonic clock that only moves via :meth:`advance`."""
+
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError("time cannot go backwards")
+        self.t += dt
+        return self.t
+
+
+class FakeRunner:
+    """A runner whose jobs complete on command.
+
+    ``start`` records the job and its callbacks; nothing runs.  The
+    test then emits snapshots or completes the job explicitly — every
+    callback fires synchronously on the caller's stack, so assertions
+    immediately after a call see the final state.
+    """
+
+    def __init__(self) -> None:
+        self.started: List[Job] = []
+        self.active: Dict[str, Tuple[Job, Callable, Callable]] = {}
+        self.cancelled: List[str] = []
+        #: Matches LocalRunner's marshalling surface (HttpServer
+        #: rebinds it); the default direct call keeps tests sync.
+        self.post: Callable[..., None] = lambda fn, *a: fn(*a)
+
+    def start(self, job: Job, emit: Callable, done: Callable) -> None:
+        self.started.append(job)
+        self.active[job.id] = (job, emit, done)
+
+    def cancel(self, job: Job) -> None:
+        self.cancelled.append(job.id)
+
+    # -- test controls ---------------------------------------------------------
+
+    def emit(self, job: Job, kind: str, data: Dict[str, Any]) -> None:
+        _, emit, _ = self.active[job.id]
+        self.post(emit, kind, data)
+
+    def snapshot(self, job: Job, data: Optional[Dict[str, Any]] = None) -> None:
+        self.emit(job, "snapshot", data if data is not None else {"seq": 0})
+
+    def complete(self, job: Job, outcome: JobOutcome) -> None:
+        _, _, done = self.active.pop(job.id)
+        self.post(done, outcome)
+
+    def finish(
+        self,
+        job: Job,
+        result: Optional[Dict[str, Any]] = None,
+        cache: str = "miss",
+        stage_seconds: Optional[Dict[str, float]] = None,
+        counters: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.complete(
+            job,
+            JobOutcome(
+                status=DONE,
+                result=result if result is not None else {"mean": 0.5},
+                cache=cache,
+                stage_seconds=stage_seconds or {},
+                counters=counters or {},
+            ),
+        )
+
+    def fail(self, job: Job, error: str = "worker died") -> None:
+        self.complete(job, JobOutcome(status=FAILED, error=error))
+
+
+class ServeTestClient:
+    """Drive a :class:`ServeApp` without sockets.
+
+    HTTP methods return the raw :class:`Response`; :meth:`events`
+    collects a job's SSE events off its log (``limit`` bounds the
+    collection so an open log cannot block a test forever — omitting
+    it requires the log to be closed already).
+    """
+
+    def __init__(self, app: ServeApp) -> None:
+        self.app = app
+        self._loop = asyncio.new_event_loop()
+
+    def close(self) -> None:
+        self._loop.close()
+
+    def __enter__(self) -> "ServeTestClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- HTTP ------------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        json_body: Optional[Any] = None,
+        headers: Optional[Dict[str, str]] = None,
+        body: Optional[bytes] = None,
+    ) -> Response:
+        if json_body is not None:
+            body = json.dumps(json_body).encode()
+        return self.app.dispatch(
+            Request(
+                method=method,
+                path=path,
+                headers={k.lower(): v for k, v in (headers or {}).items()},
+                body=body or b"",
+            )
+        )
+
+    def get(self, path: str, **kw: Any) -> Response:
+        return self.request("GET", path, **kw)
+
+    def post(self, path: str, json_body: Optional[Any] = None, **kw: Any) -> Response:
+        return self.request("POST", path, json_body=json_body, **kw)
+
+    def delete(self, path: str, **kw: Any) -> Response:
+        return self.request("DELETE", path, **kw)
+
+    def submit(self, payload: Dict[str, Any]) -> Response:
+        return self.post("/v1/jobs", json_body=payload)
+
+    # -- SSE -------------------------------------------------------------------
+
+    def events(
+        self,
+        job_id: str,
+        from_seq: int = 0,
+        limit: Optional[int] = None,
+        last_event_id: Optional[int] = None,
+    ) -> List[Event]:
+        headers = {}
+        if last_event_id is not None:
+            headers["Last-Event-ID"] = str(last_event_id)
+        response = self.get(f"/v1/jobs/{job_id}/events", headers=headers)
+        if response.status != 200 or response.sse_log is None:
+            raise AssertionError(
+                f"expected an SSE response, got {response.status}: "
+                f"{response.data}"
+            )
+        log = response.sse_log
+        start = max(from_seq, response.sse_from)
+        if limit is None and not log.closed:
+            raise RuntimeError(
+                "collecting an open log without a limit would block; "
+                "pass limit= or finish the job first"
+            )
+
+        async def collect() -> List[Event]:
+            out: List[Event] = []
+            async for event in log.replay(start):
+                out.append(event)
+                if limit is not None and len(out) >= limit:
+                    break
+            return out
+
+        return self._loop.run_until_complete(collect())

@@ -391,3 +391,131 @@ class TestPrometheus:
         rec.gauge("label", "not-a-number")
         text = snapshot_to_prometheus(rec.publish())
         assert "label" not in text
+
+
+class TestSnapshotSinkContract:
+    """Every sink — the --watch dashboard, the NDJSON stream writer,
+    and repro.serve's SSE bridge — shares one SnapshotSink delivery
+    discipline.  These tests pin the contract itself, parametrized
+    over all three production subclasses."""
+
+    @staticmethod
+    def _sinks():
+        from repro.obs.live import SnapshotSink
+        from repro.obs.watch import WatchDashboard
+        from repro.serve.sse import SnapshotBridge
+
+        return {
+            "watch": lambda: WatchDashboard(
+                stream=io.StringIO(), force=True, min_interval=0.0
+            ),
+            "stream": lambda: SnapshotStreamWriter(io.StringIO()),
+            "sse": lambda: SnapshotBridge(emit=lambda kind, data: None),
+            "base": lambda: type(
+                "NullSink", (SnapshotSink,), {"on_snapshot": lambda s, x: None}
+            )(),
+        }
+
+    @pytest.fixture(params=["watch", "stream", "sse", "base"])
+    def sink(self, request):
+        return self._sinks()[request.param]()
+
+    def test_cadence_zero_drops_nothing(self, sink):
+        """Cadence 0 = every event publishes; every publish reaches
+        the sink.  Deterministic: frozen clock, counted delivery."""
+        t = [1000.0]
+        rec = SnapshotRecorder(
+            cadence=0, subscribers=[sink], health=None, clock=lambda: t[0]
+        )
+        for _ in range(5):
+            rec.counter("mh.steps")
+        rec.publish()  # finalize
+        assert sink.n_received == 6
+        assert sink.last_snapshot.counters["mh.steps"] == 5
+
+    def test_finalize_snapshot_retained_despite_throttle(self, sink):
+        """A huge cadence swallows intermediate publishes, but the
+        explicit finalize publish() bypasses the throttle and the
+        sink always retains it as last_snapshot."""
+        t = [1000.0]
+        rec = SnapshotRecorder(
+            cadence=3600.0, subscribers=[sink], health=None,
+            clock=lambda: t[0],
+        )
+        rec.counter("a")   # first event publishes
+        rec.counter("a")   # throttled
+        rec.counter("a")   # throttled
+        assert sink.n_received == 1
+        rec.publish()
+        assert sink.n_received == 2
+        assert sink.last_snapshot.counters["a"] == 3
+
+    def test_close_is_idempotent_and_flushes_once(self):
+        flushes = []
+
+        from repro.obs.live import SnapshotSink
+
+        class CountingSink(SnapshotSink):
+            def on_snapshot(self, snapshot):
+                pass
+
+            def flush(self):
+                flushes.append(1)
+
+        sink = CountingSink()
+        sink.close()
+        sink.close()
+        sink.close()
+        assert len(flushes) == 1
+        assert sink.closed
+
+    def test_last_snapshot_updates_even_after_close(self, sink):
+        rec = SnapshotRecorder(cadence=0, subscribers=[], health=None)
+        rec.counter("x")
+        snap = rec.publish()
+        sink.close()
+        sink(snap)
+        assert sink.last_snapshot is snap
+        assert sink.n_received == 1
+
+    def test_watch_flush_renders_deferred_snapshot(self):
+        """The dashboard side of the no-drop guarantee: a throttled
+        render is emitted at close() so the finalize-time state always
+        reaches the terminal."""
+        from repro.obs.watch import WatchDashboard
+
+        buf = io.StringIO()
+        t = [50.0]
+        watch = WatchDashboard(
+            stream=buf, force=True, min_interval=1e9, clock=lambda: t[0]
+        )
+        rec = SnapshotRecorder(
+            cadence=0, subscribers=[watch], health=None, clock=lambda: t[0]
+        )
+        rec.progress("mh", 10, 100)
+        assert watch.n_renders == 1  # first render always lands
+        rec.progress("mh", 99, 100)
+        assert watch.n_renders == 1  # throttled — deferred, not lost
+        watch.close()
+        assert watch.n_renders == 2
+        assert "99/100" in buf.getvalue()
+
+    def test_stream_writer_and_bridge_see_identical_payloads(self):
+        """One recorder, both consumers: the NDJSON writer and the SSE
+        bridge receive byte-for-byte the same snapshot dicts."""
+        from repro.serve.sse import SnapshotBridge
+
+        buf = io.StringIO()
+        frames = []
+        writer = SnapshotStreamWriter(buf)
+        bridge = SnapshotBridge(emit=lambda kind, data: frames.append(data))
+        rec = SnapshotRecorder(
+            cadence=0, subscribers=[writer, bridge], health=None
+        )
+        rec.counter("c", 2)
+        rec.progress("mh", 5, 10)
+        rec.publish()
+        ndjson = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert len(ndjson) == len(frames) == 3
+        assert ndjson == frames
+        assert writer.n_received == bridge.n_received == 3

@@ -187,3 +187,189 @@ class TestValidation:
     def test_rejects_nonpositive_max_entries(self):
         with pytest.raises(ValueError):
             ProgramCache(max_entries=0)
+
+
+class TestConcurrency:
+    """Regressions for repro.serve's shared-cache access pattern:
+    concurrent readers must not corrupt the memory LRU, and two
+    in-flight requests for one fingerprint must produce once.
+
+    Synchronization is barrier/event-based — no sleeps — so these are
+    deterministic, not timing-dependent."""
+
+    def test_simultaneous_identical_compiles_compile_once(
+        self, ex2, monkeypatch
+    ):
+        import threading
+
+        from repro.semantics import compiled as compiled_mod
+
+        calls = []
+        real = compiled_mod.compile_program
+
+        def counting_compile(program):
+            calls.append(threading.get_ident())
+            return real(program)
+
+        monkeypatch.setattr(compiled_mod, "compile_program", counting_compile)
+        cache = ProgramCache()
+        n = 8
+        barrier = threading.Barrier(n)
+        errors = []
+
+        def worker():
+            try:
+                barrier.wait(timeout=30)
+                cache.compiled(ex2)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        # The single-flight guarantee: one compile, everybody else hit.
+        assert len(calls) == 1
+        assert cache.stats.compile_misses == 1
+        assert cache.stats.compile_hits == n - 1
+        assert len(cache) == 1
+
+    def test_simultaneous_identical_slices_slice_once(self, ex2):
+        import threading
+
+        cache = ProgramCache()
+        n = 6
+        barrier = threading.Barrier(n)
+        results = []
+        errors = []
+
+        def worker():
+            try:
+                barrier.wait(timeout=30)
+                results.append(cache.slice(ex2))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert cache.stats.slice_misses == 1
+        assert cache.stats.slice_hits == n - 1
+        assert len({pretty(r.sliced) for r in results}) == 1
+
+    def test_waiter_blocks_then_takes_hit_deterministically(
+        self, ex2, monkeypatch
+    ):
+        """Event-sequenced double-submit: B provably *blocks* on A's
+        in-flight compile (not merely arrives later), then takes the
+        cache hit; flight_waits records exactly that."""
+        import threading
+
+        from repro.semantics import compiled as compiled_mod
+
+        entered = threading.Event()
+        release = threading.Event()
+        b_blocked = threading.Event()
+        calls = []
+        real = compiled_mod.compile_program
+
+        def gated_compile(program):
+            calls.append("compile")
+            entered.set()
+            assert release.wait(timeout=30)
+            return real(program)
+
+        monkeypatch.setattr(compiled_mod, "compile_program", gated_compile)
+        cache = ProgramCache()
+        key = program_fingerprint(ex2, kind="compiled")
+
+        class SignallingLock:
+            """A flight lock that announces blocking acquires."""
+
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def acquire(self, blocking=True):
+                if blocking:
+                    b_blocked.set()
+                return self._lock.acquire(blocking)
+
+            def release(self):
+                self._lock.release()
+
+            def locked(self):
+                return self._lock.locked()
+
+        cache._flights[key] = SignallingLock()
+
+        a = threading.Thread(target=lambda: cache.compiled(ex2))
+        a.start()
+        assert entered.wait(timeout=30)  # A holds the flight, compiling
+        b = threading.Thread(target=lambda: cache.compiled(ex2))
+        b.start()
+        assert b_blocked.wait(timeout=30)  # B is in the blocking acquire
+        release.set()
+        a.join(timeout=60)
+        b.join(timeout=60)
+        assert calls == ["compile"]
+        assert cache.stats.flight_waits == 1
+        assert cache.stats.compile_hits == 1
+        assert cache.stats.compile_misses == 1
+
+    def test_lru_stays_consistent_under_concurrent_churn(self, monkeypatch):
+        """Readers move_to_end while writers popitem: before the mutex
+        this corrupted the OrderedDict (KeyError out of move_to_end).
+        Hammer a 3-entry LRU from 8 threads and verify the invariants
+        hold and every result is correct."""
+        import threading
+
+        from repro.semantics import compiled as compiled_mod
+
+        monkeypatch.setattr(
+            compiled_mod, "compile_program", lambda program: ("unit", id(program))
+        )
+        programs = [
+            parse(
+                "bool c; c ~ Bernoulli(0.5); "
+                f"observe(c); return c{' || c' * i};"
+            )
+            for i in range(10)
+        ]
+        cache = ProgramCache(max_entries=3)
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker(offset):
+            try:
+                barrier.wait(timeout=30)
+                for i in range(40):
+                    cache.compiled(programs[(offset + i) % len(programs)])
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert errors == []
+        assert len(cache) <= 3
+        assert cache.stats.evictions > 0
+        # The LRU order structure survived: clear() still works and
+        # every key maps to a value.
+        assert all(v is not None for v in cache._memory.values())
+
+    def test_flight_lock_table_does_not_leak(self, ex2):
+        cache = ProgramCache()
+        cache.slice(ex2)
+        cache.compiled(ex2)
+        assert cache._flights == {}

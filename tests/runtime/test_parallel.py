@@ -305,3 +305,79 @@ class TestReductionCaching:
     def test_empty_result_still_errors(self):
         with pytest.raises(InferenceError, match="no samples"):
             InferenceResult().mean()
+
+
+class TestCancellation:
+    """The cooperative cancel hook repro.serve uses for deadlines."""
+
+    def test_cancel_before_start_raises(self, ex2):
+        from repro.inference import InferenceCancelled
+
+        engine = MetropolisHastings(n_samples=50, seed=0)
+        runner = ParallelRunner(n_workers=2, backend="inline")
+        with pytest.raises(InferenceCancelled, match="before it started"):
+            runner.run(engine, ex2, cancel=lambda: True)
+
+    def test_inline_cancel_between_shards(self, ex2):
+        from repro.inference import InferenceCancelled
+
+        engine = MetropolisHastings(n_samples=60, seed=0)
+        runner = ParallelRunner(n_workers=3, backend="inline")
+        polls = []
+
+        # Poll 1 is run()'s pre-flight check, poll 2 precedes shard 0,
+        # poll 3 precedes shard 1 and fires.
+        def cancel_after_first_shard():
+            polls.append(True)
+            return len(polls) >= 3
+
+        with pytest.raises(InferenceCancelled, match=r"after 1 of 3 shards"):
+            runner.run(engine, ex2, cancel=cancel_after_first_shard)
+
+    def test_no_cancel_hook_is_the_default_path(self, ex2):
+        engine = MetropolisHastings(n_samples=30, seed=0)
+        a = ParallelRunner(n_workers=2, backend="inline").run(engine, ex2)
+        b = ParallelRunner(n_workers=2, backend="inline").run(
+            engine, ex2, cancel=lambda: False
+        )
+        assert a.samples == b.samples
+
+    def test_factored_cancel_before_start(self, ex2):
+        from repro.inference import InferenceCancelled
+        from repro.transforms.pipeline import sli
+
+        program = parse(
+            "bool a; bool b; a ~ Bernoulli(0.3); b ~ Bernoulli(0.6); "
+            "observe(a || !a); return a || b;"
+        )
+        result = sli(program, factorize=True)
+        engine = LikelihoodWeighting(n_samples=20, seed=0)
+        runner = ParallelRunner(n_workers=1, backend="inline")
+        with pytest.raises(InferenceCancelled):
+            runner.run_factored(engine, result.factors, cancel=lambda: True)
+
+    def test_cancelled_is_an_inference_error(self):
+        from repro.inference import InferenceCancelled, InferenceError
+
+        assert issubclass(InferenceCancelled, InferenceError)
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+class TestPoolCancellation:
+    def test_pool_cancel_terminates_workers(self, ex2):
+        from repro.inference import InferenceCancelled
+
+        # A budget big enough that the pool cannot finish before the
+        # first cancel poll.
+        engine = MetropolisHastings(n_samples=2_000_000, seed=0)
+        runner = ParallelRunner(n_workers=2, backend="fork")
+        polls = []
+
+        def cancel_once_pool_is_busy():
+            # Poll 1 is the pre-flight check; every later poll happens
+            # inside the pool-drain loop.
+            polls.append(True)
+            return len(polls) >= 2
+
+        with pytest.raises(InferenceCancelled, match="worker pool"):
+            runner.run(engine, ex2, cancel=cancel_once_pool_is_busy)

@@ -1,0 +1,67 @@
+"""Serve fixtures: a fully deterministic server — frozen clock, fake
+runner, in-process client.  No test in this package sleeps, opens a
+socket, or depends on wall-clock time."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.app import ServeApp
+from repro.serve.jobs import JobStore
+from repro.serve.scheduler import Scheduler
+from repro.serve.testing import FakeRunner, FrozenClock, ServeTestClient
+
+#: A tiny PROB program that slices and infers in microseconds.
+TINY = "bool c; c ~ Bernoulli(0.5); observe(c); return c;"
+
+#: Impossible evidence: MH's annealed initialization exhausts its
+#: budget and raises InitializationError — the poison-program fixture.
+POISON = "bool c; c ~ Bernoulli(0.5); observe(c && !c); return c;"
+
+
+def payload(**overrides):
+    """A valid submission body (program-based, cadence 0)."""
+    body = {"program": TINY, "samples": 50, "cadence": 0}
+    body.update(overrides)
+    return body
+
+
+@pytest.fixture
+def clock():
+    return FrozenClock(t=1000.0)
+
+
+@pytest.fixture
+def fake_runner():
+    return FakeRunner()
+
+
+@pytest.fixture
+def store():
+    return JobStore()
+
+
+@pytest.fixture
+def scheduler(store, fake_runner, clock):
+    return Scheduler(
+        store,
+        fake_runner,
+        clock=clock,
+        workers=2,
+        tenant_rate=5.0,
+        tenant_burst=10.0,
+        tenant_max_inflight=8,
+    )
+
+
+@pytest.fixture
+def app(scheduler, store, fake_runner, clock):
+    return ServeApp(
+        scheduler=scheduler, store=store, runner=fake_runner, clock=clock
+    )
+
+
+@pytest.fixture
+def client(app):
+    with ServeTestClient(app) as c:
+        yield c

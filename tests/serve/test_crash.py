@@ -1,0 +1,95 @@
+"""Crash robustness: a dying job surfaces its error and frees its
+slot; the service keeps scheduling."""
+
+from __future__ import annotations
+
+from repro.runtime.cache import ProgramCache
+from repro.serve.app import ServeApp
+from repro.serve.runner import LocalRunner
+from repro.serve.testing import ServeTestClient
+
+from .conftest import POISON, payload
+
+
+class TestFakeCrash:
+    def test_failure_surfaces_error_and_reclaims_slot(
+        self, store, fake_runner, clock
+    ):
+        from repro.serve.protocol import validate_request
+        from repro.serve.scheduler import Scheduler
+
+        sched = Scheduler(store, fake_runner, clock=clock, workers=1)
+        doomed = sched.submit(validate_request(payload()))
+        queued = sched.submit(validate_request(payload()))
+        fake_runner.fail(doomed, error="SegFault: worker died mid-job")
+        assert doomed.status == "failed"
+        assert "worker died" in doomed.error
+        assert queued.status == "running"  # the slot came back
+
+    def test_failed_job_visible_over_http(self, client, store, fake_runner):
+        job_id = client.submit(payload()).data["id"]
+        fake_runner.fail(store.get(job_id), error="worker died")
+        body = client.get(f"/v1/jobs/{job_id}").data
+        assert body["status"] == "failed"
+        assert body["error"] == "worker died"
+        assert body["result"] is None
+
+    def test_failure_closes_event_stream_with_status(
+        self, client, store, fake_runner
+    ):
+        job_id = client.submit(payload()).data["id"]
+        fake_runner.fail(store.get(job_id))
+        events = client.events(job_id)
+        assert events[-1].kind == "status"
+        assert events[-1].data["status"] == "failed"
+
+    def test_tenant_inflight_released_on_failure(
+        self, client, store, fake_runner, scheduler
+    ):
+        job_id = client.submit(payload(tenant="t")).data["id"]
+        fake_runner.fail(store.get(job_id))
+        assert scheduler.stats()["tenants"]["t"]["inflight"] == 0
+
+
+class TestRealCrash:
+    """The poison program through the real LocalRunner: MH's annealed
+    initialization cannot satisfy ``observe(c && !c)`` and raises."""
+
+    def test_poison_program_fails_and_slot_reclaims(self):
+        app = ServeApp(
+            runner=LocalRunner(cache=ProgramCache()), workers=1
+        )
+        with ServeTestClient(app) as client:
+            poison_id = client.submit(
+                payload(program=POISON, engine="mh", samples=20)
+            ).data["id"]
+            healthy_id = client.submit(payload(samples=20)).data["id"]
+            app.runner.join(timeout=60)
+            poison = app.store.get(poison_id)
+            healthy = app.store.get(healthy_id)
+            assert poison.status == "failed"
+            assert "InitializationError" in poison.error
+            assert poison.result is None
+            # The queued healthy job got the slot and completed.
+            assert healthy.status == "done"
+            assert healthy.result["samples"] == 20
+            # Failed jobs still close their event stream with a final
+            # status frame.
+            events = client.events(poison_id)
+            assert events[-1].data["status"] == "failed"
+
+    def test_failure_counter_and_stage_timings_present(self):
+        app = ServeApp(runner=LocalRunner(cache=ProgramCache()), workers=1)
+        with ServeTestClient(app) as client:
+            job_id = client.submit(
+                payload(program=POISON, engine="mh", samples=20)
+            ).data["id"]
+            app.runner.join(timeout=60)
+            job = app.store.get(job_id)
+            assert job.status == "failed"
+            # The crash happened *after* slicing: stage timings up to
+            # the failure point are preserved for debugging.
+            assert any(
+                name.startswith("pass.") for name in job.stage_seconds
+            )
+            assert app.scheduler.counters["finished.failed"] == 1

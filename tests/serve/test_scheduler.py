@@ -1,0 +1,288 @@
+"""Scheduler behavior under a frozen clock: admission, ordering,
+deadlines, cancellation, drain.  Everything here is synchronous."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.jobs import JobStore
+from repro.serve.protocol import validate_request
+from repro.serve.runner import JobOutcome
+from repro.serve.scheduler import (
+    AdmissionError,
+    Draining,
+    Scheduler,
+    TokenBucket,
+)
+from repro.serve.testing import FakeRunner
+
+from .conftest import payload
+
+
+def spec(**overrides):
+    return validate_request(payload(**overrides))
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal_with_exact_retry_after(self):
+        bucket = TokenBucket(rate=2.0, burst=3.0, now=100.0)
+        for _ in range(3):
+            assert bucket.try_take(100.0) is None
+        retry = bucket.try_take(100.0)
+        assert retry == pytest.approx(0.5)  # 1 token at 2/s
+
+    def test_refill_is_clock_driven(self):
+        bucket = TokenBucket(rate=2.0, burst=3.0, now=100.0)
+        for _ in range(3):
+            bucket.try_take(100.0)
+        assert bucket.try_take(100.49) is not None
+        assert bucket.try_take(100.5) is None
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0, now=0.0)
+        bucket.try_take(0.0)
+        bucket._refill(1000.0)
+        assert bucket.tokens == 2.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1, now=0.0)
+
+
+class TestDispatch:
+    def test_submit_starts_immediately_when_slot_free(
+        self, scheduler, fake_runner
+    ):
+        job = scheduler.submit(spec())
+        assert job.status == "running"
+        assert fake_runner.started == [job]
+
+    def test_queueing_beyond_worker_slots(self, scheduler, fake_runner):
+        jobs = [scheduler.submit(spec()) for _ in range(4)]
+        assert [j.status for j in jobs] == [
+            "running", "running", "queued", "queued",
+        ]
+        assert scheduler.queue_position(jobs[2]) == 0
+        assert scheduler.queue_position(jobs[3]) == 1
+
+    def test_finish_pumps_next_queued(self, scheduler, fake_runner):
+        jobs = [scheduler.submit(spec()) for _ in range(3)]
+        fake_runner.finish(jobs[0])
+        assert jobs[0].status == "done"
+        assert jobs[2].status == "running"
+
+    def test_priority_order_highest_first(self, store, fake_runner, clock):
+        sched = Scheduler(store, fake_runner, clock=clock, workers=1)
+        running = sched.submit(spec())
+        low = sched.submit(spec(priority=-5))
+        high = sched.submit(spec(priority=5))
+        mid = sched.submit(spec(priority=0))
+        fake_runner.finish(running)
+        assert high.status == "running"
+        fake_runner.finish(high)
+        assert mid.status == "running"
+        fake_runner.finish(mid)
+        assert low.status == "running"
+
+    def test_fifo_within_priority(self, store, fake_runner, clock):
+        sched = Scheduler(store, fake_runner, clock=clock, workers=1)
+        running = sched.submit(spec())
+        first = sched.submit(spec(priority=3))
+        second = sched.submit(spec(priority=3))
+        fake_runner.finish(running)
+        assert first.status == "running"
+        assert second.status == "queued"
+
+    def test_outcome_fields_copied_onto_job(self, scheduler, fake_runner):
+        job = scheduler.submit(spec())
+        fake_runner.complete(
+            job,
+            JobOutcome(
+                status="done",
+                result={"mean": 1.0},
+                cache="hit",
+                stage_seconds={"infer": 0.5},
+                counters={"cache.slice.hit": 1},
+            ),
+        )
+        assert (job.cache, job.result["mean"]) == ("hit", 1.0)
+        assert job.stage_seconds == {"infer": 0.5}
+        assert job.finished_t is not None
+        assert scheduler.counters["cache.hit"] == 1
+
+
+class TestAdmission:
+    def test_rate_limit_with_retry_after(self, store, fake_runner, clock):
+        sched = Scheduler(
+            store, fake_runner, clock=clock, workers=1,
+            tenant_rate=1.0, tenant_burst=2.0, tenant_max_inflight=100,
+        )
+        sched.submit(spec())
+        sched.submit(spec())
+        with pytest.raises(AdmissionError) as info:
+            sched.submit(spec())
+        assert info.value.reason == "rate"
+        assert info.value.retry_after == pytest.approx(1.0)
+        clock.advance(1.0)
+        sched.submit(spec())  # token accrued
+
+    def test_rate_limits_are_per_tenant(self, store, fake_runner, clock):
+        sched = Scheduler(
+            store, fake_runner, clock=clock, workers=1,
+            tenant_rate=1.0, tenant_burst=1.0, tenant_max_inflight=100,
+        )
+        sched.submit(spec(tenant="a"))
+        with pytest.raises(AdmissionError):
+            sched.submit(spec(tenant="a"))
+        sched.submit(spec(tenant="b"))  # b has its own bucket
+
+    def test_max_inflight_cap_and_release(self, store, fake_runner, clock):
+        sched = Scheduler(
+            store, fake_runner, clock=clock, workers=1,
+            tenant_rate=1000.0, tenant_burst=1000.0, tenant_max_inflight=2,
+        )
+        first = sched.submit(spec())
+        sched.submit(spec())
+        with pytest.raises(AdmissionError) as info:
+            sched.submit(spec())
+        assert info.value.reason == "inflight"
+        fake_runner.finish(first)  # terminal -> slot released
+        sched.submit(spec())
+
+    def test_rejection_counters(self, store, fake_runner, clock):
+        sched = Scheduler(
+            store, fake_runner, clock=clock, workers=1,
+            tenant_rate=1000.0, tenant_burst=1000.0, tenant_max_inflight=1,
+        )
+        sched.submit(spec())
+        with pytest.raises(AdmissionError):
+            sched.submit(spec())
+        assert sched.counters["rejected.inflight"] == 1
+
+
+class TestDeadlines:
+    def test_queued_job_expires_without_partial(
+        self, store, fake_runner, clock
+    ):
+        sched = Scheduler(store, fake_runner, clock=clock, workers=1)
+        running = sched.submit(spec())
+        queued = sched.submit(spec(deadline_s=5))
+        assert sched.next_deadline() == pytest.approx(clock.t + 5)
+        clock.advance(10)
+        assert sched.tick() == 1
+        assert queued.status == "deadline"
+        assert queued.partial is False
+        assert queued.result is None
+        assert running.status == "running"  # no deadline -> untouched
+
+    def test_running_job_expires_with_partial_snapshot(
+        self, store, fake_runner, clock
+    ):
+        sched = Scheduler(store, fake_runner, clock=clock, workers=1)
+        job = sched.submit(spec(deadline_s=2))
+        fake_runner.snapshot(job, {"seq": 7, "counters": {"mh.steps": 40}})
+        clock.advance(3)
+        assert sched.tick() == 1
+        assert job.status == "deadline"
+        assert job.partial is True
+        assert job.cancel_requested is True
+        assert job.result["partial"] is True
+        assert job.result["snapshot"]["seq"] == 7
+        assert fake_runner.cancelled == [job.id]
+
+    def test_deadline_frees_slot_immediately(self, store, fake_runner, clock):
+        sched = Scheduler(store, fake_runner, clock=clock, workers=1)
+        wedged = sched.submit(spec(deadline_s=1))
+        queued = sched.submit(spec())
+        clock.advance(2)
+        sched.tick()
+        assert wedged.status == "deadline"
+        assert queued.status == "running"  # did not wait for the runner
+
+    def test_late_completion_after_deadline_is_dropped(
+        self, store, fake_runner, clock
+    ):
+        sched = Scheduler(store, fake_runner, clock=clock, workers=1)
+        job = sched.submit(spec(deadline_s=1))
+        clock.advance(2)
+        sched.tick()
+        assert job.status == "deadline"
+        fake_runner.finish(job)  # the wedged runner reports afterwards
+        assert job.status == "deadline"  # not overwritten
+        assert sched.counters["late_completions"] == 1
+
+    def test_tick_before_deadline_is_a_noop(self, store, fake_runner, clock):
+        sched = Scheduler(store, fake_runner, clock=clock, workers=1)
+        job = sched.submit(spec(deadline_s=5))
+        clock.advance(1)
+        assert sched.tick() == 0
+        assert job.status == "running"
+
+    def test_next_deadline_none_without_deadlines(self, scheduler):
+        scheduler.submit(spec())
+        assert scheduler.next_deadline() is None
+
+
+class TestCancelAndDrain:
+    def test_cancel_running_job(self, scheduler, fake_runner):
+        job = scheduler.submit(spec())
+        assert scheduler.cancel(job) is True
+        assert job.status == "cancelled"
+        assert job.cancel_requested is True
+        assert fake_runner.cancelled == [job.id]
+        assert scheduler.cancel(job) is False  # already terminal
+
+    def test_cancel_queued_job_pumps_queue(self, store, fake_runner, clock):
+        sched = Scheduler(store, fake_runner, clock=clock, workers=1)
+        sched.submit(spec())
+        queued = sched.submit(spec())
+        later = sched.submit(spec())
+        sched.cancel(queued)
+        assert queued.status == "cancelled"
+        assert later.status == "queued"  # still behind the running job
+
+    def test_drain_rejects_new_submissions(self, scheduler):
+        scheduler.submit(spec())
+        scheduler.drain()
+        with pytest.raises(Draining):
+            scheduler.submit(spec())
+
+    def test_drain_on_idle_fires_after_last_job(self, scheduler, fake_runner):
+        first = scheduler.submit(spec())
+        second = scheduler.submit(spec())
+        fired = []
+        assert scheduler.drain(lambda: fired.append(True)) is False
+        assert fired == []
+        fake_runner.finish(first)
+        assert fired == []
+        fake_runner.finish(second)
+        assert fired == [True]
+
+    def test_drain_when_already_idle_fires_now(self, scheduler):
+        fired = []
+        assert scheduler.drain(lambda: fired.append(True)) is True
+        assert fired == [True]
+
+    def test_stats_shape(self, scheduler, fake_runner):
+        job = scheduler.submit(spec(tenant="t9"))
+        stats = scheduler.stats()
+        assert stats["running"] == 1
+        assert stats["queued"] == 0
+        assert stats["tenants"]["t9"]["inflight"] == 1
+        assert stats["counters"]["submitted"] == 1
+        fake_runner.finish(job)
+        assert scheduler.stats()["tenants"]["t9"]["inflight"] == 0
+
+
+class TestJobStore:
+    def test_eviction_spares_active_jobs(self, clock):
+        store = JobStore(max_jobs=2)
+        runner = FakeRunner()
+        sched = Scheduler(store, runner, clock=clock, workers=10,
+                          tenant_max_inflight=100, tenant_rate=1000,
+                          tenant_burst=1000)
+        first = sched.submit(spec())
+        runner.finish(first)
+        live = [sched.submit(spec()) for _ in range(3)]
+        assert store.get(first.id) is None  # terminal -> evicted
+        assert all(store.get(j.id) is not None for j in live)
